@@ -1,0 +1,94 @@
+//! Interpolation helpers shared by the warping augmentations.
+
+use rand::rngs::StdRng;
+
+/// Sample `x` at fractional position `p` by linear interpolation,
+/// clamping to the valid range.
+pub(crate) fn sample_at(x: &[f32], p: f32) -> f32 {
+    let n = x.len();
+    let p = p.clamp(0.0, (n - 1) as f32);
+    let i = p.floor() as usize;
+    let frac = p - i as f32;
+    if i + 1 >= n {
+        x[n - 1]
+    } else {
+        x[i] * (1.0 - frac) + x[i + 1] * frac
+    }
+}
+
+/// Linearly resample a series to `target_len` points, preserving endpoints.
+pub fn linear_resample(x: &[f32], target_len: usize) -> Vec<f32> {
+    assert!(!x.is_empty(), "cannot resample empty series");
+    assert!(target_len >= 1);
+    if target_len == 1 {
+        return vec![x[0]];
+    }
+    if x.len() == 1 {
+        return vec![x[0]; target_len];
+    }
+    let scale = (x.len() - 1) as f32 / (target_len - 1) as f32;
+    (0..target_len).map(|i| sample_at(x, i as f32 * scale)).collect()
+}
+
+/// A smooth random curve of length `n`: `knots` control values drawn from
+/// `N(mean, sigma²)` linearly interpolated across the series. Used by time
+/// and magnitude warping.
+pub fn smooth_curve(n: usize, knots: usize, mean: f32, sigma: f32, rng: &mut StdRng) -> Vec<f32> {
+    use rand::Rng;
+    let k = knots.max(2);
+    let control: Vec<f32> = (0..k)
+        .map(|_| {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            mean + sigma * z
+        })
+        .collect();
+    linear_resample(&control, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resample_identity_length() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(linear_resample(&x, 3), x);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let x = vec![5.0, 1.0, 9.0, 2.0];
+        let y = linear_resample(&x, 11);
+        assert_eq!(y[0], 5.0);
+        assert_eq!(*y.last().unwrap(), 2.0);
+        assert_eq!(y.len(), 11);
+    }
+
+    #[test]
+    fn resample_downsamples_monotone() {
+        let x: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let y = linear_resample(&x, 10);
+        assert!(y.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn resample_to_one() {
+        assert_eq!(linear_resample(&[3.0, 7.0], 1), vec![3.0]);
+    }
+
+    #[test]
+    fn sample_at_midpoint() {
+        assert_eq!(sample_at(&[0.0, 10.0], 0.5), 5.0);
+        assert_eq!(sample_at(&[0.0, 10.0], 5.0), 10.0); // clamps
+    }
+
+    #[test]
+    fn smooth_curve_stats() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = smooth_curve(200, 8, 1.0, 0.0, &mut rng);
+        assert!(c.iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based invariants for the augmentation bank.
+
+use aimts_augment::{default_bank, extended_bank, linear_resample, Augmentation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn series() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100f32..100f32, 3..200)
+}
+
+proptest! {
+    #[test]
+    fn length_preserved(x in series(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for aug in extended_bank() {
+            prop_assert_eq!(aug.apply(&x, &mut rng).len(), x.len());
+        }
+    }
+
+    #[test]
+    fn output_finite(x in series(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for aug in default_bank() {
+            prop_assert!(aug.apply(&x, &mut rng).iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn determinism(x in series(), seed in 0u64..1000) {
+        for aug in default_bank() {
+            let a = aug.apply(&x, &mut StdRng::seed_from_u64(seed));
+            let b = aug.apply(&x, &mut StdRng::seed_from_u64(seed));
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn slicing_within_range(x in series(), seed in 0u64..1000, ratio in 0.2f32..0.95) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let y = Augmentation::Slicing { ratio }.apply(&x, &mut rng);
+        let lo = x.iter().copied().fold(f32::MAX, f32::min);
+        let hi = x.iter().copied().fold(f32::MIN, f32::max);
+        prop_assert!(y.iter().all(|&v| v >= lo - 1e-3 && v <= hi + 1e-3));
+    }
+
+    #[test]
+    fn resample_roundtrip_close(x in prop::collection::vec(-10f32..10f32, 4..64)) {
+        // Upsample then downsample back: endpoints must be exact.
+        let up = linear_resample(&x, x.len() * 4);
+        let back = linear_resample(&up, x.len());
+        prop_assert!((back[0] - x[0]).abs() < 1e-4);
+        prop_assert!((back[x.len()-1] - x[x.len()-1]).abs() < 1e-4);
+    }
+
+    #[test]
+    fn permutation_multiset_invariant(x in series(), seed in 0u64..1000, k in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut y = Augmentation::Permutation { segments: k }.apply(&x, &mut rng);
+        let mut xs = x.clone();
+        xs.sort_by(f32::total_cmp);
+        y.sort_by(f32::total_cmp);
+        prop_assert_eq!(xs, y);
+    }
+}

@@ -1,0 +1,431 @@
+//! Contrastive representation-learning baselines sharing one scaffold:
+//! TS2Vec, TS-TCC, TNC and T-Loss (paper Table I competitors).
+//!
+//! Each method defines how a *pair of views* of a sample is built; the
+//! scaffold encodes views channel-independently with the same dilated-conv
+//! encoder AimTS uses, projects, normalizes, and applies the method's
+//! pairwise loss across the batch. All are intentionally scaled-down but
+//! structurally faithful (see module docs per method).
+
+use aimts::batch::{batch_indices, encode_channel_independent, samples_to_tensor};
+use aimts::{copy_parameters, FineTuned, FineTuneConfig, TsEncoder};
+use aimts_augment::Augmentation;
+use aimts_data::preprocess::{resample_sample, z_normalize_sample};
+use aimts_data::{Dataset, MultiSeries};
+use aimts_nn::{Activation, Adam, Mlp, Module, Optimizer};
+use aimts_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which baseline objective to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// TS2Vec (Yue et al. 2022): two random overlapping crops of the same
+    /// sample are positives (simplified to instance-level contrast over
+    /// pooled crop representations).
+    Ts2Vec,
+    /// TS-TCC (Eldele et al. 2021): a weak view (jitter + scaling) and a
+    /// strong view (permutation + jitter) are positives.
+    TsTcc,
+    /// TNC (Tonekaboni et al. 2021): two *neighboring* windows are
+    /// positives; windows from other samples act as non-neighbors.
+    Tnc,
+    /// T-Loss (Franceschi et al. 2019): triplet logistic loss with a
+    /// sub-series of the anchor as positive and other samples' crops as
+    /// negatives.
+    TLoss,
+    /// SoftCLT-like (Lee et al. 2023): two weak views with *soft* positive
+    /// assignments — the target distribution over the batch is a softmax
+    /// of negative DTW distances between the raw series, so similar
+    /// instances are softly attracted instead of hard-labeled negatives.
+    SoftClt,
+}
+
+impl Method {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Ts2Vec => "TS2Vec",
+            Method::TsTcc => "TS-TCC",
+            Method::Tnc => "TNC",
+            Method::TLoss => "T-Loss",
+            Method::SoftClt => "SoftCLT",
+        }
+    }
+}
+
+/// Shared architecture/loss configuration.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    pub hidden: usize,
+    pub repr_dim: usize,
+    pub proj_dim: usize,
+    pub dilations: Vec<usize>,
+    pub pretrain_len: usize,
+    pub tau: f32,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            hidden: 32,
+            repr_dim: 64,
+            proj_dim: 32,
+            dilations: vec![1, 2, 4],
+            pretrain_len: 64,
+            tau: 0.2,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Match an [`aimts::AimTsConfig`]'s encoder so comparisons isolate
+    /// the objective.
+    pub fn from_aimts(cfg: &aimts::AimTsConfig) -> Self {
+        BaselineConfig {
+            hidden: cfg.hidden,
+            repr_dim: cfg.repr_dim,
+            proj_dim: cfg.proj_dim,
+            dilations: cfg.dilations.clone(),
+            pretrain_len: cfg.pretrain_len,
+            tau: 0.2,
+        }
+    }
+
+    /// Tiny settings for tests.
+    pub fn tiny() -> Self {
+        BaselineConfig {
+            hidden: 8,
+            repr_dim: 16,
+            proj_dim: 8,
+            dilations: vec![1, 2],
+            pretrain_len: 32,
+            tau: 0.2,
+        }
+    }
+}
+
+/// A contrastive baseline: encoder + projection head + method objective.
+pub struct ContrastiveBaseline {
+    pub method: Method,
+    pub cfg: BaselineConfig,
+    pub encoder: TsEncoder,
+    proj: Mlp,
+    seed: u64,
+}
+
+impl ContrastiveBaseline {
+    pub fn new(method: Method, cfg: BaselineConfig, seed: u64) -> Self {
+        let encoder = TsEncoder::new(cfg.hidden, cfg.repr_dim, &cfg.dilations, seed);
+        let proj = Mlp::new(
+            &[cfg.repr_dim, cfg.repr_dim, cfg.proj_dim],
+            Activation::Gelu,
+            seed.wrapping_add(500),
+        );
+        ContrastiveBaseline { method, cfg, encoder, proj, seed }
+    }
+
+    fn prepare(&self, s: &MultiSeries) -> MultiSeries {
+        let mut v = resample_sample(s, self.cfg.pretrain_len);
+        z_normalize_sample(&mut v);
+        v
+    }
+
+    /// Build the two views of one prepared sample for this method.
+    fn make_views(&self, s: &MultiSeries, rng: &mut StdRng) -> (MultiSeries, MultiSeries) {
+        let t = s[0].len();
+        match self.method {
+            Method::Ts2Vec => {
+                // Two random crops covering >= 50% each (overlap likely).
+                let crop = |rng: &mut StdRng| {
+                    let w = rng.gen_range(t / 2..=t.max(2) - 1).max(2);
+                    let start = rng.gen_range(0..=t - w);
+                    let out: MultiSeries = s
+                        .iter()
+                        .map(|v| {
+                            aimts_augment::linear_resample(&v[start..start + w], t)
+                        })
+                        .collect();
+                    out
+                };
+                (crop(rng), crop(rng))
+            }
+            Method::TsTcc => {
+                let weak1 = Augmentation::Jitter { sigma: 0.05 };
+                let weak2 = Augmentation::Scaling { sigma: 0.1 };
+                let strong1 = Augmentation::Permutation { segments: 4 };
+                let strong2 = Augmentation::Jitter { sigma: 0.2 };
+                let weak = weak2.apply_multivariate(&weak1.apply_multivariate(s, rng), rng);
+                let strong = strong2.apply_multivariate(&strong1.apply_multivariate(s, rng), rng);
+                (weak, strong)
+            }
+            Method::Tnc => {
+                // Adjacent half-windows of the same sample = neighborhood.
+                let w = (t / 2).max(2);
+                let start = rng.gen_range(0..=t - w);
+                // Neighbor window shifted by up to w/2, clamped in range.
+                let shift = rng.gen_range(0..=w / 2);
+                let nstart = (start + shift).min(t - w);
+                let win = |a: usize| -> MultiSeries {
+                    s.iter()
+                        .map(|v| aimts_augment::linear_resample(&v[a..a + w], t))
+                        .collect()
+                };
+                (win(start), win(nstart))
+            }
+            Method::SoftClt => {
+                // Two weak views: light jitter + scaling.
+                let j = Augmentation::Jitter { sigma: 0.05 };
+                let sc = Augmentation::Scaling { sigma: 0.1 };
+                (
+                    sc.apply_multivariate(&j.apply_multivariate(s, rng), rng),
+                    sc.apply_multivariate(&j.apply_multivariate(s, rng), rng),
+                )
+            }
+            Method::TLoss => {
+                // Anchor = random crop; positive = sub-crop of the anchor.
+                let aw = rng.gen_range((2 * t / 3).max(2)..=t.max(3) - 1).max(2);
+                let astart = rng.gen_range(0..=t - aw);
+                let pw = rng.gen_range((aw / 2).max(2)..=aw.max(3) - 1).max(2);
+                let pstart = astart + rng.gen_range(0..=aw - pw);
+                let cut = |a: usize, w: usize| -> MultiSeries {
+                    s.iter()
+                        .map(|v| aimts_augment::linear_resample(&v[a..a + w], t))
+                        .collect()
+                };
+                (cut(astart, aw), cut(pstart, pw))
+            }
+        }
+    }
+
+    /// Project + normalize a batch of encoded views.
+    fn project(&self, samples: &[&MultiSeries]) -> Tensor {
+        let x = samples_to_tensor(samples);
+        let r = encode_channel_independent(&self.encoder, &x);
+        self.proj.forward(&r).l2_normalize(1)
+    }
+
+    /// Per-batch loss: InfoNCE for TS2Vec / TS-TCC / TNC, triplet logistic
+    /// for T-Loss, soft-target cross-entropy for SoftCLT.
+    fn batch_loss(&self, a: &Tensor, b: &Tensor, soft_targets: Option<&Tensor>) -> Tensor {
+        let n = a.shape()[0];
+        match self.method {
+            Method::SoftClt => {
+                // -Σ_i Σ_j T_ij log softmax_j(sim(a_i, b_j)/τ), averaged.
+                let t = soft_targets.expect("SoftCLT requires soft targets");
+                let logp = a
+                    .matmul(&b.transpose(0, 1))
+                    .div_scalar(self.cfg.tau)
+                    .log_softmax_last();
+                logp.mul(t).sum_axis(1, false).neg().mean_all()
+            }
+            Method::TLoss => {
+                // -log σ(a·p) - Σ_{j≠i} log σ(-a·n_j), averaged.
+                let s = a.matmul(&b.transpose(0, 1)); // [N,N]
+                let mut eye = vec![0f32; n * n];
+                for i in 0..n {
+                    eye[i * n + i] = 1.0;
+                }
+                let id = Tensor::from_vec(eye, &[n, n]);
+                let not_id = Tensor::ones(&[n, n]).sub(&id);
+                let pos = s.mul(&id).sum_axis(1, false); // a_i · p_i
+                let pos_term = pos.sigmoid().add_scalar(1e-8).ln().neg();
+                let neg_term = s
+                    .neg()
+                    .sigmoid()
+                    .add_scalar(1e-8)
+                    .ln()
+                    .mul(&not_id)
+                    .sum_axis(1, false)
+                    .neg()
+                    .div_scalar((n - 1).max(1) as f32);
+                pos_term.add(&neg_term).mean_all()
+            }
+            _ => {
+                // Symmetric InfoNCE between the two view sets.
+                let s = a.matmul(&b.transpose(0, 1)).div_scalar(self.cfg.tau);
+                let mut eye = vec![0f32; n * n];
+                for i in 0..n {
+                    eye[i * n + i] = 1.0;
+                }
+                let id = Tensor::from_vec(eye, &[n, n]);
+                let pos = s.mul(&id).sum_axis(1, false);
+                let l_ab = pos.sub(&s.exp().sum_axis(1, false).ln()).neg();
+                let st = s.transpose(0, 1);
+                let l_ba = pos.sub(&st.exp().sum_axis(1, false).ln()).neg();
+                l_ab.add(&l_ba).mean_all().mul_scalar(0.5)
+            }
+        }
+    }
+
+    /// Pre-train on an unlabeled pool; returns the final-epoch mean loss.
+    pub fn pretrain(
+        &mut self,
+        pool: &[MultiSeries],
+        epochs: usize,
+        batch_size: usize,
+        lr: f32,
+        seed: u64,
+    ) -> f32 {
+        assert!(pool.len() >= 2);
+        let prepared: Vec<MultiSeries> = pool.iter().map(|s| self.prepare(s)).collect();
+        let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for (i, s) in prepared.iter().enumerate() {
+            groups.entry(s.len()).or_default().push(i);
+        }
+        let mut params = self.encoder.parameters();
+        params.extend(self.proj.parameters());
+        let mut opt = Adam::new(params, lr);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut last = f32::NAN;
+        for _ in 0..epochs {
+            let mut total = 0f32;
+            let mut nb = 0usize;
+            for idxs in groups.values() {
+                for batch in batch_indices(idxs.len(), batch_size, &mut rng) {
+                    let mut va = Vec::with_capacity(batch.len());
+                    let mut vb = Vec::with_capacity(batch.len());
+                    for &k in &batch {
+                        let (a, b) = self.make_views(&prepared[idxs[k]], &mut rng);
+                        va.push(a);
+                        vb.push(b);
+                    }
+                    let ra = self.project(&va.iter().collect::<Vec<_>>());
+                    let rb = self.project(&vb.iter().collect::<Vec<_>>());
+                    let soft = (self.method == Method::SoftClt)
+                        .then(|| soft_targets(&batch.iter().map(|&k| &prepared[idxs[k]]).collect::<Vec<_>>()));
+                    let loss = self.batch_loss(&ra, &rb, soft.as_ref());
+                    opt.zero_grad();
+                    loss.backward();
+                    opt.step();
+                    total += loss.item();
+                    nb += 1;
+                }
+            }
+            last = total / nb.max(1) as f32;
+        }
+        last
+    }
+
+    /// Fine-tune a copy of the encoder + fresh head on a target dataset.
+    pub fn fine_tune(&self, ds: &Dataset, fcfg: &FineTuneConfig) -> FineTuned {
+        let fresh = TsEncoder::new(self.cfg.hidden, self.cfg.repr_dim, &self.cfg.dilations, self.seed);
+        copy_parameters(&self.encoder, &fresh);
+        FineTuned::from_encoder(fresh, self.cfg.repr_dim, ds, fcfg)
+    }
+}
+
+/// Soft assignment matrix for SoftCLT: row-softmax of negative DTW
+/// distances between the raw (prepared) series, flattened over variables.
+fn soft_targets(samples: &[&MultiSeries]) -> Tensor {
+    let n = samples.len();
+    let flat: Vec<Vec<f32>> = samples.iter().map(|s| s.concat()).collect();
+    let mut d = vec![0f32; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let dist = crate::nn1::dtw(&flat[i], &flat[j], 0.1);
+            d[i * n + j] = dist;
+            d[j * n + i] = dist;
+        }
+    }
+    // Row-stable softmax of -d / scale, scale = mean off-diagonal distance.
+    let mean_d = d.iter().sum::<f32>() / ((n * n - n).max(1) as f32);
+    let scale = mean_d.max(1e-6);
+    let mut t = vec![0f32; n * n];
+    for i in 0..n {
+        let row = &d[i * n..(i + 1) * n];
+        let mx = row.iter().map(|x| -x / scale).fold(f32::MIN, f32::max);
+        let mut denom = 0f32;
+        for (j, &dist) in row.iter().enumerate() {
+            let e = (-dist / scale - mx).exp();
+            t[i * n + j] = e;
+            denom += e;
+        }
+        for j in 0..n {
+            t[i * n + j] /= denom;
+        }
+    }
+    Tensor::from_vec(t, &[n, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimts_data::archives::monash_like_pool;
+    use aimts_data::generator::{DatasetSpec, PatternFamily};
+
+    fn pool() -> Vec<MultiSeries> {
+        monash_like_pool(2, 0).into_iter().take(12).collect()
+    }
+
+    #[test]
+    fn all_methods_pretrain_with_finite_loss() {
+        for m in [Method::Ts2Vec, Method::TsTcc, Method::Tnc, Method::TLoss, Method::SoftClt] {
+            let mut b = ContrastiveBaseline::new(m, BaselineConfig::tiny(), 1);
+            let loss = b.pretrain(&pool(), 1, 4, 5e-3, 0);
+            assert!(loss.is_finite(), "{} loss not finite", m.name());
+        }
+    }
+
+    #[test]
+    fn ts2vec_loss_decreases() {
+        let mut b = ContrastiveBaseline::new(Method::Ts2Vec, BaselineConfig::tiny(), 2);
+        let p = pool();
+        let first = b.pretrain(&p, 1, 4, 5e-3, 0);
+        let later = b.pretrain(&p, 3, 4, 5e-3, 1);
+        assert!(later < first, "loss did not decrease: {first} -> {later}");
+    }
+
+    #[test]
+    fn views_preserve_shape() {
+        let b = ContrastiveBaseline::new(Method::Tnc, BaselineConfig::tiny(), 3);
+        let s: MultiSeries = vec![(0..32).map(|i| i as f32).collect(), vec![1.0; 32]];
+        let mut rng = StdRng::seed_from_u64(0);
+        let (a, c) = b.make_views(&s, &mut rng);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].len(), 32);
+        assert_eq!(c[0].len(), 32);
+    }
+
+    #[test]
+    fn soft_targets_rows_normalized_and_diag_dominant() {
+        let a: MultiSeries = vec![vec![0.0; 16]];
+        let b: MultiSeries = vec![(0..16).map(|i| i as f32).collect()];
+        let c: MultiSeries = vec![vec![0.1; 16]];
+        let t = super::soft_targets(&[&a, &b, &c]);
+        let v = t.to_vec();
+        for i in 0..3 {
+            let row: f32 = v[i * 3..(i + 1) * 3].iter().sum();
+            assert!((row - 1.0).abs() < 1e-5);
+            for j in 0..3 {
+                assert!(v[i * 3 + i] >= v[i * 3 + j], "diagonal must dominate");
+            }
+        }
+        // a is closer to c than to b: weight(a,b) < weight(a,c).
+        assert!(v[1] < v[2], "d(a,b) > d(a,c) should give smaller weight");
+    }
+
+    #[test]
+    fn fine_tune_end_to_end() {
+        let mut b = ContrastiveBaseline::new(Method::TsTcc, BaselineConfig::tiny(), 4);
+        b.pretrain(&pool(), 1, 4, 5e-3, 0);
+        let ds = DatasetSpec {
+            n_classes: 2,
+            noise: 0.05,
+            length: 48,
+            ..DatasetSpec::new("t", PatternFamily::SineFreq, 7)
+        }
+        .generate();
+        let tuned = b.fine_tune(&ds, &FineTuneConfig { epochs: 5, ..Default::default() });
+        let acc = tuned.evaluate(&ds.test);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn fine_tune_does_not_mutate_baseline() {
+        let b = ContrastiveBaseline::new(Method::TLoss, BaselineConfig::tiny(), 5);
+        let before = b.encoder.parameters()[0].to_vec();
+        let ds = DatasetSpec::new("t", PatternFamily::SinePhase, 8).generate();
+        let _ = b.fine_tune(&ds, &FineTuneConfig { epochs: 2, ..Default::default() });
+        assert_eq!(before, b.encoder.parameters()[0].to_vec());
+    }
+}

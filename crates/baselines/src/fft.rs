@@ -1,0 +1,112 @@
+//! A small radix-2 FFT used by the TF-C baseline's frequency view.
+
+use std::f32::consts::PI;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT over complex pairs
+/// `(re, im)`. Length must be a power of two.
+pub fn fft_inplace(re: &mut [f32], im: &mut [f32]) {
+    let n = re.len();
+    assert_eq!(n, im.len());
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f32;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut cur_r = 1.0f32;
+            let mut cur_i = 0.0f32;
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = start + k + len / 2;
+                let tr = re[b] * cur_r - im[b] * cur_i;
+                let ti = re[b] * cur_i + im[b] * cur_r;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let nr = cur_r * wr - cur_i * wi;
+                cur_i = cur_r * wi + cur_i * wr;
+                cur_r = nr;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Magnitude spectrum of a real series: zero-pad to the next power of two,
+/// FFT, return the first half's magnitudes (length `next_pow2 / 2`).
+pub fn magnitude_spectrum(x: &[f32]) -> Vec<f32> {
+    assert!(!x.is_empty());
+    let n = x.len().next_power_of_two().max(2);
+    let mut re = vec![0f32; n];
+    let mut im = vec![0f32; n];
+    re[..x.len()].copy_from_slice(x);
+    fft_inplace(&mut re, &mut im);
+    (0..n / 2).map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt() / n as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![0f32; 8];
+        x[0] = 1.0;
+        let s = magnitude_spectrum(&x);
+        assert_eq!(s.len(), 4);
+        assert!(s.iter().all(|&v| (v - 1.0 / 8.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_its_frequency() {
+        let n = 64;
+        let freq = 5;
+        let x: Vec<f32> =
+            (0..n).map(|t| (2.0 * PI * freq as f32 * t as f32 / n as f32).sin()).collect();
+        let s = magnitude_spectrum(&x);
+        let argmax = s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(argmax, freq);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let x: Vec<f32> = (0..32).map(|t| ((t * 7) % 5) as f32 - 2.0).collect();
+        let mut re = x.clone();
+        let mut im = vec![0f32; 32];
+        fft_inplace(&mut re, &mut im);
+        let time_energy: f32 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f32 =
+            re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f32>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-2 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn non_power_of_two_input_padded() {
+        let x = vec![1.0f32; 10];
+        let s = magnitude_spectrum(&x);
+        assert_eq!(s.len(), 8); // padded to 16.
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_odd_length() {
+        let mut re = vec![0f32; 6];
+        let mut im = vec![0f32; 6];
+        fft_inplace(&mut re, &mut im);
+    }
+}

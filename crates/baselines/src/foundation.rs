@@ -1,0 +1,251 @@
+//! Foundation-model stand-ins for the multi-source adaptation paradigm
+//! (paper Table IV/V competitors):
+//!
+//! * [`MomentLike`] — masked-reconstruction pre-training in the spirit of
+//!   MOMENT (Goswami et al. 2024): random contiguous spans of each series
+//!   are zeroed and a decoder reconstructs them from the pooled encoder
+//!   representation. Scaled down: the decoder is a linear map from the
+//!   pooled representation back to the series.
+//! * [`UnitsLike`] — supervised multi-task pre-training in the spirit of
+//!   UniTS (Gao et al. 2024): one shared encoder with one classification
+//!   head per pre-training dataset, trained jointly on labeled sources.
+
+use aimts::batch::{batch_indices, encode_channel_independent, samples_to_tensor};
+use aimts::{copy_parameters, FineTuned, FineTuneConfig, TsEncoder};
+use aimts_data::preprocess::{resample_sample, z_normalize_sample};
+use aimts_data::{Dataset, MultiSeries};
+use aimts_nn::{Adam, Linear, Module, Optimizer};
+use aimts_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shared encoder settings for the foundation stand-ins.
+#[derive(Debug, Clone)]
+pub struct FoundationConfig {
+    pub hidden: usize,
+    pub repr_dim: usize,
+    pub dilations: Vec<usize>,
+    pub pretrain_len: usize,
+}
+
+impl Default for FoundationConfig {
+    fn default() -> Self {
+        FoundationConfig { hidden: 32, repr_dim: 64, dilations: vec![1, 2, 4], pretrain_len: 64 }
+    }
+}
+
+impl FoundationConfig {
+    pub fn tiny() -> Self {
+        FoundationConfig { hidden: 8, repr_dim: 16, dilations: vec![1, 2], pretrain_len: 32 }
+    }
+}
+
+/// Masked-reconstruction foundation model (MOMENT-like).
+pub struct MomentLike {
+    pub cfg: FoundationConfig,
+    pub encoder: TsEncoder,
+    decoder: Linear,
+    seed: u64,
+}
+
+impl MomentLike {
+    pub fn new(cfg: FoundationConfig, seed: u64) -> Self {
+        let encoder = TsEncoder::new(cfg.hidden, cfg.repr_dim, &cfg.dilations, seed);
+        let decoder = Linear::new(cfg.repr_dim, cfg.pretrain_len, true, seed.wrapping_add(42));
+        MomentLike { cfg, encoder, decoder, seed }
+    }
+
+    /// Pre-train by reconstructing masked spans; returns final mean MSE.
+    pub fn pretrain(
+        &mut self,
+        pool: &[MultiSeries],
+        epochs: usize,
+        batch_size: usize,
+        lr: f32,
+        seed: u64,
+    ) -> f32 {
+        // Channel-independent: every variable becomes its own row.
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        for s in pool {
+            let mut v = resample_sample(s, self.cfg.pretrain_len);
+            z_normalize_sample(&mut v);
+            rows.extend(v);
+        }
+        assert!(rows.len() >= 2, "pool too small");
+        let t = self.cfg.pretrain_len;
+        let mut params = self.encoder.parameters();
+        params.extend(self.decoder.parameters());
+        let mut opt = Adam::new(params, lr);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut last = f32::NAN;
+        for _ in 0..epochs {
+            let mut total = 0f32;
+            let mut nb = 0usize;
+            for batch in batch_indices(rows.len(), batch_size, &mut rng) {
+                let b = batch.len();
+                let mut data = Vec::with_capacity(b * t);
+                let mut target = Vec::with_capacity(b * t);
+                let mut mask = Vec::with_capacity(b * t);
+                for &i in &batch {
+                    let row = &rows[i];
+                    // Mask a contiguous span of ~25%.
+                    let w = (t / 4).max(1);
+                    let start = rng.gen_range(0..=t - w);
+                    for (j, &v) in row.iter().enumerate() {
+                        let masked = j >= start && j < start + w;
+                        data.push(if masked { 0.0 } else { v });
+                        target.push(v);
+                        mask.push(if masked { 1.0 } else { 0.0 });
+                    }
+                }
+                let x = Tensor::from_vec(data, &[b, 1, t]);
+                let y = Tensor::from_vec(target, &[b, t]);
+                let m = Tensor::from_vec(mask, &[b, t]);
+                let repr = self.encoder.encode_rows(&x);
+                let recon = self.decoder.forward(&repr); // [b, t]
+                let masked_count = m.to_vec().iter().sum::<f32>().max(1.0);
+                let loss =
+                    recon.sub(&y).square().mul(&m).sum_all().div_scalar(masked_count);
+                opt.zero_grad();
+                loss.backward();
+                opt.step();
+                total += loss.item();
+                nb += 1;
+            }
+            last = total / nb.max(1) as f32;
+        }
+        last
+    }
+
+    /// Fine-tune a copy of the encoder on a target dataset.
+    pub fn fine_tune(&self, ds: &Dataset, fcfg: &FineTuneConfig) -> FineTuned {
+        let fresh =
+            TsEncoder::new(self.cfg.hidden, self.cfg.repr_dim, &self.cfg.dilations, self.seed);
+        copy_parameters(&self.encoder, &fresh);
+        FineTuned::from_encoder(fresh, self.cfg.repr_dim, ds, fcfg)
+    }
+}
+
+/// Supervised multi-task foundation model (UniTS-like).
+pub struct UnitsLike {
+    pub cfg: FoundationConfig,
+    pub encoder: TsEncoder,
+    seed: u64,
+}
+
+impl UnitsLike {
+    pub fn new(cfg: FoundationConfig, seed: u64) -> Self {
+        let encoder = TsEncoder::new(cfg.hidden, cfg.repr_dim, &cfg.dilations, seed);
+        UnitsLike { cfg, encoder, seed }
+    }
+
+    /// Jointly train the shared encoder with per-dataset heads on labeled
+    /// sources; returns the final mean cross-entropy.
+    pub fn pretrain(
+        &mut self,
+        sources: &[&Dataset],
+        epochs: usize,
+        batch_size: usize,
+        lr: f32,
+        seed: u64,
+    ) -> f32 {
+        assert!(!sources.is_empty());
+        let heads: Vec<Linear> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                Linear::new(self.cfg.repr_dim, d.n_classes, true, seed.wrapping_add(i as u64))
+            })
+            .collect();
+        // Prepared per-source training data.
+        let prepared: Vec<Vec<MultiSeries>> = sources
+            .iter()
+            .map(|d| {
+                d.train
+                    .samples
+                    .iter()
+                    .map(|s| {
+                        let mut v = resample_sample(&s.vars, self.cfg.pretrain_len);
+                        z_normalize_sample(&mut v);
+                        v
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut params = self.encoder.parameters();
+        for h in &heads {
+            params.extend(h.parameters());
+        }
+        let mut opt = Adam::new(params, lr);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut last = f32::NAN;
+        for _ in 0..epochs {
+            let mut total = 0f32;
+            let mut nb = 0usize;
+            for (di, d) in sources.iter().enumerate() {
+                let labels = d.train.labels();
+                for batch in batch_indices(prepared[di].len(), batch_size, &mut rng) {
+                    let samples: Vec<&MultiSeries> =
+                        batch.iter().map(|&i| &prepared[di][i]).collect();
+                    let targets: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
+                    let x = samples_to_tensor(&samples);
+                    let repr = encode_channel_independent(&self.encoder, &x);
+                    let loss = heads[di].forward(&repr).cross_entropy(&targets);
+                    opt.zero_grad();
+                    loss.backward();
+                    opt.step();
+                    total += loss.item();
+                    nb += 1;
+                }
+            }
+            last = total / nb.max(1) as f32;
+        }
+        last
+    }
+
+    /// Fine-tune a copy of the encoder on a target dataset.
+    pub fn fine_tune(&self, ds: &Dataset, fcfg: &FineTuneConfig) -> FineTuned {
+        let fresh =
+            TsEncoder::new(self.cfg.hidden, self.cfg.repr_dim, &self.cfg.dilations, self.seed);
+        copy_parameters(&self.encoder, &fresh);
+        FineTuned::from_encoder(fresh, self.cfg.repr_dim, ds, fcfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimts_data::archives::{monash_like_pool, ucr_like_archive};
+
+    #[test]
+    fn moment_like_reconstruction_loss_decreases() {
+        let mut m = MomentLike::new(FoundationConfig::tiny(), 0);
+        let pool: Vec<MultiSeries> = monash_like_pool(2, 0).into_iter().take(12).collect();
+        let first = m.pretrain(&pool, 1, 8, 5e-3, 0);
+        let later = m.pretrain(&pool, 4, 8, 5e-3, 1);
+        assert!(first.is_finite() && later.is_finite());
+        assert!(later < first, "mse did not decrease: {first} -> {later}");
+    }
+
+    #[test]
+    fn units_like_pretrains_and_finetunes() {
+        let sources = ucr_like_archive(2, 0);
+        let refs: Vec<&Dataset> = sources.iter().collect();
+        let mut u = UnitsLike::new(FoundationConfig::tiny(), 0);
+        let loss = u.pretrain(&refs, 1, 8, 5e-3, 0);
+        assert!(loss.is_finite());
+        let tuned =
+            u.fine_tune(&sources[0], &FineTuneConfig { epochs: 2, ..Default::default() });
+        let acc = tuned.evaluate(&sources[0].test);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn moment_finetune_does_not_mutate() {
+        let m = MomentLike::new(FoundationConfig::tiny(), 1);
+        let before = m.encoder.parameters()[0].to_vec();
+        let ds = &ucr_like_archive(1, 1)[0];
+        let _ = m.fine_tune(ds, &FineTuneConfig { epochs: 1, ..Default::default() });
+        assert_eq!(before, m.encoder.parameters()[0].to_vec());
+    }
+}

@@ -1,0 +1,144 @@
+//! 1-nearest-neighbour classifiers with Euclidean distance or DTW
+//! (Sakoe–Chiba band) — the classical reference points for TSC.
+
+use aimts_data::preprocess::z_normalize_sample;
+use aimts_data::{Dataset, MultiSeries, Split};
+
+/// Distance metric for [`OneNn`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Metric {
+    Euclidean,
+    /// DTW with a warping window of `band` (fraction of series length).
+    Dtw { band: f32 },
+}
+
+/// 1-NN classifier (lazy: stores the normalized training split).
+pub struct OneNn {
+    metric: Metric,
+    train: Vec<(MultiSeries, usize)>,
+}
+
+impl OneNn {
+    pub fn fit(ds: &Dataset, metric: Metric) -> Self {
+        let train = ds
+            .train
+            .samples
+            .iter()
+            .map(|s| {
+                let mut v = s.vars.clone();
+                z_normalize_sample(&mut v);
+                (v, s.label)
+            })
+            .collect();
+        OneNn { metric, train }
+    }
+
+    fn distance(&self, a: &MultiSeries, b: &MultiSeries) -> f32 {
+        assert_eq!(a.len(), b.len(), "variable count mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| match self.metric {
+                Metric::Euclidean => euclidean(x, y),
+                Metric::Dtw { band } => dtw(x, y, band),
+            })
+            .sum()
+    }
+
+    pub fn predict_one(&self, vars: &MultiSeries) -> usize {
+        let mut q = vars.clone();
+        z_normalize_sample(&mut q);
+        self.train
+            .iter()
+            .map(|(t, lab)| (self.distance(&q, t), *lab))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .map(|(_, lab)| lab)
+            .expect("empty training set")
+    }
+
+    pub fn predict(&self, split: &Split) -> Vec<usize> {
+        split.samples.iter().map(|s| self.predict_one(&s.vars)).collect()
+    }
+
+    pub fn evaluate(&self, split: &Split) -> f64 {
+        aimts_eval::accuracy(&self.predict(split), &split.labels())
+    }
+}
+
+fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    a[..n].iter().zip(&b[..n]).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+}
+
+/// Dynamic time warping with a Sakoe–Chiba band (fraction of length).
+pub fn dtw(a: &[f32], b: &[f32], band: f32) -> f32 {
+    let n = a.len();
+    let m = b.len();
+    assert!(n > 0 && m > 0);
+    let w = ((n.max(m) as f32 * band.clamp(0.0, 1.0)) as usize).max(n.abs_diff(m)).max(1);
+    let inf = f32::INFINITY;
+    let mut prev = vec![inf; m + 1];
+    let mut cur = vec![inf; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        cur.fill(inf);
+        let lo = i.saturating_sub(w).max(1);
+        let hi = (i + w).min(m);
+        for j in lo..=hi {
+            let cost = (a[i - 1] - b[j - 1]).powi(2);
+            let best = prev[j].min(cur[j - 1]).min(prev[j - 1]);
+            cur[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m].sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimts_data::generator::{DatasetSpec, PatternFamily};
+
+    #[test]
+    fn dtw_identical_is_zero() {
+        let x = vec![1.0, 2.0, 3.0, 2.0];
+        assert_eq!(dtw(&x, &x, 0.1), 0.0);
+    }
+
+    #[test]
+    fn dtw_absorbs_time_shift_better_than_euclidean() {
+        let a: Vec<f32> = (0..50).map(|i| ((i as f32) * 0.3).sin()).collect();
+        let b: Vec<f32> = (0..50).map(|i| ((i as f32 + 3.0) * 0.3).sin()).collect();
+        assert!(dtw(&a, &b, 0.2) < euclidean(&a, &b));
+    }
+
+    #[test]
+    fn dtw_handles_unequal_lengths() {
+        let a = vec![0.0, 1.0, 0.0];
+        let b = vec![0.0, 0.5, 1.0, 0.5, 0.0];
+        assert!(dtw(&a, &b, 1.0).is_finite());
+    }
+
+    #[test]
+    fn one_nn_classifies_separable_data() {
+        let ds = DatasetSpec {
+            n_classes: 2,
+            train_per_class: 10,
+            test_per_class: 10,
+            noise: 0.05,
+            ..DatasetSpec::new("nn", PatternFamily::MotifPosition, 13)
+        }
+        .generate();
+        for metric in [Metric::Euclidean, Metric::Dtw { band: 0.1 }] {
+            let clf = OneNn::fit(&ds, metric);
+            let acc = clf.evaluate(&ds.test);
+            assert!(acc >= 0.8, "{metric:?} acc {acc}");
+        }
+    }
+
+    #[test]
+    fn predictions_match_split_len() {
+        let ds = DatasetSpec::new("nn2", PatternFamily::SineFreq, 14).generate();
+        let clf = OneNn::fit(&ds, Metric::Euclidean);
+        assert_eq!(clf.predict(&ds.test).len(), ds.test.len());
+    }
+}

@@ -1,0 +1,215 @@
+//! ROCKET (Dempster et al. 2020): random convolutional kernels + PPV/max
+//! features + ridge classifier. One of the paper's classical Table II
+//! baselines; also exceptionally fast, making it the reference point for
+//! the efficiency comparison.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use aimts_data::preprocess::z_normalize;
+use aimts_data::{Dataset, MultiSeries, Split};
+
+use crate::ridge::RidgeClassifier;
+
+/// One random convolution kernel.
+#[derive(Debug, Clone)]
+struct Kernel {
+    weights: Vec<f32>,
+    bias: f32,
+    dilation: usize,
+    padding: bool,
+}
+
+/// The random-kernel transform.
+#[derive(Debug, Clone)]
+pub struct Rocket {
+    kernels: Vec<Kernel>,
+}
+
+impl Rocket {
+    /// Sample `n_kernels` kernels as in the original paper: lengths from
+    /// {7, 9, 11}, centered N(0,1) weights, bias U(−1, 1), exponential
+    /// dilation relative to `ref_len`, padding on/off at random.
+    pub fn new(n_kernels: usize, ref_len: usize, seed: u64) -> Self {
+        assert!(n_kernels >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kernels = (0..n_kernels)
+            .map(|_| {
+                let len = [7usize, 9, 11][rng.gen_range(0..3)];
+                let mut weights: Vec<f32> = (0..len)
+                    .map(|_| {
+                        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                        let u2: f32 = rng.gen_range(0.0..1.0);
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+                    })
+                    .collect();
+                let mean = weights.iter().sum::<f32>() / len as f32;
+                weights.iter_mut().for_each(|w| *w -= mean);
+                let max_exp = ((ref_len.max(len + 1) - 1) as f32 / (len - 1) as f32).log2();
+                let dilation = 2f32.powf(rng.gen_range(0.0..max_exp.max(0.01))) as usize;
+                Kernel {
+                    weights,
+                    bias: rng.gen_range(-1.0..1.0),
+                    dilation: dilation.max(1),
+                    padding: rng.gen_bool(0.5),
+                }
+            })
+            .collect();
+        Rocket { kernels }
+    }
+
+    /// Number of features produced per series (2 per kernel: PPV + max).
+    pub fn n_features(&self) -> usize {
+        2 * self.kernels.len()
+    }
+
+    /// Transform one univariate series into its feature vector.
+    pub fn transform_series(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.n_features());
+        for k in &self.kernels {
+            let klen = k.weights.len();
+            let span = (klen - 1) * k.dilation;
+            let pad = if k.padding { span / 2 } else { 0 };
+            let n = x.len() + 2 * pad;
+            if n <= span {
+                // Series shorter than the dilated kernel: neutral features.
+                out.push(0.0);
+                out.push(k.bias);
+                continue;
+            }
+            let mut ppv = 0usize;
+            let mut mx = f32::NEG_INFINITY;
+            let count = n - span;
+            for start in 0..count {
+                let mut acc = k.bias;
+                for (wi, &w) in k.weights.iter().enumerate() {
+                    let pos = start + wi * k.dilation;
+                    if pos >= pad && pos - pad < x.len() {
+                        acc += w * x[pos - pad];
+                    }
+                }
+                if acc > 0.0 {
+                    ppv += 1;
+                }
+                mx = mx.max(acc);
+            }
+            out.push(ppv as f32 / count as f32);
+            out.push(mx);
+        }
+        out
+    }
+
+    /// Transform a multivariate sample: per-variable features averaged
+    /// (simple multivariate extension; the original is univariate).
+    pub fn transform_sample(&self, vars: &MultiSeries) -> Vec<f32> {
+        let mut acc = vec![0f32; self.n_features()];
+        for v in vars {
+            let mut z = v.clone();
+            z_normalize(&mut z);
+            for (a, f) in acc.iter_mut().zip(self.transform_series(&z)) {
+                *a += f;
+            }
+        }
+        let m = vars.len() as f32;
+        acc.iter_mut().for_each(|a| *a /= m);
+        acc
+    }
+}
+
+/// ROCKET transform + ridge classifier, fitted case-by-case.
+pub struct RocketClassifier {
+    pub rocket: Rocket,
+    ridge: Option<RidgeClassifier>,
+}
+
+impl RocketClassifier {
+    pub fn new(n_kernels: usize, ref_len: usize, seed: u64) -> Self {
+        RocketClassifier { rocket: Rocket::new(n_kernels, ref_len, seed), ridge: None }
+    }
+
+    /// Fit the ridge head on the dataset's training split.
+    pub fn fit(&mut self, ds: &Dataset) {
+        let feats: Vec<Vec<f32>> =
+            ds.train.samples.iter().map(|s| self.rocket.transform_sample(&s.vars)).collect();
+        self.ridge = Some(RidgeClassifier::fit(&feats, &ds.train.labels(), ds.n_classes, 1.0));
+    }
+
+    /// Predict labels for a split.
+    pub fn predict(&self, split: &Split) -> Vec<usize> {
+        let ridge = self.ridge.as_ref().expect("call fit() before predict()");
+        split
+            .samples
+            .iter()
+            .map(|s| ridge.predict(&self.rocket.transform_sample(&s.vars)))
+            .collect()
+    }
+
+    /// Accuracy on a split.
+    pub fn evaluate(&self, split: &Split) -> f64 {
+        aimts_eval::accuracy(&self.predict(split), &split.labels())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimts_data::generator::{DatasetSpec, PatternFamily};
+
+    #[test]
+    fn feature_count_and_ranges() {
+        let r = Rocket::new(20, 100, 0);
+        assert_eq!(r.n_features(), 40);
+        let x: Vec<f32> = (0..100).map(|i| (i as f32 * 0.1).sin()).collect();
+        let f = r.transform_series(&x);
+        assert_eq!(f.len(), 40);
+        // PPV features at even indices in [0, 1].
+        for i in (0..40).step_by(2) {
+            assert!((0.0..=1.0).contains(&f[i]), "ppv {}", f[i]);
+        }
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        let a = Rocket::new(10, 50, 3).transform_series(&x);
+        let b = Rocket::new(10, 50, 3).transform_series(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn classifies_separable_dataset_well() {
+        let ds = DatasetSpec {
+            n_classes: 2,
+            train_per_class: 15,
+            test_per_class: 15,
+            noise: 0.05,
+            length: 64,
+            ..DatasetSpec::new("r", PatternFamily::SineFreq, 11)
+        }
+        .generate();
+        let mut clf = RocketClassifier::new(100, 64, 0);
+        clf.fit(&ds);
+        let acc = clf.evaluate(&ds.test);
+        assert!(acc >= 0.9, "rocket should nail sine frequencies, got {acc}");
+    }
+
+    #[test]
+    fn handles_short_series() {
+        let r = Rocket::new(10, 100, 0);
+        let f = r.transform_series(&[1.0, 2.0, 3.0]);
+        assert_eq!(f.len(), 20);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn multivariate_transform_averages() {
+        let r = Rocket::new(5, 32, 0);
+        let v: Vec<f32> = (0..32).map(|i| (i as f32 * 0.3).sin()).collect();
+        let same = r.transform_sample(&vec![v.clone(), v.clone()]);
+        let single = r.transform_sample(&vec![v]);
+        for (a, b) in same.iter().zip(&single) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

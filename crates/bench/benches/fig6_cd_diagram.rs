@@ -1,0 +1,92 @@
+//! Fig. 6 — critical-difference diagrams (Nemenyi test, 95% confidence)
+//! over the Table I accuracy matrices. Reads `bench_results/
+//! table1_repr_learning.json` when present (run that bench first for the
+//! full picture); otherwise regenerates a reduced matrix in-process.
+
+use aimts_bench::harness::{banner, record_results, Scale};
+use aimts_bench::memprof::CountingAllocator;
+use aimts_bench::runners::{baseline_case_by_case, finetune_eval_aimts, pretrain_aimts};
+use aimts_baselines::Method;
+use aimts_data::archives::{monash_like_pool, ucr_like_archive, uea_like_archive};
+use aimts_eval::{render_cd_diagram, CdAnalysis};
+use serde::Serialize;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+const METHODS: [&str; 5] = ["AimTS", "TS2Vec", "TS-TCC", "TNC", "T-Loss"];
+
+#[derive(Serialize)]
+struct Payload {
+    methods: Vec<String>,
+    ucr_avg_ranks: Vec<f64>,
+    uea_avg_ranks: Vec<f64>,
+    ucr_cd: f64,
+    uea_cd: f64,
+    ucr_friedman_p: f64,
+    uea_friedman_p: f64,
+}
+
+fn matrix_from_json(v: &serde_json::Value, key: &str) -> Option<Vec<Vec<f64>>> {
+    let rows = v.get(key)?.as_array()?;
+    let mut out = Vec::new();
+    for r in rows {
+        let accs = r.as_array()?.get(1)?.as_array()?;
+        out.push(accs.iter().filter_map(|x| x.as_f64()).collect());
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+fn main() {
+    banner("fig6_cd_diagram", "Paper Fig. 6", "CD diagrams over the Table I matrices");
+    let scale = Scale::from_env();
+    let path = aimts_bench::harness::results_dir().join("table1_repr_learning.json");
+    let (ucr_m, uea_m) = match std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .and_then(|v| {
+            Some((matrix_from_json(&v, "ucr_rows")?, matrix_from_json(&v, "uea_rows")?))
+        }) {
+        Some(m) => {
+            println!("using recorded Table I matrices from {}", path.display());
+            m
+        }
+        None => {
+            println!("no recorded Table I results; regenerating a reduced matrix");
+            let pool = monash_like_pool(scale.pool_per_source(), 0);
+            let model = pretrain_aimts(&pool, scale, 3407);
+            let run = |suite: Vec<aimts_data::Dataset>| -> Vec<Vec<f64>> {
+                suite
+                    .iter()
+                    .map(|ds| {
+                        let mut row = vec![finetune_eval_aimts(&model, ds, scale)];
+                        for m in [Method::Ts2Vec, Method::TsTcc, Method::Tnc, Method::TLoss] {
+                            row.push(baseline_case_by_case(m, ds, scale, 100));
+                        }
+                        row
+                    })
+                    .collect()
+            };
+            (run(ucr_like_archive(4, 42)), run(uea_like_archive(3, 42)))
+        }
+    };
+
+    let ucr = CdAnalysis::new(&METHODS, &ucr_m);
+    let uea = CdAnalysis::new(&METHODS, &uea_m);
+    println!("\n--- UCR-like archive ---\n{}", render_cd_diagram(&ucr));
+    println!("--- UEA-like archive ---\n{}", render_cd_diagram(&uea));
+    println!("paper Fig. 6: AimTS holds the best (lowest) average rank on both archives.");
+
+    record_results(
+        "fig6_cd_diagram",
+        &Payload {
+            methods: METHODS.iter().map(|s| s.to_string()).collect(),
+            ucr_avg_ranks: ucr.avg_ranks.clone(),
+            uea_avg_ranks: uea.avg_ranks.clone(),
+            ucr_cd: ucr.critical_difference,
+            uea_cd: uea.critical_difference,
+            ucr_friedman_p: ucr.p_value,
+            uea_friedman_p: uea.p_value,
+        },
+    );
+}

@@ -1,0 +1,108 @@
+//! Fig. 8(a)(b)(c) — scalability of fine-tuning memory and total time
+//! with respect to data size, series length, and model parameters, on the
+//! SleepEEG-like dataset. The paper reports linear scaling in data size
+//! and length, and moderate growth in parameters.
+
+use aimts::{AimTs, AimTsConfig, FineTuneConfig};
+use aimts_bench::harness::{banner, record_results, time_it, Scale};
+use aimts_bench::memprof::{peak_bytes, reset_peak, CountingAllocator};
+use aimts_bench::runners::bench_aimts_config;
+use aimts_data::special::sleepeeg_like;
+use serde::Serialize;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[derive(Serialize)]
+struct Point {
+    x: f64,
+    peak_mb: f64,
+    secs: f64,
+}
+
+#[derive(Serialize)]
+struct Payload {
+    data_size: Vec<Point>,
+    length: Vec<Point>,
+    params: Vec<Point>,
+    paper_note: String,
+}
+
+fn measure(model: &AimTs, ds: &aimts_data::Dataset, epochs: usize) -> (f64, f64) {
+    reset_peak();
+    let ((), secs) = time_it(|| {
+        let fcfg = FineTuneConfig { epochs, batch_size: 8, ..Default::default() };
+        let tuned = model.fine_tune(ds, &fcfg);
+        let _ = tuned.evaluate(&ds.test);
+    });
+    (peak_bytes() as f64 / 1e6, secs)
+}
+
+fn main() {
+    banner(
+        "fig8_scalability",
+        "Paper Fig. 8(a)(b)(c)",
+        "fine-tuning memory/time vs data size, series length, parameter count (SleepEEG-like)",
+    );
+    let _ = Scale::from_env();
+    let epochs = 3;
+    let model = AimTs::new(bench_aimts_config(), 3407);
+
+    // (a) data size, fixed length.
+    let mut data_size = Vec::new();
+    println!("-- (a) data size (length fixed at 256) --");
+    for &per_class in &[8usize, 16, 32] {
+        let ds = sleepeeg_like(256, per_class, 1);
+        let (mb, secs) = measure(&model, &ds, epochs);
+        let n = ds.train.len();
+        println!("train {n:>4} samples: peak {mb:>8.1} MB  time {secs:>7.2}s");
+        data_size.push(Point { x: n as f64, peak_mb: mb, secs });
+    }
+
+    // (b) series length, fixed data size.
+    let mut length = Vec::new();
+    println!("-- (b) series length (120 train samples) --");
+    for &len in &[128usize, 256, 512] {
+        let ds = sleepeeg_like(len, 24, 2);
+        let (mb, secs) = measure(&model, &ds, epochs);
+        println!("length {len:>5}: peak {mb:>8.1} MB  time {secs:>7.2}s");
+        length.push(Point { x: len as f64, peak_mb: mb, secs });
+    }
+
+    // (c) model parameters, fixed data.
+    let mut params = Vec::new();
+    println!("-- (c) model parameters --");
+    for &hidden in &[8usize, 16, 32] {
+        let cfg = AimTsConfig { hidden, repr_dim: hidden * 2, ..bench_aimts_config() };
+        let m = AimTs::new(cfg, 3407);
+        let n_params = m.num_parameters();
+        let ds = sleepeeg_like(256, 12, 3);
+        let (mb, secs) = measure(&m, &ds, epochs);
+        println!("params {n_params:>8}: peak {mb:>8.1} MB  time {secs:>7.2}s");
+        params.push(Point { x: n_params as f64, peak_mb: mb, secs });
+    }
+
+    // Shape check: ratio of consecutive times should approximate the ratio
+    // of the swept factor (linearity).
+    let lin = |pts: &[Point]| -> f64 {
+        let t_ratio = pts[pts.len() - 1].secs / pts[0].secs.max(1e-9);
+        let x_ratio = pts[pts.len() - 1].x / pts[0].x;
+        t_ratio / x_ratio
+    };
+    println!(
+        "\nlinearity (time-ratio / factor-ratio, 1.0 = perfectly linear): data {:.2}, length {:.2}, params {:.2}",
+        lin(&data_size),
+        lin(&length),
+        lin(&params)
+    );
+    println!("paper Fig. 8a-c: linear growth in data size and length; moderate growth in params.");
+    record_results(
+        "fig8_scalability",
+        &Payload {
+            data_size,
+            length,
+            params,
+            paper_note: "paper: linear in data size & length, moderate in params".into(),
+        },
+    );
+}

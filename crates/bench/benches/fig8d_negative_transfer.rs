@@ -1,0 +1,78 @@
+//! Fig. 8(d) — the multi-source pre-training challenge: TS2Vec trained
+//! case-by-case vs TS2Vec pre-trained on a multi-source pool vs AimTS,
+//! on 5 downstream datasets. The paper shows multi-source pre-training
+//! *hurts* TS2Vec (negative transfer) while AimTS benefits from it.
+
+use aimts_bench::harness::{banner, record_results, time_it, Scale};
+use aimts_bench::memprof::CountingAllocator;
+use aimts_bench::runners::{
+    baseline_case_by_case, baseline_multi_source, finetune_eval_aimts, pretrain_aimts,
+};
+use aimts_baselines::Method;
+use aimts_data::archives::ucr_like_archive;
+use aimts_data::{Dataset, MultiSeries};
+use serde::Serialize;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[derive(Serialize)]
+struct Payload {
+    datasets: Vec<String>,
+    ts2vec_case_by_case: Vec<f64>,
+    ts2vec_multi_source: Vec<f64>,
+    aimts: Vec<f64>,
+    paper_note: String,
+    elapsed_secs: f64,
+}
+
+fn main() {
+    banner(
+        "fig8d_negative_transfer",
+        "Paper Fig. 8(d)",
+        "TS2Vec case-by-case vs TS2Vec multi-source vs AimTS on 5 downstream datasets",
+    );
+    let scale = Scale::from_env();
+    let (payload, elapsed) = time_it(|| {
+        let suite = ucr_like_archive(5, 42);
+        let refs: Vec<&Dataset> = suite.iter().collect();
+        // Paper protocol: both multi-source models pre-train on the pooled
+        // UCR training data.
+        let pool: Vec<MultiSeries> = suite.iter().flat_map(|d| d.unlabeled_train()).collect();
+
+        let case: Vec<f64> = suite
+            .iter()
+            .map(|ds| baseline_case_by_case(Method::Ts2Vec, ds, scale, 100))
+            .collect();
+        let multi = baseline_multi_source(Method::Ts2Vec, &pool, &refs, scale, 100);
+        let model = pretrain_aimts(&pool, scale, 3407);
+        let aimts: Vec<f64> =
+            suite.iter().map(|ds| finetune_eval_aimts(&model, ds, scale)).collect();
+
+        println!("{:<26} {:>14} {:>14} {:>8}", "dataset", "TS2Vec(case)", "TS2Vec(multi)", "AimTS");
+        for (i, ds) in suite.iter().enumerate() {
+            println!("{:<26} {:>14.3} {:>14.3} {:>8.3}", ds.name, case[i], multi[i], aimts[i]);
+        }
+        let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "{:<26} {:>14.3} {:>14.3} {:>8.3}",
+            "Avg. ACC",
+            mean(&case),
+            mean(&multi),
+            mean(&aimts)
+        );
+        println!("\npaper Fig. 8d: TS2Vec multi-source < TS2Vec case-by-case (negative transfer),");
+        println!("while AimTS with the same multi-source data performs best.");
+        Payload {
+            datasets: suite.iter().map(|d| d.name.clone()).collect(),
+            ts2vec_case_by_case: case,
+            ts2vec_multi_source: multi,
+            aimts,
+            paper_note: "paper: TS2Vec degrades under multi-source pre-training; AimTS improves".into(),
+            elapsed_secs: 0.0,
+        }
+    });
+    let payload = Payload { elapsed_secs: elapsed, ..payload };
+    record_results("fig8d_negative_transfer", &payload);
+    println!("total: {elapsed:.1}s");
+}

@@ -1,0 +1,90 @@
+//! Fig. 9 — case study of semantic changes caused by data augmentation on
+//! StarLightCurves-like data: a classifier trained on the raw training
+//! split is tested on (a) the raw test set, (b) a slicing-augmented test
+//! set, and (c) the *prototype* test set (each sample replaced by the mean
+//! of its augmented views). The paper finds slicing drops accuracy while
+//! prototypes restore it.
+
+use aimts_augment::{default_bank, Augmentation};
+use aimts_bench::harness::{banner, record_results, Scale};
+use aimts_bench::memprof::CountingAllocator;
+use aimts_baselines::FcnClassifier;
+use aimts_data::special::starlight_like;
+use aimts_data::{Sample, Split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[derive(Serialize)]
+struct Payload {
+    raw_acc: f64,
+    sliced_acc: f64,
+    prototype_acc: f64,
+    paper: (f64, f64, f64),
+}
+
+/// Replace every sample by the element-wise mean of one view per bank
+/// augmentation — the time-domain prototype of Fig. 9(c).
+fn prototype_split(split: &Split, rng: &mut StdRng) -> Split {
+    let bank = default_bank();
+    Split::new(
+        split
+            .samples
+            .iter()
+            .map(|s| {
+                let t = s.vars[0].len();
+                let mut acc = vec![vec![0f32; t]; s.vars.len()];
+                for aug in &bank {
+                    let view = aug.apply_multivariate(&s.vars, rng);
+                    for (a, v) in acc.iter_mut().zip(&view) {
+                        for (x, y) in a.iter_mut().zip(v) {
+                            *x += y / bank.len() as f32;
+                        }
+                    }
+                }
+                Sample::new(acc, s.label)
+            })
+            .collect(),
+    )
+}
+
+fn augment_split(split: &Split, aug: &Augmentation, rng: &mut StdRng) -> Split {
+    Split::new(
+        split
+            .samples
+            .iter()
+            .map(|s| Sample::new(aug.apply_multivariate(&s.vars, rng), s.label))
+            .collect(),
+    )
+}
+
+fn main() {
+    banner(
+        "fig9_semantic_case",
+        "Paper Fig. 9",
+        "slicing changes test-sample semantics; prototypes restore them (StarLightCurves-like)",
+    );
+    let scale = Scale::from_env();
+    let ds = starlight_like(9);
+    let mut clf = FcnClassifier::new(ds.n_vars(), 16, ds.n_classes, 0);
+    clf.fit(&ds, scale.finetune_epochs(), 8, 1e-2, 0);
+
+    let mut rng = StdRng::seed_from_u64(3407);
+    let raw_acc = clf.evaluate(&ds.test);
+    let sliced = augment_split(&ds.test, &Augmentation::Slicing { ratio: 0.5 }, &mut rng);
+    let sliced_acc = clf.evaluate(&sliced);
+    let proto = prototype_split(&ds.test, &mut rng);
+    let prototype_acc = clf.evaluate(&proto);
+
+    println!("(a) raw test set        accuracy {raw_acc:.3}   (paper 0.97)");
+    println!("(b) sliced test set     accuracy {sliced_acc:.3}   (paper 0.88)");
+    println!("(c) prototype test set  accuracy {prototype_acc:.3}   (paper 0.95)");
+    println!("\nshape check: sliced < prototype <= raw (slicing shifts semantics; prototypes restore them).");
+    record_results(
+        "fig9_semantic_case",
+        &Payload { raw_acc, sliced_acc, prototype_acc, paper: (0.97, 0.88, 0.95) },
+    );
+}

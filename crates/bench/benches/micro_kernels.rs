@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the computational kernels behind the
+//! experiments: augmentation bank, line-chart rasterization, TS-encoder
+//! forward/backward, geodesic mixup + contrastive losses, the ROCKET
+//! transform, and DTW.
+
+use aimts::losses::{inter_prototype_loss, series_image_naive};
+use aimts::mixup::geodesic_mixup;
+use aimts::TsEncoder;
+use aimts_nn::Module;
+use aimts_augment::default_bank;
+use aimts_baselines::nn1::dtw;
+use aimts_baselines::Rocket;
+use aimts_imaging::{render_sample, ImageConfig};
+use aimts_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn series(n: usize) -> Vec<f32> {
+    (0..n).map(|i| (i as f32 * 0.17).sin()).collect()
+}
+
+fn bench_augmentations(c: &mut Criterion) {
+    let x = series(128);
+    let mut g = c.benchmark_group("augment");
+    for aug in default_bank() {
+        g.bench_function(aug.name(), |b| {
+            let mut rng = StdRng::seed_from_u64(0);
+            b.iter(|| black_box(aug.apply(black_box(&x), &mut rng)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_imaging(c: &mut Criterion) {
+    let vars = vec![series(128)];
+    let cfg = ImageConfig::default();
+    c.bench_function("imaging/render_64px", |b| {
+        b.iter(|| black_box(render_sample(black_box(&vars), &cfg)))
+    });
+    let multi: Vec<Vec<f32>> = (0..4).map(|_| series(128)).collect();
+    c.bench_function("imaging/render_4var", |b| {
+        b.iter(|| black_box(render_sample(black_box(&multi), &cfg)))
+    });
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    let enc = TsEncoder::new(16, 32, &[1, 2, 4], 0);
+    let x = Tensor::randn(&[8, 1, 128], 1);
+    c.bench_function("encoder/forward_b8_l128", |b| {
+        b.iter(|| aimts_tensor::no_grad(|| black_box(enc.encode_rows(black_box(&x)))))
+    });
+    c.bench_function("encoder/forward_backward_b8_l128", |b| {
+        b.iter(|| {
+            let y = enc.encode_rows(black_box(&x));
+            y.square().sum_all().backward();
+            enc.parameters().iter().for_each(|p| p.zero_grad());
+        })
+    });
+}
+
+fn bench_losses(c: &mut Criterion) {
+    let u = Tensor::randn(&[16, 32], 1).l2_normalize(1);
+    let v = Tensor::randn(&[16, 32], 2).l2_normalize(1);
+    c.bench_function("loss/series_image_naive_b16", |b| {
+        b.iter(|| black_box(series_image_naive(black_box(&u), black_box(&v), 0.2)))
+    });
+    c.bench_function("loss/inter_prototype_b16", |b| {
+        b.iter(|| black_box(inter_prototype_loss(black_box(&u), black_box(&v), 0.2)))
+    });
+    let lambdas: Vec<f32> = (0..16).map(|i| i as f32 / 16.0).collect();
+    c.bench_function("loss/geodesic_mixup_b16", |b| {
+        b.iter(|| black_box(geodesic_mixup(black_box(&u), black_box(&v), &lambdas)))
+    });
+}
+
+fn bench_classical(c: &mut Criterion) {
+    let rocket = Rocket::new(100, 128, 0);
+    let x = series(128);
+    c.bench_function("rocket/transform_100k_l128", |b| {
+        b.iter(|| black_box(rocket.transform_series(black_box(&x))))
+    });
+    let a = series(128);
+    let bb = series(128);
+    c.bench_function("dtw/l128_band10", |b| {
+        b.iter(|| black_box(dtw(black_box(&a), black_box(&bb), 0.1)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_augmentations,
+    bench_imaging,
+    bench_encoder,
+    bench_losses,
+    bench_classical
+);
+criterion_main!(benches);

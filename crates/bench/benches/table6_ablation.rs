@@ -1,0 +1,85 @@
+//! Table VI — ablation study: pre-train with individual loss components
+//! and compare downstream UCR-like accuracy.
+//!
+//! Rows match the paper: inter-prototype only; full prototype-based
+//! (inter + intra); naive series-image only; full series-image (naive +
+//! geodesic mixup); full AimTS.
+
+use aimts::config::Ablation;
+use aimts::AimTs;
+use aimts_bench::harness::{banner, record_results, time_it, Scale};
+use aimts_bench::memprof::CountingAllocator;
+use aimts_bench::runners::{
+    bench_aimts_config, bench_finetune_config, bench_pretrain_config,
+};
+use aimts_data::archives::{monash_like_pool, ucr_like_archive};
+use serde::Serialize;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[derive(Serialize)]
+struct Payload {
+    variants: Vec<String>,
+    avg_acc: Vec<f64>,
+    paper_avg_acc: Vec<f64>,
+    per_dataset: Vec<Vec<f64>>,
+    elapsed_secs: f64,
+}
+
+fn main() {
+    banner(
+        "table6_ablation",
+        "Paper Table VI",
+        "loss-component ablations, pre-train on Monash-like, evaluate on UCR-like",
+    );
+    let scale = Scale::from_env();
+    let (payload, elapsed) = time_it(|| {
+        let variants: Vec<(&str, Ablation, f64)> = vec![
+            ("inter-prototype only", Ablation::inter_only(), 0.851),
+            ("prototype-based (inter+intra)", Ablation::proto_only(), 0.858),
+            ("naive series-image only", Ablation::si_naive_only(), 0.858),
+            ("series-image (naive+mixup)", Ablation::si_only(), 0.865),
+            ("full AimTS", Ablation::default(), 0.870),
+        ];
+        let pool = monash_like_pool(scale.pool_per_source(), 0);
+        let datasets = ucr_like_archive(scale.n_ucr(), 42);
+        let fcfg = bench_finetune_config(scale);
+        // Ablation variants cannot share a cache (each pre-trains its own
+        // losses); use a reduced epoch budget to keep the sweep tractable.
+        let mut pcfg = bench_pretrain_config(scale);
+        pcfg.epochs = (pcfg.epochs / 2).max(1);
+
+        let mut names = Vec::new();
+        let mut avg = Vec::new();
+        let mut paper = Vec::new();
+        let mut per_ds = Vec::new();
+        for (name, ablation, paper_acc) in variants {
+            eprintln!("  variant: {name}");
+            let cfg = aimts::AimTsConfig { ablation, ..bench_aimts_config() };
+            let mut model = AimTs::new(cfg, 3407);
+            model.pretrain(&pool, &pcfg);
+            let accs: Vec<f64> = datasets
+                .iter()
+                .map(|ds| model.fine_tune(ds, &fcfg).evaluate(&ds.test))
+                .collect();
+            let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+            println!("{name:<34} Avg.ACC {mean:.3}   (paper: {paper_acc:.3})");
+            names.push(name.to_string());
+            avg.push(mean);
+            paper.push(paper_acc);
+            per_ds.push(accs);
+        }
+        println!("\nshape check (paper): full AimTS >= series-image >= prototype-based >= inter-only.");
+        Payload {
+            variants: names,
+            avg_acc: avg,
+            paper_avg_acc: paper,
+            per_dataset: per_ds,
+            elapsed_secs: 0.0,
+        }
+    });
+    let payload = Payload { elapsed_secs: elapsed, ..payload };
+    record_results("table6_ablation", &payload);
+    println!("total: {elapsed:.1}s");
+}

@@ -1,0 +1,81 @@
+//! Table VII — effect of the pre-training corpus: Monash-like vs the
+//! UCR-like training pool vs the UEA-like training pool, each evaluated
+//! on both downstream archives.
+
+use aimts_bench::harness::{banner, record_results, time_it, Scale};
+use aimts_bench::memprof::CountingAllocator;
+use aimts_bench::runners::{bench_finetune_config, finetune_eval_aimts, pretrain_aimts};
+use aimts_data::archives::{monash_like_pool, ucr_like_archive, uea_like_archive};
+use aimts_data::{Dataset, MultiSeries};
+use serde::Serialize;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[derive(Serialize)]
+struct Payload {
+    pools: Vec<String>,
+    ucr_avg_acc: Vec<f64>,
+    uea_avg_acc: Vec<f64>,
+    paper_ucr: Vec<f64>,
+    paper_uea: Vec<f64>,
+    elapsed_secs: f64,
+}
+
+fn main() {
+    banner(
+        "table7_pretrain_source",
+        "Paper Table VII",
+        "pre-training corpus comparison: Monash-like vs UCR-train vs UEA-train pools",
+    );
+    let scale = Scale::from_env();
+    let (payload, elapsed) = time_it(|| {
+        let ucr = ucr_like_archive(scale.n_ucr(), 42);
+        let uea = uea_like_archive(scale.n_uea(), 42);
+
+        // Pool 1: out-of-domain Monash-like. Pools 2/3: the *downstream*
+        // archives' own unlabeled training data (the paper's in-domain
+        // setting that "reaffirms Paradigm 3").
+        let monash = monash_like_pool(scale.pool_per_source(), 0);
+        let ucr_pool: Vec<MultiSeries> =
+            ucr.iter().flat_map(|d| d.unlabeled_train()).collect();
+        let uea_pool: Vec<MultiSeries> =
+            uea.iter().flat_map(|d| d.unlabeled_train()).collect();
+
+        let eval_suite = |model: &aimts::AimTs, suite: &[Dataset]| -> f64 {
+            let accs: Vec<f64> =
+                suite.iter().map(|ds| finetune_eval_aimts(model, ds, scale)).collect();
+            accs.iter().sum::<f64>() / accs.len() as f64
+        };
+        let _ = bench_finetune_config(scale);
+
+        let mut pools = Vec::new();
+        let mut ucr_acc = Vec::new();
+        let mut uea_acc = Vec::new();
+        for (name, pool) in
+            [("Monash-like", &monash), ("UCR-train", &ucr_pool), ("UEA-train", &uea_pool)]
+        {
+            eprintln!("  pre-training on {name} ({} samples)", pool.len());
+            let model = pretrain_aimts(pool, scale, 3407);
+            let a_ucr = eval_suite(&model, &ucr);
+            let a_uea = eval_suite(&model, &uea);
+            println!("pretrain={name:<12} UCR-like Avg.ACC {a_ucr:.3}   UEA-like Avg.ACC {a_uea:.3}");
+            pools.push(name.to_string());
+            ucr_acc.push(a_ucr);
+            uea_acc.push(a_uea);
+        }
+        println!("\npaper reports: UCR row 0.870/0.871/0.858 — in-domain pools help their own archive slightly;");
+        println!("all three pools produce generalizable representations (within a few points).");
+        Payload {
+            pools,
+            ucr_avg_acc: ucr_acc,
+            uea_avg_acc: uea_acc,
+            paper_ucr: vec![0.870, 0.871, 0.858],
+            paper_uea: vec![0.780, 0.774, 0.782],
+            elapsed_secs: 0.0,
+        }
+    });
+    let payload = Payload { elapsed_secs: elapsed, ..payload };
+    record_results("table7_pretrain_source", &payload);
+    println!("total: {elapsed:.1}s");
+}

@@ -1,0 +1,180 @@
+//! Adaptive augmentation selection (extension).
+//!
+//! The paper's related work (§II-B: InfoTS, AutoTCL) selects augmentations
+//! per dataset by information criteria, but notes those methods cannot
+//! handle *multi-source* pre-training — which is why AimTS aggregates all
+//! augmentations into prototypes instead. This module provides the
+//! complementary tool: an InfoTS-flavored scorer that rates each candidate
+//! augmentation on a pool by
+//!
+//! * **fidelity** — mean cosine similarity between the encoder
+//!   representation of a sample and its augmented view (semantics
+//!   preserved ⇒ high), and
+//! * **diversity** — mean normalized input-space distance between two
+//!   independent draws of the augmentation on the same sample
+//!   (varied views ⇒ high),
+//!
+//! combining them as `score = fidelity + λ · diversity`. Useful for
+//! auditing a bank before pre-training or for building dataset-specific
+//! banks in the case-by-case regime.
+
+use aimts_augment::Augmentation;
+use aimts_data::preprocess::{resample_sample, z_normalize_sample};
+use aimts_data::MultiSeries;
+use aimts_tensor::no_grad;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::model::AimTs;
+
+/// Per-augmentation scores from [`score_augmentations`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AugmentationScore {
+    pub name: &'static str,
+    /// Mean cosine similarity between original and augmented
+    /// representations, in [-1, 1]; higher = more semantics-preserving.
+    pub fidelity: f32,
+    /// Mean normalized input distance between two independent draws,
+    /// >= 0; higher = more varied views.
+    pub diversity: f32,
+    /// `fidelity + lambda * diversity`.
+    pub score: f32,
+}
+
+/// Score every augmentation of `bank` on (up to 64 samples of) `pool`
+/// using `model`'s TS encoder. Deterministic per seed.
+pub fn score_augmentations(
+    model: &AimTs,
+    pool: &[MultiSeries],
+    bank: &[Augmentation],
+    lambda: f32,
+    seed: u64,
+) -> Vec<AugmentationScore> {
+    assert!(!pool.is_empty(), "empty pool");
+    assert!(!bank.is_empty(), "empty bank");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prepared: Vec<MultiSeries> = pool
+        .iter()
+        .take(64)
+        .map(|s| {
+            let mut v = resample_sample(s, model.cfg.pretrain_len);
+            z_normalize_sample(&mut v);
+            v
+        })
+        .collect();
+
+    bank.iter()
+        .map(|aug| {
+            let mut fid = 0f64;
+            let mut div = 0f64;
+            for s in &prepared {
+                let v1 = aug.apply_multivariate(s, &mut rng);
+                let v2 = aug.apply_multivariate(s, &mut rng);
+                // Fidelity in representation space.
+                let (r_orig, r_aug) = no_grad(|| {
+                    (model.encode(&[s]).to_vec(), model.encode(&[&v1]).to_vec())
+                });
+                fid += cosine(&r_orig, &r_aug) as f64;
+                // Diversity in (normalized) input space.
+                let flat1 = v1.concat();
+                let flat2 = v2.concat();
+                let d = aimts_augment::euclidean(&flat1, &flat2)
+                    / (flat1.len() as f32).sqrt();
+                div += d as f64;
+            }
+            let n = prepared.len() as f64;
+            let fidelity = (fid / n) as f32;
+            let diversity = (div / n) as f32;
+            AugmentationScore {
+                name: aug.name(),
+                fidelity,
+                diversity,
+                score: fidelity + lambda * diversity,
+            }
+        })
+        .collect()
+}
+
+/// Select the `g` highest-scoring augmentations from `bank`.
+pub fn select_bank(
+    model: &AimTs,
+    pool: &[MultiSeries],
+    bank: &[Augmentation],
+    g: usize,
+    lambda: f32,
+    seed: u64,
+) -> Vec<Augmentation> {
+    let scores = score_augmentations(model, pool, bank, lambda, seed);
+    let mut idx: Vec<usize> = (0..bank.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].score.partial_cmp(&scores[a].score).unwrap());
+    idx.into_iter().take(g.min(bank.len())).map(|i| bank[i].clone()).collect()
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    dot / (na * nb).max(1e-8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AimTsConfig;
+    use aimts_data::archives::monash_like_pool;
+
+    fn setup() -> (AimTs, Vec<MultiSeries>) {
+        let model = AimTs::new(AimTsConfig::tiny(), 0);
+        let pool: Vec<MultiSeries> = monash_like_pool(2, 0).into_iter().take(8).collect();
+        (model, pool)
+    }
+
+    #[test]
+    fn identity_like_augmentation_has_top_fidelity() {
+        let (model, pool) = setup();
+        let bank = vec![
+            Augmentation::Jitter { sigma: 0.0 },  // identity
+            Augmentation::Jitter { sigma: 2.0 },  // destroys the signal
+        ];
+        let scores = score_augmentations(&model, &pool, &bank, 0.0, 1);
+        assert!(scores[0].fidelity > scores[1].fidelity);
+        assert!((scores[0].fidelity - 1.0).abs() < 1e-4, "identity fidelity ~1");
+        assert_eq!(scores[0].diversity, 0.0, "identity has no diversity");
+    }
+
+    #[test]
+    fn stronger_noise_is_more_diverse() {
+        let (model, pool) = setup();
+        let bank = vec![
+            Augmentation::Jitter { sigma: 0.05 },
+            Augmentation::Jitter { sigma: 0.5 },
+        ];
+        let scores = score_augmentations(&model, &pool, &bank, 0.0, 2);
+        assert!(scores[1].diversity > scores[0].diversity);
+    }
+
+    #[test]
+    fn select_bank_returns_g_unique_augmentations() {
+        let (model, pool) = setup();
+        let bank = aimts_augment::extended_bank();
+        let picked = select_bank(&model, &pool, &bank, 3, 0.5, 3);
+        assert_eq!(picked.len(), 3);
+        // Lambda = 0 must prefer the most semantics-preserving ones.
+        let conservative = select_bank(&model, &pool, &bank, 1, 0.0, 3);
+        let scores = score_augmentations(&model, &pool, &bank, 0.0, 3);
+        let best = scores
+            .iter()
+            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+            .unwrap();
+        assert_eq!(conservative[0].name(), best.name);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (model, pool) = setup();
+        let bank = aimts_augment::default_bank();
+        let a = score_augmentations(&model, &pool, &bank, 0.5, 7);
+        let b = score_augmentations(&model, &pool, &bank, 0.5, 7);
+        assert_eq!(a, b);
+    }
+}

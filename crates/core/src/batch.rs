@@ -1,0 +1,113 @@
+//! Batching utilities: sample ↔ tensor conversion and channel-independent
+//! encoding (paper §V-A.3: "we use channel independence for the samples,
+//! encoding TS separately for each dimension").
+
+use aimts_data::MultiSeries;
+use aimts_tensor::Tensor;
+
+use crate::encoder::TsEncoder;
+
+/// Stack samples with identical `M` and `T` into a `[B, M, T]` tensor.
+pub fn samples_to_tensor(samples: &[&MultiSeries]) -> Tensor {
+    assert!(!samples.is_empty(), "empty batch");
+    let m = samples[0].len();
+    let t = samples[0][0].len();
+    let mut data = Vec::with_capacity(samples.len() * m * t);
+    for s in samples {
+        assert_eq!(s.len(), m, "mixed variable counts in one batch");
+        for var in s.iter() {
+            assert_eq!(var.len(), t, "mixed lengths in one batch");
+            data.extend_from_slice(var);
+        }
+    }
+    Tensor::from_vec(data, &[samples.len(), m, t])
+}
+
+/// Channel-independent encoding of a `[B, M, T]` batch:
+/// fold `M` into the row dimension, encode each variable as a univariate
+/// row, then mean-pool the `M` variable representations → `[B, J]`.
+pub fn encode_channel_independent(encoder: &TsEncoder, batch: &Tensor) -> Tensor {
+    assert_eq!(batch.ndim(), 3, "expected [B, M, T]");
+    let (b, m, t) = (batch.shape()[0], batch.shape()[1], batch.shape()[2]);
+    let rows = batch.reshape(&[b * m, 1, t]);
+    let reprs = encoder.encode_rows(&rows); // [B*M, J]
+    let j = reprs.shape()[1];
+    reprs.reshape(&[b, m, j]).mean_axis(1, false)
+}
+
+/// Convenience: encode a slice of samples (equal `M`, `T`) → `[B, J]`.
+pub fn encode_samples(encoder: &TsEncoder, samples: &[&MultiSeries]) -> Tensor {
+    encode_channel_independent(encoder, &samples_to_tensor(samples))
+}
+
+/// Deterministic batch index iterator: shuffled epochs of `n` indices in
+/// chunks of `batch_size` (last partial batch kept if `>= 2`, since the
+/// contrastive losses need at least two samples).
+pub fn batch_indices(n: usize, batch_size: usize, rng: &mut rand::rngs::StdRng) -> Vec<Vec<usize>> {
+    use rand::Rng;
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx.chunks(batch_size.max(2))
+        .filter(|c| c.len() >= 2)
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_to_tensor_layout() {
+        let a: MultiSeries = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let b: MultiSeries = vec![vec![5.0, 6.0], vec![7.0, 8.0]];
+        let t = samples_to_tensor(&[&a, &b]);
+        assert_eq!(t.shape(), &[2, 2, 2]);
+        assert_eq!(t.at(&[1, 0, 1]), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed variable counts")]
+    fn mixed_m_rejected() {
+        let a: MultiSeries = vec![vec![1.0, 2.0]];
+        let b: MultiSeries = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let _ = samples_to_tensor(&[&a, &b]);
+    }
+
+    #[test]
+    fn channel_independent_mean_of_variables() {
+        let enc = TsEncoder::new(8, 16, &[1], 0);
+        // A sample whose two variables are identical must produce the same
+        // representation as the univariate version of either variable.
+        let v = vec![0.5f32; 32];
+        let multi: MultiSeries = vec![v.clone(), v.clone()];
+        let uni: MultiSeries = vec![v];
+        let r_multi = encode_samples(&enc, &[&multi]);
+        let r_uni = encode_samples(&enc, &[&uni]);
+        for (a, b) in r_multi.to_vec().iter().zip(r_uni.to_vec()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batch_indices_cover_everything() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let batches = batch_indices(23, 8, &mut rng);
+        let mut all: Vec<usize> = batches.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        assert!(batches.iter().all(|b| b.len() >= 2));
+    }
+
+    #[test]
+    fn batch_indices_drop_singleton_tail() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let batches = batch_indices(9, 4, &mut rng);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 8, "singleton tail batch must be dropped");
+    }
+}

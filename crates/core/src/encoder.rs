@@ -1,0 +1,260 @@
+//! The two encoders: a dilated-convolution TS encoder (`F^TS`) and a small
+//! CNN image encoder (`F^I`).
+
+use aimts_nn::{kaiming_conv1d, Conv2d, Linear, Module};
+use aimts_tensor::ops::{Conv1dSpec, Conv2dSpec};
+use aimts_tensor::Tensor;
+
+/// One residual dilated-convolution block (TS2Vec-style).
+struct DilatedBlock {
+    w1: Tensor,
+    w2: Tensor,
+    b1: Tensor,
+    b2: Tensor,
+    dilation: usize,
+}
+
+impl DilatedBlock {
+    fn new(channels: usize, dilation: usize, seed: u64) -> Self {
+        DilatedBlock {
+            w1: kaiming_conv1d(channels, channels, 3, seed).requires_grad(),
+            w2: kaiming_conv1d(channels, channels, 3, seed.wrapping_add(1)).requires_grad(),
+            b1: Tensor::zeros(&[channels]).requires_grad(),
+            b2: Tensor::zeros(&[channels]).requires_grad(),
+            dilation,
+        }
+    }
+
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let spec = Conv1dSpec::same(3, self.dilation);
+        let h = x.conv1d(&self.w1, Some(&self.b1), spec).gelu();
+        let h = h.conv1d(&self.w2, Some(&self.b2), spec);
+        h.add(x).gelu()
+    }
+
+    fn named(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        out.push((format!("{prefix}.w1"), self.w1.clone()));
+        out.push((format!("{prefix}.b1"), self.b1.clone()));
+        out.push((format!("{prefix}.w2"), self.w2.clone()));
+        out.push((format!("{prefix}.b2"), self.b2.clone()));
+    }
+}
+
+/// The time-series encoder `F^TS`: input projection → stacked residual
+/// dilated conv blocks → output projection → global max-pool over time.
+///
+/// Operates on `[rows, 1, T]` univariate rows; multivariate samples are
+/// handled channel-independently by the batching layer (paper §V-A.3),
+/// folding variables into the row dimension and mean-pooling afterwards.
+pub struct TsEncoder {
+    input_w: Tensor,
+    input_b: Tensor,
+    blocks: Vec<DilatedBlock>,
+    output_w: Tensor,
+    output_b: Tensor,
+    /// Mixes the three pooled statistics back to `repr_dim`.
+    pool_mix: Linear,
+    repr_dim: usize,
+}
+
+impl TsEncoder {
+    pub fn new(hidden: usize, repr_dim: usize, dilations: &[usize], seed: u64) -> Self {
+        let blocks = dilations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| DilatedBlock::new(hidden, d, seed.wrapping_add(10 + 2 * i as u64)))
+            .collect();
+        TsEncoder {
+            input_w: kaiming_conv1d(hidden, 1, 3, seed).requires_grad(),
+            input_b: Tensor::zeros(&[hidden]).requires_grad(),
+            blocks,
+            output_w: kaiming_conv1d(repr_dim, hidden, 3, seed.wrapping_add(99)).requires_grad(),
+            output_b: Tensor::zeros(&[repr_dim]).requires_grad(),
+            pool_mix: Linear::new(3 * repr_dim, repr_dim, true, seed.wrapping_add(123)),
+            repr_dim,
+        }
+    }
+
+    /// Representation dimension `J`.
+    pub fn repr_dim(&self) -> usize {
+        self.repr_dim
+    }
+
+    /// Encode `[rows, 1, T]` univariate rows into `[rows, J]`.
+    ///
+    /// The temporal feature map is summarized by three pooled statistics —
+    /// global max, global mean, and a *first-moment* pool (mean weighted by
+    /// normalized time position) — mixed by a linear layer. Max/mean alone
+    /// are translation-invariant; the moment pool preserves *where* in the
+    /// series activations occur, which classes defined by event position or
+    /// temporal direction (chirps, motif location) require.
+    pub fn encode_rows(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.ndim(), 3, "TsEncoder expects [rows, 1, T]");
+        assert_eq!(x.shape()[1], 1, "TsEncoder rows must be univariate");
+        let mut h = x
+            .conv1d(&self.input_w, Some(&self.input_b), Conv1dSpec::same(3, 1))
+            .gelu();
+        for b in &self.blocks {
+            h = b.forward(&h);
+        }
+        let out = h.conv1d(&self.output_w, Some(&self.output_b), Conv1dSpec::same(3, 1));
+        let t = out.shape()[2];
+        let mx = out.global_max_pool1d();
+        let avg = out.global_avg_pool1d();
+        // Position weights in [-1, 1], constant w.r.t. autograd.
+        let w: Vec<f32> = (0..t)
+            .map(|i| if t == 1 { 0.0 } else { 2.0 * i as f32 / (t - 1) as f32 - 1.0 })
+            .collect();
+        let w = Tensor::from_vec(w, &[1, 1, t]);
+        let moment = out.mul(&w).global_avg_pool1d();
+        let cat = Tensor::concat(&[mx, avg, moment], 1);
+        self.pool_mix.forward(&cat)
+    }
+}
+
+impl Module for TsEncoder {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        self.encode_rows(x)
+    }
+
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        let p = |s: &str| if prefix.is_empty() { s.to_string() } else { format!("{prefix}.{s}") };
+        out.push((p("input_w"), self.input_w.clone()));
+        out.push((p("input_b"), self.input_b.clone()));
+        for (i, b) in self.blocks.iter().enumerate() {
+            b.named(&p(&format!("block{i}")), out);
+        }
+        out.push((p("output_w"), self.output_w.clone()));
+        out.push((p("output_b"), self.output_b.clone()));
+        self.pool_mix.named_parameters(&p("pool_mix"), out);
+    }
+}
+
+/// Copy all parameter values from `src` into `dst` (same architecture).
+/// Used to hand pre-trained weights to per-task fine-tuning copies.
+pub fn copy_parameters(src: &dyn Module, dst: &dyn Module) {
+    let mut s = Vec::new();
+    src.named_parameters("p", &mut s);
+    let mut d = Vec::new();
+    dst.named_parameters("p", &mut d);
+    assert_eq!(s.len(), d.len(), "parameter count mismatch");
+    for ((sn, st), (dn, dt)) in s.iter().zip(&d) {
+        assert_eq!(sn, dn, "parameter name mismatch");
+        dt.set_data(&st.to_vec());
+    }
+}
+
+/// The image encoder `F^I`: three stride-2 conv layers → global average
+/// pool → linear to the shared representation dimension.
+pub struct ImageEncoder {
+    convs: Vec<Conv2d>,
+    head: Linear,
+}
+
+impl ImageEncoder {
+    pub fn new(repr_dim: usize, seed: u64) -> Self {
+        let spec = Conv2dSpec { stride: 2, padding: 1 };
+        let convs = vec![
+            Conv2d::new(3, 8, 3, spec, true, seed),
+            Conv2d::new(8, 16, 3, spec, true, seed.wrapping_add(1)),
+            Conv2d::new(16, 32, 3, spec, true, seed.wrapping_add(2)),
+        ];
+        ImageEncoder { convs, head: Linear::new(32, repr_dim, true, seed.wrapping_add(3)) }
+    }
+
+    /// Encode `[B, 3, H, W]` images into `[B, J]`.
+    pub fn encode(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.ndim(), 4, "ImageEncoder expects [B, 3, H, W]");
+        assert_eq!(x.shape()[1], 3, "ImageEncoder expects RGB input");
+        let mut h = x.clone();
+        for c in &self.convs {
+            h = c.forward(&h).gelu();
+        }
+        self.head.forward(&h.global_avg_pool2d())
+    }
+}
+
+impl Module for ImageEncoder {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        self.encode(x)
+    }
+
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        let p = |s: &str| if prefix.is_empty() { s.to_string() } else { format!("{prefix}.{s}") };
+        for (i, c) in self.convs.iter().enumerate() {
+            c.named_parameters(&p(&format!("conv{i}")), out);
+        }
+        self.head.named_parameters(&p("head"), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ts_encoder_shapes() {
+        let enc = TsEncoder::new(8, 16, &[1, 2], 0);
+        let x = Tensor::randn(&[5, 1, 48], 1);
+        let r = enc.encode_rows(&x);
+        assert_eq!(r.shape(), &[5, 16]);
+    }
+
+    #[test]
+    fn ts_encoder_handles_variable_lengths() {
+        let enc = TsEncoder::new(8, 16, &[1, 2], 0);
+        for len in [16usize, 33, 100] {
+            let r = enc.encode_rows(&Tensor::randn(&[2, 1, len], 1));
+            assert_eq!(r.shape(), &[2, 16], "len {len}");
+        }
+    }
+
+    #[test]
+    fn ts_encoder_is_trainable_end_to_end() {
+        let enc = TsEncoder::new(8, 16, &[1], 0);
+        let x = Tensor::randn(&[3, 1, 32], 2);
+        enc.encode_rows(&x).square().sum_all().backward();
+        for p in enc.parameters() {
+            assert!(p.grad().is_some(), "missing gradient on a parameter");
+        }
+    }
+
+    #[test]
+    fn ts_encoder_param_names_stable() {
+        let enc = TsEncoder::new(8, 16, &[1, 2], 0);
+        let mut names = Vec::new();
+        enc.named_parameters("ts", &mut names);
+        let names: Vec<String> = names.into_iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"ts.input_w".to_string()));
+        assert!(names.contains(&"ts.block1.w2".to_string()));
+        assert!(names.contains(&"ts.output_b".to_string()));
+    }
+
+    #[test]
+    fn image_encoder_shapes() {
+        let enc = ImageEncoder::new(16, 0);
+        let x = Tensor::randn(&[2, 3, 32, 32], 1);
+        assert_eq!(enc.encode(&x).shape(), &[2, 16]);
+        let x = Tensor::randn(&[2, 3, 64, 64], 1);
+        assert_eq!(enc.encode(&x).shape(), &[2, 16]);
+    }
+
+    #[test]
+    fn image_encoder_trainable() {
+        let enc = ImageEncoder::new(8, 0);
+        let x = Tensor::randn(&[2, 3, 16, 16], 1);
+        enc.encode(&x).square().sum_all().backward();
+        for p in enc.parameters() {
+            assert!(p.grad().is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = TsEncoder::new(8, 16, &[1, 2], 7);
+        let b = TsEncoder::new(8, 16, &[1, 2], 7);
+        let xa = a.parameters()[0].to_vec();
+        let xb = b.parameters()[0].to_vec();
+        assert_eq!(xa, xb);
+    }
+}

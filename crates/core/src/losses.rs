@@ -1,0 +1,288 @@
+//! The AimTS contrastive losses (paper Eq. 3–12).
+//!
+//! All representation inputs are expected L2-normalized so dot products
+//! are cosine similarities. Temperatures derived from series distances
+//! (Eq. 3) are data-dependent *constants* — gradients do not flow through
+//! them, matching the paper's construction.
+
+use aimts_tensor::Tensor;
+
+/// Adaptive temperatures `τ_i^{(j,k)}` (Eq. 3) from pairwise distances.
+///
+/// `dists` is a `[B, G, G]` row-major buffer of distances between
+/// augmented views; each `(j, ·)` row is softmax-normalized (stable) and
+/// shifted by `τ0`. Entries where `diag_tau0` marks the diagonal are set
+/// to `d = -inf`, i.e. `τ = τ0`, so positive pairs use the base
+/// temperature.
+pub fn adaptive_tau(dists: &[f32], b: usize, g: usize, tau0: f32, diag_tau0: bool) -> Vec<f32> {
+    assert_eq!(dists.len(), b * g * g, "distance buffer shape mismatch");
+    let mut tau = vec![0f32; b * g * g];
+    for bi in 0..b {
+        for j in 0..g {
+            let row = &dists[(bi * g + j) * g..(bi * g + j + 1) * g];
+            // Stable softmax with optional -inf diagonal.
+            let mut mx = f32::NEG_INFINITY;
+            for (k, &d) in row.iter().enumerate() {
+                if !(diag_tau0 && k == j) {
+                    mx = mx.max(d);
+                }
+            }
+            let mut denom = 0f32;
+            let mut e = vec![0f32; g];
+            for (k, &d) in row.iter().enumerate() {
+                if diag_tau0 && k == j {
+                    e[k] = 0.0; // exp(-inf)
+                } else {
+                    e[k] = (d - mx).exp();
+                }
+                denom += e[k];
+            }
+            let out = &mut tau[(bi * g + j) * g..(bi * g + j + 1) * g];
+            for k in 0..g {
+                out[k] = tau0 + if denom > 0.0 { e[k] / denom } else { 0.0 };
+            }
+        }
+    }
+    tau
+}
+
+/// Identity matrix helper.
+fn eye(n: usize) -> Tensor {
+    let mut d = vec![0f32; n * n];
+    for i in 0..n {
+        d[i * n + i] = 1.0;
+    }
+    Tensor::from_vec(d, &[n, n])
+}
+
+/// Intra-prototype contrastive loss (Eq. 4), summed per sample then
+/// averaged over the batch.
+///
+/// * `v`, `vt`: the two view sets' projections `[B, G, P]` (normalized).
+/// * `tau_within`: `[B, G, G]` temperatures for `v·v` pairs.
+/// * `tau_cross`: `[B, G, G]` temperatures for `v·ṽ` pairs (diagonal τ0).
+pub fn intra_prototype_loss(
+    v: &Tensor,
+    vt: &Tensor,
+    tau_within: &Tensor,
+    tau_cross: &Tensor,
+) -> Tensor {
+    assert_eq!(v.shape(), vt.shape());
+    let (b, g, _p) = (v.shape()[0], v.shape()[1], v.shape()[2]);
+    assert_eq!(tau_within.shape(), &[b, g, g]);
+    let s_within = v.matmul(&v.transpose(1, 2)).div(tau_within); // [B,G,G]
+    let s_cross = v.matmul(&vt.transpose(1, 2)).div(tau_cross);
+
+    let id = eye(g).reshape(&[1, g, g]);
+    let not_id = Tensor::ones(&[1, g, g]).sub(&id);
+
+    let exp_within = s_within.exp().mul(&not_id); // 1[k≠j] exp(s)
+    let exp_cross = s_cross.exp();
+    let denom = exp_within.sum_axis(2, false).add(&exp_cross.sum_axis(2, false)); // [B,G]
+    let pos_logit = s_cross.mul(&id).sum_axis(2, false); // s̃^{(k,k)} [B,G]
+    // -Σ_k (pos - ln denom), then mean over batch.
+    pos_logit.sub(&denom.ln()).sum_axis(1, false).neg().mean_all()
+}
+
+/// Inter-prototype contrastive loss (Eq. 5), averaged over the batch.
+///
+/// `z`, `zt`: prototype projections `[B, P]` of the two view sets
+/// (normalized); `tau` the fixed temperature.
+pub fn inter_prototype_loss(z: &Tensor, zt: &Tensor, tau: f32) -> Tensor {
+    assert_eq!(z.shape(), zt.shape());
+    let b = z.shape()[0];
+    assert!(b >= 2, "inter-prototype loss needs at least 2 samples");
+    let s_zz = z.matmul(&z.transpose(0, 1)).div_scalar(tau); // [B,B]
+    let s_zzt = z.matmul(&zt.transpose(0, 1)).div_scalar(tau);
+    let id = eye(b);
+    let not_id = Tensor::ones(&[b, b]).sub(&id);
+    let denom = s_zz.exp().mul(&not_id).sum_axis(1, false).add(&s_zzt.exp().sum_axis(1, false));
+    let pos = s_zzt.mul(&id).sum_axis(1, false);
+    pos.sub(&denom.ln()).neg().mean_all()
+}
+
+/// Two-level prototype loss `L_proto` (Eq. 6):
+/// `(α·ℓ_inter + (1−α)·ℓ_intra) / 2` (batch-averaged terms).
+pub fn proto_loss(inter: &Tensor, intra: &Tensor, alpha: f32) -> Tensor {
+    inter.mul_scalar(alpha).add(&intra.mul_scalar(1.0 - alpha)).mul_scalar(0.5)
+}
+
+/// Bidirectional naive series-image InfoNCE (Eq. 7–8), batch-averaged.
+///
+/// `u`: image projections `[B, P]`; `v`: series projections `[B, P]`.
+pub fn series_image_naive(u: &Tensor, v: &Tensor, tau: f32) -> Tensor {
+    assert_eq!(u.shape(), v.shape());
+    let b = u.shape()[0];
+    let id = eye(b);
+    let s_uv = u.matmul(&v.transpose(0, 1)).div_scalar(tau); // [B,B]
+    // ℓ^{I-S}: anchor u_i against all v_j.
+    let pos = s_uv.mul(&id).sum_axis(1, false); // sim(u_i, v_i)/τ
+    let l_is = pos.sub(&s_uv.exp().sum_axis(1, false).ln()).neg();
+    // ℓ^{S-I}: anchor v_i against all u_j — transpose of the same logits.
+    let s_vu = s_uv.transpose(0, 1);
+    let l_si = pos.sub(&s_vu.exp().sum_axis(1, false).ln()).neg();
+    l_is.add(&l_si).mean_all().mul_scalar(0.5)
+}
+
+/// Geodesic-mixup series-image loss (Eq. 10–11), batch-averaged.
+///
+/// `mixed`: the mixup negatives `m_λ(u_j, v_j)` `[B, P]`.
+pub fn series_image_mixup(u: &Tensor, v: &Tensor, mixed: &Tensor, tau: f32) -> Tensor {
+    assert_eq!(u.shape(), v.shape());
+    assert_eq!(u.shape(), mixed.shape());
+    let b = u.shape()[0];
+    let id = eye(b);
+    let pos = u.matmul(&v.transpose(0, 1)).div_scalar(tau).mul(&id).sum_axis(1, false);
+    let s_um = u.matmul(&mixed.transpose(0, 1)).div_scalar(tau);
+    let s_vm = v.matmul(&mixed.transpose(0, 1)).div_scalar(tau);
+    let l_imix = pos.sub(&s_um.exp().sum_axis(1, false).ln()).neg();
+    let l_smix = pos.sub(&s_vm.exp().sum_axis(1, false).ln()).neg();
+    l_imix.add(&l_smix).mean_all().mul_scalar(0.5)
+}
+
+/// Combined series-image loss `L_SI` (Eq. 12).
+pub fn series_image_loss(naive: &Tensor, mix: &Tensor, beta: f32) -> Tensor {
+    naive.mul_scalar(beta).add(&mix.mul_scalar(1.0 - beta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn norm_rand(shape: &[usize], seed: u64) -> Tensor {
+        let t = Tensor::randn(shape, seed);
+        let last = shape.len() - 1;
+        t.l2_normalize(last)
+    }
+
+    #[test]
+    fn adaptive_tau_rows_sum_and_diag() {
+        let b = 2;
+        let g = 3;
+        let dists: Vec<f32> = (0..b * g * g).map(|i| (i % 5) as f32 * 0.3).collect();
+        let tau = adaptive_tau(&dists, b, g, 0.2, true);
+        for bi in 0..b {
+            for j in 0..g {
+                let row = &tau[(bi * g + j) * g..(bi * g + j + 1) * g];
+                // diag entry = τ0 exactly.
+                assert!((row[j] - 0.2).abs() < 1e-6);
+                // off-diagonal softmax sums to 1 → row sums to g*τ0 + 1.
+                let total: f32 = row.iter().sum();
+                assert!((total - (g as f32 * 0.2 + 1.0)).abs() < 1e-5);
+                assert!(row.iter().all(|&t| t >= 0.2 && t <= 1.2));
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_tau_monotone_in_distance() {
+        // Larger distance → larger temperature (paper: far pairs pulled
+        // less strongly apart).
+        let dists = vec![0.0, 1.0, 3.0, 1.0, 0.0, 0.5, 3.0, 0.5, 0.0];
+        let tau = adaptive_tau(&dists, 1, 3, 0.1, true);
+        // Row 0: d(0,1)=1 < d(0,2)=3 → tau(0,1) < tau(0,2).
+        assert!(tau[1] < tau[2]);
+    }
+
+    #[test]
+    fn intra_loss_finite_and_positive() {
+        let v = norm_rand(&[4, 5, 8], 1);
+        let vt = norm_rand(&[4, 5, 8], 2);
+        let tau = Tensor::full(&[4, 5, 5], 0.5);
+        let l = intra_prototype_loss(&v, &vt, &tau, &tau);
+        assert!(l.item().is_finite());
+        assert!(l.item() > 0.0);
+    }
+
+    #[test]
+    fn intra_loss_lower_when_views_aligned() {
+        // Perfectly aligned positive pairs should score lower loss than
+        // random pairs.
+        let v = norm_rand(&[4, 5, 8], 3);
+        let tau = Tensor::full(&[4, 5, 5], 0.5);
+        let aligned = intra_prototype_loss(&v, &v, &tau, &tau);
+        let random = intra_prototype_loss(&v, &norm_rand(&[4, 5, 8], 99), &tau, &tau);
+        assert!(aligned.item() < random.item());
+    }
+
+    #[test]
+    fn inter_loss_prefers_matched_prototypes() {
+        let z = norm_rand(&[6, 16], 4);
+        let matched = inter_prototype_loss(&z, &z, 0.2);
+        let mismatched = inter_prototype_loss(&z, &norm_rand(&[6, 16], 77), 0.2);
+        assert!(matched.item() < mismatched.item());
+    }
+
+    #[test]
+    fn inter_loss_gradient_flows() {
+        let z = Tensor::randn(&[4, 8], 5).l2_normalize(1).detach().requires_grad();
+        let zt = Tensor::randn(&[4, 8], 6).l2_normalize(1).detach().requires_grad();
+        inter_prototype_loss(&z, &zt, 0.2).backward();
+        assert!(z.grad().is_some() && zt.grad().is_some());
+    }
+
+    #[test]
+    fn naive_si_loss_is_symmetric_in_pairs() {
+        let u = norm_rand(&[5, 8], 7);
+        let v = norm_rand(&[5, 8], 8);
+        let a = series_image_naive(&u, &v, 0.2).item();
+        let b = series_image_naive(&v, &u, 0.2).item();
+        assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+
+    #[test]
+    fn naive_si_matched_lower_than_random() {
+        let u = norm_rand(&[6, 8], 9);
+        let matched = series_image_naive(&u, &u, 0.2);
+        let random = series_image_naive(&u, &norm_rand(&[6, 8], 55), 0.2);
+        assert!(matched.item() < random.item());
+    }
+
+    #[test]
+    fn mixup_loss_finite_and_grads() {
+        let u = Tensor::randn(&[4, 8], 10).l2_normalize(1).detach().requires_grad();
+        let v = Tensor::randn(&[4, 8], 11).l2_normalize(1).detach().requires_grad();
+        let mixed = crate::mixup::geodesic_mixup(&u, &v, &[0.2, 0.4, 0.6, 0.8]);
+        let l = series_image_mixup(&u, &v, &mixed, 0.2);
+        assert!(l.item().is_finite());
+        l.backward();
+        assert!(u.grad().is_some() && v.grad().is_some());
+    }
+
+    #[test]
+    fn combined_losses_weighting() {
+        let a = Tensor::scalar(2.0);
+        let b = Tensor::scalar(4.0);
+        assert!((proto_loss(&a, &b, 0.7).item() - 0.5 * (0.7 * 2.0 + 0.3 * 4.0)).abs() < 1e-6);
+        assert!((series_image_loss(&a, &b, 0.9).item() - (0.9 * 2.0 + 0.1 * 4.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intra_loss_matches_numeric_gradient() {
+        // End-to-end check through the matrix plumbing.
+        let v0 = Tensor::randn(&[2, 3, 4], 12).l2_normalize(2).detach();
+        let vt = Tensor::randn(&[2, 3, 4], 13).l2_normalize(2).detach();
+        let tau = Tensor::full(&[2, 3, 3], 0.5);
+        let vt2 = vt.clone();
+        let tau2 = tau.clone();
+        aimts_tensor::check_gradients(
+            &move |ins| intra_prototype_loss(&ins[0], &vt2, &tau2, &tau2),
+            &[v0],
+            1e-2,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn inter_loss_matches_numeric_gradient() {
+        let z = Tensor::randn(&[3, 4], 14).l2_normalize(1).detach();
+        let zt = Tensor::randn(&[3, 4], 15).l2_normalize(1).detach();
+        let zt2 = zt.clone();
+        aimts_tensor::check_gradients(
+            &move |ins| inter_prototype_loss(&ins[0], &zt2, 0.3),
+            &[z],
+            1e-2,
+            3e-2,
+        );
+    }
+}

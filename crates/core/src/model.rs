@@ -1,0 +1,388 @@
+//! The [`AimTs`] model: both encoders, both projection heads, and the
+//! multi-source pre-training loop of Fig. 3(a).
+
+use std::io;
+use std::path::Path;
+
+use aimts_data::preprocess::{resample_sample, z_normalize_sample};
+use aimts_data::{Dataset, MultiSeries};
+use aimts_eval::Summary;
+use aimts_imaging::render_sample;
+use aimts_nn::{
+    load_state_dict, save_state_dict, Activation, Adam, Mlp, Module, Optimizer, StepLr,
+};
+use aimts_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::batch::{batch_indices, encode_channel_independent, samples_to_tensor};
+use crate::config::{AimTsConfig, FineTuneConfig, PretrainConfig};
+use crate::encoder::{ImageEncoder, TsEncoder};
+use crate::finetune::FineTuned;
+use crate::losses;
+use crate::mixup::{geodesic_mixup, sample_lambdas};
+
+/// Summary of a pre-training run.
+#[derive(Debug, Clone)]
+pub struct PretrainReport {
+    /// Mean total loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Mean total loss of the final epoch.
+    pub final_loss: f32,
+    /// Optimizer steps taken.
+    pub steps: usize,
+    /// Mean `L_proto` of the final epoch (0 when ablated away).
+    pub final_proto_loss: f32,
+    /// Mean `L_SI` of the final epoch (0 when ablated away).
+    pub final_si_loss: f32,
+}
+
+/// The AimTS model (paper Fig. 3).
+pub struct AimTs {
+    pub cfg: AimTsConfig,
+    pub ts_encoder: TsEncoder,
+    /// `P^TS`, the series projection head.
+    pub ts_proj: Mlp,
+    pub image_encoder: ImageEncoder,
+    /// `P^I`, the image projection head.
+    pub img_proj: Mlp,
+    seed: u64,
+}
+
+impl AimTs {
+    /// Fresh model with deterministic initialization.
+    pub fn new(cfg: AimTsConfig, seed: u64) -> Self {
+        let ts_encoder = TsEncoder::new(cfg.hidden, cfg.repr_dim, &cfg.dilations, seed);
+        let ts_proj = Mlp::new(
+            &[cfg.repr_dim, cfg.repr_dim, cfg.proj_dim],
+            Activation::Gelu,
+            seed.wrapping_add(1000),
+        );
+        let image_encoder = ImageEncoder::new(cfg.repr_dim, seed.wrapping_add(2000));
+        let img_proj = Mlp::new(
+            &[cfg.repr_dim, cfg.repr_dim, cfg.proj_dim],
+            Activation::Gelu,
+            seed.wrapping_add(3000),
+        );
+        AimTs { cfg, ts_encoder, ts_proj, image_encoder, img_proj, seed }
+    }
+
+    /// All trainable parameters with stable hierarchical names.
+    pub fn named_parameters(&self) -> Vec<(String, Tensor)> {
+        let mut out = Vec::new();
+        self.ts_encoder.named_parameters("ts_encoder", &mut out);
+        self.ts_proj.named_parameters("ts_proj", &mut out);
+        self.image_encoder.named_parameters("image_encoder", &mut out);
+        self.img_proj.named_parameters("img_proj", &mut out);
+        out
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.named_parameters().iter().map(|(_, t)| t.numel()).sum()
+    }
+
+    /// Save all parameters as JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        save_state_dict(path, &self.named_parameters())
+    }
+
+    /// Load all parameters from JSON (shapes must match).
+    pub fn load(&mut self, path: &Path) -> io::Result<()> {
+        load_state_dict(path, &self.named_parameters())
+    }
+
+    /// Normalize + resample one pool sample to the pre-training length.
+    fn prepare(&self, s: &MultiSeries) -> MultiSeries {
+        let mut vars = resample_sample(s, self.cfg.pretrain_len);
+        z_normalize_sample(&mut vars);
+        vars
+    }
+
+    /// Multi-source pre-training (paper Fig. 3a; losses Eq. 1).
+    ///
+    /// `pool` may mix variable counts and lengths — samples are resampled
+    /// to `cfg.pretrain_len`, z-normalized, and batched within groups of
+    /// equal variable count.
+    pub fn pretrain(&mut self, pool: &[MultiSeries], pcfg: &PretrainConfig) -> PretrainReport {
+        assert!(pool.len() >= 2, "pre-training needs at least 2 samples");
+        let prepared: Vec<MultiSeries> = pool.iter().map(|s| self.prepare(s)).collect();
+        // Group sample indices by variable count (constant M per batch).
+        let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for (i, s) in prepared.iter().enumerate() {
+            groups.entry(s.len()).or_default().push(i);
+        }
+
+        let params: Vec<Tensor> = self.named_parameters().into_iter().map(|(_, t)| t).collect();
+        let mut opt = Adam::new(params, pcfg.lr);
+        let mut sched = StepLr::new(pcfg.lr, pcfg.lr_step, pcfg.lr_gamma);
+        let mut rng = StdRng::seed_from_u64(pcfg.seed);
+
+        let mut epoch_losses = Vec::with_capacity(pcfg.epochs);
+        let mut steps = 0usize;
+        let (mut last_proto, mut last_si) = (0f32, 0f32);
+        for _epoch in 0..pcfg.epochs {
+            let mut losses_this_epoch = Vec::new();
+            let (mut protos, mut sis) = (Vec::new(), Vec::new());
+            for idxs in groups.values() {
+                for batch in batch_indices(idxs.len(), pcfg.batch_size, &mut rng) {
+                    let samples: Vec<&MultiSeries> =
+                        batch.iter().map(|&k| &prepared[idxs[k]]).collect();
+                    let (loss, lp, lsi) = self.pretrain_step(&samples, &mut rng);
+                    opt.zero_grad();
+                    loss.backward();
+                    opt.step();
+                    steps += 1;
+                    losses_this_epoch.push(loss.item() as f64);
+                    protos.push(lp as f64);
+                    sis.push(lsi as f64);
+                }
+            }
+            epoch_losses.push(Summary::of(&losses_this_epoch).mean as f32);
+            last_proto = Summary::of(&protos).mean as f32;
+            last_si = Summary::of(&sis).mean as f32;
+            sched.step(&mut opt);
+        }
+        PretrainReport {
+            final_loss: *epoch_losses.last().unwrap(),
+            epoch_losses,
+            steps,
+            final_proto_loss: last_proto,
+            final_si_loss: last_si,
+        }
+    }
+
+    /// One pre-training step on a batch of prepared samples.
+    /// Returns (total loss, L_proto value, L_SI value).
+    fn pretrain_step(
+        &self,
+        samples: &[&MultiSeries],
+        rng: &mut StdRng,
+    ) -> (Tensor, f32, f32) {
+        let cfg = &self.cfg;
+        let b = samples.len();
+        let g = cfg.g();
+        let ab = cfg.ablation;
+        let mut total: Option<Tensor> = None;
+        let (mut proto_val, mut si_val) = (0f32, 0f32);
+
+        if ab.inter || ab.intra {
+            // --- augmented views -------------------------------------------------
+            // Two view sets: views[set][i][k] is a MultiSeries.
+            let mut views = [Vec::with_capacity(b), Vec::with_capacity(b)];
+            for s in samples {
+                for set in &mut views {
+                    let per_aug: Vec<MultiSeries> =
+                        cfg.bank.iter().map(|aug| aug.apply_multivariate(s, rng)).collect();
+                    set.push(per_aug);
+                }
+            }
+            // Adaptive temperatures from raw-series distances (Eq. 3).
+            let flat = |v: &MultiSeries| -> Vec<f32> { v.concat() };
+            let mut d_within = vec![0f32; b * g * g];
+            let mut d_cross = vec![0f32; b * g * g];
+            for i in 0..b {
+                let f0: Vec<Vec<f32>> = views[0][i].iter().map(&flat).collect();
+                let f1: Vec<Vec<f32>> = views[1][i].iter().map(&flat).collect();
+                for j in 0..g {
+                    for k in 0..g {
+                        d_within[(i * g + j) * g + k] = aimts_augment::euclidean(&f0[j], &f0[k]);
+                        d_cross[(i * g + j) * g + k] = aimts_augment::euclidean(&f0[j], &f1[k]);
+                    }
+                }
+            }
+            let tau_w =
+                Tensor::from_vec(losses::adaptive_tau(&d_within, b, g, cfg.tau0, true), &[b, g, g]);
+            let tau_c =
+                Tensor::from_vec(losses::adaptive_tau(&d_cross, b, g, cfg.tau0, true), &[b, g, g]);
+
+            // --- encode both view sets ------------------------------------------
+            let encode_set = |set: &Vec<Vec<MultiSeries>>| -> Tensor {
+                // Order rows (i, k): each entry is a MultiSeries of equal M/T.
+                let refs: Vec<&MultiSeries> = set.iter().flatten().collect();
+                let batch = samples_to_tensor(&refs); // [B*G, M, T]
+                encode_channel_independent(&self.ts_encoder, &batch) // [B*G, J]
+            };
+            let r = encode_set(&views[0]);
+            let rt = encode_set(&views[1]);
+
+            let mut inter_term = None;
+            let mut intra_term = None;
+            if ab.intra {
+                let v = self.ts_proj.forward(&r).l2_normalize(1).reshape(&[b, g, cfg.proj_dim]);
+                let vt = self.ts_proj.forward(&rt).l2_normalize(1).reshape(&[b, g, cfg.proj_dim]);
+                intra_term = Some(losses::intra_prototype_loss(&v, &vt, &tau_w, &tau_c));
+            }
+            if ab.inter {
+                // Prototype = P^TS(mean over augmentations of r) (Eq. 2).
+                let rbar = r.reshape(&[b, g, cfg.repr_dim]).mean_axis(1, false);
+                let rtbar = rt.reshape(&[b, g, cfg.repr_dim]).mean_axis(1, false);
+                let z = self.ts_proj.forward(&rbar).l2_normalize(1);
+                let zt = self.ts_proj.forward(&rtbar).l2_normalize(1);
+                inter_term = Some(losses::inter_prototype_loss(&z, &zt, cfg.tau_inter));
+            }
+            let proto = match (inter_term, intra_term) {
+                (Some(inter), Some(intra)) => losses::proto_loss(&inter, &intra, cfg.alpha),
+                (Some(inter), None) => inter,
+                (None, Some(intra)) => intra,
+                (None, None) => unreachable!(),
+            };
+            proto_val = proto.item();
+            total = Some(proto);
+        }
+
+        if ab.si_naive || ab.si_mixup {
+            // --- series-image contrastive ---------------------------------------
+            let imgs: Vec<Tensor> = samples
+                .iter()
+                .map(|s| {
+                    let img = render_sample(s, &cfg.image);
+                    Tensor::from_vec(img.data, &[1, 3, img.height, img.width])
+                })
+                .collect();
+            let img_batch = Tensor::concat(&imgs, 0);
+            let u = self
+                .img_proj
+                .forward(&self.image_encoder.encode(&img_batch))
+                .l2_normalize(1);
+            let orig = samples_to_tensor(samples);
+            let r_orig = encode_channel_independent(&self.ts_encoder, &orig);
+            let v_si = self.ts_proj.forward(&r_orig).l2_normalize(1);
+
+            let naive = losses::series_image_naive(&u, &v_si, cfg.tau_si);
+            let si = if ab.si_mixup {
+                let lambdas = sample_lambdas(b, cfg.gamma, rng);
+                let mixed = geodesic_mixup(&u, &v_si, &lambdas);
+                let mix = losses::series_image_mixup(&u, &v_si, &mixed, cfg.tau_si);
+                if ab.si_naive {
+                    losses::series_image_loss(&naive, &mix, cfg.beta)
+                } else {
+                    mix
+                }
+            } else {
+                naive
+            };
+            si_val = si.item();
+            total = Some(match total {
+                Some(t) => t.add(&si),
+                None => si,
+            });
+        }
+
+        let total = total.expect("at least one loss component must be enabled");
+        (total, proto_val, si_val)
+    }
+
+    /// Encode downstream samples (no augmentation, no images — Fig. 3b).
+    /// All samples must share `M` and `T`; returns `[B, J]`.
+    pub fn encode(&self, samples: &[&MultiSeries]) -> Tensor {
+        let batch = samples_to_tensor(samples);
+        encode_channel_independent(&self.ts_encoder, &batch)
+    }
+
+    /// Fine-tune a *copy* of the pre-trained TS encoder plus a fresh MLP
+    /// classifier on a downstream dataset (Fig. 3b). The pre-trained model
+    /// itself is left untouched so it can be reused across tasks.
+    pub fn fine_tune(&self, ds: &Dataset, fcfg: &FineTuneConfig) -> FineTuned {
+        FineTuned::train(self, ds, fcfg)
+    }
+
+    /// Clone the TS encoder (architecture + current weights).
+    pub(crate) fn clone_ts_encoder(&self) -> TsEncoder {
+        let fresh = TsEncoder::new(self.cfg.hidden, self.cfg.repr_dim, &self.cfg.dilations, self.seed);
+        let mut src = Vec::new();
+        self.ts_encoder.named_parameters("enc", &mut src);
+        let mut dst = Vec::new();
+        fresh.named_parameters("enc", &mut dst);
+        for ((_, s), (_, d)) in src.iter().zip(&dst) {
+            d.set_data(&s.to_vec());
+        }
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimts_data::archives::monash_like_pool;
+
+    fn tiny_pool(n: usize) -> Vec<MultiSeries> {
+        monash_like_pool(2, 0).into_iter().take(n).collect()
+    }
+
+    #[test]
+    fn pretrain_smoke_and_loss_decreases() {
+        let mut model = AimTs::new(AimTsConfig::tiny(), 3407);
+        let pool = tiny_pool(16);
+        let report = model.pretrain(
+            &pool,
+            &PretrainConfig { epochs: 3, batch_size: 8, lr: 5e-3, ..Default::default() },
+        );
+        assert!(report.final_loss.is_finite());
+        assert_eq!(report.epoch_losses.len(), 3);
+        assert!(
+            report.epoch_losses[2] < report.epoch_losses[0],
+            "loss should decrease: {:?}",
+            report.epoch_losses
+        );
+    }
+
+    #[test]
+    fn pretrain_reports_both_components() {
+        let mut model = AimTs::new(AimTsConfig::tiny(), 1);
+        let report =
+            model.pretrain(&tiny_pool(8), &PretrainConfig { epochs: 1, batch_size: 4, ..Default::default() });
+        assert!(report.final_proto_loss > 0.0);
+        assert!(report.final_si_loss > 0.0);
+        assert!(report.steps > 0);
+    }
+
+    #[test]
+    fn ablation_inter_only_trains() {
+        let cfg = AimTsConfig {
+            ablation: crate::config::Ablation::inter_only(),
+            ..AimTsConfig::tiny()
+        };
+        let mut model = AimTs::new(cfg, 2);
+        let report =
+            model.pretrain(&tiny_pool(8), &PretrainConfig { epochs: 1, batch_size: 4, ..Default::default() });
+        assert!(report.final_si_loss == 0.0);
+        assert!(report.final_proto_loss > 0.0);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("aimts_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let model = AimTs::new(AimTsConfig::tiny(), 7);
+        model.save(&path).unwrap();
+        let mut other = AimTs::new(AimTsConfig::tiny(), 8);
+        let before = other.named_parameters()[0].1.to_vec();
+        other.load(&path).unwrap();
+        let after = other.named_parameters()[0].1.to_vec();
+        assert_ne!(before, after);
+        assert_eq!(after, model.named_parameters()[0].1.to_vec());
+    }
+
+    #[test]
+    fn encoder_clone_is_deep() {
+        let model = AimTs::new(AimTsConfig::tiny(), 9);
+        let cloned = model.clone_ts_encoder();
+        let x = Tensor::randn(&[2, 1, 32], 0);
+        let a = model.ts_encoder.encode_rows(&x).to_vec();
+        let b = cloned.encode_rows(&x).to_vec();
+        assert_eq!(a, b);
+        // Mutating the clone must not touch the original.
+        cloned.parameters()[0].update_data(|d| d.iter_mut().for_each(|v| *v += 1.0));
+        let c = model.ts_encoder.encode_rows(&x).to_vec();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn num_parameters_positive_and_stable() {
+        let m = AimTs::new(AimTsConfig::tiny(), 0);
+        assert!(m.num_parameters() > 1000);
+        assert_eq!(m.num_parameters(), AimTs::new(AimTsConfig::tiny(), 5).num_parameters());
+    }
+}

@@ -1,0 +1,189 @@
+//! Synthetic archive builders: UCR-like (univariate), UEA-like
+//! (multivariate) and a Monash-like unlabeled multi-source pre-training
+//! pool. Dataset configurations are deterministic per seed; pool
+//! configurations are disjoint from archive configurations (different seed
+//! stream), mirroring the paper's out-of-domain pre-training setting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generator::{DatasetSpec, PatternFamily};
+use crate::sample::{Dataset, MultiSeries};
+
+/// Build `n` univariate datasets cycling through all pattern families with
+/// varied lengths, class counts, and (small) train splits — a stand-in for
+/// the UCR archive.
+pub fn ucr_like_archive(n: usize, seed: u64) -> Vec<Dataset> {
+    let lengths = [64usize, 96, 128];
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let family = PatternFamily::ALL[i % PatternFamily::ALL.len()];
+            let n_classes = (2 + i / PatternFamily::ALL.len()).min(family.max_classes());
+            DatasetSpec {
+                name: format!("ucr_like_{:03}_{}", i, family.domain()),
+                family,
+                n_classes,
+                length: lengths[i % lengths.len()],
+                n_vars: 1,
+                // Label-scarce training splits with substantial noise: the
+                // paper's motivating regime (insufficient labeled samples).
+                train_per_class: 4 + (i % 3) * 2,
+                test_per_class: 30,
+                noise: 0.2 + 0.05 * (i % 3) as f32,
+                seed: rng.gen(),
+            }
+            .generate()
+        })
+        .collect()
+}
+
+/// Build `n` multivariate datasets (2–4 variables) — a stand-in for the
+/// UEA archive.
+pub fn uea_like_archive(n: usize, seed: u64) -> Vec<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5EA));
+    (0..n)
+        .map(|i| {
+            let family = PatternFamily::ALL[(i * 5 + 3) % PatternFamily::ALL.len()];
+            let n_classes = (2 + i % 3).min(family.max_classes());
+            DatasetSpec {
+                name: format!("uea_like_{:03}_{}", i, family.domain()),
+                family,
+                n_classes,
+                length: 96,
+                n_vars: 2 + i % 3,
+                train_per_class: 4 + (i % 2) * 2,
+                test_per_class: 24,
+                noise: 0.25,
+                seed: rng.gen(),
+            }
+            .generate()
+        })
+        .collect()
+}
+
+/// Unlabeled multi-source pre-training pool — a stand-in for the Monash
+/// archive (19 datasets across domains; 4 univariate + 15 multivariate).
+///
+/// Configurations use a seed stream disjoint from [`ucr_like_archive`] /
+/// [`uea_like_archive`], so downstream datasets are *not* seen during
+/// pre-training (the paper's Paradigm 4 setting).
+pub fn monash_like_pool(samples_per_source: usize, seed: u64) -> Vec<MultiSeries> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x30AA5));
+    let mut pool = Vec::new();
+    for (i, family) in PatternFamily::ALL.iter().enumerate() {
+        // One univariate and one multivariate source per family.
+        for &n_vars in &[1usize, 1 + (i % 3) + 1] {
+            let spec = DatasetSpec {
+                name: format!("monash_like_{i}_{n_vars}"),
+                family: *family,
+                n_classes: family.max_classes().min(3),
+                length: [64, 96, 128][i % 3],
+                n_vars,
+                train_per_class: samples_per_class(samples_per_source, family.max_classes().min(3)),
+                test_per_class: 1,
+                // Noise level matched to the downstream archives so
+                // pre-trained features are tuned to realistic inputs.
+                noise: 0.2,
+                seed: rng.gen(),
+            };
+            pool.extend(spec.generate().unlabeled_train());
+        }
+    }
+    pool
+}
+
+fn samples_per_class(total: usize, n_classes: usize) -> usize {
+    (total / n_classes).max(1)
+}
+
+/// The 10 named UEA datasets of the paper's Table II, as synthetic
+/// equivalents with comparable variable counts and class counts.
+pub fn table2_uea_datasets(seed: u64) -> Vec<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x7AB2));
+    let configs: [(&str, PatternFamily, usize, usize); 10] = [
+        ("EthanolConcentration(sim)", PatternFamily::ArTexture, 3, 3),
+        ("FaceDetection(sim)", PatternFamily::BurstCount, 2, 4),
+        ("Handwriting(sim)", PatternFamily::Trajectory, 6, 3),
+        ("Heartbeat(sim)", PatternFamily::EcgTWave, 2, 4),
+        ("JapaneseVowels(sim)", PatternFamily::SinePhase, 6, 4),
+        ("PEMS-SF(sim)", PatternFamily::WalkDrift, 3, 4),
+        ("SelfRegulationSCP1(sim)", PatternFamily::SineFreq, 2, 3),
+        ("SelfRegulationSCP2(sim)", PatternFamily::ArTexture, 2, 4),
+        ("SpokenArabicDigits(sim)", PatternFamily::Chirp, 6, 3),
+        ("UWaveGestureLibrary(sim)", PatternFamily::Trajectory, 6, 3),
+    ];
+    configs
+        .iter()
+        .map(|(name, family, n_classes, n_vars)| {
+            DatasetSpec {
+                name: name.to_string(),
+                family: *family,
+                n_classes: (*n_classes).min(family.max_classes()),
+                length: 96,
+                n_vars: *n_vars,
+                train_per_class: 12,
+                test_per_class: 20,
+                noise: 0.1,
+                seed: rng.gen(),
+            }
+            .generate()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ucr_like_sizes_and_names() {
+        let a = ucr_like_archive(14, 0);
+        assert_eq!(a.len(), 14);
+        assert!(a.iter().all(|d| d.n_vars() == 1));
+        // Names unique.
+        let mut names: Vec<&str> = a.iter().map(|d| d.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn ucr_like_covers_multiple_domains() {
+        let a = ucr_like_archive(12, 0);
+        let mut domains: Vec<&str> = a.iter().map(|d| d.domain.as_str()).collect();
+        domains.sort_unstable();
+        domains.dedup();
+        assert!(domains.len() >= 8, "domains {domains:?}");
+    }
+
+    #[test]
+    fn uea_like_multivariate() {
+        let a = uea_like_archive(6, 0);
+        assert!(a.iter().all(|d| d.n_vars() >= 2));
+    }
+
+    #[test]
+    fn monash_pool_mixes_shapes() {
+        let pool = monash_like_pool(6, 0);
+        assert!(pool.len() >= 100, "pool {}", pool.len());
+        let n_vars: std::collections::HashSet<usize> = pool.iter().map(|s| s.len()).collect();
+        assert!(n_vars.len() >= 2, "expected mixed variable counts");
+        let lens: std::collections::HashSet<usize> = pool.iter().map(|s| s[0].len()).collect();
+        assert!(lens.len() >= 2, "expected mixed lengths");
+    }
+
+    #[test]
+    fn archives_deterministic() {
+        assert_eq!(ucr_like_archive(3, 5), ucr_like_archive(3, 5));
+        assert_eq!(monash_like_pool(4, 5), monash_like_pool(4, 5));
+    }
+
+    #[test]
+    fn table2_has_ten_named_datasets() {
+        let ds = table2_uea_datasets(0);
+        assert_eq!(ds.len(), 10);
+        assert!(ds.iter().any(|d| d.name.contains("Heartbeat")));
+        assert!(ds.iter().all(|d| d.n_vars() >= 3));
+    }
+}

@@ -1,0 +1,79 @@
+//! Few-shot subsampling of training splits (paper Table V uses 5/15/20%
+//! of each training set).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sample::Split;
+
+/// Stratified subsample keeping `fraction` of the split (at least one
+/// sample per class that was present). Deterministic per seed.
+pub fn few_shot_subset(split: &Split, fraction: f32, seed: u64) -> Split {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Group indices per label.
+    let mut by_class: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (i, s) in split.samples.iter().enumerate() {
+        by_class.entry(s.label).or_default().push(i);
+    }
+    let mut keep = Vec::new();
+    for idxs in by_class.values() {
+        let k = ((idxs.len() as f32 * fraction).round() as usize).max(1).min(idxs.len());
+        // Partial Fisher–Yates to pick k without replacement.
+        let mut pool = idxs.clone();
+        for j in 0..k {
+            let pick = rng.gen_range(j..pool.len());
+            pool.swap(j, pick);
+        }
+        keep.extend_from_slice(&pool[..k]);
+    }
+    keep.sort_unstable();
+    Split::new(keep.into_iter().map(|i| split.samples[i].clone()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::Sample;
+
+    fn split(per_class: usize, classes: usize) -> Split {
+        let mut s = Vec::new();
+        for c in 0..classes {
+            for i in 0..per_class {
+                s.push(Sample::new(vec![vec![i as f32; 4]], c));
+            }
+        }
+        Split::new(s)
+    }
+
+    #[test]
+    fn keeps_requested_fraction() {
+        let s = split(20, 3);
+        let sub = few_shot_subset(&s, 0.2, 0);
+        assert_eq!(sub.len(), 12);
+        assert_eq!(sub.class_counts(3), vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn at_least_one_per_class() {
+        let s = split(5, 4);
+        let sub = few_shot_subset(&s, 0.01, 0);
+        assert_eq!(sub.class_counts(4), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn full_fraction_is_identity_size() {
+        let s = split(7, 2);
+        assert_eq!(few_shot_subset(&s, 1.0, 0).len(), 14);
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = split(30, 2);
+        assert_eq!(few_shot_subset(&s, 0.15, 9), few_shot_subset(&s, 0.15, 9));
+        assert_ne!(
+            few_shot_subset(&s, 0.15, 9).samples,
+            few_shot_subset(&s, 0.15, 10).samples
+        );
+    }
+}

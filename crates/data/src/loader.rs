@@ -1,0 +1,148 @@
+//! Loader for the real UCR archive's tab-separated format, for users who
+//! have the archive on disk: each line is `label\tv1\tv2...` and each
+//! dataset ships `<Name>_TRAIN.tsv` / `<Name>_TEST.tsv`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::sample::{Dataset, Sample, Split};
+
+/// Parse one UCR TSV body into samples with raw (unmapped) labels.
+fn parse_tsv(body: &str) -> io::Result<Vec<(i64, Vec<f32>)>> {
+    let mut out = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split(['\t', ',']).filter(|f| !f.is_empty());
+        let label: i64 = fields
+            .next()
+            .ok_or_else(|| bad(lineno, "missing label"))?
+            .trim()
+            .parse::<f64>()
+            .map_err(|e| bad(lineno, &format!("bad label: {e}")))? as i64;
+        let values: Result<Vec<f32>, _> = fields.map(|f| f.trim().parse::<f32>()).collect();
+        let values = values.map_err(|e| bad(lineno, &format!("bad value: {e}")))?;
+        if values.is_empty() {
+            return Err(bad(lineno, "no values"));
+        }
+        out.push((label, values));
+    }
+    if out.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty TSV"));
+    }
+    Ok(out)
+}
+
+fn bad(lineno: usize, msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {msg}", lineno + 1))
+}
+
+/// Load a UCR-format dataset from `<dir>/<name>_TRAIN.tsv` and
+/// `<dir>/<name>_TEST.tsv`. Labels are remapped to `0..C-1` consistently
+/// across the two splits.
+pub fn load_ucr_tsv(dir: &Path, name: &str) -> io::Result<Dataset> {
+    let train_raw = parse_tsv(&fs::read_to_string(dir.join(format!("{name}_TRAIN.tsv")))?)?;
+    let test_raw = parse_tsv(&fs::read_to_string(dir.join(format!("{name}_TEST.tsv")))?)?;
+    // Stable label remap over both splits.
+    let mut mapping = BTreeMap::new();
+    for (l, _) in train_raw.iter().chain(&test_raw) {
+        let next = mapping.len();
+        mapping.entry(*l).or_insert(next);
+    }
+    let build = |raw: Vec<(i64, Vec<f32>)>| -> Split {
+        Split::new(
+            raw.into_iter()
+                .map(|(l, v)| Sample::new(vec![v], mapping[&l]))
+                .collect(),
+        )
+    };
+    Ok(Dataset {
+        name: name.to_string(),
+        domain: "ucr".to_string(),
+        n_classes: mapping.len(),
+        train: build(train_raw),
+        test: build(test_raw),
+    })
+}
+
+/// Save a dataset (including multivariate ones) as JSON.
+pub fn save_json(path: &Path, ds: &Dataset) -> io::Result<()> {
+    let json = serde_json::to_string(ds).map_err(io::Error::other)?;
+    fs::write(path, json)
+}
+
+/// Load a dataset previously written by [`save_json`].
+pub fn load_json(path: &Path) -> io::Result<Dataset> {
+    let body = fs::read_to_string(path)?;
+    let ds: Dataset = serde_json::from_str(&body).map_err(io::Error::other)?;
+    if ds.train.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "dataset has no training data"));
+    }
+    for s in ds.train.samples.iter().chain(&ds.test.samples) {
+        if s.label >= ds.n_classes {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "label out of range"));
+        }
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_multivariate() {
+        let ds = crate::archives::uea_like_archive(1, 3).remove(0);
+        assert!(ds.n_vars() > 1);
+        let path = std::env::temp_dir().join("aimts_ds_roundtrip.json");
+        save_json(&path, &ds).unwrap();
+        let loaded = load_json(&path).unwrap();
+        assert_eq!(ds, loaded);
+    }
+
+    #[test]
+    fn json_rejects_corrupt_labels() {
+        let mut ds = crate::archives::ucr_like_archive(1, 3).remove(0);
+        ds.n_classes = 1; // now some labels are out of range
+        let path = std::env::temp_dir().join("aimts_ds_bad.json");
+        save_json(&path, &ds).unwrap();
+        assert!(load_json(&path).is_err());
+    }
+
+    #[test]
+    fn parse_basic_tsv() {
+        let rows = parse_tsv("1\t0.5\t0.75\n-1\t1.0\t2.0\n").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (1, vec![0.5, 0.75]));
+        assert_eq!(rows[1].0, -1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_tsv("foo\t1.0\n").is_err());
+        assert!(parse_tsv("").is_err());
+        assert!(parse_tsv("1\n").is_err());
+    }
+
+    #[test]
+    fn load_roundtrip_with_label_remap() {
+        let dir = std::env::temp_dir().join("aimts_ucr_loader_test");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("Toy_TRAIN.tsv"), "2\t1\t2\t3\n5\t3\t2\t1\n").unwrap();
+        fs::write(dir.join("Toy_TEST.tsv"), "5\t0\t0\t0\n").unwrap();
+        let ds = load_ucr_tsv(&dir, "Toy").unwrap();
+        assert_eq!(ds.n_classes, 2);
+        assert_eq!(ds.train.labels(), vec![0, 1]);
+        assert_eq!(ds.test.labels(), vec![1]);
+        assert_eq!(ds.train.samples[0].vars[0], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(load_ucr_tsv(Path::new("/nonexistent"), "Nope").is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Pre-processing: per-variable z-normalization and length resampling.
+
+use crate::sample::{Dataset, MultiSeries, Sample, Split};
+
+/// Z-normalize a single series in place (no-op on zero variance).
+pub fn z_normalize(x: &mut [f32]) {
+    let n = x.len() as f32;
+    let mean: f32 = x.iter().sum::<f32>() / n;
+    let var: f32 = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let std = var.sqrt();
+    if std < 1e-8 {
+        for v in x.iter_mut() {
+            *v -= mean;
+        }
+        return;
+    }
+    for v in x.iter_mut() {
+        *v = (*v - mean) / std;
+    }
+}
+
+/// Z-normalize every variable of a sample.
+pub fn z_normalize_sample(vars: &mut MultiSeries) {
+    for v in vars.iter_mut() {
+        z_normalize(v);
+    }
+}
+
+/// Z-normalize every sample of a dataset (both splits), in place.
+pub fn z_normalize_dataset(ds: &mut Dataset) {
+    for split in [&mut ds.train, &mut ds.test] {
+        for s in &mut split.samples {
+            z_normalize_sample(&mut s.vars);
+        }
+    }
+}
+
+/// Linearly resample every variable of every sample to `target_len`
+/// (used to mix sources of different lengths into one pre-training batch).
+pub fn resample_split(split: &Split, target_len: usize) -> Split {
+    Split::new(
+        split
+            .samples
+            .iter()
+            .map(|s| Sample::new(resample_sample(&s.vars, target_len), s.label))
+            .collect(),
+    )
+}
+
+/// Linearly resample a sample's variables to `target_len`.
+pub fn resample_sample(vars: &MultiSeries, target_len: usize) -> MultiSeries {
+    vars.iter().map(|v| linear_resample(v, target_len)).collect()
+}
+
+fn linear_resample(x: &[f32], m: usize) -> Vec<f32> {
+    assert!(!x.is_empty() && m >= 1);
+    if m == 1 {
+        return vec![x[0]];
+    }
+    if x.len() == 1 {
+        return vec![x[0]; m];
+    }
+    let scale = (x.len() - 1) as f32 / (m - 1) as f32;
+    (0..m)
+        .map(|i| {
+            let p = i as f32 * scale;
+            let j = p.floor() as usize;
+            let frac = p - j as f32;
+            if j + 1 >= x.len() {
+                x[x.len() - 1]
+            } else {
+                x[j] * (1.0 - frac) + x[j + 1] * frac
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_normalize_stats() {
+        let mut x: Vec<f32> = (0..100).map(|i| i as f32 * 3.0 + 7.0).collect();
+        z_normalize(&mut x);
+        let mean: f32 = x.iter().sum::<f32>() / 100.0;
+        let var: f32 = x.iter().map(|v| v * v).sum::<f32>() / 100.0;
+        assert!(mean.abs() < 1e-4);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn z_normalize_constant_series() {
+        let mut x = vec![4.0; 10];
+        z_normalize(&mut x);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn resample_lengths() {
+        let vars = vec![vec![0.0, 1.0, 2.0, 3.0]];
+        assert_eq!(resample_sample(&vars, 7)[0].len(), 7);
+        assert_eq!(resample_sample(&vars, 2)[0], vec![0.0, 3.0]);
+    }
+}

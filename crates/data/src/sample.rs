@@ -1,0 +1,123 @@
+//! Core dataset types.
+
+use serde::{Deserialize, Serialize};
+
+/// A multivariate series: `vars[m]` is the series of the m-th variable.
+/// Univariate samples have `vars.len() == 1`.
+pub type MultiSeries = Vec<Vec<f32>>;
+
+/// One labeled time-series sample (paper Definition 1/2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    pub vars: MultiSeries,
+    pub label: usize,
+}
+
+impl Sample {
+    pub fn new(vars: MultiSeries, label: usize) -> Self {
+        debug_assert!(!vars.is_empty());
+        Sample { vars, label }
+    }
+
+    /// Number of variables `M`.
+    pub fn n_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of time steps `T`.
+    pub fn len(&self) -> usize {
+        self.vars[0].len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vars[0].is_empty()
+    }
+}
+
+/// A train or test split.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Split {
+    pub samples: Vec<Sample>,
+}
+
+impl Split {
+    pub fn new(samples: Vec<Sample>) -> Self {
+        Split { samples }
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Labels in sample order.
+    pub fn labels(&self) -> Vec<usize> {
+        self.samples.iter().map(|s| s.label).collect()
+    }
+
+    /// Count of samples per class (indexed by label).
+    pub fn class_counts(&self, n_classes: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n_classes];
+        for s in &self.samples {
+            counts[s.label] += 1;
+        }
+        counts
+    }
+}
+
+/// A named classification dataset with train/test splits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    pub name: String,
+    /// Domain tag ("ecg", "motion", "sensor", ...), used to reason about
+    /// cross-domain transfer in the experiments.
+    pub domain: String,
+    pub n_classes: usize,
+    pub train: Split,
+    pub test: Split,
+}
+
+impl Dataset {
+    /// Number of variables `M` (from the first train sample).
+    pub fn n_vars(&self) -> usize {
+        self.train.samples[0].n_vars()
+    }
+
+    /// Series length `T` (from the first train sample).
+    pub fn series_len(&self) -> usize {
+        self.train.samples[0].len()
+    }
+
+    /// Strip labels from the training split — the multi-source pre-training
+    /// pool is unlabeled (paper §III-B).
+    pub fn unlabeled_train(&self) -> Vec<MultiSeries> {
+        self.train.samples.iter().map(|s| s.vars.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let tr = Split::new(vec![
+            Sample::new(vec![vec![0.0, 1.0, 2.0]], 0),
+            Sample::new(vec![vec![2.0, 1.0, 0.0]], 1),
+        ]);
+        let te = Split::new(vec![Sample::new(vec![vec![0.0, 1.0, 2.0]], 0)]);
+        Dataset { name: "toy".into(), domain: "test".into(), n_classes: 2, train: tr, test: te }
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.n_vars(), 1);
+        assert_eq!(d.series_len(), 3);
+        assert_eq!(d.train.labels(), vec![0, 1]);
+        assert_eq!(d.train.class_counts(2), vec![1, 1]);
+        assert_eq!(d.unlabeled_train().len(), 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! Signal primitives composed by the dataset generators.
+//!
+//! Each primitive is deterministic given the RNG state, so entire archives
+//! are reproducible from a single seed.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One standard normal draw (Box–Muller).
+pub fn randn(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Sine wave: `amp * sin(2π freq t / n + phase)`.
+pub fn sine(n: usize, freq: f32, phase: f32, amp: f32) -> Vec<f32> {
+    (0..n)
+        .map(|t| amp * (2.0 * std::f32::consts::PI * freq * t as f32 / n as f32 + phase).sin())
+        .collect()
+}
+
+/// Square wave with the given number of cycles.
+pub fn square(n: usize, freq: f32, phase: f32, amp: f32) -> Vec<f32> {
+    sine(n, freq, phase, 1.0).iter().map(|v| if *v >= 0.0 { amp } else { -amp }).collect()
+}
+
+/// Sawtooth wave.
+pub fn sawtooth(n: usize, freq: f32, amp: f32) -> Vec<f32> {
+    (0..n)
+        .map(|t| {
+            let x = (freq * t as f32 / n as f32).fract();
+            amp * (2.0 * x - 1.0)
+        })
+        .collect()
+}
+
+/// Linear chirp from `f0` to `f1` cycles across the window.
+pub fn chirp(n: usize, f0: f32, f1: f32, amp: f32) -> Vec<f32> {
+    (0..n)
+        .map(|t| {
+            let x = t as f32 / n as f32;
+            let phase = 2.0 * std::f32::consts::PI * (f0 * x + 0.5 * (f1 - f0) * x * x);
+            amp * phase.sin()
+        })
+        .collect()
+}
+
+/// Gaussian bump centered at `center` (fractional position) with fractional
+/// width `width` and the given amplitude.
+pub fn gaussian_bump(n: usize, center: f32, width: f32, amp: f32) -> Vec<f32> {
+    let c = center * n as f32;
+    let w = (width * n as f32).max(1.0);
+    (0..n)
+        .map(|t| {
+            let d = (t as f32 - c) / w;
+            amp * (-0.5 * d * d).exp()
+        })
+        .collect()
+}
+
+/// Random walk with per-step drift and noise scale.
+pub fn random_walk(n: usize, drift: f32, noise: f32, rng: &mut StdRng) -> Vec<f32> {
+    let mut acc = 0f32;
+    (0..n)
+        .map(|_| {
+            acc += drift + noise * randn(rng);
+            acc
+        })
+        .collect()
+}
+
+/// AR(1) process `x_t = phi x_{t-1} + e_t`.
+pub fn ar1(n: usize, phi: f32, noise: f32, rng: &mut StdRng) -> Vec<f32> {
+    let mut prev = 0f32;
+    (0..n)
+        .map(|_| {
+            prev = phi * prev + noise * randn(rng);
+            prev
+        })
+        .collect()
+}
+
+/// A synthetic ECG beat train (P wave, QRS complex, T wave per beat).
+///
+/// `t_polarity = 1.0` gives an upright T wave (healthy); `-1.0` an
+/// inverted T wave (myocardial infarction) — the class-defining structure
+/// of the paper's ECG200 motivating example (Fig. 2).
+pub fn ecg(n: usize, beats: usize, t_polarity: f32, rng: &mut StdRng) -> Vec<f32> {
+    let mut out = vec![0f32; n];
+    let beat_len = n / beats.max(1);
+    for b in 0..beats {
+        let start = b * beat_len;
+        let jitter = (randn(rng) * 0.01 * beat_len as f32) as i64;
+        let at = |frac: f32| -> f32 {
+            (start as i64 + (frac * beat_len as f32) as i64 + jitter) as f32 / n as f32
+        };
+        // P wave: small bump.
+        add(&mut out, &gaussian_bump(n, at(0.15), 0.02 * beat_len as f32 / n as f32, 0.2));
+        // Q dip, R spike, S dip.
+        add(&mut out, &gaussian_bump(n, at(0.28), 0.008 * beat_len as f32 / n as f32, -0.2));
+        add(&mut out, &gaussian_bump(n, at(0.32), 0.010 * beat_len as f32 / n as f32, 1.2));
+        add(&mut out, &gaussian_bump(n, at(0.37), 0.008 * beat_len as f32 / n as f32, -0.35));
+        // T wave: polarity is the class signal.
+        add(
+            &mut out,
+            &gaussian_bump(n, at(0.60), 0.035 * beat_len as f32 / n as f32, 0.45 * t_polarity),
+        );
+    }
+    out
+}
+
+/// Sum `b` into `a` element-wise.
+pub fn add(a: &mut [f32], b: &[f32]) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// Add i.i.d. Gaussian noise in place.
+pub fn add_noise(x: &mut [f32], sigma: f32, rng: &mut StdRng) {
+    for v in x.iter_mut() {
+        *v += sigma * randn(rng);
+    }
+}
+
+/// Burst envelope: mostly quiet with `bursts` high-activity windows of
+/// fractional width `width` and amplitude `amp` (EMG / epilepsy building
+/// block).
+pub fn bursts(n: usize, nbursts: usize, width: f32, amp: f32, rng: &mut StdRng) -> Vec<f32> {
+    let mut out = vec![0f32; n];
+    for _ in 0..nbursts {
+        let center: f32 = rng.gen_range(0.1..0.9);
+        let env = gaussian_bump(n, center, width, 1.0);
+        for (o, e) in out.iter_mut().zip(&env) {
+            *o += amp * e * randn(rng);
+        }
+    }
+    out
+}
+
+/// Periodic impulse train with the given period (bearing-fault building
+/// block for the FD-B equivalent): sharp decaying spikes.
+pub fn impulses(n: usize, period: usize, amp: f32, rng: &mut StdRng) -> Vec<f32> {
+    let mut out = vec![0f32; n];
+    let mut t = rng.gen_range(0..period.max(1));
+    while t < n {
+        let a = amp * (1.0 + 0.2 * randn(rng));
+        for (k, slot) in out[t..].iter_mut().take(8).enumerate() {
+            *slot += a * (-(k as f32) / 2.0).exp();
+        }
+        t += period.max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn sine_period() {
+        let s = sine(100, 1.0, 0.0, 1.0);
+        assert!((s[0]).abs() < 1e-6);
+        assert!((s[25] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn square_binary_values() {
+        let s = square(64, 2.0, 0.0, 3.0);
+        assert!(s.iter().all(|&v| v == 3.0 || v == -3.0));
+    }
+
+    #[test]
+    fn chirp_increases_frequency() {
+        let s = chirp(400, 1.0, 10.0, 1.0);
+        // Count zero crossings in the first vs last quarter.
+        let cross = |w: &[f32]| w.windows(2).filter(|p| p[0] * p[1] < 0.0).count();
+        assert!(cross(&s[300..]) > cross(&s[..100]));
+    }
+
+    #[test]
+    fn gaussian_bump_peak_location() {
+        let g = gaussian_bump(100, 0.5, 0.05, 2.0);
+        let argmax = g.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert!((argmax as i64 - 50).abs() <= 1);
+        assert!((g[argmax] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ecg_t_polarity_flips_t_wave() {
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let healthy = ecg(192, 2, 1.0, &mut r1);
+        let mi = ecg(192, 2, -1.0, &mut r2);
+        // T wave lives around 60% through each beat: sample there.
+        let t_idx = (0.60 * 96.0) as usize;
+        assert!(healthy[t_idx] > 0.0);
+        assert!(mi[t_idx] < 0.0);
+    }
+
+    #[test]
+    fn ar1_bounded_for_small_phi() {
+        let mut r = rng();
+        let s = ar1(1000, 0.5, 1.0, &mut r);
+        assert!(s.iter().all(|v| v.abs() < 20.0));
+    }
+
+    #[test]
+    fn impulses_are_sparse_and_positive_peaks() {
+        let mut r = rng();
+        let s = impulses(256, 32, 5.0, &mut r);
+        let big = s.iter().filter(|v| v.abs() > 1.0).count();
+        assert!(big > 4 && big < 128, "big {big}");
+    }
+
+    #[test]
+    fn bursts_energy_concentrated() {
+        let mut r = rng();
+        let s = bursts(512, 2, 0.03, 3.0, &mut r);
+        let energy: f32 = s.iter().map(|v| v * v).sum();
+        assert!(energy > 0.0);
+        // Most energy within the top decile of samples.
+        let mut e: Vec<f32> = s.iter().map(|v| v * v).collect();
+        e.sort_by(f32::total_cmp);
+        let top: f32 = e[e.len() - e.len() / 10..].iter().sum();
+        assert!(top / energy > 0.5);
+    }
+
+    #[test]
+    fn random_walk_drifts() {
+        let mut r = rng();
+        let s = random_walk(500, 0.5, 0.1, &mut r);
+        assert!(*s.last().unwrap() > 100.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Archive/dataset statistics: the quick "what am I working with" summary
+//! used by the CLI and notebooks-style exploration.
+
+use crate::sample::Dataset;
+
+/// Summary statistics of one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    pub name: String,
+    pub domain: String,
+    pub n_classes: usize,
+    pub n_vars: usize,
+    pub length: usize,
+    pub train_size: usize,
+    pub test_size: usize,
+    /// Smallest per-class training count (label scarcity indicator).
+    pub min_class_train: usize,
+    /// Global value range over the training split.
+    pub value_min: f32,
+    pub value_max: f32,
+}
+
+impl DatasetStats {
+    pub fn of(ds: &Dataset) -> DatasetStats {
+        let counts = ds.train.class_counts(ds.n_classes);
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for s in &ds.train.samples {
+            for v in &s.vars {
+                for &x in v {
+                    lo = lo.min(x);
+                    hi = hi.max(x);
+                }
+            }
+        }
+        DatasetStats {
+            name: ds.name.clone(),
+            domain: ds.domain.clone(),
+            n_classes: ds.n_classes,
+            n_vars: ds.n_vars(),
+            length: ds.series_len(),
+            train_size: ds.train.len(),
+            test_size: ds.test.len(),
+            min_class_train: counts.into_iter().min().unwrap_or(0),
+            value_min: lo,
+            value_max: hi,
+        }
+    }
+
+    /// One-line rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<28} domain={:<10} C={} M={} T={:<4} train={:<4} test={:<4} min/class={} range=[{:.2}, {:.2}]",
+            self.name,
+            self.domain,
+            self.n_classes,
+            self.n_vars,
+            self.length,
+            self.train_size,
+            self.test_size,
+            self.min_class_train,
+            self.value_min,
+            self.value_max
+        )
+    }
+}
+
+/// Render a whole archive's statistics table.
+pub fn archive_summary(datasets: &[Dataset]) -> String {
+    let mut out = String::new();
+    for ds in datasets {
+        out.push_str(&DatasetStats::of(ds).render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archives::ucr_like_archive;
+
+    #[test]
+    fn stats_match_dataset() {
+        let ds = &ucr_like_archive(1, 0)[0];
+        let st = DatasetStats::of(ds);
+        assert_eq!(st.n_classes, ds.n_classes);
+        assert_eq!(st.train_size, ds.train.len());
+        assert!(st.min_class_train >= 1);
+        assert!(st.value_min < st.value_max);
+    }
+
+    #[test]
+    fn summary_lists_every_dataset() {
+        let archive = ucr_like_archive(3, 0);
+        let s = archive_summary(&archive);
+        assert_eq!(s.lines().count(), 3);
+        for ds in &archive {
+            assert!(s.contains(&ds.name));
+        }
+    }
+}

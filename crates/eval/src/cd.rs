@@ -1,0 +1,253 @@
+//! Friedman test + Nemenyi critical-difference analysis and the ASCII CD
+//! diagram behind the paper's Fig. 6 (Demšar 2006).
+
+use crate::metrics::avg_ranks;
+
+/// Critical values `q_α` of the studentized range statistic divided by
+/// √2, for α = 0.05, indexed by the number of methods k (2..=20).
+const Q_ALPHA_05: [f64; 19] = [
+    1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164, 3.219, 3.268, 3.313, 3.354,
+    3.391, 3.426, 3.458, 3.489, 3.517, 3.544,
+];
+
+/// Result of a Friedman + Nemenyi analysis over an accuracy matrix.
+#[derive(Debug, Clone)]
+pub struct CdAnalysis {
+    pub methods: Vec<String>,
+    /// Average rank per method (lower = better).
+    pub avg_ranks: Vec<f64>,
+    /// Nemenyi critical difference at α = 0.05.
+    pub critical_difference: f64,
+    /// Friedman chi-square statistic.
+    pub friedman_chi2: f64,
+    /// p-value of the Friedman test (chi-square approximation).
+    pub p_value: f64,
+    /// Number of datasets N.
+    pub n_datasets: usize,
+    /// Maximal groups of methods whose ranks differ by less than the CD
+    /// (the horizontal bars of a CD diagram), as index lists sorted by rank.
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl CdAnalysis {
+    /// Run the analysis on a dataset × method accuracy matrix.
+    pub fn new(methods: &[&str], acc_matrix: &[Vec<f64>]) -> CdAnalysis {
+        let k = methods.len();
+        assert!((2..=20).contains(&k), "CD analysis supports 2..=20 methods");
+        assert!(!acc_matrix.is_empty(), "need at least one dataset");
+        let n = acc_matrix.len();
+        let ranks = avg_ranks(acc_matrix);
+
+        // Friedman chi-square.
+        let kf = k as f64;
+        let nf = n as f64;
+        let sum_sq: f64 = ranks.iter().map(|r| r * r).sum();
+        let chi2 = 12.0 * nf / (kf * (kf + 1.0)) * (sum_sq - kf * (kf + 1.0).powi(2) / 4.0);
+        let p = 1.0 - chi2_cdf(chi2.max(0.0), (k - 1) as f64);
+
+        // Nemenyi CD.
+        let q = Q_ALPHA_05[k - 2];
+        let cd = q * (kf * (kf + 1.0) / (6.0 * nf)).sqrt();
+
+        // Maximal indistinguishable groups: sort by rank, slide a window.
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| ranks[a].partial_cmp(&ranks[b]).unwrap());
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for i in 0..k {
+            let mut grp = vec![order[i]];
+            for &j in &order[i + 1..] {
+                if ranks[j] - ranks[order[i]] <= cd {
+                    grp.push(j);
+                }
+            }
+            if grp.len() > 1 {
+                // Keep only maximal groups.
+                let dominated = groups.iter().any(|g| grp.iter().all(|m| g.contains(m)));
+                if !dominated {
+                    groups.push(grp);
+                }
+            }
+        }
+
+        CdAnalysis {
+            methods: methods.iter().map(|s| s.to_string()).collect(),
+            avg_ranks: ranks,
+            critical_difference: cd,
+            friedman_chi2: chi2,
+            p_value: p,
+            n_datasets: n,
+            groups,
+        }
+    }
+
+    /// True if two methods are statistically indistinguishable at α=0.05.
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        (self.avg_ranks[a] - self.avg_ranks[b]).abs() <= self.critical_difference
+    }
+}
+
+/// Render the analysis as a text CD diagram (best method at the top).
+pub fn render_cd_diagram(cd: &CdAnalysis) -> String {
+    let mut order: Vec<usize> = (0..cd.methods.len()).collect();
+    order.sort_by(|&a, &b| cd.avg_ranks[a].partial_cmp(&cd.avg_ranks[b]).unwrap());
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "CD diagram (Nemenyi, alpha=0.05): CD = {:.3}, Friedman chi2 = {:.2} (p = {:.4}), N = {}\n",
+        cd.critical_difference, cd.friedman_chi2, cd.p_value, cd.n_datasets
+    ));
+    let width = 50usize;
+    let max_rank = cd.methods.len() as f64;
+    for &i in &order {
+        let pos = ((cd.avg_ranks[i] - 1.0) / (max_rank - 1.0).max(1e-9) * (width - 1) as f64)
+            .round() as usize;
+        let mut line = vec![b' '; width];
+        line[pos.min(width - 1)] = b'*';
+        out.push_str(&format!(
+            "{:>24} {:5.3} |{}|\n",
+            cd.methods[i],
+            cd.avg_ranks[i],
+            String::from_utf8(line).unwrap()
+        ));
+    }
+    if cd.groups.is_empty() {
+        out.push_str("all methods pairwise distinguishable\n");
+    } else {
+        for g in &cd.groups {
+            let names: Vec<&str> = g.iter().map(|&i| cd.methods[i].as_str()).collect();
+            out.push_str(&format!("not distinguishable: {}\n", names.join(" ~ ")));
+        }
+    }
+    out
+}
+
+/// Chi-square CDF via the regularized lower incomplete gamma P(k/2, x/2).
+fn chi2_cdf(x: f64, dof: f64) -> f64 {
+    lower_gamma_regularized(dof / 2.0, x / 2.0)
+}
+
+/// Regularized lower incomplete gamma (Numerical Recipes gser/gcf).
+fn lower_gamma_regularized(a: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series expansion.
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..200 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-12 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for the upper tail.
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..200 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-12 {
+                break;
+            }
+        }
+        1.0 - (-x + a * x.ln() - ln_gamma(a)).exp() * h
+    }
+}
+
+/// Lanczos log-gamma.
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5 - (x + 0.5) * (x + 5.5).ln();
+    let mut ser = 1.000000000190015;
+    for c in COEF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi2_cdf_known_values() {
+        // chi2(1): P(X <= 3.841) ≈ 0.95.
+        assert!((chi2_cdf(3.841, 1.0) - 0.95).abs() < 1e-3);
+        // chi2(5): P(X <= 11.07) ≈ 0.95.
+        assert!((chi2_cdf(11.07, 5.0) - 0.95).abs() < 1e-3);
+        assert_eq!(chi2_cdf(0.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_known() {
+        // Γ(5) = 24.
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        // Γ(0.5) = sqrt(π).
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_winner_detected() {
+        // Method 0 always best on 30 datasets; methods distinguishable.
+        let m: Vec<Vec<f64>> = (0..30).map(|_| vec![0.95, 0.5, 0.4]).collect();
+        let cd = CdAnalysis::new(&["A", "B", "C"], &m);
+        assert!(cd.avg_ranks[0] < cd.avg_ranks[1]);
+        assert!(cd.p_value < 0.01, "p {}", cd.p_value);
+        assert!(!cd.connected(0, 2));
+    }
+
+    #[test]
+    fn identical_methods_not_distinguishable() {
+        let m: Vec<Vec<f64>> = (0..10).map(|i| vec![0.5 + 0.01 * (i % 2) as f64; 3]).collect();
+        let cd = CdAnalysis::new(&["A", "B", "C"], &m);
+        assert!(cd.p_value > 0.5);
+        assert!(cd.connected(0, 1) && cd.connected(1, 2));
+        assert!(!cd.groups.is_empty());
+    }
+
+    #[test]
+    fn cd_decreases_with_more_datasets() {
+        let small: Vec<Vec<f64>> = (0..5).map(|_| vec![0.9, 0.8]).collect();
+        let large: Vec<Vec<f64>> = (0..100).map(|_| vec![0.9, 0.8]).collect();
+        let a = CdAnalysis::new(&["A", "B"], &small);
+        let b = CdAnalysis::new(&["A", "B"], &large);
+        assert!(b.critical_difference < a.critical_difference);
+    }
+
+    #[test]
+    fn render_includes_all_methods() {
+        let m: Vec<Vec<f64>> = (0..8).map(|_| vec![0.9, 0.7, 0.8]).collect();
+        let cd = CdAnalysis::new(&["AimTS", "TNC", "TS2Vec"], &m);
+        let s = render_cd_diagram(&cd);
+        assert!(s.contains("AimTS") && s.contains("TNC") && s.contains("TS2Vec"));
+        assert!(s.contains("CD ="));
+    }
+}

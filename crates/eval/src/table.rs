@@ -1,0 +1,132 @@
+//! Plain-text result tables in the layout the paper's tables use
+//! (datasets as rows, methods as columns, summary rows at the bottom).
+
+use crate::metrics::{avg_accuracy, avg_ranks, num_top1};
+
+/// A dataset × method accuracy table with the paper's three summary rows.
+#[derive(Debug, Clone, Default)]
+pub struct ResultTable {
+    pub title: String,
+    pub methods: Vec<String>,
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl ResultTable {
+    pub fn new(title: impl Into<String>, methods: &[&str]) -> Self {
+        ResultTable {
+            title: title.into(),
+            methods: methods.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one dataset row; `accs` aligned with `methods`.
+    pub fn push_row(&mut self, dataset: impl Into<String>, accs: Vec<f64>) {
+        assert_eq!(accs.len(), self.methods.len(), "row width mismatch");
+        self.rows.push((dataset.into(), accs));
+    }
+
+    /// The accuracy matrix (datasets × methods).
+    pub fn matrix(&self) -> Vec<Vec<f64>> {
+        self.rows.iter().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// Per-method average accuracy.
+    pub fn avg_acc(&self) -> Vec<f64> {
+        let m = self.matrix();
+        (0..self.methods.len())
+            .map(|j| avg_accuracy(&m.iter().map(|r| r[j]).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    /// Per-method average rank.
+    pub fn avg_rank(&self) -> Vec<f64> {
+        avg_ranks(&self.matrix())
+    }
+
+    /// Per-method sole-win counts.
+    pub fn top1(&self) -> Vec<usize> {
+        num_top1(&self.matrix())
+    }
+
+    /// Render in a fixed-width layout with Avg. ACC / Avg. Rank /
+    /// Num.Top-1 summary rows.
+    pub fn render(&self) -> String {
+        let name_w = self
+            .rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain([self.title.len(), 10])
+            .max()
+            .unwrap_or(10)
+            .max("Num.Top-1".len());
+        let col_w = self.methods.iter().map(|m| m.len()).max().unwrap_or(6).max(6) + 2;
+
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&format!("{:<name_w$}", ""));
+        for m in &self.methods {
+            out.push_str(&format!("{m:>col_w$}"));
+        }
+        out.push('\n');
+        for (name, accs) in &self.rows {
+            out.push_str(&format!("{name:<name_w$}"));
+            for a in accs {
+                out.push_str(&format!("{:>col_w$.3}", a));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<name_w$}", "Avg. ACC"));
+        for a in self.avg_acc() {
+            out.push_str(&format!("{a:>col_w$.3}"));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<name_w$}", "Avg. Rank"));
+        for r in self.avg_rank() {
+            out.push_str(&format!("{r:>col_w$.3}"));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<name_w$}", "Num.Top-1"));
+        for t in self.top1() {
+            out.push_str(&format!("{t:>col_w$}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> ResultTable {
+        let mut t = ResultTable::new("Toy", &["A", "B"]);
+        t.push_row("d1", vec![0.9, 0.8]);
+        t.push_row("d2", vec![0.7, 0.8]);
+        t
+    }
+
+    #[test]
+    fn summaries() {
+        let t = toy();
+        let acc = t.avg_acc();
+        assert!((acc[0] - 0.8).abs() < 1e-12);
+        assert_eq!(t.top1(), vec![1, 1]);
+        assert_eq!(t.avg_rank(), vec![1.5, 1.5]);
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = toy().render();
+        assert!(s.contains("Toy"));
+        assert!(s.contains("d1") && s.contains("d2"));
+        assert!(s.contains("Avg. ACC") && s.contains("Avg. Rank") && s.contains("Num.Top-1"));
+        assert!(s.contains("0.900"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        toy().push_row("bad", vec![1.0]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the evaluation statistics.
+
+use aimts_eval::{accuracy, avg_ranks, num_top1, rank_row, sample_beta, CdAnalysis, Summary};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn acc_row(k: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, k..=k)
+}
+
+proptest! {
+    /// Ranks always sum to k(k+1)/2 regardless of ties.
+    #[test]
+    fn ranks_sum_invariant(row in acc_row(6)) {
+        let r = rank_row(&row);
+        let expected = 6.0 * 7.0 / 2.0;
+        prop_assert!((r.iter().sum::<f64>() - expected).abs() < 1e-9);
+    }
+
+    /// The best value gets rank 1 (possibly shared upward under ties).
+    #[test]
+    fn best_value_has_best_rank(row in acc_row(5)) {
+        let r = rank_row(&row);
+        let best_idx = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        for (i, ri) in r.iter().enumerate() {
+            prop_assert!(r[best_idx] <= *ri + 1e-12, "idx {i}");
+        }
+    }
+
+    /// Average ranks lie in [1, k].
+    #[test]
+    fn avg_ranks_bounded(matrix in prop::collection::vec(acc_row(4), 1..20)) {
+        for r in avg_ranks(&matrix) {
+            prop_assert!((1.0..=4.0).contains(&r));
+        }
+    }
+
+    /// Sole-win counts sum to at most the number of datasets.
+    #[test]
+    fn top1_bounded(matrix in prop::collection::vec(acc_row(4), 1..20)) {
+        let wins: usize = num_top1(&matrix).iter().sum();
+        prop_assert!(wins <= matrix.len());
+    }
+
+    /// Accuracy is symmetric under consistent permutation of both inputs.
+    #[test]
+    fn accuracy_permutation_invariant(labels in prop::collection::vec(0usize..4, 5..30)) {
+        let preds: Vec<usize> = labels.iter().map(|l| (l + 1) % 4).collect();
+        let a1 = accuracy(&preds, &labels);
+        let mut idx: Vec<usize> = (0..labels.len()).collect();
+        idx.reverse();
+        let preds2: Vec<usize> = idx.iter().map(|&i| preds[i]).collect();
+        let labels2: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+        prop_assert_eq!(a1, accuracy(&preds2, &labels2));
+    }
+
+    /// Summary bounds: min <= mean <= max, std >= 0.
+    #[test]
+    fn summary_ordering(xs in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std >= 0.0);
+    }
+
+    /// Beta samples always land in [0, 1] for any positive parameters.
+    #[test]
+    fn beta_in_range(a in 0.05f64..5.0, b in 0.05f64..5.0, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let x = sample_beta(a, b, &mut rng);
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    /// The CD analysis never produces a negative critical difference and
+    /// its groups only contain valid method indices.
+    #[test]
+    fn cd_analysis_well_formed(matrix in prop::collection::vec(acc_row(4), 2..15)) {
+        let cd = CdAnalysis::new(&["a", "b", "c", "d"], &matrix);
+        prop_assert!(cd.critical_difference > 0.0);
+        prop_assert!((0.0..=1.0).contains(&cd.p_value));
+        for g in &cd.groups {
+            prop_assert!(g.iter().all(|&i| i < 4));
+            prop_assert!(g.len() >= 2);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Minimal RGB rasterizer: Bresenham lines and plus-shaped markers.
+
+/// A channel-major RGB canvas with values in `[0, 1]`.
+pub struct Canvas {
+    h: usize,
+    w: usize,
+    data: Vec<f32>,
+}
+
+impl Canvas {
+    pub fn new(h: usize, w: usize) -> Self {
+        Canvas { h, w, data: vec![0f32; 3 * h * w] }
+    }
+
+    /// Set a pixel to `color` (saturating at 1.0 per channel).
+    pub fn put(&mut self, y: usize, x: usize, color: [f32; 3]) {
+        if y >= self.h || x >= self.w {
+            return;
+        }
+        let hw = self.h * self.w;
+        for (c, &v) in color.iter().enumerate() {
+            let px = &mut self.data[c * hw + y * self.w + x];
+            *px = (*px + v).min(1.0);
+        }
+    }
+
+    /// Bresenham line between two pixels (inclusive).
+    pub fn line(&mut self, y0: usize, x0: usize, y1: usize, x1: usize, color: [f32; 3]) {
+        let (mut x0, mut y0) = (x0 as i64, y0 as i64);
+        let (x1, y1) = (x1 as i64, y1 as i64);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            if y0 >= 0 && x0 >= 0 {
+                self.put(y0 as usize, x0 as usize, color);
+            }
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+
+    /// Plus-shaped marker approximating the paper's `*` glyph.
+    pub fn marker(&mut self, y: usize, x: usize, color: [f32; 3]) {
+        self.put(y, x, color);
+        if y >= 1 {
+            self.put(y - 1, x, color);
+        }
+        self.put(y + 1, x, color);
+        if x >= 1 {
+            self.put(y, x - 1, color);
+        }
+        self.put(y, x + 1, color);
+    }
+
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_saturates() {
+        let mut c = Canvas::new(4, 4);
+        c.put(1, 1, [0.8, 0.0, 0.0]);
+        c.put(1, 1, [0.8, 0.0, 0.0]);
+        assert_eq!(c.data[5], 1.0);
+    }
+
+    #[test]
+    fn put_out_of_bounds_ignored() {
+        let mut c = Canvas::new(2, 2);
+        c.put(5, 5, [1.0, 1.0, 1.0]);
+        assert!(c.into_data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn horizontal_line_covers_row() {
+        let mut c = Canvas::new(4, 8);
+        c.line(2, 0, 2, 7, [0.0, 1.0, 0.0]);
+        let data = c.into_data();
+        let hw = 32;
+        for x in 0..8 {
+            assert_eq!(data[hw + 2 * 8 + x], 1.0);
+        }
+    }
+
+    #[test]
+    fn diagonal_line_connects() {
+        let mut c = Canvas::new(8, 8);
+        c.line(0, 0, 7, 7, [0.0, 0.0, 1.0]);
+        let data = c.into_data();
+        let hw = 64;
+        for i in 0..8 {
+            assert_eq!(data[2 * hw + i * 8 + i], 1.0);
+        }
+    }
+
+    #[test]
+    fn marker_cross_shape() {
+        let mut c = Canvas::new(5, 5);
+        c.marker(2, 2, [1.0, 0.0, 0.0]);
+        let d = c.into_data();
+        assert_eq!(d[2 * 5 + 2], 1.0);
+        assert_eq!(d[1 * 5 + 2], 1.0);
+        assert_eq!(d[3 * 5 + 2], 1.0);
+        assert_eq!(d[2 * 5 + 1], 1.0);
+        assert_eq!(d[2 * 5 + 3], 1.0);
+        assert_eq!(d[0], 0.0);
+    }
+}

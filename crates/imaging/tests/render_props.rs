@@ -1,0 +1,61 @@
+//! Property-based tests for the line-chart rasterizer.
+
+use aimts_imaging::{grid_layout, render_sample, ImageConfig};
+use proptest::prelude::*;
+
+fn var() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1000f32..1000f32, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn render_is_deterministic(v in var()) {
+        let cfg = ImageConfig::default();
+        prop_assert_eq!(render_sample(&[v.clone()], &cfg), render_sample(&[v], &cfg));
+    }
+
+    #[test]
+    fn raw_pixels_bounded(v in var()) {
+        let cfg = ImageConfig { standardize: false, ..ImageConfig::default() };
+        let img = render_sample(&[v], &cfg);
+        prop_assert!(img.data.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn standardized_channels_centered(v in var()) {
+        let img = render_sample(&[v], &ImageConfig::default());
+        for m in img.channel_means() {
+            prop_assert!(m.abs() < 1e-3);
+        }
+        prop_assert!(img.data.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn multivariate_dimensions_match_grid(n_vars in 1usize..9, len in 2usize..50) {
+        let vars: Vec<Vec<f32>> =
+            (0..n_vars).map(|i| (0..len).map(|t| (t + i) as f32).collect()).collect();
+        let cfg = ImageConfig::small();
+        let img = render_sample(&vars, &cfg);
+        let (rows, cols) = grid_layout(n_vars, cfg.max_cols);
+        prop_assert_eq!(img.height, rows * cfg.cell);
+        prop_assert_eq!(img.width, cols * cfg.cell);
+    }
+
+    #[test]
+    fn grid_layout_covers_all_variables(m in 1usize..40, max_cols in 1usize..8) {
+        let (rows, cols) = grid_layout(m, max_cols);
+        prop_assert!(rows * cols >= m, "{rows}x{cols} < {m}");
+        prop_assert!(cols <= max_cols.max(1));
+        // No fully empty row.
+        prop_assert!((rows - 1) * cols < m);
+    }
+
+    #[test]
+    fn rendering_has_ink_for_nonconstant_series(len in 8usize..100) {
+        let v: Vec<f32> = (0..len).map(|t| (t as f32 * 0.5).sin()).collect();
+        let cfg = ImageConfig { standardize: false, ..ImageConfig::default() };
+        let img = render_sample(&[v], &cfg);
+        let ink = img.data.iter().filter(|&&p| p > 0.0).count();
+        prop_assert!(ink >= len.min(60), "only {ink} lit pixels");
+    }
+}

@@ -1,0 +1,117 @@
+//! JSON checkpointing of named parameters.
+//!
+//! The pre-training stage saves the TS encoder here and the fine-tuning
+//! stage restores it — mirroring the paper's transfer of the pre-trained
+//! encoder into each downstream task (Fig. 3b).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use aimts_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Serialized tensor: shape + row-major data.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TensorState {
+    pub shape: Vec<usize>,
+    pub data: Vec<f32>,
+}
+
+/// Name → tensor state, ordered for reproducible files.
+pub type StateDict = BTreeMap<String, TensorState>;
+
+/// Snapshot named parameters into a [`StateDict`].
+pub fn state_dict_of(named: &[(String, Tensor)]) -> StateDict {
+    named
+        .iter()
+        .map(|(n, t)| (n.clone(), TensorState { shape: t.shape().to_vec(), data: t.to_vec() }))
+        .collect()
+}
+
+/// Write a state dict as JSON.
+pub fn save_state_dict(path: &Path, named: &[(String, Tensor)]) -> io::Result<()> {
+    let sd = state_dict_of(named);
+    let json = serde_json::to_string(&sd).map_err(io::Error::other)?;
+    fs::write(path, json)
+}
+
+/// Read a state dict from JSON and copy values into matching parameters.
+///
+/// Every parameter in `named` must be present in the file with the same
+/// shape; extra file entries are ignored (allows loading an encoder out of
+/// a larger model checkpoint).
+pub fn load_state_dict(path: &Path, named: &[(String, Tensor)]) -> io::Result<()> {
+    let json = fs::read_to_string(path)?;
+    let sd: StateDict = serde_json::from_str(&json).map_err(io::Error::other)?;
+    apply_state_dict(&sd, named)
+}
+
+/// Copy a [`StateDict`]'s values into matching parameters.
+pub fn apply_state_dict(sd: &StateDict, named: &[(String, Tensor)]) -> io::Result<()> {
+    for (name, tensor) in named {
+        let state = sd.get(name).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("missing parameter `{name}`"))
+        })?;
+        if state.shape != tensor.shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "shape mismatch for `{name}`: checkpoint {:?} vs model {:?}",
+                    state.shape,
+                    tensor.shape()
+                ),
+            ));
+        }
+        tensor.set_data(&state.data);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Module};
+
+    #[test]
+    fn roundtrip_preserves_weights() {
+        let dir = std::env::temp_dir().join("aimts_nn_ckpt_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lin.json");
+
+        let a = Linear::new(3, 2, true, 42);
+        let mut named = Vec::new();
+        a.named_parameters("enc", &mut named);
+        save_state_dict(&path, &named).unwrap();
+
+        let b = Linear::new(3, 2, true, 7);
+        let mut named_b = Vec::new();
+        b.named_parameters("enc", &mut named_b);
+        assert_ne!(named[0].1.to_vec(), named_b[0].1.to_vec());
+        load_state_dict(&path, &named_b).unwrap();
+        assert_eq!(named[0].1.to_vec(), named_b[0].1.to_vec());
+        assert_eq!(named[1].1.to_vec(), named_b[1].1.to_vec());
+    }
+
+    #[test]
+    fn missing_parameter_errors() {
+        let sd = StateDict::new();
+        let lin = Linear::new(2, 2, false, 0);
+        let mut named = Vec::new();
+        lin.named_parameters("x", &mut named);
+        assert!(apply_state_dict(&sd, &named).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = Linear::new(3, 2, false, 0);
+        let mut named = Vec::new();
+        a.named_parameters("m", &mut named);
+        let sd = state_dict_of(&named);
+        let b = Linear::new(3, 4, false, 0);
+        let mut named_b = Vec::new();
+        b.named_parameters("m", &mut named_b);
+        assert!(apply_state_dict(&sd, &named_b).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Kaiming (He) uniform initialization, matching PyTorch defaults.
+
+use aimts_tensor::Tensor;
+
+fn kaiming_bound(fan_in: usize) -> f32 {
+    // gain for ReLU-family = sqrt(2); bound = gain * sqrt(3 / fan_in).
+    (2.0f32).sqrt() * (3.0 / fan_in as f32).sqrt()
+}
+
+/// Linear weight `[in, out]` initialized Kaiming-uniform over fan-in.
+pub fn kaiming_linear(fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let b = kaiming_bound(fan_in);
+    Tensor::rand_uniform(&[fan_in, fan_out], -b, b, seed)
+}
+
+/// Conv1d weight `[c_out, c_in, k]`, fan-in = `c_in * k`.
+pub fn kaiming_conv1d(c_out: usize, c_in: usize, k: usize, seed: u64) -> Tensor {
+    let b = kaiming_bound(c_in * k);
+    Tensor::rand_uniform(&[c_out, c_in, k], -b, b, seed)
+}
+
+/// Conv2d weight `[c_out, c_in, kh, kw]`, fan-in = `c_in * kh * kw`.
+pub fn kaiming_conv2d(c_out: usize, c_in: usize, kh: usize, kw: usize, seed: u64) -> Tensor {
+    let b = kaiming_bound(c_in * kh * kw);
+    Tensor::rand_uniform(&[c_out, c_in, kh, kw], -b, b, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_shrink_with_fan_in() {
+        let small = kaiming_linear(4, 8, 0);
+        let large = kaiming_linear(400, 8, 0);
+        let max_small = small.to_vec().iter().fold(0f32, |a, x| a.max(x.abs()));
+        let max_large = large.to_vec().iter().fold(0f32, |a, x| a.max(x.abs()));
+        assert!(max_large < max_small);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            kaiming_conv1d(2, 3, 5, 9).to_vec(),
+            kaiming_conv1d(2, 3, 5, 9).to_vec()
+        );
+    }
+}

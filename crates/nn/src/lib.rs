@@ -1,0 +1,38 @@
+//! # aimts-nn
+//!
+//! Neural-network building blocks on top of [`aimts_tensor`]: a [`Module`]
+//! trait, the layers needed by the AimTS encoders (linear, 1-D/2-D
+//! convolution, batch/layer norm, dropout), weight initialization,
+//! optimizers (SGD, [`Adam`]) with the paper's StepLR schedule, and
+//! JSON checkpointing.
+//!
+//! ```
+//! use aimts_nn::{Linear, Module, Adam, Optimizer};
+//! use aimts_tensor::Tensor;
+//!
+//! let layer = Linear::new(4, 2, true, 0);
+//! let x = Tensor::randn(&[8, 4], 1);
+//! let y = layer.forward(&x);
+//! assert_eq!(y.shape(), &[8, 2]);
+//!
+//! let mut opt = Adam::new(layer.parameters(), 1e-2);
+//! y.square().mean_all().backward();
+//! opt.step();
+//! opt.zero_grad();
+//! ```
+
+mod checkpoint;
+mod init;
+mod layers;
+mod module;
+mod optim;
+mod scheduler;
+
+pub use checkpoint::{load_state_dict, save_state_dict, StateDict, TensorState};
+pub use init::{kaiming_conv1d, kaiming_conv2d, kaiming_linear};
+pub use layers::{
+    Activation, BatchNorm1d, Conv1d, Conv2d, Dropout, LayerNorm, Linear, Mlp, Sequential,
+};
+pub use module::Module;
+pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use scheduler::{CosineLr, StepLr};

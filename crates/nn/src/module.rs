@@ -1,0 +1,41 @@
+//! The [`Module`] trait: forward pass + parameter enumeration.
+
+use aimts_tensor::Tensor;
+
+/// A neural-network component.
+///
+/// Parameters are leaf variables created with `requires_grad()`; cloning a
+/// `Tensor` clones the handle, so optimizers and checkpoints observe the
+/// same storage the module computes with.
+pub trait Module {
+    /// Compute the output for `x`.
+    fn forward(&self, x: &Tensor) -> Tensor;
+
+    /// All trainable parameters (handles, not copies).
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut named = Vec::new();
+        self.named_parameters("", &mut named);
+        named.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Parameters with hierarchical names (`prefix.child.weight`), used by
+    /// checkpointing.
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>);
+
+    /// Toggle training-time behaviour (dropout, batch-norm statistics).
+    fn set_training(&self, _training: bool) {}
+
+    /// Total number of scalar parameters.
+    fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(|p| p.numel()).sum()
+    }
+}
+
+/// Join a prefix and a leaf name with `.` (no leading dot for roots).
+pub(crate) fn join(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}

@@ -1,0 +1,97 @@
+//! Learning-rate schedules. The paper uses StepLR decay during
+//! pre-training (§V-A.3).
+
+use crate::optim::Optimizer;
+
+/// Multiply the learning rate by `gamma` every `step_size` epochs.
+pub struct StepLr {
+    base_lr: f32,
+    step_size: usize,
+    gamma: f32,
+    epoch: usize,
+}
+
+impl StepLr {
+    pub fn new(base_lr: f32, step_size: usize, gamma: f32) -> Self {
+        assert!(step_size > 0, "step_size must be positive");
+        StepLr { base_lr, step_size, gamma, epoch: 0 }
+    }
+
+    /// Learning rate for the current epoch.
+    pub fn current_lr(&self) -> f32 {
+        self.base_lr * self.gamma.powi((self.epoch / self.step_size) as i32)
+    }
+
+    /// Advance one epoch and push the new LR into the optimizer.
+    pub fn step(&mut self, opt: &mut dyn Optimizer) {
+        self.epoch += 1;
+        opt.set_lr(self.current_lr());
+    }
+}
+
+/// Cosine annealing from `base_lr` down to `min_lr` over `total_epochs`
+/// (extension beyond the paper's StepLR, useful for longer runs).
+pub struct CosineLr {
+    base_lr: f32,
+    min_lr: f32,
+    total_epochs: usize,
+    epoch: usize,
+}
+
+impl CosineLr {
+    pub fn new(base_lr: f32, min_lr: f32, total_epochs: usize) -> Self {
+        assert!(total_epochs > 0, "total_epochs must be positive");
+        assert!(min_lr <= base_lr, "min_lr must not exceed base_lr");
+        CosineLr { base_lr, min_lr, total_epochs, epoch: 0 }
+    }
+
+    /// Learning rate for the current epoch.
+    pub fn current_lr(&self) -> f32 {
+        let t = (self.epoch.min(self.total_epochs)) as f32 / self.total_epochs as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.min_lr + (self.base_lr - self.min_lr) * cos
+    }
+
+    /// Advance one epoch and push the new LR into the optimizer.
+    pub fn step(&mut self, opt: &mut dyn Optimizer) {
+        self.epoch += 1;
+        opt.set_lr(self.current_lr());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+
+    #[test]
+    fn cosine_monotone_decreasing_to_min() {
+        let mut sched = CosineLr::new(1.0, 0.1, 10);
+        let mut opt = Adam::new(vec![], 1.0);
+        let mut prev = sched.current_lr();
+        assert_eq!(prev, 1.0);
+        for _ in 0..10 {
+            sched.step(&mut opt);
+            assert!(opt.lr() <= prev + 1e-6, "lr must not increase");
+            prev = opt.lr();
+        }
+        assert!((opt.lr() - 0.1).abs() < 1e-5);
+        // Past the horizon it stays at min.
+        sched.step(&mut opt);
+        assert!((opt.lr() - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn decays_every_step_size() {
+        let mut sched = StepLr::new(1.0, 2, 0.5);
+        let mut opt = Adam::new(vec![], 1.0);
+        assert_eq!(sched.current_lr(), 1.0);
+        sched.step(&mut opt); // epoch 1
+        assert_eq!(opt.lr(), 1.0);
+        sched.step(&mut opt); // epoch 2 -> halved
+        assert_eq!(opt.lr(), 0.5);
+        sched.step(&mut opt);
+        sched.step(&mut opt); // epoch 4 -> quartered
+        assert_eq!(opt.lr(), 0.25);
+    }
+}

@@ -1,0 +1,177 @@
+//! Integration tests: end-to-end training of small networks built from the
+//! layer zoo, schedulers driving optimizers, and checkpoint compatibility
+//! across containers.
+
+use aimts_nn::{
+    clip_grad_norm, load_state_dict, save_state_dict, Activation, Adam, BatchNorm1d, Conv1d,
+    CosineLr, Dropout, LayerNorm, Linear, Mlp, Module, Optimizer, Sequential, Sgd, StepLr,
+};
+use aimts_tensor::ops::Conv1dSpec;
+use aimts_tensor::Tensor;
+
+/// A 2-moon-ish binary problem: class = sign of a non-linear feature.
+fn toy_problem(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+    let x = Tensor::randn(&[n, 2], seed);
+    let v = x.to_vec();
+    let labels: Vec<usize> =
+        (0..n).map(|i| ((v[i * 2] * v[i * 2] - v[i * 2 + 1]) > 0.0) as usize).collect();
+    (x, labels)
+}
+
+fn train_classifier(model: &dyn Module, x: &Tensor, y: &[usize], epochs: usize) -> f32 {
+    let mut opt = Adam::new(model.parameters(), 5e-3);
+    let mut last = f32::NAN;
+    for _ in 0..epochs {
+        let loss = model.forward(x).cross_entropy(y);
+        opt.zero_grad();
+        loss.backward();
+        opt.step();
+        last = loss.item();
+    }
+    last
+}
+
+#[test]
+fn mlp_learns_nonlinear_boundary() {
+    let (x, y) = toy_problem(128, 0);
+    let mlp = Mlp::new(&[2, 24, 24, 2], Activation::Gelu, 1);
+    let first = mlp.forward(&x).cross_entropy(&y).item();
+    let last = train_classifier(&mlp, &x, &y, 200);
+    assert!(last < first * 0.5, "loss {first} -> {last}");
+    let preds = mlp.forward(&x).argmax_axis(1);
+    let acc = preds.iter().zip(&y).filter(|(a, b)| a == b).count() as f32 / y.len() as f32;
+    assert!(acc > 0.85, "train accuracy {acc}");
+}
+
+#[test]
+fn conv_batchnorm_dropout_stack_trains() {
+    // [B, 1, T] -> conv -> BN -> relu -> dropout -> conv -> GAP-ish mean.
+    struct Net {
+        c1: Conv1d,
+        bn: BatchNorm1d,
+        drop: Dropout,
+        c2: Conv1d,
+        head: Linear,
+    }
+    impl Module for Net {
+        fn forward(&self, x: &Tensor) -> Tensor {
+            let h = self.bn.forward(&self.c1.forward(x)).relu();
+            let h = self.drop.forward(&h);
+            let h = self.c2.forward(&h).global_avg_pool1d();
+            self.head.forward(&h)
+        }
+        fn named_parameters(&self, p: &str, out: &mut Vec<(String, Tensor)>) {
+            self.c1.named_parameters(&format!("{p}.c1"), out);
+            self.bn.named_parameters(&format!("{p}.bn"), out);
+            self.c2.named_parameters(&format!("{p}.c2"), out);
+            self.head.named_parameters(&format!("{p}.head"), out);
+        }
+        fn set_training(&self, t: bool) {
+            self.bn.set_training(t);
+            self.drop.set_training(t);
+        }
+    }
+    let net = Net {
+        c1: Conv1d::new(1, 8, 3, Conv1dSpec::same(3, 1), true, 0),
+        bn: BatchNorm1d::new(8),
+        drop: Dropout::new(0.1, 0),
+        c2: Conv1d::new(8, 8, 3, Conv1dSpec::same(3, 1), true, 1),
+        head: Linear::new(8, 2, true, 2),
+    };
+    // Class = high vs low frequency sine.
+    let n = 32;
+    let t = 32;
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let f = if i % 2 == 0 { 2.0 } else { 6.0 };
+        labels.push((i % 2) as usize);
+        for k in 0..t {
+            data.push((f * k as f32 * std::f32::consts::TAU / t as f32).sin());
+        }
+    }
+    let x = Tensor::from_vec(data, &[n, 1, t]);
+    let last = train_classifier(&net, &x, &labels, 60);
+    assert!(last < 0.4, "final loss {last}");
+    net.set_training(false);
+    let preds = net.forward(&x).argmax_axis(1);
+    let acc = preds.iter().zip(&labels).filter(|(a, b)| a == b).count() as f32 / n as f32;
+    assert!(acc > 0.9, "accuracy {acc}");
+}
+
+#[test]
+fn schedulers_drive_optimizers() {
+    let p = Tensor::zeros(&[1]).requires_grad();
+    let mut opt = Sgd::new(vec![p], 1.0);
+    let mut step = StepLr::new(1.0, 1, 0.1);
+    step.step(&mut opt);
+    assert!((opt.lr() - 0.1).abs() < 1e-7);
+    let mut cos = CosineLr::new(0.1, 0.0, 4);
+    for _ in 0..4 {
+        cos.step(&mut opt);
+    }
+    assert!(opt.lr() < 1e-6);
+}
+
+#[test]
+fn gradient_clipping_stabilizes_large_lr() {
+    // Exploding setup: big lr, steep loss; clipping keeps params finite.
+    let x = Tensor::from_vec(vec![10.0], &[1]).requires_grad();
+    let params = vec![x.clone()];
+    let mut opt = Sgd::new(params.clone(), 0.5);
+    for _ in 0..50 {
+        opt.zero_grad();
+        let loss = x.square().square().sum_all(); // x^4: grad 4x^3
+        loss.backward();
+        clip_grad_norm(&params, 1.0);
+        opt.step();
+    }
+    let v = x.to_vec()[0];
+    assert!(v.is_finite() && v.abs() < 10.0, "diverged to {v}");
+}
+
+#[test]
+fn layernorm_sequential_checkpoint_roundtrip() {
+    let build = |seed: u64| {
+        Sequential::new(vec![
+            Box::new(Linear::new(4, 8, true, seed)) as Box<dyn Module>,
+            Box::new(LayerNorm::new(8)),
+            Box::new(Activation::Relu),
+            Box::new(Linear::new(8, 3, true, seed + 1)),
+        ])
+    };
+    let a = build(3);
+    let b = build(99);
+    let x = Tensor::randn(&[5, 4], 7);
+    assert_ne!(a.forward(&x).to_vec(), b.forward(&x).to_vec());
+
+    let path = std::env::temp_dir().join("aimts_nn_seq_ckpt.json");
+    let mut named = Vec::new();
+    a.named_parameters("m", &mut named);
+    save_state_dict(&path, &named).unwrap();
+    let mut named_b = Vec::new();
+    b.named_parameters("m", &mut named_b);
+    load_state_dict(&path, &named_b).unwrap();
+    assert_eq!(a.forward(&x).to_vec(), b.forward(&x).to_vec());
+}
+
+#[test]
+fn adam_weight_decay_regularizes() {
+    // Same data, same model shape: decayed weights end up smaller.
+    let (x, y) = toy_problem(64, 5);
+    let run = |wd: f32| {
+        let mlp = Mlp::new(&[2, 16, 2], Activation::Relu, 9);
+        let mut opt = Adam::with_config(mlp.parameters(), 5e-3, 0.9, 0.999, 1e-8, wd);
+        for _ in 0..100 {
+            let loss = mlp.forward(&x).cross_entropy(&y);
+            opt.zero_grad();
+            loss.backward();
+            opt.step();
+        }
+        mlp.parameters()
+            .iter()
+            .map(|p| p.to_vec().iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+    };
+    assert!(run(0.05) < run(0.0));
+}

@@ -1,0 +1,171 @@
+//! Reverse-mode autodiff engine: topological sweep + grad-mode toggling.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+
+use crate::tensor::Tensor;
+
+thread_local! {
+    static GRAD_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Whether operations currently record the autograd graph.
+pub fn is_grad_enabled() -> bool {
+    GRAD_ENABLED.with(|c| c.get())
+}
+
+/// RAII guard that disables gradient tracking until dropped.
+pub struct NoGradGuard {
+    prev: bool,
+}
+
+impl Drop for NoGradGuard {
+    fn drop(&mut self) {
+        GRAD_ENABLED.with(|c| c.set(self.prev));
+    }
+}
+
+/// Run `f` with gradient tracking disabled (inference mode).
+///
+/// ```
+/// use aimts_tensor::{no_grad, Tensor};
+/// let a = Tensor::ones(&[2]).requires_grad();
+/// let out = no_grad(|| a.mul(&a));
+/// assert!(!out.is_tracked());
+/// ```
+pub fn no_grad<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = push_no_grad();
+    f()
+}
+
+/// Explicit guard variant of [`no_grad`] for scopes spanning statements.
+pub fn push_no_grad() -> NoGradGuard {
+    let prev = GRAD_ENABLED.with(|c| {
+        let p = c.get();
+        c.set(false);
+        p
+    });
+    NoGradGuard { prev }
+}
+
+/// Reverse sweep. Builds a topological order over tracked ancestors of
+/// `root`, then propagates `seed` backwards, accumulating into leaf
+/// variables' `.grad`.
+pub(crate) fn run_backward(root: &Tensor, seed: &[f32]) {
+    if !root.inner.track {
+        return;
+    }
+    // Iterative DFS post-order: children (parents in graph terms) first.
+    let mut order: Vec<Tensor> = Vec::new();
+    let mut visited: HashMap<u64, ()> = HashMap::new();
+    let mut stack: Vec<(Tensor, usize)> = vec![(root.clone(), 0)];
+    while let Some((node, pi)) = stack.pop() {
+        if pi == 0 {
+            if visited.contains_key(&node.inner.id) {
+                continue;
+            }
+            visited.insert(node.inner.id, ());
+        }
+        let parents = &node.inner.parents;
+        let mut advanced = false;
+        for (j, p) in parents.iter().enumerate().skip(pi) {
+            if p.inner.track && !visited.contains_key(&p.inner.id) {
+                stack.push((node.clone(), j + 1));
+                stack.push((p.clone(), 0));
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            order.push(node);
+        }
+    }
+    // `order` is post-order: leaves first, root last → walk reversed.
+    let mut grads: HashMap<u64, Vec<f32>> = HashMap::new();
+    grads.insert(root.inner.id, seed.to_vec());
+    for node in order.iter().rev() {
+        let Some(gout) = grads.remove(&node.inner.id) else {
+            continue;
+        };
+        if node.inner.is_variable {
+            node.accumulate_grad(&gout);
+        }
+        let Some(backward) = &node.inner.backward else {
+            continue;
+        };
+        let parent_grads = backward(node, &gout);
+        debug_assert_eq!(parent_grads.len(), node.inner.parents.len());
+        for (p, pg) in node.inner.parents.iter().zip(parent_grads) {
+            let (true, Some(pg)) = (p.inner.track, pg) else {
+                continue;
+            };
+            debug_assert_eq!(pg.len(), p.numel(), "parent grad length mismatch");
+            match grads.get_mut(&p.inner.id) {
+                Some(acc) => {
+                    for (a, g) in acc.iter_mut().zip(&pg) {
+                        *a += g;
+                    }
+                }
+                None => {
+                    grads.insert(p.inner.id, pg);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn no_grad_disables_tracking() {
+        let a = Tensor::ones(&[2]).requires_grad();
+        assert!(a.add(&a).is_tracked());
+        let out = no_grad(|| a.add(&a));
+        assert!(!out.is_tracked());
+        assert!(is_grad_enabled());
+    }
+
+    #[test]
+    fn no_grad_nests() {
+        no_grad(|| {
+            assert!(!is_grad_enabled());
+            no_grad(|| assert!(!is_grad_enabled()));
+            assert!(!is_grad_enabled());
+        });
+        assert!(is_grad_enabled());
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_both_paths() {
+        // y = a*a + a*a -> dy/da = 4a
+        let a = Tensor::from_vec(vec![3.0], &[1]).requires_grad();
+        let sq = a.mul(&a);
+        let y = sq.add(&sq).sum_all();
+        y.backward();
+        assert_eq!(a.grad().unwrap(), vec![12.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_across_backward_calls() {
+        let a = Tensor::from_vec(vec![2.0], &[1]).requires_grad();
+        a.mul(&a).sum_all().backward();
+        a.mul(&a).sum_all().backward();
+        assert_eq!(a.grad().unwrap(), vec![8.0]);
+        a.zero_grad();
+        assert!(a.grad().is_none());
+    }
+
+    #[test]
+    fn shared_subgraph_reused_twice() {
+        // z = (a+b) * (a+b); dz/da = 2(a+b)
+        let a = Tensor::from_vec(vec![1.0], &[1]).requires_grad();
+        let b = Tensor::from_vec(vec![2.0], &[1]).requires_grad();
+        let s = a.add(&b);
+        s.mul(&s).sum_all().backward();
+        assert_eq!(a.grad().unwrap(), vec![6.0]);
+        assert_eq!(b.grad().unwrap(), vec![6.0]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Seeded random tensor constructors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::shape::numel;
+use crate::tensor::Tensor;
+
+/// Fill a buffer with standard normals via Box–Muller.
+pub(crate) fn fill_randn(rng: &mut StdRng, out: &mut [f32]) {
+    let mut i = 0;
+    while i < out.len() {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        out[i] = r * theta.cos();
+        if i + 1 < out.len() {
+            out[i + 1] = r * theta.sin();
+        }
+        i += 2;
+    }
+}
+
+impl Tensor {
+    /// Standard-normal tensor with an explicit seed (deterministic).
+    pub fn randn(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::randn_with(shape, &mut rng)
+    }
+
+    /// Standard-normal tensor drawing from a caller-owned RNG.
+    pub fn randn_with(shape: &[usize], rng: &mut StdRng) -> Tensor {
+        let mut data = vec![0f32; numel(shape)];
+        fill_randn(rng, &mut data);
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Uniform tensor over `[lo, hi)` with an explicit seed.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::rand_uniform_with(shape, lo, hi, &mut rng)
+    }
+
+    /// Uniform tensor drawing from a caller-owned RNG.
+    pub fn rand_uniform_with(shape: &[usize], lo: f32, hi: f32, rng: &mut StdRng) -> Tensor {
+        let data = (0..numel(shape)).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(data, shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn randn_deterministic_per_seed() {
+        let a = Tensor::randn(&[16], 7);
+        let b = Tensor::randn(&[16], 7);
+        let c = Tensor::randn(&[16], 8);
+        assert_eq!(a.to_vec(), b.to_vec());
+        assert_ne!(a.to_vec(), c.to_vec());
+    }
+
+    #[test]
+    fn randn_roughly_standard() {
+        let a = Tensor::randn(&[10_000], 42);
+        let v = a.to_vec();
+        let mean: f32 = v.iter().sum::<f32>() / v.len() as f32;
+        let var: f32 = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / v.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let a = Tensor::rand_uniform(&[1000], -2.0, 3.0, 1);
+        assert!(a.to_vec().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+}

@@ -1,0 +1,44 @@
+//! # aimts-tensor
+//!
+//! A dense, row-major, `f32` n-dimensional tensor library with reverse-mode
+//! automatic differentiation, written from scratch for the AimTS
+//! reproduction. It provides exactly the operator set the paper's models
+//! need — broadcasting element-wise arithmetic, (batched) matrix
+//! multiplication, 1-D/2-D convolution and pooling, reductions, softmax,
+//! and shape manipulation — each with a hand-written backward pass that is
+//! verified against finite differences in the test suite.
+//!
+//! ## Design
+//!
+//! A [`Tensor`] is a cheaply clonable handle (`Rc`) to an immutable-shape
+//! node. Nodes created from operations record their parents and a backward
+//! closure; [`Tensor::backward`] runs a topological sweep accumulating
+//! gradients into every reachable leaf that was created with
+//! [`Tensor::requires_grad`]. Gradient tracking can be suspended with
+//! [`no_grad`], which skips graph construction entirely (used for
+//! inference and evaluation loops).
+//!
+//! ```
+//! use aimts_tensor::Tensor;
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).requires_grad();
+//! let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+//! let loss = a.mul(&b).sum_all();
+//! loss.backward();
+//! assert_eq!(a.grad().unwrap(), vec![4.0, 5.0, 6.0]);
+//! ```
+
+mod autograd;
+mod grad_check;
+mod init;
+mod tensor;
+
+pub mod ops;
+pub mod shape;
+
+pub use autograd::{is_grad_enabled, no_grad, push_no_grad, NoGradGuard};
+pub use grad_check::{check_gradients, numeric_gradient};
+pub use shape::{broadcast_shapes, Shape};
+pub use tensor::Tensor;
+
+/// Numerical epsilon used by normalization and division-adjacent kernels.
+pub const EPS: f32 = 1e-8;

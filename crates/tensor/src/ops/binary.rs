@@ -1,0 +1,299 @@
+//! Broadcasting element-wise binary operations and scalar variants.
+
+use crate::shape::{broadcast_shapes, broadcast_strides, numel, reduce_grad_to_shape, strides};
+use crate::tensor::Tensor;
+
+/// Materialize `data` (of `shape`) broadcast to `target`.
+pub(crate) fn expand_to(data: &[f32], shape: &[usize], target: &[usize]) -> Vec<f32> {
+    if shape == target {
+        return data.to_vec();
+    }
+    let bstr = broadcast_strides(shape, target);
+    let tstr = strides(target);
+    let n = numel(target);
+    let nd = target.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut rem = i;
+        let mut off = 0usize;
+        for d in 0..nd {
+            let id = rem / tstr[d];
+            rem %= tstr[d];
+            off += id * bstr[d];
+        }
+        out.push(data[off]);
+    }
+    out
+}
+
+/// Forward kernel for a broadcasting binary op.
+fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> (Vec<f32>, Vec<usize>) {
+    let out_shape = broadcast_shapes(a.shape(), b.shape()).unwrap_or_else(|| {
+        panic!("incompatible shapes for binary op: {:?} vs {:?}", a.shape(), b.shape())
+    });
+    let ad = a.data();
+    let bd = b.data();
+    if a.shape() == b.shape() {
+        let out = ad.iter().zip(bd.iter()).map(|(&x, &y)| f(x, y)).collect();
+        return (out, out_shape);
+    }
+    let ax = expand_to(&ad, a.shape(), &out_shape);
+    let bx = expand_to(&bd, b.shape(), &out_shape);
+    let out = ax.iter().zip(&bx).map(|(&x, &y)| f(x, y)).collect();
+    (out, out_shape)
+}
+
+impl Tensor {
+    /// Element-wise addition with NumPy broadcasting.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        let (out, out_shape) = zip_broadcast(self, other, |x, y| x + y);
+        let os = out_shape.clone();
+        Tensor::from_op(
+            out,
+            &out_shape,
+            vec![self.clone(), other.clone()],
+            Box::new(move |node, gout| {
+                let a = &node.inner.parents[0];
+                let b = &node.inner.parents[1];
+                vec![
+                    Some(reduce_grad_to_shape(gout, &os, a.shape())),
+                    Some(reduce_grad_to_shape(gout, &os, b.shape())),
+                ]
+            }),
+        )
+    }
+
+    /// Element-wise subtraction with broadcasting.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        let (out, out_shape) = zip_broadcast(self, other, |x, y| x - y);
+        let os = out_shape.clone();
+        Tensor::from_op(
+            out,
+            &out_shape,
+            vec![self.clone(), other.clone()],
+            Box::new(move |node, gout| {
+                let a = &node.inner.parents[0];
+                let b = &node.inner.parents[1];
+                let neg: Vec<f32> = gout.iter().map(|g| -g).collect();
+                vec![
+                    Some(reduce_grad_to_shape(gout, &os, a.shape())),
+                    Some(reduce_grad_to_shape(&neg, &os, b.shape())),
+                ]
+            }),
+        )
+    }
+
+    /// Element-wise multiplication with broadcasting.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        let (out, out_shape) = zip_broadcast(self, other, |x, y| x * y);
+        let os = out_shape.clone();
+        Tensor::from_op(
+            out,
+            &out_shape,
+            vec![self.clone(), other.clone()],
+            Box::new(move |node, gout| {
+                let a = &node.inner.parents[0];
+                let b = &node.inner.parents[1];
+                let ax = expand_to(&a.data(), a.shape(), &os);
+                let bx = expand_to(&b.data(), b.shape(), &os);
+                let ga: Vec<f32> = gout.iter().zip(&bx).map(|(g, y)| g * y).collect();
+                let gb: Vec<f32> = gout.iter().zip(&ax).map(|(g, x)| g * x).collect();
+                vec![
+                    Some(reduce_grad_to_shape(&ga, &os, a.shape())),
+                    Some(reduce_grad_to_shape(&gb, &os, b.shape())),
+                ]
+            }),
+        )
+    }
+
+    /// Element-wise division with broadcasting.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        let (out, out_shape) = zip_broadcast(self, other, |x, y| x / y);
+        let os = out_shape.clone();
+        Tensor::from_op(
+            out,
+            &out_shape,
+            vec![self.clone(), other.clone()],
+            Box::new(move |node, gout| {
+                let a = &node.inner.parents[0];
+                let b = &node.inner.parents[1];
+                let ax = expand_to(&a.data(), a.shape(), &os);
+                let bx = expand_to(&b.data(), b.shape(), &os);
+                let ga: Vec<f32> = gout.iter().zip(&bx).map(|(g, y)| g / y).collect();
+                let gb: Vec<f32> = gout
+                    .iter()
+                    .zip(ax.iter().zip(&bx))
+                    .map(|(g, (x, y))| -g * x / (y * y))
+                    .collect();
+                vec![
+                    Some(reduce_grad_to_shape(&ga, &os, a.shape())),
+                    Some(reduce_grad_to_shape(&gb, &os, b.shape())),
+                ]
+            }),
+        )
+    }
+
+    /// Element-wise maximum with broadcasting. Gradient routes to the larger
+    /// input (ties split to the first argument).
+    pub fn maximum(&self, other: &Tensor) -> Tensor {
+        let (out, out_shape) = zip_broadcast(self, other, f32::max);
+        let os = out_shape.clone();
+        Tensor::from_op(
+            out,
+            &out_shape,
+            vec![self.clone(), other.clone()],
+            Box::new(move |node, gout| {
+                let a = &node.inner.parents[0];
+                let b = &node.inner.parents[1];
+                let ax = expand_to(&a.data(), a.shape(), &os);
+                let bx = expand_to(&b.data(), b.shape(), &os);
+                let ga: Vec<f32> = gout
+                    .iter()
+                    .zip(ax.iter().zip(&bx))
+                    .map(|(g, (x, y))| if x >= y { *g } else { 0.0 })
+                    .collect();
+                let gb: Vec<f32> = gout
+                    .iter()
+                    .zip(ax.iter().zip(&bx))
+                    .map(|(g, (x, y))| if x >= y { 0.0 } else { *g })
+                    .collect();
+                vec![
+                    Some(reduce_grad_to_shape(&ga, &os, a.shape())),
+                    Some(reduce_grad_to_shape(&gb, &os, b.shape())),
+                ]
+            }),
+        )
+    }
+
+    /// Element-wise minimum with broadcasting (ties to the first argument).
+    pub fn minimum(&self, other: &Tensor) -> Tensor {
+        let (out, out_shape) = zip_broadcast(self, other, f32::min);
+        let os = out_shape.clone();
+        Tensor::from_op(
+            out,
+            &out_shape,
+            vec![self.clone(), other.clone()],
+            Box::new(move |node, gout| {
+                let a = &node.inner.parents[0];
+                let b = &node.inner.parents[1];
+                let ax = expand_to(&a.data(), a.shape(), &os);
+                let bx = expand_to(&b.data(), b.shape(), &os);
+                let ga: Vec<f32> = gout
+                    .iter()
+                    .zip(ax.iter().zip(&bx))
+                    .map(|(g, (x, y))| if x <= y { *g } else { 0.0 })
+                    .collect();
+                let gb: Vec<f32> = gout
+                    .iter()
+                    .zip(ax.iter().zip(&bx))
+                    .map(|(g, (x, y))| if x <= y { 0.0 } else { *g })
+                    .collect();
+                vec![
+                    Some(reduce_grad_to_shape(&ga, &os, a.shape())),
+                    Some(reduce_grad_to_shape(&gb, &os, b.shape())),
+                ]
+            }),
+        )
+    }
+
+    // ----- scalar variants --------------------------------------------------
+
+    /// `self + s` element-wise.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|x| x + s).collect();
+        Tensor::from_op(
+            out,
+            self.shape(),
+            vec![self.clone()],
+            Box::new(|_, gout| vec![Some(gout.to_vec())]),
+        )
+    }
+
+    /// `self * s` element-wise.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|x| x * s).collect();
+        Tensor::from_op(
+            out,
+            self.shape(),
+            vec![self.clone()],
+            Box::new(move |_, gout| vec![Some(gout.iter().map(|g| g * s).collect())]),
+        )
+    }
+
+    /// `self / s` element-wise.
+    pub fn div_scalar(&self, s: f32) -> Tensor {
+        self.mul_scalar(1.0 / s)
+    }
+
+    /// `self * a + b` element-wise (fused affine).
+    pub fn affine(&self, a: f32, b: f32) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|x| x * a + b).collect();
+        Tensor::from_op(
+            out,
+            self.shape(),
+            vec![self.clone()],
+            Box::new(move |_, gout| vec![Some(gout.iter().map(|g| g * a).collect())]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn add_same_shape() {
+        let a = Tensor::from_vec(vec![1., 2.], &[2]);
+        let b = Tensor::from_vec(vec![10., 20.], &[2]);
+        assert_eq!(a.add(&b).to_vec(), vec![11., 22.]);
+    }
+
+    #[test]
+    fn add_broadcast_row() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = Tensor::from_vec(vec![10., 20., 30.], &[3]);
+        assert_eq!(a.add(&b).to_vec(), vec![11., 22., 33., 14., 25., 36.]);
+    }
+
+    #[test]
+    fn mul_broadcast_col_backward() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]).requires_grad();
+        let b = Tensor::from_vec(vec![2., 3.], &[2, 1]).requires_grad();
+        a.mul(&b).sum_all().backward();
+        assert_eq!(a.grad().unwrap(), vec![2., 2., 2., 3., 3., 3.]);
+        assert_eq!(b.grad().unwrap(), vec![6., 15.]);
+    }
+
+    #[test]
+    fn div_values() {
+        let a = Tensor::from_vec(vec![6., 9.], &[2]);
+        let b = Tensor::from_vec(vec![2., 3.], &[2]);
+        assert_eq!(a.div(&b).to_vec(), vec![3., 3.]);
+    }
+
+    #[test]
+    fn maximum_routes_grad() {
+        let a = Tensor::from_vec(vec![1., 5.], &[2]).requires_grad();
+        let b = Tensor::from_vec(vec![3., 2.], &[2]).requires_grad();
+        a.maximum(&b).sum_all().backward();
+        assert_eq!(a.grad().unwrap(), vec![0., 1.]);
+        assert_eq!(b.grad().unwrap(), vec![1., 0.]);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Tensor::from_vec(vec![1., 2.], &[2]).requires_grad();
+        let y = a.affine(2.0, 1.0); // 2x + 1
+        assert_eq!(y.to_vec(), vec![3., 5.]);
+        y.sum_all().backward();
+        assert_eq!(a.grad().unwrap(), vec![2., 2.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible shapes")]
+    fn incompatible_shapes_panic() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4]);
+        let _ = a.add(&b);
+    }
+}

@@ -1,0 +1,417 @@
+//! 1-D (dilated) and 2-D convolutions with hand-written backward passes.
+
+use rayon::prelude::*;
+
+use crate::tensor::Tensor;
+
+/// Hyper-parameters of a 1-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv1dSpec {
+    pub stride: usize,
+    pub padding: usize,
+    pub dilation: usize,
+}
+
+impl Default for Conv1dSpec {
+    fn default() -> Self {
+        Conv1dSpec { stride: 1, padding: 0, dilation: 1 }
+    }
+}
+
+impl Conv1dSpec {
+    /// "Same" padding for odd kernel `k` and the given dilation (stride 1).
+    pub fn same(k: usize, dilation: usize) -> Self {
+        Conv1dSpec { stride: 1, padding: dilation * (k - 1) / 2, dilation }
+    }
+
+    /// Output length for input length `l` and kernel size `k`.
+    pub fn out_len(&self, l: usize, k: usize) -> usize {
+        let span = self.dilation * (k - 1) + 1;
+        assert!(
+            l + 2 * self.padding >= span,
+            "conv1d input too short: len {l}, padding {}, kernel span {span}",
+            self.padding
+        );
+        (l + 2 * self.padding - span) / self.stride + 1
+    }
+}
+
+/// Hyper-parameters of a 2-D convolution (no dilation; square parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    pub stride: usize,
+    pub padding: usize,
+}
+
+impl Default for Conv2dSpec {
+    fn default() -> Self {
+        Conv2dSpec { stride: 1, padding: 0 }
+    }
+}
+
+impl Conv2dSpec {
+    pub fn out_dim(&self, d: usize, k: usize) -> usize {
+        assert!(d + 2 * self.padding >= k, "conv2d input too small");
+        (d + 2 * self.padding - k) / self.stride + 1
+    }
+}
+
+impl Tensor {
+    /// 1-D convolution.
+    ///
+    /// * `self`: `[B, C_in, L]`
+    /// * `weight`: `[C_out, C_in, K]`
+    /// * `bias`: optional `[C_out]`
+    ///
+    /// Returns `[B, C_out, L_out]`.
+    pub fn conv1d(&self, weight: &Tensor, bias: Option<&Tensor>, spec: Conv1dSpec) -> Tensor {
+        assert_eq!(self.ndim(), 3, "conv1d input must be [B, C_in, L]");
+        assert_eq!(weight.ndim(), 3, "conv1d weight must be [C_out, C_in, K]");
+        let (b, cin, l) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let (cout, cin_w, k) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
+        assert_eq!(cin, cin_w, "conv1d channel mismatch");
+        if let Some(bs) = bias {
+            assert_eq!(bs.shape(), &[cout], "conv1d bias shape");
+        }
+        let lo = spec.out_len(l, k);
+        let x_ref = self.data();
+        let w_ref = weight.data();
+        let (x, w): (&[f32], &[f32]) = (&x_ref, &w_ref);
+        let bvec = bias.map(|t| t.to_vec());
+
+        let mut out = vec![0f32; b * cout * lo];
+        out.par_chunks_mut(cout * lo).enumerate().for_each(|(bi, ochunk)| {
+            let xb = &x[bi * cin * l..(bi + 1) * cin * l];
+            for co in 0..cout {
+                let orow = &mut ochunk[co * lo..(co + 1) * lo];
+                if let Some(bv) = &bvec {
+                    orow.iter_mut().for_each(|v| *v = bv[co]);
+                }
+                for ci in 0..cin {
+                    let xr = &xb[ci * l..(ci + 1) * l];
+                    let wr = &w[(co * cin + ci) * k..(co * cin + ci + 1) * k];
+                    for (o, ov) in orow.iter_mut().enumerate() {
+                        let base = o * spec.stride;
+                        let mut acc = 0f32;
+                        for (kk, &wv) in wr.iter().enumerate() {
+                            let pos = base + kk * spec.dilation;
+                            if pos >= spec.padding && pos - spec.padding < l {
+                                acc += wv * xr[pos - spec.padding];
+                            }
+                        }
+                        *ov += acc;
+                    }
+                }
+            }
+        });
+        drop((x_ref, w_ref));
+
+        let mut parents = vec![self.clone(), weight.clone()];
+        if let Some(bs) = bias {
+            parents.push(bs.clone());
+        }
+        let has_bias = bias.is_some();
+        Tensor::from_op(
+            out,
+            &[b, cout, lo],
+            parents,
+            Box::new(move |node, gout| {
+                let x_ref = node.inner.parents[0].data();
+                let w_ref = node.inner.parents[1].data();
+                let (x, w): (&[f32], &[f32]) = (&x_ref, &w_ref);
+                let mut gx = vec![0f32; b * cin * l];
+                let mut gw = vec![0f32; cout * cin * k];
+                let mut gb = vec![0f32; cout];
+                // grad input: parallel over batch (disjoint slices).
+                gx.par_chunks_mut(cin * l).enumerate().for_each(|(bi, gxb)| {
+                    let gob = &gout[bi * cout * lo..(bi + 1) * cout * lo];
+                    for co in 0..cout {
+                        let gor = &gob[co * lo..(co + 1) * lo];
+                        for ci in 0..cin {
+                            let wr = &w[(co * cin + ci) * k..(co * cin + ci + 1) * k];
+                            let gxr = &mut gxb[ci * l..(ci + 1) * l];
+                            for (o, &g) in gor.iter().enumerate() {
+                                if g == 0.0 {
+                                    continue;
+                                }
+                                let base = o * spec.stride;
+                                for (kk, &wv) in wr.iter().enumerate() {
+                                    let pos = base + kk * spec.dilation;
+                                    if pos >= spec.padding && pos - spec.padding < l {
+                                        gxr[pos - spec.padding] += g * wv;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+                // grad weight / bias: serial accumulation over batch.
+                for bi in 0..b {
+                    let xb = &x[bi * cin * l..(bi + 1) * cin * l];
+                    let gob = &gout[bi * cout * lo..(bi + 1) * cout * lo];
+                    for co in 0..cout {
+                        let gor = &gob[co * lo..(co + 1) * lo];
+                        gb[co] += gor.iter().sum::<f32>();
+                        for ci in 0..cin {
+                            let xr = &xb[ci * l..(ci + 1) * l];
+                            let gwr = &mut gw[(co * cin + ci) * k..(co * cin + ci + 1) * k];
+                            for (o, &g) in gor.iter().enumerate() {
+                                if g == 0.0 {
+                                    continue;
+                                }
+                                let base = o * spec.stride;
+                                for (kk, gwv) in gwr.iter_mut().enumerate() {
+                                    let pos = base + kk * spec.dilation;
+                                    if pos >= spec.padding && pos - spec.padding < l {
+                                        *gwv += g * xr[pos - spec.padding];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut grads = vec![Some(gx), Some(gw)];
+                if has_bias {
+                    grads.push(Some(gb));
+                }
+                grads
+            }),
+        )
+    }
+
+    /// 2-D convolution.
+    ///
+    /// * `self`: `[B, C_in, H, W]`
+    /// * `weight`: `[C_out, C_in, KH, KW]`
+    /// * `bias`: optional `[C_out]`
+    ///
+    /// Returns `[B, C_out, H_out, W_out]`.
+    pub fn conv2d(&self, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+        assert_eq!(self.ndim(), 4, "conv2d input must be [B, C_in, H, W]");
+        assert_eq!(weight.ndim(), 4, "conv2d weight must be [C_out, C_in, KH, KW]");
+        let (b, cin, h, w_) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (cout, cin_w, kh, kw) =
+            (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+        assert_eq!(cin, cin_w, "conv2d channel mismatch");
+        let ho = spec.out_dim(h, kh);
+        let wo = spec.out_dim(w_, kw);
+        let x_ref = self.data();
+        let w_ref = weight.data();
+        let (x, w): (&[f32], &[f32]) = (&x_ref, &w_ref);
+        let bvec = bias.map(|t| t.to_vec());
+
+        let mut out = vec![0f32; b * cout * ho * wo];
+        out.par_chunks_mut(cout * ho * wo).enumerate().for_each(|(bi, ochunk)| {
+            let xb = &x[bi * cin * h * w_..(bi + 1) * cin * h * w_];
+            for co in 0..cout {
+                let oplane = &mut ochunk[co * ho * wo..(co + 1) * ho * wo];
+                if let Some(bv) = &bvec {
+                    oplane.iter_mut().for_each(|v| *v = bv[co]);
+                }
+                for ci in 0..cin {
+                    let xp = &xb[ci * h * w_..(ci + 1) * h * w_];
+                    let wp = &w[(co * cin + ci) * kh * kw..(co * cin + ci + 1) * kh * kw];
+                    for oy in 0..ho {
+                        for ox in 0..wo {
+                            let mut acc = 0f32;
+                            for ky in 0..kh {
+                                let iy = oy * spec.stride + ky;
+                                if iy < spec.padding || iy - spec.padding >= h {
+                                    continue;
+                                }
+                                let iy = iy - spec.padding;
+                                for kx in 0..kw {
+                                    let ix = ox * spec.stride + kx;
+                                    if ix < spec.padding || ix - spec.padding >= w_ {
+                                        continue;
+                                    }
+                                    acc += wp[ky * kw + kx] * xp[iy * w_ + (ix - spec.padding)];
+                                }
+                            }
+                            oplane[oy * wo + ox] += acc;
+                        }
+                    }
+                }
+            }
+        });
+        drop((x_ref, w_ref));
+
+        let mut parents = vec![self.clone(), weight.clone()];
+        if let Some(bs) = bias {
+            parents.push(bs.clone());
+        }
+        let has_bias = bias.is_some();
+        Tensor::from_op(
+            out,
+            &[b, cout, ho, wo],
+            parents,
+            Box::new(move |node, gout| {
+                let x_ref = node.inner.parents[0].data();
+                let w_ref = node.inner.parents[1].data();
+                let (x, w): (&[f32], &[f32]) = (&x_ref, &w_ref);
+                let mut gx = vec![0f32; b * cin * h * w_];
+                let mut gw = vec![0f32; cout * cin * kh * kw];
+                let mut gb = vec![0f32; cout];
+                gx.par_chunks_mut(cin * h * w_).enumerate().for_each(|(bi, gxb)| {
+                    let gob = &gout[bi * cout * ho * wo..(bi + 1) * cout * ho * wo];
+                    for co in 0..cout {
+                        let gop = &gob[co * ho * wo..(co + 1) * ho * wo];
+                        for ci in 0..cin {
+                            let wp = &w[(co * cin + ci) * kh * kw..(co * cin + ci + 1) * kh * kw];
+                            let gxp = &mut gxb[ci * h * w_..(ci + 1) * h * w_];
+                            for oy in 0..ho {
+                                for ox in 0..wo {
+                                    let g = gop[oy * wo + ox];
+                                    if g == 0.0 {
+                                        continue;
+                                    }
+                                    for ky in 0..kh {
+                                        let iy = oy * spec.stride + ky;
+                                        if iy < spec.padding || iy - spec.padding >= h {
+                                            continue;
+                                        }
+                                        let iy = iy - spec.padding;
+                                        for kx in 0..kw {
+                                            let ix = ox * spec.stride + kx;
+                                            if ix < spec.padding || ix - spec.padding >= w_ {
+                                                continue;
+                                            }
+                                            gxp[iy * w_ + (ix - spec.padding)] +=
+                                                g * wp[ky * kw + kx];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+                for bi in 0..b {
+                    let xb = &x[bi * cin * h * w_..(bi + 1) * cin * h * w_];
+                    let gob = &gout[bi * cout * ho * wo..(bi + 1) * cout * ho * wo];
+                    for co in 0..cout {
+                        let gop = &gob[co * ho * wo..(co + 1) * ho * wo];
+                        gb[co] += gop.iter().sum::<f32>();
+                        for ci in 0..cin {
+                            let xp = &xb[ci * h * w_..(ci + 1) * h * w_];
+                            let gwp =
+                                &mut gw[(co * cin + ci) * kh * kw..(co * cin + ci + 1) * kh * kw];
+                            for oy in 0..ho {
+                                for ox in 0..wo {
+                                    let g = gop[oy * wo + ox];
+                                    if g == 0.0 {
+                                        continue;
+                                    }
+                                    for ky in 0..kh {
+                                        let iy = oy * spec.stride + ky;
+                                        if iy < spec.padding || iy - spec.padding >= h {
+                                            continue;
+                                        }
+                                        let iy = iy - spec.padding;
+                                        for kx in 0..kw {
+                                            let ix = ox * spec.stride + kx;
+                                            if ix < spec.padding || ix - spec.padding >= w_ {
+                                                continue;
+                                            }
+                                            gwp[ky * kw + kx] +=
+                                                g * xp[iy * w_ + (ix - spec.padding)];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut grads = vec![Some(gx), Some(gw)];
+                if has_bias {
+                    grads.push(Some(gb));
+                }
+                grads
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn conv1d_identity_kernel() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4.], &[1, 1, 4]);
+        let w = Tensor::from_vec(vec![1.], &[1, 1, 1]);
+        let y = x.conv1d(&w, None, Conv1dSpec::default());
+        assert_eq!(y.to_vec(), vec![1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn conv1d_moving_sum_with_padding() {
+        let x = Tensor::from_vec(vec![1., 2., 3.], &[1, 1, 3]);
+        let w = Tensor::from_vec(vec![1., 1., 1.], &[1, 1, 3]);
+        let y = x.conv1d(&w, None, Conv1dSpec::same(3, 1));
+        assert_eq!(y.to_vec(), vec![3., 6., 5.]);
+    }
+
+    #[test]
+    fn conv1d_dilation_skips() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4., 5.], &[1, 1, 5]);
+        let w = Tensor::from_vec(vec![1., 1.], &[1, 1, 2]);
+        let spec = Conv1dSpec { stride: 1, padding: 0, dilation: 2 };
+        let y = x.conv1d(&w, None, spec);
+        // pairs (x[i], x[i+2])
+        assert_eq!(y.to_vec(), vec![4., 6., 8.]);
+    }
+
+    #[test]
+    fn conv1d_stride_and_bias() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4.], &[1, 1, 4]);
+        let w = Tensor::from_vec(vec![1., 1.], &[1, 1, 2]);
+        let b = Tensor::from_vec(vec![10.], &[1]);
+        let spec = Conv1dSpec { stride: 2, padding: 0, dilation: 1 };
+        let y = x.conv1d(&w, Some(&b), spec);
+        assert_eq!(y.to_vec(), vec![13., 17.]);
+    }
+
+    #[test]
+    fn conv1d_backward_shapes_and_bias_grad() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[1, 2, 3]).requires_grad();
+        let w = Tensor::from_vec(vec![0.5; 2 * 2 * 2], &[2, 2, 2]).requires_grad();
+        let b = Tensor::zeros(&[2]).requires_grad();
+        let y = x.conv1d(&w, Some(&b), Conv1dSpec::default());
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap().len(), 6);
+        assert_eq!(w.grad().unwrap().len(), 8);
+        // lo = 2 output positions per channel; gb = 2 per output channel.
+        assert_eq!(b.grad().unwrap(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]);
+        let w = Tensor::from_vec(vec![1., 0., 0., 1.], &[1, 1, 2, 2]);
+        let y = x.conv2d(&w, None, Conv2dSpec::default());
+        // x[oy,ox] + x[oy+1,ox+1]
+        assert_eq!(y.to_vec(), vec![6., 8., 12., 14.]);
+    }
+
+    #[test]
+    fn conv2d_stride2_downsamples() {
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let w = Tensor::ones(&[1, 1, 2, 2]);
+        let y = x.conv2d(&w, None, Conv2dSpec { stride: 2, padding: 0 });
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert!(y.to_vec().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn conv2d_backward_runs() {
+        let x = Tensor::ones(&[2, 3, 5, 5]).requires_grad();
+        let w = Tensor::full(&[4, 3, 3, 3], 0.1).requires_grad();
+        let b = Tensor::zeros(&[4]).requires_grad();
+        let y = x.conv2d(&w, Some(&b), Conv2dSpec { stride: 1, padding: 1 });
+        assert_eq!(y.shape(), &[2, 4, 5, 5]);
+        y.sum_all().backward();
+        assert!(x.grad().unwrap().iter().all(|g| g.is_finite()));
+        assert_eq!(b.grad().unwrap(), vec![50.0; 4]);
+    }
+}

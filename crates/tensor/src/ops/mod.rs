@@ -1,0 +1,15 @@
+//! Operator implementations, grouped by family. Every differentiable op
+//! installs a hand-written backward closure; all are covered by the
+//! finite-difference tests in `tests/grad_checks.rs`.
+
+mod binary;
+mod conv;
+mod extra;
+mod matmul;
+mod pool;
+mod reduce;
+mod shape_ops;
+mod softmax;
+mod unary;
+
+pub use conv::{Conv1dSpec, Conv2dSpec};

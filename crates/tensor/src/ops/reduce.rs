@@ -1,0 +1,222 @@
+//! Reductions: full and per-axis sums, means, max/min.
+
+use crate::tensor::Tensor;
+
+/// Decompose a shape around `axis` into (outer, axis_len, inner).
+fn axis_split(shape: &[usize], axis: usize) -> (usize, usize, usize) {
+    assert!(axis < shape.len(), "axis {axis} out of range for {shape:?}");
+    let outer: usize = shape[..axis].iter().product();
+    let inner: usize = shape[axis + 1..].iter().product();
+    (outer, shape[axis], inner)
+}
+
+fn reduced_shape(shape: &[usize], axis: usize, keepdim: bool) -> Vec<usize> {
+    let mut s = shape.to_vec();
+    if keepdim {
+        s[axis] = 1;
+    } else {
+        s.remove(axis);
+    }
+    s
+}
+
+impl Tensor {
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&self) -> Tensor {
+        let s: f32 = self.data().iter().sum();
+        let n = self.numel();
+        let shape = self.shape().to_vec();
+        Tensor::from_op(
+            vec![s],
+            &[],
+            vec![self.clone()],
+            Box::new(move |_, gout| {
+                let _ = &shape;
+                vec![Some(vec![gout[0]; n])]
+            }),
+        )
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&self) -> Tensor {
+        let n = self.numel() as f32;
+        self.sum_all().div_scalar(n)
+    }
+
+    /// Sum along `axis`.
+    pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Tensor {
+        let (outer, ax, inner) = axis_split(self.shape(), axis);
+        let d = self.data();
+        let mut out = vec![0f32; outer * inner];
+        for o in 0..outer {
+            for a in 0..ax {
+                let base = (o * ax + a) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    out[obase + i] += d[base + i];
+                }
+            }
+        }
+        drop(d);
+        let oshape = reduced_shape(self.shape(), axis, keepdim);
+        Tensor::from_op(
+            out,
+            &oshape,
+            vec![self.clone()],
+            Box::new(move |node, gout| {
+                let n = node.inner.parents[0].numel();
+                let mut g = vec![0f32; n];
+                for o in 0..outer {
+                    for a in 0..ax {
+                        let base = (o * ax + a) * inner;
+                        let obase = o * inner;
+                        g[base..base + inner].copy_from_slice(&gout[obase..obase + inner]);
+                    }
+                }
+                vec![Some(g)]
+            }),
+        )
+    }
+
+    /// Mean along `axis`.
+    pub fn mean_axis(&self, axis: usize, keepdim: bool) -> Tensor {
+        let ax = self.shape()[axis] as f32;
+        self.sum_axis(axis, keepdim).div_scalar(ax)
+    }
+
+    /// Max along `axis`; gradient flows to the (first) arg-max element.
+    pub fn max_axis(&self, axis: usize, keepdim: bool) -> Tensor {
+        let (outer, ax, inner) = axis_split(self.shape(), axis);
+        let d = self.data();
+        let mut out = vec![f32::NEG_INFINITY; outer * inner];
+        let mut arg = vec![0usize; outer * inner];
+        for o in 0..outer {
+            for a in 0..ax {
+                let base = (o * ax + a) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    if d[base + i] > out[obase + i] {
+                        out[obase + i] = d[base + i];
+                        arg[obase + i] = base + i;
+                    }
+                }
+            }
+        }
+        drop(d);
+        let oshape = reduced_shape(self.shape(), axis, keepdim);
+        Tensor::from_op(
+            out,
+            &oshape,
+            vec![self.clone()],
+            Box::new(move |node, gout| {
+                let n = node.inner.parents[0].numel();
+                let mut g = vec![0f32; n];
+                for (oi, &src) in arg.iter().enumerate() {
+                    g[src] += gout[oi];
+                }
+                vec![Some(g)]
+            }),
+        )
+    }
+
+    /// Min along `axis`; gradient flows to the (first) arg-min element.
+    pub fn min_axis(&self, axis: usize, keepdim: bool) -> Tensor {
+        self.neg().max_axis(axis, keepdim).neg()
+    }
+
+    /// Maximum element of the whole tensor (non-differentiable helper).
+    pub fn max_all_value(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element of the whole tensor (non-differentiable helper).
+    pub fn min_all_value(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum along `axis` (non-differentiable).
+    pub fn argmax_axis(&self, axis: usize) -> Vec<usize> {
+        let (outer, ax, inner) = axis_split(self.shape(), axis);
+        let d = self.data();
+        let mut arg = vec![0usize; outer * inner];
+        let mut best = vec![f32::NEG_INFINITY; outer * inner];
+        for o in 0..outer {
+            for a in 0..ax {
+                let base = (o * ax + a) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    if d[base + i] > best[obase + i] {
+                        best[obase + i] = d[base + i];
+                        arg[obase + i] = a;
+                    }
+                }
+            }
+        }
+        arg
+    }
+
+    /// Variance along `axis` (population, ddof = 0), differentiable.
+    pub fn var_axis(&self, axis: usize, keepdim: bool) -> Tensor {
+        let mean = self.mean_axis(axis, true);
+        let centered = self.sub(&mean);
+        centered.square().mean_axis(axis, keepdim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn sum_all_backward() {
+        let a = Tensor::from_vec(vec![1., 2., 3.], &[3]).requires_grad();
+        let s = a.sum_all();
+        assert_eq!(s.item(), 6.0);
+        s.backward();
+        assert_eq!(a.grad().unwrap(), vec![1., 1., 1.]);
+    }
+
+    #[test]
+    fn sum_axis_rows_cols() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        assert_eq!(a.sum_axis(0, false).to_vec(), vec![5., 7., 9.]);
+        assert_eq!(a.sum_axis(1, false).to_vec(), vec![6., 15.]);
+        assert_eq!(a.sum_axis(1, true).shape(), &[2, 1]);
+    }
+
+    #[test]
+    fn mean_axis_values() {
+        let a = Tensor::from_vec(vec![1., 3., 5., 7.], &[2, 2]);
+        assert_eq!(a.mean_axis(1, false).to_vec(), vec![2., 6.]);
+    }
+
+    #[test]
+    fn max_axis_routes_grad_to_argmax() {
+        let a = Tensor::from_vec(vec![1., 9., 4., 2.], &[2, 2]).requires_grad();
+        let m = a.max_axis(1, false);
+        assert_eq!(m.to_vec(), vec![9., 4.]);
+        m.sum_all().backward();
+        assert_eq!(a.grad().unwrap(), vec![0., 1., 1., 0.]);
+    }
+
+    #[test]
+    fn argmax_per_row() {
+        let a = Tensor::from_vec(vec![1., 9., 4., 2., 0., 7.], &[2, 3]);
+        assert_eq!(a.argmax_axis(1), vec![1, 2]);
+    }
+
+    #[test]
+    fn var_axis_known() {
+        let a = Tensor::from_vec(vec![1., 3.], &[1, 2]);
+        let v = a.var_axis(1, false);
+        assert!((v.to_vec()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn middle_axis_sum() {
+        let a = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]);
+        let s = a.sum_axis(1, false);
+        assert_eq!(s.shape(), &[2, 4]);
+        assert_eq!(s.to_vec()[0], 0.0 + 4.0 + 8.0);
+    }
+}

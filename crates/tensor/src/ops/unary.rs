@@ -1,0 +1,219 @@
+//! Element-wise unary operations and activations.
+
+use crate::tensor::Tensor;
+
+/// Build a unary op given forward `f` and derivative-from-input `df`.
+fn unary(
+    t: &Tensor,
+    f: impl Fn(f32) -> f32,
+    df: impl Fn(f32) -> f32 + 'static,
+) -> Tensor {
+    let out: Vec<f32> = t.data().iter().map(|&x| f(x)).collect();
+    Tensor::from_op(
+        out,
+        t.shape(),
+        vec![t.clone()],
+        Box::new(move |node, gout| {
+            let x = node.inner.parents[0].data();
+            vec![Some(gout.iter().zip(x.iter()).map(|(g, &xi)| g * df(xi)).collect())]
+        }),
+    )
+}
+
+impl Tensor {
+    /// Element-wise negation.
+    pub fn neg(&self) -> Tensor {
+        self.mul_scalar(-1.0)
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&self) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|x| x.exp()).collect();
+        // d/dx exp(x) = exp(x) = output, so reuse the node's own data.
+        Tensor::from_op(
+            out,
+            self.shape(),
+            vec![self.clone()],
+            Box::new(|node, gout| {
+                let y = node.data();
+                vec![Some(gout.iter().zip(y.iter()).map(|(g, yi)| g * yi).collect())]
+            }),
+        )
+    }
+
+    /// Element-wise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        unary(self, |x| x.ln(), |x| 1.0 / x)
+    }
+
+    /// Element-wise square root.
+    pub fn sqrt(&self) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|x| x.sqrt()).collect();
+        Tensor::from_op(
+            out,
+            self.shape(),
+            vec![self.clone()],
+            Box::new(|node, gout| {
+                let y = node.data();
+                vec![Some(
+                    gout.iter().zip(y.iter()).map(|(g, yi)| g * 0.5 / yi.max(1e-12)).collect(),
+                )]
+            }),
+        )
+    }
+
+    /// Element-wise square.
+    pub fn square(&self) -> Tensor {
+        unary(self, |x| x * x, |x| 2.0 * x)
+    }
+
+    /// Element-wise absolute value (subgradient 0 at 0).
+    pub fn abs(&self) -> Tensor {
+        unary(self, f32::abs, |x| {
+            if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Element-wise power with a constant exponent.
+    pub fn powf(&self, p: f32) -> Tensor {
+        unary(self, move |x| x.powf(p), move |x| p * x.powf(p - 1.0))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        unary(self, |x| x.max(0.0), |x| if x > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&self, alpha: f32) -> Tensor {
+        unary(
+            self,
+            move |x| if x > 0.0 { x } else { alpha * x },
+            move |x| if x > 0.0 { 1.0 } else { alpha },
+        )
+    }
+
+    /// Gaussian error linear unit (tanh approximation, as used by GPT-style
+    /// models; max error vs exact GELU < 1e-3).
+    pub fn gelu(&self) -> Tensor {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        unary(
+            self,
+            |x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()),
+            |x| {
+                let u = C * (x + 0.044715 * x * x * x);
+                let t = u.tanh();
+                let du = C * (1.0 + 3.0 * 0.044715 * x * x);
+                0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+            },
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|x| 1.0 / (1.0 + (-x).exp())).collect();
+        Tensor::from_op(
+            out,
+            self.shape(),
+            vec![self.clone()],
+            Box::new(|node, gout| {
+                let y = node.data();
+                vec![Some(
+                    gout.iter().zip(y.iter()).map(|(g, yi)| g * yi * (1.0 - yi)).collect(),
+                )]
+            }),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|x| x.tanh()).collect();
+        Tensor::from_op(
+            out,
+            self.shape(),
+            vec![self.clone()],
+            Box::new(|node, gout| {
+                let y = node.data();
+                vec![Some(
+                    gout.iter().zip(y.iter()).map(|(g, yi)| g * (1.0 - yi * yi)).collect(),
+                )]
+            }),
+        )
+    }
+
+    /// Clamp into `[lo, hi]` (zero gradient outside the interval).
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        unary(
+            self,
+            move |x| x.clamp(lo, hi),
+            move |x| if x >= lo && x <= hi { 1.0 } else { 0.0 },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        let a = Tensor::from_vec(vec![0.5, 1.0, 2.0], &[3]);
+        let y = a.exp().ln();
+        for (x, y) in a.to_vec().iter().zip(y.to_vec()) {
+            assert!(close(*x, y));
+        }
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let a = Tensor::from_vec(vec![-1.0, 0.5], &[2]).requires_grad();
+        let y = a.relu();
+        assert_eq!(y.to_vec(), vec![0.0, 0.5]);
+        y.sum_all().backward();
+        assert_eq!(a.grad().unwrap(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_midpoint() {
+        let y = Tensor::scalar(0.0).sigmoid();
+        assert!(close(y.item(), 0.5));
+    }
+
+    #[test]
+    fn tanh_backward() {
+        let a = Tensor::scalar(0.0).requires_grad();
+        a.tanh().backward();
+        assert!(close(a.grad().unwrap()[0], 1.0));
+    }
+
+    #[test]
+    fn gelu_values() {
+        // GELU(0)=0, GELU(large)≈identity, GELU(-large)≈0.
+        assert!(close(Tensor::scalar(0.0).gelu().item(), 0.0));
+        assert!(close(Tensor::scalar(5.0).gelu().item(), 5.0));
+        assert!(Tensor::scalar(-5.0).gelu().item().abs() < 1e-3);
+    }
+
+    #[test]
+    fn clamp_gradient_mask() {
+        let a = Tensor::from_vec(vec![-2.0, 0.5, 2.0], &[3]).requires_grad();
+        a.clamp(-1.0, 1.0).sum_all().backward();
+        assert_eq!(a.grad().unwrap(), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn square_and_powf_agree() {
+        let a = Tensor::from_vec(vec![1.5, 2.0], &[2]);
+        assert_eq!(a.square().to_vec(), a.powf(2.0).to_vec());
+    }
+}

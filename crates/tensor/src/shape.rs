@@ -1,0 +1,152 @@
+//! Shape and stride arithmetic shared by every kernel.
+
+/// A tensor shape: dimension sizes in row-major order.
+pub type Shape = Vec<usize>;
+
+/// Number of elements implied by `shape` (empty shape = scalar = 1 element).
+#[inline]
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for `shape`.
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut s = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        s[i] = s[i + 1] * shape[i + 1];
+    }
+    s
+}
+
+/// NumPy-style broadcast of two shapes; `None` if incompatible.
+///
+/// Dimensions align from the right; each pair must be equal or contain a 1.
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let nd = a.len().max(b.len());
+    let mut out = vec![0usize; nd];
+    for i in 0..nd {
+        let da = if i < nd - a.len() { 1 } else { a[i - (nd - a.len())] };
+        let db = if i < nd - b.len() { 1 } else { b[i - (nd - b.len())] };
+        if da == db || da == 1 || db == 1 {
+            out[i] = da.max(db);
+        } else {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// Strides of `shape` when broadcast to `target` (stride 0 on expanded dims).
+///
+/// Panics if `shape` does not broadcast to `target`.
+pub fn broadcast_strides(shape: &[usize], target: &[usize]) -> Vec<usize> {
+    assert!(shape.len() <= target.len(), "cannot broadcast {shape:?} to {target:?}");
+    let base = strides(shape);
+    let offset = target.len() - shape.len();
+    let mut out = vec![0usize; target.len()];
+    for i in 0..shape.len() {
+        let t = target[offset + i];
+        if shape[i] == t {
+            out[offset + i] = base[i];
+        } else if shape[i] == 1 {
+            out[offset + i] = 0;
+        } else {
+            panic!("cannot broadcast {shape:?} to {target:?}");
+        }
+    }
+    out
+}
+
+/// Reduce a gradient computed at the broadcast `from` shape back to `to`.
+///
+/// Sums over every axis that was expanded (including leading axes that did
+/// not exist in `to`). This is the standard broadcast-backward rule.
+pub fn reduce_grad_to_shape(grad: &[f32], from: &[usize], to: &[usize]) -> Vec<f32> {
+    debug_assert_eq!(grad.len(), numel(from));
+    if from == to {
+        return grad.to_vec();
+    }
+    let to_elems = numel(to);
+    let mut out = vec![0f32; to_elems];
+    let to_strides_in_from = broadcast_strides(to, from);
+    let from_strides = strides(from);
+    // Walk every element of `from`, mapping its multi-index onto `to`.
+    let nd = from.len();
+    let mut idx = vec![0usize; nd];
+    for (i, &g) in grad.iter().enumerate() {
+        // Decompose i into the multi-index (kept incremental for speed).
+        let mut rem = i;
+        let mut to_off = 0usize;
+        for d in 0..nd {
+            idx[d] = rem / from_strides[d];
+            rem %= from_strides[d];
+            to_off += idx[d] * to_strides_in_from[d];
+        }
+        // `to_strides_in_from` has stride 0 on expanded dims, so `to_off`
+        // indexes `out` correctly, but it was computed with broadcast
+        // strides of `to` *inside from-space*; those equal real strides of
+        // `to` wherever the dim exists.
+        out[to_off] += g;
+    }
+    out
+}
+
+/// Convert a flat index into a multi-index for `shape`.
+pub fn unravel(mut flat: usize, shape: &[usize]) -> Vec<usize> {
+    let st = strides(shape);
+    let mut out = vec![0usize; shape.len()];
+    for d in 0..shape.len() {
+        out[d] = flat / st[d];
+        flat %= st[d];
+    }
+    out
+}
+
+/// Convert a multi-index into a flat index for `shape`.
+pub fn ravel(idx: &[usize], shape: &[usize]) -> usize {
+    let st = strides(shape);
+    idx.iter().zip(&st).map(|(i, s)| i * s).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[5]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 4]), Some(vec![2, 4]));
+        assert_eq!(broadcast_shapes(&[2, 3], &[4]), None);
+        assert_eq!(broadcast_shapes(&[], &[3]), Some(vec![3]));
+    }
+
+    #[test]
+    fn broadcast_strides_expand() {
+        assert_eq!(broadcast_strides(&[3], &[2, 3]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[2, 1], &[2, 4]), vec![1, 0]);
+    }
+
+    #[test]
+    fn reduce_grad_sums_expanded_axes() {
+        // from [2,3] back to [3]: sum over rows.
+        let g = vec![1., 2., 3., 10., 20., 30.];
+        assert_eq!(reduce_grad_to_shape(&g, &[2, 3], &[3]), vec![11., 22., 33.]);
+        // from [2,3] back to [2,1]: sum over cols.
+        assert_eq!(reduce_grad_to_shape(&g, &[2, 3], &[2, 1]), vec![6., 60.]);
+    }
+
+    #[test]
+    fn ravel_roundtrip() {
+        let shape = [2, 3, 4];
+        for flat in 0..24 {
+            assert_eq!(ravel(&unravel(flat, &shape), &shape), flat);
+        }
+    }
+}

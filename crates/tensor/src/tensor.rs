@@ -1,0 +1,328 @@
+//! The [`Tensor`] handle and graph-node plumbing.
+
+use std::cell::{Cell, Ref, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::autograd;
+use crate::shape::{self, Shape};
+
+thread_local! {
+    static NEXT_ID: Cell<u64> = const { Cell::new(1) };
+}
+
+fn next_id() -> u64 {
+    NEXT_ID.with(|c| {
+        let id = c.get();
+        c.set(id + 1);
+        id
+    })
+}
+
+/// Backward closure: given the node and the gradient flowing into it,
+/// produce the gradient for each parent (`None` = parent gets no gradient).
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[f32]) -> Vec<Option<Vec<f32>>>>;
+
+pub(crate) struct Inner {
+    pub(crate) id: u64,
+    pub(crate) data: RefCell<Vec<f32>>,
+    pub(crate) shape: Shape,
+    /// Accumulated gradient; only retained on leaf variables.
+    pub(crate) grad: RefCell<Option<Vec<f32>>>,
+    /// True for user-created leaves that should accumulate gradient.
+    pub(crate) is_variable: bool,
+    /// True when this node participates in the autograd graph.
+    pub(crate) track: bool,
+    pub(crate) parents: Vec<Tensor>,
+    pub(crate) backward: Option<BackwardFn>,
+}
+
+/// A dense row-major `f32` tensor; cheap to clone (shared handle).
+///
+/// See the crate docs for an overview. All operation methods live in the
+/// [`crate::ops`] modules but are exposed as inherent methods.
+#[derive(Clone)]
+pub struct Tensor {
+    pub(crate) inner: Rc<Inner>,
+}
+
+impl Tensor {
+    // ----- construction ---------------------------------------------------
+
+    /// Build a tensor from data in row-major order. Panics on size mismatch.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            shape::numel(shape),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            inner: Rc::new(Inner {
+                id: next_id(),
+                data: RefCell::new(data),
+                shape: shape.to_vec(),
+                grad: RefCell::new(None),
+                is_variable: false,
+                track: false,
+                parents: Vec::new(),
+                backward: None,
+            }),
+        }
+    }
+
+    /// A scalar (0-d) tensor.
+    pub fn scalar(v: f32) -> Self {
+        Tensor::from_vec(vec![v], &[])
+    }
+
+    /// All zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor::from_vec(vec![0.0; shape::numel(shape)], shape)
+    }
+
+    /// All ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::from_vec(vec![1.0; shape::numel(shape)], shape)
+    }
+
+    /// Constant fill.
+    pub fn full(shape: &[usize], v: f32) -> Self {
+        Tensor::from_vec(vec![v; shape::numel(shape)], shape)
+    }
+
+    /// Internal: build a non-leaf node from an op.
+    pub(crate) fn from_op(
+        data: Vec<f32>,
+        shape: &[usize],
+        parents: Vec<Tensor>,
+        backward: BackwardFn,
+    ) -> Self {
+        debug_assert_eq!(data.len(), shape::numel(shape));
+        let track = autograd::is_grad_enabled() && parents.iter().any(|p| p.inner.track);
+        if !track {
+            return Tensor::from_vec(data, shape);
+        }
+        Tensor {
+            inner: Rc::new(Inner {
+                id: next_id(),
+                data: RefCell::new(data),
+                shape: shape.to_vec(),
+                grad: RefCell::new(None),
+                is_variable: false,
+                track: true,
+                parents,
+                backward: Some(backward),
+            }),
+        }
+    }
+
+    /// Mark this tensor as a trainable leaf variable. Returns a new handle
+    /// that shares nothing with `self` (data is copied), accumulates
+    /// gradient during [`Tensor::backward`], and is tracked by the graph.
+    pub fn requires_grad(&self) -> Self {
+        Tensor {
+            inner: Rc::new(Inner {
+                id: next_id(),
+                data: RefCell::new(self.inner.data.borrow().clone()),
+                shape: self.inner.shape.clone(),
+                grad: RefCell::new(None),
+                is_variable: true,
+                track: true,
+                parents: Vec::new(),
+                backward: None,
+            }),
+        }
+    }
+
+    /// A copy detached from the autograd graph (shares no graph state).
+    pub fn detach(&self) -> Self {
+        Tensor::from_vec(self.to_vec(), self.shape())
+    }
+
+    // ----- metadata -------------------------------------------------------
+
+    /// Dimension sizes.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.inner.shape
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.inner.shape.len()
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        shape::numel(&self.inner.shape)
+    }
+
+    /// Unique node id (stable within a thread).
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Whether this tensor is a gradient-accumulating leaf.
+    #[inline]
+    pub fn is_variable(&self) -> bool {
+        self.inner.is_variable
+    }
+
+    /// Whether this tensor participates in the autograd graph.
+    #[inline]
+    pub fn is_tracked(&self) -> bool {
+        self.inner.track
+    }
+
+    // ----- data access ----------------------------------------------------
+
+    /// Borrow the underlying buffer.
+    pub fn data(&self) -> Ref<'_, Vec<f32>> {
+        self.inner.data.borrow()
+    }
+
+    /// Copy the underlying buffer out.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.inner.data.borrow().clone()
+    }
+
+    /// The single value of a one-element tensor. Panics otherwise.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() requires a single-element tensor");
+        self.inner.data.borrow()[0]
+    }
+
+    /// Element at a multi-index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        let flat = shape::ravel(idx, self.shape());
+        self.inner.data.borrow()[flat]
+    }
+
+    /// Overwrite the buffer in place (used by optimizers). Panics if the
+    /// length differs. Does not touch the graph.
+    pub fn set_data(&self, data: &[f32]) {
+        let mut d = self.inner.data.borrow_mut();
+        assert_eq!(d.len(), data.len(), "set_data length mismatch");
+        d.copy_from_slice(data);
+    }
+
+    /// Apply `f` to the buffer in place (used by optimizers).
+    pub fn update_data(&self, f: impl FnOnce(&mut [f32])) {
+        f(&mut self.inner.data.borrow_mut());
+    }
+
+    // ----- gradient -------------------------------------------------------
+
+    /// Accumulated gradient of a leaf variable, if any.
+    pub fn grad(&self) -> Option<Vec<f32>> {
+        self.inner.grad.borrow().clone()
+    }
+
+    /// Clear the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.inner.grad.borrow_mut() = None;
+    }
+
+    /// Overwrite the accumulated gradient (used by gradient clipping).
+    pub fn set_grad(&self, g: &[f32]) {
+        assert_eq!(g.len(), self.numel(), "set_grad length mismatch");
+        *self.inner.grad.borrow_mut() = Some(g.to_vec());
+    }
+
+    pub(crate) fn accumulate_grad(&self, g: &[f32]) {
+        let mut slot = self.inner.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(existing) => {
+                for (e, x) in existing.iter_mut().zip(g) {
+                    *e += x;
+                }
+            }
+            None => *slot = Some(g.to_vec()),
+        }
+    }
+
+    /// Run reverse-mode autodiff from this (scalar) tensor.
+    ///
+    /// Panics if the tensor has more than one element; use
+    /// [`Tensor::backward_with`] to seed a non-scalar output.
+    pub fn backward(&self) {
+        assert_eq!(self.numel(), 1, "backward() requires a scalar; use backward_with");
+        autograd::run_backward(self, &[1.0]);
+    }
+
+    /// Run reverse-mode autodiff seeding this tensor's gradient with `seed`.
+    pub fn backward_with(&self, seed: &[f32]) {
+        assert_eq!(seed.len(), self.numel(), "seed length mismatch");
+        autograd::run_backward(self, seed);
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.inner.data.borrow();
+        let preview: Vec<f32> = d.iter().take(8).copied().collect();
+        write!(
+            f,
+            "Tensor(shape={:?}, tracked={}, data={:?}{})",
+            self.inner.shape,
+            self.inner.track,
+            preview,
+            if d.len() > 8 { ", ..." } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_metadata() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.ndim(), 2);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert!(!t.is_tracked());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn construction_rejects_bad_shape() {
+        let _ = Tensor::from_vec(vec![1., 2., 3.], &[2, 2]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(7.5).item(), 7.5);
+        assert_eq!(Tensor::scalar(7.5).numel(), 1);
+    }
+
+    #[test]
+    fn requires_grad_makes_tracked_leaf() {
+        let t = Tensor::zeros(&[3]).requires_grad();
+        assert!(t.is_tracked());
+        assert!(t.is_variable());
+        assert!(t.grad().is_none());
+    }
+
+    #[test]
+    fn detach_breaks_tracking() {
+        let t = Tensor::zeros(&[3]).requires_grad();
+        assert!(!t.detach().is_tracked());
+    }
+
+    #[test]
+    fn set_and_update_data() {
+        let t = Tensor::zeros(&[2]);
+        t.set_data(&[1.0, 2.0]);
+        assert_eq!(t.to_vec(), vec![1.0, 2.0]);
+        t.update_data(|d| d.iter_mut().for_each(|x| *x *= 3.0));
+        assert_eq!(t.to_vec(), vec![3.0, 6.0]);
+    }
+}

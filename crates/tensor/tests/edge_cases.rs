@@ -1,0 +1,157 @@
+//! Edge-case and stress tests for the tensor substrate: degenerate
+//! shapes, extreme values, deep graphs, and gradient-accumulation
+//! semantics that the training loops rely on.
+
+use aimts_tensor::ops::{Conv1dSpec, Conv2dSpec};
+use aimts_tensor::{no_grad, Tensor};
+
+#[test]
+fn scalar_tensor_arithmetic() {
+    let a = Tensor::scalar(2.0);
+    let b = Tensor::scalar(3.0);
+    assert_eq!(a.add(&b).item(), 5.0);
+    assert_eq!(a.mul(&b).item(), 6.0);
+    // Scalar broadcast against a vector.
+    let v = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+    assert_eq!(v.mul(&a).to_vec(), vec![2.0, 4.0]);
+}
+
+#[test]
+fn single_element_dims() {
+    let a = Tensor::ones(&[1, 1, 1]);
+    assert_eq!(a.sum_axis(1, false).shape(), &[1, 1]);
+    assert_eq!(a.max_axis(2, true).shape(), &[1, 1, 1]);
+    assert_eq!(a.transpose(0, 2).shape(), &[1, 1, 1]);
+}
+
+#[test]
+fn conv1d_minimum_viable_input() {
+    // Input exactly as long as the kernel span.
+    let x = Tensor::ones(&[1, 1, 3]);
+    let w = Tensor::ones(&[1, 1, 3]);
+    let y = x.conv1d(&w, None, Conv1dSpec::default());
+    assert_eq!(y.shape(), &[1, 1, 1]);
+    assert_eq!(y.item(), 3.0);
+}
+
+#[test]
+#[should_panic(expected = "too short")]
+fn conv1d_rejects_too_short_input() {
+    let x = Tensor::ones(&[1, 1, 2]);
+    let w = Tensor::ones(&[1, 1, 5]);
+    let _ = x.conv1d(&w, None, Conv1dSpec::default());
+}
+
+#[test]
+fn conv2d_1x1_kernel_is_channel_mix() {
+    let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 1, 2]);
+    // 1x1 kernel summing both channels.
+    let w = Tensor::ones(&[1, 2, 1, 1]);
+    let y = x.conv2d(&w, None, Conv2dSpec::default());
+    assert_eq!(y.to_vec(), vec![4.0, 6.0]);
+}
+
+#[test]
+fn large_values_softmax_stable() {
+    let a = Tensor::from_vec(vec![1e4, 1e4 + 1.0, -1e4], &[1, 3]);
+    let y = a.softmax_last().to_vec();
+    assert!(y.iter().all(|v| v.is_finite()));
+    assert!(y[1] > y[0] && y[0] > y[2]);
+}
+
+#[test]
+fn deep_graph_backward() {
+    // 200 chained ops: the iterative topological sort must not recurse.
+    let x = Tensor::from_vec(vec![1.0], &[1]).requires_grad();
+    let mut h = x.clone();
+    for _ in 0..200 {
+        h = h.mul_scalar(1.01).add_scalar(0.001);
+    }
+    h.sum_all().backward();
+    let g = x.grad().unwrap()[0];
+    assert!((g - 1.01f32.powi(200)).abs() / 1.01f32.powi(200) < 1e-3);
+}
+
+#[test]
+fn wide_fanout_backward() {
+    // One tensor feeding 50 branches accumulates all 50 contributions.
+    let x = Tensor::from_vec(vec![2.0], &[1]).requires_grad();
+    let branches: Vec<Tensor> = (0..50).map(|_| x.square()).collect();
+    let total = branches.iter().fold(Tensor::scalar(0.0), |acc, b| acc.add(b));
+    total.sum_all().backward();
+    assert!((x.grad().unwrap()[0] - 50.0 * 2.0 * 2.0).abs() < 1e-3);
+}
+
+#[test]
+fn no_grad_inside_training_graph() {
+    let x = Tensor::from_vec(vec![3.0], &[1]).requires_grad();
+    // A detached statistic used as a constant must not receive gradient.
+    let scale = no_grad(|| x.mul_scalar(2.0));
+    let y = x.mul(&scale);
+    y.sum_all().backward();
+    // dy/dx = scale = 6 (not 2x * 2 = 12, since scale is constant).
+    assert_eq!(x.grad().unwrap(), vec![6.0]);
+}
+
+#[test]
+fn backward_with_vector_seed() {
+    let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).requires_grad();
+    let y = x.square();
+    y.backward_with(&[1.0, 0.0, 2.0]);
+    assert_eq!(x.grad().unwrap(), vec![2.0, 0.0, 12.0]);
+}
+
+#[test]
+fn empty_axis_reductions_on_row_vectors() {
+    let a = Tensor::from_vec(vec![5.0, 7.0], &[1, 2]);
+    assert_eq!(a.sum_axis(0, false).to_vec(), vec![5.0, 7.0]);
+    assert_eq!(a.mean_axis(1, false).to_vec(), vec![6.0]);
+}
+
+#[test]
+fn broadcast_to_higher_rank() {
+    let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+    let b = a.broadcast_to(&[3, 4, 2]);
+    assert_eq!(b.shape(), &[3, 4, 2]);
+    assert_eq!(b.to_vec()[..4], [1.0, 2.0, 1.0, 2.0]);
+}
+
+#[test]
+fn concat_single_tensor_is_identity() {
+    let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+    let c = Tensor::concat(&[a.clone()], 0);
+    assert_eq!(c.to_vec(), a.to_vec());
+}
+
+#[test]
+fn index_select_empty_result() {
+    let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+    let s = a.index_select(0, &[]);
+    assert_eq!(s.shape(), &[0]);
+    assert_eq!(s.numel(), 0);
+}
+
+#[test]
+fn l2_normalize_zero_vector_is_safe() {
+    let a = Tensor::zeros(&[1, 4]);
+    let n = a.l2_normalize(1).to_vec();
+    assert!(n.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn grad_not_retained_on_intermediates() {
+    let x = Tensor::from_vec(vec![1.0], &[1]).requires_grad();
+    let mid = x.mul_scalar(2.0);
+    mid.square().sum_all().backward();
+    assert!(x.grad().is_some());
+    assert!(mid.grad().is_none(), "intermediates must not retain grad");
+}
+
+#[test]
+fn clamp_then_backward_through_boundary() {
+    let x = Tensor::from_vec(vec![-5.0, 0.0, 5.0], &[3]).requires_grad();
+    x.clamp(-1.0, 1.0).square().sum_all().backward();
+    let g = x.grad().unwrap();
+    assert_eq!(g[0], 0.0);
+    assert_eq!(g[2], 0.0);
+}

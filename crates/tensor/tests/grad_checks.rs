@@ -1,0 +1,205 @@
+//! Finite-difference verification for every differentiable operator.
+//!
+//! Each test builds a small scalar-valued function of one or more inputs
+//! and asserts that reverse-mode gradients match central differences.
+
+use aimts_tensor::ops::{Conv1dSpec, Conv2dSpec};
+use aimts_tensor::{check_gradients, Tensor};
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+fn t(v: Vec<f32>, s: &[usize]) -> Tensor {
+    Tensor::from_vec(v, s)
+}
+
+#[test]
+fn gc_add_broadcast() {
+    let a = t(vec![0.5, -1.0, 2.0, 0.1, 0.2, 0.3], &[2, 3]);
+    let b = t(vec![1.0, -0.5, 0.25], &[3]);
+    check_gradients(&|i| i[0].add(&i[1]).square().sum_all(), &[a, b], EPS, TOL);
+}
+
+#[test]
+fn gc_sub_mul_div_chain() {
+    let a = t(vec![1.2, -0.7, 0.4, 2.0], &[2, 2]);
+    let b = t(vec![0.9, 1.4, -1.1, 0.6], &[2, 2]);
+    check_gradients(
+        &|i| i[0].sub(&i[1]).mul(&i[0]).div(&i[1].square().add_scalar(1.0)).sum_all(),
+        &[a, b],
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn gc_maximum_minimum() {
+    let a = t(vec![1.0, -2.0, 0.3, 0.9], &[4]);
+    let b = t(vec![0.5, 0.5, 0.5, 0.5], &[4]);
+    check_gradients(&|i| i[0].maximum(&i[1]).sum_all(), &[a.clone(), b.clone()], EPS, TOL);
+    check_gradients(&|i| i[0].minimum(&i[1]).square().sum_all(), &[a, b], EPS, TOL);
+}
+
+#[test]
+fn gc_unary_family() {
+    let a = t(vec![0.5, 1.5, 2.5], &[3]);
+    check_gradients(&|i| i[0].exp().sum_all(), &[a.clone()], EPS, TOL);
+    check_gradients(&|i| i[0].ln().sum_all(), &[a.clone()], 1e-3, TOL);
+    check_gradients(&|i| i[0].sqrt().sum_all(), &[a.clone()], 1e-3, TOL);
+    check_gradients(&|i| i[0].powf(3.0).sum_all(), &[a.clone()], EPS, TOL);
+    check_gradients(&|i| i[0].sigmoid().sum_all(), &[a.clone()], EPS, TOL);
+    check_gradients(&|i| i[0].tanh().sum_all(), &[a.clone()], EPS, TOL);
+    check_gradients(&|i| i[0].gelu().sum_all(), &[a], EPS, TOL);
+}
+
+#[test]
+fn gc_relu_away_from_kink() {
+    let a = t(vec![0.5, -0.9, 1.4, -2.2], &[4]);
+    check_gradients(&|i| i[0].relu().sum_all(), &[a.clone()], 1e-3, TOL);
+    check_gradients(&|i| i[0].leaky_relu(0.1).sum_all(), &[a], 1e-3, TOL);
+}
+
+#[test]
+fn gc_matmul_2d() {
+    let a = t(vec![0.4, -0.2, 1.1, 0.9, -0.5, 0.3], &[2, 3]);
+    let b = t(vec![0.7, 0.1, -0.3, 0.8, 1.2, -0.6], &[3, 2]);
+    check_gradients(&|i| i[0].matmul(&i[1]).square().sum_all(), &[a, b], EPS, TOL);
+}
+
+#[test]
+fn gc_matmul_batched() {
+    let a = Tensor::randn(&[2, 2, 3], 11);
+    let b = Tensor::randn(&[2, 3, 2], 12);
+    check_gradients(&|i| i[0].matmul(&i[1]).sum_all(), &[a, b], EPS, TOL);
+}
+
+#[test]
+fn gc_matmul_3d_2d() {
+    let a = Tensor::randn(&[2, 2, 3], 13);
+    let b = Tensor::randn(&[3, 4], 14);
+    check_gradients(&|i| i[0].matmul(&i[1]).square().sum_all(), &[a, b], EPS, TOL);
+}
+
+#[test]
+fn gc_reductions() {
+    let a = Tensor::randn(&[2, 3, 2], 15);
+    check_gradients(&|i| i[0].sum_axis(1, false).square().sum_all(), &[a.clone()], EPS, TOL);
+    check_gradients(&|i| i[0].mean_axis(2, true).square().sum_all(), &[a.clone()], EPS, TOL);
+    check_gradients(&|i| i[0].var_axis(1, false).sum_all(), &[a], EPS, TOL);
+}
+
+#[test]
+fn gc_max_axis() {
+    // Values well separated so finite differences do not cross the argmax.
+    let a = t(vec![1.0, 5.0, 2.0, 9.0, 3.0, 7.0], &[2, 3]);
+    check_gradients(&|i| i[0].max_axis(1, false).square().sum_all(), &[a], 1e-3, TOL);
+}
+
+#[test]
+fn gc_softmax_and_log_softmax() {
+    let a = t(vec![0.2, -0.9, 1.3, 0.0, 0.5, -0.5], &[2, 3]);
+    let w = t(vec![1.0, 2.0, 3.0, -1.0, 0.5, 1.5], &[2, 3]);
+    let w2 = w.clone();
+    check_gradients(&move |i| i[0].softmax_last().mul(&w).sum_all(), &[a.clone()], EPS, TOL);
+    check_gradients(&move |i| i[0].log_softmax_last().mul(&w2).sum_all(), &[a], EPS, TOL);
+}
+
+#[test]
+fn gc_cross_entropy() {
+    let logits = Tensor::randn(&[4, 5], 16);
+    check_gradients(&|i| i[0].cross_entropy(&[0, 2, 4, 1]), &[logits], EPS, TOL);
+}
+
+#[test]
+fn gc_l2_normalize() {
+    let a = t(vec![0.8, -1.2, 0.5, 2.0, 0.3, -0.7], &[2, 3]);
+    let w = t(vec![1.0, -2.0, 0.5, 0.7, 1.1, -0.4], &[2, 3]);
+    check_gradients(&move |i| i[0].l2_normalize(1).mul(&w).sum_all(), &[a], 1e-3, TOL);
+}
+
+#[test]
+fn gc_shape_ops() {
+    let a = Tensor::randn(&[2, 3, 4], 17);
+    check_gradients(&|i| i[0].reshape(&[6, 4]).square().sum_all(), &[a.clone()], EPS, TOL);
+    check_gradients(&|i| i[0].permute(&[2, 0, 1]).square().sum_all(), &[a.clone()], EPS, TOL);
+    check_gradients(&|i| i[0].transpose(0, 2).square().sum_all(), &[a.clone()], EPS, TOL);
+    check_gradients(&|i| i[0].slice_axis(2, 1, 3).square().sum_all(), &[a.clone()], EPS, TOL);
+    check_gradients(&|i| i[0].index_select(1, &[0, 0, 2]).square().sum_all(), &[a], EPS, TOL);
+}
+
+#[test]
+fn gc_concat() {
+    let a = Tensor::randn(&[2, 2], 18);
+    let b = Tensor::randn(&[2, 3], 19);
+    check_gradients(
+        &|i| Tensor::concat(&[i[0].clone(), i[1].clone()], 1).square().sum_all(),
+        &[a, b],
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn gc_broadcast_to() {
+    let a = Tensor::randn(&[1, 3], 20);
+    check_gradients(&|i| i[0].broadcast_to(&[4, 3]).square().sum_all(), &[a], EPS, TOL);
+}
+
+#[test]
+fn gc_conv1d_full() {
+    let x = Tensor::randn(&[2, 2, 7], 21);
+    let w = Tensor::randn(&[3, 2, 3], 22).mul_scalar(0.5).detach();
+    let b = Tensor::randn(&[3], 23).detach();
+    let spec = Conv1dSpec { stride: 2, padding: 1, dilation: 1 };
+    check_gradients(
+        &|i| i[0].conv1d(&i[1], Some(&i[2]), spec).square().sum_all(),
+        &[x, w, b],
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn gc_conv1d_dilated() {
+    let x = Tensor::randn(&[1, 1, 9], 24);
+    let w = Tensor::randn(&[2, 1, 3], 25).mul_scalar(0.5).detach();
+    let spec = Conv1dSpec::same(3, 2);
+    check_gradients(&|i| i[0].conv1d(&i[1], None, spec).square().sum_all(), &[x, w], EPS, TOL);
+}
+
+#[test]
+fn gc_conv2d() {
+    let x = Tensor::randn(&[1, 2, 5, 5], 26);
+    let w = Tensor::randn(&[2, 2, 3, 3], 27).mul_scalar(0.3).detach();
+    let b = Tensor::randn(&[2], 28).detach();
+    let spec = Conv2dSpec { stride: 2, padding: 1 };
+    check_gradients(
+        &|i| i[0].conv2d(&i[1], Some(&i[2]), spec).square().sum_all(),
+        &[x, w, b],
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn gc_max_pool() {
+    // Distinct values so the argmax is stable under perturbation.
+    let x = t(vec![1., 7., 3., 9., 2., 8., 4., 6.], &[1, 1, 8]);
+    check_gradients(&|i| i[0].max_pool1d(2).square().sum_all(), &[x], 1e-3, TOL);
+    let x2 = t((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+    check_gradients(&|i| i[0].max_pool2d(2).square().sum_all(), &[x2], 1e-3, TOL);
+}
+
+#[test]
+fn gc_composite_mlp_like() {
+    // End-to-end: x @ W1 -> gelu -> @ W2 -> softmax cross-entropy.
+    let x = Tensor::randn(&[3, 4], 30);
+    let w1 = Tensor::randn(&[4, 5], 31).mul_scalar(0.5).detach();
+    let w2 = Tensor::randn(&[5, 3], 32).mul_scalar(0.5).detach();
+    check_gradients(
+        &|i| i[0].matmul(&i[1]).gelu().matmul(&i[2]).cross_entropy(&[0, 1, 2]),
+        &[x, w1, w2],
+        EPS,
+        TOL,
+    );
+}

@@ -1,0 +1,129 @@
+//! Property-based invariants for the tensor substrate.
+
+use aimts_tensor::{broadcast_shapes, shape, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a small shape (1–3 dims, each 1–5).
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=5, 1..=3)
+}
+
+/// Strategy: a tensor with the given shape and bounded finite values.
+fn tensor_of(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n = shape::numel(&shape);
+    prop::collection::vec(-10f32..10f32, n..=n)
+        .prop_map(move |v| Tensor::from_vec(v, &shape))
+}
+
+fn shaped_tensor() -> impl Strategy<Value = Tensor> {
+    small_shape().prop_flat_map(tensor_of)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(t in shaped_tensor()) {
+        let u = Tensor::from_vec(t.to_vec().iter().map(|x| x + 1.0).collect(), t.shape());
+        prop_assert_eq!(t.add(&u).to_vec(), u.add(&t).to_vec());
+    }
+
+    #[test]
+    fn mul_by_one_is_identity(t in shaped_tensor()) {
+        let ones = Tensor::ones(t.shape());
+        prop_assert_eq!(t.mul(&ones).to_vec(), t.to_vec());
+    }
+
+    #[test]
+    fn sub_self_is_zero(t in shaped_tensor()) {
+        prop_assert!(t.sub(&t).to_vec().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn broadcast_is_symmetric(a in small_shape(), b in small_shape()) {
+        prop_assert_eq!(broadcast_shapes(&a, &b), broadcast_shapes(&b, &a));
+    }
+
+    #[test]
+    fn broadcast_with_self_is_identity(a in small_shape()) {
+        prop_assert_eq!(broadcast_shapes(&a, &a), Some(a));
+    }
+
+    #[test]
+    fn softmax_rows_normalized(v in prop::collection::vec(-20f32..20f32, 6..=6)) {
+        let t = Tensor::from_vec(v, &[2, 3]);
+        let y = t.softmax_last().to_vec();
+        prop_assert!(y.iter().all(|x| x.is_finite() && *x >= 0.0));
+        prop_assert!((y[..3].iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!((y[3..].iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn l2_normalize_unit_rows(v in prop::collection::vec(-5f32..5f32, 8..=8)) {
+        let t = Tensor::from_vec(v, &[2, 4]);
+        let n = t.l2_normalize(1).to_vec();
+        for r in 0..2 {
+            let norm: f32 = n[r*4..(r+1)*4].iter().map(|x| x * x).sum::<f32>().sqrt();
+            // Rows that were ~0 stay ~0; others become unit.
+            prop_assert!(norm <= 1.0 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_sum(t in shaped_tensor()) {
+        let flat = t.reshape(&[t.numel()]);
+        prop_assert!((flat.sum_all().item() - t.sum_all().item()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity(v in prop::collection::vec(-10f32..10f32, 12..=12)) {
+        let t = Tensor::from_vec(v, &[3, 4]);
+        prop_assert_eq!(t.transpose(0, 1).transpose(0, 1).to_vec(), t.to_vec());
+    }
+
+    #[test]
+    fn sum_axis_matches_total(t in shaped_tensor()) {
+        let per_axis = t.sum_axis(0, false).sum_all().item();
+        let total = t.sum_all().item();
+        prop_assert!((per_axis - total).abs() < 1e-2 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn max_axis_bounds_values(v in prop::collection::vec(-10f32..10f32, 12..=12)) {
+        let t = Tensor::from_vec(v.clone(), &[3, 4]);
+        let m = t.max_axis(1, false).to_vec();
+        for (r, mv) in m.iter().enumerate() {
+            for c in 0..4 {
+                prop_assert!(v[r*4 + c] <= *mv);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_identity(v in prop::collection::vec(-10f32..10f32, 9..=9)) {
+        let t = Tensor::from_vec(v, &[3, 3]);
+        let mut eye = vec![0f32; 9];
+        for i in 0..3 { eye[i*3+i] = 1.0; }
+        let id = Tensor::from_vec(eye, &[3, 3]);
+        let y = t.matmul(&id).to_vec();
+        for (a, b) in y.iter().zip(t.to_vec()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn grad_of_sum_is_ones(t in shaped_tensor()) {
+        let v = t.requires_grad();
+        v.sum_all().backward();
+        prop_assert!(v.grad().unwrap().iter().all(|&g| g == 1.0));
+    }
+
+    #[test]
+    fn relu_output_nonnegative(t in shaped_tensor()) {
+        prop_assert!(t.relu().to_vec().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn clamp_respects_bounds(t in shaped_tensor()) {
+        let y = t.clamp(-1.0, 1.0).to_vec();
+        prop_assert!(y.iter().all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+}

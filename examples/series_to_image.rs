@@ -1,0 +1,64 @@
+//! Inspect the series→image pipeline behind AimTS's second modality:
+//! render a multivariate sample as the stitched RGB line chart the image
+//! encoder consumes, dump it as a PPM file you can open in any viewer,
+//! and embed both modalities to see the representations align.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example series_to_image
+//! ```
+
+use aimts_repro::aimts::{AimTs, AimTsConfig};
+use aimts_repro::aimts_imaging::{grid_layout, render_sample, ImageConfig};
+use aimts_repro::aimts_data::archives::uea_like_archive;
+use aimts_repro::aimts_nn::Module;
+use aimts_repro::aimts_tensor::{no_grad, Tensor};
+use std::fs;
+use std::io::Write as _;
+
+fn main() {
+    // A multivariate sample from the UEA-like archive.
+    let ds = &uea_like_archive(1, 3)[0];
+    let sample = &ds.train.samples[0];
+    println!(
+        "sample from `{}`: {} variables x {} time steps (label {})",
+        ds.name,
+        sample.n_vars(),
+        sample.len(),
+        sample.label
+    );
+    let (rows, cols) = grid_layout(sample.n_vars(), 4);
+    println!("grid layout: {rows} x {cols} sub-charts");
+
+    // Render without standardization so the PPM is human-viewable.
+    let cfg = ImageConfig { standardize: false, ..ImageConfig::default() };
+    let img = render_sample(&sample.vars, &cfg);
+    let path = std::env::temp_dir().join("aimts_sample.ppm");
+    let mut f = fs::File::create(&path).expect("create ppm");
+    writeln!(f, "P6\n{} {}\n255", img.width, img.height).unwrap();
+    let hw = img.height * img.width;
+    let mut bytes = Vec::with_capacity(hw * 3);
+    for i in 0..hw {
+        for c in 0..3 {
+            bytes.push((img.data[c * hw + i] * 255.0) as u8);
+        }
+    }
+    f.write_all(&bytes).unwrap();
+    println!("wrote {} ({}x{} RGB)", path.display(), img.width, img.height);
+
+    // Embed both modalities with a fresh AimTS model and compare: after
+    // pre-training these are pulled together by the series-image loss.
+    let model = AimTs::new(AimTsConfig::tiny(), 3407);
+    let std_img = render_sample(&sample.vars, &model.cfg.image);
+    no_grad(|| {
+        let u = model.img_proj.forward(&model.image_encoder.encode(&Tensor::from_vec(
+            std_img.data.clone(),
+            &[1, 3, std_img.height, std_img.width],
+        )));
+        let v = model.ts_proj.forward(&model.encode(&[&sample.vars]));
+        let (u, v) = (u.l2_normalize(1), v.l2_normalize(1));
+        let cos: f32 = u.to_vec().iter().zip(v.to_vec()).map(|(a, b)| a * b).sum();
+        println!("cosine(series repr, image repr) at random init: {cos:.3}");
+        println!("(pre-training maximizes this for matching pairs — see `quickstart`)");
+    });
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Summarize bench_results/*.json as markdown snippets for EXPERIMENTS.md.
+
+Usage: python3 scripts/summarize_results.py [bench_results_dir]
+"""
+import json
+import sys
+from pathlib import Path
+
+DIR = Path(sys.argv[1] if len(sys.argv) > 1 else "bench_results")
+
+
+def load(name):
+    p = DIR / f"{name}.json"
+    return json.loads(p.read_text()) if p.exists() else None
+
+
+def fmt(xs):
+    return " | ".join(f"{x:.3f}" for x in xs)
+
+
+def main():
+    if d := load("table1_repr_learning"):
+        print("## table1")
+        print("methods:", d["methods"])
+        print("ucr avg acc:", fmt(d["ucr_avg_acc"]), " rank:", fmt(d["ucr_avg_rank"]))
+        print("uea avg acc:", fmt(d["uea_avg_acc"]), " rank:", fmt(d["uea_avg_rank"]))
+    if d := load("table2_supervised"):
+        print("## table2")
+        print("methods:", d["methods"])
+        print("avg acc:", fmt(d["avg_acc"]), " rank:", fmt(d["avg_rank"]))
+    if d := load("table3_single_source"):
+        print("## table3")
+        print("methods:", d["methods"])
+        for name, row in d["rows"]:
+            print(f"  {name}: {fmt(row)}")
+        print("avg acc:", fmt(d["avg_acc"]))
+    if d := load("table4_foundation"):
+        print("## table4")
+        print("methods:", d["methods"])
+        print("ucr avg acc:", fmt(d["ucr_avg_acc"]))
+        print("uea avg acc:", fmt(d["uea_avg_acc"]))
+    if d := load("table5_fewshot"):
+        print("## table5")
+        print("methods:", d["methods"])
+        for ratio, acc in zip(d["ratios"], d["avg_acc_per_ratio"]):
+            print(f"  {ratio:.0%}: {fmt(acc)}")
+    if d := load("table6_ablation"):
+        print("## table6")
+        for v, a, p in zip(d["variants"], d["avg_acc"], d["paper_avg_acc"]):
+            print(f"  {v}: measured {a:.3f} (paper {p:.3f})")
+    if d := load("table7_pretrain_source"):
+        print("## table7")
+        print("pools:", d["pools"])
+        print("ucr:", fmt(d["ucr_avg_acc"]), " uea:", fmt(d["uea_avg_acc"]))
+    if d := load("fig8d_negative_transfer"):
+        m = lambda v: sum(v) / len(v)
+        print("## fig8d")
+        print(
+            f"ts2vec case {m(d['ts2vec_case_by_case']):.3f} | "
+            f"ts2vec multi {m(d['ts2vec_multi_source']):.3f} | "
+            f"aimts {m(d['aimts']):.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+//! Integration tests for every baseline: end-to-end training + evaluation
+//! on small but genuinely separable datasets, and paradigm-level sanity
+//! properties.
+
+use aimts_repro::aimts::FineTuneConfig;
+use aimts_repro::aimts_baselines::foundation::FoundationConfig;
+use aimts_repro::aimts_baselines::{
+    BaselineConfig, ContrastiveBaseline, FcnClassifier, Method, Metric, MomentLike, OneNn,
+    RocketClassifier, UnitsLike,
+};
+use aimts_repro::aimts_data::archives::{monash_like_pool, ucr_like_archive};
+use aimts_repro::aimts_data::generator::{DatasetSpec, PatternFamily};
+use aimts_repro::aimts_data::Dataset;
+
+fn easy(seed: u64) -> Dataset {
+    DatasetSpec {
+        n_classes: 2,
+        train_per_class: 12,
+        test_per_class: 15,
+        noise: 0.05,
+        length: 64,
+        ..DatasetSpec::new("easy", PatternFamily::SineFreq, seed)
+    }
+    .generate()
+}
+
+#[test]
+fn every_contrastive_method_full_cycle() {
+    let ds = easy(1);
+    let pool = ds.unlabeled_train();
+    for method in [Method::Ts2Vec, Method::TsTcc, Method::Tnc, Method::TLoss] {
+        let mut b = ContrastiveBaseline::new(method, BaselineConfig::tiny(), 2);
+        let loss = b.pretrain(&pool, 2, 8, 5e-3, 2);
+        assert!(loss.is_finite(), "{} pretrain diverged", method.name());
+        let tuned = b.fine_tune(&ds, &FineTuneConfig { epochs: 10, ..Default::default() });
+        let acc = tuned.evaluate(&ds.test);
+        assert!(acc > 0.5, "{} should beat chance on easy data, got {acc}", method.name());
+    }
+}
+
+#[test]
+fn rocket_beats_chance_and_is_deterministic() {
+    let ds = easy(3);
+    let mut a = RocketClassifier::new(150, ds.series_len(), 9);
+    a.fit(&ds);
+    let acc_a = a.evaluate(&ds.test);
+    assert!(acc_a > 0.8, "rocket on easy sine-frequency data, got {acc_a}");
+    let mut b = RocketClassifier::new(150, ds.series_len(), 9);
+    b.fit(&ds);
+    assert_eq!(a.predict(&ds.test), b.predict(&ds.test));
+}
+
+#[test]
+fn one_nn_both_metrics() {
+    let ds = easy(4);
+    for metric in [Metric::Euclidean, Metric::Dtw { band: 0.1 }] {
+        let acc = OneNn::fit(&ds, metric).evaluate(&ds.test);
+        assert!(acc > 0.7, "{metric:?} got {acc}");
+    }
+}
+
+#[test]
+fn fcn_supervised_learns() {
+    let ds = easy(5);
+    let mut clf = FcnClassifier::new(1, 8, 2, 0);
+    clf.fit(&ds, 15, 8, 1e-2, 0);
+    assert!(clf.evaluate(&ds.test) > 0.8);
+}
+
+#[test]
+fn moment_like_full_cycle() {
+    let pool: Vec<_> = monash_like_pool(2, 0).into_iter().take(16).collect();
+    let mut m = MomentLike::new(FoundationConfig::tiny(), 0);
+    let mse = m.pretrain(&pool, 2, 8, 5e-3, 0);
+    assert!(mse.is_finite() && mse >= 0.0);
+    let ds = easy(6);
+    let acc = m
+        .fine_tune(&ds, &FineTuneConfig { epochs: 10, ..Default::default() })
+        .evaluate(&ds.test);
+    assert!(acc > 0.5, "moment-like fine-tune got {acc}");
+}
+
+#[test]
+fn units_like_full_cycle() {
+    let sources = ucr_like_archive(2, 77);
+    let refs: Vec<&Dataset> = sources.iter().collect();
+    let mut u = UnitsLike::new(FoundationConfig::tiny(), 0);
+    let ce = u.pretrain(&refs, 2, 8, 5e-3, 0);
+    assert!(ce.is_finite());
+    let ds = easy(7);
+    let acc = u
+        .fine_tune(&ds, &FineTuneConfig { epochs: 10, ..Default::default() })
+        .evaluate(&ds.test);
+    assert!(acc > 0.5, "units-like fine-tune got {acc}");
+}
+
+#[test]
+fn baseline_config_mirrors_aimts_config() {
+    let acfg = aimts_repro::aimts::AimTsConfig::tiny();
+    let bcfg = BaselineConfig::from_aimts(&acfg);
+    assert_eq!(bcfg.hidden, acfg.hidden);
+    assert_eq!(bcfg.repr_dim, acfg.repr_dim);
+    assert_eq!(bcfg.dilations, acfg.dilations);
+}

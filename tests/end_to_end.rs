@@ -1,0 +1,123 @@
+//! Integration tests spanning the whole workspace: the complete AimTS
+//! pre-train → checkpoint → fine-tune → predict pipeline, ablations, and
+//! determinism guarantees.
+
+use aimts_repro::aimts::config::Ablation;
+use aimts_repro::aimts::{AimTs, AimTsConfig, FineTuneConfig, PretrainConfig};
+use aimts_repro::aimts_data::archives::{monash_like_pool, ucr_like_archive, uea_like_archive};
+use aimts_repro::aimts_data::MultiSeries;
+
+fn tiny_pool(n: usize) -> Vec<MultiSeries> {
+    monash_like_pool(2, 0).into_iter().take(n).collect()
+}
+
+fn tiny_pcfg() -> PretrainConfig {
+    PretrainConfig { epochs: 1, batch_size: 4, lr: 1e-3, ..PretrainConfig::default() }
+}
+
+#[test]
+fn full_pipeline_pretrain_save_load_finetune_predict() {
+    let mut model = AimTs::new(AimTsConfig::tiny(), 3407);
+    let report = model.pretrain(&tiny_pool(12), &tiny_pcfg());
+    assert!(report.final_loss.is_finite());
+
+    // Checkpoint round-trip.
+    let dir = std::env::temp_dir().join("aimts_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("pretrained.json");
+    model.save(&ckpt).unwrap();
+    let mut restored = AimTs::new(AimTsConfig::tiny(), 999);
+    restored.load(&ckpt).unwrap();
+
+    // Fine-tune the restored model; the pipeline must be identical to
+    // fine-tuning the original (same seeds everywhere).
+    let ds = &ucr_like_archive(1, 7)[0];
+    let fcfg = FineTuneConfig { epochs: 3, batch_size: 8, ..FineTuneConfig::default() };
+    let acc_restored = restored.fine_tune(ds, &fcfg).evaluate(&ds.test);
+    let acc_original = model.fine_tune(ds, &fcfg).evaluate(&ds.test);
+    assert_eq!(acc_restored, acc_original, "restored model must behave identically");
+
+    // Predictions are valid class indices for every test sample.
+    let tuned = restored.fine_tune(ds, &fcfg);
+    let preds = tuned.predict(&ds.test);
+    assert_eq!(preds.len(), ds.test.len());
+    assert!(preds.iter().all(|&p| p < ds.n_classes));
+}
+
+#[test]
+fn pretraining_is_deterministic_per_seed() {
+    let pool = tiny_pool(8);
+    let run = || {
+        let mut m = AimTs::new(AimTsConfig::tiny(), 3407);
+        m.pretrain(&pool, &tiny_pcfg());
+        m.named_parameters()[0].1.to_vec()
+    };
+    assert_eq!(run(), run(), "same seed must give bit-identical training");
+}
+
+#[test]
+fn different_seeds_give_different_models() {
+    let pool = tiny_pool(8);
+    let run = |seed: u64| {
+        let mut m = AimTs::new(AimTsConfig::tiny(), seed);
+        m.pretrain(&pool, &tiny_pcfg());
+        m.named_parameters()[0].1.to_vec()
+    };
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn all_ablation_variants_train_and_finetune() {
+    let pool = tiny_pool(8);
+    let ds = &ucr_like_archive(1, 3)[0];
+    for ablation in [
+        Ablation::inter_only(),
+        Ablation::proto_only(),
+        Ablation::si_naive_only(),
+        Ablation::si_only(),
+        Ablation::default(),
+    ] {
+        let cfg = AimTsConfig { ablation, ..AimTsConfig::tiny() };
+        let mut model = AimTs::new(cfg, 5);
+        let report = model.pretrain(&pool, &tiny_pcfg());
+        assert!(report.final_loss.is_finite(), "{ablation:?} diverged");
+        let acc = model
+            .fine_tune(ds, &FineTuneConfig { epochs: 2, ..FineTuneConfig::default() })
+            .evaluate(&ds.test);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}
+
+#[test]
+fn multivariate_downstream_works_end_to_end() {
+    let mut model = AimTs::new(AimTsConfig::tiny(), 11);
+    model.pretrain(&tiny_pool(8), &tiny_pcfg());
+    let ds = &uea_like_archive(1, 5)[0];
+    assert!(ds.n_vars() >= 2);
+    let tuned =
+        model.fine_tune(ds, &FineTuneConfig { epochs: 3, ..FineTuneConfig::default() });
+    let acc = tuned.evaluate(&ds.test);
+    assert!((0.0..=1.0).contains(&acc));
+}
+
+#[test]
+fn mixed_pool_with_heterogeneous_shapes_pretrains() {
+    // The pool mixes univariate/multivariate samples of different lengths;
+    // the model must handle all of them in one pretraining call.
+    let pool = monash_like_pool(2, 1);
+    let n_vars: std::collections::HashSet<usize> = pool.iter().map(|s| s.len()).collect();
+    assert!(n_vars.len() >= 2, "pool should mix variable counts");
+    let mut model = AimTs::new(AimTsConfig::tiny(), 13);
+    let report = model.pretrain(&pool[..30.min(pool.len())], &tiny_pcfg());
+    assert!(report.final_loss.is_finite());
+}
+
+#[test]
+fn encoder_representations_have_expected_shape_across_lengths() {
+    let model = AimTs::new(AimTsConfig::tiny(), 17);
+    for len in [16usize, 50, 128] {
+        let s: MultiSeries = vec![(0..len).map(|i| (i as f32 * 0.1).sin()).collect()];
+        let r = model.encode(&[&s]);
+        assert_eq!(r.shape(), &[1, model.cfg.repr_dim], "length {len}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Cross-checks of the paper's equations: every loss is re-computed with
+//! plain scalar loops (an independent implementation of Eq. 3–12) and
+//! compared against the tensor implementations used for training.
+
+use aimts_repro::aimts::losses::{
+    adaptive_tau, inter_prototype_loss, intra_prototype_loss, proto_loss, series_image_loss,
+    series_image_mixup, series_image_naive,
+};
+use aimts_repro::aimts::mixup::geodesic_mixup;
+use aimts_repro::aimts_tensor::Tensor;
+
+fn norm_rows(data: Vec<f32>, b: usize, p: usize) -> (Tensor, Vec<Vec<f32>>) {
+    let t = Tensor::from_vec(data, &[b, p]).l2_normalize(1);
+    let v = t.to_vec();
+    let rows = (0..b).map(|i| v[i * p..(i + 1) * p].to_vec()).collect();
+    (t, rows)
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Eq. 3 by hand for one anchor row.
+#[test]
+fn eq3_adaptive_tau_scalar_reference() {
+    let tau0 = 0.15f32;
+    let (b, g) = (1usize, 3usize);
+    let d = vec![0.0f32, 2.0, 1.0, 2.0, 0.0, 0.5, 1.0, 0.5, 0.0];
+    let tau = adaptive_tau(&d, b, g, tau0, true);
+    // Row j=0: diagonal is -inf, softmax over {exp(2), exp(1)} for k=1,2.
+    let e1 = 2f32.exp();
+    let e2 = 1f32.exp();
+    assert!((tau[0] - tau0).abs() < 1e-6);
+    assert!((tau[1] - (tau0 + e1 / (e1 + e2))).abs() < 1e-5);
+    assert!((tau[2] - (tau0 + e2 / (e1 + e2))).abs() < 1e-5);
+}
+
+/// Eq. 5 by hand for B = 2.
+#[test]
+fn eq5_inter_prototype_scalar_reference() {
+    let tau = 0.3f32;
+    let (z, zr) = norm_rows(vec![1.0, 0.2, -0.4, 0.9], 2, 2);
+    let (zt, ztr) = norm_rows(vec![0.8, 0.1, 0.0, 1.0], 2, 2);
+    let loss = inter_prototype_loss(&z, &zt, tau).item();
+
+    let mut expected = 0f32;
+    for i in 0..2 {
+        let mut denom = 0f32;
+        for j in 0..2 {
+            if j != i {
+                denom += (dot(&zr[i], &zr[j]) / tau).exp();
+            }
+            denom += (dot(&zr[i], &ztr[j]) / tau).exp();
+        }
+        let num = (dot(&zr[i], &ztr[i]) / tau).exp();
+        expected += -(num / denom).ln();
+    }
+    expected /= 2.0;
+    assert!((loss - expected).abs() < 1e-4, "{loss} vs {expected}");
+}
+
+/// Eq. 4 by hand for B = 1, G = 2.
+#[test]
+fn eq4_intra_prototype_scalar_reference() {
+    let (b, g, p) = (1usize, 2usize, 3usize);
+    let (v, vr) = norm_rows(vec![0.5, -0.2, 0.8, 0.1, 0.9, -0.3], g, p);
+    let (vt, vtr) = norm_rows(vec![0.4, -0.1, 0.7, 0.2, 0.8, -0.2], g, p);
+    let tau_w_vals = vec![0.2f32, 0.7, 0.6, 0.2]; // [g, g]
+    let tau_c_vals = vec![0.2f32, 0.65, 0.55, 0.2];
+    let v3 = v.reshape(&[b, g, p]);
+    let vt3 = vt.reshape(&[b, g, p]);
+    let tau_w = Tensor::from_vec(tau_w_vals.clone(), &[b, g, g]);
+    let tau_c = Tensor::from_vec(tau_c_vals.clone(), &[b, g, g]);
+    let loss = intra_prototype_loss(&v3, &vt3, &tau_w, &tau_c).item();
+
+    // Scalar re-computation of Eq. 4.
+    let s = |k: usize, j: usize| dot(&vr[k], &vr[j]) / tau_w_vals[k * g + j];
+    let st = |k: usize, j: usize| dot(&vr[k], &vtr[j]) / tau_c_vals[k * g + j];
+    let mut expected = 0f32;
+    for k in 0..g {
+        let mut denom = 0f32;
+        for j in 0..g {
+            if j != k {
+                denom += s(k, j).exp();
+            }
+            denom += st(k, j).exp();
+        }
+        expected += -(st(k, k).exp() / denom).ln();
+    }
+    assert!((loss - expected).abs() < 1e-4, "{loss} vs {expected}");
+}
+
+/// Eq. 7–8 by hand for B = 2.
+#[test]
+fn eq7_8_series_image_naive_scalar_reference() {
+    let tau = 0.25f32;
+    let (u, ur) = norm_rows(vec![0.9, 0.1, -0.3, 0.8], 2, 2);
+    let (v, vr) = norm_rows(vec![1.0, 0.0, 0.1, 0.9], 2, 2);
+    let loss = series_image_naive(&u, &v, tau).item();
+
+    let mut expected = 0f32;
+    for i in 0..2 {
+        // ℓ^{I-S}: u_i anchored against all v_j.
+        let denom_is: f32 = (0..2).map(|j| (dot(&ur[i], &vr[j]) / tau).exp()).sum();
+        expected += -((dot(&ur[i], &vr[i]) / tau).exp() / denom_is).ln();
+        // ℓ^{S-I}: v_i anchored against all u_j.
+        let denom_si: f32 = (0..2).map(|j| (dot(&vr[i], &ur[j]) / tau).exp()).sum();
+        expected += -((dot(&vr[i], &ur[i]) / tau).exp() / denom_si).ln();
+    }
+    expected /= 4.0; // 1/(2B)
+    assert!((loss - expected).abs() < 1e-4, "{loss} vs {expected}");
+}
+
+/// Eq. 9 by hand: slerp coefficients.
+#[test]
+fn eq9_geodesic_mixup_scalar_reference() {
+    let (u, ur) = norm_rows(vec![1.0, 0.0], 1, 2);
+    let (v, vr) = norm_rows(vec![0.6, 0.8], 1, 2);
+    let lambda = 0.3f32;
+    let m = geodesic_mixup(&u, &v, &[lambda]).to_vec();
+
+    let theta = dot(&ur[0], &vr[0]).clamp(-1.0, 1.0).acos();
+    let cu = (lambda * theta).sin() / theta.sin();
+    let cv = ((1.0 - lambda) * theta).sin() / theta.sin();
+    let expected = [cu * ur[0][0] + cv * vr[0][0], cu * ur[0][1] + cv * vr[0][1]];
+    for (a, e) in m.iter().zip(expected) {
+        assert!((a - e).abs() < 1e-4, "{a} vs {e}");
+    }
+    // And the result is unit-norm, as Eq. 9 guarantees.
+    let n = (m[0] * m[0] + m[1] * m[1]).sqrt();
+    assert!((n - 1.0).abs() < 1e-5);
+}
+
+/// Eq. 10–11 by hand for B = 2.
+#[test]
+fn eq10_11_mixup_loss_scalar_reference() {
+    let tau = 0.25f32;
+    let (u, ur) = norm_rows(vec![0.9, 0.1, -0.3, 0.8], 2, 2);
+    let (v, vr) = norm_rows(vec![1.0, 0.0, 0.1, 0.9], 2, 2);
+    let lambdas = [0.2f32, 0.7];
+    let mixed = geodesic_mixup(&u, &v, &lambdas);
+    let mr: Vec<Vec<f32>> = {
+        let mv = mixed.to_vec();
+        (0..2).map(|i| mv[i * 2..(i + 1) * 2].to_vec()).collect()
+    };
+    let loss = series_image_mixup(&u, &v, &mixed, tau).item();
+
+    let mut expected = 0f32;
+    for i in 0..2 {
+        let pos = (dot(&ur[i], &vr[i]) / tau).exp();
+        let denom_im: f32 = (0..2).map(|j| (dot(&ur[i], &mr[j]) / tau).exp()).sum();
+        expected += -(pos / denom_im).ln();
+        let denom_sm: f32 = (0..2).map(|j| (dot(&vr[i], &mr[j]) / tau).exp()).sum();
+        expected += -(pos / denom_sm).ln();
+    }
+    expected /= 4.0;
+    assert!((loss - expected).abs() < 1e-4, "{loss} vs {expected}");
+}
+
+/// Eq. 6 and Eq. 12: the scalar combination weights.
+#[test]
+fn eq6_12_combination_weights() {
+    let a = Tensor::scalar(1.0);
+    let b = Tensor::scalar(3.0);
+    // Eq. 6: (α·inter + (1-α)·intra) / 2.
+    let alpha = 0.7;
+    let expected6 = 0.5 * (alpha * 1.0 + (1.0 - alpha) * 3.0);
+    assert!((proto_loss(&a, &b, alpha).item() - expected6).abs() < 1e-6);
+    // Eq. 12: β·naive + (1-β)·mix.
+    let beta = 0.9;
+    let expected12 = beta * 1.0 + (1.0 - beta) * 3.0;
+    assert!((series_image_loss(&a, &b, beta).item() - expected12).abs() < 1e-6);
+}

@@ -1,0 +1,94 @@
+//! Cross-crate property tests: invariants that must hold when the data,
+//! augmentation, imaging and model layers are composed.
+
+use aimts_repro::aimts::{AimTs, AimTsConfig};
+use aimts_repro::aimts_augment::default_bank;
+use aimts_repro::aimts_data::generator::{DatasetSpec, PatternFamily};
+use aimts_repro::aimts_data::preprocess::{resample_sample, z_normalize_sample};
+use aimts_repro::aimts_imaging::{render_sample, ImageConfig};
+use aimts_repro::aimts_tensor::no_grad;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn family() -> impl Strategy<Value = PatternFamily> {
+    prop::sample::select(PatternFamily::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every family × every augmentation → finite, length-preserving views.
+    #[test]
+    fn any_generated_sample_augments_cleanly(fam in family(), seed in 0u64..500, len in 24usize..128) {
+        let spec = DatasetSpec {
+            length: len,
+            train_per_class: 1,
+            test_per_class: 1,
+            ..DatasetSpec::new("p", fam, seed)
+        };
+        let ds = spec.generate();
+        let sample = &ds.train.samples[0];
+        let mut rng = StdRng::seed_from_u64(seed);
+        for aug in default_bank() {
+            let view = aug.apply_multivariate(&sample.vars, &mut rng);
+            prop_assert_eq!(view.len(), sample.n_vars());
+            for v in &view {
+                prop_assert_eq!(v.len(), len);
+                prop_assert!(v.iter().all(|x| x.is_finite()));
+            }
+        }
+    }
+
+    /// Every generated sample renders to a finite, standardized image.
+    #[test]
+    fn any_generated_sample_renders(fam in family(), seed in 0u64..500) {
+        let spec = DatasetSpec {
+            n_vars: 1 + (seed as usize % 3),
+            train_per_class: 1,
+            test_per_class: 1,
+            ..DatasetSpec::new("p", fam, seed)
+        };
+        let ds = spec.generate();
+        let img = render_sample(&ds.train.samples[0].vars, &ImageConfig::small());
+        prop_assert!(img.data.iter().all(|x| x.is_finite()));
+        for m in img.channel_means() {
+            prop_assert!(m.abs() < 1e-3);
+        }
+    }
+
+    /// Encoding is invariant to the sample's storage (clone) and
+    /// deterministic under no_grad.
+    #[test]
+    fn encoding_is_pure(fam in family(), seed in 0u64..200) {
+        let spec = DatasetSpec {
+            train_per_class: 1,
+            test_per_class: 1,
+            ..DatasetSpec::new("p", fam, seed)
+        };
+        let ds = spec.generate();
+        let model = AimTs::new(AimTsConfig::tiny(), 3407);
+        let s = &ds.train.samples[0].vars;
+        let a = no_grad(|| model.encode(&[s])).to_vec();
+        let b = no_grad(|| model.encode(&[&s.clone()])).to_vec();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Resample + z-normalize leaves samples with ~zero mean, ~unit std.
+    #[test]
+    fn preprocessing_normalizes(fam in family(), seed in 0u64..200, target in 16usize..100) {
+        let spec = DatasetSpec {
+            train_per_class: 1,
+            test_per_class: 1,
+            ..DatasetSpec::new("p", fam, seed)
+        };
+        let ds = spec.generate();
+        let mut vars = resample_sample(&ds.train.samples[0].vars, target);
+        z_normalize_sample(&mut vars);
+        for v in &vars {
+            prop_assert_eq!(v.len(), target);
+            let mean: f32 = v.iter().sum::<f32>() / v.len() as f32;
+            prop_assert!(mean.abs() < 1e-3, "mean {}", mean);
+        }
+    }
+}
