@@ -27,7 +27,9 @@ pub fn linear_resample(x: &[f32], target_len: usize) -> Vec<f32> {
         return vec![x[0]; target_len];
     }
     let scale = (x.len() - 1) as f32 / (target_len - 1) as f32;
-    (0..target_len).map(|i| sample_at(x, i as f32 * scale)).collect()
+    (0..target_len)
+        .map(|i| sample_at(x, i as f32 * scale))
+        .collect()
 }
 
 /// A smooth random curve of length `n`: `knots` control values drawn from

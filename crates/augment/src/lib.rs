@@ -70,9 +70,7 @@ impl Augmentation {
     pub fn apply(&self, x: &[f32], rng: &mut StdRng) -> Vec<f32> {
         assert!(!x.is_empty(), "cannot augment an empty series");
         match *self {
-            Augmentation::Jitter { sigma } => {
-                x.iter().map(|v| v + sigma * randn(rng)).collect()
-            }
+            Augmentation::Jitter { sigma } => x.iter().map(|v| v + sigma * randn(rng)).collect(),
             Augmentation::Scaling { sigma } => {
                 let s = 1.0 + sigma * randn(rng);
                 x.iter().map(|v| v * s).collect()
@@ -101,9 +99,15 @@ pub fn default_bank() -> Vec<Augmentation> {
     vec![
         Augmentation::Jitter { sigma: 0.1 },
         Augmentation::Scaling { sigma: 0.2 },
-        Augmentation::TimeWarp { knots: 4, sigma: 0.2 },
+        Augmentation::TimeWarp {
+            knots: 4,
+            sigma: 0.2,
+        },
         Augmentation::Slicing { ratio: 0.8 },
-        Augmentation::WindowWarp { ratio: 0.3, scale: 2.0 },
+        Augmentation::WindowWarp {
+            ratio: 0.3,
+            scale: 2.0,
+        },
     ]
 }
 
@@ -111,7 +115,10 @@ pub fn default_bank() -> Vec<Augmentation> {
 pub fn extended_bank() -> Vec<Augmentation> {
     let mut bank = default_bank();
     bank.push(Augmentation::Permutation { segments: 4 });
-    bank.push(Augmentation::MagnitudeWarp { knots: 4, sigma: 0.2 });
+    bank.push(Augmentation::MagnitudeWarp {
+        knots: 4,
+        sigma: 0.2,
+    });
     bank
 }
 
@@ -119,7 +126,11 @@ pub fn extended_bank() -> Vec<Augmentation> {
 /// adaptive-temperature distance `D(·,·)` of Eq. 3).
 pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "euclidean distance needs equal lengths");
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
 }
 
 fn randn(rng: &mut StdRng) -> f32 {
@@ -160,7 +171,8 @@ fn slicing(x: &[f32], ratio: f32, rng: &mut StdRng) -> Vec<f32> {
 
 fn window_warp(x: &[f32], ratio: f32, scale: f32, rng: &mut StdRng) -> Vec<f32> {
     let n = x.len();
-    let w = ((n as f32 * ratio.clamp(0.05, 0.9)).round() as usize).clamp(2, n.saturating_sub(1).max(2));
+    let w =
+        ((n as f32 * ratio.clamp(0.05, 0.9)).round() as usize).clamp(2, n.saturating_sub(1).max(2));
     if w + 1 >= n {
         return x.to_vec();
     }
@@ -207,7 +219,11 @@ mod tests {
         for aug in extended_bank() {
             let y = aug.apply(&x, &mut r);
             assert_eq!(y.len(), x.len(), "{} changed length", aug.name());
-            assert!(y.iter().all(|v| v.is_finite()), "{} produced NaN", aug.name());
+            assert!(
+                y.iter().all(|v| v.is_finite()),
+                "{} produced NaN",
+                aug.name()
+            );
         }
     }
 
@@ -241,7 +257,9 @@ mod tests {
     fn slicing_preserves_value_range() {
         let x = sine(64);
         let y = Augmentation::Slicing { ratio: 0.5 }.apply(&x, &mut rng(5));
-        let (lo, hi) = x.iter().fold((f32::MAX, f32::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        let (lo, hi) = x
+            .iter()
+            .fold((f32::MAX, f32::MIN), |(l, h), &v| (l.min(v), h.max(v)));
         assert!(y.iter().all(|&v| v >= lo - 1e-5 && v <= hi + 1e-5));
     }
 
@@ -256,7 +274,11 @@ mod tests {
     #[test]
     fn time_warp_keeps_endpoints_region() {
         let x = sine(128);
-        let y = Augmentation::TimeWarp { knots: 4, sigma: 0.2 }.apply(&x, &mut rng(7));
+        let y = Augmentation::TimeWarp {
+            knots: 4,
+            sigma: 0.2,
+        }
+        .apply(&x, &mut rng(7));
         // Warp is monotone, so the last sample comes from the end of x.
         assert!((y[127] - x[127]).abs() < 0.2);
     }
@@ -268,20 +290,25 @@ mod tests {
         let aug = Augmentation::Jitter { sigma: 0.1 };
         let a = aug.apply(&x, &mut r);
         let b = aug.apply(&x, &mut r);
-        assert_ne!(a, b, "different randomized parameters must differ (paper §IV-B.1)");
+        assert_ne!(
+            a, b,
+            "different randomized parameters must differ (paper §IV-B.1)"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let x = sine(64);
-        let aug = Augmentation::WindowWarp { ratio: 0.3, scale: 2.0 };
+        let aug = Augmentation::WindowWarp {
+            ratio: 0.3,
+            scale: 2.0,
+        };
         assert_eq!(aug.apply(&x, &mut rng(9)), aug.apply(&x, &mut rng(9)));
     }
 
     #[test]
     fn multivariate_applies_per_variable() {
-        let vars: Vec<Vec<f32>> =
-            vec![sine(32), sine(32).iter().map(|v| v * 2.0).collect()];
+        let vars: Vec<Vec<f32>> = vec![sine(32), sine(32).iter().map(|v| v * 2.0).collect()];
         let out = Augmentation::Jitter { sigma: 0.01 }.apply_multivariate(&vars, &mut rng(10));
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].len(), 32);
@@ -297,7 +324,10 @@ mod tests {
     #[test]
     fn bank_contents_match_paper() {
         let names: Vec<&str> = default_bank().iter().map(|a| a.name()).collect();
-        assert_eq!(names, vec!["jitter", "scaling", "time_warp", "slicing", "window_warp"]);
+        assert_eq!(
+            names,
+            vec!["jitter", "scaling", "time_warp", "slicing", "window_warp"]
+        );
     }
 
     #[test]

@@ -54,6 +54,67 @@ proptest! {
     }
 
     #[test]
+    fn jitter_preserves_length_and_finiteness(x in series(), seed in 0u64..1000, sigma in 0.0f32..2.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let y = Augmentation::Jitter { sigma }.apply(&x, &mut rng);
+        prop_assert_eq!(y.len(), x.len());
+        prop_assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn scaling_preserves_length_and_finiteness(x in series(), seed in 0u64..1000, sigma in 0.0f32..2.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let y = Augmentation::Scaling { sigma }.apply(&x, &mut rng);
+        prop_assert_eq!(y.len(), x.len());
+        prop_assert!(y.iter().all(|v| v.is_finite()));
+        // Scaling is a single multiplicative factor: zeros stay zeros.
+        for (a, b) in x.iter().zip(&y) {
+            if *a == 0.0 {
+                prop_assert_eq!(*b, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn slicing_outputs_documented_length(x in series(), seed in 0u64..1000, ratio in 0.2f32..0.95) {
+        // Slicing crops a window and resamples back: output length == input
+        // length, the documented contract relied on by the pretrain loop.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let y = Augmentation::Slicing { ratio }.apply(&x, &mut rng);
+        prop_assert_eq!(y.len(), x.len());
+        prop_assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn window_warp_outputs_documented_length(
+        x in series(),
+        seed in 0u64..1000,
+        ratio in 0.1f32..0.6,
+        scale in prop::sample::select(vec![0.5f32, 2.0]),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let y = Augmentation::WindowWarp { ratio, scale }.apply(&x, &mut rng);
+        prop_assert_eq!(y.len(), x.len());
+        prop_assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn resample_constant_series_roundtrip(c in -50f32..50.0, n in 3usize..80, m in 3usize..80) {
+        // Linear interpolation of a constant series is exactly that
+        // constant at every target length, up and back down.
+        let x = vec![c; n];
+        let up = linear_resample(&x, m);
+        prop_assert_eq!(up.len(), m);
+        for v in &up {
+            prop_assert!((v - c).abs() < 1e-4, "resampled {} vs constant {}", v, c);
+        }
+        let back = linear_resample(&up, n);
+        for v in &back {
+            prop_assert!((v - c).abs() < 1e-4, "roundtrip {} vs constant {}", v, c);
+        }
+    }
+
+    #[test]
     fn permutation_multiset_invariant(x in series(), seed in 0u64..1000, k in 1usize..8) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut y = Augmentation::Permutation { segments: k }.apply(&x, &mut rng);

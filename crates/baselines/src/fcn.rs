@@ -29,9 +29,23 @@ impl FcnClassifier {
         FcnClassifier {
             conv1: Conv1d::new(in_vars, hidden, 7, Conv1dSpec::same(7, 1), true, seed),
             bn1: BatchNorm1d::new(hidden),
-            conv2: Conv1d::new(hidden, hidden * 2, 5, Conv1dSpec::same(5, 1), true, seed + 1),
+            conv2: Conv1d::new(
+                hidden,
+                hidden * 2,
+                5,
+                Conv1dSpec::same(5, 1),
+                true,
+                seed + 1,
+            ),
             bn2: BatchNorm1d::new(hidden * 2),
-            conv3: Conv1d::new(hidden * 2, hidden, 3, Conv1dSpec::same(3, 1), true, seed + 2),
+            conv3: Conv1d::new(
+                hidden * 2,
+                hidden,
+                3,
+                Conv1dSpec::same(3, 1),
+                true,
+                seed + 2,
+            ),
             bn3: BatchNorm1d::new(hidden),
             head: Linear::new(hidden, n_classes, true, seed + 3),
             n_classes,
@@ -93,7 +107,9 @@ impl FcnClassifier {
                 }
                 let samples: Vec<&MultiSeries> = chunk.iter().map(|&i| &prepared[i]).collect();
                 let targets: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
-                let loss = self.logits(&Self::batch_tensor(&samples)).cross_entropy(&targets);
+                let loss = self
+                    .logits(&Self::batch_tensor(&samples))
+                    .cross_entropy(&targets);
                 opt.zero_grad();
                 loss.backward();
                 opt.step();
@@ -135,7 +151,13 @@ impl Module for FcnClassifier {
     }
 
     fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
-        let p = |s: &str| if prefix.is_empty() { s.to_string() } else { format!("{prefix}.{s}") };
+        let p = |s: &str| {
+            if prefix.is_empty() {
+                s.to_string()
+            } else {
+                format!("{prefix}.{s}")
+            }
+        };
         self.conv1.named_parameters(&p("conv1"), out);
         self.bn1.named_parameters(&p("bn1"), out);
         self.conv2.named_parameters(&p("conv2"), out);

@@ -55,7 +55,9 @@ pub fn magnitude_spectrum(x: &[f32]) -> Vec<f32> {
     let mut im = vec![0f32; n];
     re[..x.len()].copy_from_slice(x);
     fft_inplace(&mut re, &mut im);
-    (0..n / 2).map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt() / n as f32).collect()
+    (0..n / 2)
+        .map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt() / n as f32)
+        .collect()
 }
 
 #[cfg(test)]
@@ -75,10 +77,16 @@ mod tests {
     fn pure_tone_peaks_at_its_frequency() {
         let n = 64;
         let freq = 5;
-        let x: Vec<f32> =
-            (0..n).map(|t| (2.0 * PI * freq as f32 * t as f32 / n as f32).sin()).collect();
+        let x: Vec<f32> = (0..n)
+            .map(|t| (2.0 * PI * freq as f32 * t as f32 / n as f32).sin())
+            .collect();
         let s = magnitude_spectrum(&x);
-        let argmax = s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let argmax = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(argmax, freq);
     }
 
@@ -89,8 +97,7 @@ mod tests {
         let mut im = vec![0f32; 32];
         fft_inplace(&mut re, &mut im);
         let time_energy: f32 = x.iter().map(|v| v * v).sum();
-        let freq_energy: f32 =
-            re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f32>() / 32.0;
+        let freq_energy: f32 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f32>() / 32.0;
         assert!((time_energy - freq_energy).abs() < 1e-2 * time_energy.max(1.0));
     }
 

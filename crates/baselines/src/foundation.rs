@@ -11,7 +11,7 @@
 //!   head per pre-training dataset, trained jointly on labeled sources.
 
 use aimts::batch::{batch_indices, encode_channel_independent, samples_to_tensor};
-use aimts::{copy_parameters, FineTuned, FineTuneConfig, TsEncoder};
+use aimts::{copy_parameters, FineTuneConfig, FineTuned, TsEncoder};
 use aimts_data::preprocess::{resample_sample, z_normalize_sample};
 use aimts_data::{Dataset, MultiSeries};
 use aimts_nn::{Adam, Linear, Module, Optimizer};
@@ -30,13 +30,23 @@ pub struct FoundationConfig {
 
 impl Default for FoundationConfig {
     fn default() -> Self {
-        FoundationConfig { hidden: 32, repr_dim: 64, dilations: vec![1, 2, 4], pretrain_len: 64 }
+        FoundationConfig {
+            hidden: 32,
+            repr_dim: 64,
+            dilations: vec![1, 2, 4],
+            pretrain_len: 64,
+        }
     }
 }
 
 impl FoundationConfig {
     pub fn tiny() -> Self {
-        FoundationConfig { hidden: 8, repr_dim: 16, dilations: vec![1, 2], pretrain_len: 32 }
+        FoundationConfig {
+            hidden: 8,
+            repr_dim: 16,
+            dilations: vec![1, 2],
+            pretrain_len: 32,
+        }
     }
 }
 
@@ -52,7 +62,12 @@ impl MomentLike {
     pub fn new(cfg: FoundationConfig, seed: u64) -> Self {
         let encoder = TsEncoder::new(cfg.hidden, cfg.repr_dim, &cfg.dilations, seed);
         let decoder = Linear::new(cfg.repr_dim, cfg.pretrain_len, true, seed.wrapping_add(42));
-        MomentLike { cfg, encoder, decoder, seed }
+        MomentLike {
+            cfg,
+            encoder,
+            decoder,
+            seed,
+        }
     }
 
     /// Pre-train by reconstructing masked spans; returns final mean MSE.
@@ -104,8 +119,12 @@ impl MomentLike {
                 let repr = self.encoder.encode_rows(&x);
                 let recon = self.decoder.forward(&repr); // [b, t]
                 let masked_count = m.to_vec().iter().sum::<f32>().max(1.0);
-                let loss =
-                    recon.sub(&y).square().mul(&m).sum_all().div_scalar(masked_count);
+                let loss = recon
+                    .sub(&y)
+                    .square()
+                    .mul(&m)
+                    .sum_all()
+                    .div_scalar(masked_count);
                 opt.zero_grad();
                 loss.backward();
                 opt.step();
@@ -119,8 +138,12 @@ impl MomentLike {
 
     /// Fine-tune a copy of the encoder on a target dataset.
     pub fn fine_tune(&self, ds: &Dataset, fcfg: &FineTuneConfig) -> FineTuned {
-        let fresh =
-            TsEncoder::new(self.cfg.hidden, self.cfg.repr_dim, &self.cfg.dilations, self.seed);
+        let fresh = TsEncoder::new(
+            self.cfg.hidden,
+            self.cfg.repr_dim,
+            &self.cfg.dilations,
+            self.seed,
+        );
         copy_parameters(&self.encoder, &fresh);
         FineTuned::from_encoder(fresh, self.cfg.repr_dim, ds, fcfg)
     }
@@ -154,7 +177,12 @@ impl UnitsLike {
             .iter()
             .enumerate()
             .map(|(i, d)| {
-                Linear::new(self.cfg.repr_dim, d.n_classes, true, seed.wrapping_add(i as u64))
+                Linear::new(
+                    self.cfg.repr_dim,
+                    d.n_classes,
+                    true,
+                    seed.wrapping_add(i as u64),
+                )
             })
             .collect();
         // Prepared per-source training data.
@@ -205,8 +233,12 @@ impl UnitsLike {
 
     /// Fine-tune a copy of the encoder on a target dataset.
     pub fn fine_tune(&self, ds: &Dataset, fcfg: &FineTuneConfig) -> FineTuned {
-        let fresh =
-            TsEncoder::new(self.cfg.hidden, self.cfg.repr_dim, &self.cfg.dilations, self.seed);
+        let fresh = TsEncoder::new(
+            self.cfg.hidden,
+            self.cfg.repr_dim,
+            &self.cfg.dilations,
+            self.seed,
+        );
         copy_parameters(&self.encoder, &fresh);
         FineTuned::from_encoder(fresh, self.cfg.repr_dim, ds, fcfg)
     }
@@ -234,8 +266,13 @@ mod tests {
         let mut u = UnitsLike::new(FoundationConfig::tiny(), 0);
         let loss = u.pretrain(&refs, 1, 8, 5e-3, 0);
         assert!(loss.is_finite());
-        let tuned =
-            u.fine_tune(&sources[0], &FineTuneConfig { epochs: 2, ..Default::default() });
+        let tuned = u.fine_tune(
+            &sources[0],
+            &FineTuneConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         let acc = tuned.evaluate(&sources[0].test);
         assert!((0.0..=1.0).contains(&acc));
     }
@@ -245,7 +282,13 @@ mod tests {
         let m = MomentLike::new(FoundationConfig::tiny(), 1);
         let before = m.encoder.parameters()[0].to_vec();
         let ds = &ucr_like_archive(1, 1)[0];
-        let _ = m.fine_tune(ds, &FineTuneConfig { epochs: 1, ..Default::default() });
+        let _ = m.fine_tune(
+            ds,
+            &FineTuneConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
         assert_eq!(before, m.encoder.parameters()[0].to_vec());
     }
 }

@@ -9,7 +9,9 @@ use aimts_data::{Dataset, MultiSeries, Split};
 pub enum Metric {
     Euclidean,
     /// DTW with a warping window of `band` (fraction of series length).
-    Dtw { band: f32 },
+    Dtw {
+        band: f32,
+    },
 }
 
 /// 1-NN classifier (lazy: stores the normalized training split).
@@ -56,7 +58,11 @@ impl OneNn {
     }
 
     pub fn predict(&self, split: &Split) -> Vec<usize> {
-        split.samples.iter().map(|s| self.predict_one(&s.vars)).collect()
+        split
+            .samples
+            .iter()
+            .map(|s| self.predict_one(&s.vars))
+            .collect()
     }
 
     pub fn evaluate(&self, split: &Split) -> f64 {
@@ -66,7 +72,12 @@ impl OneNn {
 
 fn euclidean(a: &[f32], b: &[f32]) -> f32 {
     let n = a.len().min(b.len());
-    a[..n].iter().zip(&b[..n]).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+    a[..n]
+        .iter()
+        .zip(&b[..n])
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
 }
 
 /// Dynamic time warping with a Sakoe–Chiba band (fraction of length).
@@ -74,7 +85,9 @@ pub fn dtw(a: &[f32], b: &[f32], band: f32) -> f32 {
     let n = a.len();
     let m = b.len();
     assert!(n > 0 && m > 0);
-    let w = ((n.max(m) as f32 * band.clamp(0.0, 1.0)) as usize).max(n.abs_diff(m)).max(1);
+    let w = ((n.max(m) as f32 * band.clamp(0.0, 1.0)) as usize)
+        .max(n.abs_diff(m))
+        .max(1);
     let inf = f32::INFINITY;
     let mut prev = vec![inf; m + 1];
     let mut cur = vec![inf; m + 1];

@@ -66,10 +66,12 @@ impl RidgeClassifier {
             }
         }
         for i in 0..d {
-            for j in 0..i {
-                g[i][j] = g[j][i];
+            let (above, rest) = g.split_at_mut(i);
+            let gi = &mut rest[0];
+            for (j, upper_row) in above.iter().enumerate() {
+                gi[j] = upper_row[i];
             }
-            g[i][i] += lambda;
+            gi[i] += lambda;
         }
         // Right-hand sides: X^T y_c for ±1 targets, one per class.
         let mut rhs = vec![vec![0f64; n_classes]; d];
@@ -98,7 +100,13 @@ impl RidgeClassifier {
         for ic in &mut intercepts {
             *ic /= n as f64;
         }
-        RidgeClassifier { weights, intercepts, means, stds, n_classes }
+        RidgeClassifier {
+            weights,
+            intercepts,
+            means,
+            stds,
+            n_classes,
+        }
     }
 
     /// Raw one-vs-rest scores.
@@ -204,8 +212,9 @@ mod tests {
 
     #[test]
     fn multiclass_prediction_in_range() {
-        let feats: Vec<Vec<f32>> =
-            (0..30).map(|i| vec![(i % 3) as f32, ((i * 7) % 5) as f32]).collect();
+        let feats: Vec<Vec<f32>> = (0..30)
+            .map(|i| vec![(i % 3) as f32, ((i * 7) % 5) as f32])
+            .collect();
         let labels: Vec<usize> = (0..30).map(|i| i % 3).collect();
         let clf = RidgeClassifier::fit(&feats, &labels, 3, 1.0);
         for f in &feats {

@@ -35,7 +35,7 @@ impl Rocket {
         let mut rng = StdRng::seed_from_u64(seed);
         let kernels = (0..n_kernels)
             .map(|_| {
-                let len = [7usize, 9, 11][rng.gen_range(0..3)];
+                let len = [7usize, 9, 11][rng.gen_range(0..3usize)];
                 let mut weights: Vec<f32> = (0..len)
                     .map(|_| {
                         let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
@@ -124,14 +124,26 @@ pub struct RocketClassifier {
 
 impl RocketClassifier {
     pub fn new(n_kernels: usize, ref_len: usize, seed: u64) -> Self {
-        RocketClassifier { rocket: Rocket::new(n_kernels, ref_len, seed), ridge: None }
+        RocketClassifier {
+            rocket: Rocket::new(n_kernels, ref_len, seed),
+            ridge: None,
+        }
     }
 
     /// Fit the ridge head on the dataset's training split.
     pub fn fit(&mut self, ds: &Dataset) {
-        let feats: Vec<Vec<f32>> =
-            ds.train.samples.iter().map(|s| self.rocket.transform_sample(&s.vars)).collect();
-        self.ridge = Some(RidgeClassifier::fit(&feats, &ds.train.labels(), ds.n_classes, 1.0));
+        let feats: Vec<Vec<f32>> = ds
+            .train
+            .samples
+            .iter()
+            .map(|s| self.rocket.transform_sample(&s.vars))
+            .collect();
+        self.ridge = Some(RidgeClassifier::fit(
+            &feats,
+            &ds.train.labels(),
+            ds.n_classes,
+            1.0,
+        ));
     }
 
     /// Predict labels for a split.

@@ -29,8 +29,12 @@ pub struct TfcBaseline {
 impl TfcBaseline {
     pub fn new(cfg: BaselineConfig, seed: u64) -> Self {
         let time_encoder = TsEncoder::new(cfg.hidden, cfg.repr_dim, &cfg.dilations, seed);
-        let freq_encoder =
-            TsEncoder::new(cfg.hidden, cfg.repr_dim, &cfg.dilations, seed.wrapping_add(7));
+        let freq_encoder = TsEncoder::new(
+            cfg.hidden,
+            cfg.repr_dim,
+            &cfg.dilations,
+            seed.wrapping_add(7),
+        );
         let time_proj = Mlp::new(
             &[cfg.repr_dim, cfg.repr_dim, cfg.proj_dim],
             Activation::Gelu,
@@ -41,7 +45,13 @@ impl TfcBaseline {
             Activation::Gelu,
             seed.wrapping_add(200),
         );
-        TfcBaseline { cfg, time_encoder, freq_encoder, time_proj, freq_proj }
+        TfcBaseline {
+            cfg,
+            time_encoder,
+            freq_encoder,
+            time_proj,
+            freq_proj,
+        }
     }
 
     fn prepare(&self, s: &MultiSeries) -> MultiSeries {
@@ -74,7 +84,11 @@ impl TfcBaseline {
     /// Time view: light jitter.
     fn time_view(&self, s: &MultiSeries, rng: &mut StdRng) -> MultiSeries {
         s.iter()
-            .map(|v| v.iter().map(|x| x + 0.05 * (rng.gen::<f32>() - 0.5)).collect())
+            .map(|v| {
+                v.iter()
+                    .map(|x| x + 0.05 * (rng.gen::<f32>() - 0.5))
+                    .collect()
+            })
             .collect()
     }
 
@@ -88,7 +102,9 @@ impl TfcBaseline {
         let id = Tensor::from_vec(eye, &[n, n]);
         let pos = s.mul(&id).sum_axis(1, false);
         let l_tf = pos.sub(&s.exp().sum_axis(1, false).ln()).neg();
-        let l_ft = pos.sub(&s.transpose(0, 1).exp().sum_axis(1, false).ln()).neg();
+        let l_ft = pos
+            .sub(&s.transpose(0, 1).exp().sum_axis(1, false).ln())
+            .neg();
         l_tf.add(&l_ft).mean_all().mul_scalar(0.5)
     }
 
@@ -119,10 +135,14 @@ impl TfcBaseline {
             let mut nb = 0usize;
             for idxs in groups.values() {
                 for batch in batch_indices(idxs.len(), batch_size, &mut rng) {
-                    let tviews: Vec<MultiSeries> =
-                        batch.iter().map(|&k| self.time_view(&prepared[idxs[k]], &mut rng)).collect();
-                    let fviews: Vec<MultiSeries> =
-                        batch.iter().map(|&k| self.freq_view(&prepared[idxs[k]], &mut rng)).collect();
+                    let tviews: Vec<MultiSeries> = batch
+                        .iter()
+                        .map(|&k| self.time_view(&prepared[idxs[k]], &mut rng))
+                        .collect();
+                    let fviews: Vec<MultiSeries> = batch
+                        .iter()
+                        .map(|&k| self.freq_view(&prepared[idxs[k]], &mut rng))
+                        .collect();
                     let tb = samples_to_tensor(&tviews.iter().collect::<Vec<_>>());
                     let fb = samples_to_tensor(&fviews.iter().collect::<Vec<_>>());
                     let tr = encode_channel_independent(&self.time_encoder, &tb);
@@ -217,7 +237,11 @@ impl TfcFineTuned {
                     })
                     .collect();
                 let refs: Vec<&MultiSeries> = prepared.iter().collect();
-                preds.extend(self.head.forward(&self.model.joint_repr(&refs)).argmax_axis(1));
+                preds.extend(
+                    self.head
+                        .forward(&self.model.joint_repr(&refs))
+                        .argmax_axis(1),
+                );
             }
             preds
         })

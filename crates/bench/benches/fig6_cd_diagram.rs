@@ -3,10 +3,10 @@
 //! table1_repr_learning.json` when present (run that bench first for the
 //! full picture); otherwise regenerates a reduced matrix in-process.
 
+use aimts_baselines::Method;
 use aimts_bench::harness::{banner, record_results, Scale};
 use aimts_bench::memprof::CountingAllocator;
 use aimts_bench::runners::{baseline_case_by_case, finetune_eval_aimts, pretrain_aimts};
-use aimts_baselines::Method;
 use aimts_data::archives::{monash_like_pool, ucr_like_archive, uea_like_archive};
 use aimts_eval::{render_cd_diagram, CdAnalysis};
 use serde::Serialize;
@@ -38,14 +38,21 @@ fn matrix_from_json(v: &serde_json::Value, key: &str) -> Option<Vec<Vec<f64>>> {
 }
 
 fn main() {
-    banner("fig6_cd_diagram", "Paper Fig. 6", "CD diagrams over the Table I matrices");
+    banner(
+        "fig6_cd_diagram",
+        "Paper Fig. 6",
+        "CD diagrams over the Table I matrices",
+    );
     let scale = Scale::from_env();
     let path = aimts_bench::harness::results_dir().join("table1_repr_learning.json");
     let (ucr_m, uea_m) = match std::fs::read_to_string(&path)
         .ok()
         .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
         .and_then(|v| {
-            Some((matrix_from_json(&v, "ucr_rows")?, matrix_from_json(&v, "uea_rows")?))
+            Some((
+                matrix_from_json(&v, "ucr_rows")?,
+                matrix_from_json(&v, "uea_rows")?,
+            ))
         }) {
         Some(m) => {
             println!("using recorded Table I matrices from {}", path.display());

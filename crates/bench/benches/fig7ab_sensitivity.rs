@@ -5,9 +5,7 @@
 use aimts::{AimTs, AimTsConfig};
 use aimts_bench::harness::{banner, record_results, time_it, Scale};
 use aimts_bench::memprof::CountingAllocator;
-use aimts_bench::runners::{
-    bench_aimts_config, bench_finetune_config, bench_pretrain_config,
-};
+use aimts_bench::runners::{bench_aimts_config, bench_finetune_config, bench_pretrain_config};
 use aimts_data::archives::monash_like_pool;
 use aimts_data::special::allgesture_like;
 use serde::Serialize;
@@ -58,21 +56,36 @@ fn main() {
 
         let mut alpha_acc = Vec::new();
         for &a in &alphas {
-            let cfg = AimTsConfig { alpha: a, beta: 0.9, gamma: 0.1, ..bench_aimts_config() };
+            let cfg = AimTsConfig {
+                alpha: a,
+                beta: 0.9,
+                gamma: 0.1,
+                ..bench_aimts_config()
+            };
             let acc = eval_config(cfg, scale, &pool);
             println!("alpha = {a:.1}: Avg.ACC {acc:.3}");
             alpha_acc.push(acc);
         }
         let mut beta_acc = Vec::new();
         for &b in &betas {
-            let cfg = AimTsConfig { alpha: 0.7, beta: b, gamma: 0.1, ..bench_aimts_config() };
+            let cfg = AimTsConfig {
+                alpha: 0.7,
+                beta: b,
+                gamma: 0.1,
+                ..bench_aimts_config()
+            };
             let acc = eval_config(cfg, scale, &pool);
             println!("beta  = {b:.1}: Avg.ACC {acc:.3}");
             beta_acc.push(acc);
         }
         let mut gamma_acc = Vec::new();
         for &g in &gammas {
-            let cfg = AimTsConfig { alpha: 0.7, beta: 0.9, gamma: g, ..bench_aimts_config() };
+            let cfg = AimTsConfig {
+                alpha: 0.7,
+                beta: 0.9,
+                gamma: g,
+                ..bench_aimts_config()
+            };
             let acc = eval_config(cfg, scale, &pool);
             println!("gamma = {g:.1}: Avg.ACC {acc:.3}");
             gamma_acc.push(acc);
@@ -96,11 +109,15 @@ fn main() {
             beta_acc,
             gamma_values: gammas.to_vec(),
             gamma_acc,
-            paper_note: "paper Fig. 7a/b: accuracy varies only slightly across alpha/beta/gamma".into(),
+            paper_note: "paper Fig. 7a/b: accuracy varies only slightly across alpha/beta/gamma"
+                .into(),
             elapsed_secs: 0.0,
         }
     });
-    let payload = Payload { elapsed_secs: elapsed, ..payload };
+    let payload = Payload {
+        elapsed_secs: elapsed,
+        ..payload
+    };
     record_results("fig7ab_sensitivity", &payload);
     println!("total: {elapsed:.1}s");
 }

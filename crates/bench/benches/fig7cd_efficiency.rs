@@ -4,10 +4,10 @@
 //! allocator (the CPU stand-in for GPU memory).
 
 use aimts::FineTuneConfig;
+use aimts_baselines::{ContrastiveBaseline, FcnClassifier, Method, RocketClassifier};
 use aimts_bench::harness::{banner, record_results, time_it, Scale};
 use aimts_bench::memprof::{peak_bytes, reset_peak, CountingAllocator};
 use aimts_bench::runners::{bench_baseline_config, pretrain_aimts_standard};
-use aimts_baselines::{ContrastiveBaseline, FcnClassifier, Method, RocketClassifier};
 use aimts_data::special::starlight_like;
 use serde::Serialize;
 
@@ -36,7 +36,11 @@ fn main() {
     );
     let scale = Scale::from_env();
     let ds = starlight_like(3);
-    let fcfg = FineTuneConfig { epochs: 10, batch_size: 8, ..Default::default() };
+    let fcfg = FineTuneConfig {
+        epochs: 10,
+        batch_size: 8,
+        ..Default::default()
+    };
     let mut rows: Vec<Row> = Vec::new();
 
     // AimTS: fine-tune a pre-trained model + inference.
@@ -62,7 +66,12 @@ fn main() {
         b.pretrain(&ds.unlabeled_train(), 10, 8, 5e-3, 1);
         let tuned = b.fine_tune(&ds, &fcfg);
         let acc = tuned.evaluate(&ds.test);
-        rows.push(Row { method: "TS2Vec".into(), peak_mb: 0.0, total_secs: 0.0, accuracy: acc });
+        rows.push(Row {
+            method: "TS2Vec".into(),
+            peak_mb: 0.0,
+            total_secs: 0.0,
+            accuracy: acc,
+        });
     });
     rows.last_mut().unwrap().peak_mb = peak_bytes() as f64 / 1e6;
     rows.last_mut().unwrap().total_secs = secs;
@@ -73,7 +82,12 @@ fn main() {
         let mut fcn = FcnClassifier::new(ds.n_vars(), 16, ds.n_classes, 2);
         fcn.fit(&ds, 10, 8, 1e-2, 2);
         let acc = fcn.evaluate(&ds.test);
-        rows.push(Row { method: "FCN".into(), peak_mb: 0.0, total_secs: 0.0, accuracy: acc });
+        rows.push(Row {
+            method: "FCN".into(),
+            peak_mb: 0.0,
+            total_secs: 0.0,
+            accuracy: acc,
+        });
     });
     rows.last_mut().unwrap().peak_mb = peak_bytes() as f64 / 1e6;
     rows.last_mut().unwrap().total_secs = secs;
@@ -84,14 +98,25 @@ fn main() {
         let mut r = RocketClassifier::new(scale.rocket_kernels(), ds.series_len(), 3);
         r.fit(&ds);
         let acc = r.evaluate(&ds.test);
-        rows.push(Row { method: "Rocket".into(), peak_mb: 0.0, total_secs: 0.0, accuracy: acc });
+        rows.push(Row {
+            method: "Rocket".into(),
+            peak_mb: 0.0,
+            total_secs: 0.0,
+            accuracy: acc,
+        });
     });
     rows.last_mut().unwrap().peak_mb = peak_bytes() as f64 / 1e6;
     rows.last_mut().unwrap().total_secs = secs;
 
-    println!("{:<10} {:>10} {:>10} {:>8}", "method", "peak MB", "total s", "acc");
+    println!(
+        "{:<10} {:>10} {:>10} {:>8}",
+        "method", "peak MB", "total s", "acc"
+    );
     for r in &rows {
-        println!("{:<10} {:>10.1} {:>10.2} {:>8.3}", r.method, r.peak_mb, r.total_secs, r.accuracy);
+        println!(
+            "{:<10} {:>10.1} {:>10.2} {:>8.3}",
+            r.method, r.peak_mb, r.total_secs, r.accuracy
+        );
     }
     println!("\npaper Fig. 7c/d: AimTS fine-tuning uses the least memory (927 MB) and time (75 s)");
     println!("among the deep methods; shape check: AimTS fine-tune cost ~= supervised FCN, well");

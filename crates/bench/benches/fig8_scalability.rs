@@ -31,7 +31,11 @@ struct Payload {
 fn measure(model: &AimTs, ds: &aimts_data::Dataset, epochs: usize) -> (f64, f64) {
     reset_peak();
     let ((), secs) = time_it(|| {
-        let fcfg = FineTuneConfig { epochs, batch_size: 8, ..Default::default() };
+        let fcfg = FineTuneConfig {
+            epochs,
+            batch_size: 8,
+            ..Default::default()
+        };
         let tuned = model.fine_tune(ds, &fcfg);
         let _ = tuned.evaluate(&ds.test);
     });
@@ -56,7 +60,11 @@ fn main() {
         let (mb, secs) = measure(&model, &ds, epochs);
         let n = ds.train.len();
         println!("train {n:>4} samples: peak {mb:>8.1} MB  time {secs:>7.2}s");
-        data_size.push(Point { x: n as f64, peak_mb: mb, secs });
+        data_size.push(Point {
+            x: n as f64,
+            peak_mb: mb,
+            secs,
+        });
     }
 
     // (b) series length, fixed data size.
@@ -66,20 +74,32 @@ fn main() {
         let ds = sleepeeg_like(len, 24, 2);
         let (mb, secs) = measure(&model, &ds, epochs);
         println!("length {len:>5}: peak {mb:>8.1} MB  time {secs:>7.2}s");
-        length.push(Point { x: len as f64, peak_mb: mb, secs });
+        length.push(Point {
+            x: len as f64,
+            peak_mb: mb,
+            secs,
+        });
     }
 
     // (c) model parameters, fixed data.
     let mut params = Vec::new();
     println!("-- (c) model parameters --");
     for &hidden in &[8usize, 16, 32] {
-        let cfg = AimTsConfig { hidden, repr_dim: hidden * 2, ..bench_aimts_config() };
+        let cfg = AimTsConfig {
+            hidden,
+            repr_dim: hidden * 2,
+            ..bench_aimts_config()
+        };
         let m = AimTs::new(cfg, 3407);
         let n_params = m.num_parameters();
         let ds = sleepeeg_like(256, 12, 3);
         let (mb, secs) = measure(&m, &ds, epochs);
         println!("params {n_params:>8}: peak {mb:>8.1} MB  time {secs:>7.2}s");
-        params.push(Point { x: n_params as f64, peak_mb: mb, secs });
+        params.push(Point {
+            x: n_params as f64,
+            peak_mb: mb,
+            secs,
+        });
     }
 
     // Shape check: ratio of consecutive times should approximate the ratio

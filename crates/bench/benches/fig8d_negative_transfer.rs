@@ -3,12 +3,12 @@
 //! on 5 downstream datasets. The paper shows multi-source pre-training
 //! *hurts* TS2Vec (negative transfer) while AimTS benefits from it.
 
+use aimts_baselines::Method;
 use aimts_bench::harness::{banner, record_results, time_it, Scale};
 use aimts_bench::memprof::CountingAllocator;
 use aimts_bench::runners::{
     baseline_case_by_case, baseline_multi_source, finetune_eval_aimts, pretrain_aimts,
 };
-use aimts_baselines::Method;
 use aimts_data::archives::ucr_like_archive;
 use aimts_data::{Dataset, MultiSeries};
 use serde::Serialize;
@@ -46,12 +46,20 @@ fn main() {
             .collect();
         let multi = baseline_multi_source(Method::Ts2Vec, &pool, &refs, scale, 100);
         let model = pretrain_aimts(&pool, scale, 3407);
-        let aimts: Vec<f64> =
-            suite.iter().map(|ds| finetune_eval_aimts(&model, ds, scale)).collect();
+        let aimts: Vec<f64> = suite
+            .iter()
+            .map(|ds| finetune_eval_aimts(&model, ds, scale))
+            .collect();
 
-        println!("{:<26} {:>14} {:>14} {:>8}", "dataset", "TS2Vec(case)", "TS2Vec(multi)", "AimTS");
+        println!(
+            "{:<26} {:>14} {:>14} {:>8}",
+            "dataset", "TS2Vec(case)", "TS2Vec(multi)", "AimTS"
+        );
         for (i, ds) in suite.iter().enumerate() {
-            println!("{:<26} {:>14.3} {:>14.3} {:>8.3}", ds.name, case[i], multi[i], aimts[i]);
+            println!(
+                "{:<26} {:>14.3} {:>14.3} {:>8.3}",
+                ds.name, case[i], multi[i], aimts[i]
+            );
         }
         let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
         println!(
@@ -68,11 +76,15 @@ fn main() {
             ts2vec_case_by_case: case,
             ts2vec_multi_source: multi,
             aimts,
-            paper_note: "paper: TS2Vec degrades under multi-source pre-training; AimTS improves".into(),
+            paper_note: "paper: TS2Vec degrades under multi-source pre-training; AimTS improves"
+                .into(),
             elapsed_secs: 0.0,
         }
     });
-    let payload = Payload { elapsed_secs: elapsed, ..payload };
+    let payload = Payload {
+        elapsed_secs: elapsed,
+        ..payload
+    };
     record_results("fig8d_negative_transfer", &payload);
     println!("total: {elapsed:.1}s");
 }

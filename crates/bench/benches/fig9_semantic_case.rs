@@ -6,9 +6,9 @@
 //! prototypes restore it.
 
 use aimts_augment::{default_bank, Augmentation};
+use aimts_baselines::FcnClassifier;
 use aimts_bench::harness::{banner, record_results, Scale};
 use aimts_bench::memprof::CountingAllocator;
-use aimts_baselines::FcnClassifier;
 use aimts_data::special::starlight_like;
 use aimts_data::{Sample, Split};
 use rand::rngs::StdRng;
@@ -85,6 +85,11 @@ fn main() {
     println!("\nshape check: sliced < prototype <= raw (slicing shifts semantics; prototypes restore them).");
     record_results(
         "fig9_semantic_case",
-        &Payload { raw_acc, sliced_acc, prototype_acc, paper: (0.97, 0.88, 0.95) },
+        &Payload {
+            raw_acc,
+            sliced_acc,
+            prototype_acc,
+            paper: (0.97, 0.88, 0.95),
+        },
     );
 }

@@ -6,11 +6,11 @@
 use aimts::losses::{inter_prototype_loss, series_image_naive};
 use aimts::mixup::geodesic_mixup;
 use aimts::TsEncoder;
-use aimts_nn::Module;
 use aimts_augment::default_bank;
 use aimts_baselines::nn1::dtw;
 use aimts_baselines::Rocket;
 use aimts_imaging::{render_sample, ImageConfig};
+use aimts_nn::Module;
 use aimts_tensor::Tensor;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -43,6 +43,64 @@ fn bench_imaging(c: &mut Criterion) {
     c.bench_function("imaging/render_4var", |b| {
         b.iter(|| black_box(render_sample(black_box(&multi), &cfg)))
     });
+}
+
+/// Direct vs im2col conv1d/conv2d on the exact shapes the AimTS encoders
+/// run (see `aimts::config::AimTsConfig`): hidden=32 channels, dilations
+/// {1, 2, 4}, pretrain length 64, plus the univariate input conv and the
+/// image encoder's first conv2d. The im2col path is expected to beat
+/// direct by >= 2x on the channel-mixing shapes.
+fn bench_conv_lowerings(c: &mut Criterion) {
+    use aimts_tensor::ops::{Conv1dSpec, Conv2dSpec};
+
+    let mut g = c.benchmark_group("conv1d");
+    // [B=8, C=32, L=64] x [32, 32, 3], the residual-block workhorse.
+    let x = Tensor::randn(&[8, 32, 64], 1);
+    let w = Tensor::randn(&[32, 32, 3], 2);
+    for dilation in [1usize, 2, 4] {
+        let spec = Conv1dSpec::same(3, dilation);
+        g.bench_function(format!("direct_b8_c32_l64_d{dilation}"), |b| {
+            b.iter(|| {
+                aimts_tensor::no_grad(|| black_box(x.conv1d_direct(black_box(&w), None, spec)))
+            })
+        });
+        g.bench_function(format!("im2col_b8_c32_l64_d{dilation}"), |b| {
+            b.iter(|| {
+                aimts_tensor::no_grad(|| black_box(x.conv1d_im2col(black_box(&w), None, spec)))
+            })
+        });
+    }
+    // Univariate input conv: [B=8, C=1, L=64] x [32, 1, 3].
+    let x1 = Tensor::randn(&[8, 1, 64], 3);
+    let w1 = Tensor::randn(&[32, 1, 3], 4);
+    let spec = Conv1dSpec::same(3, 1);
+    g.bench_function("direct_b8_c1to32_l64", |b| {
+        b.iter(|| aimts_tensor::no_grad(|| black_box(x1.conv1d_direct(black_box(&w1), None, spec))))
+    });
+    g.bench_function("im2col_b8_c1to32_l64", |b| {
+        b.iter(|| aimts_tensor::no_grad(|| black_box(x1.conv1d_im2col(black_box(&w1), None, spec))))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("conv2d");
+    // Image-encoder first conv: [B=8, C=1, 32, 32] x [32, 1, 3, 3].
+    let xi = Tensor::randn(&[8, 1, 32, 32], 5);
+    let wi = Tensor::randn(&[32, 1, 3, 3], 6);
+    let spec2 = Conv2dSpec {
+        stride: 1,
+        padding: 1,
+    };
+    g.bench_function("direct_b8_c1to32_32x32", |b| {
+        b.iter(|| {
+            aimts_tensor::no_grad(|| black_box(xi.conv2d_direct(black_box(&wi), None, spec2)))
+        })
+    });
+    g.bench_function("im2col_b8_c1to32_32x32", |b| {
+        b.iter(|| {
+            aimts_tensor::no_grad(|| black_box(xi.conv2d_im2col(black_box(&wi), None, spec2)))
+        })
+    });
+    g.finish();
 }
 
 fn bench_encoder(c: &mut Criterion) {
@@ -92,6 +150,7 @@ criterion_group!(
     benches,
     bench_augmentations,
     bench_imaging,
+    bench_conv_lowerings,
     bench_encoder,
     bench_losses,
     bench_classical

@@ -8,10 +8,10 @@
 //! TNC, T-Loss); the remaining columns of the original table came from
 //! other papers' reported numbers even in the original.
 
+use aimts_baselines::Method;
 use aimts_bench::harness::{banner, record_results, time_it, Scale};
 use aimts_bench::memprof::CountingAllocator;
 use aimts_bench::runners::{baseline_case_by_case, finetune_eval_aimts, pretrain_aimts_standard};
-use aimts_baselines::Method;
 use aimts_data::archives::{ucr_like_archive, uea_like_archive};
 use aimts_data::Dataset;
 use aimts_eval::ResultTable;
@@ -36,12 +36,7 @@ struct Payload {
     elapsed_secs: f64,
 }
 
-fn run_suite(
-    title: &str,
-    datasets: &[Dataset],
-    model: &aimts::AimTs,
-    scale: Scale,
-) -> ResultTable {
+fn run_suite(title: &str, datasets: &[Dataset], model: &aimts::AimTs, scale: Scale) -> ResultTable {
     let mut table = ResultTable::new(title, &METHODS);
     for (i, ds) in datasets.iter().enumerate() {
         eprintln!("  dataset {}/{}: {}", i + 1, datasets.len(), ds.name);
@@ -67,7 +62,6 @@ fn main() {
     let (payload, elapsed) = time_it(|| {
         let model = pretrain_aimts_standard(scale, 3407);
 
-
         let ucr = ucr_like_archive(scale.n_ucr(), 42);
         let uea = uea_like_archive(scale.n_uea(), 42);
         let t_ucr = run_suite("UCR-like archive (univariate)", &ucr, &model, scale);
@@ -92,7 +86,10 @@ fn main() {
             elapsed_secs: 0.0,
         }
     });
-    let payload = Payload { elapsed_secs: elapsed, ..payload };
+    let payload = Payload {
+        elapsed_secs: elapsed,
+        ..payload
+    };
     record_results("table1_repr_learning", &payload);
     println!("total: {elapsed:.1}s");
 }

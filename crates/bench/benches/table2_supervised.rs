@@ -6,10 +6,10 @@
 //! ED / DTW (classical references). Paper Table II's remaining columns are
 //! other published numbers.
 
+use aimts_baselines::{FcnClassifier, Metric, OneNn, RocketClassifier};
 use aimts_bench::harness::{banner, record_results, time_it, Scale};
 use aimts_bench::memprof::CountingAllocator;
 use aimts_bench::runners::{finetune_eval_aimts, pretrain_aimts_standard};
-use aimts_baselines::{FcnClassifier, Metric, OneNn, RocketClassifier};
 use aimts_data::archives::table2_uea_datasets;
 use aimts_eval::ResultTable;
 use serde::Serialize;
@@ -48,13 +48,15 @@ fn main() {
             let mut fcn = FcnClassifier::new(ds.n_vars(), 16, ds.n_classes, 7);
             fcn.fit(ds, scale.finetune_epochs(), 8, 1e-2, 7);
             let fcn_acc = fcn.evaluate(&ds.test);
-            let mut rocket =
-                RocketClassifier::new(scale.rocket_kernels(), ds.series_len(), 7);
+            let mut rocket = RocketClassifier::new(scale.rocket_kernels(), ds.series_len(), 7);
             rocket.fit(ds);
             let rocket_acc = rocket.evaluate(&ds.test);
             let ed = OneNn::fit(ds, Metric::Euclidean).evaluate(&ds.test);
             let dtw = OneNn::fit(ds, Metric::Dtw { band: 0.1 }).evaluate(&ds.test);
-            table.push_row(ds.name.clone(), vec![aimts_acc, fcn_acc, rocket_acc, ed, dtw]);
+            table.push_row(
+                ds.name.clone(),
+                vec![aimts_acc, fcn_acc, rocket_acc, ed, dtw],
+            );
         }
         println!("{}", table.render());
         println!("paper reports Avg.ACC: AimTS 0.783 | TimesNet 0.736 | Rocket 0.720 (AimTS best Avg.ACC and Avg.Rank)");
@@ -67,7 +69,10 @@ fn main() {
             elapsed_secs: 0.0,
         }
     });
-    let payload = Payload { elapsed_secs: elapsed, ..payload };
+    let payload = Payload {
+        elapsed_secs: elapsed,
+        ..payload
+    };
     record_results("table2_supervised", &payload);
     println!("total: {elapsed:.1}s");
 }

@@ -6,12 +6,12 @@
 //! claim: single-source transfer degrades across large domain gaps while
 //! multi-source pre-training does not.
 
+use aimts_baselines::{ContrastiveBaseline, Method, TfcBaseline};
 use aimts_bench::harness::{banner, record_results, time_it, Scale};
 use aimts_bench::memprof::CountingAllocator;
 use aimts_bench::runners::{
     bench_baseline_config, bench_finetune_config, finetune_eval_aimts, pretrain_aimts_standard,
 };
-use aimts_baselines::{ContrastiveBaseline, Method, TfcBaseline};
 use aimts_data::special::{sleepeeg_like, transfer_suite};
 use aimts_eval::ResultTable;
 use serde::Serialize;
@@ -19,7 +19,9 @@ use serde::Serialize;
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
-const METHODS: [&str; 7] = ["AimTS", "TS2Vec", "TS-TCC", "TNC", "T-Loss", "SoftCLT", "TF-C"];
+const METHODS: [&str; 7] = [
+    "AimTS", "TS2Vec", "TS-TCC", "TNC", "T-Loss", "SoftCLT", "TF-C",
+];
 
 #[derive(Serialize)]
 struct Payload {
@@ -40,21 +42,24 @@ fn main() {
     let (payload, elapsed) = time_it(|| {
         let model = pretrain_aimts_standard(scale, 3407);
 
-
         // Single-source corpus for the baselines.
         let sleep = sleepeeg_like(128, 12, 5);
         let sleep_pool = sleep.unlabeled_train();
-        let mut baselines: Vec<ContrastiveBaseline> =
-            [Method::Ts2Vec, Method::TsTcc, Method::Tnc, Method::TLoss, Method::SoftClt]
-                .into_iter()
-                .map(|m| {
-                    let mut b = ContrastiveBaseline::new(m, bench_baseline_config(), 11);
-                    let loss =
-                        b.pretrain(&sleep_pool, scale.pretrain_epochs(), 8, 5e-3, 11);
-                    eprintln!("  [{} pretrain on SleepEEG(sim)] loss {loss:.4}", m.name());
-                    b
-                })
-                .collect();
+        let mut baselines: Vec<ContrastiveBaseline> = [
+            Method::Ts2Vec,
+            Method::TsTcc,
+            Method::Tnc,
+            Method::TLoss,
+            Method::SoftClt,
+        ]
+        .into_iter()
+        .map(|m| {
+            let mut b = ContrastiveBaseline::new(m, bench_baseline_config(), 11);
+            let loss = b.pretrain(&sleep_pool, scale.pretrain_epochs(), 8, 5e-3, 11);
+            eprintln!("  [{} pretrain on SleepEEG(sim)] loss {loss:.4}", m.name());
+            b
+        })
+        .collect();
 
         // TF-C pre-trains on the same single-source corpus.
         let mut tfc = TfcBaseline::new(bench_baseline_config(), 11);
@@ -70,7 +75,10 @@ fn main() {
             for b in &mut baselines {
                 row.push(b.fine_tune(ds, &fcfg).evaluate(&ds.test));
             }
-            row.push(tfc.fine_tune(ds, fcfg.epochs, fcfg.lr, 11).evaluate(&ds.test));
+            row.push(
+                tfc.fine_tune(ds, fcfg.epochs, fcfg.lr, 11)
+                    .evaluate(&ds.test),
+            );
             table.push_row(ds.name.clone(), row);
         }
         println!("{}", table.render());
@@ -83,7 +91,10 @@ fn main() {
             elapsed_secs: 0.0,
         }
     });
-    let payload = Payload { elapsed_secs: elapsed, ..payload };
+    let payload = Payload {
+        elapsed_secs: elapsed,
+        ..payload
+    };
     record_results("table3_single_source", &payload);
     println!("total: {elapsed:.1}s");
 }

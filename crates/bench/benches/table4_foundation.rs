@@ -3,11 +3,11 @@
 //! multi-task) foundation models, evaluated on the UCR-like and UEA-like
 //! archives after per-dataset fine-tuning.
 
+use aimts_baselines::foundation::FoundationConfig;
+use aimts_baselines::{MomentLike, UnitsLike};
 use aimts_bench::harness::{banner, record_results, time_it, Scale};
 use aimts_bench::memprof::CountingAllocator;
 use aimts_bench::runners::{bench_finetune_config, finetune_eval_aimts, pretrain_aimts_standard};
-use aimts_baselines::foundation::FoundationConfig;
-use aimts_baselines::{MomentLike, UnitsLike};
 use aimts_data::archives::{monash_like_pool, ucr_like_archive, uea_like_archive};
 use aimts_data::Dataset;
 use aimts_eval::ResultTable;
@@ -31,7 +31,12 @@ struct Payload {
 }
 
 fn bench_foundation_config() -> FoundationConfig {
-    FoundationConfig { hidden: 16, repr_dim: 32, dilations: vec![1, 2, 4], pretrain_len: 64 }
+    FoundationConfig {
+        hidden: 16,
+        repr_dim: 32,
+        dilations: vec![1, 2, 4],
+        pretrain_len: 64,
+    }
 }
 
 fn main() {
@@ -90,7 +95,10 @@ fn main() {
             elapsed_secs: 0.0,
         }
     });
-    let payload = Payload { elapsed_secs: elapsed, ..payload };
+    let payload = Payload {
+        elapsed_secs: elapsed,
+        ..payload
+    };
     record_results("table4_foundation", &payload);
     println!("total: {elapsed:.1}s");
 }

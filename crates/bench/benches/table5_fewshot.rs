@@ -2,11 +2,11 @@
 //! 20% of each training split, comparing AimTS against the foundation
 //! stand-ins (MOMENT-like, UniTS-like).
 
+use aimts_baselines::foundation::FoundationConfig;
+use aimts_baselines::{MomentLike, UnitsLike};
 use aimts_bench::harness::{banner, record_results, time_it, Scale};
 use aimts_bench::memprof::CountingAllocator;
 use aimts_bench::runners::{bench_finetune_config, pretrain_aimts_standard};
-use aimts_baselines::foundation::FoundationConfig;
-use aimts_baselines::{MomentLike, UnitsLike};
 use aimts_data::archives::{monash_like_pool, ucr_like_archive};
 use aimts_data::special::fewshot_suite;
 use aimts_data::{few_shot_subset, Dataset};
@@ -40,14 +40,24 @@ fn main() {
         let model = pretrain_aimts_standard(scale, 3407);
         let pool = monash_like_pool(scale.pool_per_source(), 0);
         let mut moment = MomentLike::new(
-            FoundationConfig { hidden: 16, repr_dim: 32, dilations: vec![1, 2, 4], pretrain_len: 64 },
+            FoundationConfig {
+                hidden: 16,
+                repr_dim: 32,
+                dilations: vec![1, 2, 4],
+                pretrain_len: 64,
+            },
             13,
         );
         moment.pretrain(&pool, scale.pretrain_epochs(), 16, 5e-3, 13);
         let sources = ucr_like_archive(6, 999);
         let source_refs: Vec<&Dataset> = sources.iter().collect();
         let mut units = UnitsLike::new(
-            FoundationConfig { hidden: 16, repr_dim: 32, dilations: vec![1, 2, 4], pretrain_len: 64 },
+            FoundationConfig {
+                hidden: 16,
+                repr_dim: 32,
+                dilations: vec![1, 2, 4],
+                pretrain_len: 64,
+            },
             17,
         );
         units.pretrain(&source_refs, scale.pretrain_epochs(), 8, 5e-3, 17);
@@ -100,7 +110,10 @@ fn main() {
             elapsed_secs: 0.0,
         }
     });
-    let payload = Payload { elapsed_secs: elapsed, ..payload };
+    let payload = Payload {
+        elapsed_secs: elapsed,
+        ..payload
+    };
     record_results("table5_fewshot", &payload);
     println!("total: {elapsed:.1}s");
 }

@@ -9,9 +9,7 @@ use aimts::config::Ablation;
 use aimts::AimTs;
 use aimts_bench::harness::{banner, record_results, time_it, Scale};
 use aimts_bench::memprof::CountingAllocator;
-use aimts_bench::runners::{
-    bench_aimts_config, bench_finetune_config, bench_pretrain_config,
-};
+use aimts_bench::runners::{bench_aimts_config, bench_finetune_config, bench_pretrain_config};
 use aimts_data::archives::{monash_like_pool, ucr_like_archive};
 use serde::Serialize;
 
@@ -37,7 +35,11 @@ fn main() {
     let (payload, elapsed) = time_it(|| {
         let variants: Vec<(&str, Ablation, f64)> = vec![
             ("inter-prototype only", Ablation::inter_only(), 0.851),
-            ("prototype-based (inter+intra)", Ablation::proto_only(), 0.858),
+            (
+                "prototype-based (inter+intra)",
+                Ablation::proto_only(),
+                0.858,
+            ),
             ("naive series-image only", Ablation::si_naive_only(), 0.858),
             ("series-image (naive+mixup)", Ablation::si_only(), 0.865),
             ("full AimTS", Ablation::default(), 0.870),
@@ -56,7 +58,10 @@ fn main() {
         let mut per_ds = Vec::new();
         for (name, ablation, paper_acc) in variants {
             eprintln!("  variant: {name}");
-            let cfg = aimts::AimTsConfig { ablation, ..bench_aimts_config() };
+            let cfg = aimts::AimTsConfig {
+                ablation,
+                ..bench_aimts_config()
+            };
             let mut model = AimTs::new(cfg, 3407);
             model.pretrain(&pool, &pcfg);
             let accs: Vec<f64> = datasets
@@ -70,7 +75,9 @@ fn main() {
             paper.push(paper_acc);
             per_ds.push(accs);
         }
-        println!("\nshape check (paper): full AimTS >= series-image >= prototype-based >= inter-only.");
+        println!(
+            "\nshape check (paper): full AimTS >= series-image >= prototype-based >= inter-only."
+        );
         Payload {
             variants: names,
             avg_acc: avg,
@@ -79,7 +86,10 @@ fn main() {
             elapsed_secs: 0.0,
         }
     });
-    let payload = Payload { elapsed_secs: elapsed, ..payload };
+    let payload = Payload {
+        elapsed_secs: elapsed,
+        ..payload
+    };
     record_results("table6_ablation", &payload);
     println!("total: {elapsed:.1}s");
 }

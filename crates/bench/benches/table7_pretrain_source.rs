@@ -37,14 +37,14 @@ fn main() {
         // archives' own unlabeled training data (the paper's in-domain
         // setting that "reaffirms Paradigm 3").
         let monash = monash_like_pool(scale.pool_per_source(), 0);
-        let ucr_pool: Vec<MultiSeries> =
-            ucr.iter().flat_map(|d| d.unlabeled_train()).collect();
-        let uea_pool: Vec<MultiSeries> =
-            uea.iter().flat_map(|d| d.unlabeled_train()).collect();
+        let ucr_pool: Vec<MultiSeries> = ucr.iter().flat_map(|d| d.unlabeled_train()).collect();
+        let uea_pool: Vec<MultiSeries> = uea.iter().flat_map(|d| d.unlabeled_train()).collect();
 
         let eval_suite = |model: &aimts::AimTs, suite: &[Dataset]| -> f64 {
-            let accs: Vec<f64> =
-                suite.iter().map(|ds| finetune_eval_aimts(model, ds, scale)).collect();
+            let accs: Vec<f64> = suite
+                .iter()
+                .map(|ds| finetune_eval_aimts(model, ds, scale))
+                .collect();
             accs.iter().sum::<f64>() / accs.len() as f64
         };
         let _ = bench_finetune_config(scale);
@@ -52,14 +52,18 @@ fn main() {
         let mut pools = Vec::new();
         let mut ucr_acc = Vec::new();
         let mut uea_acc = Vec::new();
-        for (name, pool) in
-            [("Monash-like", &monash), ("UCR-train", &ucr_pool), ("UEA-train", &uea_pool)]
-        {
+        for (name, pool) in [
+            ("Monash-like", &monash),
+            ("UCR-train", &ucr_pool),
+            ("UEA-train", &uea_pool),
+        ] {
             eprintln!("  pre-training on {name} ({} samples)", pool.len());
             let model = pretrain_aimts(pool, scale, 3407);
             let a_ucr = eval_suite(&model, &ucr);
             let a_uea = eval_suite(&model, &uea);
-            println!("pretrain={name:<12} UCR-like Avg.ACC {a_ucr:.3}   UEA-like Avg.ACC {a_uea:.3}");
+            println!(
+                "pretrain={name:<12} UCR-like Avg.ACC {a_ucr:.3}   UEA-like Avg.ACC {a_uea:.3}"
+            );
             pools.push(name.to_string());
             ucr_acc.push(a_ucr);
             uea_acc.push(a_uea);
@@ -75,7 +79,10 @@ fn main() {
             elapsed_secs: 0.0,
         }
     });
-    let payload = Payload { elapsed_secs: elapsed, ..payload };
+    let payload = Payload {
+        elapsed_secs: elapsed,
+        ..payload
+    };
     record_results("table7_pretrain_source", &payload);
     println!("total: {elapsed:.1}s");
 }

@@ -111,7 +111,10 @@ pub fn banner(id: &str, paper_ref: &str, description: &str) {
     println!("\n================================================================");
     println!("{id} — {paper_ref}");
     println!("{description}");
-    println!("scale = {:?} (set AIMTS_SCALE=full for the long run)", Scale::from_env());
+    println!(
+        "scale = {:?} (set AIMTS_SCALE=full for the long run)",
+        Scale::from_env()
+    );
     println!("================================================================\n");
 }
 

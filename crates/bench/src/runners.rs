@@ -16,7 +16,10 @@ pub fn bench_aimts_config() -> AimTsConfig {
         proj_dim: 16,
         dilations: vec![1, 2, 4],
         pretrain_len: 64,
-        image: ImageConfig { cell: 32, ..ImageConfig::default() },
+        image: ImageConfig {
+            cell: 32,
+            ..ImageConfig::default()
+        },
         ..AimTsConfig::default()
     }
 }
@@ -52,7 +55,10 @@ pub fn bench_finetune_config(scale: Scale) -> FineTuneConfig {
 /// representation-learning baselines' own papers use (e.g. TS2Vec trains
 /// an SVM on frozen representations).
 pub fn bench_probe_config(scale: Scale) -> FineTuneConfig {
-    FineTuneConfig { train_encoder: false, ..bench_finetune_config(scale) }
+    FineTuneConfig {
+        train_encoder: false,
+        ..bench_finetune_config(scale)
+    }
 }
 
 /// Pre-train AimTS on a pool (paper Fig. 3a) and return the model.
@@ -76,7 +82,10 @@ pub fn pretrain_aimts_standard(scale: Scale, seed: u64) -> AimTs {
     if cache.exists() {
         let mut model = AimTs::new(bench_aimts_config(), seed);
         if model.load(&cache).is_ok() {
-            eprintln!("  [aimts pretrain] reusing cached checkpoint {}", cache.display());
+            eprintln!(
+                "  [aimts pretrain] reusing cached checkpoint {}",
+                cache.display()
+            );
             return model;
         }
     }
@@ -122,6 +131,9 @@ pub fn baseline_multi_source(
     b.pretrain(pool, scale.baseline_pretrain_epochs(), 8, 5e-3, seed);
     datasets
         .iter()
-        .map(|ds| b.fine_tune(ds, &bench_probe_config(scale)).evaluate(&ds.test))
+        .map(|ds| {
+            b.fine_tune(ds, &bench_probe_config(scale))
+                .evaluate(&ds.test)
+        })
         .collect()
 }

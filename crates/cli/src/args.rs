@@ -17,7 +17,9 @@ impl Args {
             let key = flag
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected `--flag`, got `{flag}`"))?;
-            let value = it.next().ok_or_else(|| format!("flag `--{key}` needs a value"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag `--{key}` needs a value"))?;
             map.insert(key.to_string(), value.clone());
         }
         Ok(Args { map })
@@ -32,13 +34,16 @@ impl Args {
     }
 
     pub fn required(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required flag `--{key}`"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag `--{key}`"))
     }
 
     pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value `{v}` for `--{key}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value `{v}` for `--{key}`")),
         }
     }
 }

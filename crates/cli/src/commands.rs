@@ -42,7 +42,12 @@ USAGE:
 fn model_config(args: &Args) -> Result<AimTsConfig, String> {
     let hidden = args.parse_or("hidden", 16usize)?;
     let repr = args.parse_or("repr", 32usize)?;
-    Ok(AimTsConfig { hidden, repr_dim: repr, proj_dim: (repr / 2).max(4), ..AimTsConfig::default() })
+    Ok(AimTsConfig {
+        hidden,
+        repr_dim: repr,
+        proj_dim: (repr / 2).max(4),
+        ..AimTsConfig::default()
+    })
 }
 
 fn named_dataset(name: &str, seed: u64) -> Result<Dataset, String> {
@@ -71,7 +76,10 @@ pub fn generate(args: &Args) -> Result<(), String> {
     };
     for ds in &datasets {
         if ds.n_vars() != 1 {
-            println!("skipping `{}` (multivariate; the UCR TSV format is univariate)", ds.name);
+            println!(
+                "skipping `{}` (multivariate; the UCR TSV format is univariate)",
+                ds.name
+            );
             continue;
         }
         for (split, suffix) in [(&ds.train, "TRAIN"), (&ds.test, "TEST")] {
@@ -108,12 +116,21 @@ pub fn pretrain(args: &Args) -> Result<(), String> {
     let cfg = model_config(args)?;
 
     let pool = monash_like_pool(per_source, 0);
-    println!("pre-training pool: {} unlabeled multi-domain samples", pool.len());
+    println!(
+        "pre-training pool: {} unlabeled multi-domain samples",
+        pool.len()
+    );
     let mut model = AimTs::new(cfg, seed);
     println!("model: {} parameters", model.num_parameters());
     let report = model.pretrain(
         &pool,
-        &PretrainConfig { epochs, batch_size: 8, lr, seed, ..PretrainConfig::default() },
+        &PretrainConfig {
+            epochs,
+            batch_size: 8,
+            lr,
+            seed,
+            ..PretrainConfig::default()
+        },
     );
     println!(
         "done: {} steps, loss per epoch {:?} (proto {:.3}, series-image {:.3})",
@@ -134,11 +151,19 @@ fn finetune_and_report(model: &AimTs, ds: &Dataset, epochs: usize) -> Result<(),
         ds.n_vars(),
         ds.series_len()
     );
-    let fcfg = FineTuneConfig { epochs, batch_size: 8, ..FineTuneConfig::default() };
+    let fcfg = FineTuneConfig {
+        epochs,
+        batch_size: 8,
+        ..FineTuneConfig::default()
+    };
     let tuned = model.fine_tune(ds, &fcfg);
     let preds = tuned.predict(&ds.test);
     let cm = ConfusionMatrix::new(&preds, &ds.test.labels(), ds.n_classes);
-    println!("\ntest accuracy: {:.3}   macro-F1: {:.3}", cm.accuracy(), cm.macro_f1());
+    println!(
+        "\ntest accuracy: {:.3}   macro-F1: {:.3}",
+        cm.accuracy(),
+        cm.macro_f1()
+    );
     println!("\n{}", cm.render());
     Ok(())
 }
@@ -152,9 +177,12 @@ pub fn finetune(args: &Args) -> Result<(), String> {
     let cfg = model_config(args)?;
 
     let mut model = AimTs::new(cfg, 3407);
-    model
-        .load(&ckpt)
-        .map_err(|e| format!("loading {} failed: {e} (check --hidden/--repr match)", ckpt.display()))?;
+    model.load(&ckpt).map_err(|e| {
+        format!(
+            "loading {} failed: {e} (check --hidden/--repr match)",
+            ckpt.display()
+        )
+    })?;
     let ds = load_ucr_tsv(Path::new(&dir), name).map_err(|e| e.to_string())?;
     finetune_and_report(&model, &ds, epochs)
 }
@@ -213,7 +241,10 @@ pub fn render(args: &Args) -> Result<(), String> {
         .samples
         .get(index)
         .ok_or_else(|| format!("index {index} out of range (train has {})", ds.train.len()))?;
-    let cfg = ImageConfig { standardize: false, ..ImageConfig::default() };
+    let cfg = ImageConfig {
+        standardize: false,
+        ..ImageConfig::default()
+    };
     let img = render_sample(&sample.vars, &cfg);
     let mut f = fs::File::create(&out).map_err(|e| e.to_string())?;
     writeln!(f, "P6\n{} {}\n255", img.width, img.height).map_err(|e| e.to_string())?;
@@ -252,8 +283,12 @@ mod tests {
     fn generate_then_finetune_roundtrip() {
         let dir = std::env::temp_dir().join("aimts_cli_test_data");
         let _ = fs::remove_dir_all(&dir);
-        generate(&args(&[("archive", "ucr"), ("n", "1"), ("out", dir.to_str().unwrap())]))
-            .unwrap();
+        generate(&args(&[
+            ("archive", "ucr"),
+            ("n", "1"),
+            ("out", dir.to_str().unwrap()),
+        ]))
+        .unwrap();
         // The first ucr-like dataset is univariate and must exist on disk.
         let entries: Vec<_> = fs::read_dir(&dir).unwrap().collect();
         assert!(entries.len() >= 2, "expected TRAIN and TEST files");
@@ -272,18 +307,31 @@ mod tests {
         .unwrap();
         assert!(ckpt.exists());
 
-        demo(&args(&[("dataset", "ecg200"), ("epochs", "1"), ("hidden", "8"), ("repr", "16")]))
-            .unwrap();
+        demo(&args(&[
+            ("dataset", "ecg200"),
+            ("epochs", "1"),
+            ("hidden", "8"),
+            ("repr", "16"),
+        ]))
+        .unwrap();
 
         let ppm = std::env::temp_dir().join("aimts_cli_test.ppm");
-        render(&args(&[("dataset", "starlight"), ("out", ppm.to_str().unwrap())])).unwrap();
+        render(&args(&[
+            ("dataset", "starlight"),
+            ("out", ppm.to_str().unwrap()),
+        ]))
+        .unwrap();
         assert!(ppm.exists());
     }
 
     #[test]
     fn export_json_roundtrip() {
         let out = std::env::temp_dir().join("aimts_cli_export.json");
-        export_json(&args(&[("dataset", "gesture"), ("out", out.to_str().unwrap())])).unwrap();
+        export_json(&args(&[
+            ("dataset", "gesture"),
+            ("out", out.to_str().unwrap()),
+        ]))
+        .unwrap();
         let ds = aimts_data::loader::load_json(&out).unwrap();
         assert!(ds.n_vars() > 1);
     }

@@ -71,15 +71,13 @@ pub fn score_augmentations(
                 let v1 = aug.apply_multivariate(s, &mut rng);
                 let v2 = aug.apply_multivariate(s, &mut rng);
                 // Fidelity in representation space.
-                let (r_orig, r_aug) = no_grad(|| {
-                    (model.encode(&[s]).to_vec(), model.encode(&[&v1]).to_vec())
-                });
+                let (r_orig, r_aug) =
+                    no_grad(|| (model.encode(&[s]).to_vec(), model.encode(&[&v1]).to_vec()));
                 fid += cosine(&r_orig, &r_aug) as f64;
                 // Diversity in (normalized) input space.
                 let flat1 = v1.concat();
                 let flat2 = v2.concat();
-                let d = aimts_augment::euclidean(&flat1, &flat2)
-                    / (flat1.len() as f32).sqrt();
+                let d = aimts_augment::euclidean(&flat1, &flat2) / (flat1.len() as f32).sqrt();
                 div += d as f64;
             }
             let n = prepared.len() as f64;
@@ -107,7 +105,10 @@ pub fn select_bank(
     let scores = score_augmentations(model, pool, bank, lambda, seed);
     let mut idx: Vec<usize> = (0..bank.len()).collect();
     idx.sort_by(|&a, &b| scores[b].score.partial_cmp(&scores[a].score).unwrap());
-    idx.into_iter().take(g.min(bank.len())).map(|i| bank[i].clone()).collect()
+    idx.into_iter()
+        .take(g.min(bank.len()))
+        .map(|i| bank[i].clone())
+        .collect()
 }
 
 fn cosine(a: &[f32], b: &[f32]) -> f32 {
@@ -133,12 +134,15 @@ mod tests {
     fn identity_like_augmentation_has_top_fidelity() {
         let (model, pool) = setup();
         let bank = vec![
-            Augmentation::Jitter { sigma: 0.0 },  // identity
-            Augmentation::Jitter { sigma: 2.0 },  // destroys the signal
+            Augmentation::Jitter { sigma: 0.0 }, // identity
+            Augmentation::Jitter { sigma: 2.0 }, // destroys the signal
         ];
         let scores = score_augmentations(&model, &pool, &bank, 0.0, 1);
         assert!(scores[0].fidelity > scores[1].fidelity);
-        assert!((scores[0].fidelity - 1.0).abs() < 1e-4, "identity fidelity ~1");
+        assert!(
+            (scores[0].fidelity - 1.0).abs() < 1e-4,
+            "identity fidelity ~1"
+        );
         assert_eq!(scores[0].diversity, 0.0, "identity has no diversity");
     }
 

@@ -53,29 +53,54 @@ pub struct Ablation {
 
 impl Default for Ablation {
     fn default() -> Self {
-        Ablation { inter: true, intra: true, si_naive: true, si_mixup: true }
+        Ablation {
+            inter: true,
+            intra: true,
+            si_naive: true,
+            si_mixup: true,
+        }
     }
 }
 
 impl Ablation {
     /// Table VI row: inter-prototype contrastive learning only.
     pub fn inter_only() -> Self {
-        Ablation { inter: true, intra: false, si_naive: false, si_mixup: false }
+        Ablation {
+            inter: true,
+            intra: false,
+            si_naive: false,
+            si_mixup: false,
+        }
     }
 
     /// Table VI row: full prototype-based contrastive learning only.
     pub fn proto_only() -> Self {
-        Ablation { inter: true, intra: true, si_naive: false, si_mixup: false }
+        Ablation {
+            inter: true,
+            intra: true,
+            si_naive: false,
+            si_mixup: false,
+        }
     }
 
     /// Table VI row: naive series-image contrastive learning only.
     pub fn si_naive_only() -> Self {
-        Ablation { inter: false, intra: false, si_naive: true, si_mixup: false }
+        Ablation {
+            inter: false,
+            intra: false,
+            si_naive: true,
+            si_mixup: false,
+        }
     }
 
     /// Table VI row: full series-image contrastive learning only.
     pub fn si_only() -> Self {
-        Ablation { inter: false, intra: false, si_naive: true, si_mixup: true }
+        Ablation {
+            inter: false,
+            intra: false,
+            si_naive: true,
+            si_mixup: true,
+        }
     }
 }
 
@@ -135,7 +160,14 @@ pub struct PretrainConfig {
 
 impl Default for PretrainConfig {
     fn default() -> Self {
-        PretrainConfig { epochs: 2, batch_size: 16, lr: 7e-3, lr_step: 1, lr_gamma: 0.5, seed: 3407 }
+        PretrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            lr: 7e-3,
+            lr_step: 1,
+            lr_gamma: 0.5,
+            seed: 3407,
+        }
     }
 }
 

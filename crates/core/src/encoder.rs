@@ -103,7 +103,13 @@ impl TsEncoder {
         let avg = out.global_avg_pool1d();
         // Position weights in [-1, 1], constant w.r.t. autograd.
         let w: Vec<f32> = (0..t)
-            .map(|i| if t == 1 { 0.0 } else { 2.0 * i as f32 / (t - 1) as f32 - 1.0 })
+            .map(|i| {
+                if t == 1 {
+                    0.0
+                } else {
+                    2.0 * i as f32 / (t - 1) as f32 - 1.0
+                }
+            })
             .collect();
         let w = Tensor::from_vec(w, &[1, 1, t]);
         let moment = out.mul(&w).global_avg_pool1d();
@@ -118,7 +124,13 @@ impl Module for TsEncoder {
     }
 
     fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
-        let p = |s: &str| if prefix.is_empty() { s.to_string() } else { format!("{prefix}.{s}") };
+        let p = |s: &str| {
+            if prefix.is_empty() {
+                s.to_string()
+            } else {
+                format!("{prefix}.{s}")
+            }
+        };
         out.push((p("input_w"), self.input_w.clone()));
         out.push((p("input_b"), self.input_b.clone()));
         for (i, b) in self.blocks.iter().enumerate() {
@@ -153,13 +165,19 @@ pub struct ImageEncoder {
 
 impl ImageEncoder {
     pub fn new(repr_dim: usize, seed: u64) -> Self {
-        let spec = Conv2dSpec { stride: 2, padding: 1 };
+        let spec = Conv2dSpec {
+            stride: 2,
+            padding: 1,
+        };
         let convs = vec![
             Conv2d::new(3, 8, 3, spec, true, seed),
             Conv2d::new(8, 16, 3, spec, true, seed.wrapping_add(1)),
             Conv2d::new(16, 32, 3, spec, true, seed.wrapping_add(2)),
         ];
-        ImageEncoder { convs, head: Linear::new(32, repr_dim, true, seed.wrapping_add(3)) }
+        ImageEncoder {
+            convs,
+            head: Linear::new(32, repr_dim, true, seed.wrapping_add(3)),
+        }
     }
 
     /// Encode `[B, 3, H, W]` images into `[B, J]`.
@@ -180,7 +198,13 @@ impl Module for ImageEncoder {
     }
 
     fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
-        let p = |s: &str| if prefix.is_empty() { s.to_string() } else { format!("{prefix}.{s}") };
+        let p = |s: &str| {
+            if prefix.is_empty() {
+                s.to_string()
+            } else {
+                format!("{prefix}.{s}")
+            }
+        };
         for (i, c) in self.convs.iter().enumerate() {
             c.named_parameters(&p(&format!("conv{i}")), out);
         }

@@ -43,8 +43,12 @@ impl FineTuned {
             Activation::Gelu,
             fcfg.seed.wrapping_add(77),
         );
-        let mut tuned =
-            FineTuned { encoder, head, n_classes: ds.n_classes, train_losses: Vec::new() };
+        let mut tuned = FineTuned {
+            encoder,
+            head,
+            n_classes: ds.n_classes,
+            train_losses: Vec::new(),
+        };
         tuned.fit(&ds.train, fcfg);
         tuned
     }
@@ -91,7 +95,9 @@ impl FineTuned {
             if batches == 0 {
                 let samples: Vec<&MultiSeries> = prepared.iter().collect();
                 let x = samples_to_tensor(&samples);
-                let logits = self.head.forward(&encode_channel_independent(&self.encoder, &x));
+                let logits = self
+                    .head
+                    .forward(&encode_channel_independent(&self.encoder, &x));
                 let loss = logits.cross_entropy(&labels);
                 opt.zero_grad();
                 loss.backward();
@@ -120,7 +126,9 @@ impl FineTuned {
                     .collect();
                 let refs: Vec<&MultiSeries> = prepared.iter().collect();
                 let x = samples_to_tensor(&refs);
-                let logits = self.head.forward(&encode_channel_independent(&self.encoder, &x));
+                let logits = self
+                    .head
+                    .forward(&encode_channel_independent(&self.encoder, &x));
                 preds.extend(logits.argmax_axis(1));
             }
             preds
@@ -155,10 +163,17 @@ mod tests {
     fn finetune_learns_separable_classes_without_pretraining() {
         let model = AimTs::new(AimTsConfig::tiny(), 3407);
         let ds = easy_dataset();
-        let fcfg = FineTuneConfig { epochs: 30, batch_size: 8, ..Default::default() };
+        let fcfg = FineTuneConfig {
+            epochs: 30,
+            batch_size: 8,
+            ..Default::default()
+        };
         let tuned = model.fine_tune(&ds, &fcfg);
         let acc = tuned.evaluate(&ds.test);
-        assert!(acc >= 0.8, "expected separable classes to be learned, acc {acc}");
+        assert!(
+            acc >= 0.8,
+            "expected separable classes to be learned, acc {acc}"
+        );
         // Training loss decreased.
         assert!(tuned.train_losses.last().unwrap() < &tuned.train_losses[0]);
     }
@@ -167,7 +182,13 @@ mod tests {
     fn predictions_are_valid_classes() {
         let model = AimTs::new(AimTsConfig::tiny(), 1);
         let ds = easy_dataset();
-        let tuned = model.fine_tune(&ds, &FineTuneConfig { epochs: 1, ..Default::default() });
+        let tuned = model.fine_tune(
+            &ds,
+            &FineTuneConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
         let preds = tuned.predict(&ds.test);
         assert_eq!(preds.len(), ds.test.len());
         assert!(preds.iter().all(|&p| p < ds.n_classes));
@@ -178,7 +199,11 @@ mod tests {
         let model = AimTs::new(AimTsConfig::tiny(), 2);
         let before: Vec<f32> = model.ts_encoder.parameters()[0].to_vec();
         let ds = easy_dataset();
-        let fcfg = FineTuneConfig { epochs: 2, train_encoder: false, ..Default::default() };
+        let fcfg = FineTuneConfig {
+            epochs: 2,
+            train_encoder: false,
+            ..Default::default()
+        };
         let tuned = model.fine_tune(&ds, &fcfg);
         // The tuned copy's encoder must equal the original (frozen).
         let after: Vec<f32> = tuned.encoder.parameters()[0].to_vec();
@@ -190,7 +215,13 @@ mod tests {
         let model = AimTs::new(AimTsConfig::tiny(), 3);
         let before: Vec<f32> = model.ts_encoder.parameters()[0].to_vec();
         let ds = easy_dataset();
-        let _ = model.fine_tune(&ds, &FineTuneConfig { epochs: 2, ..Default::default() });
+        let _ = model.fine_tune(
+            &ds,
+            &FineTuneConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         let after: Vec<f32> = model.ts_encoder.parameters()[0].to_vec();
         assert_eq!(before, after);
     }

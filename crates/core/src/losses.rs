@@ -78,10 +78,16 @@ pub fn intra_prototype_loss(
 
     let exp_within = s_within.exp().mul(&not_id); // 1[k≠j] exp(s)
     let exp_cross = s_cross.exp();
-    let denom = exp_within.sum_axis(2, false).add(&exp_cross.sum_axis(2, false)); // [B,G]
+    let denom = exp_within
+        .sum_axis(2, false)
+        .add(&exp_cross.sum_axis(2, false)); // [B,G]
     let pos_logit = s_cross.mul(&id).sum_axis(2, false); // s̃^{(k,k)} [B,G]
-    // -Σ_k (pos - ln denom), then mean over batch.
-    pos_logit.sub(&denom.ln()).sum_axis(1, false).neg().mean_all()
+                                                         // -Σ_k (pos - ln denom), then mean over batch.
+    pos_logit
+        .sub(&denom.ln())
+        .sum_axis(1, false)
+        .neg()
+        .mean_all()
 }
 
 /// Inter-prototype contrastive loss (Eq. 5), averaged over the batch.
@@ -96,7 +102,11 @@ pub fn inter_prototype_loss(z: &Tensor, zt: &Tensor, tau: f32) -> Tensor {
     let s_zzt = z.matmul(&zt.transpose(0, 1)).div_scalar(tau);
     let id = eye(b);
     let not_id = Tensor::ones(&[b, b]).sub(&id);
-    let denom = s_zz.exp().mul(&not_id).sum_axis(1, false).add(&s_zzt.exp().sum_axis(1, false));
+    let denom = s_zz
+        .exp()
+        .mul(&not_id)
+        .sum_axis(1, false)
+        .add(&s_zzt.exp().sum_axis(1, false));
     let pos = s_zzt.mul(&id).sum_axis(1, false);
     pos.sub(&denom.ln()).neg().mean_all()
 }
@@ -104,7 +114,10 @@ pub fn inter_prototype_loss(z: &Tensor, zt: &Tensor, tau: f32) -> Tensor {
 /// Two-level prototype loss `L_proto` (Eq. 6):
 /// `(α·ℓ_inter + (1−α)·ℓ_intra) / 2` (batch-averaged terms).
 pub fn proto_loss(inter: &Tensor, intra: &Tensor, alpha: f32) -> Tensor {
-    inter.mul_scalar(alpha).add(&intra.mul_scalar(1.0 - alpha)).mul_scalar(0.5)
+    inter
+        .mul_scalar(alpha)
+        .add(&intra.mul_scalar(1.0 - alpha))
+        .mul_scalar(0.5)
 }
 
 /// Bidirectional naive series-image InfoNCE (Eq. 7–8), batch-averaged.
@@ -115,7 +128,7 @@ pub fn series_image_naive(u: &Tensor, v: &Tensor, tau: f32) -> Tensor {
     let b = u.shape()[0];
     let id = eye(b);
     let s_uv = u.matmul(&v.transpose(0, 1)).div_scalar(tau); // [B,B]
-    // ℓ^{I-S}: anchor u_i against all v_j.
+                                                             // ℓ^{I-S}: anchor u_i against all v_j.
     let pos = s_uv.mul(&id).sum_axis(1, false); // sim(u_i, v_i)/τ
     let l_is = pos.sub(&s_uv.exp().sum_axis(1, false).ln()).neg();
     // ℓ^{S-I}: anchor v_i against all u_j — transpose of the same logits.
@@ -132,7 +145,11 @@ pub fn series_image_mixup(u: &Tensor, v: &Tensor, mixed: &Tensor, tau: f32) -> T
     assert_eq!(u.shape(), mixed.shape());
     let b = u.shape()[0];
     let id = eye(b);
-    let pos = u.matmul(&v.transpose(0, 1)).div_scalar(tau).mul(&id).sum_axis(1, false);
+    let pos = u
+        .matmul(&v.transpose(0, 1))
+        .div_scalar(tau)
+        .mul(&id)
+        .sum_axis(1, false);
     let s_um = u.matmul(&mixed.transpose(0, 1)).div_scalar(tau);
     let s_vm = v.matmul(&mixed.transpose(0, 1)).div_scalar(tau);
     let l_imix = pos.sub(&s_um.exp().sum_axis(1, false).ln()).neg();
@@ -169,7 +186,7 @@ mod tests {
                 // off-diagonal softmax sums to 1 → row sums to g*τ0 + 1.
                 let total: f32 = row.iter().sum();
                 assert!((total - (g as f32 * 0.2 + 1.0)).abs() < 1e-5);
-                assert!(row.iter().all(|&t| t >= 0.2 && t <= 1.2));
+                assert!(row.iter().all(|&t| (0.2..=1.2).contains(&t)));
             }
         }
     }
@@ -215,8 +232,14 @@ mod tests {
 
     #[test]
     fn inter_loss_gradient_flows() {
-        let z = Tensor::randn(&[4, 8], 5).l2_normalize(1).detach().requires_grad();
-        let zt = Tensor::randn(&[4, 8], 6).l2_normalize(1).detach().requires_grad();
+        let z = Tensor::randn(&[4, 8], 5)
+            .l2_normalize(1)
+            .detach()
+            .requires_grad();
+        let zt = Tensor::randn(&[4, 8], 6)
+            .l2_normalize(1)
+            .detach()
+            .requires_grad();
         inter_prototype_loss(&z, &zt, 0.2).backward();
         assert!(z.grad().is_some() && zt.grad().is_some());
     }
@@ -240,8 +263,14 @@ mod tests {
 
     #[test]
     fn mixup_loss_finite_and_grads() {
-        let u = Tensor::randn(&[4, 8], 10).l2_normalize(1).detach().requires_grad();
-        let v = Tensor::randn(&[4, 8], 11).l2_normalize(1).detach().requires_grad();
+        let u = Tensor::randn(&[4, 8], 10)
+            .l2_normalize(1)
+            .detach()
+            .requires_grad();
+        let v = Tensor::randn(&[4, 8], 11)
+            .l2_normalize(1)
+            .detach()
+            .requires_grad();
         let mixed = crate::mixup::geodesic_mixup(&u, &v, &[0.2, 0.4, 0.6, 0.8]);
         let l = series_image_mixup(&u, &v, &mixed, 0.2);
         assert!(l.item().is_finite());

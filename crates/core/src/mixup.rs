@@ -52,7 +52,9 @@ pub fn geodesic_mixup(u: &Tensor, v: &Tensor, lambdas: &[f32]) -> Tensor {
 
 /// Draw one mixup coefficient per row: `λ ~ Beta(γ, γ)` (paper Eq. 9).
 pub fn sample_lambdas(b: usize, gamma: f32, rng: &mut StdRng) -> Vec<f32> {
-    (0..b).map(|_| sample_beta(gamma as f64, gamma as f64, rng) as f32).collect()
+    (0..b)
+        .map(|_| sample_beta(gamma as f64, gamma as f64, rng) as f32)
+        .collect()
 }
 
 #[cfg(test)]
@@ -114,8 +116,14 @@ mod tests {
 
     #[test]
     fn gradient_flows_to_both_inputs() {
-        let u = Tensor::randn(&[4, 8], 3).l2_normalize(1).detach().requires_grad();
-        let v = Tensor::randn(&[4, 8], 4).l2_normalize(1).detach().requires_grad();
+        let u = Tensor::randn(&[4, 8], 3)
+            .l2_normalize(1)
+            .detach()
+            .requires_grad();
+        let v = Tensor::randn(&[4, 8], 4)
+            .l2_normalize(1)
+            .detach()
+            .requires_grad();
         let m = geodesic_mixup(&u, &v, &[0.3, 0.5, 0.7, 0.9]);
         m.square().sum_all().backward();
         assert!(u.grad().is_some());
@@ -128,6 +136,9 @@ mod tests {
         let l = sample_lambdas(5000, 0.1, &mut rng);
         assert!(l.iter().all(|x| (0.0..=1.0).contains(x)));
         let extreme = l.iter().filter(|&&x| !(0.1..=0.9).contains(&x)).count();
-        assert!(extreme > 2500, "Beta(0.1, 0.1) should be bimodal, got {extreme}");
+        assert!(
+            extreme > 2500,
+            "Beta(0.1, 0.1) should be bimodal, got {extreme}"
+        );
     }
 }

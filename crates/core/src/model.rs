@@ -64,7 +64,14 @@ impl AimTs {
             Activation::Gelu,
             seed.wrapping_add(3000),
         );
-        AimTs { cfg, ts_encoder, ts_proj, image_encoder, img_proj, seed }
+        AimTs {
+            cfg,
+            ts_encoder,
+            ts_proj,
+            image_encoder,
+            img_proj,
+            seed,
+        }
     }
 
     /// All trainable parameters with stable hierarchical names.
@@ -72,7 +79,8 @@ impl AimTs {
         let mut out = Vec::new();
         self.ts_encoder.named_parameters("ts_encoder", &mut out);
         self.ts_proj.named_parameters("ts_proj", &mut out);
-        self.image_encoder.named_parameters("image_encoder", &mut out);
+        self.image_encoder
+            .named_parameters("image_encoder", &mut out);
         self.img_proj.named_parameters("img_proj", &mut out);
         out
     }
@@ -113,7 +121,11 @@ impl AimTs {
             groups.entry(s.len()).or_default().push(i);
         }
 
-        let params: Vec<Tensor> = self.named_parameters().into_iter().map(|(_, t)| t).collect();
+        let params: Vec<Tensor> = self
+            .named_parameters()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
         let mut opt = Adam::new(params, pcfg.lr);
         let mut sched = StepLr::new(pcfg.lr, pcfg.lr_step, pcfg.lr_gamma);
         let mut rng = StdRng::seed_from_u64(pcfg.seed);
@@ -154,11 +166,7 @@ impl AimTs {
 
     /// One pre-training step on a batch of prepared samples.
     /// Returns (total loss, L_proto value, L_SI value).
-    fn pretrain_step(
-        &self,
-        samples: &[&MultiSeries],
-        rng: &mut StdRng,
-    ) -> (Tensor, f32, f32) {
+    fn pretrain_step(&self, samples: &[&MultiSeries], rng: &mut StdRng) -> (Tensor, f32, f32) {
         let cfg = &self.cfg;
         let b = samples.len();
         let g = cfg.g();
@@ -172,8 +180,11 @@ impl AimTs {
             let mut views = [Vec::with_capacity(b), Vec::with_capacity(b)];
             for s in samples {
                 for set in &mut views {
-                    let per_aug: Vec<MultiSeries> =
-                        cfg.bank.iter().map(|aug| aug.apply_multivariate(s, rng)).collect();
+                    let per_aug: Vec<MultiSeries> = cfg
+                        .bank
+                        .iter()
+                        .map(|aug| aug.apply_multivariate(s, rng))
+                        .collect();
                     set.push(per_aug);
                 }
             }
@@ -191,10 +202,14 @@ impl AimTs {
                     }
                 }
             }
-            let tau_w =
-                Tensor::from_vec(losses::adaptive_tau(&d_within, b, g, cfg.tau0, true), &[b, g, g]);
-            let tau_c =
-                Tensor::from_vec(losses::adaptive_tau(&d_cross, b, g, cfg.tau0, true), &[b, g, g]);
+            let tau_w = Tensor::from_vec(
+                losses::adaptive_tau(&d_within, b, g, cfg.tau0, true),
+                &[b, g, g],
+            );
+            let tau_c = Tensor::from_vec(
+                losses::adaptive_tau(&d_cross, b, g, cfg.tau0, true),
+                &[b, g, g],
+            );
 
             // --- encode both view sets ------------------------------------------
             let encode_set = |set: &Vec<Vec<MultiSeries>>| -> Tensor {
@@ -209,8 +224,16 @@ impl AimTs {
             let mut inter_term = None;
             let mut intra_term = None;
             if ab.intra {
-                let v = self.ts_proj.forward(&r).l2_normalize(1).reshape(&[b, g, cfg.proj_dim]);
-                let vt = self.ts_proj.forward(&rt).l2_normalize(1).reshape(&[b, g, cfg.proj_dim]);
+                let v = self
+                    .ts_proj
+                    .forward(&r)
+                    .l2_normalize(1)
+                    .reshape(&[b, g, cfg.proj_dim]);
+                let vt = self
+                    .ts_proj
+                    .forward(&rt)
+                    .l2_normalize(1)
+                    .reshape(&[b, g, cfg.proj_dim]);
                 intra_term = Some(losses::intra_prototype_loss(&v, &vt, &tau_w, &tau_c));
             }
             if ab.inter {
@@ -289,7 +312,12 @@ impl AimTs {
 
     /// Clone the TS encoder (architecture + current weights).
     pub(crate) fn clone_ts_encoder(&self) -> TsEncoder {
-        let fresh = TsEncoder::new(self.cfg.hidden, self.cfg.repr_dim, &self.cfg.dilations, self.seed);
+        let fresh = TsEncoder::new(
+            self.cfg.hidden,
+            self.cfg.repr_dim,
+            &self.cfg.dilations,
+            self.seed,
+        );
         let mut src = Vec::new();
         self.ts_encoder.named_parameters("enc", &mut src);
         let mut dst = Vec::new();
@@ -316,7 +344,12 @@ mod tests {
         let pool = tiny_pool(16);
         let report = model.pretrain(
             &pool,
-            &PretrainConfig { epochs: 3, batch_size: 8, lr: 5e-3, ..Default::default() },
+            &PretrainConfig {
+                epochs: 3,
+                batch_size: 8,
+                lr: 5e-3,
+                ..Default::default()
+            },
         );
         assert!(report.final_loss.is_finite());
         assert_eq!(report.epoch_losses.len(), 3);
@@ -330,8 +363,14 @@ mod tests {
     #[test]
     fn pretrain_reports_both_components() {
         let mut model = AimTs::new(AimTsConfig::tiny(), 1);
-        let report =
-            model.pretrain(&tiny_pool(8), &PretrainConfig { epochs: 1, batch_size: 4, ..Default::default() });
+        let report = model.pretrain(
+            &tiny_pool(8),
+            &PretrainConfig {
+                epochs: 1,
+                batch_size: 4,
+                ..Default::default()
+            },
+        );
         assert!(report.final_proto_loss > 0.0);
         assert!(report.final_si_loss > 0.0);
         assert!(report.steps > 0);
@@ -344,8 +383,14 @@ mod tests {
             ..AimTsConfig::tiny()
         };
         let mut model = AimTs::new(cfg, 2);
-        let report =
-            model.pretrain(&tiny_pool(8), &PretrainConfig { epochs: 1, batch_size: 4, ..Default::default() });
+        let report = model.pretrain(
+            &tiny_pool(8),
+            &PretrainConfig {
+                epochs: 1,
+                batch_size: 4,
+                ..Default::default()
+            },
+        );
         assert!(report.final_si_loss == 0.0);
         assert!(report.final_proto_loss > 0.0);
     }
@@ -383,6 +428,9 @@ mod tests {
     fn num_parameters_positive_and_stable() {
         let m = AimTs::new(AimTsConfig::tiny(), 0);
         assert!(m.num_parameters() > 1000);
-        assert_eq!(m.num_parameters(), AimTs::new(AimTsConfig::tiny(), 5).num_parameters());
+        assert_eq!(
+            m.num_parameters(),
+            AimTs::new(AimTsConfig::tiny(), 5).num_parameters()
+        );
     }
 }

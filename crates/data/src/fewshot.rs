@@ -9,7 +9,10 @@ use crate::sample::Split;
 /// Stratified subsample keeping `fraction` of the split (at least one
 /// sample per class that was present). Deterministic per seed.
 pub fn few_shot_subset(split: &Split, fraction: f32, seed: u64) -> Split {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     // Group indices per label.
     let mut by_class: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
@@ -18,7 +21,9 @@ pub fn few_shot_subset(split: &Split, fraction: f32, seed: u64) -> Split {
     }
     let mut keep = Vec::new();
     for idxs in by_class.values() {
-        let k = ((idxs.len() as f32 * fraction).round() as usize).max(1).min(idxs.len());
+        let k = ((idxs.len() as f32 * fraction).round() as usize)
+            .max(1)
+            .min(idxs.len());
         // Partial Fisher–Yates to pick k without replacement.
         let mut pool = idxs.clone();
         for j in 0..k {

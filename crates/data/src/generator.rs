@@ -88,13 +88,7 @@ impl PatternFamily {
     }
 
     /// Generate one variable of one sample of class `class`.
-    fn generate_var(
-        &self,
-        class: usize,
-        var: usize,
-        n: usize,
-        rng: &mut StdRng,
-    ) -> Vec<f32> {
+    fn generate_var(&self, class: usize, var: usize, n: usize, rng: &mut StdRng) -> Vec<f32> {
         // Nuisance variation shared by all families.
         let phase_jitter: f32 = rng.gen_range(-0.3..0.3);
         let amp: f32 = rng.gen_range(0.8..1.2);
@@ -103,7 +97,7 @@ impl PatternFamily {
         let var_phase = var as f32 * 0.7;
         match self {
             PatternFamily::SineFreq => {
-                let freq = (class + 1) as f32 * 2.0 * rng.gen_range(0.95..1.05);
+                let freq = (class + 1) as f32 * 2.0 * rng.gen_range(0.95f32..1.05);
                 signals::sine(n, freq, phase_jitter + var_phase, amp)
             }
             PatternFamily::SinePhase => {
@@ -120,8 +114,9 @@ impl PatternFamily {
                 s
             }
             PatternFamily::MotifPosition => {
-                let center = 0.15 + 0.7 * class as f32 / self.max_classes() as f32
-                    + rng.gen_range(-0.03..0.03);
+                let center = 0.15
+                    + 0.7 * class as f32 / self.max_classes() as f32
+                    + rng.gen_range(-0.03f32..0.03);
                 let mut s = signals::gaussian_bump(n, center, 0.04, 2.0 * amp);
                 let bg = signals::sine(n, 1.0, phase_jitter + var_phase, 0.3);
                 signals::add(&mut s, &bg);
@@ -287,8 +282,11 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = DatasetSpec::new("d", PatternFamily::SineFreq, 3).generate();
-        let b = DatasetSpec { seed: 4, ..DatasetSpec::new("d", PatternFamily::SineFreq, 3) }
-            .generate();
+        let b = DatasetSpec {
+            seed: 4,
+            ..DatasetSpec::new("d", PatternFamily::SineFreq, 3)
+        }
+        .generate();
         assert_ne!(a, b);
     }
 
@@ -308,7 +306,10 @@ mod tests {
 
     #[test]
     fn multivariate_shapes() {
-        let spec = DatasetSpec { n_vars: 3, ..DatasetSpec::new("m", PatternFamily::SinePhase, 2) };
+        let spec = DatasetSpec {
+            n_vars: 3,
+            ..DatasetSpec::new("m", PatternFamily::SinePhase, 2)
+        };
         let ds = spec.generate();
         assert_eq!(ds.n_vars(), 3);
         assert_eq!(ds.series_len(), 96);
@@ -347,16 +348,17 @@ mod tests {
         for s in &ds.train.samples {
             per_class[s.label].push(crossings(&s.vars[0]));
         }
-        let mean =
-            |v: &[usize]| v.iter().sum::<usize>() as f32 / v.len() as f32;
+        let mean = |v: &[usize]| v.iter().sum::<usize>() as f32 / v.len() as f32;
         assert!(mean(&per_class[1]) > mean(&per_class[0]) * 1.5);
     }
 
     #[test]
     #[should_panic(expected = "supports at most")]
     fn too_many_classes_rejected() {
-        let spec =
-            DatasetSpec { n_classes: 5, ..DatasetSpec::new("bad", PatternFamily::EcgTWave, 0) };
+        let spec = DatasetSpec {
+            n_classes: 5,
+            ..DatasetSpec::new("bad", PatternFamily::EcgTWave, 0)
+        };
         let _ = spec.generate();
     }
 }

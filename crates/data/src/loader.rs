@@ -38,7 +38,10 @@ fn parse_tsv(body: &str) -> io::Result<Vec<(i64, Vec<f32>)>> {
 }
 
 fn bad(lineno: usize, msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {msg}", lineno + 1))
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("line {}: {msg}", lineno + 1),
+    )
 }
 
 /// Load a UCR-format dataset from `<dir>/<name>_TRAIN.tsv` and
@@ -80,11 +83,17 @@ pub fn load_json(path: &Path) -> io::Result<Dataset> {
     let body = fs::read_to_string(path)?;
     let ds: Dataset = serde_json::from_str(&body).map_err(io::Error::other)?;
     if ds.train.is_empty() {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "dataset has no training data"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "dataset has no training data",
+        ));
     }
     for s in ds.train.samples.iter().chain(&ds.test.samples) {
         if s.label >= ds.n_classes {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "label out of range"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "label out of range",
+            ));
         }
     }
     Ok(ds)

@@ -49,7 +49,9 @@ pub fn resample_split(split: &Split, target_len: usize) -> Split {
 
 /// Linearly resample a sample's variables to `target_len`.
 pub fn resample_sample(vars: &MultiSeries, target_len: usize) -> MultiSeries {
-    vars.iter().map(|v| linear_resample(v, target_len)).collect()
+    vars.iter()
+        .map(|v| linear_resample(v, target_len))
+        .collect()
 }
 
 fn linear_resample(x: &[f32], m: usize) -> Vec<f32> {

@@ -108,7 +108,13 @@ mod tests {
             Sample::new(vec![vec![2.0, 1.0, 0.0]], 1),
         ]);
         let te = Split::new(vec![Sample::new(vec![vec![0.0, 1.0, 2.0]], 0)]);
-        Dataset { name: "toy".into(), domain: "test".into(), n_classes: 2, train: tr, test: te }
+        Dataset {
+            name: "toy".into(),
+            domain: "test".into(),
+            n_classes: 2,
+            train: tr,
+            test: te,
+        }
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub fn sine(n: usize, freq: f32, phase: f32, amp: f32) -> Vec<f32> {
 
 /// Square wave with the given number of cycles.
 pub fn square(n: usize, freq: f32, phase: f32, amp: f32) -> Vec<f32> {
-    sine(n, freq, phase, 1.0).iter().map(|v| if *v >= 0.0 { amp } else { -amp }).collect()
+    sine(n, freq, phase, 1.0)
+        .iter()
+        .map(|v| if *v >= 0.0 { amp } else { -amp })
+        .collect()
 }
 
 /// Sawtooth wave.
@@ -96,15 +99,32 @@ pub fn ecg(n: usize, beats: usize, t_polarity: f32, rng: &mut StdRng) -> Vec<f32
             (start as i64 + (frac * beat_len as f32) as i64 + jitter) as f32 / n as f32
         };
         // P wave: small bump.
-        add(&mut out, &gaussian_bump(n, at(0.15), 0.02 * beat_len as f32 / n as f32, 0.2));
+        add(
+            &mut out,
+            &gaussian_bump(n, at(0.15), 0.02 * beat_len as f32 / n as f32, 0.2),
+        );
         // Q dip, R spike, S dip.
-        add(&mut out, &gaussian_bump(n, at(0.28), 0.008 * beat_len as f32 / n as f32, -0.2));
-        add(&mut out, &gaussian_bump(n, at(0.32), 0.010 * beat_len as f32 / n as f32, 1.2));
-        add(&mut out, &gaussian_bump(n, at(0.37), 0.008 * beat_len as f32 / n as f32, -0.35));
+        add(
+            &mut out,
+            &gaussian_bump(n, at(0.28), 0.008 * beat_len as f32 / n as f32, -0.2),
+        );
+        add(
+            &mut out,
+            &gaussian_bump(n, at(0.32), 0.010 * beat_len as f32 / n as f32, 1.2),
+        );
+        add(
+            &mut out,
+            &gaussian_bump(n, at(0.37), 0.008 * beat_len as f32 / n as f32, -0.35),
+        );
         // T wave: polarity is the class signal.
         add(
             &mut out,
-            &gaussian_bump(n, at(0.60), 0.035 * beat_len as f32 / n as f32, 0.45 * t_polarity),
+            &gaussian_bump(
+                n,
+                at(0.60),
+                0.035 * beat_len as f32 / n as f32,
+                0.45 * t_polarity,
+            ),
         );
     }
     out
@@ -187,7 +207,12 @@ mod tests {
     #[test]
     fn gaussian_bump_peak_location() {
         let g = gaussian_bump(100, 0.5, 0.05, 2.0);
-        let argmax = g.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let argmax = g
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert!((argmax as i64 - 50).abs() <= 1);
         assert!((g[argmax] - 2.0).abs() < 1e-4);
     }

@@ -34,67 +34,178 @@ fn spec(
 /// signal is T-wave polarity — the paper's Fig. 2 motivating example.
 /// Jitter/slicing can genuinely flip the apparent class.
 pub fn ecg200_like(seed: u64) -> Dataset {
-    spec("ECG200(sim)", PatternFamily::EcgTWave, 2, 96, 1, 25, 25, seed).generate()
+    spec(
+        "ECG200(sim)",
+        PatternFamily::EcgTWave,
+        2,
+        96,
+        1,
+        25,
+        25,
+        seed,
+    )
+    .generate()
 }
 
 /// StarLightCurves equivalent: 3 classes of periodic brightness dips.
 /// Used by the Fig. 7c/d efficiency study and the Fig. 9 case study.
 pub fn starlight_like(seed: u64) -> Dataset {
-    spec("StarLightCurves(sim)", PatternFamily::StarDip, 3, 128, 1, 30, 60, seed).generate()
+    spec(
+        "StarLightCurves(sim)",
+        PatternFamily::StarDip,
+        3,
+        128,
+        1,
+        30,
+        60,
+        seed,
+    )
+    .generate()
 }
 
 /// Epilepsy equivalent: 2 classes (seizure bursts vs background EEG).
 pub fn epilepsy_like(seed: u64) -> Dataset {
-    spec("Epilepsy(sim)", PatternFamily::BurstCount, 2, 128, 1, 20, 40, seed).generate()
+    spec(
+        "Epilepsy(sim)",
+        PatternFamily::BurstCount,
+        2,
+        128,
+        1,
+        20,
+        40,
+        seed,
+    )
+    .generate()
 }
 
 /// FD-B equivalent: bearing-fault impulse trains with 3 fault periods.
 pub fn fdb_like(seed: u64) -> Dataset {
-    spec("FD-B(sim)", PatternFamily::ImpulsePeriod, 3, 128, 1, 20, 40, seed).generate()
+    spec(
+        "FD-B(sim)",
+        PatternFamily::ImpulsePeriod,
+        3,
+        128,
+        1,
+        20,
+        40,
+        seed,
+    )
+    .generate()
 }
 
 /// Gesture equivalent: 6 classes of smooth accelerometer trajectories,
 /// 3 variables (x/y/z axes).
 pub fn gesture_like(seed: u64) -> Dataset {
-    spec("Gesture(sim)", PatternFamily::Trajectory, 6, 96, 3, 12, 20, seed).generate()
+    spec(
+        "Gesture(sim)",
+        PatternFamily::Trajectory,
+        6,
+        96,
+        3,
+        12,
+        20,
+        seed,
+    )
+    .generate()
 }
 
 /// EMG equivalent: 3 classes of muscle-activation burst patterns.
 pub fn emg_like(seed: u64) -> Dataset {
-    spec("EMG(sim)", PatternFamily::BurstCount, 3, 128, 1, 15, 30, seed).generate()
+    spec(
+        "EMG(sim)",
+        PatternFamily::BurstCount,
+        3,
+        128,
+        1,
+        15,
+        30,
+        seed,
+    )
+    .generate()
 }
 
 /// SleepEEG equivalent: 5 oscillation-band classes; the single-source
 /// pre-training corpus of the paper's Table III baselines, and the
 /// workload for the Fig. 8 scalability study (long series supported).
 pub fn sleepeeg_like(length: usize, per_class: usize, seed: u64) -> Dataset {
-    spec("SleepEEG(sim)", PatternFamily::SineFreq, 5, length, 1, per_class, per_class, seed)
-        .generate()
+    spec(
+        "SleepEEG(sim)",
+        PatternFamily::SineFreq,
+        5,
+        length,
+        1,
+        per_class,
+        per_class,
+        seed,
+    )
+    .generate()
 }
 
 /// Handwriting equivalent (few-shot suite): many classes, 3 variables.
 pub fn handwriting_like(seed: u64) -> Dataset {
-    spec("Handwriting(sim)", PatternFamily::Trajectory, 6, 96, 3, 10, 20, seed).generate()
+    spec(
+        "Handwriting(sim)",
+        PatternFamily::Trajectory,
+        6,
+        96,
+        3,
+        10,
+        20,
+        seed,
+    )
+    .generate()
 }
 
 /// RacketSports equivalent (few-shot suite): 4 classes, 6 variables.
 pub fn racketsports_like(seed: u64) -> Dataset {
-    spec("RacketSports(sim)", PatternFamily::BurstCount, 4, 64, 6, 10, 20, seed).generate()
+    spec(
+        "RacketSports(sim)",
+        PatternFamily::BurstCount,
+        4,
+        64,
+        6,
+        10,
+        20,
+        seed,
+    )
+    .generate()
 }
 
 /// SelfRegulationSCP1 equivalent (few-shot suite): 2 classes, 3 variables.
 pub fn scp1_like(seed: u64) -> Dataset {
-    spec("SelfRegulationSCP1(sim)", PatternFamily::SineFreq, 2, 128, 3, 15, 30, seed).generate()
+    spec(
+        "SelfRegulationSCP1(sim)",
+        PatternFamily::SineFreq,
+        2,
+        128,
+        3,
+        15,
+        30,
+        seed,
+    )
+    .generate()
 }
 
 /// AllGestureWiimote{X,Y,Z} equivalents for the Fig. 7a/b parameter study;
 /// `axis` ∈ {0,1,2} selects the variable phase like the three UCR datasets.
 pub fn allgesture_like(axis: usize, seed: u64) -> Dataset {
     assert!(axis < 3, "axis must be 0 (X), 1 (Y) or 2 (Z)");
-    let name = ["AllGestureWiimoteX(sim)", "AllGestureWiimoteY(sim)", "AllGestureWiimoteZ(sim)"]
-        [axis];
-    spec(name, PatternFamily::Trajectory, 6, 96, 1, 10, 20, seed.wrapping_add(axis as u64))
-        .generate()
+    let name = [
+        "AllGestureWiimoteX(sim)",
+        "AllGestureWiimoteY(sim)",
+        "AllGestureWiimoteZ(sim)",
+    ][axis];
+    spec(
+        name,
+        PatternFamily::Trajectory,
+        6,
+        96,
+        1,
+        10,
+        20,
+        seed.wrapping_add(axis as u64),
+    )
+    .generate()
 }
 
 /// The 6-dataset few-shot suite of the paper's Table V.

@@ -226,7 +226,9 @@ mod tests {
 
     #[test]
     fn identical_methods_not_distinguishable() {
-        let m: Vec<Vec<f64>> = (0..10).map(|i| vec![0.5 + 0.01 * (i % 2) as f64; 3]).collect();
+        let m: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![0.5 + 0.01 * (i % 2) as f64; 3])
+            .collect();
         let cd = CdAnalysis::new(&["A", "B", "C"], &m);
         assert!(cd.p_value > 0.5);
         assert!(cd.connected(0, 1) && cd.connected(1, 2));

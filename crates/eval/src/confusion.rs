@@ -70,7 +70,13 @@ impl ConfusionMatrix {
         self.precision()
             .iter()
             .zip(self.recall())
-            .map(|(&p, r)| if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) })
+            .map(|(&p, r)| {
+                if p + r == 0.0 {
+                    0.0
+                } else {
+                    2.0 * p * r / (p + r)
+                }
+            })
             .collect()
     }
 

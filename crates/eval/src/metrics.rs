@@ -62,8 +62,7 @@ pub fn num_top1(acc_matrix: &[Vec<f64>]) -> Vec<usize> {
     let mut counts = vec![0usize; k];
     for row in acc_matrix {
         let best = row.iter().copied().fold(f64::MIN, f64::max);
-        let winners: Vec<usize> =
-            (0..k).filter(|&i| (row[i] - best).abs() < 1e-12).collect();
+        let winners: Vec<usize> = (0..k).filter(|&i| (row[i] - best).abs() < 1e-12).collect();
         if winners.len() == 1 {
             counts[winners[0]] += 1;
         }

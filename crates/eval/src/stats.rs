@@ -24,7 +24,12 @@ impl Summary {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Summary { mean, std: var.sqrt(), min, max }
+        Summary {
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+        }
     }
 }
 
@@ -91,7 +96,10 @@ mod tests {
         for shape in [0.5, 1.0, 3.0, 9.0] {
             let n = 20_000;
             let mean: f64 = (0..n).map(|_| sample_gamma(shape, &mut r)).sum::<f64>() / n as f64;
-            assert!((mean - shape).abs() < 0.15 * shape.max(1.0), "shape {shape} mean {mean}");
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "shape {shape} mean {mean}"
+            );
         }
     }
 

@@ -60,7 +60,14 @@ impl ResultTable {
             .max()
             .unwrap_or(10)
             .max("Num.Top-1".len());
-        let col_w = self.methods.iter().map(|m| m.len()).max().unwrap_or(6).max(6) + 2;
+        let col_w = self
+            .methods
+            .iter()
+            .map(|m| m.len())
+            .max()
+            .unwrap_or(6)
+            .max(6)
+            + 2;
 
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));

@@ -59,14 +59,23 @@ pub struct ImageConfig {
 
 impl Default for ImageConfig {
     fn default() -> Self {
-        ImageConfig { cell: 64, max_cols: 4, markers: true, standardize: true, margin: 0.06 }
+        ImageConfig {
+            cell: 64,
+            max_cols: 4,
+            markers: true,
+            standardize: true,
+            margin: 0.06,
+        }
     }
 }
 
 impl ImageConfig {
     /// Smaller images for fast tests/benches.
     pub fn small() -> Self {
-        ImageConfig { cell: 32, ..Default::default() }
+        ImageConfig {
+            cell: 32,
+            ..Default::default()
+        }
     }
 }
 
@@ -110,7 +119,10 @@ pub fn grid_layout(m: usize, max_cols: usize) -> (usize, usize) {
 /// Each variable is min–max scaled inside its own sub-image — the paper
 /// notes each variable has a distinct scale and is plotted separately.
 pub fn render_sample(vars: &[Vec<f32>], cfg: &ImageConfig) -> RgbImage {
-    assert!(!vars.is_empty(), "cannot render a sample with zero variables");
+    assert!(
+        !vars.is_empty(),
+        "cannot render a sample with zero variables"
+    );
     let m = vars.len();
     let (rows, cols) = grid_layout(m, cfg.max_cols);
     let (h, w) = (rows * cfg.cell, cols * cfg.cell);
@@ -124,7 +136,11 @@ pub fn render_sample(vars: &[Vec<f32>], cfg: &ImageConfig) -> RgbImage {
         draw_variable(&mut canvas, series, color, gy, gx, cfg);
     }
 
-    let mut img = RgbImage { height: h, width: w, data: canvas.into_data() };
+    let mut img = RgbImage {
+        height: h,
+        width: w,
+        data: canvas.into_data(),
+    };
     if cfg.standardize {
         standardize(&mut img);
     }
@@ -159,11 +175,17 @@ fn draw_variable(
     assert!(plot >= 2, "cell too small for margin");
 
     // Min–max scale this variable into the sub-image.
-    let (lo, hi) = series.iter().fold((f32::MAX, f32::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+    let (lo, hi) = series
+        .iter()
+        .fold((f32::MAX, f32::MIN), |(l, h), &v| (l.min(v), h.max(v)));
     let range = (hi - lo).max(1e-6);
     let n = series.len();
     let to_px = |t: usize, v: f32| -> (usize, usize) {
-        let x = if n == 1 { 0 } else { (t as f32 / (n - 1) as f32 * (plot - 1) as f32) as usize };
+        let x = if n == 1 {
+            0
+        } else {
+            (t as f32 / (n - 1) as f32 * (plot - 1) as f32) as usize
+        };
         let yfrac = (v - lo) / range;
         // y axis points up: invert.
         let y = ((1.0 - yfrac) * (plot - 1) as f32) as usize;
@@ -221,7 +243,10 @@ mod tests {
 
     #[test]
     fn unstandardized_image_has_ink() {
-        let cfg = ImageConfig { standardize: false, ..Default::default() };
+        let cfg = ImageConfig {
+            standardize: false,
+            ..Default::default()
+        };
         let img = render_sample(&[sine(40)], &cfg);
         let nonzero = img.data.iter().filter(|&&v| v > 0.0).count();
         assert!(nonzero > 50, "expected drawn pixels, got {nonzero}");
@@ -230,7 +255,10 @@ mod tests {
 
     #[test]
     fn variables_use_distinct_colors() {
-        let cfg = ImageConfig { standardize: false, ..Default::default() };
+        let cfg = ImageConfig {
+            standardize: false,
+            ..Default::default()
+        };
         let img = render_sample(&[sine(20), sine(20)], &cfg);
         // Variable 0 occupies left cell: dominant blue; variable 1 orange.
         let hw = img.height * img.width;
@@ -249,7 +277,10 @@ mod tests {
             }
         }
         assert!(left[2] > left[0], "left cell should be blue-dominant");
-        assert!(right[0] > right[2], "right cell should be red/orange-dominant");
+        assert!(
+            right[0] > right[2],
+            "right cell should be red/orange-dominant"
+        );
     }
 
     #[test]
@@ -262,7 +293,13 @@ mod tests {
 
     #[test]
     fn constant_series_renders_flat_line() {
-        let img = render_sample(&[vec![5.0; 30]], &ImageConfig { standardize: false, ..Default::default() });
+        let img = render_sample(
+            &[vec![5.0; 30]],
+            &ImageConfig {
+                standardize: false,
+                ..Default::default()
+            },
+        );
         // All ink on a single row band.
         let hw = img.height * img.width;
         let mut rows_with_ink = std::collections::HashSet::new();
@@ -273,7 +310,10 @@ mod tests {
                 }
             }
         }
-        assert!(rows_with_ink.len() <= 4, "flat series spread over {rows_with_ink:?}");
+        assert!(
+            rows_with_ink.len() <= 4,
+            "flat series spread over {rows_with_ink:?}"
+        );
     }
 
     #[test]

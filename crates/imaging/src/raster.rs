@@ -9,7 +9,11 @@ pub struct Canvas {
 
 impl Canvas {
     pub fn new(h: usize, w: usize) -> Self {
-        Canvas { h, w, data: vec![0f32; 3 * h * w] }
+        Canvas {
+            h,
+            w,
+            data: vec![0f32; 3 * h * w],
+        }
     }
 
     /// Set a pixel to `color` (saturating at 1.0 per channel).
@@ -117,7 +121,7 @@ mod tests {
         c.marker(2, 2, [1.0, 0.0, 0.0]);
         let d = c.into_data();
         assert_eq!(d[2 * 5 + 2], 1.0);
-        assert_eq!(d[1 * 5 + 2], 1.0);
+        assert_eq!(d[5 + 2], 1.0);
         assert_eq!(d[3 * 5 + 2], 1.0);
         assert_eq!(d[2 * 5 + 1], 1.0);
         assert_eq!(d[2 * 5 + 3], 1.0);

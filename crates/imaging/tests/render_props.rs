@@ -11,7 +11,7 @@ proptest! {
     #[test]
     fn render_is_deterministic(v in var()) {
         let cfg = ImageConfig::default();
-        prop_assert_eq!(render_sample(&[v.clone()], &cfg), render_sample(&[v], &cfg));
+        prop_assert_eq!(render_sample(std::slice::from_ref(&v), &cfg), render_sample(&[v], &cfg));
     }
 
     #[test]

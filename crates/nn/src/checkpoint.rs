@@ -26,7 +26,15 @@ pub type StateDict = BTreeMap<String, TensorState>;
 pub fn state_dict_of(named: &[(String, Tensor)]) -> StateDict {
     named
         .iter()
-        .map(|(n, t)| (n.clone(), TensorState { shape: t.shape().to_vec(), data: t.to_vec() }))
+        .map(|(n, t)| {
+            (
+                n.clone(),
+                TensorState {
+                    shape: t.shape().to_vec(),
+                    data: t.to_vec(),
+                },
+            )
+        })
         .collect()
 }
 
@@ -52,7 +60,10 @@ pub fn load_state_dict(path: &Path, named: &[(String, Tensor)]) -> io::Result<()
 pub fn apply_state_dict(sd: &StateDict, named: &[(String, Tensor)]) -> io::Result<()> {
     for (name, tensor) in named {
         let state = sd.get(name).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::NotFound, format!("missing parameter `{name}`"))
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("missing parameter `{name}`"),
+            )
         })?;
         if state.shape != tensor.shape() {
             return Err(io::Error::new(

@@ -259,8 +259,15 @@ pub struct Dropout {
 
 impl Dropout {
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
-        Dropout { p, training: Cell::new(true), rng: RefCell::new(StdRng::seed_from_u64(seed)) }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
+        Dropout {
+            p,
+            training: Cell::new(true),
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+        }
     }
 }
 
@@ -272,7 +279,13 @@ impl Module for Dropout {
         let scale = 1.0 / (1.0 - self.p);
         let mut rng = self.rng.borrow_mut();
         let mask: Vec<f32> = (0..x.numel())
-            .map(|_| if rng.gen::<f32>() < self.p { 0.0 } else { scale })
+            .map(|_| {
+                if rng.gen::<f32>() < self.p {
+                    0.0
+                } else {
+                    scale
+                }
+            })
             .collect();
         x.mul(&Tensor::from_vec(mask, x.shape()))
     }
@@ -370,12 +383,19 @@ impl Mlp {
         assert!(dims.len() >= 2, "MLP needs at least input and output dims");
         let mut children: Vec<Box<dyn Module>> = Vec::new();
         for (i, w) in dims.windows(2).enumerate() {
-            children.push(Box::new(Linear::new(w[0], w[1], true, seed.wrapping_add(i as u64))));
+            children.push(Box::new(Linear::new(
+                w[0],
+                w[1],
+                true,
+                seed.wrapping_add(i as u64),
+            )));
             if i + 2 < dims.len() {
                 children.push(Box::new(act));
             }
         }
-        Mlp { seq: Sequential::new(children) }
+        Mlp {
+            seq: Sequential::new(children),
+        }
     }
 }
 
@@ -415,7 +435,17 @@ mod tests {
 
     #[test]
     fn conv2d_layer_downsample() {
-        let c = Conv2d::new(3, 8, 3, Conv2dSpec { stride: 2, padding: 1 }, true, 0);
+        let c = Conv2d::new(
+            3,
+            8,
+            3,
+            Conv2dSpec {
+                stride: 2,
+                padding: 1,
+            },
+            true,
+            0,
+        );
         let y = c.forward(&Tensor::randn(&[2, 3, 16, 16], 1));
         assert_eq!(y.shape(), &[2, 8, 8, 8]);
     }

@@ -54,7 +54,12 @@ impl Sgd {
 
     pub fn with_momentum(params: Vec<Tensor>, lr: f32, momentum: f32) -> Self {
         let velocity = params.iter().map(|p| vec![0f32; p.numel()]).collect();
-        Sgd { params, lr, momentum, velocity }
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity,
+        }
     }
 }
 
@@ -117,7 +122,17 @@ impl Adam {
     ) -> Self {
         let m = params.iter().map(|p| vec![0f32; p.numel()]).collect();
         let v = params.iter().map(|p| vec![0f32; p.numel()]).collect();
-        Adam { params, lr, beta1, beta2, eps, weight_decay, m, v, t: 0 }
+        Adam {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            m,
+            v,
+            t: 0,
+        }
     }
 
     /// Gradient L2 norm across all parameters (diagnostics).
@@ -193,8 +208,7 @@ mod tests {
     #[test]
     fn sgd_momentum_converges() {
         let x = Tensor::from_vec(vec![0.0], &[1]).requires_grad();
-        let final_x =
-            quadratic_converges(Sgd::with_momentum(vec![x.clone()], 0.05, 0.9), x, 200);
+        let final_x = quadratic_converges(Sgd::with_momentum(vec![x.clone()], 0.05, 0.9), x, 200);
         assert!((final_x - 3.0).abs() < 1e-2, "got {final_x}");
     }
 
@@ -230,15 +244,17 @@ mod tests {
     #[test]
     fn clip_grad_norm_rescales() {
         let x = Tensor::from_vec(vec![3.0, 4.0], &[2]).requires_grad();
-        x.mul(&Tensor::from_vec(vec![3.0, 4.0], &[2])).sum_all().backward();
+        x.mul(&Tensor::from_vec(vec![3.0, 4.0], &[2]))
+            .sum_all()
+            .backward();
         // grad = [3, 4], norm 5.
-        let pre = super::clip_grad_norm(&[x.clone()], 1.0);
+        let pre = super::clip_grad_norm(std::slice::from_ref(&x), 1.0);
         assert!((pre - 5.0).abs() < 1e-5);
         let g = x.grad().unwrap();
         let norm = (g[0] * g[0] + g[1] * g[1]).sqrt();
         assert!((norm - 1.0).abs() < 1e-5);
         // Below the threshold nothing changes.
-        let pre2 = super::clip_grad_norm(&[x.clone()], 10.0);
+        let pre2 = super::clip_grad_norm(std::slice::from_ref(&x), 10.0);
         assert!((pre2 - 1.0).abs() < 1e-5);
         assert_eq!(x.grad().unwrap(), g);
     }

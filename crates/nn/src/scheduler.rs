@@ -14,7 +14,12 @@ pub struct StepLr {
 impl StepLr {
     pub fn new(base_lr: f32, step_size: usize, gamma: f32) -> Self {
         assert!(step_size > 0, "step_size must be positive");
-        StepLr { base_lr, step_size, gamma, epoch: 0 }
+        StepLr {
+            base_lr,
+            step_size,
+            gamma,
+            epoch: 0,
+        }
     }
 
     /// Learning rate for the current epoch.
@@ -42,7 +47,12 @@ impl CosineLr {
     pub fn new(base_lr: f32, min_lr: f32, total_epochs: usize) -> Self {
         assert!(total_epochs > 0, "total_epochs must be positive");
         assert!(min_lr <= base_lr, "min_lr must not exceed base_lr");
-        CosineLr { base_lr, min_lr, total_epochs, epoch: 0 }
+        CosineLr {
+            base_lr,
+            min_lr,
+            total_epochs,
+            epoch: 0,
+        }
     }
 
     /// Learning rate for the current epoch.

@@ -13,8 +13,9 @@ use aimts_tensor::Tensor;
 fn toy_problem(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
     let x = Tensor::randn(&[n, 2], seed);
     let v = x.to_vec();
-    let labels: Vec<usize> =
-        (0..n).map(|i| ((v[i * 2] * v[i * 2] - v[i * 2 + 1]) > 0.0) as usize).collect();
+    let labels: Vec<usize> = (0..n)
+        .map(|i| ((v[i * 2] * v[i * 2] - v[i * 2 + 1]) > 0.0) as usize)
+        .collect();
     (x, labels)
 }
 
@@ -85,7 +86,7 @@ fn conv_batchnorm_dropout_stack_trains() {
     let mut labels = Vec::new();
     for i in 0..n {
         let f = if i % 2 == 0 { 2.0 } else { 6.0 };
-        labels.push((i % 2) as usize);
+        labels.push(i % 2);
         for k in 0..t {
             data.push((f * k as f32 * std::f32::consts::TAU / t as f32).sin());
         }

@@ -29,7 +29,11 @@ pub(crate) fn expand_to(data: &[f32], shape: &[usize], target: &[usize]) -> Vec<
 /// Forward kernel for a broadcasting binary op.
 fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> (Vec<f32>, Vec<usize>) {
     let out_shape = broadcast_shapes(a.shape(), b.shape()).unwrap_or_else(|| {
-        panic!("incompatible shapes for binary op: {:?} vs {:?}", a.shape(), b.shape())
+        panic!(
+            "incompatible shapes for binary op: {:?} vs {:?}",
+            a.shape(),
+            b.shape()
+        )
     });
     let ad = a.data();
     let bd = b.data();

@@ -29,9 +29,8 @@ impl Tensor {
                 let last = n / rows;
                 let mut g = vec![0f32; n];
                 for r in 0..rows {
-                    g[r * last..(r + 1) * last].copy_from_slice(
-                        &gout[r * new_last + left..r * new_last + left + last],
-                    );
+                    g[r * last..(r + 1) * last]
+                        .copy_from_slice(&gout[r * new_last + left..r * new_last + left + last]);
                 }
                 vec![Some(g)]
             }),
@@ -149,8 +148,18 @@ mod tests {
     #[test]
     fn gc_extra_ops() {
         let x = Tensor::randn(&[2, 5], 3);
-        check_gradients(&|i| i[0].pad_last(2, 1).square().sum_all(), &[x.clone()], 1e-2, 2e-2);
-        check_gradients(&|i| i[0].flip_last().square().sum_all(), &[x.clone()], 1e-2, 2e-2);
+        check_gradients(
+            &|i| i[0].pad_last(2, 1).square().sum_all(),
+            std::slice::from_ref(&x),
+            1e-2,
+            2e-2,
+        );
+        check_gradients(
+            &|i| i[0].flip_last().square().sum_all(),
+            std::slice::from_ref(&x),
+            1e-2,
+            2e-2,
+        );
         check_gradients(&|i| i[0].cumsum_last().square().sum_all(), &[x], 1e-2, 2e-2);
     }
 }

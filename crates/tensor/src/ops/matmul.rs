@@ -108,9 +108,18 @@ impl Tensor {
         let bd_ref = other.data();
         let (ad, bd): (&[f32], &[f32]) = (&ad_ref, &bd_ref);
         let mut out = vec![0f32; bsz * m * n];
-        out.par_chunks_mut(m * n).enumerate().for_each(|(bi, chunk)| {
-            mm_acc(chunk, &ad[bi * m * k..(bi + 1) * m * k], &bd[bi * k * n..(bi + 1) * k * n], m, k, n);
-        });
+        out.par_chunks_mut(m * n)
+            .enumerate()
+            .for_each(|(bi, chunk)| {
+                mm_acc(
+                    chunk,
+                    &ad[bi * m * k..(bi + 1) * m * k],
+                    &bd[bi * k * n..(bi + 1) * k * n],
+                    m,
+                    k,
+                    n,
+                );
+            });
         drop((ad_ref, bd_ref));
         Tensor::from_op(
             out,

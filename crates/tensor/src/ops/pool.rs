@@ -61,7 +61,12 @@ impl Tensor {
     /// `[B, C, H, W] -> [B, C, H/k, W/k]`.
     pub fn max_pool2d(&self, k: usize) -> Tensor {
         assert_eq!(self.ndim(), 4, "max_pool2d expects [B, C, H, W]");
-        let (b, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (b, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
         let (ho, wo) = (h / k, w / k);
         assert!(ho >= 1 && wo >= 1, "max_pool2d window too large");
         let d = self.data();

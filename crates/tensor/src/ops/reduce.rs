@@ -126,7 +126,10 @@ impl Tensor {
 
     /// Maximum element of the whole tensor (non-differentiable helper).
     pub fn max_all_value(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element of the whole tensor (non-differentiable helper).

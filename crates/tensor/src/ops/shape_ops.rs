@@ -112,7 +112,11 @@ impl Tensor {
             assert_eq!(t.ndim(), nd, "concat rank mismatch");
             for d in 0..nd {
                 if d != axis {
-                    assert_eq!(t.shape()[d], tensors[0].shape()[d], "concat dim {d} mismatch");
+                    assert_eq!(
+                        t.shape()[d],
+                        tensors[0].shape()[d],
+                        "concat dim {d} mismatch"
+                    );
                 }
             }
         }
@@ -165,7 +169,10 @@ impl Tensor {
     /// Slice `[start, end)` along `axis`.
     pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Tensor {
         let s = self.shape();
-        assert!(axis < s.len() && start <= end && end <= s[axis], "bad slice");
+        assert!(
+            axis < s.len() && start <= end && end <= s[axis],
+            "bad slice"
+        );
         let outer: usize = s[..axis].iter().product();
         let inner: usize = s[axis + 1..].iter().product();
         let ax = s[axis];
@@ -298,7 +305,9 @@ mod tests {
         let a = Tensor::from_vec(vec![1., 2.], &[1, 2]).requires_grad();
         let b = Tensor::from_vec(vec![3.], &[1, 1]).requires_grad();
         let c = Tensor::concat(&[a.clone(), b.clone()], 1);
-        c.mul(&Tensor::from_vec(vec![10., 20., 30.], &[1, 3])).sum_all().backward();
+        c.mul(&Tensor::from_vec(vec![10., 20., 30.], &[1, 3]))
+            .sum_all()
+            .backward();
         assert_eq!(a.grad().unwrap(), vec![10., 20.]);
         assert_eq!(b.grad().unwrap(), vec![30.]);
     }

@@ -36,9 +36,7 @@ impl Tensor {
                     let ys = &y[r * cols..(r + 1) * cols];
                     let gs = &gout[r * cols..(r + 1) * cols];
                     let dot: f32 = ys.iter().zip(gs).map(|(a, b)| a * b).sum();
-                    for ((gi, yi), go) in
-                        g[r * cols..(r + 1) * cols].iter_mut().zip(ys).zip(gs)
-                    {
+                    for ((gi, yi), go) in g[r * cols..(r + 1) * cols].iter_mut().zip(ys).zip(gs) {
                         *gi = yi * (go - dot);
                     }
                 }
@@ -75,9 +73,7 @@ impl Tensor {
                     let lp = &logp[r * cols..(r + 1) * cols];
                     let gs = &gout[r * cols..(r + 1) * cols];
                     let gsum: f32 = gs.iter().sum();
-                    for ((gi, &l), go) in
-                        g[r * cols..(r + 1) * cols].iter_mut().zip(lp).zip(gs)
-                    {
+                    for ((gi, &l), go) in g[r * cols..(r + 1) * cols].iter_mut().zip(lp).zip(gs) {
                         *gi = go - l.exp() * gsum;
                     }
                 }

@@ -3,11 +3,7 @@
 use crate::tensor::Tensor;
 
 /// Build a unary op given forward `f` and derivative-from-input `df`.
-fn unary(
-    t: &Tensor,
-    f: impl Fn(f32) -> f32,
-    df: impl Fn(f32) -> f32 + 'static,
-) -> Tensor {
+fn unary(t: &Tensor, f: impl Fn(f32) -> f32, df: impl Fn(f32) -> f32 + 'static) -> Tensor {
     let out: Vec<f32> = t.data().iter().map(|&x| f(x)).collect();
     Tensor::from_op(
         out,
@@ -15,7 +11,12 @@ fn unary(
         vec![t.clone()],
         Box::new(move |node, gout| {
             let x = node.inner.parents[0].data();
-            vec![Some(gout.iter().zip(x.iter()).map(|(g, &xi)| g * df(xi)).collect())]
+            vec![Some(
+                gout.iter()
+                    .zip(x.iter())
+                    .map(|(g, &xi)| g * df(xi))
+                    .collect(),
+            )]
         }),
     )
 }
@@ -36,7 +37,9 @@ impl Tensor {
             vec![self.clone()],
             Box::new(|node, gout| {
                 let y = node.data();
-                vec![Some(gout.iter().zip(y.iter()).map(|(g, yi)| g * yi).collect())]
+                vec![Some(
+                    gout.iter().zip(y.iter()).map(|(g, yi)| g * yi).collect(),
+                )]
             }),
         )
     }
@@ -56,7 +59,10 @@ impl Tensor {
             Box::new(|node, gout| {
                 let y = node.data();
                 vec![Some(
-                    gout.iter().zip(y.iter()).map(|(g, yi)| g * 0.5 / yi.max(1e-12)).collect(),
+                    gout.iter()
+                        .zip(y.iter())
+                        .map(|(g, yi)| g * 0.5 / yi.max(1e-12))
+                        .collect(),
                 )]
             }),
         )
@@ -117,7 +123,11 @@ impl Tensor {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|x| 1.0 / (1.0 + (-x).exp())).collect();
+        let out: Vec<f32> = self
+            .data()
+            .iter()
+            .map(|x| 1.0 / (1.0 + (-x).exp()))
+            .collect();
         Tensor::from_op(
             out,
             self.shape(),
@@ -125,7 +135,10 @@ impl Tensor {
             Box::new(|node, gout| {
                 let y = node.data();
                 vec![Some(
-                    gout.iter().zip(y.iter()).map(|(g, yi)| g * yi * (1.0 - yi)).collect(),
+                    gout.iter()
+                        .zip(y.iter())
+                        .map(|(g, yi)| g * yi * (1.0 - yi))
+                        .collect(),
                 )]
             }),
         )
@@ -141,7 +154,10 @@ impl Tensor {
             Box::new(|node, gout| {
                 let y = node.data();
                 vec![Some(
-                    gout.iter().zip(y.iter()).map(|(g, yi)| g * (1.0 - yi * yi)).collect(),
+                    gout.iter()
+                        .zip(y.iter())
+                        .map(|(g, yi)| g * (1.0 - yi * yi))
+                        .collect(),
                 )]
             }),
         )

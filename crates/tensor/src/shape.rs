@@ -25,8 +25,16 @@ pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
     let nd = a.len().max(b.len());
     let mut out = vec![0usize; nd];
     for i in 0..nd {
-        let da = if i < nd - a.len() { 1 } else { a[i - (nd - a.len())] };
-        let db = if i < nd - b.len() { 1 } else { b[i - (nd - b.len())] };
+        let da = if i < nd - a.len() {
+            1
+        } else {
+            a[i - (nd - a.len())]
+        };
+        let db = if i < nd - b.len() {
+            1
+        } else {
+            b[i - (nd - b.len())]
+        };
         if da == db || da == 1 || db == 1 {
             out[i] = da.max(db);
         } else {
@@ -40,7 +48,10 @@ pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
 ///
 /// Panics if `shape` does not broadcast to `target`.
 pub fn broadcast_strides(shape: &[usize], target: &[usize]) -> Vec<usize> {
-    assert!(shape.len() <= target.len(), "cannot broadcast {shape:?} to {target:?}");
+    assert!(
+        shape.len() <= target.len(),
+        "cannot broadcast {shape:?} to {target:?}"
+    );
     let base = strides(shape);
     let offset = target.len() - shape.len();
     let mut out = vec![0usize; target.len()];

@@ -251,7 +251,11 @@ impl Tensor {
     /// Panics if the tensor has more than one element; use
     /// [`Tensor::backward_with`] to seed a non-scalar output.
     pub fn backward(&self) {
-        assert_eq!(self.numel(), 1, "backward() requires a scalar; use backward_with");
+        assert_eq!(
+            self.numel(),
+            1,
+            "backward() requires a scalar; use backward_with"
+        );
         autograd::run_backward(self, &[1.0]);
     }
 

@@ -1,0 +1,243 @@
+//! Oracle tests for the im2col convolution lowering.
+//!
+//! The direct loop-nest kernels (`conv1d_direct` / `conv2d_direct`) are the
+//! reference implementation; every test here runs the same problem through
+//! the im2col path and asserts that forward outputs *and* all gradients
+//! (input, weight, bias) agree within `TOL` across a grid of stride /
+//! padding / dilation / channel shapes, including the degenerate geometries
+//! most likely to expose off-by-one errors in the unfold bounds.
+
+use aimts_tensor::ops::{Conv1dSpec, Conv2dSpec};
+use aimts_tensor::Tensor;
+
+const TOL: f32 = 1e-4;
+
+fn assert_close(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= TOL,
+            "{what}: mismatch at {i}: direct={x} im2col={y} (diff {})",
+            (x - y).abs()
+        );
+    }
+}
+
+/// Run one conv1d problem through both lowerings, backprop a non-uniform
+/// upstream gradient, and compare forward values and all three gradients.
+fn check_conv1d(b: usize, cin: usize, cout: usize, l: usize, k: usize, spec: Conv1dSpec) {
+    let x = Tensor::randn(&[b, cin, l], 1);
+    let w = Tensor::randn(&[cout, cin, k], 2);
+    let bias = Tensor::randn(&[cout], 3);
+
+    let lo = spec.out_len(l, k);
+    // Non-uniform weighting of the outputs so gx/gw see a structured gout.
+    let upstream = Tensor::randn(&[b, cout, lo], 4);
+
+    let run = |im2col: bool| {
+        let xg = x.clone().requires_grad();
+        let wg = w.clone().requires_grad();
+        let bg = bias.clone().requires_grad();
+        let y = if im2col {
+            xg.conv1d_im2col(&wg, Some(&bg), spec)
+        } else {
+            xg.conv1d_direct(&wg, Some(&bg), spec)
+        };
+        y.mul(&upstream).sum_all().backward();
+        (
+            y.to_vec(),
+            xg.grad().unwrap(),
+            wg.grad().unwrap(),
+            bg.grad().unwrap(),
+        )
+    };
+
+    let (yd, gxd, gwd, gbd) = run(false);
+    let (yi, gxi, gwi, gbi) = run(true);
+    let tag = format!("conv1d b={b} cin={cin} cout={cout} l={l} k={k} spec={spec:?}");
+    assert_close(&yd, &yi, &format!("{tag} forward"));
+    assert_close(&gxd, &gxi, &format!("{tag} grad-x"));
+    assert_close(&gwd, &gwi, &format!("{tag} grad-w"));
+    assert_close(&gbd, &gbi, &format!("{tag} grad-bias"));
+}
+
+/// Same protocol for conv2d.
+fn check_conv2d(
+    b: usize,
+    cin: usize,
+    cout: usize,
+    h: usize,
+    w_: usize,
+    k: usize,
+    spec: Conv2dSpec,
+) {
+    let x = Tensor::randn(&[b, cin, h, w_], 5);
+    let w = Tensor::randn(&[cout, cin, k, k], 6);
+    let bias = Tensor::randn(&[cout], 7);
+
+    let ho = spec.out_dim(h, k);
+    let wo = spec.out_dim(w_, k);
+    let upstream = Tensor::randn(&[b, cout, ho, wo], 8);
+
+    let run = |im2col: bool| {
+        let xg = x.clone().requires_grad();
+        let wg = w.clone().requires_grad();
+        let bg = bias.clone().requires_grad();
+        let y = if im2col {
+            xg.conv2d_im2col(&wg, Some(&bg), spec)
+        } else {
+            xg.conv2d_direct(&wg, Some(&bg), spec)
+        };
+        y.mul(&upstream).sum_all().backward();
+        (
+            y.to_vec(),
+            xg.grad().unwrap(),
+            wg.grad().unwrap(),
+            bg.grad().unwrap(),
+        )
+    };
+
+    let (yd, gxd, gwd, gbd) = run(false);
+    let (yi, gxi, gwi, gbi) = run(true);
+    let tag = format!("conv2d b={b} cin={cin} cout={cout} h={h} w={w_} k={k} spec={spec:?}");
+    assert_close(&yd, &yi, &format!("{tag} forward"));
+    assert_close(&gxd, &gxi, &format!("{tag} grad-x"));
+    assert_close(&gwd, &gwi, &format!("{tag} grad-w"));
+    assert_close(&gbd, &gbi, &format!("{tag} grad-bias"));
+}
+
+fn spec1(stride: usize, padding: usize, dilation: usize) -> Conv1dSpec {
+    Conv1dSpec {
+        stride,
+        padding,
+        dilation,
+    }
+}
+
+#[test]
+fn conv1d_grid_of_specs() {
+    for &(stride, padding, dilation) in &[
+        (1, 0, 1),
+        (1, 1, 1),
+        (1, 2, 1),
+        (2, 0, 1),
+        (2, 1, 1), // stride > 1 with padding
+        (3, 2, 1),
+        (1, 0, 2), // dilation > 1
+        (1, 2, 2),
+        (2, 2, 2), // stride, padding and dilation all non-trivial
+        (1, 3, 3),
+    ] {
+        check_conv1d(2, 3, 4, 16, 3, spec1(stride, padding, dilation));
+    }
+}
+
+#[test]
+fn conv1d_channel_shapes() {
+    // Univariate input (the encoder's input conv is 1 -> hidden).
+    check_conv1d(1, 1, 8, 32, 3, Conv1dSpec::same(3, 1));
+    // Wide channel mix, single batch element.
+    check_conv1d(1, 16, 16, 24, 3, Conv1dSpec::same(3, 2));
+    // Batch larger than channels.
+    check_conv1d(8, 2, 3, 20, 5, spec1(2, 2, 1));
+}
+
+#[test]
+fn conv1d_kernel_equals_input_length() {
+    // One output position, no padding: the unfold is a single full column.
+    check_conv1d(2, 3, 4, 7, 7, spec1(1, 0, 1));
+}
+
+#[test]
+fn conv1d_dilated_span_equals_padded_input() {
+    // Dilated kernel span (2*(5-1)+1 = 9) exactly covers l + 2p = 9.
+    check_conv1d(2, 2, 3, 7, 5, spec1(1, 1, 2));
+}
+
+#[test]
+fn conv1d_padding_larger_than_kernel_reach() {
+    // Leading/trailing output positions read only zero padding.
+    check_conv1d(1, 2, 2, 6, 3, spec1(1, 4, 1));
+}
+
+#[test]
+fn conv1d_stride_overshoots_tail() {
+    // Last valid window starts well before the padded end.
+    check_conv1d(2, 2, 2, 11, 3, spec1(4, 1, 1));
+}
+
+#[test]
+fn conv1d_even_kernel() {
+    check_conv1d(2, 3, 3, 12, 4, spec1(1, 1, 1));
+    check_conv1d(2, 3, 3, 12, 4, spec1(2, 0, 2));
+}
+
+#[test]
+fn conv2d_grid_of_specs() {
+    for &(stride, padding) in &[(1, 0), (1, 1), (2, 0), (2, 1), (3, 2)] {
+        check_conv2d(2, 2, 3, 9, 9, 3, Conv2dSpec { stride, padding });
+    }
+}
+
+#[test]
+fn conv2d_kernel_equals_input() {
+    // 1x1 output map.
+    check_conv2d(
+        2,
+        2,
+        3,
+        5,
+        5,
+        5,
+        Conv2dSpec {
+            stride: 1,
+            padding: 0,
+        },
+    );
+}
+
+#[test]
+fn conv2d_rectangular_input() {
+    check_conv2d(
+        1,
+        3,
+        4,
+        6,
+        10,
+        3,
+        Conv2dSpec {
+            stride: 2,
+            padding: 1,
+        },
+    );
+}
+
+#[test]
+fn conv2d_single_channel_single_batch() {
+    check_conv2d(
+        1,
+        1,
+        1,
+        8,
+        8,
+        3,
+        Conv2dSpec {
+            stride: 1,
+            padding: 1,
+        },
+    );
+}
+
+#[test]
+fn dispatch_output_matches_forced_paths() {
+    // Public entry point must agree with both pinned paths regardless of
+    // which one the heuristic selects.
+    let spec = Conv1dSpec::same(3, 1);
+    let x = Tensor::randn(&[2, 32, 64], 9);
+    let w = Tensor::randn(&[32, 32, 3], 10);
+    let auto = x.conv1d(&w, None, spec).to_vec();
+    let direct = x.conv1d_direct(&w, None, spec).to_vec();
+    let lowered = x.conv1d_im2col(&w, None, spec).to_vec();
+    assert_close(&auto, &direct, "dispatch vs direct");
+    assert_close(&auto, &lowered, "dispatch vs im2col");
+}

@@ -77,7 +77,9 @@ fn wide_fanout_backward() {
     // One tensor feeding 50 branches accumulates all 50 contributions.
     let x = Tensor::from_vec(vec![2.0], &[1]).requires_grad();
     let branches: Vec<Tensor> = (0..50).map(|_| x.square()).collect();
-    let total = branches.iter().fold(Tensor::scalar(0.0), |acc, b| acc.add(b));
+    let total = branches
+        .iter()
+        .fold(Tensor::scalar(0.0), |acc, b| acc.add(b));
     total.sum_all().backward();
     assert!((x.grad().unwrap()[0] - 50.0 * 2.0 * 2.0).abs() < 1e-3);
 }
@@ -119,7 +121,7 @@ fn broadcast_to_higher_rank() {
 #[test]
 fn concat_single_tensor_is_identity() {
     let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
-    let c = Tensor::concat(&[a.clone()], 0);
+    let c = Tensor::concat(std::slice::from_ref(&a), 0);
     assert_eq!(c.to_vec(), a.to_vec());
 }
 

@@ -25,7 +25,12 @@ fn gc_sub_mul_div_chain() {
     let a = t(vec![1.2, -0.7, 0.4, 2.0], &[2, 2]);
     let b = t(vec![0.9, 1.4, -1.1, 0.6], &[2, 2]);
     check_gradients(
-        &|i| i[0].sub(&i[1]).mul(&i[0]).div(&i[1].square().add_scalar(1.0)).sum_all(),
+        &|i| {
+            i[0].sub(&i[1])
+                .mul(&i[0])
+                .div(&i[1].square().add_scalar(1.0))
+                .sum_all()
+        },
         &[a, b],
         EPS,
         TOL,
@@ -36,26 +41,71 @@ fn gc_sub_mul_div_chain() {
 fn gc_maximum_minimum() {
     let a = t(vec![1.0, -2.0, 0.3, 0.9], &[4]);
     let b = t(vec![0.5, 0.5, 0.5, 0.5], &[4]);
-    check_gradients(&|i| i[0].maximum(&i[1]).sum_all(), &[a.clone(), b.clone()], EPS, TOL);
-    check_gradients(&|i| i[0].minimum(&i[1]).square().sum_all(), &[a, b], EPS, TOL);
+    check_gradients(
+        &|i| i[0].maximum(&i[1]).sum_all(),
+        &[a.clone(), b.clone()],
+        EPS,
+        TOL,
+    );
+    check_gradients(
+        &|i| i[0].minimum(&i[1]).square().sum_all(),
+        &[a, b],
+        EPS,
+        TOL,
+    );
 }
 
 #[test]
 fn gc_unary_family() {
     let a = t(vec![0.5, 1.5, 2.5], &[3]);
-    check_gradients(&|i| i[0].exp().sum_all(), &[a.clone()], EPS, TOL);
-    check_gradients(&|i| i[0].ln().sum_all(), &[a.clone()], 1e-3, TOL);
-    check_gradients(&|i| i[0].sqrt().sum_all(), &[a.clone()], 1e-3, TOL);
-    check_gradients(&|i| i[0].powf(3.0).sum_all(), &[a.clone()], EPS, TOL);
-    check_gradients(&|i| i[0].sigmoid().sum_all(), &[a.clone()], EPS, TOL);
-    check_gradients(&|i| i[0].tanh().sum_all(), &[a.clone()], EPS, TOL);
+    check_gradients(
+        &|i| i[0].exp().sum_all(),
+        std::slice::from_ref(&a),
+        EPS,
+        TOL,
+    );
+    check_gradients(
+        &|i| i[0].ln().sum_all(),
+        std::slice::from_ref(&a),
+        1e-3,
+        TOL,
+    );
+    check_gradients(
+        &|i| i[0].sqrt().sum_all(),
+        std::slice::from_ref(&a),
+        1e-3,
+        TOL,
+    );
+    check_gradients(
+        &|i| i[0].powf(3.0).sum_all(),
+        std::slice::from_ref(&a),
+        EPS,
+        TOL,
+    );
+    check_gradients(
+        &|i| i[0].sigmoid().sum_all(),
+        std::slice::from_ref(&a),
+        EPS,
+        TOL,
+    );
+    check_gradients(
+        &|i| i[0].tanh().sum_all(),
+        std::slice::from_ref(&a),
+        EPS,
+        TOL,
+    );
     check_gradients(&|i| i[0].gelu().sum_all(), &[a], EPS, TOL);
 }
 
 #[test]
 fn gc_relu_away_from_kink() {
     let a = t(vec![0.5, -0.9, 1.4, -2.2], &[4]);
-    check_gradients(&|i| i[0].relu().sum_all(), &[a.clone()], 1e-3, TOL);
+    check_gradients(
+        &|i| i[0].relu().sum_all(),
+        std::slice::from_ref(&a),
+        1e-3,
+        TOL,
+    );
     check_gradients(&|i| i[0].leaky_relu(0.1).sum_all(), &[a], 1e-3, TOL);
 }
 
@@ -63,7 +113,12 @@ fn gc_relu_away_from_kink() {
 fn gc_matmul_2d() {
     let a = t(vec![0.4, -0.2, 1.1, 0.9, -0.5, 0.3], &[2, 3]);
     let b = t(vec![0.7, 0.1, -0.3, 0.8, 1.2, -0.6], &[3, 2]);
-    check_gradients(&|i| i[0].matmul(&i[1]).square().sum_all(), &[a, b], EPS, TOL);
+    check_gradients(
+        &|i| i[0].matmul(&i[1]).square().sum_all(),
+        &[a, b],
+        EPS,
+        TOL,
+    );
 }
 
 #[test]
@@ -77,14 +132,29 @@ fn gc_matmul_batched() {
 fn gc_matmul_3d_2d() {
     let a = Tensor::randn(&[2, 2, 3], 13);
     let b = Tensor::randn(&[3, 4], 14);
-    check_gradients(&|i| i[0].matmul(&i[1]).square().sum_all(), &[a, b], EPS, TOL);
+    check_gradients(
+        &|i| i[0].matmul(&i[1]).square().sum_all(),
+        &[a, b],
+        EPS,
+        TOL,
+    );
 }
 
 #[test]
 fn gc_reductions() {
     let a = Tensor::randn(&[2, 3, 2], 15);
-    check_gradients(&|i| i[0].sum_axis(1, false).square().sum_all(), &[a.clone()], EPS, TOL);
-    check_gradients(&|i| i[0].mean_axis(2, true).square().sum_all(), &[a.clone()], EPS, TOL);
+    check_gradients(
+        &|i| i[0].sum_axis(1, false).square().sum_all(),
+        std::slice::from_ref(&a),
+        EPS,
+        TOL,
+    );
+    check_gradients(
+        &|i| i[0].mean_axis(2, true).square().sum_all(),
+        std::slice::from_ref(&a),
+        EPS,
+        TOL,
+    );
     check_gradients(&|i| i[0].var_axis(1, false).sum_all(), &[a], EPS, TOL);
 }
 
@@ -92,7 +162,12 @@ fn gc_reductions() {
 fn gc_max_axis() {
     // Values well separated so finite differences do not cross the argmax.
     let a = t(vec![1.0, 5.0, 2.0, 9.0, 3.0, 7.0], &[2, 3]);
-    check_gradients(&|i| i[0].max_axis(1, false).square().sum_all(), &[a], 1e-3, TOL);
+    check_gradients(
+        &|i| i[0].max_axis(1, false).square().sum_all(),
+        &[a],
+        1e-3,
+        TOL,
+    );
 }
 
 #[test]
@@ -100,8 +175,18 @@ fn gc_softmax_and_log_softmax() {
     let a = t(vec![0.2, -0.9, 1.3, 0.0, 0.5, -0.5], &[2, 3]);
     let w = t(vec![1.0, 2.0, 3.0, -1.0, 0.5, 1.5], &[2, 3]);
     let w2 = w.clone();
-    check_gradients(&move |i| i[0].softmax_last().mul(&w).sum_all(), &[a.clone()], EPS, TOL);
-    check_gradients(&move |i| i[0].log_softmax_last().mul(&w2).sum_all(), &[a], EPS, TOL);
+    check_gradients(
+        &move |i| i[0].softmax_last().mul(&w).sum_all(),
+        std::slice::from_ref(&a),
+        EPS,
+        TOL,
+    );
+    check_gradients(
+        &move |i| i[0].log_softmax_last().mul(&w2).sum_all(),
+        &[a],
+        EPS,
+        TOL,
+    );
 }
 
 #[test]
@@ -114,17 +199,47 @@ fn gc_cross_entropy() {
 fn gc_l2_normalize() {
     let a = t(vec![0.8, -1.2, 0.5, 2.0, 0.3, -0.7], &[2, 3]);
     let w = t(vec![1.0, -2.0, 0.5, 0.7, 1.1, -0.4], &[2, 3]);
-    check_gradients(&move |i| i[0].l2_normalize(1).mul(&w).sum_all(), &[a], 1e-3, TOL);
+    check_gradients(
+        &move |i| i[0].l2_normalize(1).mul(&w).sum_all(),
+        &[a],
+        1e-3,
+        TOL,
+    );
 }
 
 #[test]
 fn gc_shape_ops() {
     let a = Tensor::randn(&[2, 3, 4], 17);
-    check_gradients(&|i| i[0].reshape(&[6, 4]).square().sum_all(), &[a.clone()], EPS, TOL);
-    check_gradients(&|i| i[0].permute(&[2, 0, 1]).square().sum_all(), &[a.clone()], EPS, TOL);
-    check_gradients(&|i| i[0].transpose(0, 2).square().sum_all(), &[a.clone()], EPS, TOL);
-    check_gradients(&|i| i[0].slice_axis(2, 1, 3).square().sum_all(), &[a.clone()], EPS, TOL);
-    check_gradients(&|i| i[0].index_select(1, &[0, 0, 2]).square().sum_all(), &[a], EPS, TOL);
+    check_gradients(
+        &|i| i[0].reshape(&[6, 4]).square().sum_all(),
+        std::slice::from_ref(&a),
+        EPS,
+        TOL,
+    );
+    check_gradients(
+        &|i| i[0].permute(&[2, 0, 1]).square().sum_all(),
+        std::slice::from_ref(&a),
+        EPS,
+        TOL,
+    );
+    check_gradients(
+        &|i| i[0].transpose(0, 2).square().sum_all(),
+        std::slice::from_ref(&a),
+        EPS,
+        TOL,
+    );
+    check_gradients(
+        &|i| i[0].slice_axis(2, 1, 3).square().sum_all(),
+        std::slice::from_ref(&a),
+        EPS,
+        TOL,
+    );
+    check_gradients(
+        &|i| i[0].index_select(1, &[0, 0, 2]).square().sum_all(),
+        &[a],
+        EPS,
+        TOL,
+    );
 }
 
 #[test]
@@ -132,7 +247,11 @@ fn gc_concat() {
     let a = Tensor::randn(&[2, 2], 18);
     let b = Tensor::randn(&[2, 3], 19);
     check_gradients(
-        &|i| Tensor::concat(&[i[0].clone(), i[1].clone()], 1).square().sum_all(),
+        &|i| {
+            Tensor::concat(&[i[0].clone(), i[1].clone()], 1)
+                .square()
+                .sum_all()
+        },
         &[a, b],
         EPS,
         TOL,
@@ -142,7 +261,12 @@ fn gc_concat() {
 #[test]
 fn gc_broadcast_to() {
     let a = Tensor::randn(&[1, 3], 20);
-    check_gradients(&|i| i[0].broadcast_to(&[4, 3]).square().sum_all(), &[a], EPS, TOL);
+    check_gradients(
+        &|i| i[0].broadcast_to(&[4, 3]).square().sum_all(),
+        &[a],
+        EPS,
+        TOL,
+    );
 }
 
 #[test]
@@ -150,7 +274,11 @@ fn gc_conv1d_full() {
     let x = Tensor::randn(&[2, 2, 7], 21);
     let w = Tensor::randn(&[3, 2, 3], 22).mul_scalar(0.5).detach();
     let b = Tensor::randn(&[3], 23).detach();
-    let spec = Conv1dSpec { stride: 2, padding: 1, dilation: 1 };
+    let spec = Conv1dSpec {
+        stride: 2,
+        padding: 1,
+        dilation: 1,
+    };
     check_gradients(
         &|i| i[0].conv1d(&i[1], Some(&i[2]), spec).square().sum_all(),
         &[x, w, b],
@@ -164,7 +292,12 @@ fn gc_conv1d_dilated() {
     let x = Tensor::randn(&[1, 1, 9], 24);
     let w = Tensor::randn(&[2, 1, 3], 25).mul_scalar(0.5).detach();
     let spec = Conv1dSpec::same(3, 2);
-    check_gradients(&|i| i[0].conv1d(&i[1], None, spec).square().sum_all(), &[x, w], EPS, TOL);
+    check_gradients(
+        &|i| i[0].conv1d(&i[1], None, spec).square().sum_all(),
+        &[x, w],
+        EPS,
+        TOL,
+    );
 }
 
 #[test]
@@ -172,10 +305,185 @@ fn gc_conv2d() {
     let x = Tensor::randn(&[1, 2, 5, 5], 26);
     let w = Tensor::randn(&[2, 2, 3, 3], 27).mul_scalar(0.3).detach();
     let b = Tensor::randn(&[2], 28).detach();
-    let spec = Conv2dSpec { stride: 2, padding: 1 };
+    let spec = Conv2dSpec {
+        stride: 2,
+        padding: 1,
+    };
     check_gradients(
         &|i| i[0].conv2d(&i[1], Some(&i[2]), spec).square().sum_all(),
         &[x, w, b],
+        EPS,
+        TOL,
+    );
+}
+
+/// Gradient-check conv1d with the lowering pinned, so a dispatch-heuristic
+/// change can never silently drop one path out of coverage.
+fn gc_conv1d_both_paths(x_shape: &[usize], w_shape: &[usize], spec: Conv1dSpec, seed: u64) {
+    let x = Tensor::randn(x_shape, seed);
+    let w = Tensor::randn(w_shape, seed + 1).mul_scalar(0.5).detach();
+    let b = Tensor::randn(&[w_shape[0]], seed + 2).detach();
+    check_gradients(
+        &|i| {
+            i[0].conv1d_direct(&i[1], Some(&i[2]), spec)
+                .square()
+                .sum_all()
+        },
+        &[x.clone(), w.clone(), b.clone()],
+        EPS,
+        TOL,
+    );
+    check_gradients(
+        &|i| {
+            i[0].conv1d_im2col(&i[1], Some(&i[2]), spec)
+                .square()
+                .sum_all()
+        },
+        &[x, w, b],
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn gc_conv1d_plain_both_paths() {
+    gc_conv1d_both_paths(
+        &[2, 2, 8],
+        &[3, 2, 3],
+        Conv1dSpec {
+            stride: 1,
+            padding: 0,
+            dilation: 1,
+        },
+        40,
+    );
+}
+
+#[test]
+fn gc_conv1d_strided_padded_both_paths() {
+    gc_conv1d_both_paths(
+        &[2, 2, 9],
+        &[2, 2, 3],
+        Conv1dSpec {
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+        },
+        43,
+    );
+}
+
+#[test]
+fn gc_conv1d_dilated_both_paths() {
+    gc_conv1d_both_paths(&[1, 2, 9], &[2, 2, 3], Conv1dSpec::same(3, 2), 46);
+}
+
+#[test]
+fn gc_conv1d_stride_padding_dilation_both_paths() {
+    gc_conv1d_both_paths(
+        &[2, 2, 10],
+        &[2, 2, 3],
+        Conv1dSpec {
+            stride: 2,
+            padding: 2,
+            dilation: 2,
+        },
+        49,
+    );
+}
+
+#[test]
+fn gc_conv1d_kernel_spans_input_both_paths() {
+    gc_conv1d_both_paths(
+        &[1, 2, 5],
+        &[2, 2, 5],
+        Conv1dSpec {
+            stride: 1,
+            padding: 0,
+            dilation: 1,
+        },
+        52,
+    );
+}
+
+fn gc_conv2d_both_paths(x_shape: &[usize], w_shape: &[usize], spec: Conv2dSpec, seed: u64) {
+    let x = Tensor::randn(x_shape, seed);
+    let w = Tensor::randn(w_shape, seed + 1).mul_scalar(0.3).detach();
+    let b = Tensor::randn(&[w_shape[0]], seed + 2).detach();
+    check_gradients(
+        &|i| {
+            i[0].conv2d_direct(&i[1], Some(&i[2]), spec)
+                .square()
+                .sum_all()
+        },
+        &[x.clone(), w.clone(), b.clone()],
+        EPS,
+        TOL,
+    );
+    check_gradients(
+        &|i| {
+            i[0].conv2d_im2col(&i[1], Some(&i[2]), spec)
+                .square()
+                .sum_all()
+        },
+        &[x, w, b],
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn gc_conv2d_plain_both_paths() {
+    gc_conv2d_both_paths(
+        &[1, 2, 5, 5],
+        &[2, 2, 3, 3],
+        Conv2dSpec {
+            stride: 1,
+            padding: 1,
+        },
+        55,
+    );
+}
+
+#[test]
+fn gc_conv2d_strided_both_paths() {
+    gc_conv2d_both_paths(
+        &[2, 1, 6, 6],
+        &[2, 1, 3, 3],
+        Conv2dSpec {
+            stride: 2,
+            padding: 1,
+        },
+        58,
+    );
+}
+
+#[test]
+fn gc_conv2d_kernel_spans_input_both_paths() {
+    gc_conv2d_both_paths(
+        &[1, 2, 4, 4],
+        &[2, 2, 4, 4],
+        Conv2dSpec {
+            stride: 1,
+            padding: 0,
+        },
+        61,
+    );
+}
+
+#[test]
+fn gc_avg_pool() {
+    let x = Tensor::randn(&[2, 3, 6], 64);
+    check_gradients(
+        &|i| i[0].global_avg_pool1d().square().sum_all(),
+        &[x],
+        EPS,
+        TOL,
+    );
+    let x2 = Tensor::randn(&[2, 2, 4, 4], 65);
+    check_gradients(
+        &|i| i[0].global_avg_pool2d().square().sum_all(),
+        &[x2],
         EPS,
         TOL,
     );
@@ -197,7 +505,12 @@ fn gc_composite_mlp_like() {
     let w1 = Tensor::randn(&[4, 5], 31).mul_scalar(0.5).detach();
     let w2 = Tensor::randn(&[5, 3], 32).mul_scalar(0.5).detach();
     check_gradients(
-        &|i| i[0].matmul(&i[1]).gelu().matmul(&i[2]).cross_entropy(&[0, 1, 2]),
+        &|i| {
+            i[0].matmul(&i[1])
+                .gelu()
+                .matmul(&i[2])
+                .cross_entropy(&[0, 1, 2])
+        },
         &[x, w1, w2],
         EPS,
         TOL,

@@ -11,8 +11,7 @@ fn small_shape() -> impl Strategy<Value = Vec<usize>> {
 /// Strategy: a tensor with the given shape and bounded finite values.
 fn tensor_of(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
     let n = shape::numel(&shape);
-    prop::collection::vec(-10f32..10f32, n..=n)
-        .prop_map(move |v| Tensor::from_vec(v, &shape))
+    prop::collection::vec(-10f32..10f32, n..=n).prop_map(move |v| Tensor::from_vec(v, &shape))
 }
 
 fn shaped_tensor() -> impl Strategy<Value = Tensor> {

@@ -38,7 +38,10 @@ fn main() {
     // --- 2. Round-trip through the on-disk UCR TSV format ----------------
     let dir = std::env::temp_dir().join("aimts_custom_dataset");
     fs::create_dir_all(&dir).expect("tmp dir");
-    for (split, name) in [(&ds.train, "MyMachineFaults_TRAIN.tsv"), (&ds.test, "MyMachineFaults_TEST.tsv")] {
+    for (split, name) in [
+        (&ds.train, "MyMachineFaults_TRAIN.tsv"),
+        (&ds.test, "MyMachineFaults_TEST.tsv"),
+    ] {
         let mut body = String::new();
         for s in &split.samples {
             write!(body, "{}", s.label).unwrap();
@@ -51,22 +54,46 @@ fn main() {
     }
     let loaded = load_ucr_tsv(&dir, "MyMachineFaults").expect("load UCR tsv");
     assert_eq!(loaded.train.len(), ds.train.len());
-    println!("re-loaded from UCR TSV format: {} train samples", loaded.train.len());
+    println!(
+        "re-loaded from UCR TSV format: {} train samples",
+        loaded.train.len()
+    );
 
     // --- 3. Compare three very different classifiers ---------------------
     // AimTS without pre-training here (see `quickstart` for pre-training);
     // this shows the fine-tuning API works standalone too.
     let model = AimTs::new(
-        AimTsConfig { hidden: 16, repr_dim: 32, proj_dim: 16, ..AimTsConfig::default() },
+        AimTsConfig {
+            hidden: 16,
+            repr_dim: 32,
+            proj_dim: 16,
+            ..AimTsConfig::default()
+        },
         3407,
     );
-    let tuned = model.fine_tune(&loaded, &FineTuneConfig { epochs: 40, batch_size: 8, ..Default::default() });
-    println!("\nAimTS encoder + MLP head accuracy: {:.3}", tuned.evaluate(&loaded.test));
+    let tuned = model.fine_tune(
+        &loaded,
+        &FineTuneConfig {
+            epochs: 40,
+            batch_size: 8,
+            ..Default::default()
+        },
+    );
+    println!(
+        "\nAimTS encoder + MLP head accuracy: {:.3}",
+        tuned.evaluate(&loaded.test)
+    );
 
     let mut rocket = RocketClassifier::new(500, loaded.series_len(), 1);
     rocket.fit(&loaded);
-    println!("ROCKET (500 kernels + ridge)  accuracy: {:.3}", rocket.evaluate(&loaded.test));
+    println!(
+        "ROCKET (500 kernels + ridge)  accuracy: {:.3}",
+        rocket.evaluate(&loaded.test)
+    );
 
     let nn = OneNn::fit(&loaded, Metric::Dtw { band: 0.1 });
-    println!("1-NN DTW (10% band)           accuracy: {:.3}", nn.evaluate(&loaded.test));
+    println!(
+        "1-NN DTW (10% band)           accuracy: {:.3}",
+        nn.evaluate(&loaded.test)
+    );
 }

@@ -70,10 +70,16 @@ fn main() {
     for aug in [
         Augmentation::Jitter { sigma: 0.35 },
         Augmentation::Slicing { ratio: 0.5 },
-        Augmentation::TimeWarp { knots: 4, sigma: 0.4 },
+        Augmentation::TimeWarp {
+            knots: 4,
+            sigma: 0.4,
+        },
     ] {
         let acc = clf.evaluate(&augment_split(&ds.test, &aug, &mut rng));
-        println!("accuracy on {:<11} augmented test data: {acc:.3}", aug.name());
+        println!(
+            "accuracy on {:<11} augmented test data: {acc:.3}",
+            aug.name()
+        );
     }
 
     // Prototypes restore the semantics (paper Fig. 9c).

@@ -13,21 +13,38 @@ use aimts_repro::aimts_data::special::fewshot_suite;
 use aimts_repro::aimts_data::{few_shot_subset, Dataset};
 
 fn main() {
-    let cfg = AimTsConfig { hidden: 16, repr_dim: 32, proj_dim: 16, ..AimTsConfig::default() };
+    let cfg = AimTsConfig {
+        hidden: 16,
+        repr_dim: 32,
+        proj_dim: 16,
+        ..AimTsConfig::default()
+    };
 
     // Pre-trained model vs an identically-initialized random model.
     let pool = monash_like_pool(8, 0);
     let mut pretrained = AimTs::new(cfg.clone(), 3407);
     pretrained.pretrain(
         &pool,
-        &PretrainConfig { epochs: 3, batch_size: 8, lr: 1e-3, ..PretrainConfig::default() },
+        &PretrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            lr: 1e-3,
+            ..PretrainConfig::default()
+        },
     );
     let scratch = AimTs::new(cfg, 3407);
 
     let suite = fewshot_suite(7);
-    let fcfg = FineTuneConfig { epochs: 40, batch_size: 8, ..FineTuneConfig::default() };
+    let fcfg = FineTuneConfig {
+        epochs: 40,
+        batch_size: 8,
+        ..FineTuneConfig::default()
+    };
 
-    println!("{:<26} {:>7} {:>12} {:>12}", "dataset", "ratio", "pre-trained", "from-scratch");
+    println!(
+        "{:<26} {:>7} {:>12} {:>12}",
+        "dataset", "ratio", "pre-trained", "from-scratch"
+    );
     for ratio in [0.05f32, 0.15, 0.20] {
         let mut sum_p = 0.0;
         let mut sum_s = 0.0;

@@ -7,9 +7,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use aimts_repro::prelude::*;
 use aimts_repro::aimts::{AimTsConfig, FineTuneConfig, PretrainConfig};
 use aimts_repro::aimts_data::archives::{monash_like_pool, ucr_like_archive};
+use aimts_repro::prelude::*;
 
 fn main() {
     // 1. A multi-source, unlabeled pre-training pool (Monash-archive
@@ -20,9 +20,19 @@ fn main() {
 
     // 2. Pre-train the AimTS model (TS encoder + image encoder) with the
     //    paper's two losses: prototype-based and series-image contrastive.
-    let cfg = AimTsConfig { hidden: 16, repr_dim: 32, proj_dim: 16, ..AimTsConfig::default() };
+    let cfg = AimTsConfig {
+        hidden: 16,
+        repr_dim: 32,
+        proj_dim: 16,
+        ..AimTsConfig::default()
+    };
     let mut model = AimTs::new(cfg, 3407);
-    let pcfg = PretrainConfig { epochs: 2, batch_size: 8, lr: 1e-3, ..PretrainConfig::default() };
+    let pcfg = PretrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        lr: 1e-3,
+        ..PretrainConfig::default()
+    };
     let report = model.pretrain(&pool, &pcfg);
     println!(
         "pre-trained: {} steps, loss {:.3} -> {:.3} (proto {:.3}, series-image {:.3})",
@@ -37,7 +47,12 @@ fn main() {
     let ckpt = std::env::temp_dir().join("aimts_quickstart.json");
     model.save(&ckpt).expect("save checkpoint");
     let mut reloaded = AimTs::new(
-        AimTsConfig { hidden: 16, repr_dim: 32, proj_dim: 16, ..AimTsConfig::default() },
+        AimTsConfig {
+            hidden: 16,
+            repr_dim: 32,
+            proj_dim: 16,
+            ..AimTsConfig::default()
+        },
         0,
     );
     reloaded.load(&ckpt).expect("load checkpoint");
@@ -53,7 +68,11 @@ fn main() {
         ds.test.len(),
         ds.n_classes
     );
-    let fcfg = FineTuneConfig { epochs: 30, batch_size: 8, ..FineTuneConfig::default() };
+    let fcfg = FineTuneConfig {
+        epochs: 30,
+        batch_size: 8,
+        ..FineTuneConfig::default()
+    };
     let tuned = reloaded.fine_tune(ds, &fcfg);
     let acc = tuned.evaluate(&ds.test);
     println!("test accuracy after fine-tuning: {acc:.3}");
@@ -61,5 +80,9 @@ fn main() {
     // 5. Individual predictions.
     let preds = tuned.predict(&ds.test);
     let truth = ds.test.labels();
-    println!("first five predictions vs labels: {:?} vs {:?}", &preds[..5], &truth[..5]);
+    println!(
+        "first five predictions vs labels: {:?} vs {:?}",
+        &preds[..5],
+        &truth[..5]
+    );
 }

@@ -9,8 +9,8 @@
 //! ```
 
 use aimts_repro::aimts::{AimTs, AimTsConfig};
-use aimts_repro::aimts_imaging::{grid_layout, render_sample, ImageConfig};
 use aimts_repro::aimts_data::archives::uea_like_archive;
+use aimts_repro::aimts_imaging::{grid_layout, render_sample, ImageConfig};
 use aimts_repro::aimts_nn::Module;
 use aimts_repro::aimts_tensor::{no_grad, Tensor};
 use std::fs;
@@ -31,7 +31,10 @@ fn main() {
     println!("grid layout: {rows} x {cols} sub-charts");
 
     // Render without standardization so the PPM is human-viewable.
-    let cfg = ImageConfig { standardize: false, ..ImageConfig::default() };
+    let cfg = ImageConfig {
+        standardize: false,
+        ..ImageConfig::default()
+    };
     let img = render_sample(&sample.vars, &cfg);
     let path = std::env::temp_dir().join("aimts_sample.ppm");
     let mut f = fs::File::create(&path).expect("create ppm");
@@ -44,17 +47,24 @@ fn main() {
         }
     }
     f.write_all(&bytes).unwrap();
-    println!("wrote {} ({}x{} RGB)", path.display(), img.width, img.height);
+    println!(
+        "wrote {} ({}x{} RGB)",
+        path.display(),
+        img.width,
+        img.height
+    );
 
     // Embed both modalities with a fresh AimTS model and compare: after
     // pre-training these are pulled together by the series-image loss.
     let model = AimTs::new(AimTsConfig::tiny(), 3407);
     let std_img = render_sample(&sample.vars, &model.cfg.image);
     no_grad(|| {
-        let u = model.img_proj.forward(&model.image_encoder.encode(&Tensor::from_vec(
-            std_img.data.clone(),
-            &[1, 3, std_img.height, std_img.width],
-        )));
+        let u = model
+            .img_proj
+            .forward(&model.image_encoder.encode(&Tensor::from_vec(
+                std_img.data.clone(),
+                &[1, 3, std_img.height, std_img.width],
+            )));
         let v = model.ts_proj.forward(&model.encode(&[&sample.vars]));
         let (u, v) = (u.l2_normalize(1), v.l2_normalize(1));
         let cos: f32 = u.to_vec().iter().zip(v.to_vec()).map(|(a, b)| a * b).sum();

@@ -32,9 +32,19 @@ fn every_contrastive_method_full_cycle() {
         let mut b = ContrastiveBaseline::new(method, BaselineConfig::tiny(), 2);
         let loss = b.pretrain(&pool, 2, 8, 5e-3, 2);
         assert!(loss.is_finite(), "{} pretrain diverged", method.name());
-        let tuned = b.fine_tune(&ds, &FineTuneConfig { epochs: 10, ..Default::default() });
+        let tuned = b.fine_tune(
+            &ds,
+            &FineTuneConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
         let acc = tuned.evaluate(&ds.test);
-        assert!(acc > 0.5, "{} should beat chance on easy data, got {acc}", method.name());
+        assert!(
+            acc > 0.5,
+            "{} should beat chance on easy data, got {acc}",
+            method.name()
+        );
     }
 }
 
@@ -44,7 +54,10 @@ fn rocket_beats_chance_and_is_deterministic() {
     let mut a = RocketClassifier::new(150, ds.series_len(), 9);
     a.fit(&ds);
     let acc_a = a.evaluate(&ds.test);
-    assert!(acc_a > 0.8, "rocket on easy sine-frequency data, got {acc_a}");
+    assert!(
+        acc_a > 0.8,
+        "rocket on easy sine-frequency data, got {acc_a}"
+    );
     let mut b = RocketClassifier::new(150, ds.series_len(), 9);
     b.fit(&ds);
     assert_eq!(a.predict(&ds.test), b.predict(&ds.test));
@@ -75,7 +88,13 @@ fn moment_like_full_cycle() {
     assert!(mse.is_finite() && mse >= 0.0);
     let ds = easy(6);
     let acc = m
-        .fine_tune(&ds, &FineTuneConfig { epochs: 10, ..Default::default() })
+        .fine_tune(
+            &ds,
+            &FineTuneConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        )
         .evaluate(&ds.test);
     assert!(acc > 0.5, "moment-like fine-tune got {acc}");
 }
@@ -89,7 +108,13 @@ fn units_like_full_cycle() {
     assert!(ce.is_finite());
     let ds = easy(7);
     let acc = u
-        .fine_tune(&ds, &FineTuneConfig { epochs: 10, ..Default::default() })
+        .fine_tune(
+            &ds,
+            &FineTuneConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        )
         .evaluate(&ds.test);
     assert!(acc > 0.5, "units-like fine-tune got {acc}");
 }

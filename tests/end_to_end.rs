@@ -12,7 +12,12 @@ fn tiny_pool(n: usize) -> Vec<MultiSeries> {
 }
 
 fn tiny_pcfg() -> PretrainConfig {
-    PretrainConfig { epochs: 1, batch_size: 4, lr: 1e-3, ..PretrainConfig::default() }
+    PretrainConfig {
+        epochs: 1,
+        batch_size: 4,
+        lr: 1e-3,
+        ..PretrainConfig::default()
+    }
 }
 
 #[test]
@@ -32,10 +37,17 @@ fn full_pipeline_pretrain_save_load_finetune_predict() {
     // Fine-tune the restored model; the pipeline must be identical to
     // fine-tuning the original (same seeds everywhere).
     let ds = &ucr_like_archive(1, 7)[0];
-    let fcfg = FineTuneConfig { epochs: 3, batch_size: 8, ..FineTuneConfig::default() };
+    let fcfg = FineTuneConfig {
+        epochs: 3,
+        batch_size: 8,
+        ..FineTuneConfig::default()
+    };
     let acc_restored = restored.fine_tune(ds, &fcfg).evaluate(&ds.test);
     let acc_original = model.fine_tune(ds, &fcfg).evaluate(&ds.test);
-    assert_eq!(acc_restored, acc_original, "restored model must behave identically");
+    assert_eq!(
+        acc_restored, acc_original,
+        "restored model must behave identically"
+    );
 
     // Predictions are valid class indices for every test sample.
     let tuned = restored.fine_tune(ds, &fcfg);
@@ -77,12 +89,21 @@ fn all_ablation_variants_train_and_finetune() {
         Ablation::si_only(),
         Ablation::default(),
     ] {
-        let cfg = AimTsConfig { ablation, ..AimTsConfig::tiny() };
+        let cfg = AimTsConfig {
+            ablation,
+            ..AimTsConfig::tiny()
+        };
         let mut model = AimTs::new(cfg, 5);
         let report = model.pretrain(&pool, &tiny_pcfg());
         assert!(report.final_loss.is_finite(), "{ablation:?} diverged");
         let acc = model
-            .fine_tune(ds, &FineTuneConfig { epochs: 2, ..FineTuneConfig::default() })
+            .fine_tune(
+                ds,
+                &FineTuneConfig {
+                    epochs: 2,
+                    ..FineTuneConfig::default()
+                },
+            )
             .evaluate(&ds.test);
         assert!((0.0..=1.0).contains(&acc));
     }
@@ -94,8 +115,13 @@ fn multivariate_downstream_works_end_to_end() {
     model.pretrain(&tiny_pool(8), &tiny_pcfg());
     let ds = &uea_like_archive(1, 5)[0];
     assert!(ds.n_vars() >= 2);
-    let tuned =
-        model.fine_tune(ds, &FineTuneConfig { epochs: 3, ..FineTuneConfig::default() });
+    let tuned = model.fine_tune(
+        ds,
+        &FineTuneConfig {
+            epochs: 3,
+            ..FineTuneConfig::default()
+        },
+    );
     let acc = tuned.evaluate(&ds.test);
     assert!((0.0..=1.0).contains(&acc));
 }

@@ -1,0 +1,204 @@
+//! Offline stand-in for the subset of `criterion` used by this workspace.
+//!
+//! Implements a small but honest wall-clock harness: each benchmark is
+//! warmed up, an iteration count targeting a fixed sample duration is
+//! chosen, several samples are taken, and the fastest sample's
+//! nanoseconds-per-iteration is reported (minimum over samples is the
+//! standard low-noise estimator for micro-benchmarks). Output is one line
+//! per benchmark:
+//!
+//! ```text
+//! bench-name              time: 12345 ns/iter  (5 samples x 1000 iters)
+//! ```
+//!
+//! Supported API: `Criterion::{bench_function, benchmark_group}`,
+//! `Bencher::iter`, `black_box`, `criterion_group!`, `criterion_main!`.
+//! Command-line: flags are ignored; the first free argument is a substring
+//! filter on benchmark names, matching `cargo bench -- <filter>` usage.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(30);
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+const SAMPLES: u32 = 5;
+
+/// Benchmark driver and registry of CLI options.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    /// Run each benchmark body exactly once (set by `--test`, which cargo
+    /// passes when benchmarks are executed under `cargo test --benches`).
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Build from `std::env::args`, mirroring how criterion binaries are
+    /// invoked by `cargo bench` / `cargo test`.
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                c.test_mode = true;
+            } else if !arg.starts_with('-') {
+                c.filter = Some(arg);
+            }
+        }
+        c
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    fn run_one<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("{name}: ok (test mode)");
+            return;
+        }
+        // Warm up and estimate per-iteration cost.
+        let mut iters: u64 = 1;
+        let mut per_iter;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter = b.elapsed.as_secs_f64() / iters as f64;
+            if b.elapsed >= WARMUP || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        // Measure: fixed iteration count per sample, keep the fastest.
+        let sample_iters =
+            ((SAMPLE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let mut best = f64::INFINITY;
+        for _ in 0..SAMPLES {
+            let mut b = Bencher {
+                iters: sample_iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            best = best.min(b.elapsed.as_secs_f64() / sample_iters as f64);
+        }
+        let ns = best * 1e9;
+        println!("{name:<44} time: {ns:>12.1} ns/iter  ({SAMPLES} samples x {sample_iters} iters)");
+    }
+}
+
+/// Named group of related benchmarks; names are prefixed `group/bench`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `inner`, running it the harness-chosen number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut inner: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(inner());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            calls += 1;
+        });
+        assert!(
+            calls >= 2,
+            "warmup + samples should invoke the closure repeatedly"
+        );
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("xyz".into()),
+            test_mode: false,
+        };
+        let mut ran = false;
+        c.bench_function("abc", |b| {
+            ran = true;
+            b.iter(|| 1);
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline stand-in for the subset of `proptest` used by this workspace.
+//!
+//! Implements random-input property testing without shrinking: each
+//! `proptest!` test runs `ProptestConfig::cases` iterations with inputs
+//! drawn from [`Strategy`] values seeded deterministically from the test
+//! name and case index, so failures are reproducible run-to-run. The
+//! failing case's seed is printed via the panic message of the violated
+//! `prop_assert!`.
+//!
+//! Supported strategy surface: numeric ranges (`lo..hi`, `lo..=hi`),
+//! `prop::collection::vec`, `prop::sample::select`, `prop_map`, and
+//! `prop_flat_map`.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+/// Runner configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic generator used by strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seeded(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub fn uniform_usize(&mut self, lo: usize, hi_inclusive: usize) -> usize {
+        debug_assert!(lo <= hi_inclusive);
+        let span = (hi_inclusive - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+}
+
+/// FNV-1a hash of the test name; combined with the case index to seed
+/// each case's [`TestRng`].
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Defines property tests. Mirrors the `proptest!` surface this workspace
+/// uses: an optional `#![proptest_config(..)]` header followed by
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases as u64 {
+                    let __seed = $crate::seed_for(stringify!($name), __case);
+                    let mut __rng = $crate::TestRng::seeded(__seed);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Assert a property; panics (failing the test) when violated.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality of two expressions.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled() -> impl Strategy<Value = (u64, u64)> {
+        (0u64..1000).prop_map(|x| (x, 2 * x))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in -5i64..5, y in 0.25f32..0.75, n in 1usize..=4) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+            prop_assert!((1..=4).contains(&n));
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(-1f64..1.0, 3..10)) {
+            prop_assert!((3..10).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn select_picks_members(x in prop::sample::select(vec![2u8, 3, 5, 7])) {
+            prop_assert!([2u8, 3, 5, 7].contains(&x));
+        }
+
+        #[test]
+        fn map_and_flat_map_compose(pair in doubled(), v in (2usize..5).prop_flat_map(|n| prop::collection::vec(0u64..10, n..=n))) {
+            prop_assert_eq!(pair.1, 2 * pair.0);
+            prop_assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_header_accepted(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_seeding() {
+        assert_eq!(crate::seed_for("a", 1), crate::seed_for("a", 1));
+        assert_ne!(crate::seed_for("a", 1), crate::seed_for("b", 1));
+        assert_ne!(crate::seed_for("a", 1), crate::seed_for("a", 2));
+    }
+}

@@ -1,0 +1,23 @@
+//! `prop::sample::select` — uniform choice from a fixed list.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.uniform_usize(0, self.items.len() - 1);
+        self.items[i].clone()
+    }
+}
+
+/// Strategy choosing uniformly among `items`.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select requires at least one item");
+    Select { items }
+}

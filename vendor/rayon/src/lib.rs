@@ -1,0 +1,127 @@
+//! Offline stand-in for the subset of `rayon` used by this workspace.
+//!
+//! Provides `par_chunks_mut(..).for_each(..)` and
+//! `par_chunks_mut(..).enumerate().for_each(..)` over mutable slices —
+//! exactly the shapes the tensor kernels use. Chunks are distributed over
+//! scoped OS threads when the machine has more than one logical CPU and
+//! the workload is large enough to amortize thread spawns; otherwise the
+//! loop runs inline. Disjointness of the chunks is guaranteed by
+//! `slice::chunks_mut`, so no unsafe code is needed.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// Entry point mirroring `rayon::prelude::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            parts: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Pending parallel iteration over disjoint mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    parts: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { parts: self.parts }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        run(self.parts, |_, part| f(part));
+    }
+}
+
+/// Enumerated variant carrying the global chunk index.
+pub struct ParChunksMutEnumerate<'a, T> {
+    parts: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        run(self.parts, |i, part| f((i, part)));
+    }
+}
+
+/// Spawning threads only pays off when each worker gets a meaningful
+/// amount of data; below this many total elements the loop runs inline.
+const PARALLEL_MIN_ELEMS: usize = 16 * 1024;
+
+fn run<T: Send, F>(mut parts: Vec<&mut [T]>, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let threads = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let workers = threads.min(parts.len());
+    if workers <= 1 || total < PARALLEL_MIN_ELEMS {
+        for (i, part) in parts.iter_mut().enumerate() {
+            f(i, part);
+        }
+        return;
+    }
+    // Hand each worker a contiguous run of chunks; ownership of the
+    // disjoint `&mut [T]` parts moves into the worker, so this is safe.
+    let per = parts.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut start = 0;
+        while !parts.is_empty() {
+            let rest = parts.split_off(per.min(parts.len()));
+            let own = std::mem::replace(&mut parts, rest);
+            let base = start;
+            start += own.len();
+            scope.spawn(move || {
+                for (off, part) in own.into_iter().enumerate() {
+                    f(base + off, part);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn covers_every_chunk_exactly_once() {
+        let mut v = vec![0u32; 100_000];
+        v.par_chunks_mut(317).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x += 1 + i as u32;
+            }
+        });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, 1 + (j / 317) as u32);
+        }
+    }
+
+    #[test]
+    fn small_input_runs_inline() {
+        let mut v = [1i64; 10];
+        v.par_chunks_mut(3).for_each(|chunk| {
+            for x in chunk.iter_mut() {
+                *x *= 2;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2));
+    }
+}

@@ -1,0 +1,170 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Supports exactly the shape this workspace derives on: non-generic
+//! structs with named fields. The expansion goes through `serde::Value`,
+//! so no type information is needed — field types are inferred at the use
+//! site (`serde::field` for deserialization, `Serialize::to_value` for
+//! serialization). Anything else (enums, tuple structs, generics) is a
+//! compile error with a pointed message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extract the struct name and its named fields from the derive input.
+fn parse_struct(input: TokenStream, trait_name: &str) -> Result<StructShape, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`, including expanded doc comments) and
+    // visibility (`pub`, `pub(crate)`, ...).
+    let mut name = None;
+    while let Some(tok) = tokens.next() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err(format!("derive({trait_name}): expected struct name")),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err(format!(
+                    "derive({trait_name}) shim supports only structs with named fields"
+                ));
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or_else(|| format!("derive({trait_name}): no struct found"))?;
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "derive({trait_name}) shim does not support generic structs"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "derive({trait_name}) shim supports only structs with named fields"
+                ));
+            }
+            Some(_) => {}
+            None => return Err(format!("derive({trait_name}): struct `{name}` has no body")),
+        }
+    };
+
+    // Split the body on top-level commas (tracking `<...>` depth so types
+    // like `BTreeMap<String, T>` do not split a field) and take the ident
+    // preceding the first top-level `:` of each piece.
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut pieces: Vec<Vec<TokenTree>> = Vec::new();
+    for tok in body {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                pieces.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        pieces.push(current);
+    }
+    for piece in pieces {
+        let mut it = piece.into_iter().peekable();
+        let mut field = None;
+        while let Some(tok) = it.next() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    it.next();
+                }
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                TokenTree::Ident(id) => {
+                    field = Some(id.to_string());
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if let Some(f) = field {
+            fields.push(f);
+        }
+    }
+    Ok(StructShape { name, fields })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input, "Serialize") {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let pushes: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!("fields.push(({f:?}.to_string(), serde::Serialize::to_value(&self.{f})));\n")
+        })
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n\
+         let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+         {pushes}\
+         serde::Value::Object(fields)\n\
+         }}\n}}\n",
+        name = shape.name,
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input, "Deserialize") {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let inits: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("{f}: serde::field(v, {f:?})?,\n"))
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+         Ok({name} {{\n{inits}}})\n\
+         }}\n}}\n",
+        name = shape.name,
+    )
+    .parse()
+    .unwrap()
+}
