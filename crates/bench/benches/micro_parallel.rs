@@ -1,0 +1,94 @@
+//! Data-parallel pre-training throughput: the same fixed workload at 1, 2,
+//! 4, and 8 workers, reporting optimizer-steps-per-second and speedup over
+//! the serial path. The target for the replica-per-worker scheme is >= 2x
+//! throughput at 4 workers on a 4+-core machine.
+
+use aimts::{AimTs, PretrainConfig};
+use aimts_bench::harness::{banner, record_results, time_it, Scale};
+use aimts_bench::runners::bench_aimts_config;
+use aimts_data::archives::monash_like_pool;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    workers: usize,
+    secs: f64,
+    microbatches_per_sec: f64,
+    speedup_vs_serial: f64,
+    final_loss: f32,
+}
+
+#[derive(Serialize)]
+struct Payload {
+    points: Vec<Point>,
+    note: String,
+}
+
+fn main() {
+    banner(
+        "micro_parallel",
+        "data-parallel pre-training",
+        "pretrain throughput vs worker count (replica-per-worker, gradient all-reduce)",
+    );
+    let scale = Scale::from_env();
+    let per_source = match scale {
+        Scale::Quick => 8,
+        Scale::Full => 24,
+    };
+    let epochs = match scale {
+        Scale::Quick => 2,
+        Scale::Full => 4,
+    };
+    let pool = monash_like_pool(per_source, 0);
+    println!(
+        "pool: {} samples, {epochs} epoch(s), batch 4, cores available: {}\n",
+        pool.len(),
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let mut points = Vec::new();
+    let mut serial_secs = f64::NAN;
+    for workers in [1usize, 2, 4, 8] {
+        let mut model = AimTs::new(bench_aimts_config(), 3407);
+        let pcfg = PretrainConfig {
+            epochs,
+            batch_size: 4,
+            workers,
+            ..Default::default()
+        };
+        let (report, secs) = time_it(|| model.pretrain(&pool, &pcfg));
+        if workers == 1 {
+            serial_secs = secs;
+        }
+        // Micro-batches processed, not optimizer steps: the parallel path
+        // takes one step per round of `workers` micro-batches, so steps/sec
+        // alone would understate the work done.
+        let micro = report.steps * report.workers;
+        let point = Point {
+            workers: report.workers,
+            secs,
+            microbatches_per_sec: micro as f64 / secs,
+            speedup_vs_serial: serial_secs / secs,
+            final_loss: report.final_loss,
+        };
+        println!(
+            "workers={:<2} {:6.2}s  {:6.2} micro-batches/s  speedup {:4.2}x  final loss {:.4}",
+            point.workers,
+            point.secs,
+            point.microbatches_per_sec,
+            point.speedup_vs_serial,
+            point.final_loss
+        );
+        points.push(point);
+    }
+
+    record_results(
+        "micro_parallel",
+        &Payload {
+            points,
+            note: "speedup is wall-clock serial/parallel on the same pool; \
+                   worker counts above the core count cannot help"
+                .into(),
+        },
+    );
+}

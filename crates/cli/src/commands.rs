@@ -21,8 +21,11 @@ USAGE:
   aimts-cli generate --archive <ucr|uea> [--n 4] [--seed 42] --out <dir>
       Generate a synthetic archive and write univariate datasets as UCR TSVs.
   aimts-cli pretrain [--pool-per-source 8] [--epochs 2] [--lr 0.001]
-                     [--hidden 16] [--repr 32] [--seed 3407] --out <ckpt.json>
+                     [--hidden 16] [--repr 32] [--seed 3407] [--workers 0]
+                     --out <ckpt.json>
       Multi-source pre-train AimTS on a Monash-like pool, save a checkpoint.
+      --workers 0 (default) resolves the data-parallel thread count from the
+      AIMTS_THREADS environment variable, then available cores; 1 is serial.
   aimts-cli finetune --ckpt <ckpt.json> --data-dir <dir> --name <Dataset>
                      [--epochs 40] [--hidden 16] [--repr 32]
       Fine-tune a checkpoint on a UCR-TSV dataset; prints accuracy + confusion.
@@ -112,6 +115,7 @@ pub fn pretrain(args: &Args) -> Result<(), String> {
     let epochs = args.parse_or("epochs", 2usize)?;
     let lr = args.parse_or("lr", 1e-3f32)?;
     let seed = args.parse_or("seed", 3407u64)?;
+    let workers = args.parse_or("workers", 0usize)?;
     let out = PathBuf::from(args.required("out")?);
     let cfg = model_config(args)?;
 
@@ -129,12 +133,17 @@ pub fn pretrain(args: &Args) -> Result<(), String> {
             batch_size: 8,
             lr,
             seed,
+            workers,
             ..PretrainConfig::default()
         },
     );
     println!(
-        "done: {} steps, loss per epoch {:?} (proto {:.3}, series-image {:.3})",
-        report.steps, report.epoch_losses, report.final_proto_loss, report.final_si_loss
+        "done: {} steps on {} worker(s), loss per epoch {:?} (proto {:.3}, series-image {:.3})",
+        report.steps,
+        report.workers,
+        report.epoch_losses,
+        report.final_proto_loss,
+        report.final_si_loss
     );
     model.save(&out).map_err(|e| e.to_string())?;
     println!("checkpoint saved to {}", out.display());
@@ -302,6 +311,7 @@ mod tests {
             ("epochs", "1"),
             ("hidden", "8"),
             ("repr", "16"),
+            ("workers", "2"),
             ("out", ckpt.to_str().unwrap()),
         ]))
         .unwrap();

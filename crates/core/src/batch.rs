@@ -43,14 +43,28 @@ pub fn encode_samples(encoder: &TsEncoder, samples: &[&MultiSeries]) -> Tensor {
 /// Deterministic batch index iterator: shuffled epochs of `n` indices in
 /// chunks of `batch_size` (last partial batch kept if `>= 2`, since the
 /// contrastive losses need at least two samples).
+///
+/// Contract: `batch_size == 0` is a programming error and panics;
+/// `batch_size == 1` cannot satisfy the contrastive losses, so it is
+/// clamped to 2 with a warning on stderr rather than silently.
 pub fn batch_indices(n: usize, batch_size: usize, rng: &mut rand::rngs::StdRng) -> Vec<Vec<usize>> {
     use rand::Rng;
+    assert!(batch_size > 0, "batch_indices: batch_size must be >= 1");
+    let effective = if batch_size < 2 {
+        eprintln!(
+            "warning: batch_size {batch_size} clamped to 2 \
+             (contrastive losses need at least two samples per batch)"
+        );
+        2
+    } else {
+        batch_size
+    };
     let mut idx: Vec<usize> = (0..n).collect();
     for i in (1..n).rev() {
         let j = rng.gen_range(0..=i);
         idx.swap(i, j);
     }
-    idx.chunks(batch_size.max(2))
+    idx.chunks(effective)
         .filter(|c| c.len() >= 2)
         .map(|c| c.to_vec())
         .collect()
@@ -101,6 +115,21 @@ mod tests {
         all.sort_unstable();
         assert_eq!(all, (0..23).collect::<Vec<_>>());
         assert!(batches.iter().all(|b| b.len() >= 2));
+    }
+
+    #[test]
+    fn batch_indices_clamps_one_to_pairs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let batches = batch_indices(10, 1, &mut rng);
+        assert_eq!(batches.len(), 5);
+        assert!(batches.iter().all(|b| b.len() == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be >= 1")]
+    fn batch_indices_rejects_zero_batch_size() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let _ = batch_indices(4, 0, &mut rng);
     }
 
     #[test]

@@ -156,6 +156,10 @@ pub struct PretrainConfig {
     pub lr_step: usize,
     pub lr_gamma: f32,
     pub seed: u64,
+    /// Data-parallel worker threads. `0` (the default) resolves from the
+    /// `AIMTS_THREADS` environment variable, falling back to the machine's
+    /// available parallelism; `1` forces the serial training path.
+    pub workers: usize,
 }
 
 impl Default for PretrainConfig {
@@ -167,6 +171,7 @@ impl Default for PretrainConfig {
             lr_step: 1,
             lr_gamma: 0.5,
             seed: 3407,
+            workers: 0,
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The two encoders: a dilated-convolution TS encoder (`F^TS`) and a small
 //! CNN image encoder (`F^I`).
 
-use aimts_nn::{kaiming_conv1d, Conv2d, Linear, Module};
+use aimts_nn::{kaiming_conv1d, Conv2d, Linear, Module, Replicate};
 use aimts_tensor::ops::{Conv1dSpec, Conv2dSpec};
 use aimts_tensor::Tensor;
 
@@ -37,6 +37,16 @@ impl DilatedBlock {
         out.push((format!("{prefix}.b1"), self.b1.clone()));
         out.push((format!("{prefix}.w2"), self.w2.clone()));
         out.push((format!("{prefix}.b2"), self.b2.clone()));
+    }
+
+    fn replicate(&self) -> Self {
+        DilatedBlock {
+            w1: self.w1.requires_grad(),
+            w2: self.w2.requires_grad(),
+            b1: self.b1.requires_grad(),
+            b2: self.b2.requires_grad(),
+            dilation: self.dilation,
+        }
     }
 }
 
@@ -142,6 +152,20 @@ impl Module for TsEncoder {
     }
 }
 
+impl Replicate for TsEncoder {
+    fn replicate(&self) -> Self {
+        TsEncoder {
+            input_w: self.input_w.requires_grad(),
+            input_b: self.input_b.requires_grad(),
+            blocks: self.blocks.iter().map(DilatedBlock::replicate).collect(),
+            output_w: self.output_w.requires_grad(),
+            output_b: self.output_b.requires_grad(),
+            pool_mix: self.pool_mix.replicate(),
+            repr_dim: self.repr_dim,
+        }
+    }
+}
+
 /// Copy all parameter values from `src` into `dst` (same architecture).
 /// Used to hand pre-trained weights to per-task fine-tuning copies.
 pub fn copy_parameters(src: &dyn Module, dst: &dyn Module) {
@@ -212,6 +236,15 @@ impl Module for ImageEncoder {
     }
 }
 
+impl Replicate for ImageEncoder {
+    fn replicate(&self) -> Self {
+        ImageEncoder {
+            convs: self.convs.iter().map(Replicate::replicate).collect(),
+            head: self.head.replicate(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +304,23 @@ mod tests {
         for p in enc.parameters() {
             assert!(p.grad().is_some());
         }
+    }
+
+    #[test]
+    fn replicas_match_then_diverge_independently() {
+        let enc = TsEncoder::new(8, 16, &[1, 2], 3);
+        let rep = enc.replicate();
+        let x = Tensor::randn(&[2, 1, 32], 4);
+        assert_eq!(enc.encode_rows(&x).to_vec(), rep.encode_rows(&x).to_vec());
+        rep.parameters()[0].update_data(|d| d.iter_mut().for_each(|v| *v += 1.0));
+        assert_ne!(enc.parameters()[0].to_vec(), rep.parameters()[0].to_vec());
+
+        let img = ImageEncoder::new(8, 5);
+        let irep = img.replicate();
+        let xi = Tensor::randn(&[1, 3, 16, 16], 6);
+        assert_eq!(img.encode(&xi).to_vec(), irep.encode(&xi).to_vec());
+        irep.parameters()[0].update_data(|d| d.iter_mut().for_each(|v| *v += 1.0));
+        assert_ne!(img.parameters()[0].to_vec(), irep.parameters()[0].to_vec());
     }
 
     #[test]

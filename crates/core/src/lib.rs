@@ -47,9 +47,11 @@ pub mod finetune;
 pub mod losses;
 pub mod mixup;
 pub mod model;
+pub mod parallel;
 
 pub use augselect::{score_augmentations, select_bank, AugmentationScore};
 pub use config::{AimTsConfig, FineTuneConfig, PretrainConfig};
 pub use encoder::{copy_parameters, ImageEncoder, TsEncoder};
 pub use finetune::FineTuned;
-pub use model::{AimTs, PretrainReport};
+pub use model::{AimTs, MicroGrad, PretrainReport};
+pub use parallel::{all_reduce_mean, parallel_map, worker_count, THREADS_ENV};

@@ -9,7 +9,7 @@ use aimts_data::{Dataset, MultiSeries};
 use aimts_eval::Summary;
 use aimts_imaging::render_sample;
 use aimts_nn::{
-    load_state_dict, save_state_dict, Activation, Adam, Mlp, Module, Optimizer, StepLr,
+    load_state_dict, save_state_dict, Activation, Adam, Mlp, Module, Optimizer, Replicate, StepLr,
 };
 use aimts_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -21,6 +21,7 @@ use crate::encoder::{ImageEncoder, TsEncoder};
 use crate::finetune::FineTuned;
 use crate::losses;
 use crate::mixup::{geodesic_mixup, sample_lambdas};
+use crate::parallel;
 
 /// Summary of a pre-training run.
 #[derive(Debug, Clone)]
@@ -35,6 +36,22 @@ pub struct PretrainReport {
     pub final_proto_loss: f32,
     /// Mean `L_SI` of the final epoch (0 when ablated away).
     pub final_si_loss: f32,
+    /// Data-parallel workers actually used (1 = serial path).
+    pub workers: usize,
+}
+
+/// Flat gradient of one micro-batch plus its loss values, produced by
+/// [`AimTs::microbatch_gradient`] on a worker replica.
+#[derive(Debug, Clone)]
+pub struct MicroGrad {
+    /// Gradient over all parameters in `named_parameters()` order.
+    pub gradient: Vec<f32>,
+    /// Total loss value of the micro-batch.
+    pub loss: f32,
+    /// `L_proto` value (0 when ablated away).
+    pub proto_loss: f32,
+    /// `L_SI` value (0 when ablated away).
+    pub si_loss: f32,
 }
 
 /// The AimTS model (paper Fig. 3).
@@ -112,14 +129,38 @@ impl AimTs {
     /// `pool` may mix variable counts and lengths — samples are resampled
     /// to `cfg.pretrain_len`, z-normalized, and batched within groups of
     /// equal variable count.
+    ///
+    /// Training is data-parallel across micro-batches: the worker count is
+    /// resolved by [`parallel::worker_count`] from `pcfg.workers` (then the
+    /// `AIMTS_THREADS` environment variable, then available cores). With
+    /// one worker the original serial loop runs, bit-for-bit.
     pub fn pretrain(&mut self, pool: &[MultiSeries], pcfg: &PretrainConfig) -> PretrainReport {
         assert!(pool.len() >= 2, "pre-training needs at least 2 samples");
-        let prepared: Vec<MultiSeries> = pool.iter().map(|s| self.prepare(s)).collect();
-        // Group sample indices by variable count (constant M per batch).
+        let workers = parallel::worker_count(pcfg.workers);
+        if workers <= 1 {
+            self.pretrain_serial(pool, pcfg)
+        } else {
+            self.pretrain_parallel(pool, pcfg, workers)
+        }
+    }
+
+    /// Group prepared-sample indices by variable count (constant M per
+    /// batch).
+    fn group_by_var_count(
+        prepared: &[MultiSeries],
+    ) -> std::collections::BTreeMap<usize, Vec<usize>> {
         let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
         for (i, s) in prepared.iter().enumerate() {
             groups.entry(s.len()).or_default().push(i);
         }
+        groups
+    }
+
+    /// The original single-threaded loop: one shared RNG drives shuffling
+    /// and augmentation sequentially, one optimizer step per micro-batch.
+    fn pretrain_serial(&mut self, pool: &[MultiSeries], pcfg: &PretrainConfig) -> PretrainReport {
+        let prepared: Vec<MultiSeries> = pool.iter().map(|s| self.prepare(s)).collect();
+        let groups = Self::group_by_var_count(&prepared);
 
         let params: Vec<Tensor> = self
             .named_parameters()
@@ -161,6 +202,113 @@ impl AimTs {
             steps,
             final_proto_loss: last_proto,
             final_si_loss: last_si,
+            workers: 1,
+        }
+    }
+
+    /// Data-parallel loop: each round ships the master weights to per-worker
+    /// replicas, runs up to `workers` micro-batches concurrently (augment,
+    /// rasterize, forward, backward all on the worker thread), all-reduces
+    /// the flat gradients, and steps the optimizer once on the mean.
+    ///
+    /// Augmentation RNG is derived per micro-batch from
+    /// [`parallel::microbatch_seed`], so results depend only on the seed and
+    /// worker count — never on thread scheduling.
+    fn pretrain_parallel(
+        &mut self,
+        pool: &[MultiSeries],
+        pcfg: &PretrainConfig,
+        workers: usize,
+    ) -> PretrainReport {
+        let prepared: Vec<MultiSeries> = pool.iter().map(|s| self.prepare(s)).collect();
+        let groups = Self::group_by_var_count(&prepared);
+
+        let params: Vec<Tensor> = self
+            .named_parameters()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        let mut opt = Adam::new(params, pcfg.lr);
+        let mut sched = StepLr::new(pcfg.lr, pcfg.lr_step, pcfg.lr_gamma);
+        // Drives shuffling only; augmentation seeds are derived per
+        // micro-batch.
+        let mut rng = StdRng::seed_from_u64(pcfg.seed);
+
+        // An epoch can never yield more micro-batches than this, so extra
+        // replicas would sit idle.
+        let max_micro: usize = groups.values().map(|g| g.len().div_ceil(2)).sum();
+        let workers = workers.min(max_micro.max(1));
+        let replicas: Vec<AimTs> = (0..workers).map(|_| self.replicate()).collect();
+
+        let mut epoch_losses = Vec::with_capacity(pcfg.epochs);
+        let mut steps = 0usize;
+        let (mut last_proto, mut last_si) = (0f32, 0f32);
+        let mut micro_counter = 0u64;
+        for epoch in 0..pcfg.epochs {
+            // The epoch's schedule up front: (derived seed, sample indices).
+            let mut schedule: Vec<(u64, Vec<usize>)> = Vec::new();
+            for idxs in groups.values() {
+                for batch in batch_indices(idxs.len(), pcfg.batch_size, &mut rng) {
+                    let seed = parallel::microbatch_seed(pcfg.seed, epoch as u64, micro_counter);
+                    micro_counter += 1;
+                    schedule.push((seed, batch.iter().map(|&k| idxs[k]).collect()));
+                }
+            }
+            let mut losses_this_epoch = Vec::new();
+            let (mut protos, mut sis) = (Vec::new(), Vec::new());
+            for round in schedule.chunks(workers) {
+                let master = self.flat_parameters();
+                let results = parallel::parallel_map(round, workers, |slot, (seed, batch)| {
+                    let replica = &replicas[slot];
+                    replica.load_flat(&master);
+                    let samples: Vec<&MultiSeries> = batch.iter().map(|&i| &prepared[i]).collect();
+                    replica.microbatch_gradient(&samples, *seed)
+                });
+                let mut grads = Vec::with_capacity(results.len());
+                for r in results {
+                    losses_this_epoch.push(r.loss as f64);
+                    protos.push(r.proto_loss as f64);
+                    sis.push(r.si_loss as f64);
+                    grads.push(r.gradient);
+                }
+                opt.zero_grad();
+                self.accumulate_flat_gradient(&parallel::all_reduce_mean(&grads));
+                opt.step();
+                steps += 1;
+            }
+            epoch_losses.push(Summary::of(&losses_this_epoch).mean as f32);
+            last_proto = Summary::of(&protos).mean as f32;
+            last_si = Summary::of(&sis).mean as f32;
+            sched.step(&mut opt);
+        }
+        PretrainReport {
+            final_loss: *epoch_losses.last().unwrap(),
+            epoch_losses,
+            steps,
+            final_proto_loss: last_proto,
+            final_si_loss: last_si,
+            workers,
+        }
+    }
+
+    /// Zero all gradients, run one pre-training step on already-prepared
+    /// `samples` with a fresh RNG seeded by `rng_seed`, backprop, and export
+    /// the flat gradient. The building block of the data-parallel path; also
+    /// the seam the determinism tests use to compare serial and threaded
+    /// gradient computation.
+    pub fn microbatch_gradient(&self, samples: &[&MultiSeries], rng_seed: u64) -> MicroGrad {
+        for (_, p) in self.named_parameters() {
+            p.zero_grad();
+        }
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let (loss, proto_loss, si_loss) = self.pretrain_step(samples, &mut rng);
+        let loss_val = loss.item();
+        loss.backward();
+        MicroGrad {
+            gradient: self.flat_gradient(),
+            loss: loss_val,
+            proto_loss,
+            si_loss,
         }
     }
 
@@ -310,6 +458,19 @@ impl AimTs {
         FineTuned::train(self, ds, fcfg)
     }
 
+    /// Deep copy with fresh parameter storage: a data-parallel replica.
+    /// Shares nothing with the original (see [`Replicate`]).
+    pub fn replicate(&self) -> AimTs {
+        AimTs {
+            cfg: self.cfg.clone(),
+            ts_encoder: self.ts_encoder.replicate(),
+            ts_proj: self.ts_proj.replicate(),
+            image_encoder: self.image_encoder.replicate(),
+            img_proj: self.img_proj.replicate(),
+            seed: self.seed,
+        }
+    }
+
     /// Clone the TS encoder (architecture + current weights).
     pub(crate) fn clone_ts_encoder(&self) -> TsEncoder {
         let fresh = TsEncoder::new(
@@ -326,6 +487,31 @@ impl AimTs {
             d.set_data(&s.to_vec());
         }
         fresh
+    }
+}
+
+impl Module for AimTs {
+    /// Channel-independent encoding of an already-stacked `[B, M, T]` batch
+    /// (the tensor-level counterpart of [`AimTs::encode`]).
+    fn forward(&self, x: &Tensor) -> Tensor {
+        encode_channel_independent(&self.ts_encoder, x)
+    }
+
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        for (name, t) in self.named_parameters() {
+            let full = if prefix.is_empty() {
+                name
+            } else {
+                format!("{prefix}.{name}")
+            };
+            out.push((full, t));
+        }
+    }
+}
+
+impl Replicate for AimTs {
+    fn replicate(&self) -> Self {
+        AimTs::replicate(self)
     }
 }
 
@@ -422,6 +608,107 @@ mod tests {
         cloned.parameters()[0].update_data(|d| d.iter_mut().for_each(|v| *v += 1.0));
         let c = model.ts_encoder.encode_rows(&x).to_vec();
         assert_eq!(a, c);
+    }
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn core_types_are_send_sync() {
+        assert_send_sync::<TsEncoder>();
+        assert_send_sync::<ImageEncoder>();
+        assert_send_sync::<AimTs>();
+    }
+
+    #[test]
+    fn replicate_is_deep_and_matches() {
+        let model = AimTs::new(AimTsConfig::tiny(), 10);
+        let replica = model.replicate();
+        let pool = tiny_pool(8);
+        let prepared: Vec<MultiSeries> = pool.iter().map(|s| model.prepare(s)).collect();
+        // Pick two samples sharing a variable count.
+        let groups = AimTs::group_by_var_count(&prepared);
+        let idxs = groups.values().max_by_key(|g| g.len()).unwrap();
+        let refs: Vec<&MultiSeries> = idxs[..2].iter().map(|&i| &prepared[i]).collect();
+        assert_eq!(model.encode(&refs).to_vec(), replica.encode(&refs).to_vec());
+        // Training the replica leaves the master untouched.
+        let before = model.flat_parameters();
+        replica.microbatch_gradient(&refs, 0);
+        assert_eq!(model.flat_parameters(), before);
+        assert!(model
+            .named_parameters()
+            .iter()
+            .all(|(_, p)| p.grad().is_none()));
+    }
+
+    #[test]
+    fn parallel_gradients_match_serial_within_tolerance() {
+        let model = AimTs::new(AimTsConfig::tiny(), 42);
+        let pool = tiny_pool(16);
+        let prepared: Vec<MultiSeries> = pool.iter().map(|s| model.prepare(s)).collect();
+        // Micro-batches must share a variable count; pair up the largest group.
+        let groups = AimTs::group_by_var_count(&prepared);
+        let idxs = groups.values().max_by_key(|g| g.len()).unwrap();
+        assert!(idxs.len() >= 8, "need 4 pairs of equal-M samples");
+        let mbs: Vec<(u64, Vec<usize>)> = idxs
+            .chunks(2)
+            .take(4)
+            .enumerate()
+            .map(|(i, pair)| (11 * (i as u64 + 1), pair.to_vec()))
+            .collect();
+        // Serial reference: each micro-batch gradient on the master model.
+        let serial: Vec<Vec<f32>> = mbs
+            .iter()
+            .map(|(seed, idx)| {
+                let s: Vec<&MultiSeries> = idx.iter().map(|&i| &prepared[i]).collect();
+                model.microbatch_gradient(&s, *seed).gradient
+            })
+            .collect();
+        let expect = crate::parallel::all_reduce_mean(&serial);
+        // Threaded: four replicas computing the same micro-batches at once.
+        let replicas: Vec<AimTs> = (0..4).map(|_| model.replicate()).collect();
+        let master = model.flat_parameters();
+        let results = crate::parallel::parallel_map(&mbs, 4, |slot, (seed, idx)| {
+            let replica = &replicas[slot];
+            replica.load_flat(&master);
+            let s: Vec<&MultiSeries> = idx.iter().map(|&i| &prepared[i]).collect();
+            replica.microbatch_gradient(&s, *seed).gradient
+        });
+        let got = crate::parallel::all_reduce_mean(&results);
+        assert_eq!(expect.len(), got.len());
+        let worst = expect
+            .iter()
+            .zip(&got)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0f32, f32::max);
+        assert!(
+            worst <= 1e-5,
+            "serial vs threaded gradient diverged: {worst}"
+        );
+    }
+
+    #[test]
+    fn parallel_pretrain_is_deterministic_and_learns() {
+        let run = || {
+            let mut model = AimTs::new(AimTsConfig::tiny(), 3407);
+            model.pretrain(
+                &tiny_pool(16),
+                &PretrainConfig {
+                    epochs: 2,
+                    batch_size: 4,
+                    workers: 2,
+                    ..Default::default()
+                },
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.workers, 2);
+        assert_eq!(
+            a.epoch_losses, b.epoch_losses,
+            "same seed+workers must agree"
+        );
+        assert!(a.final_loss.is_finite());
+        assert!(a.steps > 0);
     }
 
     #[test]

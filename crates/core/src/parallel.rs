@@ -1,0 +1,161 @@
+//! Data-parallel training utilities: worker-count resolution (the
+//! `AIMTS_THREADS` knob), an ordered scoped-thread map, and the gradient
+//! all-reduce used by [`crate::AimTs::pretrain`].
+//!
+//! The scheme is replica-per-worker: each worker owns a deep copy of the
+//! model, loads the master weights, computes the gradient of one
+//! micro-batch (augmentation, image rasterization, forward, backward all
+//! happen on the worker thread), and the master averages the flat
+//! gradients and steps its optimizer once.
+
+use std::env;
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "AIMTS_THREADS";
+
+/// Resolve the data-parallel worker count.
+///
+/// Priority: an explicit `requested > 0`, then a positive integer in
+/// `AIMTS_THREADS`, then the machine's available parallelism. A result of
+/// `1` selects the serial training path.
+pub fn worker_count(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring invalid {THREADS_ENV}={v:?} (want a positive integer)");
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Element-wise mean of equally-sized gradient buffers (the all-reduce).
+/// Panics on an empty slice or mismatched lengths.
+pub fn all_reduce_mean(buffers: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!buffers.is_empty(), "all_reduce_mean of zero buffers");
+    let n = buffers[0].len();
+    let mut out = vec![0f32; n];
+    for b in buffers {
+        assert_eq!(b.len(), n, "all_reduce_mean buffer length mismatch");
+        for (o, x) in out.iter_mut().zip(b) {
+            *o += x;
+        }
+    }
+    let scale = 1.0 / buffers.len() as f32;
+    for o in &mut out {
+        *o *= scale;
+    }
+    out
+}
+
+/// Run `f(slot, item)` for every item on up to `workers` scoped threads,
+/// returning results in item order. `slot` is the item's position within
+/// this call (`0..items.len()`), so with `items.len() <= workers` each
+/// invocation gets a dedicated slot — callers use it to index per-worker
+/// replicas. With one worker (or one item) everything runs inline on the
+/// calling thread.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let w = workers.max(1).min(items.len().max(1));
+    if w <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(w);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (ci, (islice, oslice)) in items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (j, (item, slot)) in islice.iter().zip(oslice.iter_mut()).enumerate() {
+                    *slot = Some(f(ci * chunk + j, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("parallel_map worker produced no result"))
+        .collect()
+}
+
+/// Deterministic per-micro-batch RNG seed (SplitMix64 finalizer), so the
+/// augmentations a micro-batch draws depend only on `(base, epoch, index)`
+/// — never on thread scheduling or worker count.
+pub fn microbatch_seed(base: u64, epoch: u64, index: u64) -> u64 {
+    let mut z = base
+        ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ index.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_explicit_wins() {
+        assert_eq!(worker_count(3), 3);
+        assert_eq!(worker_count(1), 1);
+    }
+
+    #[test]
+    fn worker_count_auto_is_positive() {
+        assert!(worker_count(0) >= 1);
+    }
+
+    #[test]
+    fn all_reduce_mean_averages() {
+        let avg = all_reduce_mean(&[vec![1.0, 2.0], vec![3.0, 6.0]]);
+        assert_eq!(avg, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn all_reduce_mean_rejects_ragged() {
+        let _ = all_reduce_mean(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..37).collect();
+        for w in [1, 2, 4, 8] {
+            let out = parallel_map(&items, w, |slot, &x| {
+                assert!(slot < items.len());
+                x * 2
+            });
+            assert_eq!(
+                out,
+                items.iter().map(|x| x * 2).collect::<Vec<_>>(),
+                "w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_map_slots_unique_when_items_fit() {
+        use std::sync::Mutex;
+        let items = [0u8; 4];
+        let seen = Mutex::new(Vec::new());
+        parallel_map(&items, 4, |slot, _| seen.lock().unwrap().push(slot));
+        let mut slots = seen.into_inner().unwrap();
+        slots.sort_unstable();
+        assert_eq!(slots, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn microbatch_seed_is_deterministic_and_spread() {
+        assert_eq!(microbatch_seed(7, 1, 2), microbatch_seed(7, 1, 2));
+        assert_ne!(microbatch_seed(7, 1, 2), microbatch_seed(7, 1, 3));
+        assert_ne!(microbatch_seed(7, 1, 2), microbatch_seed(7, 2, 2));
+        assert_ne!(microbatch_seed(8, 1, 2), microbatch_seed(7, 1, 2));
+    }
+}

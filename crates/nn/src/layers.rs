@@ -1,7 +1,8 @@
 //! Layers: Linear, Conv1d/2d, BatchNorm1d, LayerNorm, Dropout, Sequential,
 //! activations, and an MLP convenience wrapper.
 
-use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 use aimts_tensor::ops::{Conv1dSpec, Conv2dSpec};
 use aimts_tensor::Tensor;
@@ -9,7 +10,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::init::{kaiming_conv1d, kaiming_conv2d, kaiming_linear};
-use crate::module::{join, Module};
+use crate::module::{join, AnyModule, Module, Replicate};
+
+/// Fresh leaf variable with the same values (`requires_grad` copies data).
+fn clone_param(p: &Tensor) -> Tensor {
+    p.requires_grad()
+}
 
 // ---------------------------------------------------------------------------
 // Linear
@@ -51,6 +57,15 @@ impl Module for Linear {
         out.push((join(prefix, "weight"), self.weight.clone()));
         if let Some(b) = &self.bias {
             out.push((join(prefix, "bias"), b.clone()));
+        }
+    }
+}
+
+impl Replicate for Linear {
+    fn replicate(&self) -> Self {
+        Linear {
+            weight: clone_param(&self.weight),
+            bias: self.bias.as_ref().map(clone_param),
         }
     }
 }
@@ -98,6 +113,16 @@ impl Module for Conv1d {
     }
 }
 
+impl Replicate for Conv1d {
+    fn replicate(&self) -> Self {
+        Conv1d {
+            weight: clone_param(&self.weight),
+            bias: self.bias.as_ref().map(clone_param),
+            spec: self.spec,
+        }
+    }
+}
+
 /// 2-D convolution layer over `[B, C_in, H, W]`.
 pub struct Conv2d {
     weight: Tensor,
@@ -133,6 +158,16 @@ impl Module for Conv2d {
     }
 }
 
+impl Replicate for Conv2d {
+    fn replicate(&self) -> Self {
+        Conv2d {
+            weight: clone_param(&self.weight),
+            bias: self.bias.as_ref().map(clone_param),
+            spec: self.spec,
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Normalization
 // ---------------------------------------------------------------------------
@@ -144,9 +179,9 @@ impl Module for Conv2d {
 pub struct BatchNorm1d {
     gamma: Tensor,
     beta: Tensor,
-    running_mean: RefCell<Vec<f32>>,
-    running_var: RefCell<Vec<f32>>,
-    training: Cell<bool>,
+    running_mean: Mutex<Vec<f32>>,
+    running_var: Mutex<Vec<f32>>,
+    training: AtomicBool,
     momentum: f32,
     eps: f32,
     channels: usize,
@@ -157,9 +192,9 @@ impl BatchNorm1d {
         BatchNorm1d {
             gamma: Tensor::ones(&[1, channels, 1]).requires_grad(),
             beta: Tensor::zeros(&[1, channels, 1]).requires_grad(),
-            running_mean: RefCell::new(vec![0.0; channels]),
-            running_var: RefCell::new(vec![1.0; channels]),
-            training: Cell::new(true),
+            running_mean: Mutex::new(vec![0.0; channels]),
+            running_var: Mutex::new(vec![1.0; channels]),
+            training: AtomicBool::new(true),
             momentum: 0.1,
             eps: 1e-5,
             channels,
@@ -167,11 +202,15 @@ impl BatchNorm1d {
     }
 }
 
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl Module for BatchNorm1d {
     fn forward(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.ndim(), 3, "BatchNorm1d expects [B, C, L]");
         assert_eq!(x.shape()[1], self.channels, "BatchNorm1d channel mismatch");
-        if self.training.get() {
+        if self.training.load(Ordering::Relaxed) {
             let mean = x.mean_axis(0, true).mean_axis(2, true); // [1, C, 1]
             let centered = x.sub(&mean);
             let var = centered.square().mean_axis(0, true).mean_axis(2, true);
@@ -179,8 +218,8 @@ impl Module for BatchNorm1d {
             {
                 let m = mean.to_vec();
                 let v = var.to_vec();
-                let mut rm = self.running_mean.borrow_mut();
-                let mut rv = self.running_var.borrow_mut();
+                let mut rm = lock(&self.running_mean);
+                let mut rv = lock(&self.running_var);
                 for c in 0..self.channels {
                     rm[c] = (1.0 - self.momentum) * rm[c] + self.momentum * m[c];
                     rv[c] = (1.0 - self.momentum) * rv[c] + self.momentum * v[c];
@@ -189,8 +228,8 @@ impl Module for BatchNorm1d {
             let xhat = centered.div(&var.add_scalar(self.eps).sqrt());
             xhat.mul(&self.gamma).add(&self.beta)
         } else {
-            let rm = Tensor::from_vec(self.running_mean.borrow().clone(), &[1, self.channels, 1]);
-            let rv = Tensor::from_vec(self.running_var.borrow().clone(), &[1, self.channels, 1]);
+            let rm = Tensor::from_vec(lock(&self.running_mean).clone(), &[1, self.channels, 1]);
+            let rv = Tensor::from_vec(lock(&self.running_var).clone(), &[1, self.channels, 1]);
             let xhat = x.sub(&rm).div(&rv.add_scalar(self.eps).sqrt());
             xhat.mul(&self.gamma).add(&self.beta)
         }
@@ -202,7 +241,24 @@ impl Module for BatchNorm1d {
     }
 
     fn set_training(&self, training: bool) {
-        self.training.set(training);
+        self.training.store(training, Ordering::Relaxed);
+    }
+}
+
+impl Replicate for BatchNorm1d {
+    fn replicate(&self) -> Self {
+        // Running statistics are copied but not synced back: per-replica
+        // drift is the usual data-parallel BN approximation.
+        BatchNorm1d {
+            gamma: clone_param(&self.gamma),
+            beta: clone_param(&self.beta),
+            running_mean: Mutex::new(lock(&self.running_mean).clone()),
+            running_var: Mutex::new(lock(&self.running_var).clone()),
+            training: AtomicBool::new(self.training.load(Ordering::Relaxed)),
+            momentum: self.momentum,
+            eps: self.eps,
+            channels: self.channels,
+        }
     }
 }
 
@@ -246,6 +302,17 @@ impl Module for LayerNorm {
     }
 }
 
+impl Replicate for LayerNorm {
+    fn replicate(&self) -> Self {
+        LayerNorm {
+            gamma: clone_param(&self.gamma),
+            beta: clone_param(&self.beta),
+            eps: self.eps,
+            dim: self.dim,
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Dropout
 // ---------------------------------------------------------------------------
@@ -253,8 +320,8 @@ impl Module for LayerNorm {
 /// Inverted dropout: active in training mode, identity in eval mode.
 pub struct Dropout {
     p: f32,
-    training: Cell<bool>,
-    rng: RefCell<StdRng>,
+    training: AtomicBool,
+    rng: Mutex<StdRng>,
 }
 
 impl Dropout {
@@ -265,19 +332,19 @@ impl Dropout {
         );
         Dropout {
             p,
-            training: Cell::new(true),
-            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            training: AtomicBool::new(true),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
         }
     }
 }
 
 impl Module for Dropout {
     fn forward(&self, x: &Tensor) -> Tensor {
-        if !self.training.get() || self.p == 0.0 {
+        if !self.training.load(Ordering::Relaxed) || self.p == 0.0 {
             return x.clone();
         }
         let scale = 1.0 / (1.0 - self.p);
-        let mut rng = self.rng.borrow_mut();
+        let mut rng = lock(&self.rng);
         let mask: Vec<f32> = (0..x.numel())
             .map(|_| {
                 if rng.gen::<f32>() < self.p {
@@ -287,13 +354,26 @@ impl Module for Dropout {
                 }
             })
             .collect();
+        drop(rng);
         x.mul(&Tensor::from_vec(mask, x.shape()))
     }
 
     fn named_parameters(&self, _prefix: &str, _out: &mut Vec<(String, Tensor)>) {}
 
     fn set_training(&self, training: bool) {
-        self.training.set(training);
+        self.training.store(training, Ordering::Relaxed);
+    }
+}
+
+impl Replicate for Dropout {
+    fn replicate(&self) -> Self {
+        // The replica continues from the current RNG state so replicas made
+        // at different times draw different masks.
+        Dropout {
+            p: self.p,
+            training: AtomicBool::new(self.training.load(Ordering::Relaxed)),
+            rng: Mutex::new(lock(&self.rng).clone()),
+        }
     }
 }
 
@@ -327,21 +407,27 @@ impl Module for Activation {
     fn named_parameters(&self, _prefix: &str, _out: &mut Vec<(String, Tensor)>) {}
 }
 
+impl Replicate for Activation {
+    fn replicate(&self) -> Self {
+        *self
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Containers
 // ---------------------------------------------------------------------------
 
 /// Sequential container applying children in order.
 pub struct Sequential {
-    children: Vec<Box<dyn Module>>,
+    children: Vec<Box<dyn AnyModule>>,
 }
 
 impl Sequential {
-    pub fn new(children: Vec<Box<dyn Module>>) -> Self {
+    pub fn new(children: Vec<Box<dyn AnyModule>>) -> Self {
         Sequential { children }
     }
 
-    pub fn push(&mut self, m: Box<dyn Module>) {
+    pub fn push(&mut self, m: Box<dyn AnyModule>) {
         self.children.push(m);
     }
 
@@ -372,6 +458,14 @@ impl Module for Sequential {
     }
 }
 
+impl Replicate for Sequential {
+    fn replicate(&self) -> Self {
+        Sequential {
+            children: self.children.iter().map(|m| m.replicate_boxed()).collect(),
+        }
+    }
+}
+
 /// Multi-layer perceptron: `dims[0] -> dims[1] -> ... -> dims.last()` with
 /// the given activation between layers (none after the last).
 pub struct Mlp {
@@ -381,7 +475,7 @@ pub struct Mlp {
 impl Mlp {
     pub fn new(dims: &[usize], act: Activation, seed: u64) -> Self {
         assert!(dims.len() >= 2, "MLP needs at least input and output dims");
-        let mut children: Vec<Box<dyn Module>> = Vec::new();
+        let mut children: Vec<Box<dyn AnyModule>> = Vec::new();
         for (i, w) in dims.windows(2).enumerate() {
             children.push(Box::new(Linear::new(
                 w[0],
@@ -410,6 +504,14 @@ impl Module for Mlp {
 
     fn set_training(&self, training: bool) {
         self.seq.set_training(training);
+    }
+}
+
+impl Replicate for Mlp {
+    fn replicate(&self) -> Self {
+        Mlp {
+            seq: self.seq.replicate(),
+        }
     }
 }
 

@@ -1,4 +1,6 @@
-//! The [`Module`] trait: forward pass + parameter enumeration.
+//! The [`Module`] trait: forward pass, parameter enumeration, and the
+//! flat-buffer surface used by data-parallel training, plus the
+//! [`Replicate`]/[`AnyModule`] traits for cloning modules onto workers.
 
 use aimts_tensor::Tensor;
 
@@ -28,6 +30,95 @@ pub trait Module {
     /// Total number of scalar parameters.
     fn num_parameters(&self) -> usize {
         self.parameters().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Every parameter value concatenated in `parameters()` order. The
+    /// inverse of [`Module::load_flat`]; used to ship master weights to
+    /// worker replicas.
+    fn flat_parameters(&self) -> Vec<f32> {
+        let params = self.parameters();
+        let mut out = Vec::with_capacity(params.iter().map(|p| p.numel()).sum());
+        for p in &params {
+            out.extend_from_slice(&p.data());
+        }
+        out
+    }
+
+    /// Overwrite every parameter from a buffer produced by
+    /// [`Module::flat_parameters`] (of a module with identical structure).
+    /// Panics if the total length differs.
+    fn load_flat(&self, flat: &[f32]) {
+        let params = self.parameters();
+        let total: usize = params.iter().map(|p| p.numel()).sum();
+        assert_eq!(
+            flat.len(),
+            total,
+            "load_flat length mismatch: buffer has {} values, module has {total} parameters",
+            flat.len()
+        );
+        let mut off = 0;
+        for p in &params {
+            let n = p.numel();
+            p.set_data(&flat[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Accumulated gradients concatenated in `parameters()` order, with
+    /// zeros for parameters that have no gradient yet. Pairs with
+    /// [`Module::accumulate_flat_gradient`] for gradient all-reduce.
+    fn flat_gradient(&self) -> Vec<f32> {
+        let params = self.parameters();
+        let mut out = Vec::with_capacity(params.iter().map(|p| p.numel()).sum());
+        for p in &params {
+            match p.grad() {
+                Some(g) => out.extend_from_slice(&g),
+                None => out.resize(out.len() + p.numel(), 0f32),
+            }
+        }
+        out
+    }
+
+    /// Add a flat gradient buffer (as produced by [`Module::flat_gradient`])
+    /// into the parameters' `.grad` slots. Panics if the length differs.
+    fn accumulate_flat_gradient(&self, flat: &[f32]) {
+        let params = self.parameters();
+        let total: usize = params.iter().map(|p| p.numel()).sum();
+        assert_eq!(
+            flat.len(),
+            total,
+            "accumulate_flat_gradient length mismatch: buffer has {} values, module has {total} parameters",
+            flat.len()
+        );
+        let mut off = 0;
+        for p in &params {
+            let n = p.numel();
+            p.accumulate_grad(&flat[off..off + n]);
+            off += n;
+        }
+    }
+}
+
+/// Deep copy with fresh parameter (and internal-state) storage.
+///
+/// A replica shares *nothing* with the original: forward/backward on the
+/// replica never touches the original's buffers or gradients, which is what
+/// lets each data-parallel worker own a private copy of the model.
+pub trait Replicate {
+    fn replicate(&self) -> Self;
+}
+
+/// Object-safe module-with-replication, used by containers that hold
+/// heterogeneous children (e.g. `Sequential`). Requires `Send + Sync` so
+/// boxed children can cross thread boundaries with their parent module.
+pub trait AnyModule: Module + Send + Sync {
+    /// Boxed deep copy (see [`Replicate`]).
+    fn replicate_boxed(&self) -> Box<dyn AnyModule>;
+}
+
+impl<M: Module + Replicate + Send + Sync + 'static> AnyModule for M {
+    fn replicate_boxed(&self) -> Box<dyn AnyModule> {
+        Box::new(self.replicate())
     }
 }
 

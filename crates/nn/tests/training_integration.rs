@@ -3,8 +3,9 @@
 //! across containers.
 
 use aimts_nn::{
-    clip_grad_norm, load_state_dict, save_state_dict, Activation, Adam, BatchNorm1d, Conv1d,
-    CosineLr, Dropout, LayerNorm, Linear, Mlp, Module, Optimizer, Sequential, Sgd, StepLr,
+    clip_grad_norm, load_state_dict, save_state_dict, Activation, Adam, AnyModule, BatchNorm1d,
+    Conv1d, CosineLr, Dropout, LayerNorm, Linear, Mlp, Module, Optimizer, Replicate, Sequential,
+    Sgd, StepLr,
 };
 use aimts_tensor::ops::Conv1dSpec;
 use aimts_tensor::Tensor;
@@ -135,7 +136,7 @@ fn gradient_clipping_stabilizes_large_lr() {
 fn layernorm_sequential_checkpoint_roundtrip() {
     let build = |seed: u64| {
         Sequential::new(vec![
-            Box::new(Linear::new(4, 8, true, seed)) as Box<dyn Module>,
+            Box::new(Linear::new(4, 8, true, seed)) as Box<dyn AnyModule>,
             Box::new(LayerNorm::new(8)),
             Box::new(Activation::Relu),
             Box::new(Linear::new(8, 3, true, seed + 1)),
@@ -154,6 +155,73 @@ fn layernorm_sequential_checkpoint_roundtrip() {
     b.named_parameters("m", &mut named_b);
     load_state_dict(&path, &named_b).unwrap();
     assert_eq!(a.forward(&x).to_vec(), b.forward(&x).to_vec());
+}
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn modules_are_send_sync() {
+    assert_send_sync::<Linear>();
+    assert_send_sync::<Conv1d>();
+    assert_send_sync::<aimts_nn::Conv2d>();
+    assert_send_sync::<BatchNorm1d>();
+    assert_send_sync::<LayerNorm>();
+    assert_send_sync::<Dropout>();
+    assert_send_sync::<Activation>();
+    assert_send_sync::<Sequential>();
+    assert_send_sync::<Mlp>();
+}
+
+#[test]
+fn replicate_is_a_deep_copy() {
+    let mlp = Mlp::new(&[4, 8, 2], Activation::Gelu, 11);
+    let replica = mlp.replicate();
+    let x = Tensor::randn(&[3, 4], 5);
+    assert_eq!(mlp.forward(&x).to_vec(), replica.forward(&x).to_vec());
+
+    // Training the replica must leave the original untouched.
+    let before = mlp.flat_parameters();
+    let mut opt = Adam::new(replica.parameters(), 1e-2);
+    replica.forward(&x).square().mean_all().backward();
+    opt.step();
+    assert_eq!(mlp.flat_parameters(), before, "original drifted");
+    assert_ne!(replica.flat_parameters(), before, "replica did not train");
+    // And gradients stay on the replica's parameters only.
+    assert!(mlp.parameters().iter().all(|p| p.grad().is_none()));
+}
+
+#[test]
+fn flat_parameter_roundtrip_and_gradient_export() {
+    let a = Mlp::new(&[3, 6, 2], Activation::Relu, 0);
+    let b = Mlp::new(&[3, 6, 2], Activation::Relu, 99);
+    let x = Tensor::randn(&[4, 3], 7);
+    assert_ne!(a.forward(&x).to_vec(), b.forward(&x).to_vec());
+    b.load_flat(&a.flat_parameters());
+    assert_eq!(a.forward(&x).to_vec(), b.forward(&x).to_vec());
+
+    // flat_gradient is zeros before backward, matches per-param grads after.
+    assert!(a.flat_gradient().iter().all(|&g| g == 0.0));
+    a.forward(&x).square().mean_all().backward();
+    let flat = a.flat_gradient();
+    assert_eq!(flat.len(), a.num_parameters());
+    let manual: Vec<f32> = a
+        .parameters()
+        .iter()
+        .flat_map(|p| p.grad().unwrap_or_else(|| vec![0.0; p.numel()]))
+        .collect();
+    assert_eq!(flat, manual);
+
+    // accumulate_flat_gradient adds into the slots (b has no grads yet).
+    b.accumulate_flat_gradient(&flat);
+    b.accumulate_flat_gradient(&flat);
+    let doubled: Vec<f32> = flat.iter().map(|g| g * 2.0).collect();
+    assert_eq!(b.flat_gradient(), doubled);
+}
+
+#[test]
+#[should_panic(expected = "load_flat length mismatch")]
+fn load_flat_rejects_wrong_length() {
+    Mlp::new(&[3, 2], Activation::Relu, 0).load_flat(&[0.0; 4]);
 }
 
 #[test]

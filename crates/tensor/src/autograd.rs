@@ -1,7 +1,12 @@
 //! Reverse-mode autodiff engine: topological sweep + grad-mode toggling.
+//!
+//! Grad mode is a *per-thread* toggle: a worker thread can run its own
+//! `no_grad` scope without affecting graphs being recorded elsewhere. The
+//! sweep itself only touches the root's own ancestor graph, so separate
+//! graphs can run `backward` concurrently on different threads.
 
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::tensor::Tensor;
 
@@ -52,24 +57,21 @@ pub fn push_no_grad() -> NoGradGuard {
 /// `root`, then propagates `seed` backwards, accumulating into leaf
 /// variables' `.grad`.
 pub(crate) fn run_backward(root: &Tensor, seed: &[f32]) {
-    if !root.inner.track {
+    if !root.is_tracked() {
         return;
     }
     // Iterative DFS post-order: children (parents in graph terms) first.
     let mut order: Vec<Tensor> = Vec::new();
-    let mut visited: HashMap<u64, ()> = HashMap::new();
+    let mut visited: HashSet<u64> = HashSet::new();
     let mut stack: Vec<(Tensor, usize)> = vec![(root.clone(), 0)];
     while let Some((node, pi)) = stack.pop() {
-        if pi == 0 {
-            if visited.contains_key(&node.inner.id) {
-                continue;
-            }
-            visited.insert(node.inner.id, ());
+        if pi == 0 && !visited.insert(node.inner.id) {
+            continue;
         }
-        let parents = &node.inner.parents;
+        let parents = node.op_parents();
         let mut advanced = false;
         for (j, p) in parents.iter().enumerate().skip(pi) {
-            if p.inner.track && !visited.contains_key(&p.inner.id) {
+            if p.is_tracked() && !visited.contains(&p.inner.id) {
                 stack.push((node.clone(), j + 1));
                 stack.push((p.clone(), 0));
                 advanced = true;
@@ -90,13 +92,13 @@ pub(crate) fn run_backward(root: &Tensor, seed: &[f32]) {
         if node.inner.is_variable {
             node.accumulate_grad(&gout);
         }
-        let Some(backward) = &node.inner.backward else {
+        let Some(graph) = node.graph() else {
             continue;
         };
-        let parent_grads = backward(node, &gout);
-        debug_assert_eq!(parent_grads.len(), node.inner.parents.len());
-        for (p, pg) in node.inner.parents.iter().zip(parent_grads) {
-            let (true, Some(pg)) = (p.inner.track, pg) else {
+        let parent_grads = (graph.backward)(node, &gout);
+        debug_assert_eq!(parent_grads.len(), graph.parents.len());
+        for (p, pg) in graph.parents.iter().zip(parent_grads) {
+            let (true, Some(pg)) = (p.is_tracked(), pg) else {
                 continue;
             };
             debug_assert_eq!(pg.len(), p.numel(), "parent grad length mismatch");

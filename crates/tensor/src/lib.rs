@@ -10,13 +10,15 @@
 //!
 //! ## Design
 //!
-//! A [`Tensor`] is a cheaply clonable handle (`Rc`) to an immutable-shape
-//! node. Nodes created from operations record their parents and a backward
-//! closure; [`Tensor::backward`] runs a topological sweep accumulating
-//! gradients into every reachable leaf that was created with
+//! A [`Tensor`] is a cheaply clonable handle (`Arc`) to an immutable-shape
+//! node; tensors are `Send + Sync` and node ids come from a process-wide
+//! atomic counter, so graphs can be built and differentiated on worker
+//! threads. Nodes created from operations record their parents and a
+//! backward closure; [`Tensor::backward`] runs a topological sweep
+//! accumulating gradients into every reachable leaf that was created with
 //! [`Tensor::requires_grad`]. Gradient tracking can be suspended with
 //! [`no_grad`], which skips graph construction entirely (used for
-//! inference and evaluation loops).
+//! inference and evaluation loops); the toggle is per-thread.
 //!
 //! ```
 //! use aimts_tensor::Tensor;

@@ -57,8 +57,8 @@ impl Tensor {
             &out_shape,
             vec![self.clone(), other.clone()],
             Box::new(move |node, gout| {
-                let a = &node.inner.parents[0];
-                let b = &node.inner.parents[1];
+                let a = &node.op_parents()[0];
+                let b = &node.op_parents()[1];
                 vec![
                     Some(reduce_grad_to_shape(gout, &os, a.shape())),
                     Some(reduce_grad_to_shape(gout, &os, b.shape())),
@@ -76,8 +76,8 @@ impl Tensor {
             &out_shape,
             vec![self.clone(), other.clone()],
             Box::new(move |node, gout| {
-                let a = &node.inner.parents[0];
-                let b = &node.inner.parents[1];
+                let a = &node.op_parents()[0];
+                let b = &node.op_parents()[1];
                 let neg: Vec<f32> = gout.iter().map(|g| -g).collect();
                 vec![
                     Some(reduce_grad_to_shape(gout, &os, a.shape())),
@@ -96,8 +96,8 @@ impl Tensor {
             &out_shape,
             vec![self.clone(), other.clone()],
             Box::new(move |node, gout| {
-                let a = &node.inner.parents[0];
-                let b = &node.inner.parents[1];
+                let a = &node.op_parents()[0];
+                let b = &node.op_parents()[1];
                 let ax = expand_to(&a.data(), a.shape(), &os);
                 let bx = expand_to(&b.data(), b.shape(), &os);
                 let ga: Vec<f32> = gout.iter().zip(&bx).map(|(g, y)| g * y).collect();
@@ -119,8 +119,8 @@ impl Tensor {
             &out_shape,
             vec![self.clone(), other.clone()],
             Box::new(move |node, gout| {
-                let a = &node.inner.parents[0];
-                let b = &node.inner.parents[1];
+                let a = &node.op_parents()[0];
+                let b = &node.op_parents()[1];
                 let ax = expand_to(&a.data(), a.shape(), &os);
                 let bx = expand_to(&b.data(), b.shape(), &os);
                 let ga: Vec<f32> = gout.iter().zip(&bx).map(|(g, y)| g / y).collect();
@@ -147,8 +147,8 @@ impl Tensor {
             &out_shape,
             vec![self.clone(), other.clone()],
             Box::new(move |node, gout| {
-                let a = &node.inner.parents[0];
-                let b = &node.inner.parents[1];
+                let a = &node.op_parents()[0];
+                let b = &node.op_parents()[1];
                 let ax = expand_to(&a.data(), a.shape(), &os);
                 let bx = expand_to(&b.data(), b.shape(), &os);
                 let ga: Vec<f32> = gout
@@ -178,8 +178,8 @@ impl Tensor {
             &out_shape,
             vec![self.clone(), other.clone()],
             Box::new(move |node, gout| {
-                let a = &node.inner.parents[0];
-                let b = &node.inner.parents[1];
+                let a = &node.op_parents()[0];
+                let b = &node.op_parents()[1];
                 let ax = expand_to(&a.data(), a.shape(), &os);
                 let bx = expand_to(&b.data(), b.shape(), &os);
                 let ga: Vec<f32> = gout

@@ -827,8 +827,8 @@ impl Tensor {
             &[b, cout, lo],
             parents,
             Box::new(move |node, gout| {
-                let x_ref = node.inner.parents[0].data();
-                let w_ref = node.inner.parents[1].data();
+                let x_ref = node.op_parents()[0].data();
+                let w_ref = node.op_parents()[1].data();
                 let mut gx = vec![0f32; b * cin * l];
                 let mut gw = vec![0f32; cout * cin * k];
                 let mut gb = vec![0f32; cout];
@@ -951,8 +951,8 @@ impl Tensor {
             &[b, cout, ho, wo],
             parents,
             Box::new(move |node, gout| {
-                let x_ref = node.inner.parents[0].data();
-                let w_ref = node.inner.parents[1].data();
+                let x_ref = node.op_parents()[0].data();
+                let w_ref = node.op_parents()[1].data();
                 let mut gx = vec![0f32; b * cin * h * w_];
                 let mut gw = vec![0f32; cout * cin * kh * kw];
                 let mut gb = vec![0f32; cout];

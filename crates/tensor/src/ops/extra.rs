@@ -25,7 +25,7 @@ impl Tensor {
             &new_shape,
             vec![self.clone()],
             Box::new(move |node, gout| {
-                let n = node.inner.parents[0].numel();
+                let n = node.op_parents()[0].numel();
                 let last = n / rows;
                 let mut g = vec![0f32; n];
                 for r in 0..rows {

@@ -87,8 +87,8 @@ impl Tensor {
             &[m, n],
             vec![self.clone(), other.clone()],
             Box::new(move |node, gout| {
-                let a = node.inner.parents[0].data();
-                let b = node.inner.parents[1].data();
+                let a = node.op_parents()[0].data();
+                let b = node.op_parents()[1].data();
                 // ga = gout · b^T ; gb = a^T · gout
                 let bt = transpose2d(&b, k, n);
                 let at = transpose2d(&a, m, k);
@@ -126,8 +126,8 @@ impl Tensor {
             &[bsz, m, n],
             vec![self.clone(), other.clone()],
             Box::new(move |node, gout| {
-                let a = node.inner.parents[0].data();
-                let b = node.inner.parents[1].data();
+                let a = node.op_parents()[0].data();
+                let b = node.op_parents()[1].data();
                 let mut ga = vec![0f32; bsz * m * k];
                 let mut gb = vec![0f32; bsz * k * n];
                 for bi in 0..bsz {
@@ -155,8 +155,8 @@ impl Tensor {
             &[bsz, m, n],
             vec![self.clone(), other.clone()],
             Box::new(move |node, gout| {
-                let a = node.inner.parents[0].data();
-                let b = node.inner.parents[1].data();
+                let a = node.op_parents()[0].data();
+                let b = node.op_parents()[1].data();
                 let bt = transpose2d(&b, k, n);
                 let ga = mm(gout, &bt, bsz * m, n, k);
                 let at = transpose2d(&a, bsz * m, k);

@@ -36,7 +36,7 @@ impl Tensor {
             &[b, c, lo],
             vec![self.clone()],
             Box::new(move |node, gout| {
-                let mut g = vec![0f32; node.inner.parents[0].numel()];
+                let mut g = vec![0f32; node.op_parents()[0].numel()];
                 for (oi, &src) in arg.iter().enumerate() {
                     g[src] += gout[oi];
                 }
@@ -98,7 +98,7 @@ impl Tensor {
             &[b, c, ho, wo],
             vec![self.clone()],
             Box::new(move |node, gout| {
-                let mut g = vec![0f32; node.inner.parents[0].numel()];
+                let mut g = vec![0f32; node.op_parents()[0].numel()];
                 for (oi, &src) in arg.iter().enumerate() {
                     g[src] += gout[oi];
                 }

@@ -64,7 +64,7 @@ impl Tensor {
             &oshape,
             vec![self.clone()],
             Box::new(move |node, gout| {
-                let n = node.inner.parents[0].numel();
+                let n = node.op_parents()[0].numel();
                 let mut g = vec![0f32; n];
                 for o in 0..outer {
                     for a in 0..ax {
@@ -109,7 +109,7 @@ impl Tensor {
             &oshape,
             vec![self.clone()],
             Box::new(move |node, gout| {
-                let n = node.inner.parents[0].numel();
+                let n = node.op_parents()[0].numel();
                 let mut g = vec![0f32; n];
                 for (oi, &src) in arg.iter().enumerate() {
                     g[src] += gout[oi];

@@ -76,7 +76,7 @@ impl Tensor {
                 for (i, &p) in perm_owned.iter().enumerate() {
                     inv[p] = i;
                 }
-                let parent = &node.inner.parents[0];
+                let parent = &node.op_parents()[0];
                 let in_shape = parent.shape();
                 let out_shape: Vec<usize> = perm_owned.iter().map(|&p| in_shape[p]).collect();
                 let out_str = strides(&out_shape);
@@ -192,7 +192,7 @@ impl Tensor {
             &out_shape,
             vec![self.clone()],
             Box::new(move |node, gout| {
-                let mut g = vec![0f32; node.inner.parents[0].numel()];
+                let mut g = vec![0f32; node.op_parents()[0].numel()];
                 for o in 0..outer {
                     let dst_base = (o * ax + start) * inner;
                     g[dst_base..dst_base + width * inner]
@@ -231,7 +231,7 @@ impl Tensor {
             &out_shape,
             vec![self.clone()],
             Box::new(move |node, gout| {
-                let mut g = vec![0f32; node.inner.parents[0].numel()];
+                let mut g = vec![0f32; node.op_parents()[0].numel()];
                 for o in 0..outer {
                     for (j, &i) in idx.iter().enumerate() {
                         let dst = (o * ax + i) * inner;

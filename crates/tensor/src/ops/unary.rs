@@ -3,14 +3,18 @@
 use crate::tensor::Tensor;
 
 /// Build a unary op given forward `f` and derivative-from-input `df`.
-fn unary(t: &Tensor, f: impl Fn(f32) -> f32, df: impl Fn(f32) -> f32 + 'static) -> Tensor {
+fn unary(
+    t: &Tensor,
+    f: impl Fn(f32) -> f32,
+    df: impl Fn(f32) -> f32 + Send + Sync + 'static,
+) -> Tensor {
     let out: Vec<f32> = t.data().iter().map(|&x| f(x)).collect();
     Tensor::from_op(
         out,
         t.shape(),
         vec![t.clone()],
         Box::new(move |node, gout| {
-            let x = node.inner.parents[0].data();
+            let x = node.op_parents()[0].data();
             vec![Some(
                 gout.iter()
                     .zip(x.iter())

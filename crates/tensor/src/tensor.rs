@@ -1,40 +1,64 @@
 //! The [`Tensor`] handle and graph-node plumbing.
+//!
+//! Storage is `Arc`-based and node ids come from a process-wide atomic
+//! counter, so tensors can be built, moved, and differentiated on any
+//! thread. Graph bookkeeping (parents + backward op) is split into an
+//! optional [`GraphNode`] attached only to op-produced tensors; leaves
+//! (parameters, constants, detached copies) carry no graph state and are
+//! `Send + Sync` by construction.
 
-use std::cell::{Cell, Ref, RefCell};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::autograd;
 use crate::shape::{self, Shape};
 
-thread_local! {
-    static NEXT_ID: Cell<u64> = const { Cell::new(1) };
-}
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
 fn next_id() -> u64 {
-    NEXT_ID.with(|c| {
-        let id = c.get();
-        c.set(id + 1);
-        id
-    })
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Ignore lock poisoning: a panicking worker thread aborts its own step,
+/// and the plain `f32` buffers behind these locks are never left in a
+/// torn state by our writers (they only overwrite whole slices).
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn mutex_lock<T>(l: &Mutex<T>) -> MutexGuard<'_, T> {
+    l.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Backward closure: given the node and the gradient flowing into it,
 /// produce the gradient for each parent (`None` = parent gets no gradient).
-pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[f32]) -> Vec<Option<Vec<f32>>>>;
+///
+/// `Send + Sync` so a graph built on a worker thread can run its reverse
+/// sweep there (or be handed to another thread wholesale).
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[f32]) -> Vec<Option<Vec<f32>>> + Send + Sync>;
+
+/// Graph bookkeeping for op-produced nodes. Kept out of [`Inner`]'s data
+/// fields so that leaf tensors pay nothing for autograd support.
+pub(crate) struct GraphNode {
+    pub(crate) parents: Vec<Tensor>,
+    pub(crate) backward: BackwardFn,
+}
 
 pub(crate) struct Inner {
     pub(crate) id: u64,
-    pub(crate) data: RefCell<Vec<f32>>,
+    pub(crate) data: RwLock<Vec<f32>>,
     pub(crate) shape: Shape,
     /// Accumulated gradient; only retained on leaf variables.
-    pub(crate) grad: RefCell<Option<Vec<f32>>>,
+    pub(crate) grad: Mutex<Option<Vec<f32>>>,
     /// True for user-created leaves that should accumulate gradient.
     pub(crate) is_variable: bool,
-    /// True when this node participates in the autograd graph.
-    pub(crate) track: bool,
-    pub(crate) parents: Vec<Tensor>,
-    pub(crate) backward: Option<BackwardFn>,
+    /// Present only on op outputs that participate in the autograd graph.
+    pub(crate) graph: Option<GraphNode>,
 }
 
 /// A dense row-major `f32` tensor; cheap to clone (shared handle).
@@ -43,7 +67,7 @@ pub(crate) struct Inner {
 /// [`crate::ops`] modules but are exposed as inherent methods.
 #[derive(Clone)]
 pub struct Tensor {
-    pub(crate) inner: Rc<Inner>,
+    pub(crate) inner: Arc<Inner>,
 }
 
 impl Tensor {
@@ -59,15 +83,13 @@ impl Tensor {
             shape
         );
         Tensor {
-            inner: Rc::new(Inner {
+            inner: Arc::new(Inner {
                 id: next_id(),
-                data: RefCell::new(data),
+                data: RwLock::new(data),
                 shape: shape.to_vec(),
-                grad: RefCell::new(None),
+                grad: Mutex::new(None),
                 is_variable: false,
-                track: false,
-                parents: Vec::new(),
-                backward: None,
+                graph: None,
             }),
         }
     }
@@ -100,20 +122,18 @@ impl Tensor {
         backward: BackwardFn,
     ) -> Self {
         debug_assert_eq!(data.len(), shape::numel(shape));
-        let track = autograd::is_grad_enabled() && parents.iter().any(|p| p.inner.track);
+        let track = autograd::is_grad_enabled() && parents.iter().any(|p| p.is_tracked());
         if !track {
             return Tensor::from_vec(data, shape);
         }
         Tensor {
-            inner: Rc::new(Inner {
+            inner: Arc::new(Inner {
                 id: next_id(),
-                data: RefCell::new(data),
+                data: RwLock::new(data),
                 shape: shape.to_vec(),
-                grad: RefCell::new(None),
+                grad: Mutex::new(None),
                 is_variable: false,
-                track: true,
-                parents,
-                backward: Some(backward),
+                graph: Some(GraphNode { parents, backward }),
             }),
         }
     }
@@ -123,15 +143,13 @@ impl Tensor {
     /// gradient during [`Tensor::backward`], and is tracked by the graph.
     pub fn requires_grad(&self) -> Self {
         Tensor {
-            inner: Rc::new(Inner {
+            inner: Arc::new(Inner {
                 id: next_id(),
-                data: RefCell::new(self.inner.data.borrow().clone()),
+                data: RwLock::new(self.to_vec()),
                 shape: self.inner.shape.clone(),
-                grad: RefCell::new(None),
+                grad: Mutex::new(None),
                 is_variable: true,
-                track: true,
-                parents: Vec::new(),
-                backward: None,
+                graph: None,
             }),
         }
     }
@@ -161,7 +179,7 @@ impl Tensor {
         shape::numel(&self.inner.shape)
     }
 
-    /// Unique node id (stable within a thread).
+    /// Unique node id (stable across the whole process).
     #[inline]
     pub fn id(&self) -> u64 {
         self.inner.id
@@ -176,66 +194,87 @@ impl Tensor {
     /// Whether this tensor participates in the autograd graph.
     #[inline]
     pub fn is_tracked(&self) -> bool {
-        self.inner.track
+        self.inner.is_variable || self.inner.graph.is_some()
+    }
+
+    /// Parents recorded by the producing op (empty for leaves).
+    #[inline]
+    pub(crate) fn op_parents(&self) -> &[Tensor] {
+        self.inner.graph.as_ref().map_or(&[], |g| &g.parents)
+    }
+
+    /// Graph bookkeeping, if this is an op output.
+    #[inline]
+    pub(crate) fn graph(&self) -> Option<&GraphNode> {
+        self.inner.graph.as_ref()
     }
 
     // ----- data access ----------------------------------------------------
 
-    /// Borrow the underlying buffer.
-    pub fn data(&self) -> Ref<'_, Vec<f32>> {
-        self.inner.data.borrow()
+    /// Borrow the underlying buffer (shared read lock).
+    pub fn data(&self) -> RwLockReadGuard<'_, Vec<f32>> {
+        read_lock(&self.inner.data)
     }
 
     /// Copy the underlying buffer out.
     pub fn to_vec(&self) -> Vec<f32> {
-        self.inner.data.borrow().clone()
+        self.data().clone()
     }
 
     /// The single value of a one-element tensor. Panics otherwise.
     pub fn item(&self) -> f32 {
         assert_eq!(self.numel(), 1, "item() requires a single-element tensor");
-        self.inner.data.borrow()[0]
+        self.data()[0]
     }
 
     /// Element at a multi-index.
     pub fn at(&self, idx: &[usize]) -> f32 {
         let flat = shape::ravel(idx, self.shape());
-        self.inner.data.borrow()[flat]
+        self.data()[flat]
     }
 
     /// Overwrite the buffer in place (used by optimizers). Panics if the
     /// length differs. Does not touch the graph.
     pub fn set_data(&self, data: &[f32]) {
-        let mut d = self.inner.data.borrow_mut();
+        let mut d = write_lock(&self.inner.data);
         assert_eq!(d.len(), data.len(), "set_data length mismatch");
         d.copy_from_slice(data);
     }
 
     /// Apply `f` to the buffer in place (used by optimizers).
     pub fn update_data(&self, f: impl FnOnce(&mut [f32])) {
-        f(&mut self.inner.data.borrow_mut());
+        f(&mut write_lock(&self.inner.data));
     }
 
     // ----- gradient -------------------------------------------------------
 
     /// Accumulated gradient of a leaf variable, if any.
     pub fn grad(&self) -> Option<Vec<f32>> {
-        self.inner.grad.borrow().clone()
+        mutex_lock(&self.inner.grad).clone()
     }
 
     /// Clear the accumulated gradient.
     pub fn zero_grad(&self) {
-        *self.inner.grad.borrow_mut() = None;
+        *mutex_lock(&self.inner.grad) = None;
     }
 
     /// Overwrite the accumulated gradient (used by gradient clipping).
     pub fn set_grad(&self, g: &[f32]) {
         assert_eq!(g.len(), self.numel(), "set_grad length mismatch");
-        *self.inner.grad.borrow_mut() = Some(g.to_vec());
+        *mutex_lock(&self.inner.grad) = Some(g.to_vec());
     }
 
-    pub(crate) fn accumulate_grad(&self, g: &[f32]) {
-        let mut slot = self.inner.grad.borrow_mut();
+    /// Add `g` into the accumulated gradient (allocating it on first use).
+    /// Panics if the length differs from the tensor's element count.
+    pub fn accumulate_grad(&self, g: &[f32]) {
+        assert_eq!(
+            g.len(),
+            self.numel(),
+            "accumulate_grad length mismatch: gradient has {} elements, tensor has {}",
+            g.len(),
+            self.numel()
+        );
+        let mut slot = mutex_lock(&self.inner.grad);
         match slot.as_mut() {
             Some(existing) => {
                 for (e, x) in existing.iter_mut().zip(g) {
@@ -268,13 +307,13 @@ impl Tensor {
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let d = self.inner.data.borrow();
+        let d = self.data();
         let preview: Vec<f32> = d.iter().take(8).copied().collect();
         write!(
             f,
             "Tensor(shape={:?}, tracked={}, data={:?}{})",
             self.inner.shape,
-            self.inner.track,
+            self.is_tracked(),
             preview,
             if d.len() > 8 { ", ..." } else { "" }
         )
@@ -328,5 +367,27 @@ mod tests {
         assert_eq!(t.to_vec(), vec![1.0, 2.0]);
         t.update_data(|d| d.iter_mut().for_each(|x| *x *= 3.0));
         assert_eq!(t.to_vec(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn ids_unique_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| (0..64).map(|_| Tensor::zeros(&[1]).id()).collect()))
+            .collect();
+        let mut ids: Vec<u64> = Vec::new();
+        for h in handles {
+            let v: Vec<u64> = h.join().unwrap();
+            ids.extend(v);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4 * 64, "node ids collided across threads");
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulate_grad length mismatch")]
+    fn accumulate_grad_rejects_short_gradient() {
+        let t = Tensor::zeros(&[3]).requires_grad();
+        t.accumulate_grad(&[1.0, 2.0]);
     }
 }

@@ -1,0 +1,78 @@
+//! Threading-model guarantees: tensors are `Send + Sync`, and independent
+//! graphs can be built and differentiated concurrently on worker threads.
+
+use aimts_tensor::{no_grad, Tensor};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn tensor_is_send_sync() {
+    // Covers detached tensors, leaf variables, and op outputs alike: the
+    // handle type itself carries the bound.
+    assert_send_sync::<Tensor>();
+}
+
+#[test]
+fn graph_built_on_worker_thread_backprops_there() {
+    let results: Vec<Vec<f32>> = std::thread::scope(|s| {
+        (0..4)
+            .map(|i| {
+                s.spawn(move || {
+                    let a = Tensor::from_vec(vec![i as f32 + 1.0, 2.0], &[2]).requires_grad();
+                    // y = sum(a * a) -> dy/da = 2a
+                    a.mul(&a).sum_all().backward();
+                    a.grad().unwrap()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for (i, g) in results.iter().enumerate() {
+        assert_eq!(g, &vec![2.0 * (i as f32 + 1.0), 4.0], "worker {i} grad");
+    }
+}
+
+#[test]
+fn graph_moves_across_threads_before_backward() {
+    // Build the graph on a worker, run the reverse sweep on the main thread.
+    let (a, loss) = std::thread::spawn(|| {
+        let a = Tensor::from_vec(vec![3.0], &[1]).requires_grad();
+        let loss = a.mul(&a).sum_all();
+        (a, loss)
+    })
+    .join()
+    .unwrap();
+    loss.backward();
+    assert_eq!(a.grad().unwrap(), vec![6.0]);
+}
+
+#[test]
+fn shared_parameter_accumulates_from_concurrent_backwards() {
+    // One leaf variable shared by per-thread graphs: accumulate_grad is
+    // locked, so concurrent sweeps must sum cleanly.
+    let p = Tensor::from_vec(vec![1.0, 2.0], &[2]).requires_grad();
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let p = p.clone();
+            s.spawn(move || p.mul(&p).sum_all().backward());
+        }
+    });
+    // Each backward adds 2p: 8 * [2, 4].
+    assert_eq!(p.grad().unwrap(), vec![16.0, 32.0]);
+}
+
+#[test]
+fn no_grad_is_per_thread() {
+    let a = Tensor::ones(&[2]).requires_grad();
+    no_grad(|| {
+        // The outer thread has tracking disabled, a fresh worker does not.
+        let a2 = a.clone();
+        let tracked = std::thread::spawn(move || a2.mul(&a2).is_tracked())
+            .join()
+            .unwrap();
+        assert!(tracked, "worker thread should track by default");
+        assert!(!a.mul(&a).is_tracked(), "outer scope stays no-grad");
+    });
+}
