@@ -5,7 +5,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use aimts::{AimTs, AimTsConfig, FineTuneConfig, PretrainConfig};
+use aimts::{AimTs, AimTsConfig, CheckpointPolicy, FineTuneConfig, PretrainConfig};
 use aimts_data::archives::{monash_like_pool, ucr_like_archive, uea_like_archive};
 use aimts_data::loader::load_ucr_tsv;
 use aimts_data::special;
@@ -22,10 +22,18 @@ USAGE:
       Generate a synthetic archive and write univariate datasets as UCR TSVs.
   aimts-cli pretrain [--pool-per-source 8] [--epochs 2] [--lr 0.001]
                      [--hidden 16] [--repr 32] [--seed 3407] [--workers 0]
+                     [--checkpoint-dir <dir>] [--checkpoint-every 1]
+                     [--keep-last 3] [--resume <ckpt.aimts|dir>]
                      --out <ckpt.json>
       Multi-source pre-train AimTS on a Monash-like pool, save a checkpoint.
       --workers 0 (default) resolves the data-parallel thread count from the
       AIMTS_THREADS environment variable, then available cores; 1 is serial.
+      --checkpoint-dir enables fault-tolerant training checkpoints
+      (ckpt-NNNNNN.aimts: params + Adam moments + scheduler + RNG stream,
+      CRC32-checked, written atomically) every --checkpoint-every epochs,
+      keeping the newest --keep-last. --resume restores such a checkpoint
+      (or the newest one in a directory) and continues the interrupted run
+      bit-exactly; it must use the same --seed and worker topology.
   aimts-cli finetune --ckpt <ckpt.json> --data-dir <dir> --name <Dataset>
                      [--epochs 40] [--hidden 16] [--repr 32]
       Fine-tune a checkpoint on a UCR-TSV dataset; prints accuracy + confusion.
@@ -109,6 +117,18 @@ pub fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolve `--resume`: a file is used as-is; a directory means "the newest
+/// `ckpt-*.aimts` inside it".
+fn resolve_resume(path: PathBuf) -> Result<PathBuf, String> {
+    if path.is_dir() {
+        aimts::latest_checkpoint(&path)
+            .map_err(|e| format!("scanning {} failed: {e}", path.display()))?
+            .ok_or_else(|| format!("no ckpt-*.aimts checkpoints in {}", path.display()))
+    } else {
+        Ok(path)
+    }
+}
+
 /// `pretrain`: multi-source pre-training to a JSON checkpoint.
 pub fn pretrain(args: &Args) -> Result<(), String> {
     let per_source = args.parse_or("pool-per-source", 8usize)?;
@@ -118,6 +138,18 @@ pub fn pretrain(args: &Args) -> Result<(), String> {
     let workers = args.parse_or("workers", 0usize)?;
     let out = PathBuf::from(args.required("out")?);
     let cfg = model_config(args)?;
+    let checkpoint = CheckpointPolicy {
+        dir: args.get("checkpoint-dir").map(PathBuf::from),
+        every: args.parse_or("checkpoint-every", 1usize)?,
+        keep_last: args.parse_or("keep-last", 3usize)?,
+        resume_from: match args.get("resume") {
+            Some(p) => Some(resolve_resume(PathBuf::from(p))?),
+            None => None,
+        },
+    };
+    if let Some(from) = &checkpoint.resume_from {
+        println!("resuming from {}", from.display());
+    }
 
     let pool = monash_like_pool(per_source, 0);
     println!(
@@ -126,17 +158,20 @@ pub fn pretrain(args: &Args) -> Result<(), String> {
     );
     let mut model = AimTs::new(cfg, seed);
     println!("model: {} parameters", model.num_parameters());
-    let report = model.pretrain(
-        &pool,
-        &PretrainConfig {
-            epochs,
-            batch_size: 8,
-            lr,
-            seed,
-            workers,
-            ..PretrainConfig::default()
-        },
-    );
+    let report = model
+        .pretrain_checkpointed(
+            &pool,
+            &PretrainConfig {
+                epochs,
+                batch_size: 8,
+                lr,
+                seed,
+                workers,
+                checkpoint,
+                ..PretrainConfig::default()
+            },
+        )
+        .map_err(|e| format!("pre-training failed: {e}"))?;
     println!(
         "done: {} steps on {} worker(s), loss per epoch {:?} (proto {:.3}, series-image {:.3})",
         report.steps,
@@ -332,6 +367,44 @@ mod tests {
         ]))
         .unwrap();
         assert!(ppm.exists());
+    }
+
+    #[test]
+    fn pretrain_checkpoint_flags_roundtrip() {
+        let dir = std::env::temp_dir().join("aimts_cli_test_ckpt_dir");
+        let _ = fs::remove_dir_all(&dir);
+        let out = std::env::temp_dir().join("aimts_cli_test_resume.json");
+        let base = [
+            ("pool-per-source", "2"),
+            ("epochs", "2"),
+            ("hidden", "8"),
+            ("repr", "16"),
+            ("workers", "1"),
+            ("checkpoint-dir", dir.to_str().unwrap()),
+        ];
+        let mut first: Vec<(&str, &str)> = base.to_vec();
+        first.push(("out", out.to_str().unwrap()));
+        pretrain(&args(&first)).unwrap();
+        assert!(
+            dir.join("ckpt-000002.aimts").exists(),
+            "final-epoch checkpoint missing"
+        );
+
+        // Resuming a finished run from the directory (latest checkpoint)
+        // is a no-op train that still writes the JSON output.
+        let _ = fs::remove_file(&out);
+        let mut resumed: Vec<(&str, &str)> = base.to_vec();
+        resumed.push(("resume", dir.to_str().unwrap()));
+        resumed.push(("out", out.to_str().unwrap()));
+        pretrain(&args(&resumed)).unwrap();
+        assert!(out.exists());
+
+        // A wrong seed is rejected with a clean error, not a panic.
+        let mut bad: Vec<(&str, &str)> = base.to_vec();
+        bad.push(("resume", dir.to_str().unwrap()));
+        bad.push(("seed", "9999"));
+        bad.push(("out", out.to_str().unwrap()));
+        assert!(pretrain(&args(&bad)).is_err());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Configuration for the AimTS model and its two training stages.
 
+use std::path::PathBuf;
+
 use aimts_augment::{default_bank, Augmentation};
 use aimts_imaging::ImageConfig;
 
@@ -145,6 +147,33 @@ impl AimTsConfig {
     }
 }
 
+/// Fault-tolerant checkpointing policy for pre-training.
+///
+/// With `dir` set, [`crate::AimTs::pretrain`] writes a full training
+/// checkpoint (`ckpt-NNNNNN.aimts`) after every `every` completed epochs
+/// (and always after the final one), retaining the newest `keep_last`.
+/// With `resume_from` set, training restores that checkpoint — parameters,
+/// Adam moments, scheduler state, RNG stream — and continues exactly where
+/// the interrupted run left off.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointPolicy {
+    /// Directory for periodic checkpoints; `None` disables writing.
+    pub dir: Option<PathBuf>,
+    /// Checkpoint cadence in completed epochs (`0` is treated as `1`).
+    pub every: usize,
+    /// Retain only the newest K periodic checkpoints (`0` keeps all).
+    pub keep_last: usize,
+    /// Checkpoint file to restore before the first epoch.
+    pub resume_from: Option<PathBuf>,
+}
+
+impl CheckpointPolicy {
+    /// Effective cadence (guards the `every = 0` footgun).
+    pub fn every_epochs(&self) -> usize {
+        self.every.max(1)
+    }
+}
+
 /// Pre-training loop settings (paper: Adam, lr 7e-3, StepLR, 2 epochs,
 /// batch 16).
 #[derive(Debug, Clone)]
@@ -160,6 +189,8 @@ pub struct PretrainConfig {
     /// `AIMTS_THREADS` environment variable, falling back to the machine's
     /// available parallelism; `1` forces the serial training path.
     pub workers: usize,
+    /// Periodic checkpointing / resume policy (disabled by default).
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for PretrainConfig {
@@ -172,6 +203,7 @@ impl Default for PretrainConfig {
             lr_gamma: 0.5,
             seed: 3407,
             workers: 0,
+            checkpoint: CheckpointPolicy::default(),
         }
     }
 }
@@ -188,6 +220,10 @@ pub struct FineTuneConfig {
     /// If false, freeze the encoder (linear-probe mode; extension).
     pub train_encoder: bool,
     pub seed: u64,
+    /// When set, [`crate::FineTuned::fit`] atomically checkpoints the
+    /// encoder + head to this path whenever training-split accuracy
+    /// reaches a new best.
+    pub best_ckpt: Option<PathBuf>,
 }
 
 impl Default for FineTuneConfig {
@@ -199,6 +235,7 @@ impl Default for FineTuneConfig {
             head_hidden: 64,
             train_encoder: true,
             seed: 3407,
+            best_ckpt: None,
         }
     }
 }

@@ -2,9 +2,14 @@
 //! pre-trained TS encoder plus a task-specific MLP classifier trained with
 //! cross-entropy.
 
+use std::path::Path;
+
 use aimts_data::preprocess::z_normalize_sample;
 use aimts_data::{Dataset, MultiSeries, Split};
-use aimts_nn::{Activation, Adam, Mlp, Module, Optimizer};
+use aimts_nn::{
+    apply_named_tensors, decode_named_tensors, encode_named_tensors, sections, Activation, Adam,
+    Checkpoint, CheckpointError, Mlp, Module, Optimizer,
+};
 use aimts_tensor::no_grad;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,6 +26,9 @@ pub struct FineTuned {
     pub n_classes: usize,
     /// Cross-entropy per epoch on the training split.
     pub train_losses: Vec<f32>,
+    /// Best training-split accuracy seen by [`FineTuned::fit`] when
+    /// best-checkpointing is enabled (`None` otherwise).
+    pub best_train_accuracy: Option<f64>,
 }
 
 impl FineTuned {
@@ -48,9 +56,43 @@ impl FineTuned {
             head,
             n_classes: ds.n_classes,
             train_losses: Vec::new(),
+            best_train_accuracy: None,
         };
         tuned.fit(&ds.train, fcfg);
         tuned
+    }
+
+    /// Encoder + head parameters with stable hierarchical names (the layout
+    /// [`FineTuned::save_params`] / [`FineTuned::load_params`] use).
+    pub fn named_parameters(&self) -> Vec<(String, aimts_tensor::Tensor)> {
+        let mut out = Vec::new();
+        self.encoder.named_parameters("encoder", &mut out);
+        self.head.named_parameters("head", &mut out);
+        out
+    }
+
+    /// Atomically write encoder + head to a binary checkpoint. `epoch` and
+    /// the best accuracy (scaled by 1e6 into the step counter) land in the
+    /// header for quick inspection.
+    pub fn save_params(&self, path: &Path, epoch: usize) -> Result<(), CheckpointError> {
+        let mut ck = Checkpoint::new(
+            (self.best_train_accuracy.unwrap_or(0.0) * 1e6) as u64,
+            epoch as u64,
+        );
+        ck.push_section(
+            sections::PARAMS,
+            encode_named_tensors(&self.named_parameters()),
+        );
+        ck.save(path)
+    }
+
+    /// Restore encoder + head from a [`FineTuned::save_params`] checkpoint.
+    /// Validates every checksum and shape; on error the model is untouched.
+    pub fn load_params(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        let ck = Checkpoint::load(path)?;
+        let entries =
+            decode_named_tensors(ck.require_section(sections::PARAMS)?, sections::PARAMS)?;
+        apply_named_tensors(&entries, &self.named_parameters())
     }
 
     /// Train on a (possibly subsampled) split.
@@ -74,7 +116,7 @@ impl FineTuned {
         let mut opt = Adam::new(params, fcfg.lr);
         let mut rng = StdRng::seed_from_u64(fcfg.seed);
 
-        for _ in 0..fcfg.epochs {
+        for epoch in 0..fcfg.epochs {
             let mut epoch_loss = 0f32;
             let mut batches = 0usize;
             for batch in batch_indices(prepared.len(), fcfg.batch_size, &mut rng) {
@@ -106,6 +148,21 @@ impl FineTuned {
                 batches = 1;
             }
             self.train_losses.push(epoch_loss / batches as f32);
+            // Best-accuracy checkpointing: snapshot encoder + head whenever
+            // the training-split accuracy improves, atomically, so the best
+            // model survives a crash (or later over-fitting epochs).
+            if let Some(path) = &fcfg.best_ckpt {
+                let acc = self.evaluate(train);
+                if self.best_train_accuracy.is_none_or(|best| acc > best) {
+                    self.best_train_accuracy = Some(acc);
+                    if let Err(e) = self.save_params(path, epoch) {
+                        eprintln!(
+                            "warning: best-accuracy checkpoint to {} failed: {e}",
+                            path.display()
+                        );
+                    }
+                }
+            }
         }
     }
 

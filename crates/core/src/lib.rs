@@ -41,6 +41,7 @@
 
 pub mod augselect;
 pub mod batch;
+pub mod checkpoint;
 pub mod config;
 pub mod encoder;
 pub mod finetune;
@@ -50,7 +51,11 @@ pub mod model;
 pub mod parallel;
 
 pub use augselect::{score_augmentations, select_bank, AugmentationScore};
-pub use config::{AimTsConfig, FineTuneConfig, PretrainConfig};
+pub use checkpoint::{
+    build_pretrain_checkpoint, checkpoint_path, decode_pretrain_checkpoint, latest_checkpoint,
+    list_checkpoints, prune_checkpoints, DecodedPretrain, PretrainState, CKPT_EXT,
+};
+pub use config::{AimTsConfig, CheckpointPolicy, FineTuneConfig, PretrainConfig};
 pub use encoder::{copy_parameters, ImageEncoder, TsEncoder};
 pub use finetune::FineTuned;
 pub use model::{AimTs, MicroGrad, PretrainReport};

@@ -9,13 +9,18 @@ use aimts_data::{Dataset, MultiSeries};
 use aimts_eval::Summary;
 use aimts_imaging::render_sample;
 use aimts_nn::{
-    load_state_dict, save_state_dict, Activation, Adam, Mlp, Module, Optimizer, Replicate, StepLr,
+    load_state_dict, save_state_dict, Activation, Adam, CheckpointError, Mlp, Module, Optimizer,
+    Replicate, StepLr,
 };
 use aimts_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::batch::{batch_indices, encode_channel_independent, samples_to_tensor};
+use crate::checkpoint::{
+    build_pretrain_checkpoint, checkpoint_path, decode_pretrain_checkpoint, prune_checkpoints,
+    PretrainState,
+};
 use crate::config::{AimTsConfig, FineTuneConfig, PretrainConfig};
 use crate::encoder::{ImageEncoder, TsEncoder};
 use crate::finetune::FineTuned;
@@ -134,7 +139,27 @@ impl AimTs {
     /// resolved by [`parallel::worker_count`] from `pcfg.workers` (then the
     /// `AIMTS_THREADS` environment variable, then available cores). With
     /// one worker the original serial loop runs, bit-for-bit.
+    ///
+    /// When `pcfg.checkpoint` is inactive this is infallible; with
+    /// checkpointing or resume configured, prefer
+    /// [`AimTs::pretrain_checkpointed`], which surfaces checkpoint errors
+    /// instead of panicking.
     pub fn pretrain(&mut self, pool: &[MultiSeries], pcfg: &PretrainConfig) -> PretrainReport {
+        self.pretrain_checkpointed(pool, pcfg)
+            .unwrap_or_else(|e| panic!("pre-training checkpoint failure: {e}"))
+    }
+
+    /// [`AimTs::pretrain`] with fault-tolerant checkpointing surfaced as
+    /// typed errors: periodic checkpoints per `pcfg.checkpoint`, and — when
+    /// `resume_from` is set — bit-exact continuation of an interrupted run
+    /// (identical parameters and loss curve to the uninterrupted run on the
+    /// serial path; the data-parallel path matches within float all-reduce
+    /// tolerance when resumed with the same worker count).
+    pub fn pretrain_checkpointed(
+        &mut self,
+        pool: &[MultiSeries],
+        pcfg: &PretrainConfig,
+    ) -> Result<PretrainReport, CheckpointError> {
         assert!(pool.len() >= 2, "pre-training needs at least 2 samples");
         let workers = parallel::worker_count(pcfg.workers);
         if workers <= 1 {
@@ -142,6 +167,79 @@ impl AimTs {
         } else {
             self.pretrain_parallel(pool, pcfg, workers)
         }
+    }
+
+    /// Restore a pre-training checkpoint into `self`/`opt`/`sched` and
+    /// validate that it belongs to this run shape (same seed, same worker
+    /// topology). Returns the decoded training bookkeeping.
+    fn restore_pretrain(
+        &mut self,
+        path: &Path,
+        pcfg: &PretrainConfig,
+        expected_workers: u32,
+        opt: &mut Adam,
+        sched: &mut StepLr,
+    ) -> Result<PretrainState, CheckpointError> {
+        let ck = aimts_nn::Checkpoint::load(path)?;
+        let dec = decode_pretrain_checkpoint(&ck)?;
+        if dec.train.base_seed != pcfg.seed {
+            return Err(CheckpointError::Incompatible {
+                detail: format!(
+                    "checkpoint was produced with seed {}, this run uses seed {} \
+                     (resume requires the same seed for identical random streams)",
+                    dec.train.base_seed, pcfg.seed
+                ),
+            });
+        }
+        if dec.train.workers != expected_workers {
+            return Err(CheckpointError::Incompatible {
+                detail: format!(
+                    "checkpoint was produced with workers={}, this run resolves workers={} \
+                     (gradient-averaging rounds depend on the worker count)",
+                    dec.train.workers, expected_workers
+                ),
+            });
+        }
+        if dec.train.epochs_done as usize > pcfg.epochs {
+            return Err(CheckpointError::Incompatible {
+                detail: format!(
+                    "checkpoint has already completed {} epochs but this run asks for {}",
+                    dec.train.epochs_done, pcfg.epochs
+                ),
+            });
+        }
+        dec.apply_params(self)?;
+        opt.restore_state(&dec.adam)
+            .map_err(|detail| CheckpointError::Incompatible { detail })?;
+        sched
+            .restore_state(&dec.scheduler)
+            .map_err(|detail| CheckpointError::Incompatible { detail })?;
+        Ok(dec.train)
+    }
+
+    /// Write the periodic checkpoint for the just-finished epoch when the
+    /// policy's cadence (or the final epoch) says so, then apply retention.
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_write_checkpoint(
+        &self,
+        pcfg: &PretrainConfig,
+        epochs_done: usize,
+        opt: &Adam,
+        sched: &StepLr,
+        state: &PretrainState,
+    ) -> Result<(), CheckpointError> {
+        let Some(dir) = &pcfg.checkpoint.dir else {
+            return Ok(());
+        };
+        let cadence_hit = epochs_done.is_multiple_of(pcfg.checkpoint.every_epochs());
+        if !cadence_hit && epochs_done != pcfg.epochs {
+            return Ok(());
+        }
+        std::fs::create_dir_all(dir)?;
+        let ck = build_pretrain_checkpoint(self, &opt.export_state(), &sched.export_state(), state);
+        ck.save(&checkpoint_path(dir, epochs_done))?;
+        prune_checkpoints(dir, pcfg.checkpoint.keep_last)?;
+        Ok(())
     }
 
     /// Group prepared-sample indices by variable count (constant M per
@@ -158,7 +256,11 @@ impl AimTs {
 
     /// The original single-threaded loop: one shared RNG drives shuffling
     /// and augmentation sequentially, one optimizer step per micro-batch.
-    fn pretrain_serial(&mut self, pool: &[MultiSeries], pcfg: &PretrainConfig) -> PretrainReport {
+    fn pretrain_serial(
+        &mut self,
+        pool: &[MultiSeries],
+        pcfg: &PretrainConfig,
+    ) -> Result<PretrainReport, CheckpointError> {
         let prepared: Vec<MultiSeries> = pool.iter().map(|s| self.prepare(s)).collect();
         let groups = Self::group_by_var_count(&prepared);
 
@@ -174,7 +276,17 @@ impl AimTs {
         let mut epoch_losses = Vec::with_capacity(pcfg.epochs);
         let mut steps = 0usize;
         let (mut last_proto, mut last_si) = (0f32, 0f32);
-        for _epoch in 0..pcfg.epochs {
+        let mut start_epoch = 0usize;
+        if let Some(path) = &pcfg.checkpoint.resume_from {
+            let st = self.restore_pretrain(path, pcfg, 1, &mut opt, &mut sched)?;
+            rng = StdRng::from_state(st.rng_state);
+            start_epoch = st.epochs_done as usize;
+            steps = st.steps as usize;
+            epoch_losses = st.epoch_losses;
+            last_proto = st.last_proto;
+            last_si = st.last_si;
+        }
+        for epoch in start_epoch..pcfg.epochs {
             let mut losses_this_epoch = Vec::new();
             let (mut protos, mut sis) = (Vec::new(), Vec::new());
             for idxs in groups.values() {
@@ -195,15 +307,32 @@ impl AimTs {
             last_proto = Summary::of(&protos).mean as f32;
             last_si = Summary::of(&sis).mean as f32;
             sched.step(&mut opt);
+            self.maybe_write_checkpoint(
+                pcfg,
+                epoch + 1,
+                &opt,
+                &sched,
+                &PretrainState {
+                    steps: steps as u64,
+                    epochs_done: (epoch + 1) as u64,
+                    base_seed: pcfg.seed,
+                    rng_state: rng.state(),
+                    micro_counter: 0,
+                    workers: 1,
+                    epoch_losses: epoch_losses.clone(),
+                    last_proto,
+                    last_si,
+                },
+            )?;
         }
-        PretrainReport {
-            final_loss: *epoch_losses.last().unwrap(),
+        Ok(PretrainReport {
+            final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
             epoch_losses,
             steps,
             final_proto_loss: last_proto,
             final_si_loss: last_si,
             workers: 1,
-        }
+        })
     }
 
     /// Data-parallel loop: each round ships the master weights to per-worker
@@ -219,7 +348,7 @@ impl AimTs {
         pool: &[MultiSeries],
         pcfg: &PretrainConfig,
         workers: usize,
-    ) -> PretrainReport {
+    ) -> Result<PretrainReport, CheckpointError> {
         let prepared: Vec<MultiSeries> = pool.iter().map(|s| self.prepare(s)).collect();
         let groups = Self::group_by_var_count(&prepared);
 
@@ -238,13 +367,27 @@ impl AimTs {
         // replicas would sit idle.
         let max_micro: usize = groups.values().map(|g| g.len().div_ceil(2)).sum();
         let workers = workers.min(max_micro.max(1));
-        let replicas: Vec<AimTs> = (0..workers).map(|_| self.replicate()).collect();
 
         let mut epoch_losses = Vec::with_capacity(pcfg.epochs);
         let mut steps = 0usize;
         let (mut last_proto, mut last_si) = (0f32, 0f32);
         let mut micro_counter = 0u64;
-        for epoch in 0..pcfg.epochs {
+        let mut start_epoch = 0usize;
+        if let Some(path) = &pcfg.checkpoint.resume_from {
+            let st = self.restore_pretrain(path, pcfg, workers as u32, &mut opt, &mut sched)?;
+            rng = StdRng::from_state(st.rng_state);
+            start_epoch = st.epochs_done as usize;
+            steps = st.steps as usize;
+            micro_counter = st.micro_counter;
+            epoch_losses = st.epoch_losses;
+            last_proto = st.last_proto;
+            last_si = st.last_si;
+        }
+        // Replicate *after* a potential restore so workers start from the
+        // checkpointed weights.
+        let replicas: Vec<AimTs> = (0..workers).map(|_| self.replicate()).collect();
+
+        for epoch in start_epoch..pcfg.epochs {
             // The epoch's schedule up front: (derived seed, sample indices).
             let mut schedule: Vec<(u64, Vec<usize>)> = Vec::new();
             for idxs in groups.values() {
@@ -280,15 +423,32 @@ impl AimTs {
             last_proto = Summary::of(&protos).mean as f32;
             last_si = Summary::of(&sis).mean as f32;
             sched.step(&mut opt);
+            self.maybe_write_checkpoint(
+                pcfg,
+                epoch + 1,
+                &opt,
+                &sched,
+                &PretrainState {
+                    steps: steps as u64,
+                    epochs_done: (epoch + 1) as u64,
+                    base_seed: pcfg.seed,
+                    rng_state: rng.state(),
+                    micro_counter,
+                    workers: workers as u32,
+                    epoch_losses: epoch_losses.clone(),
+                    last_proto,
+                    last_si,
+                },
+            )?;
         }
-        PretrainReport {
-            final_loss: *epoch_losses.last().unwrap(),
+        Ok(PretrainReport {
+            final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
             epoch_losses,
             steps,
             final_proto_loss: last_proto,
             final_si_loss: last_si,
             workers,
-        }
+        })
     }
 
     /// Zero all gradients, run one pre-training step on already-prepared

@@ -28,11 +28,17 @@ mod module;
 mod optim;
 mod scheduler;
 
-pub use checkpoint::{load_state_dict, save_state_dict, StateDict, TensorState};
+pub use checkpoint::{
+    apply_named_tensors, apply_state_dict, atomic_write, atomic_write_failing_after, crc32,
+    decode_adam_state, decode_named_tensors, decode_scheduler_state, encode_adam_state,
+    encode_named_tensors, encode_scheduler_state, layout, load_state_dict, save_state_dict,
+    sections, state_dict_of, Checkpoint, CheckpointError, SectionReader, SectionSpan,
+    SectionWriter, StateDict, TensorEntry, TensorState, FORMAT_VERSION, HEADER_LEN, MAGIC,
+};
 pub use init::{kaiming_conv1d, kaiming_conv2d, kaiming_linear};
 pub use layers::{
     Activation, BatchNorm1d, Conv1d, Conv2d, Dropout, LayerNorm, Linear, Mlp, Sequential,
 };
 pub use module::{AnyModule, Module, Replicate};
-pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
-pub use scheduler::{CosineLr, StepLr};
+pub use optim::{clip_grad_norm, Adam, AdamState, Optimizer, Sgd};
+pub use scheduler::{CosineLr, SchedulerState, StepLr};

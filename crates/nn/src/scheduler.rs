@@ -3,6 +3,24 @@
 
 use crate::optim::Optimizer;
 
+/// Serializable snapshot of a learning-rate schedule, tagged by kind so a
+/// checkpoint can refuse to resume into the wrong schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerState {
+    Step {
+        base_lr: f32,
+        step_size: usize,
+        gamma: f32,
+        epoch: usize,
+    },
+    Cosine {
+        base_lr: f32,
+        min_lr: f32,
+        total_epochs: usize,
+        epoch: usize,
+    },
+}
+
 /// Multiply the learning rate by `gamma` every `step_size` epochs.
 pub struct StepLr {
     base_lr: f32,
@@ -31,6 +49,40 @@ impl StepLr {
     pub fn step(&mut self, opt: &mut dyn Optimizer) {
         self.epoch += 1;
         opt.set_lr(self.current_lr());
+    }
+
+    /// Snapshot for checkpointing.
+    pub fn export_state(&self) -> SchedulerState {
+        SchedulerState::Step {
+            base_lr: self.base_lr,
+            step_size: self.step_size,
+            gamma: self.gamma,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Restore a [`SchedulerState::Step`] snapshot; rejects other kinds.
+    pub fn restore_state(&mut self, state: &SchedulerState) -> Result<(), String> {
+        match *state {
+            SchedulerState::Step {
+                base_lr,
+                step_size,
+                gamma,
+                epoch,
+            } => {
+                if step_size == 0 {
+                    return Err("StepLr step_size must be positive".into());
+                }
+                self.base_lr = base_lr;
+                self.step_size = step_size;
+                self.gamma = gamma;
+                self.epoch = epoch;
+                Ok(())
+            }
+            SchedulerState::Cosine { .. } => {
+                Err("checkpoint holds a CosineLr state, expected StepLr".into())
+            }
+        }
     }
 }
 
@@ -67,6 +119,40 @@ impl CosineLr {
         self.epoch += 1;
         opt.set_lr(self.current_lr());
     }
+
+    /// Snapshot for checkpointing.
+    pub fn export_state(&self) -> SchedulerState {
+        SchedulerState::Cosine {
+            base_lr: self.base_lr,
+            min_lr: self.min_lr,
+            total_epochs: self.total_epochs,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Restore a [`SchedulerState::Cosine`] snapshot; rejects other kinds.
+    pub fn restore_state(&mut self, state: &SchedulerState) -> Result<(), String> {
+        match *state {
+            SchedulerState::Cosine {
+                base_lr,
+                min_lr,
+                total_epochs,
+                epoch,
+            } => {
+                if total_epochs == 0 {
+                    return Err("CosineLr total_epochs must be positive".into());
+                }
+                self.base_lr = base_lr;
+                self.min_lr = min_lr;
+                self.total_epochs = total_epochs;
+                self.epoch = epoch;
+                Ok(())
+            }
+            SchedulerState::Step { .. } => {
+                Err("checkpoint holds a StepLr state, expected CosineLr".into())
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +175,30 @@ mod tests {
         // Past the horizon it stays at min.
         sched.step(&mut opt);
         assert!((opt.lr() - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_schedule() {
+        let mut opt = Adam::new(vec![], 1.0);
+        let mut a = StepLr::new(1.0, 2, 0.5);
+        a.step(&mut opt);
+        a.step(&mut opt);
+        a.step(&mut opt);
+        let snap = a.export_state();
+        let mut b = StepLr::new(9.0, 7, 0.9);
+        b.restore_state(&snap).unwrap();
+        assert_eq!(b.current_lr(), a.current_lr());
+        let mut oa = Adam::new(vec![], 1.0);
+        let mut ob = Adam::new(vec![], 1.0);
+        a.step(&mut oa);
+        b.step(&mut ob);
+        assert_eq!(oa.lr(), ob.lr());
+        // A cosine snapshot does not restore into StepLr, and vice versa.
+        let cos = CosineLr::new(1.0, 0.1, 4).export_state();
+        assert!(b.restore_state(&cos).is_err());
+        let mut c = CosineLr::new(1.0, 0.1, 4);
+        assert!(c.restore_state(&snap).is_err());
+        assert!(c.restore_state(&cos).is_ok());
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Property-based round-trip guarantees for the binary checkpoint format:
+//! arbitrary shapes and arbitrary f32 bit patterns — including `NaN`
+//! payloads, `±inf`, `-0.0` and subnormals — must survive
+//! encode → serialize → parse → decode → apply *bit-for-bit*.
+
+use aimts_nn::{
+    apply_named_tensors, decode_adam_state, decode_named_tensors, decode_scheduler_state,
+    encode_adam_state, encode_named_tensors, encode_scheduler_state, sections, AdamState,
+    Checkpoint, SchedulerState, SectionReader, SectionWriter,
+};
+use aimts_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Interesting IEEE-754 corner cases appended to every generated buffer so
+/// each run exercises them regardless of what the u32 generator produced.
+const SPECIAL_BITS: [u32; 6] = [
+    0x7FC0_0000, // quiet NaN
+    0x7F80_0001, // signaling-NaN payload
+    0x7F80_0000, // +inf
+    0xFF80_0000, // -inf
+    0x8000_0000, // -0.0
+    0x0000_0001, // smallest subnormal
+];
+
+/// Strategy: a tensor shape of 1–3 dims, each 1–5 (up to 125 elements).
+fn shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=5, 1..=3)
+}
+
+/// Strategy: `(shape, raw f32 bit patterns)` with the special values mixed
+/// into the front of the buffer.
+fn shaped_bits() -> impl Strategy<Value = (Vec<usize>, Vec<u32>)> {
+    shape().prop_flat_map(|s| {
+        let n: usize = s.iter().product();
+        prop::collection::vec(0u32..=u32::MAX, n..=n).prop_map(move |mut bits| {
+            for (i, special) in SPECIAL_BITS.iter().enumerate() {
+                if i < bits.len() {
+                    bits[i] = *special;
+                }
+            }
+            (s.clone(), bits)
+        })
+    })
+}
+
+fn tensor_from_bits(shape: &[usize], bits: &[u32]) -> Tensor {
+    Tensor::from_vec(bits.iter().map(|&b| f32::from_bits(b)).collect(), shape)
+}
+
+proptest! {
+    /// Full pipeline: named tensors → params section → serialized container
+    /// → parse → decode → apply onto fresh zero tensors, compared by bits.
+    #[test]
+    fn named_tensors_roundtrip_bit_exactly(
+        tensors in prop::collection::vec(shaped_bits(), 1..5),
+        step in 0u64..u64::MAX,
+        epoch in 0u64..u64::MAX,
+    ) {
+        let named: Vec<(String, Tensor)> = tensors
+            .iter()
+            .enumerate()
+            .map(|(i, (s, bits))| (format!("t{i}"), tensor_from_bits(s, bits)))
+            .collect();
+
+        let mut ck = Checkpoint::new(step, epoch);
+        ck.push_section(sections::PARAMS, encode_named_tensors(&named));
+        let parsed = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+        prop_assert_eq!(parsed.step, step);
+        prop_assert_eq!(parsed.epoch, epoch);
+
+        let entries =
+            decode_named_tensors(parsed.section(sections::PARAMS).unwrap(), sections::PARAMS)
+                .unwrap();
+        let fresh: Vec<(String, Tensor)> = tensors
+            .iter()
+            .enumerate()
+            .map(|(i, (s, _))| (format!("t{i}"), Tensor::zeros(s)))
+            .collect();
+        apply_named_tensors(&entries, &fresh).unwrap();
+
+        for ((_, restored), (_, original)) in fresh.iter().zip(&named) {
+            prop_assert_eq!(restored.shape(), original.shape());
+            prop_assert_eq!(restored.data_bits(), original.data_bits());
+        }
+    }
+
+    /// Adam moments with arbitrary bit patterns survive their codec.
+    #[test]
+    fn adam_state_roundtrips_bit_exactly(
+        buffers in prop::collection::vec(shaped_bits(), 1..4),
+        t in 0u64..1_000_000,
+    ) {
+        let to_f32 = |bits: &[u32]| bits.iter().map(|&b| f32::from_bits(b)).collect::<Vec<_>>();
+        let state = AdamState {
+            lr: 7e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t,
+            m: buffers.iter().map(|(_, b)| to_f32(b)).collect(),
+            v: buffers.iter().map(|(_, b)| to_f32(&b.iter().rev().copied().collect::<Vec<_>>())).collect(),
+        };
+        let back = decode_adam_state(&encode_adam_state(&state), sections::ADAM).unwrap();
+        prop_assert_eq!(back.t, state.t);
+        prop_assert_eq!(back.m.len(), state.m.len());
+        for (a, b) in back.m.iter().zip(&state.m) {
+            let (ab, bb): (Vec<u32>, Vec<u32>) =
+                (a.iter().map(|x| x.to_bits()).collect(), b.iter().map(|x| x.to_bits()).collect());
+            prop_assert_eq!(ab, bb);
+        }
+        for (a, b) in back.v.iter().zip(&state.v) {
+            let (ab, bb): (Vec<u32>, Vec<u32>) =
+                (a.iter().map(|x| x.to_bits()).collect(), b.iter().map(|x| x.to_bits()).collect());
+            prop_assert_eq!(ab, bb);
+        }
+    }
+
+    /// Both scheduler kinds survive their codec at arbitrary positions.
+    #[test]
+    fn scheduler_state_roundtrips(
+        base_lr in 1e-6f32..1.0,
+        epoch in 0usize..10_000,
+        step_size in 1usize..100,
+        total in 1usize..10_000,
+        kind in prop::sample::select(vec![0u8, 1]),
+    ) {
+        let state = if kind == 0 {
+            SchedulerState::Step { base_lr, step_size, gamma: 0.5, epoch }
+        } else {
+            SchedulerState::Cosine { base_lr, min_lr: base_lr / 100.0, total_epochs: total, epoch }
+        };
+        let back =
+            decode_scheduler_state(&encode_scheduler_state(&state), sections::SCHEDULER).unwrap();
+        prop_assert_eq!(back, state);
+    }
+
+    /// The primitive section codec is an exact inverse of itself.
+    #[test]
+    fn section_codec_roundtrips_primitives(
+        a in 0u32..u32::MAX,
+        b in 0u64..u64::MAX,
+        bits in prop::collection::vec(0u32..=u32::MAX, 0..40),
+        words in prop::collection::vec(0u32..=u32::MAX, 0..40),
+        name in prop::collection::vec(97u8..=122, 0..12),
+    ) {
+        let floats: Vec<f32> = bits.iter().map(|&x| f32::from_bits(x)).collect();
+        let text = String::from_utf8(name).unwrap();
+
+        let mut w = SectionWriter::new();
+        w.put_u32(a);
+        w.put_u64(b);
+        w.put_str(&text);
+        w.put_f32_slice(&floats);
+        w.put_u32_slice(&words);
+        let bytes = w.finish();
+
+        let mut r = SectionReader::new(&bytes, "prop");
+        prop_assert_eq!(r.get_u32("a").unwrap(), a);
+        prop_assert_eq!(r.get_u64("b").unwrap(), b);
+        prop_assert_eq!(r.get_str("text").unwrap(), text);
+        let floats_back: Vec<u32> =
+            r.get_f32_slice("floats").unwrap().iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(floats_back, bits);
+        prop_assert_eq!(r.get_u32_slice("words").unwrap(), words);
+        r.finish().unwrap();
+    }
+}

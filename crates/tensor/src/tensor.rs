@@ -246,6 +246,25 @@ impl Tensor {
         f(&mut write_lock(&self.inner.data));
     }
 
+    /// Raw IEEE-754 bit patterns of the buffer, in element order.
+    ///
+    /// Unlike [`Tensor::to_vec`] followed by arithmetic, the bit patterns
+    /// survive any value exactly — including `NaN` payloads and `±inf` —
+    /// which is what binary checkpointing needs for bit-exact round-trips.
+    pub fn data_bits(&self) -> Vec<u32> {
+        self.data().iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Overwrite the buffer from raw bit patterns (inverse of
+    /// [`Tensor::data_bits`]). Panics if the length differs.
+    pub fn set_data_bits(&self, bits: &[u32]) {
+        let mut d = write_lock(&self.inner.data);
+        assert_eq!(d.len(), bits.len(), "set_data_bits length mismatch");
+        for (x, b) in d.iter_mut().zip(bits) {
+            *x = f32::from_bits(*b);
+        }
+    }
+
     // ----- gradient -------------------------------------------------------
 
     /// Accumulated gradient of a leaf variable, if any.

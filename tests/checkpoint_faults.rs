@@ -1,0 +1,253 @@
+//! Crash/corruption fault-injection suite for the binary pre-training
+//! checkpoint format.
+//!
+//! Builds one *valid* checkpoint, then systematically damages it — truncating
+//! at (and just before) every section boundary, and flipping a byte in every
+//! region of the file — asserting that every single load returns a typed
+//! `Err` naming what failed: zero panics, zero silent successes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use aimts::{build_pretrain_checkpoint, decode_pretrain_checkpoint, PretrainState};
+use aimts::{AimTs, AimTsConfig};
+use aimts_nn::{layout, sections, Adam, Checkpoint, CheckpointError, StepLr, HEADER_LEN};
+
+/// A realistic 4-section pre-training checkpoint, serialized.
+fn valid_checkpoint_bytes() -> Vec<u8> {
+    let model = AimTs::new(AimTsConfig::tiny(), 5);
+    let params: Vec<_> = model
+        .named_parameters()
+        .into_iter()
+        .map(|(_, t)| t)
+        .collect();
+    let adam = Adam::new(params, 1e-3).export_state();
+    let sched = StepLr::new(1e-3, 2, 0.5).export_state();
+    let train = PretrainState {
+        steps: 40,
+        epochs_done: 2,
+        base_seed: 3407,
+        rng_state: 0x1234_5678_9ABC_DEF0,
+        micro_counter: 16,
+        workers: 1,
+        epoch_losses: vec![2.5, 1.75],
+        last_proto: 1.0,
+        last_si: 0.75,
+    };
+    build_pretrain_checkpoint(&model, &adam, &sched, &train).to_bytes()
+}
+
+/// Parse + fully decode, catching panics so a faulty code path reads as a
+/// test failure message instead of a crashed harness.
+fn try_full_load(bytes: &[u8]) -> Result<Result<(), CheckpointError>, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let ck = Checkpoint::from_bytes(bytes)?;
+        decode_pretrain_checkpoint(&ck)?;
+        Ok(())
+    }))
+    .map_err(|_| "load panicked".to_string())
+}
+
+/// Every corrupted/truncated load must return `Err` without panicking.
+fn assert_rejects(bytes: &[u8], what: &str) -> CheckpointError {
+    match try_full_load(bytes) {
+        Err(panic_msg) => panic!("{what}: {panic_msg}"),
+        Ok(Ok(())) => panic!("{what}: corrupted checkpoint loaded silently"),
+        Ok(Err(e)) => e,
+    }
+}
+
+#[test]
+fn pristine_checkpoint_loads() {
+    let bytes = valid_checkpoint_bytes();
+    assert!(try_full_load(&bytes).unwrap().is_ok());
+    let (header_end, spans) = layout(&bytes).unwrap();
+    assert_eq!(header_end, HEADER_LEN);
+    let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            sections::PARAMS,
+            sections::ADAM,
+            sections::SCHEDULER,
+            sections::TRAIN
+        ]
+    );
+    assert_eq!(spans.last().unwrap().end, bytes.len());
+}
+
+#[test]
+fn truncation_at_every_section_boundary_is_detected() {
+    let bytes = valid_checkpoint_bytes();
+    let (header_end, spans) = layout(&bytes).unwrap();
+
+    // Every structurally interesting cut point: mid-header, the header
+    // boundary, each section's record start / payload start / end, and one
+    // byte short of each. Only the full length is a valid file.
+    let mut cuts: Vec<usize> = vec![0, 1, 7, 8, header_end / 2, header_end - 1, header_end];
+    for span in &spans {
+        cuts.extend([
+            span.start,
+            span.start + 2,
+            span.payload_start.saturating_sub(1),
+            span.payload_start,
+            span.payload_start + (span.end - span.payload_start) / 2,
+            span.end - 1,
+        ]);
+    }
+    // All boundaries except the final `end` (== full file) truncate data.
+    for span in &spans[..spans.len() - 1] {
+        cuts.push(span.end);
+    }
+
+    for cut in cuts {
+        assert!(cut < bytes.len(), "cut {cut} is not a truncation");
+        let err = assert_rejects(&bytes[..cut], &format!("truncated to {cut} bytes"));
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Truncated { .. }
+                    | CheckpointError::HeaderCorrupt
+                    | CheckpointError::BadMagic
+                    | CheckpointError::Malformed { .. }
+            ),
+            "truncation to {cut} bytes gave unexpected error: {err}"
+        );
+    }
+}
+
+#[test]
+fn truncated_section_errors_name_the_victim() {
+    let bytes = valid_checkpoint_bytes();
+    let (_, spans) = layout(&bytes).unwrap();
+    for span in &spans {
+        // Cut in the middle of this section's payload: the parser knows
+        // which section it was reading, so the error must say so.
+        let cut = span.payload_start + (span.end - span.payload_start) / 2;
+        let err = assert_rejects(&bytes[..cut], &format!("payload cut in `{}`", span.name));
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&span.name),
+            "truncation inside `{}` produced an error that does not name it: {msg}",
+            span.name
+        );
+    }
+}
+
+#[test]
+fn single_byte_flip_in_every_section_is_detected_and_named() {
+    let bytes = valid_checkpoint_bytes();
+    let (_, spans) = layout(&bytes).unwrap();
+
+    for span in &spans {
+        // Flip a byte at several positions across the payload, plus one in
+        // the section record header (name/length fields) — the section CRC
+        // covers all of it.
+        let payload_len = span.end - span.payload_start;
+        let mut positions = vec![
+            span.start,             // name_len field
+            span.payload_start - 4, // crc field itself
+            span.payload_start,     // first payload byte
+            span.payload_start + payload_len / 2,
+            span.end - 1, // last payload byte
+        ];
+        positions.dedup();
+        for pos in positions {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x40;
+            let err = assert_rejects(
+                &corrupt,
+                &format!("bit flip at byte {pos} in section `{}`", span.name),
+            );
+            match &err {
+                CheckpointError::ChecksumMismatch { section } => {
+                    assert_eq!(
+                        section, &span.name,
+                        "flip at {pos} blamed the wrong section"
+                    );
+                }
+                // A flipped length field can also surface as a truncation /
+                // malformed record; the message must still name the section
+                // or its position so the operator knows where to look.
+                other => {
+                    let msg = other.to_string();
+                    assert!(
+                        msg.contains(&span.name) || msg.contains("section"),
+                        "flip at {pos} in `{}` gave an unlocated error: {msg}",
+                        span.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn header_corruption_is_detected() {
+    let bytes = valid_checkpoint_bytes();
+
+    // Magic bytes.
+    for pos in 0..8 {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0xFF;
+        let err = assert_rejects(&corrupt, &format!("magic byte {pos} flipped"));
+        assert!(matches!(err, CheckpointError::BadMagic), "got: {err}");
+    }
+    // Version field.
+    let mut wrong_version = bytes.clone();
+    wrong_version[8] ^= 0x02;
+    assert!(matches!(
+        assert_rejects(&wrong_version, "version flipped"),
+        CheckpointError::UnsupportedVersion { .. }
+    ));
+    // Every remaining header byte (counters, section count, header CRC) is
+    // covered by the header checksum.
+    for pos in 12..HEADER_LEN {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x01;
+        let err = assert_rejects(&corrupt, &format!("header byte {pos} flipped"));
+        assert!(
+            matches!(
+                err,
+                CheckpointError::HeaderCorrupt | CheckpointError::Truncated { .. }
+            ),
+            "header byte {pos}: {err}"
+        );
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = valid_checkpoint_bytes();
+    bytes.push(0u8);
+    let err = assert_rejects(&bytes, "one trailing byte");
+    assert!(
+        matches!(err, CheckpointError::Malformed { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn on_disk_corruption_is_rejected_by_load() {
+    let dir = std::env::temp_dir().join("aimts_fault_on_disk");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ckpt.aimts");
+
+    let bytes = valid_checkpoint_bytes();
+    let (_, spans) = layout(&bytes).unwrap();
+    let mut corrupt = bytes.clone();
+    corrupt[spans[0].payload_start + 3] ^= 0x10;
+    std::fs::write(&path, &corrupt).unwrap();
+    match Checkpoint::load(&path) {
+        Err(CheckpointError::ChecksumMismatch { section }) => {
+            assert_eq!(section, sections::PARAMS)
+        }
+        other => panic!("expected params checksum failure, got {other:?}"),
+    }
+
+    // A missing file is a typed Io error, not a panic.
+    assert!(matches!(
+        Checkpoint::load(&dir.join("nope.aimts")),
+        Err(CheckpointError::Io(_))
+    ));
+}

@@ -172,6 +172,22 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's internal state word.
+        ///
+        /// Offline-shim extension (upstream `StdRng` exposes no state):
+        /// training checkpoints persist this so a resumed run continues the
+        /// exact random stream instead of restarting it.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuild a generator mid-stream from a [`StdRng::state`] word.
+        pub fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
