@@ -30,7 +30,9 @@ fn eval_config(cfg: AimTsConfig, scale: Scale, pool: &[aimts_data::MultiSeries])
     // Smaller budget for sweeps: the paper reports sensitivity, not SOTA.
     let mut pcfg = bench_pretrain_config(scale);
     pcfg.epochs = pcfg.epochs.min(2);
-    model.pretrain(pool, &pcfg);
+    model
+        .pretrain(pool, &pcfg)
+        .expect("bench pre-training failed");
     let fcfg = bench_finetune_config(scale);
     let accs: Vec<f64> = (0..3)
         .map(|axis| {

@@ -56,7 +56,11 @@ fn main() {
             workers,
             ..Default::default()
         };
-        let (report, secs) = time_it(|| model.pretrain(&pool, &pcfg));
+        let (report, secs) = time_it(|| {
+            model
+                .pretrain(&pool, &pcfg)
+                .expect("bench pre-training failed")
+        });
         if workers == 1 {
             serial_secs = secs;
         }

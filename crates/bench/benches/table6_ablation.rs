@@ -63,7 +63,9 @@ fn main() {
                 ..bench_aimts_config()
             };
             let mut model = AimTs::new(cfg, 3407);
-            model.pretrain(&pool, &pcfg);
+            model
+                .pretrain(&pool, &pcfg)
+                .expect("bench pre-training failed");
             let accs: Vec<f64> = datasets
                 .iter()
                 .map(|ds| model.fine_tune(ds, &fcfg).evaluate(&ds.test))

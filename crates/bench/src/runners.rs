@@ -64,7 +64,9 @@ pub fn bench_probe_config(scale: Scale) -> FineTuneConfig {
 /// Pre-train AimTS on a pool (paper Fig. 3a) and return the model.
 pub fn pretrain_aimts(pool: &[MultiSeries], scale: Scale, seed: u64) -> AimTs {
     let mut model = AimTs::new(bench_aimts_config(), seed);
-    let report = model.pretrain(pool, &bench_pretrain_config(scale));
+    let report = model
+        .pretrain(pool, &bench_pretrain_config(scale))
+        .expect("bench pre-training failed");
     eprintln!(
         "  [aimts pretrain] {} steps, final loss {:.4} (proto {:.4}, si {:.4})",
         report.steps, report.final_loss, report.final_proto_loss, report.final_si_loss

@@ -46,6 +46,17 @@ impl Args {
                 .map_err(|_| format!("invalid value `{v}` for `--{key}`")),
         }
     }
+
+    /// Parse an optional flag: `None` when absent, `Err` on a bad value.
+    pub fn parse_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value `{v}` for `--{key}`")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -76,5 +87,13 @@ mod tests {
     fn required_errors_when_absent() {
         let a = Args::parse(&s(&[])).unwrap();
         assert!(a.required("out").is_err());
+    }
+
+    #[test]
+    fn parse_opt_absent_present_and_invalid() {
+        let a = Args::parse(&s(&["--clip-norm", "5.0", "--bad", "x"])).unwrap();
+        assert_eq!(a.parse_opt::<f32>("clip-norm").unwrap(), Some(5.0));
+        assert_eq!(a.parse_opt::<f32>("missing").unwrap(), None);
+        assert!(a.parse_opt::<f32>("bad").is_err());
     }
 }

@@ -5,11 +5,11 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use aimts::{AimTs, AimTsConfig, CheckpointPolicy, FineTuneConfig, PretrainConfig};
+use aimts::{AimTs, AimTsConfig, CheckpointPolicy, FineTuneConfig, HealthPolicy, PretrainConfig};
 use aimts_data::archives::{monash_like_pool, ucr_like_archive, uea_like_archive};
-use aimts_data::loader::load_ucr_tsv;
+use aimts_data::loader::load_ucr_tsv_with;
 use aimts_data::special;
-use aimts_data::Dataset;
+use aimts_data::{Dataset, MissingValuePolicy};
 use aimts_eval::ConfusionMatrix;
 use aimts_imaging::{render_sample, ImageConfig};
 
@@ -24,7 +24,8 @@ USAGE:
                      [--hidden 16] [--repr 32] [--seed 3407] [--workers 0]
                      [--checkpoint-dir <dir>] [--checkpoint-every 1]
                      [--keep-last 3] [--resume <ckpt.aimts|dir>]
-                     --out <ckpt.json>
+                     [--clip-norm <f32>] [--max-bad-steps 5]
+                     [--max-rollbacks 2] --out <ckpt.json>
       Multi-source pre-train AimTS on a Monash-like pool, save a checkpoint.
       --workers 0 (default) resolves the data-parallel thread count from the
       AIMTS_THREADS environment variable, then available cores; 1 is serial.
@@ -34,9 +35,18 @@ USAGE:
       keeping the newest --keep-last. --resume restores such a checkpoint
       (or the newest one in a directory) and continues the interrupted run
       bit-exactly; it must use the same --seed and worker topology.
+      Self-healing knobs: --clip-norm enables global-norm gradient clipping
+      (off by default); a non-finite loss or gradient always skips the step;
+      --max-bad-steps consecutive skips roll back to the last good epoch
+      boundary, and training aborts only after --max-rollbacks rollbacks.
   aimts-cli finetune --ckpt <ckpt.json> --data-dir <dir> --name <Dataset>
                      [--epochs 40] [--hidden 16] [--repr 32]
+                     [--missing-values reject|impute-linear|impute-zero]
+                     [--clip-norm <f32>]
       Fine-tune a checkpoint on a UCR-TSV dataset; prints accuracy + confusion.
+      --missing-values controls NaN/inf cells in the TSV: reject (default)
+      fails the load naming the exact cell; the impute policies repair gaps
+      by linear interpolation or zero-filling before training.
   aimts-cli demo --dataset <ecg200|starlight|epilepsy|fdb|gesture|emg>
                  [--epochs 40] [--seed 3407]
       Fine-tune from random init on a built-in synthetic dataset.
@@ -150,6 +160,12 @@ pub fn pretrain(args: &Args) -> Result<(), String> {
     if let Some(from) = &checkpoint.resume_from {
         println!("resuming from {}", from.display());
     }
+    let health = HealthPolicy {
+        clip_norm: args.parse_opt("clip-norm")?,
+        max_bad_steps: args.parse_or("max-bad-steps", HealthPolicy::default().max_bad_steps)?,
+        max_rollbacks: args.parse_or("max-rollbacks", HealthPolicy::default().max_rollbacks)?,
+        ..HealthPolicy::default()
+    };
 
     let pool = monash_like_pool(per_source, 0);
     println!(
@@ -159,7 +175,7 @@ pub fn pretrain(args: &Args) -> Result<(), String> {
     let mut model = AimTs::new(cfg, seed);
     println!("model: {} parameters", model.num_parameters());
     let report = model
-        .pretrain_checkpointed(
+        .pretrain(
             &pool,
             &PretrainConfig {
                 epochs,
@@ -168,6 +184,7 @@ pub fn pretrain(args: &Args) -> Result<(), String> {
                 seed,
                 workers,
                 checkpoint,
+                health,
                 ..PretrainConfig::default()
             },
         )
@@ -180,12 +197,18 @@ pub fn pretrain(args: &Args) -> Result<(), String> {
         report.final_proto_loss,
         report.final_si_loss
     );
+    println!("{}", report.health);
     model.save(&out).map_err(|e| e.to_string())?;
     println!("checkpoint saved to {}", out.display());
     Ok(())
 }
 
-fn finetune_and_report(model: &AimTs, ds: &Dataset, epochs: usize) -> Result<(), String> {
+fn finetune_and_report(
+    model: &AimTs,
+    ds: &Dataset,
+    epochs: usize,
+    health: HealthPolicy,
+) -> Result<(), String> {
     println!(
         "dataset `{}`: {} train / {} test, {} classes, {} vars x {} steps",
         ds.name,
@@ -198,9 +221,13 @@ fn finetune_and_report(model: &AimTs, ds: &Dataset, epochs: usize) -> Result<(),
     let fcfg = FineTuneConfig {
         epochs,
         batch_size: 8,
+        health,
         ..FineTuneConfig::default()
     };
     let tuned = model.fine_tune(ds, &fcfg);
+    if !tuned.health.is_clean() {
+        println!("{}", tuned.health);
+    }
     let preds = tuned.predict(&ds.test);
     let cm = ConfusionMatrix::new(&preds, &ds.test.labels(), ds.n_classes);
     println!(
@@ -212,12 +239,21 @@ fn finetune_and_report(model: &AimTs, ds: &Dataset, epochs: usize) -> Result<(),
     Ok(())
 }
 
+/// Parse the fine-tuning health knobs shared by `finetune` and `demo`.
+fn health_policy(args: &Args) -> Result<HealthPolicy, String> {
+    Ok(HealthPolicy {
+        clip_norm: args.parse_opt("clip-norm")?,
+        ..HealthPolicy::default()
+    })
+}
+
 /// `finetune`: load checkpoint + UCR-TSV dataset, fine-tune, report.
 pub fn finetune(args: &Args) -> Result<(), String> {
     let ckpt = PathBuf::from(args.required("ckpt")?);
     let dir = PathBuf::from(args.required("data-dir")?);
     let name = args.required("name")?;
     let epochs = args.parse_or("epochs", 40usize)?;
+    let missing = MissingValuePolicy::parse(args.str_or("missing-values", "reject"))?;
     let cfg = model_config(args)?;
 
     let mut model = AimTs::new(cfg, 3407);
@@ -227,8 +263,8 @@ pub fn finetune(args: &Args) -> Result<(), String> {
             ckpt.display()
         )
     })?;
-    let ds = load_ucr_tsv(Path::new(&dir), name).map_err(|e| e.to_string())?;
-    finetune_and_report(&model, &ds, epochs)
+    let ds = load_ucr_tsv_with(Path::new(&dir), name, missing).map_err(|e| e.to_string())?;
+    finetune_and_report(&model, &ds, epochs, health_policy(args)?)
 }
 
 /// `demo`: built-in synthetic dataset, fine-tune from random init.
@@ -238,7 +274,7 @@ pub fn demo(args: &Args) -> Result<(), String> {
     let seed = args.parse_or("seed", 3407u64)?;
     let ds = named_dataset(name, seed)?;
     let model = AimTs::new(model_config(args)?, seed);
-    finetune_and_report(&model, &ds, epochs)
+    finetune_and_report(&model, &ds, epochs, health_policy(args)?)
 }
 
 /// `info`: print archive summary statistics.
@@ -405,6 +441,81 @@ mod tests {
         bad.push(("seed", "9999"));
         bad.push(("out", out.to_str().unwrap()));
         assert!(pretrain(&args(&bad)).is_err());
+    }
+
+    #[test]
+    fn pretrain_health_flags_parse_and_run() {
+        let ckpt = std::env::temp_dir().join("aimts_cli_health_ckpt.json");
+        pretrain(&args(&[
+            ("pool-per-source", "2"),
+            ("epochs", "1"),
+            ("hidden", "8"),
+            ("repr", "16"),
+            ("workers", "1"),
+            ("clip-norm", "0.25"),
+            ("max-bad-steps", "3"),
+            ("max-rollbacks", "1"),
+            ("out", ckpt.to_str().unwrap()),
+        ]))
+        .unwrap();
+        assert!(ckpt.exists());
+        // A malformed clip-norm errors cleanly instead of panicking.
+        let mut bad = std::env::temp_dir().join("aimts_cli_health_bad.json");
+        bad.set_extension("json");
+        assert!(pretrain(&args(&[
+            ("clip-norm", "not-a-number"),
+            ("out", bad.to_str().unwrap()),
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn finetune_missing_values_flag() {
+        let dir = std::env::temp_dir().join("aimts_cli_missing_data");
+        fs::create_dir_all(&dir).unwrap();
+        let mk_row = |label: usize, base: f32, gap: bool| {
+            let mut s = format!("{label}");
+            for t in 0..8 {
+                if gap && t == 3 {
+                    s.push_str("\tNaN");
+                } else {
+                    s.push_str(&format!("\t{}", base + t as f32 * 0.1));
+                }
+            }
+            s.push('\n');
+            s
+        };
+        let train = mk_row(0, 0.0, true) + &mk_row(0, 0.1, false) + &mk_row(1, 5.0, false);
+        let test = mk_row(0, 0.05, false) + &mk_row(1, 5.1, false);
+        fs::write(dir.join("Gap_TRAIN.tsv"), train).unwrap();
+        fs::write(dir.join("Gap_TEST.tsv"), test).unwrap();
+
+        let cfg = model_config(&args(&[("hidden", "8"), ("repr", "16")])).unwrap();
+        let ckpt = std::env::temp_dir().join("aimts_cli_missing_ckpt.json");
+        AimTs::new(cfg, 1).save(&ckpt).unwrap();
+
+        let base = [
+            ("ckpt", ckpt.to_str().unwrap()),
+            ("data-dir", dir.to_str().unwrap()),
+            ("name", "Gap"),
+            ("epochs", "1"),
+            ("hidden", "8"),
+            ("repr", "16"),
+        ];
+        // Default policy rejects the NaN cell with a precise error.
+        let err = finetune(&args(&base)).unwrap_err();
+        assert!(
+            err.contains("sample 0") && err.contains("position 3"),
+            "{err}"
+        );
+        // Imputation repairs the gap and the run completes.
+        let mut ok: Vec<(&str, &str)> = base.to_vec();
+        ok.push(("missing-values", "impute-linear"));
+        finetune(&args(&ok)).unwrap();
+        // Unknown policies error cleanly.
+        let mut bad: Vec<(&str, &str)> = base.to_vec();
+        bad.push(("missing-values", "drop"));
+        assert!(finetune(&args(&bad)).is_err());
     }
 
     #[test]

@@ -5,6 +5,8 @@ use std::path::PathBuf;
 use aimts_augment::{default_bank, Augmentation};
 use aimts_imaging::ImageConfig;
 
+use crate::health::HealthPolicy;
+
 /// Architecture + loss hyper-parameters (paper §IV, §V-A.3).
 #[derive(Debug, Clone)]
 pub struct AimTsConfig {
@@ -191,6 +193,10 @@ pub struct PretrainConfig {
     pub workers: usize,
     /// Periodic checkpointing / resume policy (disabled by default).
     pub checkpoint: CheckpointPolicy,
+    /// Self-healing supervisor policy: numerical guards, optional
+    /// gradient clipping, skip-anomalous-step, automatic rollback. The
+    /// defaults guard and skip but never perturb a clean run.
+    pub health: HealthPolicy,
 }
 
 impl Default for PretrainConfig {
@@ -204,6 +210,7 @@ impl Default for PretrainConfig {
             seed: 3407,
             workers: 0,
             checkpoint: CheckpointPolicy::default(),
+            health: HealthPolicy::default(),
         }
     }
 }
@@ -224,6 +231,11 @@ pub struct FineTuneConfig {
     /// encoder + head to this path whenever training-split accuracy
     /// reaches a new best.
     pub best_ckpt: Option<PathBuf>,
+    /// Numerical guards for fine-tuning: non-finite losses/gradients skip
+    /// the step, optional global-norm clipping. Fine-tuning has no full
+    /// optimizer checkpoint, so the rollback rungs of the ladder apply to
+    /// pre-training only.
+    pub health: HealthPolicy,
 }
 
 impl Default for FineTuneConfig {
@@ -236,6 +248,7 @@ impl Default for FineTuneConfig {
             train_encoder: true,
             seed: 3407,
             best_ckpt: None,
+            health: HealthPolicy::default(),
         }
     }
 }

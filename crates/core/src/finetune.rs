@@ -17,6 +17,7 @@ use rand::SeedableRng;
 use crate::batch::{batch_indices, encode_channel_independent, samples_to_tensor};
 use crate::config::FineTuneConfig;
 use crate::encoder::TsEncoder;
+use crate::health::{guard_and_clip, HealthMonitor, HealthReport};
 use crate::model::AimTs;
 
 /// A fine-tuned task model: encoder copy + classifier head.
@@ -29,6 +30,12 @@ pub struct FineTuned {
     /// Best training-split accuracy seen by [`FineTuned::fit`] when
     /// best-checkpointing is enabled (`None` otherwise).
     pub best_train_accuracy: Option<f64>,
+    /// Supervisor account of fine-tuning: anomalous (skipped) steps, clip
+    /// events, per-epoch gradient-norm stats. Accumulates across repeated
+    /// [`FineTuned::fit`] calls. Fine-tuning has no full optimizer
+    /// checkpoint, so the ladder stops at skip — the rollback/abort rungs
+    /// apply to pre-training only.
+    pub health: HealthReport,
 }
 
 impl FineTuned {
@@ -57,6 +64,7 @@ impl FineTuned {
             n_classes: ds.n_classes,
             train_losses: Vec::new(),
             best_train_accuracy: None,
+            health: HealthReport::default(),
         };
         tuned.fit(&ds.train, fcfg);
         tuned
@@ -113,12 +121,38 @@ impl FineTuned {
         if fcfg.train_encoder {
             params.extend(self.encoder.parameters());
         }
-        let mut opt = Adam::new(params, fcfg.lr);
+        let mut opt = Adam::new(params.clone(), fcfg.lr);
         let mut rng = StdRng::seed_from_u64(fcfg.seed);
+        let mut mon = HealthMonitor::new(fcfg.health.clone());
+
+        // One guarded step: skip on a non-finite loss or gradient norm,
+        // otherwise clip (when configured) and step. Returns the loss when
+        // the step went through.
+        let guarded_step =
+            |mon: &mut HealthMonitor, opt: &mut Adam, loss: aimts_tensor::Tensor| -> Option<f32> {
+                let attempt = mon.begin_attempt();
+                let loss_val = loss.item();
+                if mon.loss_is_bad(loss_val, attempt) {
+                    let _ = mon.record_skip(); // no rollback rung here
+                    return None;
+                }
+                opt.zero_grad();
+                loss.backward();
+                let (norm, clipped) = guard_and_clip(&params, mon.policy().clip_norm);
+                if !norm.is_finite() {
+                    opt.zero_grad();
+                    let _ = mon.record_skip();
+                    return None;
+                }
+                opt.step();
+                mon.record_step(norm, clipped);
+                Some(loss_val)
+            };
 
         for epoch in 0..fcfg.epochs {
             let mut epoch_loss = 0f32;
             let mut batches = 0usize;
+            let mut attempted = 0usize;
             for batch in batch_indices(prepared.len(), fcfg.batch_size, &mut rng) {
                 let samples: Vec<&MultiSeries> = batch.iter().map(|&i| &prepared[i]).collect();
                 let targets: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
@@ -126,28 +160,33 @@ impl FineTuned {
                 let repr = encode_channel_independent(&self.encoder, &x);
                 let logits = self.head.forward(&repr);
                 let loss = logits.cross_entropy(&targets);
-                opt.zero_grad();
-                loss.backward();
-                opt.step();
-                epoch_loss += loss.item();
-                batches += 1;
+                attempted += 1;
+                if let Some(loss_val) = guarded_step(&mut mon, &mut opt, loss) {
+                    epoch_loss += loss_val;
+                    batches += 1;
+                }
             }
             // A single-sample dataset yields no (>= 2)-sized batches; fall
             // back to full-split steps in that pathological case.
-            if batches == 0 {
+            if attempted == 0 {
                 let samples: Vec<&MultiSeries> = prepared.iter().collect();
                 let x = samples_to_tensor(&samples);
                 let logits = self
                     .head
                     .forward(&encode_channel_independent(&self.encoder, &x));
                 let loss = logits.cross_entropy(&labels);
-                opt.zero_grad();
-                loss.backward();
-                opt.step();
-                epoch_loss = loss.item();
-                batches = 1;
+                if let Some(loss_val) = guarded_step(&mut mon, &mut opt, loss) {
+                    epoch_loss = loss_val;
+                    batches = 1;
+                }
             }
-            self.train_losses.push(epoch_loss / batches as f32);
+            // An epoch whose every step was skipped reports NaN honestly.
+            self.train_losses.push(if batches == 0 {
+                f32::NAN
+            } else {
+                epoch_loss / batches as f32
+            });
+            mon.end_epoch();
             // Best-accuracy checkpointing: snapshot encoder + head whenever
             // the training-split accuracy improves, atomically, so the best
             // model survives a crash (or later over-fitting epochs).
@@ -164,6 +203,7 @@ impl FineTuned {
                 }
             }
         }
+        self.health.absorb(mon.into_report());
     }
 
     /// Class predictions for a split (inference mode, no grad).

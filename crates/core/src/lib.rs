@@ -28,8 +28,11 @@
 //! let cfg = AimTsConfig::tiny();
 //! let mut model = AimTs::new(cfg, 3407);
 //! let pool = monash_like_pool(2, 0);
-//! let report = model.pretrain(&pool[..24], &PretrainConfig { epochs: 1, batch_size: 4, ..Default::default() });
+//! let report = model
+//!     .pretrain(&pool[..24], &PretrainConfig { epochs: 1, batch_size: 4, ..Default::default() })
+//!     .expect("pre-training failed");
 //! assert!(report.final_loss.is_finite());
+//! assert!(report.health.is_clean());
 //!
 //! let ds = &ucr_like_archive(1, 0)[0];
 //! let mut ft_cfg = FineTuneConfig::default();
@@ -45,6 +48,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod encoder;
 pub mod finetune;
+pub mod health;
 pub mod losses;
 pub mod mixup;
 pub mod model;
@@ -58,5 +62,11 @@ pub use checkpoint::{
 pub use config::{AimTsConfig, CheckpointPolicy, FineTuneConfig, PretrainConfig};
 pub use encoder::{copy_parameters, ImageEncoder, TsEncoder};
 pub use finetune::FineTuned;
+pub use health::{
+    FaultPlan, GradNormStats, HealthMonitor, HealthPolicy, HealthReport, StepVerdict, TrainError,
+};
 pub use model::{AimTs, MicroGrad, PretrainReport};
-pub use parallel::{all_reduce_mean, parallel_map, worker_count, THREADS_ENV};
+pub use parallel::{
+    all_reduce_mean, all_reduce_mean_guarded, parallel_map, try_parallel_map, worker_count,
+    THREADS_ENV,
+};

@@ -9,8 +9,8 @@ use aimts_data::{Dataset, MultiSeries};
 use aimts_eval::Summary;
 use aimts_imaging::render_sample;
 use aimts_nn::{
-    load_state_dict, save_state_dict, Activation, Adam, CheckpointError, Mlp, Module, Optimizer,
-    Replicate, StepLr,
+    load_state_dict, save_state_dict, Activation, Adam, Checkpoint, CheckpointError, Mlp, Module,
+    Optimizer, Replicate, StepLr,
 };
 use aimts_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -24,6 +24,9 @@ use crate::checkpoint::{
 use crate::config::{AimTsConfig, FineTuneConfig, PretrainConfig};
 use crate::encoder::{ImageEncoder, TsEncoder};
 use crate::finetune::FineTuned;
+use crate::health::{
+    guard_and_clip, params_all_finite, HealthMonitor, HealthReport, StepVerdict, TrainError,
+};
 use crate::losses;
 use crate::mixup::{geodesic_mixup, sample_lambdas};
 use crate::parallel;
@@ -43,6 +46,9 @@ pub struct PretrainReport {
     pub final_si_loss: f32,
     /// Data-parallel workers actually used (1 = serial path).
     pub workers: usize,
+    /// What the self-healing supervisor did during the run (skips, clips,
+    /// rollbacks, worker panics, per-epoch gradient-norm stats).
+    pub health: HealthReport,
 }
 
 /// Flat gradient of one micro-batch plus its loss values, produced by
@@ -140,26 +146,25 @@ impl AimTs {
     /// `AIMTS_THREADS` environment variable, then available cores). With
     /// one worker the original serial loop runs, bit-for-bit.
     ///
-    /// When `pcfg.checkpoint` is inactive this is infallible; with
-    /// checkpointing or resume configured, prefer
-    /// [`AimTs::pretrain_checkpointed`], which surfaces checkpoint errors
-    /// instead of panicking.
-    pub fn pretrain(&mut self, pool: &[MultiSeries], pcfg: &PretrainConfig) -> PretrainReport {
-        self.pretrain_checkpointed(pool, pcfg)
-            .unwrap_or_else(|e| panic!("pre-training checkpoint failure: {e}"))
-    }
-
-    /// [`AimTs::pretrain`] with fault-tolerant checkpointing surfaced as
-    /// typed errors: periodic checkpoints per `pcfg.checkpoint`, and — when
-    /// `resume_from` is set — bit-exact continuation of an interrupted run
-    /// (identical parameters and loss curve to the uninterrupted run on the
-    /// serial path; the data-parallel path matches within float all-reduce
-    /// tolerance when resumed with the same worker count).
-    pub fn pretrain_checkpointed(
+    /// Fault tolerance comes in two layers. `pcfg.checkpoint` gives
+    /// periodic checkpoints and — when `resume_from` is set — bit-exact
+    /// continuation of an interrupted run (identical parameters and loss
+    /// curve to the uninterrupted run on the serial path; the data-parallel
+    /// path matches within float all-reduce tolerance when resumed with the
+    /// same worker count). `pcfg.health` arms the self-healing supervisor:
+    /// non-finite losses/gradients skip the step, optional global-norm
+    /// clipping, automatic rollback to the last good epoch boundary after
+    /// too many consecutive anomalies, and worker-panic containment on the
+    /// data-parallel path (see [`crate::health`]).
+    ///
+    /// Errors are typed: [`TrainError::Checkpoint`] for checkpoint I/O or
+    /// compatibility failures, [`TrainError::Diverged`] when the rollback
+    /// budget is exhausted (the model is left on its last good weights).
+    pub fn pretrain(
         &mut self,
         pool: &[MultiSeries],
         pcfg: &PretrainConfig,
-    ) -> Result<PretrainReport, CheckpointError> {
+    ) -> Result<PretrainReport, TrainError> {
         assert!(pool.len() >= 2, "pre-training needs at least 2 samples");
         let workers = parallel::worker_count(pcfg.workers);
         if workers <= 1 {
@@ -217,29 +222,32 @@ impl AimTs {
         Ok(dec.train)
     }
 
-    /// Write the periodic checkpoint for the just-finished epoch when the
-    /// policy's cadence (or the final epoch) says so, then apply retention.
-    #[allow(clippy::too_many_arguments)]
-    fn maybe_write_checkpoint(
-        &self,
-        pcfg: &PretrainConfig,
-        epochs_done: usize,
-        opt: &Adam,
-        sched: &StepLr,
-        state: &PretrainState,
-    ) -> Result<(), CheckpointError> {
-        let Some(dir) = &pcfg.checkpoint.dir else {
-            return Ok(());
-        };
-        let cadence_hit = epochs_done.is_multiple_of(pcfg.checkpoint.every_epochs());
-        if !cadence_hit && epochs_done != pcfg.epochs {
-            return Ok(());
-        }
-        std::fs::create_dir_all(dir)?;
-        let ck = build_pretrain_checkpoint(self, &opt.export_state(), &sched.export_state(), state);
-        ck.save(&checkpoint_path(dir, epochs_done))?;
-        prune_checkpoints(dir, pcfg.checkpoint.keep_last)?;
-        Ok(())
+    /// Restore the in-memory last-good checkpoint into `self`/`opt`/`sched`
+    /// after the supervisor demanded a rollback. The restore happens
+    /// *before* the rollback budget is checked, so even a run that aborts
+    /// with [`TrainError::Diverged`] ends on the last good weights. Returns
+    /// the restored training bookkeeping.
+    fn rollback(
+        &mut self,
+        last_good: &Checkpoint,
+        opt: &mut Adam,
+        sched: &mut StepLr,
+        mon: &mut HealthMonitor,
+        reason: &str,
+    ) -> Result<PretrainState, TrainError> {
+        let dec = decode_pretrain_checkpoint(last_good)?;
+        dec.apply_params(self)?;
+        opt.restore_state(&dec.adam)
+            .map_err(|detail| CheckpointError::Incompatible { detail })?;
+        sched
+            .restore_state(&dec.scheduler)
+            .map_err(|detail| CheckpointError::Incompatible { detail })?;
+        mon.record_rollback(reason)?;
+        eprintln!(
+            "warning: self-healing rollback to epoch {} ({reason})",
+            dec.train.epochs_done
+        );
+        Ok(dec.train)
     }
 
     /// Group prepared-sample indices by variable count (constant M per
@@ -255,12 +263,13 @@ impl AimTs {
     }
 
     /// The original single-threaded loop: one shared RNG drives shuffling
-    /// and augmentation sequentially, one optimizer step per micro-batch.
+    /// and augmentation sequentially, one optimizer step per micro-batch,
+    /// every step supervised by the [`HealthMonitor`].
     fn pretrain_serial(
         &mut self,
         pool: &[MultiSeries],
         pcfg: &PretrainConfig,
-    ) -> Result<PretrainReport, CheckpointError> {
+    ) -> Result<PretrainReport, TrainError> {
         let prepared: Vec<MultiSeries> = pool.iter().map(|s| self.prepare(s)).collect();
         let groups = Self::group_by_var_count(&prepared);
 
@@ -269,49 +278,114 @@ impl AimTs {
             .into_iter()
             .map(|(_, t)| t)
             .collect();
-        let mut opt = Adam::new(params, pcfg.lr);
+        let mut opt = Adam::new(params.clone(), pcfg.lr);
         let mut sched = StepLr::new(pcfg.lr, pcfg.lr_step, pcfg.lr_gamma);
         let mut rng = StdRng::seed_from_u64(pcfg.seed);
+        let mut mon = HealthMonitor::new(pcfg.health.clone());
 
         let mut epoch_losses = Vec::with_capacity(pcfg.epochs);
         let mut steps = 0usize;
         let (mut last_proto, mut last_si) = (0f32, 0f32);
-        let mut start_epoch = 0usize;
+        let mut epoch = 0usize;
         if let Some(path) = &pcfg.checkpoint.resume_from {
             let st = self.restore_pretrain(path, pcfg, 1, &mut opt, &mut sched)?;
             rng = StdRng::from_state(st.rng_state);
-            start_epoch = st.epochs_done as usize;
+            epoch = st.epochs_done as usize;
             steps = st.steps as usize;
             epoch_losses = st.epoch_losses;
             last_proto = st.last_proto;
             last_si = st.last_si;
         }
-        for epoch in start_epoch..pcfg.epochs {
+        // In-memory rollback target: exactly what a checkpoint written at
+        // this epoch boundary would contain. Held in memory so rollback
+        // works even when `checkpoint.dir` is unset.
+        let mut last_good = build_pretrain_checkpoint(
+            self,
+            &opt.export_state(),
+            &sched.export_state(),
+            &PretrainState {
+                steps: steps as u64,
+                epochs_done: epoch as u64,
+                base_seed: pcfg.seed,
+                rng_state: rng.state(),
+                micro_counter: 0,
+                workers: 1,
+                epoch_losses: epoch_losses.clone(),
+                last_proto,
+                last_si,
+            },
+        );
+        while epoch < pcfg.epochs {
             let mut losses_this_epoch = Vec::new();
             let (mut protos, mut sis) = (Vec::new(), Vec::new());
-            for idxs in groups.values() {
+            let mut rollback: Option<String> = None;
+            'epoch: for idxs in groups.values() {
                 for batch in batch_indices(idxs.len(), pcfg.batch_size, &mut rng) {
                     let samples: Vec<&MultiSeries> =
                         batch.iter().map(|&k| &prepared[idxs[k]]).collect();
+                    let attempt = mon.begin_attempt();
                     let (loss, lp, lsi) = self.pretrain_step(&samples, &mut rng);
-                    opt.zero_grad();
-                    loss.backward();
-                    opt.step();
-                    steps += 1;
-                    losses_this_epoch.push(loss.item() as f64);
-                    protos.push(lp as f64);
-                    sis.push(lsi as f64);
+                    let loss_val = loss.item();
+                    let bad = if mon.loss_is_bad(loss_val, attempt) {
+                        Some(format!("non-finite loss {loss_val}"))
+                    } else {
+                        opt.zero_grad();
+                        loss.backward();
+                        let (norm, clipped) = guard_and_clip(&params, mon.policy().clip_norm);
+                        if !norm.is_finite() {
+                            Some(format!("non-finite gradient norm {norm}"))
+                        } else {
+                            opt.step();
+                            steps += 1;
+                            if !params_all_finite(&params) {
+                                rollback = Some("non-finite parameter after optimizer step".into());
+                                break 'epoch;
+                            }
+                            mon.record_step(norm, clipped);
+                            losses_this_epoch.push(loss_val as f64);
+                            protos.push(lp as f64);
+                            sis.push(lsi as f64);
+                            None
+                        }
+                    };
+                    if let Some(reason) = bad {
+                        opt.zero_grad();
+                        if mon.record_skip() == StepVerdict::RollBack {
+                            rollback = Some(format!(
+                                "{} consecutive anomalous steps (last: {reason})",
+                                mon.policy().max_bad_steps.max(1)
+                            ));
+                            break 'epoch;
+                        }
+                    }
                 }
             }
-            epoch_losses.push(Summary::of(&losses_this_epoch).mean as f32);
-            last_proto = Summary::of(&protos).mean as f32;
-            last_si = Summary::of(&sis).mean as f32;
+            if let Some(reason) = rollback {
+                let st = self.rollback(&last_good, &mut opt, &mut sched, &mut mon, &reason)?;
+                // Re-shuffle forward: a fresh deterministic shuffling stream
+                // so the replayed epoch does not re-create the exact batch
+                // sequence that just poisoned the run.
+                rng = StdRng::seed_from_u64(parallel::microbatch_seed(
+                    st.rng_state,
+                    RESHUFFLE_STREAM,
+                    mon.report().rollbacks as u64,
+                ));
+                epoch = st.epochs_done as usize;
+                steps = st.steps as usize;
+                epoch_losses = st.epoch_losses;
+                last_proto = st.last_proto;
+                last_si = st.last_si;
+                continue;
+            }
+            epoch_losses.push(mean_or_nan(&losses_this_epoch));
+            last_proto = mean_or_nan(&protos);
+            last_si = mean_or_nan(&sis);
+            mon.end_epoch();
             sched.step(&mut opt);
-            self.maybe_write_checkpoint(
-                pcfg,
-                epoch + 1,
-                &opt,
-                &sched,
+            last_good = build_pretrain_checkpoint(
+                self,
+                &opt.export_state(),
+                &sched.export_state(),
                 &PretrainState {
                     steps: steps as u64,
                     epochs_done: (epoch + 1) as u64,
@@ -323,7 +397,9 @@ impl AimTs {
                     last_proto,
                     last_si,
                 },
-            )?;
+            );
+            maybe_write_checkpoint(pcfg, epoch + 1, &last_good)?;
+            epoch += 1;
         }
         Ok(PretrainReport {
             final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
@@ -332,6 +408,7 @@ impl AimTs {
             final_proto_loss: last_proto,
             final_si_loss: last_si,
             workers: 1,
+            health: mon.into_report(),
         })
     }
 
@@ -343,12 +420,18 @@ impl AimTs {
     /// Augmentation RNG is derived per micro-batch from
     /// [`parallel::microbatch_seed`], so results depend only on the seed and
     /// worker count — never on thread scheduling.
+    ///
+    /// Worker panics are contained per micro-batch
+    /// ([`parallel::try_parallel_map`]): a crashed or poisoned replica
+    /// degrades the step to the surviving replicas' gradients (re-averaged)
+    /// instead of aborting the process; a round with no survivors is
+    /// skipped like any other anomalous step.
     fn pretrain_parallel(
         &mut self,
         pool: &[MultiSeries],
         pcfg: &PretrainConfig,
         workers: usize,
-    ) -> Result<PretrainReport, CheckpointError> {
+    ) -> Result<PretrainReport, TrainError> {
         let prepared: Vec<MultiSeries> = pool.iter().map(|s| self.prepare(s)).collect();
         let groups = Self::group_by_var_count(&prepared);
 
@@ -357,11 +440,12 @@ impl AimTs {
             .into_iter()
             .map(|(_, t)| t)
             .collect();
-        let mut opt = Adam::new(params, pcfg.lr);
+        let mut opt = Adam::new(params.clone(), pcfg.lr);
         let mut sched = StepLr::new(pcfg.lr, pcfg.lr_step, pcfg.lr_gamma);
         // Drives shuffling only; augmentation seeds are derived per
         // micro-batch.
         let mut rng = StdRng::seed_from_u64(pcfg.seed);
+        let mut mon = HealthMonitor::new(pcfg.health.clone());
 
         // An epoch can never yield more micro-batches than this, so extra
         // replicas would sit idle.
@@ -372,11 +456,11 @@ impl AimTs {
         let mut steps = 0usize;
         let (mut last_proto, mut last_si) = (0f32, 0f32);
         let mut micro_counter = 0u64;
-        let mut start_epoch = 0usize;
+        let mut epoch = 0usize;
         if let Some(path) = &pcfg.checkpoint.resume_from {
             let st = self.restore_pretrain(path, pcfg, workers as u32, &mut opt, &mut sched)?;
             rng = StdRng::from_state(st.rng_state);
-            start_epoch = st.epochs_done as usize;
+            epoch = st.epochs_done as usize;
             steps = st.steps as usize;
             micro_counter = st.micro_counter;
             epoch_losses = st.epoch_losses;
@@ -386,48 +470,150 @@ impl AimTs {
         // Replicate *after* a potential restore so workers start from the
         // checkpointed weights.
         let replicas: Vec<AimTs> = (0..workers).map(|_| self.replicate()).collect();
+        // In-memory rollback target (see `pretrain_serial`).
+        let mut last_good = build_pretrain_checkpoint(
+            self,
+            &opt.export_state(),
+            &sched.export_state(),
+            &PretrainState {
+                steps: steps as u64,
+                epochs_done: epoch as u64,
+                base_seed: pcfg.seed,
+                rng_state: rng.state(),
+                micro_counter,
+                workers: workers as u32,
+                epoch_losses: epoch_losses.clone(),
+                last_proto,
+                last_si,
+            },
+        );
 
-        for epoch in start_epoch..pcfg.epochs {
-            // The epoch's schedule up front: (derived seed, sample indices).
-            let mut schedule: Vec<(u64, Vec<usize>)> = Vec::new();
+        while epoch < pcfg.epochs {
+            // The epoch's schedule up front: (derived seed, micro index,
+            // sample indices).
+            let mut schedule: Vec<(u64, u64, Vec<usize>)> = Vec::new();
             for idxs in groups.values() {
                 for batch in batch_indices(idxs.len(), pcfg.batch_size, &mut rng) {
                     let seed = parallel::microbatch_seed(pcfg.seed, epoch as u64, micro_counter);
+                    schedule.push((
+                        seed,
+                        micro_counter,
+                        batch.iter().map(|&k| idxs[k]).collect(),
+                    ));
                     micro_counter += 1;
-                    schedule.push((seed, batch.iter().map(|&k| idxs[k]).collect()));
                 }
             }
             let mut losses_this_epoch = Vec::new();
             let (mut protos, mut sis) = (Vec::new(), Vec::new());
-            for round in schedule.chunks(workers) {
+            let mut rollback: Option<String> = None;
+            'rounds: for round in schedule.chunks(workers) {
+                let attempt = mon.begin_attempt();
+                let fault = mon.policy().fault;
                 let master = self.flat_parameters();
-                let results = parallel::parallel_map(round, workers, |slot, (seed, batch)| {
-                    let replica = &replicas[slot];
-                    replica.load_flat(&master);
-                    let samples: Vec<&MultiSeries> = batch.iter().map(|&i| &prepared[i]).collect();
-                    replica.microbatch_gradient(&samples, *seed)
-                });
+                let results =
+                    parallel::try_parallel_map(round, workers, |slot, (seed, micro, batch)| {
+                        if fault.forces_panic(*micro) {
+                            panic!("injected worker panic on micro-batch {micro}");
+                        }
+                        let replica = &replicas[slot];
+                        replica.load_flat(&master);
+                        let samples: Vec<&MultiSeries> =
+                            batch.iter().map(|&i| &prepared[i]).collect();
+                        replica.microbatch_gradient(&samples, *seed)
+                    });
+                let forced = fault.forces_bad(attempt);
                 let mut grads = Vec::with_capacity(results.len());
+                let mut stats = Vec::with_capacity(results.len());
+                let (mut panics, mut poisoned) = (0usize, 0usize);
                 for r in results {
-                    losses_this_epoch.push(r.loss as f64);
-                    protos.push(r.proto_loss as f64);
-                    sis.push(r.si_loss as f64);
-                    grads.push(r.gradient);
+                    match r {
+                        Err(msg) => {
+                            eprintln!("warning: pre-training worker panicked: {msg}");
+                            panics += 1;
+                        }
+                        Ok(mg) => {
+                            if forced
+                                || !mg.loss.is_finite()
+                                || !aimts_tensor::all_finite(&mg.gradient)
+                            {
+                                poisoned += 1;
+                            } else {
+                                stats.push((mg.loss, mg.proto_loss, mg.si_loss));
+                                grads.push(mg.gradient);
+                            }
+                        }
+                    }
                 }
+                if grads.is_empty() {
+                    // No usable gradient in the whole round: skip the step.
+                    mon.record_lost_round(panics);
+                    if mon.record_skip() == StepVerdict::RollBack {
+                        rollback = Some(format!(
+                            "{} consecutive anomalous steps (last round: \
+                             {panics} worker panics, {poisoned} poisoned gradients)",
+                            mon.policy().max_bad_steps.max(1)
+                        ));
+                        break 'rounds;
+                    }
+                    continue;
+                }
+                let (mean, excluded) = parallel::all_reduce_mean_guarded(&grads)
+                    .expect("surviving gradient buffers are all-finite");
+                debug_assert_eq!(excluded, 0, "survivors were pre-filtered");
                 opt.zero_grad();
-                self.accumulate_flat_gradient(&parallel::all_reduce_mean(&grads));
+                self.accumulate_flat_gradient(&mean);
+                let (norm, clipped) = guard_and_clip(&params, mon.policy().clip_norm);
+                if !norm.is_finite() {
+                    // Unreachable when the survivors are finite; kept as a
+                    // defensive guard so a logic error skips instead of
+                    // stepping on garbage.
+                    opt.zero_grad();
+                    mon.record_lost_round(panics);
+                    if mon.record_skip() == StepVerdict::RollBack {
+                        rollback = Some(format!("non-finite gradient norm {norm}"));
+                        break 'rounds;
+                    }
+                    continue;
+                }
                 opt.step();
                 steps += 1;
+                if !params_all_finite(&params) {
+                    mon.record_lost_round(panics);
+                    rollback = Some("non-finite parameter after optimizer step".into());
+                    break 'rounds;
+                }
+                mon.record_step(norm, clipped);
+                mon.record_degraded(panics, poisoned);
+                for (l, lp, lsi) in stats {
+                    losses_this_epoch.push(l as f64);
+                    protos.push(lp as f64);
+                    sis.push(lsi as f64);
+                }
             }
-            epoch_losses.push(Summary::of(&losses_this_epoch).mean as f32);
-            last_proto = Summary::of(&protos).mean as f32;
-            last_si = Summary::of(&sis).mean as f32;
+            if let Some(reason) = rollback {
+                let st = self.rollback(&last_good, &mut opt, &mut sched, &mut mon, &reason)?;
+                rng = StdRng::seed_from_u64(parallel::microbatch_seed(
+                    st.rng_state,
+                    RESHUFFLE_STREAM,
+                    mon.report().rollbacks as u64,
+                ));
+                epoch = st.epochs_done as usize;
+                steps = st.steps as usize;
+                micro_counter = st.micro_counter;
+                epoch_losses = st.epoch_losses;
+                last_proto = st.last_proto;
+                last_si = st.last_si;
+                continue;
+            }
+            epoch_losses.push(mean_or_nan(&losses_this_epoch));
+            last_proto = mean_or_nan(&protos);
+            last_si = mean_or_nan(&sis);
+            mon.end_epoch();
             sched.step(&mut opt);
-            self.maybe_write_checkpoint(
-                pcfg,
-                epoch + 1,
-                &opt,
-                &sched,
+            last_good = build_pretrain_checkpoint(
+                self,
+                &opt.export_state(),
+                &sched.export_state(),
                 &PretrainState {
                     steps: steps as u64,
                     epochs_done: (epoch + 1) as u64,
@@ -439,7 +625,9 @@ impl AimTs {
                     last_proto,
                     last_si,
                 },
-            )?;
+            );
+            maybe_write_checkpoint(pcfg, epoch + 1, &last_good)?;
+            epoch += 1;
         }
         Ok(PretrainReport {
             final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
@@ -448,6 +636,7 @@ impl AimTs {
             final_proto_loss: last_proto,
             final_si_loss: last_si,
             workers,
+            health: mon.into_report(),
         })
     }
 
@@ -650,6 +839,43 @@ impl AimTs {
     }
 }
 
+/// Stream tag for the post-rollback re-shuffle (see `AimTs::rollback`):
+/// mixed with the last-good RNG state and the rollback ordinal via
+/// [`parallel::microbatch_seed`] so each replay walks a fresh — but still
+/// deterministic — shuffling stream.
+const RESHUFFLE_STREAM: u64 = 0x5E1F_4EA1;
+
+/// Epoch-loss aggregation that tolerates an epoch whose every step was
+/// skipped (no samples → `NaN`, which the report surfaces honestly).
+fn mean_or_nan(xs: &[f64]) -> f32 {
+    if xs.is_empty() {
+        f32::NAN
+    } else {
+        Summary::of(xs).mean as f32
+    }
+}
+
+/// Write the periodic checkpoint for the just-finished epoch when the
+/// policy's cadence (or the final epoch) says so, then apply retention.
+/// The checkpoint bytes are the already-built in-memory last-good state.
+fn maybe_write_checkpoint(
+    pcfg: &PretrainConfig,
+    epochs_done: usize,
+    ck: &Checkpoint,
+) -> Result<(), CheckpointError> {
+    let Some(dir) = &pcfg.checkpoint.dir else {
+        return Ok(());
+    };
+    let cadence_hit = epochs_done.is_multiple_of(pcfg.checkpoint.every_epochs());
+    if !cadence_hit && epochs_done != pcfg.epochs {
+        return Ok(());
+    }
+    std::fs::create_dir_all(dir)?;
+    ck.save(&checkpoint_path(dir, epochs_done))?;
+    prune_checkpoints(dir, pcfg.checkpoint.keep_last)?;
+    Ok(())
+}
+
 impl Module for AimTs {
     /// Channel-independent encoding of an already-stacked `[B, M, T]` batch
     /// (the tensor-level counterpart of [`AimTs::encode`]).
@@ -688,16 +914,21 @@ mod tests {
     fn pretrain_smoke_and_loss_decreases() {
         let mut model = AimTs::new(AimTsConfig::tiny(), 3407);
         let pool = tiny_pool(16);
-        let report = model.pretrain(
-            &pool,
-            &PretrainConfig {
-                epochs: 3,
-                batch_size: 8,
-                lr: 5e-3,
-                ..Default::default()
-            },
-        );
+        let report = model
+            .pretrain(
+                &pool,
+                &PretrainConfig {
+                    epochs: 3,
+                    batch_size: 8,
+                    lr: 5e-3,
+                    ..Default::default()
+                },
+            )
+            .expect("clean pre-training must succeed");
         assert!(report.final_loss.is_finite());
+        assert!(report.health.is_clean(), "{}", report.health);
+        assert_eq!(report.health.epoch_grad_norms.len(), 3);
+        assert!(report.health.epoch_grad_norms[0].mean.is_finite());
         assert_eq!(report.epoch_losses.len(), 3);
         assert!(
             report.epoch_losses[2] < report.epoch_losses[0],
@@ -709,14 +940,16 @@ mod tests {
     #[test]
     fn pretrain_reports_both_components() {
         let mut model = AimTs::new(AimTsConfig::tiny(), 1);
-        let report = model.pretrain(
-            &tiny_pool(8),
-            &PretrainConfig {
-                epochs: 1,
-                batch_size: 4,
-                ..Default::default()
-            },
-        );
+        let report = model
+            .pretrain(
+                &tiny_pool(8),
+                &PretrainConfig {
+                    epochs: 1,
+                    batch_size: 4,
+                    ..Default::default()
+                },
+            )
+            .expect("clean pre-training must succeed");
         assert!(report.final_proto_loss > 0.0);
         assert!(report.final_si_loss > 0.0);
         assert!(report.steps > 0);
@@ -729,14 +962,16 @@ mod tests {
             ..AimTsConfig::tiny()
         };
         let mut model = AimTs::new(cfg, 2);
-        let report = model.pretrain(
-            &tiny_pool(8),
-            &PretrainConfig {
-                epochs: 1,
-                batch_size: 4,
-                ..Default::default()
-            },
-        );
+        let report = model
+            .pretrain(
+                &tiny_pool(8),
+                &PretrainConfig {
+                    epochs: 1,
+                    batch_size: 4,
+                    ..Default::default()
+                },
+            )
+            .expect("clean pre-training must succeed");
         assert!(report.final_si_loss == 0.0);
         assert!(report.final_proto_loss > 0.0);
     }
@@ -850,15 +1085,17 @@ mod tests {
     fn parallel_pretrain_is_deterministic_and_learns() {
         let run = || {
             let mut model = AimTs::new(AimTsConfig::tiny(), 3407);
-            model.pretrain(
-                &tiny_pool(16),
-                &PretrainConfig {
-                    epochs: 2,
-                    batch_size: 4,
-                    workers: 2,
-                    ..Default::default()
-                },
-            )
+            model
+                .pretrain(
+                    &tiny_pool(16),
+                    &PretrainConfig {
+                        epochs: 2,
+                        batch_size: 4,
+                        workers: 2,
+                        ..Default::default()
+                    },
+                )
+                .expect("clean pre-training must succeed")
         };
         let a = run();
         let b = run();
@@ -869,6 +1106,7 @@ mod tests {
         );
         assert!(a.final_loss.is_finite());
         assert!(a.steps > 0);
+        assert!(a.health.is_clean(), "{}", a.health);
     }
 
     #[test]

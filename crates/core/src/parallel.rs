@@ -9,6 +9,7 @@
 //! gradients and steps its optimizer once.
 
 use std::env;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "AIMTS_THREADS";
@@ -52,36 +53,123 @@ pub fn all_reduce_mean(buffers: &[Vec<f32>]) -> Vec<f32> {
     out
 }
 
-/// Run `f(slot, item)` for every item on up to `workers` scoped threads,
-/// returning results in item order. `slot` is the item's position within
-/// this call (`0..items.len()`), so with `items.len() <= workers` each
-/// invocation gets a dedicated slot — callers use it to index per-worker
-/// replicas. With one worker (or one item) everything runs inline on the
-/// calling thread.
-pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+/// Finite-guarded all-reduce: the element-wise mean over only the buffers
+/// that are entirely finite, with poisoned (any-`NaN`/`inf`) buffers
+/// excluded from the average. Returns `None` when every buffer is
+/// poisoned (the caller must skip the step), otherwise the mean and the
+/// number of buffers excluded.
+///
+/// Accumulation runs in `f64`, so the sum of finite `f32` values can never
+/// overflow and the mean of the survivors — which is bounded by their
+/// maximum — is always finite. Panics on an empty slice or mismatched
+/// lengths, like [`all_reduce_mean`].
+pub fn all_reduce_mean_guarded(buffers: &[Vec<f32>]) -> Option<(Vec<f32>, usize)> {
+    assert!(
+        !buffers.is_empty(),
+        "all_reduce_mean_guarded of zero buffers"
+    );
+    let n = buffers[0].len();
+    for b in buffers {
+        assert_eq!(b.len(), n, "all_reduce_mean_guarded buffer length mismatch");
+    }
+    let finite: Vec<&Vec<f32>> = buffers
+        .iter()
+        .filter(|b| aimts_tensor::all_finite(b))
+        .collect();
+    let excluded = buffers.len() - finite.len();
+    if finite.is_empty() {
+        return None;
+    }
+    let mut acc = vec![0f64; n];
+    for b in &finite {
+        for (a, x) in acc.iter_mut().zip(b.iter()) {
+            *a += *x as f64;
+        }
+    }
+    let scale = 1.0 / finite.len() as f64;
+    let out: Vec<f32> = acc.into_iter().map(|a| (a * scale) as f32).collect();
+    debug_assert!(
+        aimts_tensor::all_finite(&out),
+        "guarded all-reduce emitted a non-finite mean from all-finite inputs"
+    );
+    Some((out, excluded))
+}
+
+/// Render a caught panic payload as a short message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`parallel_map`] with per-item panic containment: a panic inside
+/// `f(slot, item)` is caught on the worker thread and surfaced as
+/// `Err(message)` in that item's slot, while every other item — including
+/// later items of the same worker's chunk — still runs to completion.
+///
+/// This is what lets one crashed data-parallel replica degrade a training
+/// step to the surviving replicas' gradients instead of aborting the
+/// process. Lock poisoning cannot leak out of the failure path: tensor
+/// storage locks already shrug off poisoning (their writers only overwrite
+/// whole buffers, never leaving torn state), and the unwind is stopped at
+/// the item boundary before it can cross `std::thread::scope`'s join.
+pub fn try_parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<Result<R, String>>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let run_one = |slot: usize, item: &T| -> Result<R, String> {
+        catch_unwind(AssertUnwindSafe(|| f(slot, item))).map_err(panic_message)
+    };
     let w = workers.max(1).min(items.len().max(1));
     if w <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| run_one(i, t))
+            .collect();
     }
     let chunk = items.len().div_ceil(w);
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let mut out: Vec<Option<Result<R, String>>> = (0..items.len()).map(|_| None).collect();
     std::thread::scope(|s| {
         for (ci, (islice, oslice)) in items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate() {
-            let f = &f;
+            let run_one = &run_one;
             s.spawn(move || {
                 for (j, (item, slot)) in islice.iter().zip(oslice.iter_mut()).enumerate() {
-                    *slot = Some(f(ci * chunk + j, item));
+                    *slot = Some(run_one(ci * chunk + j, item));
                 }
             });
         }
     });
     out.into_iter()
         .map(|r| r.expect("parallel_map worker produced no result"))
+        .collect()
+}
+
+/// Run `f(slot, item)` for every item on up to `workers` scoped threads,
+/// returning results in item order. `slot` is the item's position within
+/// this call (`0..items.len()`), so with `items.len() <= workers` each
+/// invocation gets a dedicated slot — callers use it to index per-worker
+/// replicas. With one worker (or one item) everything runs inline on the
+/// calling thread.
+///
+/// A panicking item re-raises the panic on the *calling* thread (after all
+/// other items have completed); callers that must survive worker crashes
+/// use [`try_parallel_map`] instead.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    try_parallel_map(items, workers, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|msg| panic!("parallel_map worker panicked: {msg}")))
         .collect()
 }
 
@@ -149,6 +237,68 @@ mod tests {
         let mut slots = seen.into_inner().unwrap();
         slots.sort_unstable();
         assert_eq!(slots, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn guarded_all_reduce_excludes_poisoned_buffers() {
+        let clean = vec![vec![1.0, 2.0], vec![3.0, 6.0]];
+        let (mean, excluded) = all_reduce_mean_guarded(&clean).unwrap();
+        assert_eq!(mean, vec![2.0, 4.0]);
+        assert_eq!(excluded, 0);
+
+        let poisoned = vec![vec![1.0, 2.0], vec![f32::NAN, 6.0], vec![3.0, 10.0]];
+        let (mean, excluded) = all_reduce_mean_guarded(&poisoned).unwrap();
+        assert_eq!(mean, vec![2.0, 6.0]);
+        assert_eq!(excluded, 1);
+
+        let all_bad = vec![vec![f32::INFINITY], vec![f32::NAN]];
+        assert!(all_reduce_mean_guarded(&all_bad).is_none());
+    }
+
+    #[test]
+    fn guarded_all_reduce_survives_extreme_finite_values() {
+        // Two MAX buffers overflow an f32 accumulator; the f64 path must
+        // still return the finite mean (== f32::MAX).
+        let buffers = vec![vec![f32::MAX], vec![f32::MAX]];
+        let (mean, excluded) = all_reduce_mean_guarded(&buffers).unwrap();
+        assert_eq!(excluded, 0);
+        assert_eq!(mean, vec![f32::MAX]);
+    }
+
+    #[test]
+    fn try_parallel_map_contains_panics() {
+        let items: Vec<usize> = (0..9).collect();
+        for w in [1, 2, 4] {
+            let out = try_parallel_map(&items, w, |_slot, &x| {
+                if x == 4 {
+                    panic!("injected panic on item {x}");
+                }
+                x * 10
+            });
+            assert_eq!(out.len(), items.len(), "w={w}");
+            for (i, r) in out.iter().enumerate() {
+                if i == 4 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("injected panic"), "w={w}: {msg}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 10, "w={w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_repanics_on_caller_thread() {
+        let items = [0usize, 1];
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, 2, |_slot, &x| {
+                if x == 1 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(caught.is_err());
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Property-based guarantees for the guarded gradient all-reduce: when at
+//! most one worker buffer is poisoned with a non-finite value, the mean
+//! over the surviving buffers is always all-finite — a poisoned replica
+//! can never leak `NaN`/`inf` into the optimizer step.
+
+use aimts::all_reduce_mean_guarded;
+use proptest::prelude::*;
+
+/// Non-finite bit patterns used to poison a buffer cell.
+const POISON_BITS: [u32; 3] = [
+    0x7FC0_0000, // quiet NaN
+    0x7F80_0000, // +inf
+    0xFF80_0000, // -inf
+];
+
+/// Strategy: `(buffers, poison_buffer, poison_kind)` — 2–5 equal-length
+/// buffers of finite f32s spanning the full magnitude range (so an f32
+/// accumulator would overflow, but the guarded f64 path must not), plus
+/// which buffer to poison (`== n` means none) and with which pattern.
+fn workload() -> impl Strategy<Value = (Vec<Vec<f32>>, usize, usize)> {
+    (1usize..24, 2usize..=5).prop_flat_map(|(len, n)| {
+        (
+            prop::collection::vec(prop::collection::vec(-3.0e38f32..3.0e38, len..=len), n..=n),
+            0usize..=n,
+            0usize..3,
+        )
+    })
+}
+
+proptest! {
+    /// With <= 1 poisoned buffer excluded, the output is always finite and
+    /// the exclusion count is exact.
+    #[test]
+    fn guarded_all_reduce_never_emits_nonfinite((mut buffers, poison, kind) in workload()) {
+        let n = buffers.len();
+        let len = buffers[0].len();
+        if poison < n {
+            buffers[poison][kind % len] = f32::from_bits(POISON_BITS[kind]);
+        }
+        let (mean, excluded) = all_reduce_mean_guarded(&buffers)
+            .expect("at most one poisoned buffer out of >= 2 leaves survivors");
+        prop_assert_eq!(excluded, usize::from(poison < n));
+        prop_assert_eq!(mean.len(), len);
+        for (i, v) in mean.iter().enumerate() {
+            prop_assert!(v.is_finite(), "non-finite mean at {} : {}", i, v);
+        }
+    }
+
+    /// A round where every buffer is poisoned yields `None`, never a
+    /// non-finite "mean of nothing".
+    #[test]
+    fn fully_poisoned_round_is_rejected(
+        len in 1usize..16,
+        n in 1usize..5,
+        kind in 0usize..3,
+    ) {
+        let buffers: Vec<Vec<f32>> =
+            (0..n).map(|_| vec![f32::from_bits(POISON_BITS[kind]); len]).collect();
+        prop_assert!(all_reduce_mean_guarded(&buffers).is_none());
+    }
+}

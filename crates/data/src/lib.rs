@@ -37,5 +37,5 @@ mod sample;
 
 pub use fewshot::few_shot_subset;
 pub use generator::{DatasetSpec, PatternFamily};
-pub use preprocess::z_normalize;
+pub use preprocess::{repair_missing, repair_missing_dataset, z_normalize, MissingValuePolicy};
 pub use sample::{Dataset, MultiSeries, Sample, Split};

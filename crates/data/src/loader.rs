@@ -7,6 +7,7 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+use crate::preprocess::{repair_missing_dataset, MissingValuePolicy};
 use crate::sample::{Dataset, Sample, Split};
 
 /// Parse one UCR TSV body into samples with raw (unmapped) labels.
@@ -45,9 +46,21 @@ fn bad(lineno: usize, msg: &str) -> io::Error {
 }
 
 /// Load a UCR-format dataset from `<dir>/<name>_TRAIN.tsv` and
-/// `<dir>/<name>_TEST.tsv`. Labels are remapped to `0..C-1` consistently
+/// `<dir>/<name>_TEST.tsv` under the default missing-value policy
+/// ([`MissingValuePolicy::Reject`]: any `NaN`/`inf` cell is a load error
+/// naming its location). Labels are remapped to `0..C-1` consistently
 /// across the two splits.
 pub fn load_ucr_tsv(dir: &Path, name: &str) -> io::Result<Dataset> {
+    load_ucr_tsv_with(dir, name, MissingValuePolicy::default())
+}
+
+/// [`load_ucr_tsv`] with an explicit missing-value policy (the UCR archive
+/// marks gaps as `NaN`, which `f32` parsing accepts silently).
+pub fn load_ucr_tsv_with(
+    dir: &Path,
+    name: &str,
+    missing: MissingValuePolicy,
+) -> io::Result<Dataset> {
     let train_raw = parse_tsv(&fs::read_to_string(dir.join(format!("{name}_TRAIN.tsv")))?)?;
     let test_raw = parse_tsv(&fs::read_to_string(dir.join(format!("{name}_TEST.tsv")))?)?;
     // Stable label remap over both splits.
@@ -63,13 +76,15 @@ pub fn load_ucr_tsv(dir: &Path, name: &str) -> io::Result<Dataset> {
                 .collect(),
         )
     };
-    Ok(Dataset {
+    let mut ds = Dataset {
         name: name.to_string(),
         domain: "ucr".to_string(),
         n_classes: mapping.len(),
         train: build(train_raw),
         test: build(test_raw),
-    })
+    };
+    repair_missing_dataset(&mut ds, missing)?;
+    Ok(ds)
 }
 
 /// Save a dataset (including multivariate ones) as JSON.
@@ -78,10 +93,16 @@ pub fn save_json(path: &Path, ds: &Dataset) -> io::Result<()> {
     fs::write(path, json)
 }
 
-/// Load a dataset previously written by [`save_json`].
+/// Load a dataset previously written by [`save_json`] under the default
+/// missing-value policy ([`MissingValuePolicy::Reject`]).
 pub fn load_json(path: &Path) -> io::Result<Dataset> {
+    load_json_with(path, MissingValuePolicy::default())
+}
+
+/// [`load_json`] with an explicit missing-value policy.
+pub fn load_json_with(path: &Path, missing: MissingValuePolicy) -> io::Result<Dataset> {
     let body = fs::read_to_string(path)?;
-    let ds: Dataset = serde_json::from_str(&body).map_err(io::Error::other)?;
+    let mut ds: Dataset = serde_json::from_str(&body).map_err(io::Error::other)?;
     if ds.train.is_empty() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -96,6 +117,7 @@ pub fn load_json(path: &Path) -> io::Result<Dataset> {
             ));
         }
     }
+    repair_missing_dataset(&mut ds, missing)?;
     Ok(ds)
 }
 
@@ -153,5 +175,44 @@ mod tests {
     #[test]
     fn missing_file_errors() {
         assert!(load_ucr_tsv(Path::new("/nonexistent"), "Nope").is_err());
+    }
+
+    #[test]
+    fn tsv_with_nan_rejected_by_default_and_imputed_on_request() {
+        let dir = std::env::temp_dir().join("aimts_ucr_loader_nan_test");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("Gap_TRAIN.tsv"),
+            "1\t1.0\tNaN\t3.0\n2\t4.0\t5.0\t6.0\n",
+        )
+        .unwrap();
+        fs::write(dir.join("Gap_TEST.tsv"), "1\t0.0\t0.0\t0.0\n").unwrap();
+
+        let err = load_ucr_tsv(&dir, "Gap").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("train split") && msg.contains("sample 0") && msg.contains("position 1"),
+            "{msg}"
+        );
+
+        let ds = load_ucr_tsv_with(&dir, "Gap", MissingValuePolicy::ImputeLinear).unwrap();
+        assert_eq!(ds.train.samples[0].vars[0], vec![1.0, 2.0, 3.0]);
+
+        let ds = load_ucr_tsv_with(&dir, "Gap", MissingValuePolicy::ImputeZero).unwrap();
+        assert_eq!(ds.train.samples[0].vars[0], vec![1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn json_with_nan_rejected_by_default_and_imputed_on_request() {
+        let mut ds = crate::archives::ucr_like_archive(1, 3).remove(0);
+        ds.test.samples[0].vars[0][2] = f32::NAN;
+        let path = std::env::temp_dir().join("aimts_ds_nan.json");
+        save_json(&path, &ds).unwrap();
+
+        let err = load_json(&path).unwrap_err();
+        assert!(err.to_string().contains("test split"), "{err}");
+
+        let repaired = load_json_with(&path, MissingValuePolicy::ImputeLinear).unwrap();
+        assert!(repaired.test.samples[0].vars[0][2].is_finite());
     }
 }

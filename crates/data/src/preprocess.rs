@@ -1,6 +1,127 @@
-//! Pre-processing: per-variable z-normalization and length resampling.
+//! Pre-processing: per-variable z-normalization, length resampling, and
+//! the missing-value policy applied by the loaders.
+
+use std::io;
 
 use crate::sample::{Dataset, MultiSeries, Sample, Split};
+
+/// How loaded data treats missing cells (`NaN`/`±inf`).
+///
+/// A single non-finite cell survives z-normalization as `NaN` across the
+/// whole variable and then poisons every gradient it touches, so the
+/// default is to reject it loudly at load time — naming the sample,
+/// variable, and position — rather than let it reach training.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MissingValuePolicy {
+    /// Error on the first non-finite cell (the default).
+    #[default]
+    Reject,
+    /// Linearly interpolate interior gaps between the nearest finite
+    /// neighbours; leading/trailing gaps copy the nearest finite value. A
+    /// fully-missing variable becomes all zeros.
+    ImputeLinear,
+    /// Replace every missing cell with `0.0` (the per-variable mean after
+    /// z-normalization).
+    ImputeZero,
+}
+
+impl MissingValuePolicy {
+    /// Parse the CLI spelling: `reject` | `impute-linear` | `impute-zero`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "reject" => Ok(MissingValuePolicy::Reject),
+            "impute-linear" => Ok(MissingValuePolicy::ImputeLinear),
+            "impute-zero" => Ok(MissingValuePolicy::ImputeZero),
+            other => Err(format!(
+                "unknown missing-value policy `{other}` \
+                 (use reject|impute-linear|impute-zero)"
+            )),
+        }
+    }
+}
+
+/// Apply a [`MissingValuePolicy`] to one sample's variables. `row` labels
+/// the sample in error messages. Returns the number of cells repaired;
+/// under [`MissingValuePolicy::Reject`] any missing cell is an error
+/// naming its exact location.
+pub fn repair_missing(
+    vars: &mut MultiSeries,
+    policy: MissingValuePolicy,
+    row: usize,
+) -> io::Result<usize> {
+    let mut repaired = 0usize;
+    for (var, series) in vars.iter_mut().enumerate() {
+        let missing = series.iter().filter(|v| !v.is_finite()).count();
+        if missing == 0 {
+            continue;
+        }
+        match policy {
+            MissingValuePolicy::Reject => {
+                let col = series
+                    .iter()
+                    .position(|v| !v.is_finite())
+                    .expect("missing > 0");
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "missing value ({}) at sample {row}, variable {var}, position {col}; \
+                         pass an impute policy to repair instead of rejecting",
+                        series[col]
+                    ),
+                ));
+            }
+            MissingValuePolicy::ImputeZero => {
+                for v in series.iter_mut() {
+                    if !v.is_finite() {
+                        *v = 0.0;
+                    }
+                }
+            }
+            MissingValuePolicy::ImputeLinear => impute_linear(series),
+        }
+        repaired += missing;
+    }
+    Ok(repaired)
+}
+
+/// Apply a [`MissingValuePolicy`] to every sample of both splits.
+/// Returns the total number of repaired cells.
+pub fn repair_missing_dataset(ds: &mut Dataset, policy: MissingValuePolicy) -> io::Result<usize> {
+    let mut total = 0usize;
+    for (split_name, split) in [("train", &mut ds.train), ("test", &mut ds.test)] {
+        for (row, s) in split.samples.iter_mut().enumerate() {
+            total += repair_missing(&mut s.vars, policy, row)
+                .map_err(|e| io::Error::new(e.kind(), format!("{split_name} split: {e}")))?;
+        }
+    }
+    Ok(total)
+}
+
+/// In-place linear interpolation of non-finite cells between the nearest
+/// finite anchors; edges copy the nearest finite value.
+fn impute_linear(x: &mut [f32]) {
+    let finite: Vec<usize> = (0..x.len()).filter(|&i| x[i].is_finite()).collect();
+    if finite.is_empty() {
+        x.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    for i in 0..x.len() {
+        if x[i].is_finite() {
+            continue;
+        }
+        let prev = finite.iter().rev().find(|&&j| j < i).copied();
+        let next = finite.iter().find(|&&j| j > i).copied();
+        x[i] = match (prev, next) {
+            (Some(p), Some(n)) => {
+                let t = (i - p) as f32 / (n - p) as f32;
+                x[p] * (1.0 - t) + x[n] * t
+            }
+            (Some(p), None) => x[p],
+            (None, Some(n)) => x[n],
+            (None, None) => unreachable!("finite is non-empty"),
+        };
+    }
+}
 
 /// Z-normalize a single series in place (no-op on zero variance).
 pub fn z_normalize(x: &mut [f32]) {
@@ -103,5 +224,69 @@ mod tests {
         let vars = vec![vec![0.0, 1.0, 2.0, 3.0]];
         assert_eq!(resample_sample(&vars, 7)[0].len(), 7);
         assert_eq!(resample_sample(&vars, 2)[0], vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn missing_policy_parse() {
+        assert_eq!(
+            MissingValuePolicy::parse("reject").unwrap(),
+            MissingValuePolicy::Reject
+        );
+        assert_eq!(
+            MissingValuePolicy::parse("impute-linear").unwrap(),
+            MissingValuePolicy::ImputeLinear
+        );
+        assert_eq!(
+            MissingValuePolicy::parse("impute-zero").unwrap(),
+            MissingValuePolicy::ImputeZero
+        );
+        assert!(MissingValuePolicy::parse("nope").is_err());
+    }
+
+    #[test]
+    fn reject_names_the_offending_cell() {
+        let mut vars = vec![vec![1.0, 2.0], vec![3.0, f32::NAN, 5.0]];
+        let err = repair_missing(&mut vars, MissingValuePolicy::Reject, 7).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("sample 7") && msg.contains("variable 1") && msg.contains("position 1"),
+            "{msg}"
+        );
+        // The sample is untouched on error.
+        assert!(vars[1][1].is_nan());
+    }
+
+    #[test]
+    fn impute_zero_replaces_all_nonfinite() {
+        let mut vars = vec![vec![1.0, f32::NAN, f32::INFINITY, 4.0]];
+        let n = repair_missing(&mut vars, MissingValuePolicy::ImputeZero, 0).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(vars[0], vec![1.0, 0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn impute_linear_interpolates_and_extends() {
+        let mut vars = vec![vec![f32::NAN, 1.0, f32::NAN, f32::NAN, 4.0, f32::NAN]];
+        let n = repair_missing(&mut vars, MissingValuePolicy::ImputeLinear, 0).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(vars[0], vec![1.0, 1.0, 2.0, 3.0, 4.0, 4.0]);
+        // A fully-missing variable becomes zeros, not NaNs.
+        let mut all_gone = vec![vec![f32::NAN, f32::NEG_INFINITY]];
+        repair_missing(&mut all_gone, MissingValuePolicy::ImputeLinear, 0).unwrap();
+        assert_eq!(all_gone[0], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn clean_data_is_untouched_by_every_policy() {
+        for policy in [
+            MissingValuePolicy::Reject,
+            MissingValuePolicy::ImputeLinear,
+            MissingValuePolicy::ImputeZero,
+        ] {
+            let mut vars = vec![vec![1.0, -2.0, 3.5]];
+            let n = repair_missing(&mut vars, policy, 0).unwrap();
+            assert_eq!(n, 0);
+            assert_eq!(vars[0], vec![1.0, -2.0, 3.5]);
+        }
     }
 }

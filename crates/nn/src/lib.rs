@@ -40,5 +40,5 @@ pub use layers::{
     Activation, BatchNorm1d, Conv1d, Conv2d, Dropout, LayerNorm, Linear, Mlp, Sequential,
 };
 pub use module::{AnyModule, Module, Replicate};
-pub use optim::{clip_grad_norm, Adam, AdamState, Optimizer, Sgd};
+pub use optim::{clip_grad_norm, grad_norm, Adam, AdamState, Optimizer, Sgd};
 pub use scheduler::{CosineLr, SchedulerState, StepLr};

@@ -15,19 +15,32 @@ pub trait Optimizer {
     fn set_lr(&mut self, lr: f32);
 }
 
-/// Clip the global L2 norm of the parameters' gradients to `max_norm`,
-/// rescaling in place when it is exceeded. Returns the pre-clip norm.
-/// Call between `backward()` and `step()`.
-pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
-    assert!(max_norm > 0.0, "max_norm must be positive");
+/// Global L2 norm of the parameters' accumulated gradients, computed in
+/// `f64` so it is non-finite exactly when some gradient value is
+/// (`f32::MAX` squared is far below the `f64` ceiling, so finite inputs
+/// can never overflow the accumulator). The numerical-anomaly guard uses
+/// this as its gradient finiteness check.
+pub fn grad_norm(params: &[Tensor]) -> f32 {
     let mut sq = 0f64;
     for p in params {
         if let Some(g) = p.grad() {
             sq += g.iter().map(|x| (*x as f64) * (*x as f64)).sum::<f64>();
         }
     }
-    let norm = (sq as f32).sqrt();
-    if norm > max_norm {
+    (sq as f32).sqrt()
+}
+
+/// Clip the global L2 norm of the parameters' gradients to `max_norm`,
+/// rescaling in place when it is exceeded. Returns the pre-clip norm.
+/// Call between `backward()` and `step()`.
+///
+/// A non-finite pre-clip norm (some gradient is `NaN`/`±inf`) disables the
+/// rescale — scaling cannot repair non-finite values, and the caller's
+/// guard is expected to skip the step instead.
+pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let norm = grad_norm(params);
+    if norm.is_finite() && norm > max_norm {
         let scale = max_norm / norm;
         for p in params {
             if let Some(mut g) = p.grad() {
@@ -35,6 +48,10 @@ pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
                 p.set_grad(&g);
             }
         }
+        debug_assert!(
+            grad_norm(params) <= max_norm * 1.001,
+            "clip_grad_norm post-condition violated: rescaled norm exceeds max_norm"
+        );
     }
     norm
 }
@@ -195,13 +212,7 @@ impl Adam {
 
     /// Gradient L2 norm across all parameters (diagnostics).
     pub fn grad_norm(&self) -> f32 {
-        let mut s = 0f64;
-        for p in &self.params {
-            if let Some(g) = p.grad() {
-                s += g.iter().map(|x| (*x as f64) * (*x as f64)).sum::<f64>();
-            }
-        }
-        (s as f32).sqrt()
+        grad_norm(&self.params)
     }
 }
 
@@ -315,6 +326,23 @@ mod tests {
         let pre2 = super::clip_grad_norm(std::slice::from_ref(&x), 10.0);
         assert!((pre2 - 1.0).abs() < 1e-5);
         assert_eq!(x.grad().unwrap(), g);
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_nonfinite_gradients_alone() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]).requires_grad();
+        x.set_grad(&[f32::NAN, 3.0]);
+        let pre = super::clip_grad_norm(std::slice::from_ref(&x), 1.0);
+        assert!(pre.is_nan());
+        // The gradient is untouched: scaling cannot repair NaN, the caller
+        // must skip the step.
+        let g = x.grad().unwrap();
+        assert!(g[0].is_nan());
+        assert_eq!(g[1], 3.0);
+
+        x.set_grad(&[f32::INFINITY, 0.0]);
+        assert!(super::clip_grad_norm(std::slice::from_ref(&x), 1.0).is_infinite());
+        assert!(x.grad().unwrap()[0].is_infinite());
     }
 
     #[test]

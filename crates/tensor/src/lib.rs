@@ -44,3 +44,41 @@ pub use tensor::Tensor;
 
 /// Numerical epsilon used by normalization and division-adjacent kernels.
 pub const EPS: f32 = 1e-8;
+
+/// True when every value in the slice is finite (no `NaN`, no `±inf`).
+///
+/// An `f32` is non-finite exactly when its exponent bits are all ones, so
+/// the check is a branch-free mask-and-compare per element that the
+/// compiler auto-vectorizes — cheap enough to guard every loss value and
+/// flat gradient of a training step.
+#[inline]
+pub fn all_finite(xs: &[f32]) -> bool {
+    const EXP_MASK: u32 = 0x7F80_0000;
+    xs.iter().all(|x| x.to_bits() & EXP_MASK != EXP_MASK)
+}
+
+#[cfg(test)]
+mod finite_tests {
+    use super::all_finite;
+
+    #[test]
+    fn all_finite_classifies_specials() {
+        assert!(all_finite(&[]));
+        assert!(all_finite(&[0.0, -0.0, 1.5, f32::MAX, f32::MIN_POSITIVE]));
+        // Subnormals are finite.
+        assert!(all_finite(&[f32::from_bits(1)]));
+        assert!(!all_finite(&[0.0, f32::NAN]));
+        assert!(!all_finite(&[f32::INFINITY]));
+        assert!(!all_finite(&[f32::NEG_INFINITY, 1.0]));
+        // NaN payload variants are all caught.
+        assert!(!all_finite(&[f32::from_bits(0x7F80_0001)]));
+    }
+
+    #[test]
+    fn tensor_all_finite_matches_slice() {
+        let t = super::Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert!(t.all_finite());
+        t.set_data(&[1.0, f32::NAN]);
+        assert!(!t.all_finite());
+    }
+}

@@ -246,6 +246,14 @@ impl Tensor {
         f(&mut write_lock(&self.inner.data));
     }
 
+    /// True when every element is finite (no `NaN`, no `±inf`).
+    ///
+    /// One branch-free pass over the buffer (see [`crate::all_finite`]);
+    /// cheap enough to run on every loss/gradient of a training step.
+    pub fn all_finite(&self) -> bool {
+        crate::all_finite(&self.data())
+    }
+
     /// Raw IEEE-754 bit patterns of the buffer, in element order.
     ///
     /// Unlike [`Tensor::to_vec`] followed by arithmetic, the bit patterns

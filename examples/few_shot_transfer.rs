@@ -23,15 +23,17 @@ fn main() {
     // Pre-trained model vs an identically-initialized random model.
     let pool = monash_like_pool(8, 0);
     let mut pretrained = AimTs::new(cfg.clone(), 3407);
-    pretrained.pretrain(
-        &pool,
-        &PretrainConfig {
-            epochs: 3,
-            batch_size: 8,
-            lr: 1e-3,
-            ..PretrainConfig::default()
-        },
-    );
+    pretrained
+        .pretrain(
+            &pool,
+            &PretrainConfig {
+                epochs: 3,
+                batch_size: 8,
+                lr: 1e-3,
+                ..PretrainConfig::default()
+            },
+        )
+        .expect("pre-training failed");
     let scratch = AimTs::new(cfg, 3407);
 
     let suite = fewshot_suite(7);

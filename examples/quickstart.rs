@@ -33,7 +33,7 @@ fn main() {
         lr: 1e-3,
         ..PretrainConfig::default()
     };
-    let report = model.pretrain(&pool, &pcfg);
+    let report = model.pretrain(&pool, &pcfg).expect("pre-training failed");
     println!(
         "pre-trained: {} steps, loss {:.3} -> {:.3} (proto {:.3}, series-image {:.3})",
         report.steps,

@@ -47,13 +47,13 @@ fn run_interrupted_vs_straight(
     // Reference: one uninterrupted run, no checkpointing at all.
     let mut straight = AimTs::new(AimTsConfig::tiny(), 1);
     let straight_report = straight
-        .pretrain_checkpointed(&pool, &pcfg(workers, CheckpointPolicy::default()))
+        .pretrain(&pool, &pcfg(workers, CheckpointPolicy::default()))
         .unwrap();
 
     // Interrupted run: stop ("crash") after HALF epochs...
     let mut victim = AimTs::new(AimTsConfig::tiny(), 1);
     let victim_report = victim
-        .pretrain_checkpointed(
+        .pretrain(
             &pool,
             &PretrainConfig {
                 epochs: HALF,
@@ -74,7 +74,7 @@ fn run_interrupted_vs_straight(
     // init seed, whose weights/optimizer/RNG all come from the checkpoint.
     let mut resumed = AimTs::new(AimTsConfig::tiny(), 999);
     let resumed_report = resumed
-        .pretrain_checkpointed(
+        .pretrain(
             &pool,
             &pcfg(
                 workers,
@@ -160,7 +160,7 @@ fn resume_rejects_mismatched_seed_and_topology() {
     let dir = tmp_dir("mismatch");
     let mut model = AimTs::new(AimTsConfig::tiny(), 1);
     model
-        .pretrain_checkpointed(
+        .pretrain(
             &pool,
             &PretrainConfig {
                 epochs: 1,
@@ -175,7 +175,7 @@ fn resume_rejects_mismatched_seed_and_topology() {
     let ckpt = checkpoint_path(&dir, 1);
     let resume = |seed: u64, workers: usize| {
         let mut m = AimTs::new(AimTsConfig::tiny(), 1);
-        m.pretrain_checkpointed(
+        m.pretrain(
             &pool,
             &PretrainConfig {
                 seed,
@@ -203,7 +203,7 @@ fn retention_keeps_only_last_k_during_training() {
     let dir = tmp_dir("retention");
     let mut model = AimTs::new(AimTsConfig::tiny(), 1);
     model
-        .pretrain_checkpointed(
+        .pretrain(
             &pool,
             &PretrainConfig {
                 checkpoint: CheckpointPolicy {

@@ -23,7 +23,13 @@ fn tiny_pcfg() -> PretrainConfig {
 #[test]
 fn full_pipeline_pretrain_save_load_finetune_predict() {
     let mut model = AimTs::new(AimTsConfig::tiny(), 3407);
-    let report = model.pretrain(&tiny_pool(12), &tiny_pcfg());
+    let report = model
+        .pretrain(&tiny_pool(12), &tiny_pcfg())
+        .expect("pre-training failed");
+    assert!(
+        report.health.is_clean(),
+        "clean run must report no anomalies"
+    );
     assert!(report.final_loss.is_finite());
 
     // Checkpoint round-trip.
@@ -61,7 +67,8 @@ fn pretraining_is_deterministic_per_seed() {
     let pool = tiny_pool(8);
     let run = || {
         let mut m = AimTs::new(AimTsConfig::tiny(), 3407);
-        m.pretrain(&pool, &tiny_pcfg());
+        m.pretrain(&pool, &tiny_pcfg())
+            .expect("pre-training failed");
         m.named_parameters()[0].1.to_vec()
     };
     assert_eq!(run(), run(), "same seed must give bit-identical training");
@@ -72,7 +79,8 @@ fn different_seeds_give_different_models() {
     let pool = tiny_pool(8);
     let run = |seed: u64| {
         let mut m = AimTs::new(AimTsConfig::tiny(), seed);
-        m.pretrain(&pool, &tiny_pcfg());
+        m.pretrain(&pool, &tiny_pcfg())
+            .expect("pre-training failed");
         m.named_parameters()[0].1.to_vec()
     };
     assert_ne!(run(1), run(2));
@@ -94,7 +102,9 @@ fn all_ablation_variants_train_and_finetune() {
             ..AimTsConfig::tiny()
         };
         let mut model = AimTs::new(cfg, 5);
-        let report = model.pretrain(&pool, &tiny_pcfg());
+        let report = model
+            .pretrain(&pool, &tiny_pcfg())
+            .expect("pre-training failed");
         assert!(report.final_loss.is_finite(), "{ablation:?} diverged");
         let acc = model
             .fine_tune(
@@ -112,7 +122,9 @@ fn all_ablation_variants_train_and_finetune() {
 #[test]
 fn multivariate_downstream_works_end_to_end() {
     let mut model = AimTs::new(AimTsConfig::tiny(), 11);
-    model.pretrain(&tiny_pool(8), &tiny_pcfg());
+    model
+        .pretrain(&tiny_pool(8), &tiny_pcfg())
+        .expect("pre-training failed");
     let ds = &uea_like_archive(1, 5)[0];
     assert!(ds.n_vars() >= 2);
     let tuned = model.fine_tune(
@@ -134,7 +146,9 @@ fn mixed_pool_with_heterogeneous_shapes_pretrains() {
     let n_vars: std::collections::HashSet<usize> = pool.iter().map(|s| s.len()).collect();
     assert!(n_vars.len() >= 2, "pool should mix variable counts");
     let mut model = AimTs::new(AimTsConfig::tiny(), 13);
-    let report = model.pretrain(&pool[..30.min(pool.len())], &tiny_pcfg());
+    let report = model
+        .pretrain(&pool[..30.min(pool.len())], &tiny_pcfg())
+        .expect("pre-training failed");
     assert!(report.final_loss.is_finite());
 }
 

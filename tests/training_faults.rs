@@ -1,0 +1,204 @@
+//! Fault-injection suite for the self-healing training loop: NaN
+//! micro-batches are skipped without killing the run, a panicking worker
+//! degrades its step to the surviving replicas, runs of consecutive
+//! anomalies roll back to the last good epoch boundary — bit-exactly on
+//! the serial path — and an exhausted rollback budget aborts with a typed
+//! error, never a process panic.
+
+use aimts::{
+    AimTs, AimTsConfig, CheckpointPolicy, FaultPlan, HealthPolicy, PretrainConfig, TrainError,
+};
+use aimts_data::archives::monash_like_pool;
+use aimts_data::MultiSeries;
+use aimts_nn::Module as _;
+
+fn pool(n: usize) -> Vec<MultiSeries> {
+    monash_like_pool(2, 0).into_iter().take(n).collect()
+}
+
+fn pcfg(workers: usize) -> PretrainConfig {
+    PretrainConfig {
+        epochs: 3,
+        batch_size: 4,
+        seed: 3407,
+        workers,
+        ..PretrainConfig::default()
+    }
+}
+
+#[test]
+fn nan_microbatch_is_skipped_and_training_continues() {
+    let mut pool = pool(16);
+    // Fully poison one sample: every batch containing it yields a NaN loss.
+    for series in pool[5].iter_mut() {
+        for x in series.iter_mut() {
+            *x = f32::NAN;
+        }
+    }
+    let mut model = AimTs::new(AimTsConfig::tiny(), 3407);
+    let report = model
+        .pretrain(&pool, &pcfg(1))
+        .expect("a poisoned sample must not kill the run");
+
+    // One batch per epoch is poisoned; the rest train normally.
+    assert!(
+        report.health.skipped_steps >= 1,
+        "the NaN batch must be skipped: {}",
+        report.health
+    );
+    assert_eq!(report.health.rollbacks, 0, "{}", report.health);
+    assert!(report.steps >= 1, "clean batches must still step");
+    assert!(report.final_loss.is_finite(), "loss: {}", report.final_loss);
+    assert!(
+        report.epoch_losses.iter().all(|l| l.is_finite()),
+        "per-epoch losses must exclude skipped steps: {:?}",
+        report.epoch_losses
+    );
+    assert!(
+        model.flat_parameters().iter().all(|v| v.is_finite()),
+        "parameters must stay finite"
+    );
+}
+
+#[test]
+fn worker_panic_degrades_step_to_survivors() {
+    let pool = pool(16);
+    let mut cfg = pcfg(4);
+    cfg.epochs = 2;
+    cfg.health = HealthPolicy {
+        fault: FaultPlan {
+            panic_on_micro: Some(1),
+            ..FaultPlan::default()
+        },
+        ..HealthPolicy::default()
+    };
+    let mut model = AimTs::new(AimTsConfig::tiny(), 3407);
+    let report = model
+        .pretrain(&pool, &cfg)
+        .expect("a panicking worker must not kill the run");
+
+    assert_eq!(report.workers, 4);
+    assert_eq!(report.health.worker_panics, 1, "{}", report.health);
+    assert_eq!(report.health.degraded_steps, 1, "{}", report.health);
+    assert_eq!(report.health.rollbacks, 0, "{}", report.health);
+    assert!(report.final_loss.is_finite());
+    assert!(model.flat_parameters().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn consecutive_bad_steps_roll_back_and_abort_on_last_good_state() {
+    let pool = pool(12);
+
+    // Reference: one clean epoch with the identical seed and schedule. Its
+    // step count tells us where the epoch boundary falls (the pool is
+    // grouped by variable count, so it is not just `len / batch_size`).
+    let mut reference = AimTs::new(AimTsConfig::tiny(), 7);
+    let mut ref_cfg = pcfg(1);
+    ref_cfg.epochs = 1;
+    let ref_report = reference
+        .pretrain(&pool, &ref_cfg)
+        .expect("clean reference run");
+    let steps_per_epoch = ref_report.steps as u64;
+
+    // Faulted run: epoch 1 is clean, every later attempt is forced
+    // anomalous. K=2 consecutive skips trigger a rollback; after R=2
+    // rollbacks the third trigger aborts. No checkpoint directory is
+    // configured — rollback must work from the in-memory last-good state.
+    let mut victim = AimTs::new(AimTsConfig::tiny(), 7);
+    let mut cfg = pcfg(1);
+    cfg.health = HealthPolicy {
+        max_bad_steps: 2,
+        max_rollbacks: 2,
+        fault: FaultPlan {
+            bad_steps_from: Some(steps_per_epoch),
+            ..FaultPlan::default()
+        },
+        ..HealthPolicy::default()
+    };
+    let err = victim
+        .pretrain(&pool, &cfg)
+        .expect_err("an exhausted rollback budget must abort");
+    match err {
+        TrainError::Diverged {
+            rollbacks,
+            consecutive_bad,
+            report,
+            ..
+        } => {
+            assert_eq!(rollbacks, 2);
+            assert_eq!(consecutive_bad, 2);
+            assert_eq!(report.rollbacks, 2);
+            // 2 skips per trigger, 3 triggers (two rollbacks + the abort).
+            assert_eq!(report.skipped_steps, 6, "{report}");
+        }
+        other => panic!("expected Diverged, got: {other}"),
+    }
+
+    // The aborting run leaves the model exactly on the last good
+    // epoch-boundary state: bit-identical to the clean one-epoch run.
+    let (a, b) = (reference.flat_parameters(), victim.flat_parameters());
+    assert_eq!(a.len(), b.len());
+    let diverged = a
+        .iter()
+        .zip(&b)
+        .filter(|(x, y)| x.to_bits() != y.to_bits())
+        .count();
+    assert_eq!(
+        diverged,
+        0,
+        "{diverged}/{} parameters differ from the last-good state",
+        a.len()
+    );
+}
+
+#[test]
+fn parallel_rollback_ladder_also_aborts_with_typed_error() {
+    let pool = pool(16); // 4 micro-batches per round at workers=4
+    let mut cfg = pcfg(4);
+    cfg.health = HealthPolicy {
+        max_bad_steps: 1,
+        max_rollbacks: 1,
+        fault: FaultPlan {
+            bad_steps_from: Some(1), // epoch 1's single round is clean
+            ..FaultPlan::default()
+        },
+        ..HealthPolicy::default()
+    };
+    let mut model = AimTs::new(AimTsConfig::tiny(), 11);
+    let err = model
+        .pretrain(&pool, &cfg)
+        .expect_err("parallel path must abort through the same ladder");
+    match err {
+        TrainError::Diverged {
+            rollbacks, report, ..
+        } => {
+            assert_eq!(rollbacks, 1);
+            assert_eq!(report.rollbacks, 1);
+        }
+        other => panic!("expected Diverged, got: {other}"),
+    }
+    assert!(
+        model.flat_parameters().iter().all(|v| v.is_finite()),
+        "aborted model must stay on usable weights"
+    );
+}
+
+#[test]
+fn checkpoint_write_failure_is_a_typed_error_not_a_panic() {
+    let blocker = std::env::temp_dir().join("aimts_faults_blocker");
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    let mut cfg = pcfg(1);
+    cfg.epochs = 1;
+    cfg.checkpoint = CheckpointPolicy {
+        dir: Some(blocker.join("ckpts")), // parent is a file: mkdir fails
+        every: 1,
+        keep_last: 0,
+        resume_from: None,
+    };
+    let mut model = AimTs::new(AimTsConfig::tiny(), 1);
+    let err = model
+        .pretrain(&pool(8), &cfg)
+        .expect_err("an unwritable checkpoint dir must be a typed error");
+    assert!(matches!(err, TrainError::Checkpoint(_)), "got: {err}");
+    assert!(!err.to_string().is_empty());
+}
