@@ -1,0 +1,710 @@
+//! The rule pack: workspace invariants encoded as token-pattern rules.
+//!
+//! | id   | invariant                                                        |
+//! |------|------------------------------------------------------------------|
+//! | A000 | (meta) malformed or unused suppression pragmas                   |
+//! | A001 | no `panic!`/`unwrap()`/`expect()`/`todo!` in library code of the |
+//! |      | `tensor`/`nn`/`core`/`data` crates                               |
+//! | A002 | multi-guard lock acquisitions must be id-ordered                 |
+//! | A003 | no wall-clock / entropy sources outside `bench`/`cli`            |
+//! | A004 | no `==`/`!=` between float expressions outside tests             |
+//! | A005 | no `let _ =` discards (silently dropped `Result`s)               |
+//!
+//! Every rule can be suppressed per line with
+//! `// aimts-lint: allow(RULE, reason)`; see [`crate::scan`].
+
+use crate::lexer::{Token, TokenKind};
+use crate::scan::SourceFile;
+
+/// One catalog entry, used by `aimts-lint rules` and the docs.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub hint: &'static str,
+}
+
+pub const CATALOG: &[RuleInfo] = &[
+    RuleInfo {
+        id: "A000",
+        summary: "suppression pragmas must parse, carry a reason, and match a diagnostic",
+        hint: "write `// aimts-lint: allow(RULE, reason)` on (or right above) the offending line",
+    },
+    RuleInfo {
+        id: "A001",
+        summary: "no panic!/unwrap()/expect()/todo! in non-test library code of tensor/nn/core/data",
+        hint: "propagate a typed error (CheckpointError/TrainError) or allow with the invariant that makes the panic unreachable",
+    },
+    RuleInfo {
+        id: "A002",
+        summary: "functions holding two or more tensor-internal lock guards must acquire them in id order",
+        hint: "acquire via aimts_tensor::read_pair (id-ordered), drop() the earlier guard first, or allow with a reason",
+    },
+    RuleInfo {
+        id: "A003",
+        summary: "no Instant::now/SystemTime::now/entropy-seeded RNGs outside bench/cli",
+        hint: "thread a seed or step counter through instead; bit-exact resume depends on it",
+    },
+    RuleInfo {
+        id: "A004",
+        summary: "no ==/!= between float expressions outside tests",
+        hint: "compare with an epsilon, use total_cmp, or allow when exact-zero is the intended sentinel",
+    },
+    RuleInfo {
+        id: "A005",
+        summary: "no `let _ =` discards in non-test code",
+        hint: "handle the value, call .ok() to discard a Result explicitly, or allow with a reason",
+    },
+];
+
+pub fn is_known_rule(id: &str) -> bool {
+    CATALOG.iter().any(|r| r.id == id)
+}
+
+fn hint_for(id: &str) -> &'static str {
+    CATALOG.iter().find(|r| r.id == id).map_or("", |r| r.hint)
+}
+
+/// Which rules apply to a file (derived from its workspace-relative path).
+#[derive(Debug, Clone, Copy)]
+pub struct Scope {
+    pub a001: bool,
+    pub a002: bool,
+    pub a003: bool,
+    pub a004: bool,
+    pub a005: bool,
+}
+
+impl Scope {
+    /// Every rule on — used for explicitly listed files and fixtures.
+    pub fn all() -> Scope {
+        Scope {
+            a001: true,
+            a002: true,
+            a003: true,
+            a004: true,
+            a005: true,
+        }
+    }
+
+    /// Scope for a workspace-relative path, or `None` when the file is
+    /// outside the linted set (vendored shims, build output, test dirs —
+    /// integration tests are test code by definition).
+    pub fn for_rel_path(rel: &str) -> Option<Scope> {
+        let parts: Vec<&str> = rel.split(['/', '\\']).collect();
+        if parts.iter().any(|p| {
+            matches!(
+                *p,
+                "vendor" | "target" | "tests" | "benches" | "examples" | "fixtures" | ".git"
+            )
+        }) {
+            return None;
+        }
+        if !rel.ends_with(".rs") {
+            return None;
+        }
+        let krate = match parts.first() {
+            Some(&"crates") if parts.len() > 1 => parts[1],
+            Some(&"src") => "aimts-repro",
+            _ => return None,
+        };
+        Some(Scope {
+            a001: matches!(krate, "tensor" | "nn" | "core" | "data"),
+            a002: true,
+            a003: !matches!(krate, "bench" | "cli"),
+            a004: true,
+            a005: true,
+        })
+    }
+}
+
+/// One finding, pointing at a file:line:col with a fix hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: String,
+    pub message: String,
+    pub hint: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {} (hint: {})",
+            self.file, self.line, self.col, self.rule, self.message, self.hint
+        )
+    }
+}
+
+fn diag(sf: &SourceFile, tok: &Token, rule: &str, message: String) -> Diagnostic {
+    Diagnostic {
+        file: sf.name.clone(),
+        line: tok.line,
+        col: tok.col,
+        rule: rule.to_string(),
+        message,
+        hint: hint_for(rule).to_string(),
+    }
+}
+
+/// Run every in-scope rule on a file, apply suppressions, and report
+/// pragma hygiene (A000). Diagnostics come back sorted by position.
+pub fn check_file(sf: &SourceFile, scope: Scope) -> Vec<Diagnostic> {
+    let mut raw = Vec::new();
+    if scope.a001 {
+        a001_panic_free(sf, &mut raw);
+    }
+    if scope.a002 {
+        a002_lock_order(sf, &mut raw);
+    }
+    if scope.a003 {
+        a003_determinism(sf, &mut raw);
+    }
+    if scope.a004 {
+        a004_float_eq(sf, &mut raw);
+    }
+    if scope.a005 {
+        a005_discard(sf, &mut raw);
+    }
+
+    let mut used = vec![false; sf.suppressions.len()];
+    raw.retain(|d| {
+        let hit = sf
+            .suppressions
+            .iter()
+            .position(|s| s.target == d.line && s.rule == d.rule);
+        match hit {
+            Some(k) => {
+                used[k] = true;
+                false
+            }
+            None => true,
+        }
+    });
+
+    for (line, msg) in &sf.pragma_errors {
+        raw.push(Diagnostic {
+            file: sf.name.clone(),
+            line: *line,
+            col: 1,
+            rule: "A000".to_string(),
+            message: msg.clone(),
+            hint: hint_for("A000").to_string(),
+        });
+    }
+    for (k, s) in sf.suppressions.iter().enumerate() {
+        if !used[k] {
+            raw.push(Diagnostic {
+                file: sf.name.clone(),
+                line: s.line,
+                col: 1,
+                rule: "A000".to_string(),
+                message: format!(
+                    "suppression of `{}` never matched a diagnostic; remove it",
+                    s.rule
+                ),
+                hint: hint_for("A000").to_string(),
+            });
+        }
+    }
+
+    raw.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
+    raw
+}
+
+// ---------------------------------------------------------------------
+// A001 — panic-freedom in library code
+// ---------------------------------------------------------------------
+
+fn a001_panic_free(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let t = &sf.tokens;
+    for i in 0..t.len() {
+        if sf.in_test(t[i].line) {
+            continue;
+        }
+        if t[i].kind == TokenKind::Ident
+            && matches!(t[i].text.as_str(), "panic" | "todo" | "unimplemented")
+            && i + 1 < t.len()
+            && t[i + 1].is_punct("!")
+        {
+            out.push(diag(
+                sf,
+                &t[i],
+                "A001",
+                format!("`{}!` in library code", t[i].text),
+            ));
+        }
+        if t[i].is_punct(".")
+            && i + 2 < t.len()
+            && t[i + 1].kind == TokenKind::Ident
+            && matches!(t[i + 1].text.as_str(), "unwrap" | "expect")
+            && t[i + 2].is_punct("(")
+        {
+            out.push(diag(
+                sf,
+                &t[i + 1],
+                "A001",
+                format!("`.{}()` in library code", t[i + 1].text),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A002 — lock-order discipline
+// ---------------------------------------------------------------------
+
+/// Guard-acquiring methods with no arguments (`x.data()`, `l.read()`, …).
+const ACQ_METHODS: &[&str] = &["data", "read", "write", "lock"];
+/// Guard-acquiring helper functions (`read_lock(&x)`, …).
+const ACQ_HELPERS: &[&str] = &["read_lock", "write_lock", "mutex_lock"];
+/// Idioms that prove the function orders its acquisitions.
+const ORDER_EVIDENCE: &[&str] = &[
+    "read_pair",
+    "write_pair",
+    "acquire_ordered",
+    "sort_by_key",
+    "sort_unstable_by_key",
+];
+
+struct Acquisition {
+    receiver: String,
+    /// Index (within the statement slice) of the closing `)` of the call.
+    end: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Render the receiver chain ending just before the `.` at `dot`
+/// (e.g. `node.op_parents()[0]` for `node.op_parents()[0].data()`).
+fn receiver_before(stmt: &[Token], dot: usize) -> String {
+    let mut k = dot as isize - 1;
+    let start;
+    loop {
+        if k < 0 {
+            start = 0;
+            break;
+        }
+        let t = &stmt[k as usize];
+        if t.is_punct(")") || t.is_punct("]") {
+            // Walk back to the matching opener.
+            let close = if t.is_punct(")") { ")" } else { "]" };
+            let open = if t.is_punct(")") { "(" } else { "[" };
+            let mut depth = 0usize;
+            while k >= 0 {
+                if stmt[k as usize].is_punct(close) {
+                    depth += 1;
+                } else if stmt[k as usize].is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k -= 1;
+            }
+            k -= 1;
+            continue;
+        }
+        if t.kind == TokenKind::Ident || t.kind == TokenKind::Num {
+            // Keep walking when joined by `.` or `::`.
+            if k >= 1 && (stmt[k as usize - 1].is_punct(".") || stmt[k as usize - 1].is_punct("::"))
+            {
+                k -= 2;
+                continue;
+            }
+            start = k as usize;
+            break;
+        }
+        start = k as usize + 1;
+        break;
+    }
+    stmt[start..dot]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join("")
+}
+
+/// All guard acquisitions inside one statement.
+fn acquisitions(stmt: &[Token]) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    for j in 0..stmt.len() {
+        if stmt[j].is_punct(".")
+            && j + 3 < stmt.len()
+            && stmt[j + 1].kind == TokenKind::Ident
+            && ACQ_METHODS.contains(&stmt[j + 1].text.as_str())
+            && stmt[j + 2].is_punct("(")
+            && stmt[j + 3].is_punct(")")
+        {
+            out.push(Acquisition {
+                receiver: receiver_before(stmt, j),
+                end: j + 3,
+                line: stmt[j + 1].line,
+                col: stmt[j + 1].col,
+            });
+        }
+        if stmt[j].kind == TokenKind::Ident
+            && ACQ_HELPERS.contains(&stmt[j].text.as_str())
+            && j + 1 < stmt.len()
+            && stmt[j + 1].is_punct("(")
+        {
+            // Receiver is the argument list, leading `&` stripped.
+            let mut depth = 0usize;
+            let mut end = j + 1;
+            for (k, t) in stmt.iter().enumerate().skip(j + 1) {
+                if t.is_punct("(") {
+                    depth += 1;
+                } else if t.is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+            }
+            let receiver: String = stmt[j + 2..end]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join("")
+                .trim_start_matches('&')
+                .to_string();
+            out.push(Acquisition {
+                receiver,
+                end,
+                line: stmt[j].line,
+                col: stmt[j].col,
+            });
+        }
+    }
+    out
+}
+
+struct LiveGuard {
+    binding: String,
+    receiver: String,
+    depth: i32,
+}
+
+fn a002_lock_order(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for f in &sf.fns {
+        if sf.in_test(f.line) {
+            continue;
+        }
+        let body = &sf.tokens[f.body.0..=f.body.1];
+        // The ordered-acquisition primitives themselves, and functions
+        // that demonstrably order their guards, are exempt.
+        if matches!(
+            f.name.as_str(),
+            "read_pair" | "write_pair" | "acquire_ordered"
+        ) || body
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && ORDER_EVIDENCE.contains(&t.text.as_str()))
+        {
+            continue;
+        }
+
+        let mut live: Vec<LiveGuard> = Vec::new();
+        let mut depth = 0i32;
+        let mut stmt_start = 0usize;
+        let mut reported = false;
+        for j in 0..body.len() {
+            let t = &body[j];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                live.retain(|g| g.depth <= depth);
+            }
+            if !t.is_punct(";") && j + 1 != body.len() {
+                continue;
+            }
+            let mut stmt = &body[stmt_start..=j];
+            stmt_start = j + 1;
+            // A statement slice can start at a block brace; trim so the
+            // `let`-binding check below sees the statement's first token.
+            while stmt
+                .first()
+                .is_some_and(|t| t.is_punct("{") || t.is_punct("}"))
+            {
+                stmt = &stmt[1..];
+            }
+            let acqs = acquisitions(stmt);
+            if acqs.is_empty() {
+                // `drop(name)` releases a tracked guard early.
+                for k in 0..stmt.len().saturating_sub(3) {
+                    if stmt[k].is_ident("drop")
+                        && stmt[k + 1].is_punct("(")
+                        && stmt[k + 2].kind == TokenKind::Ident
+                        && stmt[k + 3].is_punct(")")
+                    {
+                        live.retain(|g| g.binding != stmt[k + 2].text);
+                    }
+                }
+                continue;
+            }
+            // Distinct receivers that could be held at once in this
+            // statement: everything still live plus this statement's own.
+            let mut held: Vec<&str> = live.iter().map(|g| g.receiver.as_str()).collect();
+            for a in &acqs {
+                if !held.contains(&a.receiver.as_str()) {
+                    held.push(&a.receiver);
+                }
+            }
+            if held.len() >= 2 && !reported {
+                let first = &acqs[0];
+                out.push(Diagnostic {
+                    file: sf.name.clone(),
+                    line: first.line,
+                    col: first.col,
+                    rule: "A002".to_string(),
+                    message: format!(
+                        "`{}` holds lock guards on `{}` and `{}` with no id order",
+                        f.name, held[0], held[1]
+                    ),
+                    hint: hint_for("A002").to_string(),
+                });
+                reported = true; // one report per function is enough
+            }
+            // A bare `let g = recv.data();` keeps its guard live.
+            if stmt.first().is_some_and(|t| t.is_ident("let")) && acqs.len() == 1 {
+                let a = &acqs[0];
+                // The acquisition must be the whole initializer: its `)`
+                // is the last token before the `;`.
+                let last_code = stmt.len().saturating_sub(2);
+                if a.end == last_code {
+                    let mut name_idx = 1;
+                    if stmt.get(1).is_some_and(|t| t.is_ident("mut")) {
+                        name_idx = 2;
+                    }
+                    if let Some(name) = stmt.get(name_idx) {
+                        if name.kind == TokenKind::Ident {
+                            live.push(LiveGuard {
+                                binding: name.text.clone(),
+                                receiver: a.receiver.clone(),
+                                depth,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A003 — determinism (no wall clocks, no entropy)
+// ---------------------------------------------------------------------
+
+fn a003_determinism(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let t = &sf.tokens;
+    for i in 0..t.len() {
+        if sf.in_test(t[i].line) {
+            continue;
+        }
+        if t[i].kind == TokenKind::Ident
+            && matches!(t[i].text.as_str(), "Instant" | "SystemTime")
+            && i + 2 < t.len()
+            && t[i + 1].is_punct("::")
+            && t[i + 2].is_ident("now")
+        {
+            out.push(diag(
+                sf,
+                &t[i],
+                "A003",
+                format!("wall-clock read `{}::now` in deterministic code", t[i].text),
+            ));
+        }
+        if t[i].kind == TokenKind::Ident
+            && matches!(t[i].text.as_str(), "from_entropy" | "thread_rng")
+        {
+            out.push(diag(
+                sf,
+                &t[i],
+                "A003",
+                format!("entropy-seeded RNG `{}` in deterministic code", t[i].text),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A004 — float equality
+// ---------------------------------------------------------------------
+
+/// Is the operand beginning (for RHS) or ending (for LHS) at the tokens
+/// around index `i` evidently a float? Checks literals (with optional
+/// leading `-`) and `f32::`/`f64::` associated constants.
+fn float_rhs(t: &[Token], i: usize) -> bool {
+    let Some(first) = t.get(i) else { return false };
+    if first.is_float_literal() {
+        return true;
+    }
+    if first.is_punct("-") && t.get(i + 1).is_some_and(|x| x.is_float_literal()) {
+        return true;
+    }
+    (first.is_ident("f32") || first.is_ident("f64"))
+        && t.get(i + 1).is_some_and(|x| x.is_punct("::"))
+}
+
+fn float_lhs(t: &[Token], i: usize) -> bool {
+    let Some(last) = (i > 0).then(|| &t[i - 1]) else {
+        return false;
+    };
+    if last.is_float_literal() {
+        return true;
+    }
+    // `f32::NAN == x` — constant path ends with the const name.
+    i >= 3
+        && last.kind == TokenKind::Ident
+        && t[i - 2].is_punct("::")
+        && (t[i - 3].is_ident("f32") || t[i - 3].is_ident("f64"))
+}
+
+fn a004_float_eq(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let t = &sf.tokens;
+    for i in 0..t.len() {
+        if !(t[i].is_punct("==") || t[i].is_punct("!=")) || sf.in_test(t[i].line) {
+            continue;
+        }
+        if float_lhs(t, i) || float_rhs(t, i + 1) {
+            out.push(diag(
+                sf,
+                &t[i],
+                "A004",
+                format!("float `{}` comparison", t[i].text),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A005 — silent discards
+// ---------------------------------------------------------------------
+
+fn a005_discard(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let t = &sf.tokens;
+    for i in 0..t.len() {
+        if !t[i].is_ident("let") || sf.in_test(t[i].line) {
+            continue;
+        }
+        if i + 3 < t.len()
+            && t[i + 1].is_ident("_")
+            && t[i + 2].is_punct("=")
+            && !t[i + 3].is_punct("&")
+        // `let _ = &x;` is a borrow, not a discard
+        {
+            out.push(diag(
+                sf,
+                &t[i],
+                "A005",
+                "`let _ =` silently discards a value".to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let sf = SourceFile::parse("t.rs", src);
+        check_file(&sf, Scope::all())
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn a001_flags_panics_and_unwraps() {
+        let d = check("fn f(x: Option<u8>) -> u8 { x.unwrap(); x.expect(\"y\"); panic!(\"z\") }");
+        assert_eq!(rules_of(&d), vec!["A001", "A001", "A001"]);
+    }
+
+    #[test]
+    fn a001_skips_tests_and_lookalikes() {
+        assert!(check("#[test]\nfn t() { x.unwrap(); }").is_empty());
+        assert!(check("fn f(l: &L) { l.read().unwrap_or_else(e); }").is_empty());
+    }
+
+    #[test]
+    fn a002_flags_unordered_pairs() {
+        let d = check("fn f(a: &T, b: &T) { let ga = a.data(); let gb = b.data(); }");
+        assert_eq!(rules_of(&d), vec!["A002"]);
+        // Two in one expression count too.
+        let d = check("fn f(a: &T, b: &T) { mm(&a.data(), &b.data()); }");
+        assert_eq!(rules_of(&d), vec!["A002"]);
+    }
+
+    #[test]
+    fn a002_accepts_ordered_or_sequential() {
+        // Evidence of ordering.
+        assert!(check("fn f(a: &T, b: &T) { let (x, y) = read_pair(a, b); }").is_empty());
+        // Sequential temporaries never overlap.
+        assert!(check("fn f(a: &T, b: &T) { g(&a.data()); g(&b.data()); }").is_empty());
+        // drop() releases the first guard.
+        assert!(
+            check("fn f(a: &T, b: &T) { let ga = a.data(); drop(ga); let gb = b.data(); }")
+                .is_empty()
+        );
+        // A guard scoped to an inner block dies at the close brace.
+        assert!(
+            check("fn f(a: &T, b: &T) { { let ga = a.data(); } let gb = b.data(); }").is_empty()
+        );
+        // Same receiver twice is re-entrancy, not an ordering problem.
+        assert!(check("fn f(a: &T) { let g1 = a.data(); let g2 = a.data(); }").is_empty());
+    }
+
+    #[test]
+    fn a003_flags_clocks_and_entropy() {
+        let d = check("fn f() { let t = Instant::now(); let r = StdRng::from_entropy(); }");
+        assert_eq!(rules_of(&d), vec!["A003", "A003"]);
+    }
+
+    #[test]
+    fn a004_flags_float_eq() {
+        let d = check("fn f(x: f32) -> bool { x == 0.5 || 1.0 != x || x == f32::NAN }");
+        assert_eq!(rules_of(&d), vec!["A004", "A004", "A004"]);
+        assert!(check("fn f(x: u8) -> bool { x == 3 }").is_empty());
+    }
+
+    #[test]
+    fn a005_flags_discards() {
+        let d = check("fn f() { let _ = fallible(); }");
+        assert_eq!(rules_of(&d), vec!["A005"]);
+        assert!(check("fn f(x: &str) { let _ = &x; }").is_empty());
+    }
+
+    #[test]
+    fn suppression_silences_and_tracks_use() {
+        let d = check("fn f() { let _ = g(); // aimts-lint: allow(A005, best-effort cleanup)\n}");
+        assert!(d.is_empty(), "{d:?}");
+        // Unused pragma is itself a diagnostic.
+        let d = check("fn f() { // aimts-lint: allow(A005, nothing here)\nlet x = 1; }");
+        assert_eq!(rules_of(&d), vec!["A000"]);
+    }
+
+    #[test]
+    fn scope_gates_rules() {
+        let sf = SourceFile::parse("t.rs", "fn f(x: Option<u8>) { x.unwrap(); }");
+        let s = Scope {
+            a001: false,
+            ..Scope::all()
+        };
+        assert!(check_file(&sf, s).is_empty());
+    }
+
+    #[test]
+    fn scope_paths() {
+        assert!(Scope::for_rel_path("crates/tensor/src/tensor.rs").is_some_and(|s| s.a001));
+        assert!(Scope::for_rel_path("crates/eval/src/stats.rs").is_some_and(|s| !s.a001 && s.a004));
+        assert!(Scope::for_rel_path("crates/bench/src/harness.rs").is_some_and(|s| !s.a003));
+        assert!(Scope::for_rel_path("crates/tensor/tests/lock_order.rs").is_none());
+        assert!(Scope::for_rel_path("vendor/rand/src/lib.rs").is_none());
+        assert!(Scope::for_rel_path("src/lib.rs").is_some());
+    }
+}

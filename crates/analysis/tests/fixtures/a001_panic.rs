@@ -1,0 +1,27 @@
+// Fixture: every A001 trigger form, plus test code that must NOT fire.
+
+pub fn load(bytes: Option<&[u8]>) -> &[u8] {
+    bytes.unwrap()
+}
+
+pub fn decode(x: Result<u32, String>) -> u32 {
+    x.expect("decode failed")
+}
+
+pub fn unreachable_branch() {
+    panic!("boom");
+}
+
+pub fn unfinished() {
+    todo!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fine_here() {
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+        panic!("tests may panic");
+    }
+}

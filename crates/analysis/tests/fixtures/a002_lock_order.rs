@@ -1,0 +1,31 @@
+// Fixture: overlapping tensor-lock guards with no id ordering (A002),
+// next to patterns that are fine (sequential, dropped, ordered).
+
+pub fn bad_overlapping_lets(a: &Tensor, b: &Tensor) -> f32 {
+    let ga = a.data();
+    let gb = b.data();
+    ga[0] + gb[0]
+}
+
+pub fn bad_same_expression(a: &Tensor, b: &Tensor) -> f32 {
+    dot(&a.data(), &b.data())
+}
+
+pub fn ok_sequential(a: &Tensor, b: &Tensor) -> f32 {
+    let x = sum(&a.data());
+    let y = sum(&b.data());
+    x + y
+}
+
+pub fn ok_dropped(a: &Tensor, b: &Tensor) -> f32 {
+    let ga = a.data();
+    let x = ga[0];
+    drop(ga);
+    let gb = b.data();
+    x + gb[0]
+}
+
+pub fn ok_ordered(a: &Tensor, b: &Tensor) -> f32 {
+    let (ga, gb) = read_pair(a, b);
+    ga[0] + gb[0]
+}

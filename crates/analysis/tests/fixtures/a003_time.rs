@@ -1,0 +1,23 @@
+// Fixture: wall-clock and entropy sources that break bit-exact resume.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn wall() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn rng() -> StdRng {
+    StdRng::from_entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = Instant::now();
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: exact float comparisons (A004) next to integer ones (fine).
+
+pub fn is_zero(x: f32) -> bool {
+    x == 0.0
+}
+
+pub fn not_one(x: f64) -> bool {
+    1.0 != x
+}
+
+pub fn is_nan_wrong(x: f32) -> bool {
+    x == f32::NAN
+}
+
+pub fn int_compare_is_fine(n: usize) -> bool {
+    n == 3
+}

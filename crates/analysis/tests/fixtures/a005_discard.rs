@@ -1,0 +1,12 @@
+// Fixture: silently discarded values (A005) next to an explicit borrow
+// discard, which is the blessed closure-capture idiom and stays clean.
+
+pub fn swallow(tx: &Sender<u32>) {
+    let _ = tx.send(1);
+}
+
+pub fn capture_only(shape: &[usize]) -> impl Fn() + '_ {
+    move || {
+        let _ = &shape;
+    }
+}

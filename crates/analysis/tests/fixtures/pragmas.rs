@@ -1,0 +1,25 @@
+// Fixture: suppression-pragma hygiene. One valid trailing pragma, one
+// valid own-line pragma, one reasonless pragma (A000), one unknown rule
+// (A000), and one unused suppression (A000).
+
+pub fn suppressed_trailing(x: Option<u8>) -> u8 {
+    x.unwrap() // aimts-lint: allow(A001, fixture: caller checked is_some)
+}
+
+pub fn suppressed_own_line() {
+    // aimts-lint: allow(A001, fixture: sentinel branch is unreachable)
+    panic!("never runs");
+}
+
+pub fn reasonless(x: Option<u8>) -> u8 {
+    x.unwrap() // aimts-lint: allow(A001)
+}
+
+pub fn unknown_rule(x: Option<u8>) -> u8 {
+    x.unwrap() // aimts-lint: allow(Z999, not a rule)
+}
+
+pub fn unused() -> u32 {
+    let n = 1; // aimts-lint: allow(A005, nothing discarded here)
+    n + 1
+}

@@ -1,0 +1,87 @@
+//! Golden-diagnostics tests: each fixture file must produce exactly the
+//! expected rule firings, and the rendered output must match
+//! `tests/fixtures/expected.txt` byte for byte.
+
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn rules_for(name: &str) -> Vec<String> {
+    let diags = aimts_lint::check_paths(&[fixture(name)]).expect("fixture must lint");
+    diags.into_iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn a001_fixture_fires_per_site() {
+    assert_eq!(rules_for("a001_panic.rs"), vec!["A001"; 4]);
+}
+
+#[test]
+fn a002_fixture_fires_per_bad_fn() {
+    assert_eq!(rules_for("a002_lock_order.rs"), vec!["A002"; 2]);
+}
+
+#[test]
+fn a003_fixture_fires_per_site() {
+    assert_eq!(rules_for("a003_time.rs"), vec!["A003"; 3]);
+}
+
+#[test]
+fn a004_fixture_fires_per_site() {
+    assert_eq!(rules_for("a004_float_eq.rs"), vec!["A004"; 3]);
+}
+
+#[test]
+fn a005_fixture_fires_once() {
+    assert_eq!(rules_for("a005_discard.rs"), vec!["A005"; 1]);
+}
+
+#[test]
+fn pragma_fixture_fires_meta_and_unsuppressed() {
+    // Two valid suppressions absorb their targets. The reasonless and
+    // unknown-rule pragmas each surface as A000 *and* leave their line's
+    // A001 unsuppressed; the unused pragma surfaces as A000 alone.
+    assert_eq!(
+        rules_for("pragmas.rs"),
+        vec!["A000", "A001", "A000", "A001", "A000"]
+    );
+}
+
+#[test]
+fn rendered_diagnostics_match_golden() {
+    let names = [
+        "a001_panic.rs",
+        "a002_lock_order.rs",
+        "a003_time.rs",
+        "a004_float_eq.rs",
+        "a005_discard.rs",
+        "pragmas.rs",
+    ];
+    let mut rendered = String::new();
+    for name in names {
+        let diags = aimts_lint::check_paths(&[fixture(name)]).expect("fixture must lint");
+        for d in diags {
+            // Strip the machine-specific path prefix for a stable golden.
+            let line = format!("{d}\n");
+            let tail = line
+                .split_once("tests/fixtures/")
+                .map(|(_, t)| t.to_string())
+                .unwrap_or(line);
+            rendered.push_str(&tail);
+        }
+    }
+    let expected = std::fs::read_to_string(fixture("expected.txt")).expect("golden file");
+    assert_eq!(rendered, expected, "diagnostics drifted from golden");
+}
+
+#[test]
+fn json_output_is_wellformed_per_fixture() {
+    let diags = aimts_lint::check_paths(&[fixture("a001_panic.rs")]).expect("fixture must lint");
+    let j = aimts_lint::to_json(&diags);
+    assert!(j.starts_with('[') && j.ends_with(']'));
+    assert_eq!(j.matches("\"rule\":\"A001\"").count(), 4);
+}

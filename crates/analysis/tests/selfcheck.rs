@@ -1,0 +1,21 @@
+//! Self-check: the live workspace must lint clean. This is the same
+//! invariant CI enforces via `cargo run -p aimts-lint -- check`; keeping
+//! it as a test means `cargo test` alone catches regressions.
+
+#[test]
+fn workspace_is_clean() {
+    let manifest_dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = aimts_lint::find_workspace_root(&manifest_dir).expect("workspace root");
+    let (diags, inspected) = aimts_lint::check_workspace(&root).expect("workspace must lint");
+    assert!(
+        inspected > 50,
+        "suspiciously few files inspected ({inspected}); walker broken?"
+    );
+    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        diags.is_empty(),
+        "workspace has {} unsuppressed diagnostic(s):\n{}",
+        diags.len(),
+        rendered.join("\n")
+    );
+}

@@ -104,7 +104,7 @@ pub fn select_bank(
 ) -> Vec<Augmentation> {
     let scores = score_augmentations(model, pool, bank, lambda, seed);
     let mut idx: Vec<usize> = (0..bank.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].score.partial_cmp(&scores[a].score).unwrap());
+    idx.sort_by(|&a, &b| scores[b].score.total_cmp(&scores[a].score));
     idx.into_iter()
         .take(g.min(bank.len()))
         .map(|i| bank[i].clone())

@@ -133,7 +133,7 @@ impl FineTuned {
                 let attempt = mon.begin_attempt();
                 let loss_val = loss.item();
                 if mon.loss_is_bad(loss_val, attempt) {
-                    let _ = mon.record_skip(); // no rollback rung here
+                    let _ = mon.record_skip(); // no rollback rung here aimts-lint: allow(A005, skip verdict is advisory; fine-tuning has no rollback rung)
                     return None;
                 }
                 opt.zero_grad();
@@ -141,7 +141,7 @@ impl FineTuned {
                 let (norm, clipped) = guard_and_clip(&params, mon.policy().clip_norm);
                 if !norm.is_finite() {
                     opt.zero_grad();
-                    let _ = mon.record_skip();
+                    let _ = mon.record_skip(); // aimts-lint: allow(A005, skip verdict is advisory; fine-tuning has no rollback rung)
                     return None;
                 }
                 opt.step();

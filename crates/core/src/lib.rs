@@ -42,6 +42,10 @@
 //! assert!((0.0..=1.0).contains(&acc));
 //! ```
 
+// Library code must propagate errors, not unwrap: the health supervisor must survive worker faults
+// (mirrors aimts-lint rule A001; tests are exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod augselect;
 pub mod batch;
 pub mod checkpoint;

@@ -4,7 +4,7 @@
 //! between the two modality subspaces.
 
 use aimts_eval::sample_beta;
-use aimts_tensor::Tensor;
+use aimts_tensor::{read_pair, Tensor};
 use rand::rngs::StdRng;
 
 /// Mix rows of `u` and `v` (both `[B, P]`, unit-normalized) with
@@ -22,9 +22,9 @@ pub fn geodesic_mixup(u: &Tensor, v: &Tensor, lambdas: &[f32]) -> Tensor {
     let p = u.shape()[1];
     assert_eq!(lambdas.len(), b, "one lambda per row required");
 
-    // Per-row angle from the data (constant w.r.t. autograd).
-    let ud = u.data();
-    let vd = v.data();
+    // Per-row angle from the data (constant w.r.t. autograd). Guards are
+    // taken in tensor-id order (deadlock-freedom convention, lint A002).
+    let (ud, vd) = read_pair(u, v);
     let mut cu = Vec::with_capacity(b);
     let mut cv = Vec::with_capacity(b);
     for (row, &lam) in lambdas.iter().enumerate() {

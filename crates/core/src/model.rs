@@ -513,6 +513,7 @@ impl AimTs {
                 let results =
                     parallel::try_parallel_map(round, workers, |slot, (seed, micro, batch)| {
                         if fault.forces_panic(*micro) {
+                            // aimts-lint: allow(A001, deliberate fault injection: the resilience suite requires a real worker panic)
                             panic!("injected worker panic on micro-batch {micro}");
                         }
                         let replica = &replicas[slot];
@@ -558,6 +559,7 @@ impl AimTs {
                     continue;
                 }
                 let (mean, excluded) = parallel::all_reduce_mean_guarded(&grads)
+                    // aimts-lint: allow(A001, survivors were filtered to all-finite buffers two lines above)
                     .expect("surviving gradient buffers are all-finite");
                 debug_assert_eq!(excluded, 0, "survivors were pre-filtered");
                 opt.zero_grad();
@@ -789,7 +791,7 @@ impl AimTs {
             });
         }
 
-        let total = total.expect("at least one loss component must be enabled");
+        let total = total.expect("at least one loss component must be enabled"); // aimts-lint: allow(A001, config validation rejects all-disabled loss components before training starts)
         (total, proto_val, si_val)
     }
 

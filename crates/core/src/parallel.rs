@@ -147,6 +147,7 @@ where
         }
     });
     out.into_iter()
+        // aimts-lint: allow(A001, every slot is written exactly once by the scoped worker that owns it)
         .map(|r| r.expect("parallel_map worker produced no result"))
         .collect()
 }
@@ -169,6 +170,7 @@ where
 {
     try_parallel_map(items, workers, f)
         .into_iter()
+        // aimts-lint: allow(A001, documented contract: parallel_map re-raises worker panics on the caller)
         .map(|r| r.unwrap_or_else(|msg| panic!("parallel_map worker panicked: {msg}")))
         .collect()
 }

@@ -24,6 +24,10 @@
 //! }
 //! ```
 
+// Library code must propagate errors, not unwrap: dataset loaders reject, never crash on, bad input
+// (mirrors aimts-lint rule A001; tests are exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod archives;
 pub mod fewshot;
 pub mod generator;

@@ -57,10 +57,11 @@ pub fn repair_missing(
         }
         match policy {
             MissingValuePolicy::Reject => {
-                let col = series
-                    .iter()
-                    .position(|v| !v.is_finite())
-                    .expect("missing > 0");
+                // `missing > 0` guarantees a hit, but destructure instead
+                // of unwrapping so this load path stays panic-free.
+                let Some(col) = series.iter().position(|v| !v.is_finite()) else {
+                    continue;
+                };
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!(

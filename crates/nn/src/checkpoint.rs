@@ -238,7 +238,7 @@ fn atomic_write_inner(path: &Path, bytes: &[u8], fail_after: Option<usize>) -> i
         Ok(())
     })();
     if result.is_err() {
-        let _ = fs::remove_file(&tmp);
+        let _ = fs::remove_file(&tmp); // aimts-lint: allow(A005, best-effort cleanup: the write already failed and its error is returned)
     }
     result
 }
@@ -305,6 +305,21 @@ pub struct SectionReader<'a> {
     section: &'a str,
 }
 
+/// First 4 bytes of a slice as an array. Callers pass slices whose length
+/// was just checked (or produced by `chunks_exact(4)`), so indexing cannot
+/// fail; this avoids `try_into().unwrap()` in load paths that must never
+/// panic (lint A001).
+#[inline]
+fn le4(b: &[u8]) -> [u8; 4] {
+    [b[0], b[1], b[2], b[3]]
+}
+
+/// First 8 bytes of a slice as an array; see [`le4`].
+#[inline]
+fn le8(b: &[u8]) -> [u8; 8] {
+    [b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]
+}
+
 impl<'a> SectionReader<'a> {
     pub fn new(buf: &'a [u8], section: &'a str) -> Self {
         SectionReader {
@@ -326,11 +341,11 @@ impl<'a> SectionReader<'a> {
     }
 
     pub fn get_u32(&mut self, what: &str) -> Result<u32, CheckpointError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(le4(self.take(4, what)?)))
     }
 
     pub fn get_u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(le8(self.take(8, what)?)))
     }
 
     pub fn get_f32(&mut self, what: &str) -> Result<f32, CheckpointError> {
@@ -361,7 +376,7 @@ impl<'a> SectionReader<'a> {
         let bytes = self.take(len.saturating_mul(4), what)?;
         Ok(bytes
             .chunks_exact(4)
-            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+            .map(|c| f32::from_bits(u32::from_le_bytes(le4(c))))
             .collect())
     }
 
@@ -370,7 +385,7 @@ impl<'a> SectionReader<'a> {
         let bytes = self.take(len.saturating_mul(4), what)?;
         Ok(bytes
             .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| u32::from_le_bytes(le4(c)))
             .collect())
     }
 
@@ -486,8 +501,8 @@ impl Checkpoint {
         if bytes[..8] != MAGIC {
             return Err(CheckpointError::BadMagic);
         }
-        let u32_at = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
-        let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        let u32_at = |off: usize| u32::from_le_bytes(le4(&bytes[off..off + 4]));
+        let u64_at = |off: usize| u64::from_le_bytes(le8(&bytes[off..off + 8]));
         let version = u32_at(8);
         if version != FORMAT_VERSION {
             return Err(CheckpointError::UnsupportedVersion {
@@ -517,8 +532,7 @@ impl Checkpoint {
                 Ok(out)
             };
             let record_start = pos;
-            let name_len =
-                u32::from_le_bytes(take(&mut pos, 4, "name length")?.try_into().unwrap()) as usize;
+            let name_len = u32::from_le_bytes(le4(take(&mut pos, 4, "name length")?)) as usize;
             let name_bytes = take(&mut pos, name_len, "name")?;
             let name = std::str::from_utf8(name_bytes)
                 .map_err(|_| CheckpointError::Malformed {
@@ -526,14 +540,13 @@ impl Checkpoint {
                     detail: "section name is not valid UTF-8".to_string(),
                 })?
                 .to_string();
-            let payload_len =
-                u64::from_le_bytes(take(&mut pos, 8, "payload length")?.try_into().unwrap());
+            let payload_len = u64::from_le_bytes(le8(take(&mut pos, 8, "payload length")?));
             let payload_len =
                 usize::try_from(payload_len).map_err(|_| CheckpointError::Malformed {
                     context: format!("{ordinal} (`{name}`)"),
                     detail: format!("payload length {payload_len} does not fit in usize"),
                 })?;
-            let stored_crc = u32::from_le_bytes(take(&mut pos, 4, "checksum")?.try_into().unwrap());
+            let stored_crc = u32::from_le_bytes(le4(take(&mut pos, 4, "checksum")?));
             if bytes.len() - pos < payload_len {
                 return Err(CheckpointError::Truncated {
                     context: format!("section `{name}` payload"),

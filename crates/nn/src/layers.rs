@@ -284,7 +284,7 @@ impl LayerNorm {
 impl Module for LayerNorm {
     fn forward(&self, x: &Tensor) -> Tensor {
         assert_eq!(
-            *x.shape().last().expect("LayerNorm on 0-d input"),
+            *x.shape().last().expect("LayerNorm on 0-d input"), // aimts-lint: allow(A001, forward() inputs are batched activations; 0-d cannot occur)
             self.dim,
             "LayerNorm dim mismatch"
         );
@@ -340,6 +340,7 @@ impl Dropout {
 
 impl Module for Dropout {
     fn forward(&self, x: &Tensor) -> Tensor {
+        // aimts-lint: allow(A004, p == 0.0 is the documented “dropout disabled” sentinel set verbatim by the constructor)
         if !self.training.load(Ordering::Relaxed) || self.p == 0.0 {
             return x.clone();
         }

@@ -21,6 +21,10 @@
 //! opt.zero_grad();
 //! ```
 
+// Library code must propagate errors, not unwrap: checkpoint load paths promise "loads never panic"
+// (mirrors aimts-lint rule A001; tests are exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod checkpoint;
 mod init;
 mod layers;

@@ -47,6 +47,7 @@ pub fn check_gradients(f: &dyn Fn(&[Tensor]) -> Tensor, inputs: &[Tensor], eps: 
     for (which, v) in vars.iter().enumerate() {
         let auto = v
             .grad()
+            // aimts-lint: allow(A001, grad-check is a test harness; a missing gradient must fail loudly)
             .unwrap_or_else(|| panic!("input {which} received no gradient"));
         let numeric = numeric_gradient(f, inputs, which, eps);
         for (i, (a, n)) in auto.iter().zip(&numeric).enumerate() {

@@ -29,18 +29,23 @@
 //! assert_eq!(a.grad().unwrap(), vec![4.0, 5.0, 6.0]);
 //! ```
 
+// Library code must propagate errors, not unwrap: lock-order and autograd paths must stay panic-free
+// (mirrors aimts-lint rule A001; tests are exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod autograd;
 mod grad_check;
 mod init;
 mod tensor;
 
+pub mod lockorder;
 pub mod ops;
 pub mod shape;
 
 pub use autograd::{is_grad_enabled, no_grad, push_no_grad, NoGradGuard};
 pub use grad_check::{check_gradients, numeric_gradient};
 pub use shape::{broadcast_shapes, Shape};
-pub use tensor::Tensor;
+pub use tensor::{read_pair, DataGuard, Tensor};
 
 /// Numerical epsilon used by normalization and division-adjacent kernels.
 pub const EPS: f32 = 1e-8;

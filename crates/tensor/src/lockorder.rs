@@ -1,0 +1,138 @@
+//! Debug-only runtime lock-order checker for tensor-internal locks.
+//!
+//! The deadlock-freedom argument for concurrent tensor code (e.g.
+//! `all_reduce_mean_guarded`) is that every thread acquires tensor locks
+//! in ascending id order. `aimts-lint` rule A002 enforces this statically;
+//! this module enforces it dynamically in debug builds: every acquisition
+//! of a tensor's `data`/`grad` lock registers with a thread-local stack,
+//! and acquiring a lock with a *smaller* id than one already held panics,
+//! naming both ids. Release builds compile the whole checker down to a
+//! zero-sized no-op.
+//!
+//! The token must be taken *before* blocking on the real lock, so a
+//! would-be deadlock trips the checker instead of hanging the test.
+
+#[cfg(debug_assertions)]
+mod imp {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// RAII registration of one lock acquisition on this thread.
+    pub struct LockToken {
+        id: u64,
+    }
+
+    /// Register acquisition of the lock belonging to tensor `id`.
+    ///
+    /// Panics when a lock with a smaller id is already held by this
+    /// thread. Equal ids are allowed: a tensor's `data` and `grad` locks
+    /// share its id, and holding both is ordering-neutral.
+    pub fn acquire(id: u64) -> LockToken {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            // `h` is non-decreasing by construction, so the max is last.
+            if let Some(&top) = h.last() {
+                assert!(
+                    top <= id,
+                    "tensor lock-order violation: acquiring the lock of tensor id {id} \
+                     while already holding tensor id {top}; acquire guards in ascending \
+                     id order (use aimts_tensor::read_pair for pairs)"
+                );
+            }
+            h.push(id);
+        });
+        LockToken { id }
+    }
+
+    impl Drop for LockToken {
+        fn drop(&mut self) {
+            // try_with: tokens may drop during thread teardown after the
+            // thread-local has been destroyed.
+            // aimts-lint: allow(A005, nothing to unwind if the thread-local is already destroyed)
+            let _ = HELD.try_with(|h| {
+                let mut h = h.borrow_mut();
+                if let Some(k) = h.iter().rposition(|&x| x == self.id) {
+                    h.remove(k);
+                }
+            });
+        }
+    }
+
+    /// Number of tensor locks the current thread holds (test hook).
+    pub fn held_count() -> usize {
+        HELD.with(|h| h.borrow().len())
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    /// Zero-sized stand-in; the release checker tracks nothing.
+    pub struct LockToken;
+
+    #[inline(always)]
+    pub fn acquire(_id: u64) -> LockToken {
+        LockToken
+    }
+
+    #[inline(always)]
+    pub fn held_count() -> usize {
+        0
+    }
+}
+
+pub use imp::{acquire, held_count, LockToken};
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_and_equal_ids_are_fine() {
+        let t1 = acquire(10);
+        let t2 = acquire(10);
+        let t3 = acquire(11);
+        assert_eq!(held_count(), 3);
+        drop(t3);
+        drop(t2);
+        drop(t1);
+        assert_eq!(held_count(), 0);
+    }
+
+    #[test]
+    fn release_reopens_lower_ids() {
+        let t = acquire(10);
+        drop(t);
+        let t = acquire(5);
+        drop(t);
+    }
+
+    #[test]
+    fn descending_acquisition_panics_with_both_ids() {
+        let result = std::panic::catch_unwind(|| {
+            let _hi = acquire(42);
+            let _lo = acquire(7);
+        });
+        let err = result.expect_err("descending order must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("tensor id 7"), "missing acquired id: {msg}");
+        assert!(msg.contains("tensor id 42"), "missing held id: {msg}");
+        // Unwinding dropped `_hi`, and the failed acquisition itself must
+        // not leave residue on the stack.
+        assert_eq!(held_count(), 0, "panicked acquire leaked a token");
+    }
+
+    #[test]
+    fn out_of_order_drop_removes_the_right_token() {
+        let t1 = acquire(1);
+        let t2 = acquire(2);
+        drop(t1);
+        assert_eq!(held_count(), 1);
+        let t3 = acquire(3);
+        drop(t2);
+        drop(t3);
+        assert_eq!(held_count(), 0);
+    }
+}

@@ -1,7 +1,7 @@
 //! Broadcasting element-wise binary operations and scalar variants.
 
 use crate::shape::{broadcast_shapes, broadcast_strides, numel, reduce_grad_to_shape, strides};
-use crate::tensor::Tensor;
+use crate::tensor::{read_pair, Tensor};
 
 /// Materialize `data` (of `shape`) broadcast to `target`.
 pub(crate) fn expand_to(data: &[f32], shape: &[usize], target: &[usize]) -> Vec<f32> {
@@ -29,14 +29,14 @@ pub(crate) fn expand_to(data: &[f32], shape: &[usize], target: &[usize]) -> Vec<
 /// Forward kernel for a broadcasting binary op.
 fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> (Vec<f32>, Vec<usize>) {
     let out_shape = broadcast_shapes(a.shape(), b.shape()).unwrap_or_else(|| {
+        // aimts-lint: allow(A001, shape mismatch is a caller programming error, caught in op tests)
         panic!(
             "incompatible shapes for binary op: {:?} vs {:?}",
             a.shape(),
             b.shape()
         )
     });
-    let ad = a.data();
-    let bd = b.data();
+    let (ad, bd) = read_pair(a, b);
     if a.shape() == b.shape() {
         let out = ad.iter().zip(bd.iter()).map(|(&x, &y)| f(x, y)).collect();
         return (out, out_shape);

@@ -22,7 +22,7 @@
 use rayon::prelude::*;
 
 use crate::ops::matmul::{mm_acc, transpose2d};
-use crate::tensor::Tensor;
+use crate::tensor::{read_pair, Tensor};
 
 /// Hyper-parameters of a 1-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -421,6 +421,7 @@ fn conv1d_backward_direct(
                     let wr = &w[(co * cin + ci) * k..(co * cin + ci + 1) * k];
                     let gxr = &mut gxb[ci * l..(ci + 1) * l];
                     for (o, &g) in gor.iter().enumerate() {
+                        // aimts-lint: allow(A004, exact-zero skip: zero gradient contributes nothing)
                         if g == 0.0 {
                             continue;
                         }
@@ -445,6 +446,7 @@ fn conv1d_backward_direct(
                 let xr = &xb[ci * l..(ci + 1) * l];
                 let gwr = &mut gw[(co * cin + ci) * k..(co * cin + ci + 1) * k];
                 for (o, &g) in gor.iter().enumerate() {
+                    // aimts-lint: allow(A004, exact-zero skip: zero gradient contributes nothing)
                     if g == 0.0 {
                         continue;
                     }
@@ -628,6 +630,7 @@ fn conv2d_backward_direct(
                     for oy in 0..ho {
                         for ox in 0..wo {
                             let g = gop[oy * wo + ox];
+                            // aimts-lint: allow(A004, exact-zero skip: zero gradient contributes nothing)
                             if g == 0.0 {
                                 continue;
                             }
@@ -662,6 +665,7 @@ fn conv2d_backward_direct(
                 for oy in 0..ho {
                     for ox in 0..wo {
                         let g = gop[oy * wo + ox];
+                        // aimts-lint: allow(A004, exact-zero skip: zero gradient contributes nothing)
                         if g == 0.0 {
                             continue;
                         }
@@ -807,8 +811,7 @@ impl Tensor {
         };
         let bvec = bias.map(|t| t.to_vec());
         let out = {
-            let x_ref = self.data();
-            let w_ref = weight.data();
+            let (x_ref, w_ref) = read_pair(self, weight);
             let forward = if im2col {
                 conv1d_forward_im2col
             } else {
@@ -827,8 +830,7 @@ impl Tensor {
             &[b, cout, lo],
             parents,
             Box::new(move |node, gout| {
-                let x_ref = node.op_parents()[0].data();
-                let w_ref = node.op_parents()[1].data();
+                let (x_ref, w_ref) = read_pair(&node.op_parents()[0], &node.op_parents()[1]);
                 let mut gx = vec![0f32; b * cin * l];
                 let mut gw = vec![0f32; cout * cin * k];
                 let mut gb = vec![0f32; cout];
@@ -931,8 +933,7 @@ impl Tensor {
         };
         let bvec = bias.map(|t| t.to_vec());
         let out = {
-            let x_ref = self.data();
-            let w_ref = weight.data();
+            let (x_ref, w_ref) = read_pair(self, weight);
             let forward = if im2col {
                 conv2d_forward_im2col
             } else {
@@ -951,8 +952,7 @@ impl Tensor {
             &[b, cout, ho, wo],
             parents,
             Box::new(move |node, gout| {
-                let x_ref = node.op_parents()[0].data();
-                let w_ref = node.op_parents()[1].data();
+                let (x_ref, w_ref) = read_pair(&node.op_parents()[0], &node.op_parents()[1]);
                 let mut gx = vec![0f32; b * cin * h * w_];
                 let mut gw = vec![0f32; cout * cin * kh * kw];
                 let mut gb = vec![0f32; cout];

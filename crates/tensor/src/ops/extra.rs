@@ -8,7 +8,7 @@ impl Tensor {
     /// Zero-pad the last dimension by `(left, right)` elements.
     pub fn pad_last(&self, left: usize, right: usize) -> Tensor {
         let s = self.shape();
-        let last = *s.last().expect("pad on 0-d tensor");
+        let last = *s.last().expect("pad on 0-d tensor"); // aimts-lint: allow(A001, 0-d tensors are rejected at construction by every caller path)
         let rows = self.numel() / last;
         let new_last = last + left + right;
         let d = self.data();
@@ -19,7 +19,8 @@ impl Tensor {
         }
         drop(d);
         let mut new_shape = s.to_vec();
-        *new_shape.last_mut().unwrap() = new_last;
+        let nd = new_shape.len();
+        new_shape[nd - 1] = new_last;
         Tensor::from_op(
             out,
             &new_shape,
@@ -40,7 +41,7 @@ impl Tensor {
     /// Reverse the last dimension (time reversal).
     pub fn flip_last(&self) -> Tensor {
         let s = self.shape().to_vec();
-        let last = *s.last().expect("flip on 0-d tensor");
+        let last = *s.last().expect("flip on 0-d tensor"); // aimts-lint: allow(A001, 0-d tensors are rejected at construction by every caller path)
         let rows = self.numel() / last;
         let d = self.data();
         let mut out = vec![0f32; d.len()];
@@ -69,7 +70,7 @@ impl Tensor {
     /// Cumulative sum along the last dimension.
     pub fn cumsum_last(&self) -> Tensor {
         let s = self.shape().to_vec();
-        let last = *s.last().expect("cumsum on 0-d tensor");
+        let last = *s.last().expect("cumsum on 0-d tensor"); // aimts-lint: allow(A001, 0-d tensors are rejected at construction by every caller path)
         let rows = self.numel() / last;
         let d = self.data();
         let mut out = vec![0f32; d.len()];

@@ -2,7 +2,7 @@
 
 use rayon::prelude::*;
 
-use crate::tensor::Tensor;
+use crate::tensor::{read_pair, Tensor};
 
 /// `c += a (m×k) · b (k×n)` — cache-friendly ikj kernel.
 pub(crate) fn mm_acc(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
@@ -13,6 +13,7 @@ pub(crate) fn mm_acc(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n:
         let crow = &mut c[i * n..(i + 1) * n];
         for p in 0..k {
             let av = a[i * k + p];
+            // aimts-lint: allow(A004, exact-zero skip: sparsity fast path, any nonzero must multiply)
             if av == 0.0 {
                 continue;
             }
@@ -31,6 +32,7 @@ pub(crate) fn mm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32>
         c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
             for p in 0..k {
                 let av = a[i * k + p];
+                // aimts-lint: allow(A004, exact-zero skip: sparsity fast path, any nonzero must multiply)
                 if av == 0.0 {
                     continue;
                 }
@@ -69,6 +71,7 @@ impl Tensor {
             (2, 2) => self.matmul_2d(other),
             (3, 3) => self.matmul_batched(other),
             (3, 2) => self.matmul_3d_2d(other),
+            // aimts-lint: allow(A001, rank mismatch is a caller programming error, covered by matmul_bad_dims test)
             _ => panic!(
                 "unsupported matmul ranks: {:?} x {:?}",
                 self.shape(),
@@ -81,14 +84,15 @@ impl Tensor {
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (other.shape()[0], other.shape()[1]);
         assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
-        let out = mm(&self.data(), &other.data(), m, k, n);
+        let (ad, bd) = read_pair(self, other);
+        let out = mm(&ad, &bd, m, k, n);
+        drop((ad, bd));
         Tensor::from_op(
             out,
             &[m, n],
             vec![self.clone(), other.clone()],
             Box::new(move |node, gout| {
-                let a = node.op_parents()[0].data();
-                let b = node.op_parents()[1].data();
+                let (a, b) = read_pair(&node.op_parents()[0], &node.op_parents()[1]);
                 // ga = gout · b^T ; gb = a^T · gout
                 let bt = transpose2d(&b, k, n);
                 let at = transpose2d(&a, m, k);
@@ -104,8 +108,7 @@ impl Tensor {
         let (b2, k2, n) = (other.shape()[0], other.shape()[1], other.shape()[2]);
         assert_eq!(bsz, b2, "batched matmul batch dims differ");
         assert_eq!(k, k2, "matmul inner dims differ");
-        let ad_ref = self.data();
-        let bd_ref = other.data();
+        let (ad_ref, bd_ref) = read_pair(self, other);
         let (ad, bd): (&[f32], &[f32]) = (&ad_ref, &bd_ref);
         let mut out = vec![0f32; bsz * m * n];
         out.par_chunks_mut(m * n)
@@ -126,8 +129,7 @@ impl Tensor {
             &[bsz, m, n],
             vec![self.clone(), other.clone()],
             Box::new(move |node, gout| {
-                let a = node.op_parents()[0].data();
-                let b = node.op_parents()[1].data();
+                let (a, b) = read_pair(&node.op_parents()[0], &node.op_parents()[1]);
                 let mut ga = vec![0f32; bsz * m * k];
                 let mut gb = vec![0f32; bsz * k * n];
                 for bi in 0..bsz {
@@ -149,14 +151,15 @@ impl Tensor {
         let (k2, n) = (other.shape()[0], other.shape()[1]);
         assert_eq!(k, k2, "matmul inner dims differ");
         // Fold batch into rows: [B*m, k] · [k, n].
-        let out = mm(&self.data(), &other.data(), bsz * m, k, n);
+        let (ad, bd) = read_pair(self, other);
+        let out = mm(&ad, &bd, bsz * m, k, n);
+        drop((ad, bd));
         Tensor::from_op(
             out,
             &[bsz, m, n],
             vec![self.clone(), other.clone()],
             Box::new(move |node, gout| {
-                let a = node.op_parents()[0].data();
-                let b = node.op_parents()[1].data();
+                let (a, b) = read_pair(&node.op_parents()[0], &node.op_parents()[1]);
                 let bt = transpose2d(&b, k, n);
                 let ga = mm(gout, &bt, bsz * m, n, k);
                 let at = transpose2d(&a, bsz * m, k);

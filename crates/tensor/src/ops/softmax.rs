@@ -7,7 +7,7 @@ impl Tensor {
     /// Numerically-stable softmax over the last dimension.
     pub fn softmax_last(&self) -> Tensor {
         let s = self.shape();
-        let cols = *s.last().expect("softmax on 0-d tensor");
+        let cols = *s.last().expect("softmax on 0-d tensor"); // aimts-lint: allow(A001, 0-d tensors never reach softmax: all callers pass batched activations)
         let rows = self.numel() / cols;
         let d = self.data();
         let mut out = vec![0f32; d.len()];
@@ -48,7 +48,7 @@ impl Tensor {
     /// Numerically-stable log-softmax over the last dimension.
     pub fn log_softmax_last(&self) -> Tensor {
         let s = self.shape();
-        let cols = *s.last().expect("log_softmax on 0-d tensor");
+        let cols = *s.last().expect("log_softmax on 0-d tensor"); // aimts-lint: allow(A001, 0-d tensors never reach softmax: all callers pass batched activations)
         let rows = self.numel() / cols;
         let d = self.data();
         let mut out = vec![0f32; d.len()];

@@ -62,6 +62,7 @@ pub fn broadcast_strides(shape: &[usize], target: &[usize]) -> Vec<usize> {
         } else if shape[i] == 1 {
             out[offset + i] = 0;
         } else {
+            // aimts-lint: allow(A001, callers validate with broadcast_shapes first; reaching here is a programming error)
             panic!("cannot broadcast {shape:?} to {target:?}");
         }
     }

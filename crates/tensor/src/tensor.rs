@@ -8,10 +8,12 @@
 //! `Send + Sync` by construction.
 
 use std::fmt;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::autograd;
+use crate::lockorder;
 use crate::shape::{self, Shape};
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
@@ -59,6 +61,41 @@ pub(crate) struct Inner {
     pub(crate) is_variable: bool,
     /// Present only on op outputs that participate in the autograd graph.
     pub(crate) graph: Option<GraphNode>,
+}
+
+/// Read guard over a tensor's data buffer, registered with the debug
+/// lock-order checker (see [`crate::lockorder`]). Derefs to `Vec<f32>`,
+/// so call sites use it exactly like the raw `RwLockReadGuard` it wraps.
+pub struct DataGuard<'a> {
+    // Field order matters: the lock guard must drop before the checker
+    // token so the checker never reports a lock as released while held.
+    guard: RwLockReadGuard<'a, Vec<f32>>,
+    _token: lockorder::LockToken,
+}
+
+impl Deref for DataGuard<'_> {
+    type Target = Vec<f32>;
+
+    #[inline]
+    fn deref(&self) -> &Vec<f32> {
+        &self.guard
+    }
+}
+
+/// Acquire read guards on two tensors' data buffers in ascending id order
+/// (the workspace-wide deadlock-freedom convention, enforced by
+/// `aimts-lint` A002 and the debug lock-order checker), returning them in
+/// *argument* order.
+pub fn read_pair<'a>(a: &'a Tensor, b: &'a Tensor) -> (DataGuard<'a>, DataGuard<'a>) {
+    if a.inner.id <= b.inner.id {
+        let ga = a.data();
+        let gb = b.data();
+        (ga, gb)
+    } else {
+        let gb = b.data();
+        let ga = a.data();
+        (ga, gb)
+    }
 }
 
 /// A dense row-major `f32` tensor; cheap to clone (shared handle).
@@ -211,9 +248,15 @@ impl Tensor {
 
     // ----- data access ----------------------------------------------------
 
-    /// Borrow the underlying buffer (shared read lock).
-    pub fn data(&self) -> RwLockReadGuard<'_, Vec<f32>> {
-        read_lock(&self.inner.data)
+    /// Borrow the underlying buffer (shared read lock). In debug builds
+    /// the acquisition is registered with the lock-order checker; when two
+    /// buffers are needed at once, go through [`read_pair`].
+    pub fn data(&self) -> DataGuard<'_> {
+        let token = lockorder::acquire(self.inner.id);
+        DataGuard {
+            guard: read_lock(&self.inner.data),
+            _token: token,
+        }
     }
 
     /// Copy the underlying buffer out.
@@ -236,6 +279,7 @@ impl Tensor {
     /// Overwrite the buffer in place (used by optimizers). Panics if the
     /// length differs. Does not touch the graph.
     pub fn set_data(&self, data: &[f32]) {
+        let _token = lockorder::acquire(self.inner.id);
         let mut d = write_lock(&self.inner.data);
         assert_eq!(d.len(), data.len(), "set_data length mismatch");
         d.copy_from_slice(data);
@@ -243,6 +287,7 @@ impl Tensor {
 
     /// Apply `f` to the buffer in place (used by optimizers).
     pub fn update_data(&self, f: impl FnOnce(&mut [f32])) {
+        let _token = lockorder::acquire(self.inner.id);
         f(&mut write_lock(&self.inner.data));
     }
 
@@ -266,6 +311,7 @@ impl Tensor {
     /// Overwrite the buffer from raw bit patterns (inverse of
     /// [`Tensor::data_bits`]). Panics if the length differs.
     pub fn set_data_bits(&self, bits: &[u32]) {
+        let _token = lockorder::acquire(self.inner.id);
         let mut d = write_lock(&self.inner.data);
         assert_eq!(d.len(), bits.len(), "set_data_bits length mismatch");
         for (x, b) in d.iter_mut().zip(bits) {
@@ -277,17 +323,20 @@ impl Tensor {
 
     /// Accumulated gradient of a leaf variable, if any.
     pub fn grad(&self) -> Option<Vec<f32>> {
+        let _token = lockorder::acquire(self.inner.id);
         mutex_lock(&self.inner.grad).clone()
     }
 
     /// Clear the accumulated gradient.
     pub fn zero_grad(&self) {
+        let _token = lockorder::acquire(self.inner.id);
         *mutex_lock(&self.inner.grad) = None;
     }
 
     /// Overwrite the accumulated gradient (used by gradient clipping).
     pub fn set_grad(&self, g: &[f32]) {
         assert_eq!(g.len(), self.numel(), "set_grad length mismatch");
+        let _token = lockorder::acquire(self.inner.id);
         *mutex_lock(&self.inner.grad) = Some(g.to_vec());
     }
 
@@ -301,6 +350,7 @@ impl Tensor {
             g.len(),
             self.numel()
         );
+        let _token = lockorder::acquire(self.inner.id);
         let mut slot = mutex_lock(&self.inner.grad);
         match slot.as_mut() {
             Some(existing) => {

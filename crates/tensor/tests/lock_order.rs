@@ -1,0 +1,80 @@
+//! Integration tests for the debug-build runtime lock-order checker.
+//!
+//! The ordering invariant: any thread holding several tensor-internal
+//! lock guards must have acquired them in ascending tensor-id order.
+//! `aimts-lint` A002 enforces this statically; these tests pin down the
+//! dynamic side — a deliberate out-of-order acquisition panics naming
+//! both tensor ids, and ordinary multi-threaded training math stays
+//! silent.
+
+use aimts_tensor::{read_pair, Tensor};
+
+#[cfg(debug_assertions)]
+#[test]
+fn out_of_order_acquisition_panics_with_both_ids() {
+    let older = Tensor::zeros(&[4]); // created first → smaller id
+    let newer = Tensor::zeros(&[4]);
+    assert!(older.id() < newer.id(), "id counter must be monotonic");
+
+    // AssertUnwindSafe: the closure only takes read guards; no state is
+    // mutated before the checker panics.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _hi = newer.data();
+        let _lo = older.data(); // descending: must trip the checker
+    }));
+    let err = result.expect_err("descending acquisition must panic in debug builds");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+    assert!(
+        msg.contains(&format!("tensor id {}", older.id())),
+        "panic must name the acquired id: {msg}"
+    );
+    assert!(
+        msg.contains(&format!("tensor id {}", newer.id())),
+        "panic must name the already-held id: {msg}"
+    );
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn read_pair_orders_any_argument_order() {
+    let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+    let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+    // Both argument orders must succeed; guards come back in arg order.
+    let (ga, gb) = read_pair(&a, &b);
+    assert_eq!((ga[0], gb[0]), (1.0, 3.0));
+    drop((ga, gb));
+    let (gb, ga) = read_pair(&b, &a);
+    assert_eq!((ga[1], gb[1]), (2.0, 4.0));
+}
+
+/// Clean path: concurrent training math across `AIMTS_THREADS` worker
+/// threads (the same knob CI's thread matrix sets) must never trip the
+/// checker, because every two-guard op acquires through `read_pair`.
+#[test]
+fn concurrent_ops_stay_clean_under_thread_matrix() {
+    let threads: usize = std::env::var("AIMTS_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let shared = Tensor::ones(&[8, 8]);
+    std::thread::scope(|s| {
+        for w in 0..threads.max(1) {
+            let shared = &shared;
+            s.spawn(move || {
+                for i in 0..25 {
+                    let local = Tensor::full(&[8, 8], (w * 31 + i) as f32);
+                    // Both argument orders: shared's id is lower on one
+                    // side and higher on the other.
+                    let x = shared.matmul(&local).add(&local.matmul(shared));
+                    let y = local.sub(shared).mul(&x);
+                    assert_eq!(y.shape(), &[8, 8]);
+                    let v = y.sum_all();
+                    assert_eq!(v.numel(), 1);
+                }
+            });
+        }
+    });
+}
