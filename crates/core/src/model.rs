@@ -272,6 +272,10 @@ impl AimTs {
     ) -> Result<PretrainReport, TrainError> {
         let prepared: Vec<MultiSeries> = pool.iter().map(|s| self.prepare(s)).collect();
         let groups = Self::group_by_var_count(&prepared);
+        // Buffer arena for the whole run: after the first step the graph's
+        // buffer sizes are all pooled, so steady-state steps stop
+        // allocating (see `aimts_tensor::arena`).
+        let _arena = aimts_tensor::arena::enable();
 
         let params: Vec<Tensor> = self
             .named_parameters()
@@ -417,23 +421,40 @@ impl AimTs {
     /// rasterize, forward, backward all on the worker thread), all-reduces
     /// the flat gradients, and steps the optimizer once on the mean.
     ///
+    /// Worker threads are spawned **once** per run by
+    /// [`parallel::with_worker_pool`] and live until the run ends; slot `i`
+    /// always executes replica `i`, so every replica's tensors and buffer
+    /// arena stay on one thread for the whole run. The worker hot path
+    /// takes no locks: replica activations live in unsynchronized hot
+    /// storage, and the only `RwLock`s left are on `requires_grad`
+    /// parameters — written by `load_flat` at the top of a task and read
+    /// when the gradient is exported, both on the owning worker thread.
+    ///
     /// Augmentation RNG is derived per micro-batch from
     /// [`parallel::microbatch_seed`], so results depend only on the seed and
     /// worker count — never on thread scheduling.
     ///
-    /// Worker panics are contained per micro-batch
-    /// ([`parallel::try_parallel_map`]): a crashed or poisoned replica
-    /// degrades the step to the surviving replicas' gradients (re-averaged)
-    /// instead of aborting the process; a round with no survivors is
-    /// skipped like any other anomalous step.
+    /// Worker panics are contained per micro-batch: a crashed or poisoned
+    /// replica degrades the step to the surviving replicas' gradients
+    /// (re-averaged) instead of aborting the process; a round with no
+    /// survivors is skipped like any other anomalous step. The panicking
+    /// worker thread itself survives and serves later rounds.
     fn pretrain_parallel(
         &mut self,
         pool: &[MultiSeries],
         pcfg: &PretrainConfig,
         workers: usize,
     ) -> Result<PretrainReport, TrainError> {
+        use std::sync::Arc;
+        /// One dispatched micro-batch: (augmentation seed, micro index,
+        /// sample indices, master weights snapshot).
+        type PoolTask = (u64, u64, Vec<usize>, Arc<Vec<f32>>);
+
         let prepared: Vec<MultiSeries> = pool.iter().map(|s| self.prepare(s)).collect();
         let groups = Self::group_by_var_count(&prepared);
+        // Master-thread arena: the all-reduce mean, flat master weights,
+        // and shipped worker gradients all recycle through it.
+        let _arena = aimts_tensor::arena::enable();
 
         let params: Vec<Tensor> = self
             .named_parameters()
@@ -446,6 +467,9 @@ impl AimTs {
         // micro-batch.
         let mut rng = StdRng::seed_from_u64(pcfg.seed);
         let mut mon = HealthMonitor::new(pcfg.health.clone());
+        // The fault plan is fixed at construction; capture it by value so
+        // the worker closure does not borrow the monitor.
+        let fault = mon.policy().fault;
 
         // An epoch can never yield more micro-batches than this, so extra
         // replicas would sit idle.
@@ -488,158 +512,180 @@ impl AimTs {
             },
         );
 
-        while epoch < pcfg.epochs {
-            // The epoch's schedule up front: (derived seed, micro index,
-            // sample indices).
-            let mut schedule: Vec<(u64, u64, Vec<usize>)> = Vec::new();
-            for idxs in groups.values() {
-                for batch in batch_indices(idxs.len(), pcfg.batch_size, &mut rng) {
-                    let seed = parallel::microbatch_seed(pcfg.seed, epoch as u64, micro_counter);
-                    schedule.push((
-                        seed,
-                        micro_counter,
-                        batch.iter().map(|&k| idxs[k]).collect(),
-                    ));
-                    micro_counter += 1;
+        parallel::with_worker_pool(
+            workers,
+            |slot, (seed, micro, batch, master): PoolTask| {
+                if fault.forces_panic(micro) {
+                    // aimts-lint: allow(A001, deliberate fault injection: the resilience suite requires a real worker panic)
+                    panic!("injected worker panic on micro-batch {micro}");
                 }
-            }
-            let mut losses_this_epoch = Vec::new();
-            let (mut protos, mut sis) = (Vec::new(), Vec::new());
-            let mut rollback: Option<String> = None;
-            'rounds: for round in schedule.chunks(workers) {
-                let attempt = mon.begin_attempt();
-                let fault = mon.policy().fault;
-                let master = self.flat_parameters();
-                let results =
-                    parallel::try_parallel_map(round, workers, |slot, (seed, micro, batch)| {
-                        if fault.forces_panic(*micro) {
-                            // aimts-lint: allow(A001, deliberate fault injection: the resilience suite requires a real worker panic)
-                            panic!("injected worker panic on micro-batch {micro}");
+                let replica = &replicas[slot];
+                replica.load_flat(&master);
+                let samples: Vec<&MultiSeries> = batch.iter().map(|&i| &prepared[i]).collect();
+                replica.microbatch_gradient(&samples, seed)
+            },
+            |pool| -> Result<PretrainReport, TrainError> {
+                while epoch < pcfg.epochs {
+                    // The epoch's schedule up front: (derived seed, micro index,
+                    // sample indices).
+                    let mut schedule: Vec<(u64, u64, Vec<usize>)> = Vec::new();
+                    for idxs in groups.values() {
+                        for batch in batch_indices(idxs.len(), pcfg.batch_size, &mut rng) {
+                            let seed =
+                                parallel::microbatch_seed(pcfg.seed, epoch as u64, micro_counter);
+                            schedule.push((
+                                seed,
+                                micro_counter,
+                                batch.iter().map(|&k| idxs[k]).collect(),
+                            ));
+                            micro_counter += 1;
                         }
-                        let replica = &replicas[slot];
-                        replica.load_flat(&master);
-                        let samples: Vec<&MultiSeries> =
-                            batch.iter().map(|&i| &prepared[i]).collect();
-                        replica.microbatch_gradient(&samples, *seed)
-                    });
-                let forced = fault.forces_bad(attempt);
-                let mut grads = Vec::with_capacity(results.len());
-                let mut stats = Vec::with_capacity(results.len());
-                let (mut panics, mut poisoned) = (0usize, 0usize);
-                for r in results {
-                    match r {
-                        Err(msg) => {
-                            eprintln!("warning: pre-training worker panicked: {msg}");
-                            panics += 1;
+                    }
+                    let mut losses_this_epoch = Vec::new();
+                    let (mut protos, mut sis) = (Vec::new(), Vec::new());
+                    let mut rollback: Option<String> = None;
+                    'rounds: for round in schedule.chunks(workers) {
+                        let attempt = mon.begin_attempt();
+                        let master = Arc::new(self.flat_parameters());
+                        let tasks: Vec<PoolTask> = round
+                            .iter()
+                            .map(|(seed, micro, batch)| {
+                                (*seed, *micro, batch.clone(), Arc::clone(&master))
+                            })
+                            .collect();
+                        let results = pool.run_round(tasks);
+                        // Every worker dropped its snapshot clone before reporting;
+                        // reclaim the master buffer for the next round.
+                        if let Ok(buf) = Arc::try_unwrap(master) {
+                            aimts_tensor::arena::recycle(buf);
                         }
-                        Ok(mg) => {
-                            if forced
-                                || !mg.loss.is_finite()
-                                || !aimts_tensor::all_finite(&mg.gradient)
-                            {
-                                poisoned += 1;
-                            } else {
-                                stats.push((mg.loss, mg.proto_loss, mg.si_loss));
-                                grads.push(mg.gradient);
+                        let forced = fault.forces_bad(attempt);
+                        let mut grads = Vec::with_capacity(results.len());
+                        let mut stats = Vec::with_capacity(results.len());
+                        let (mut panics, mut poisoned) = (0usize, 0usize);
+                        for r in results {
+                            match r {
+                                Err(msg) => {
+                                    eprintln!("warning: pre-training worker panicked: {msg}");
+                                    panics += 1;
+                                }
+                                Ok(mg) => {
+                                    if forced
+                                        || !mg.loss.is_finite()
+                                        || !aimts_tensor::all_finite(&mg.gradient)
+                                    {
+                                        poisoned += 1;
+                                    } else {
+                                        stats.push((mg.loss, mg.proto_loss, mg.si_loss));
+                                        grads.push(mg.gradient);
+                                    }
+                                }
                             }
                         }
-                    }
-                }
-                if grads.is_empty() {
-                    // No usable gradient in the whole round: skip the step.
-                    mon.record_lost_round(panics);
-                    if mon.record_skip() == StepVerdict::RollBack {
-                        rollback = Some(format!(
-                            "{} consecutive anomalous steps (last round: \
+                        if grads.is_empty() {
+                            // No usable gradient in the whole round: skip the step.
+                            mon.record_lost_round(panics);
+                            if mon.record_skip() == StepVerdict::RollBack {
+                                rollback = Some(format!(
+                                    "{} consecutive anomalous steps (last round: \
                              {panics} worker panics, {poisoned} poisoned gradients)",
-                            mon.policy().max_bad_steps.max(1)
+                                    mon.policy().max_bad_steps.max(1)
+                                ));
+                                break 'rounds;
+                            }
+                            continue;
+                        }
+                        let (mean, excluded) = parallel::all_reduce_mean_guarded(&grads)
+                            // aimts-lint: allow(A001, survivors were filtered to all-finite buffers two lines above)
+                            .expect("surviving gradient buffers are all-finite");
+                        debug_assert_eq!(excluded, 0, "survivors were pre-filtered");
+                        opt.zero_grad();
+                        self.accumulate_flat_gradient(&mean);
+                        // The mean is folded into `.grad` slots and the per-worker
+                        // buffers are summed; all of them can go back to the pool.
+                        aimts_tensor::arena::recycle(mean);
+                        for g in grads {
+                            aimts_tensor::arena::recycle(g);
+                        }
+                        let (norm, clipped) = guard_and_clip(&params, mon.policy().clip_norm);
+                        if !norm.is_finite() {
+                            // Unreachable when the survivors are finite; kept as a
+                            // defensive guard so a logic error skips instead of
+                            // stepping on garbage.
+                            opt.zero_grad();
+                            mon.record_lost_round(panics);
+                            if mon.record_skip() == StepVerdict::RollBack {
+                                rollback = Some(format!("non-finite gradient norm {norm}"));
+                                break 'rounds;
+                            }
+                            continue;
+                        }
+                        opt.step();
+                        steps += 1;
+                        if !params_all_finite(&params) {
+                            mon.record_lost_round(panics);
+                            rollback = Some("non-finite parameter after optimizer step".into());
+                            break 'rounds;
+                        }
+                        mon.record_step(norm, clipped);
+                        mon.record_degraded(panics, poisoned);
+                        for (l, lp, lsi) in stats {
+                            losses_this_epoch.push(l as f64);
+                            protos.push(lp as f64);
+                            sis.push(lsi as f64);
+                        }
+                    }
+                    if let Some(reason) = rollback {
+                        let st =
+                            self.rollback(&last_good, &mut opt, &mut sched, &mut mon, &reason)?;
+                        rng = StdRng::seed_from_u64(parallel::microbatch_seed(
+                            st.rng_state,
+                            RESHUFFLE_STREAM,
+                            mon.report().rollbacks as u64,
                         ));
-                        break 'rounds;
+                        epoch = st.epochs_done as usize;
+                        steps = st.steps as usize;
+                        micro_counter = st.micro_counter;
+                        epoch_losses = st.epoch_losses;
+                        last_proto = st.last_proto;
+                        last_si = st.last_si;
+                        continue;
                     }
-                    continue;
+                    epoch_losses.push(mean_or_nan(&losses_this_epoch));
+                    last_proto = mean_or_nan(&protos);
+                    last_si = mean_or_nan(&sis);
+                    mon.end_epoch();
+                    sched.step(&mut opt);
+                    last_good = build_pretrain_checkpoint(
+                        self,
+                        &opt.export_state(),
+                        &sched.export_state(),
+                        &PretrainState {
+                            steps: steps as u64,
+                            epochs_done: (epoch + 1) as u64,
+                            base_seed: pcfg.seed,
+                            rng_state: rng.state(),
+                            micro_counter,
+                            workers: workers as u32,
+                            epoch_losses: epoch_losses.clone(),
+                            last_proto,
+                            last_si,
+                        },
+                    );
+                    maybe_write_checkpoint(pcfg, epoch + 1, &last_good)?;
+                    epoch += 1;
                 }
-                let (mean, excluded) = parallel::all_reduce_mean_guarded(&grads)
-                    // aimts-lint: allow(A001, survivors were filtered to all-finite buffers two lines above)
-                    .expect("surviving gradient buffers are all-finite");
-                debug_assert_eq!(excluded, 0, "survivors were pre-filtered");
-                opt.zero_grad();
-                self.accumulate_flat_gradient(&mean);
-                let (norm, clipped) = guard_and_clip(&params, mon.policy().clip_norm);
-                if !norm.is_finite() {
-                    // Unreachable when the survivors are finite; kept as a
-                    // defensive guard so a logic error skips instead of
-                    // stepping on garbage.
-                    opt.zero_grad();
-                    mon.record_lost_round(panics);
-                    if mon.record_skip() == StepVerdict::RollBack {
-                        rollback = Some(format!("non-finite gradient norm {norm}"));
-                        break 'rounds;
-                    }
-                    continue;
-                }
-                opt.step();
-                steps += 1;
-                if !params_all_finite(&params) {
-                    mon.record_lost_round(panics);
-                    rollback = Some("non-finite parameter after optimizer step".into());
-                    break 'rounds;
-                }
-                mon.record_step(norm, clipped);
-                mon.record_degraded(panics, poisoned);
-                for (l, lp, lsi) in stats {
-                    losses_this_epoch.push(l as f64);
-                    protos.push(lp as f64);
-                    sis.push(lsi as f64);
-                }
-            }
-            if let Some(reason) = rollback {
-                let st = self.rollback(&last_good, &mut opt, &mut sched, &mut mon, &reason)?;
-                rng = StdRng::seed_from_u64(parallel::microbatch_seed(
-                    st.rng_state,
-                    RESHUFFLE_STREAM,
-                    mon.report().rollbacks as u64,
-                ));
-                epoch = st.epochs_done as usize;
-                steps = st.steps as usize;
-                micro_counter = st.micro_counter;
-                epoch_losses = st.epoch_losses;
-                last_proto = st.last_proto;
-                last_si = st.last_si;
-                continue;
-            }
-            epoch_losses.push(mean_or_nan(&losses_this_epoch));
-            last_proto = mean_or_nan(&protos);
-            last_si = mean_or_nan(&sis);
-            mon.end_epoch();
-            sched.step(&mut opt);
-            last_good = build_pretrain_checkpoint(
-                self,
-                &opt.export_state(),
-                &sched.export_state(),
-                &PretrainState {
-                    steps: steps as u64,
-                    epochs_done: (epoch + 1) as u64,
-                    base_seed: pcfg.seed,
-                    rng_state: rng.state(),
-                    micro_counter,
-                    workers: workers as u32,
-                    epoch_losses: epoch_losses.clone(),
-                    last_proto,
-                    last_si,
-                },
-            );
-            maybe_write_checkpoint(pcfg, epoch + 1, &last_good)?;
-            epoch += 1;
-        }
-        Ok(PretrainReport {
-            final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
-            epoch_losses,
-            steps,
-            final_proto_loss: last_proto,
-            final_si_loss: last_si,
-            workers,
-            health: mon.into_report(),
-        })
+                Ok(PretrainReport {
+                    final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
+                    epoch_losses,
+                    steps,
+                    final_proto_loss: last_proto,
+                    final_si_loss: last_si,
+                    workers,
+                    health: mon.into_report(),
+                })
+            },
+        )
     }
 
     /// Zero all gradients, run one pre-training step on already-prepared

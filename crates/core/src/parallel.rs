@@ -1,15 +1,24 @@
 //! Data-parallel training utilities: worker-count resolution (the
-//! `AIMTS_THREADS` knob), an ordered scoped-thread map, and the gradient
-//! all-reduce used by [`crate::AimTs::pretrain`].
+//! `AIMTS_THREADS` knob), a persistent worker pool, an ordered
+//! scoped-thread map, and the gradient all-reduce used by
+//! [`crate::AimTs::pretrain`].
 //!
 //! The scheme is replica-per-worker: each worker owns a deep copy of the
 //! model, loads the master weights, computes the gradient of one
 //! micro-batch (augmentation, image rasterization, forward, backward all
 //! happen on the worker thread), and the master averages the flat
 //! gradients and steps its optimizer once.
+//!
+//! [`with_worker_pool`] is the training loop's engine: it spawns the
+//! worker threads **once** per pre-training run (each with its buffer
+//! arena enabled — see [`aimts_tensor::arena`]), and every round ships
+//! tasks over per-slot channels. Slot `i` always runs on the same thread,
+//! so replica `i`'s tensors, arena pool, and caches stay thread-local for
+//! the whole run — the property the lock-free hot storage relies on.
 
 use std::env;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
 
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "AIMTS_THREADS";
@@ -36,20 +45,20 @@ pub fn worker_count(requested: usize) -> usize {
 
 /// Element-wise mean of equally-sized gradient buffers (the all-reduce).
 /// Panics on an empty slice or mismatched lengths.
+///
+/// Accumulation and scaling run through the SIMD kernels
+/// ([`aimts_tensor::simd`]), which are bit-identical to the scalar loops
+/// they replaced, and the output buffer is arena-backed when the calling
+/// thread has a pool enabled.
 pub fn all_reduce_mean(buffers: &[Vec<f32>]) -> Vec<f32> {
     assert!(!buffers.is_empty(), "all_reduce_mean of zero buffers");
     let n = buffers[0].len();
-    let mut out = vec![0f32; n];
+    let mut out = aimts_tensor::arena::zeroed(n);
     for b in buffers {
         assert_eq!(b.len(), n, "all_reduce_mean buffer length mismatch");
-        for (o, x) in out.iter_mut().zip(b) {
-            *o += x;
-        }
+        aimts_tensor::simd::add_assign(&mut out, b);
     }
-    let scale = 1.0 / buffers.len() as f32;
-    for o in &mut out {
-        *o *= scale;
-    }
+    aimts_tensor::simd::scale_assign(&mut out, 1.0 / buffers.len() as f32);
     out
 }
 
@@ -104,6 +113,103 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+/// Handle to a live worker pool, usable only inside the `body` closure of
+/// [`with_worker_pool`]. Each call to [`PoolHandle::run_round`] dispatches
+/// one task per slot and blocks until every dispatched task reports back.
+pub struct PoolHandle<T, R> {
+    txs: Vec<mpsc::Sender<T>>,
+    res_rx: mpsc::Receiver<(usize, Result<R, String>)>,
+}
+
+impl<T, R> PoolHandle<T, R> {
+    /// Number of worker slots in the pool.
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Run one round: task `i` goes to slot `i` (so with stable rounds each
+    /// slot always sees the same replica index), and results come back in
+    /// slot order. A panicking task is contained on its worker thread and
+    /// surfaced as `Err(message)` in that slot; the worker itself survives
+    /// and serves later rounds. Panics if the round is larger than the pool.
+    pub fn run_round(&mut self, tasks: Vec<T>) -> Vec<Result<R, String>> {
+        let n = tasks.len();
+        assert!(
+            n <= self.txs.len(),
+            "round of {n} tasks exceeds {} pool workers",
+            self.txs.len()
+        );
+        let mut out: Vec<Option<Result<R, String>>> = (0..n).map(|_| None).collect();
+        let mut pending = 0usize;
+        for (slot, task) in tasks.into_iter().enumerate() {
+            if self.txs[slot].send(task).is_ok() {
+                pending += 1;
+            } else {
+                // Unreachable in practice (workers catch panics and never
+                // exit while the handle lives), kept as a defensive guard.
+                out[slot] = Some(Err("worker thread terminated".to_string()));
+            }
+        }
+        while pending > 0 {
+            match self.res_rx.recv() {
+                Ok((slot, r)) => {
+                    out[slot] = Some(r);
+                    pending -= 1;
+                }
+                Err(_) => break,
+            }
+        }
+        out.into_iter()
+            .map(|r| r.unwrap_or_else(|| Err("worker thread terminated".to_string())))
+            .collect()
+    }
+}
+
+/// Spawn `workers` persistent worker threads, hand `body` a
+/// [`PoolHandle`] for dispatching rounds of tasks to them, and join the
+/// pool when `body` returns. `f(slot, task)` runs every task of slot
+/// `slot` on that slot's dedicated thread — created once, reused across
+/// all rounds — with the thread's buffer arena enabled for its lifetime,
+/// so the steady-state training step allocates nothing.
+///
+/// This replaces the spawn-per-round scheme ([`try_parallel_map`], which
+/// survives for one-shot maps): spawning cost is paid once per run instead
+/// of once per optimizer step, and each replica's buffers stay on one
+/// thread forever.
+pub fn with_worker_pool<T, R, F, G, Out>(workers: usize, f: F, body: G) -> Out
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+    G: FnOnce(&mut PoolHandle<T, R>) -> Out,
+{
+    let workers = workers.max(1);
+    std::thread::scope(|s| {
+        let (res_tx, res_rx) = mpsc::channel();
+        let mut txs = Vec::with_capacity(workers);
+        for slot in 0..workers {
+            let (tx, task_rx) = mpsc::channel::<T>();
+            txs.push(tx);
+            let res_tx = res_tx.clone();
+            let f = &f;
+            s.spawn(move || {
+                let _arena = aimts_tensor::arena::enable();
+                while let Ok(task) = task_rx.recv() {
+                    let r = catch_unwind(AssertUnwindSafe(|| f(slot, task))).map_err(panic_message);
+                    if res_tx.send((slot, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut pool = PoolHandle { txs, res_rx };
+        body(&mut pool)
+        // `pool` (with the task senders) drops here; workers see the
+        // channel close, exit their loop, and the scope joins them.
+    })
 }
 
 /// [`parallel_map`] with per-item panic containment: a panic inside
@@ -301,6 +407,73 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn worker_pool_runs_rounds_in_slot_order() {
+        let (r1, r2) = with_worker_pool(
+            4,
+            |slot, x: usize| slot * 100 + x,
+            |pool| {
+                assert_eq!(pool.workers(), 4);
+                (pool.run_round(vec![1, 2, 3, 4]), pool.run_round(vec![5, 6]))
+            },
+        );
+        let vals = |rs: Vec<Result<usize, String>>| -> Vec<usize> {
+            rs.into_iter().map(|r| r.unwrap()).collect()
+        };
+        assert_eq!(vals(r1), vec![1, 102, 203, 304]);
+        assert_eq!(vals(r2), vec![5, 106]);
+    }
+
+    #[test]
+    fn worker_pool_contains_panics_and_workers_survive() {
+        let (r1, r2) = with_worker_pool(
+            2,
+            |_slot, x: i32| {
+                if x < 0 {
+                    panic!("bad task {x}");
+                }
+                x * 2
+            },
+            |pool| (pool.run_round(vec![-1, 3]), pool.run_round(vec![4, 5])),
+        );
+        assert!(r1[0].as_ref().unwrap_err().contains("bad task -1"));
+        assert_eq!(*r1[1].as_ref().unwrap(), 6);
+        // Slot 0's thread survived the contained panic and served round 2.
+        assert_eq!(*r2[0].as_ref().unwrap(), 8);
+        assert_eq!(*r2[1].as_ref().unwrap(), 10);
+    }
+
+    #[test]
+    fn worker_pool_reuses_threads_across_rounds() {
+        let (a, b) = with_worker_pool(
+            3,
+            |_slot, _x: ()| std::thread::current().id(),
+            |pool| {
+                (
+                    pool.run_round(vec![(), (), ()]),
+                    pool.run_round(vec![(), (), ()]),
+                )
+            },
+        );
+        let ids_a: Vec<_> = a.into_iter().map(|r| r.unwrap()).collect();
+        let ids_b: Vec<_> = b.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(ids_a, ids_b, "slot i must stay pinned to one thread");
+        assert_ne!(ids_a[0], ids_a[1], "slots must be distinct threads");
+        assert_ne!(ids_a[1], ids_a[2]);
+    }
+
+    #[test]
+    fn worker_pool_threads_have_arena_enabled() {
+        let on = with_worker_pool(
+            1,
+            |_slot, _x: ()| aimts_tensor::arena::is_enabled(),
+            |pool| pool.run_round(vec![()]),
+        );
+        assert!(*on[0].as_ref().unwrap());
+        // ...and it is per-thread: the caller's arena state is untouched.
+        assert!(!aimts_tensor::arena::is_enabled());
     }
 
     #[test]

@@ -34,10 +34,13 @@ pub trait Module {
 
     /// Every parameter value concatenated in `parameters()` order. The
     /// inverse of [`Module::load_flat`]; used to ship master weights to
-    /// worker replicas.
+    /// worker replicas. The buffer is arena-backed when the calling thread
+    /// has a pool enabled (see [`aimts_tensor::arena`]), so per-round
+    /// snapshots recycle instead of reallocating.
     fn flat_parameters(&self) -> Vec<f32> {
         let params = self.parameters();
-        let mut out = Vec::with_capacity(params.iter().map(|p| p.numel()).sum());
+        let total: usize = params.iter().map(|p| p.numel()).sum();
+        let mut out = aimts_tensor::arena::take(total);
         for p in &params {
             out.extend_from_slice(&p.data());
         }
@@ -69,7 +72,8 @@ pub trait Module {
     /// [`Module::accumulate_flat_gradient`] for gradient all-reduce.
     fn flat_gradient(&self) -> Vec<f32> {
         let params = self.parameters();
-        let mut out = Vec::with_capacity(params.iter().map(|p| p.numel()).sum());
+        let total: usize = params.iter().map(|p| p.numel()).sum();
+        let mut out = aimts_tensor::arena::take(total);
         for p in &params {
             match p.grad() {
                 Some(g) => out.extend_from_slice(&g),

@@ -1,0 +1,223 @@
+//! Thread-local recycling arena for activation and gradient buffers.
+//!
+//! Training runs the same graph shape every micro-batch, so the set of
+//! buffer sizes stabilizes after the first step. Instead of a classic bump
+//! arena (which would need lifetime plumbing through `Arc`-shared
+//! tensors), this is a *recycling pool*: freed `Vec<f32>` buffers are
+//! binned by capacity and handed back to the next allocation of the same
+//! size, so the steady-state step performs no heap allocation for
+//! activations, im2col scratch, or autograd gradients.
+//!
+//! ## Lifetime rules
+//!
+//! * The pool is per-thread and **disabled by default** — every API is a
+//!   no-op pass-through to the global allocator until a scope enables it.
+//! * [`enable`] returns an RAII scope; training loops hold one for the
+//!   duration of a worker's life. Dropping the outermost scope clears the
+//!   pool, releasing the memory.
+//! * Buffers re-enter the pool in exactly two ways: a `Hot`-storage tensor
+//!   buffer when its last handle drops (see `Drop for Inner` in
+//!   `tensor.rs`), or an explicit [`recycle`] of a scratch buffer. A
+//!   buffer therefore never re-enters the pool while a live tensor,
+//!   gradient, or guard can still reach it — that invariant is what the
+//!   aliasing test in `tests/arena_alias.rs` pins down.
+//! * Recycled buffers are size-capped ([`MAX_POOL_BYTES`] per thread,
+//!   [`MAX_BUFS_PER_CLASS`] per size class); overflow is dropped to the
+//!   allocator as usual.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Per-thread cap on pooled bytes; beyond this, freed buffers are dropped.
+pub const MAX_POOL_BYTES: usize = 256 << 20;
+/// Cap on pooled buffers of any single size class.
+pub const MAX_BUFS_PER_CLASS: usize = 64;
+
+/// Counters for observing pool behavior (per thread).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Allocations served from the pool.
+    pub hits: u64,
+    /// Allocations that fell through to the global allocator.
+    pub misses: u64,
+    /// Buffers accepted back into the pool.
+    pub recycled: u64,
+    /// Buffers rejected (pool disabled or caps hit) and freed normally.
+    pub dropped: u64,
+}
+
+#[derive(Default)]
+struct Pool {
+    depth: u32,
+    bytes: usize,
+    free: HashMap<usize, Vec<Vec<f32>>>,
+    stats: ArenaStats,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+/// RAII scope holding the pool enabled on this thread. Scopes nest; the
+/// pool (and its memory) is cleared when the outermost scope drops.
+pub struct ArenaScope {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ArenaScope {
+    fn drop(&mut self) {
+        POOL.try_with(|p| {
+            let mut p = p.borrow_mut();
+            p.depth = p.depth.saturating_sub(1);
+            if p.depth == 0 {
+                p.free.clear();
+                p.bytes = 0;
+            }
+        })
+        .ok();
+    }
+}
+
+/// Enable the pool on the current thread until the returned scope drops.
+pub fn enable() -> ArenaScope {
+    POOL.with(|p| p.borrow_mut().depth += 1);
+    ArenaScope {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Whether the pool is enabled on this thread.
+pub fn is_enabled() -> bool {
+    POOL.try_with(|p| p.borrow().depth > 0).unwrap_or(false)
+}
+
+/// An **empty** `Vec` with capacity at least `len`, reusing a pooled
+/// buffer when one of exactly that capacity is available. Callers fill it
+/// with `extend`/`push`; pair with [`recycle`] (or let it ride inside a
+/// `Hot` tensor) to return it.
+pub fn take(len: usize) -> Vec<f32> {
+    POOL.try_with(|p| {
+        let mut p = p.borrow_mut();
+        if p.depth == 0 {
+            return Vec::with_capacity(len);
+        }
+        if let Some(bucket) = p.free.get_mut(&len) {
+            if let Some(mut v) = bucket.pop() {
+                p.bytes = p.bytes.saturating_sub(len * 4);
+                p.stats.hits += 1;
+                v.clear();
+                return v;
+            }
+        }
+        p.stats.misses += 1;
+        Vec::with_capacity(len)
+    })
+    .unwrap_or_else(|_| Vec::with_capacity(len))
+}
+
+/// A zero-filled `Vec` of length `len`, pool-backed like [`take`].
+pub fn zeroed(len: usize) -> Vec<f32> {
+    let mut v = take(len);
+    v.resize(len, 0.0);
+    v
+}
+
+/// A `Vec` of length `len` filled from `it`, pool-backed like [`take`].
+/// The iterator must yield exactly `len` items.
+pub fn map_collect(len: usize, it: impl Iterator<Item = f32>) -> Vec<f32> {
+    let mut v = take(len);
+    v.extend(it);
+    debug_assert_eq!(v.len(), len, "map_collect iterator length mismatch");
+    v
+}
+
+/// A pool-backed copy of `src`.
+pub fn copy_of(src: &[f32]) -> Vec<f32> {
+    let mut v = take(src.len());
+    v.extend_from_slice(src);
+    v
+}
+
+/// Return a buffer to the pool (no-op when the pool is disabled or full).
+pub fn recycle(v: Vec<f32>) {
+    let cap = v.capacity();
+    if cap == 0 {
+        return;
+    }
+    POOL.try_with(|p| {
+        let mut p = p.borrow_mut();
+        if p.depth == 0 || p.bytes + cap * 4 > MAX_POOL_BYTES {
+            p.stats.dropped += 1;
+            return;
+        }
+        let bucket = p.free.entry(cap).or_default();
+        if bucket.len() >= MAX_BUFS_PER_CLASS {
+            p.stats.dropped += 1;
+            return;
+        }
+        bucket.push(v);
+        p.bytes += cap * 4;
+        p.stats.recycled += 1;
+    })
+    .ok();
+}
+
+/// Drop all pooled buffers on this thread (the enable depth is kept).
+pub fn reset() {
+    POOL.try_with(|p| {
+        let mut p = p.borrow_mut();
+        p.free.clear();
+        p.bytes = 0;
+    })
+    .ok();
+}
+
+/// Snapshot of this thread's pool counters.
+pub fn stats() -> ArenaStats {
+    POOL.try_with(|p| p.borrow().stats).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_pool_is_pass_through() {
+        let before = stats();
+        let v = zeroed(16);
+        recycle(v);
+        let after = stats();
+        assert_eq!(after.hits, before.hits);
+        assert_eq!(after.recycled, before.recycled);
+    }
+
+    #[test]
+    fn enabled_pool_reuses_exact_capacity() {
+        let _scope = enable();
+        let v = zeroed(32);
+        let cap = v.capacity();
+        let ptr = v.as_ptr() as usize;
+        recycle(v);
+        let v2 = take(32);
+        assert_eq!(v2.capacity(), cap);
+        assert_eq!(v2.as_ptr() as usize, ptr, "expected pooled buffer back");
+        assert!(v2.is_empty());
+        let z = zeroed(32);
+        assert!(z.iter().all(|&x| x.to_bits() == 0));
+    }
+
+    #[test]
+    fn nested_scopes_keep_pool_until_outermost_drop() {
+        let outer = enable();
+        {
+            let _inner = enable();
+            recycle(zeroed(8));
+        }
+        assert!(is_enabled());
+        let hits_before = stats().hits;
+        let _ = take(8);
+        assert_eq!(stats().hits, hits_before + 1, "inner-scope buffer survived");
+        drop(outer);
+        assert!(!is_enabled());
+    }
+}

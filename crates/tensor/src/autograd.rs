@@ -8,6 +8,8 @@
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 
+use crate::arena;
+use crate::simd;
 use crate::tensor::Tensor;
 
 thread_local! {
@@ -83,8 +85,10 @@ pub(crate) fn run_backward(root: &Tensor, seed: &[f32]) {
         }
     }
     // `order` is post-order: leaves first, root last → walk reversed.
+    // Flowing gradient buffers come from (and return to) the thread-local
+    // arena, so steady-state backward sweeps allocate nothing.
     let mut grads: HashMap<u64, Vec<f32>> = HashMap::new();
-    grads.insert(root.inner.id, seed.to_vec());
+    grads.insert(root.inner.id, arena::copy_of(seed));
     for node in order.iter().rev() {
         let Some(gout) = grads.remove(&node.inner.id) else {
             continue;
@@ -92,27 +96,29 @@ pub(crate) fn run_backward(root: &Tensor, seed: &[f32]) {
         if node.inner.is_variable {
             node.accumulate_grad(&gout);
         }
-        let Some(graph) = node.graph() else {
-            continue;
-        };
-        let parent_grads = (graph.backward)(node, &gout);
-        debug_assert_eq!(parent_grads.len(), graph.parents.len());
-        for (p, pg) in graph.parents.iter().zip(parent_grads) {
-            let (true, Some(pg)) = (p.is_tracked(), pg) else {
-                continue;
-            };
-            debug_assert_eq!(pg.len(), p.numel(), "parent grad length mismatch");
-            match grads.get_mut(&p.inner.id) {
-                Some(acc) => {
-                    for (a, g) in acc.iter_mut().zip(&pg) {
-                        *a += g;
+        if let Some(graph) = node.graph() {
+            let parent_grads = (graph.backward)(node, &gout);
+            debug_assert_eq!(parent_grads.len(), graph.parents.len());
+            for (p, pg) in graph.parents.iter().zip(parent_grads) {
+                let (true, Some(pg)) = (p.is_tracked(), pg) else {
+                    continue;
+                };
+                debug_assert_eq!(pg.len(), p.numel(), "parent grad length mismatch");
+                match grads.get_mut(&p.inner.id) {
+                    Some(acc) => {
+                        simd::add_assign(acc, &pg);
+                        arena::recycle(pg);
                     }
-                }
-                None => {
-                    grads.insert(p.inner.id, pg);
+                    None => {
+                        grads.insert(p.inner.id, pg);
+                    }
                 }
             }
         }
+        arena::recycle(gout);
+    }
+    for (_, g) in grads.drain() {
+        arena::recycle(g);
     }
 }
 

@@ -35,12 +35,15 @@
 
 mod autograd;
 mod grad_check;
+mod hotcell;
 mod init;
 mod tensor;
 
+pub mod arena;
 pub mod lockorder;
 pub mod ops;
 pub mod shape;
+pub mod simd;
 
 pub use autograd::{is_grad_enabled, no_grad, push_no_grad, NoGradGuard};
 pub use grad_check::{check_gradients, numeric_gradient};

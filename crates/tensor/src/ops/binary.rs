@@ -1,18 +1,19 @@
 //! Broadcasting element-wise binary operations and scalar variants.
 
+use crate::arena;
 use crate::shape::{broadcast_shapes, broadcast_strides, numel, reduce_grad_to_shape, strides};
 use crate::tensor::{read_pair, Tensor};
 
 /// Materialize `data` (of `shape`) broadcast to `target`.
 pub(crate) fn expand_to(data: &[f32], shape: &[usize], target: &[usize]) -> Vec<f32> {
     if shape == target {
-        return data.to_vec();
+        return arena::copy_of(data);
     }
     let bstr = broadcast_strides(shape, target);
     let tstr = strides(target);
     let n = numel(target);
     let nd = target.len();
-    let mut out = Vec::with_capacity(n);
+    let mut out = arena::take(n);
     for i in 0..n {
         let mut rem = i;
         let mut off = 0usize;
@@ -38,12 +39,14 @@ fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> (Vec<f3
     });
     let (ad, bd) = read_pair(a, b);
     if a.shape() == b.shape() {
-        let out = ad.iter().zip(bd.iter()).map(|(&x, &y)| f(x, y)).collect();
+        let out = arena::map_collect(ad.len(), ad.iter().zip(bd.iter()).map(|(&x, &y)| f(x, y)));
         return (out, out_shape);
     }
     let ax = expand_to(&ad, a.shape(), &out_shape);
     let bx = expand_to(&bd, b.shape(), &out_shape);
-    let out = ax.iter().zip(&bx).map(|(&x, &y)| f(x, y)).collect();
+    let out = arena::map_collect(ax.len(), ax.iter().zip(&bx).map(|(&x, &y)| f(x, y)));
+    arena::recycle(ax);
+    arena::recycle(bx);
     (out, out_shape)
 }
 
@@ -78,11 +81,10 @@ impl Tensor {
             Box::new(move |node, gout| {
                 let a = &node.op_parents()[0];
                 let b = &node.op_parents()[1];
-                let neg: Vec<f32> = gout.iter().map(|g| -g).collect();
-                vec![
-                    Some(reduce_grad_to_shape(gout, &os, a.shape())),
-                    Some(reduce_grad_to_shape(&neg, &os, b.shape())),
-                ]
+                let neg = arena::map_collect(gout.len(), gout.iter().map(|g| -g));
+                let gb = reduce_grad_to_shape(&neg, &os, b.shape());
+                arena::recycle(neg);
+                vec![Some(reduce_grad_to_shape(gout, &os, a.shape())), Some(gb)]
             }),
         )
     }
@@ -100,12 +102,14 @@ impl Tensor {
                 let b = &node.op_parents()[1];
                 let ax = expand_to(&a.data(), a.shape(), &os);
                 let bx = expand_to(&b.data(), b.shape(), &os);
-                let ga: Vec<f32> = gout.iter().zip(&bx).map(|(g, y)| g * y).collect();
-                let gb: Vec<f32> = gout.iter().zip(&ax).map(|(g, x)| g * x).collect();
-                vec![
-                    Some(reduce_grad_to_shape(&ga, &os, a.shape())),
-                    Some(reduce_grad_to_shape(&gb, &os, b.shape())),
-                ]
+                let ga = arena::map_collect(gout.len(), gout.iter().zip(&bx).map(|(g, y)| g * y));
+                let gb = arena::map_collect(gout.len(), gout.iter().zip(&ax).map(|(g, x)| g * x));
+                let gra = reduce_grad_to_shape(&ga, &os, a.shape());
+                let grb = reduce_grad_to_shape(&gb, &os, b.shape());
+                for v in [ax, bx, ga, gb] {
+                    arena::recycle(v);
+                }
+                vec![Some(gra), Some(grb)]
             }),
         )
     }
@@ -123,16 +127,19 @@ impl Tensor {
                 let b = &node.op_parents()[1];
                 let ax = expand_to(&a.data(), a.shape(), &os);
                 let bx = expand_to(&b.data(), b.shape(), &os);
-                let ga: Vec<f32> = gout.iter().zip(&bx).map(|(g, y)| g / y).collect();
-                let gb: Vec<f32> = gout
-                    .iter()
-                    .zip(ax.iter().zip(&bx))
-                    .map(|(g, (x, y))| -g * x / (y * y))
-                    .collect();
-                vec![
-                    Some(reduce_grad_to_shape(&ga, &os, a.shape())),
-                    Some(reduce_grad_to_shape(&gb, &os, b.shape())),
-                ]
+                let ga = arena::map_collect(gout.len(), gout.iter().zip(&bx).map(|(g, y)| g / y));
+                let gb = arena::map_collect(
+                    gout.len(),
+                    gout.iter()
+                        .zip(ax.iter().zip(&bx))
+                        .map(|(g, (x, y))| -g * x / (y * y)),
+                );
+                let gra = reduce_grad_to_shape(&ga, &os, a.shape());
+                let grb = reduce_grad_to_shape(&gb, &os, b.shape());
+                for v in [ax, bx, ga, gb] {
+                    arena::recycle(v);
+                }
+                vec![Some(gra), Some(grb)]
             }),
         )
     }
@@ -204,23 +211,32 @@ impl Tensor {
 
     /// `self + s` element-wise.
     pub fn add_scalar(&self, s: f32) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|x| x + s).collect();
+        let d = self.data();
+        let out = arena::map_collect(d.len(), d.iter().map(|x| x + s));
+        drop(d);
         Tensor::from_op(
             out,
             self.shape(),
             vec![self.clone()],
-            Box::new(|_, gout| vec![Some(gout.to_vec())]),
+            Box::new(|_, gout| vec![Some(arena::copy_of(gout))]),
         )
     }
 
     /// `self * s` element-wise.
     pub fn mul_scalar(&self, s: f32) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|x| x * s).collect();
+        let d = self.data();
+        let out = arena::map_collect(d.len(), d.iter().map(|x| x * s));
+        drop(d);
         Tensor::from_op(
             out,
             self.shape(),
             vec![self.clone()],
-            Box::new(move |_, gout| vec![Some(gout.iter().map(|g| g * s).collect())]),
+            Box::new(move |_, gout| {
+                vec![Some(arena::map_collect(
+                    gout.len(),
+                    gout.iter().map(|g| g * s),
+                ))]
+            }),
         )
     }
 
@@ -231,12 +247,19 @@ impl Tensor {
 
     /// `self * a + b` element-wise (fused affine).
     pub fn affine(&self, a: f32, b: f32) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|x| x * a + b).collect();
+        let d = self.data();
+        let out = arena::map_collect(d.len(), d.iter().map(|x| x * a + b));
+        drop(d);
         Tensor::from_op(
             out,
             self.shape(),
             vec![self.clone()],
-            Box::new(move |_, gout| vec![Some(gout.iter().map(|g| g * a).collect())]),
+            Box::new(move |_, gout| {
+                vec![Some(arena::map_collect(
+                    gout.len(),
+                    gout.iter().map(|g| g * a),
+                ))]
+            }),
         )
     }
 }

@@ -21,7 +21,9 @@
 
 use rayon::prelude::*;
 
+use crate::arena;
 use crate::ops::matmul::{mm_acc, transpose2d};
+use crate::simd;
 use crate::tensor::{read_pair, Tensor};
 
 /// Hyper-parameters of a 1-D convolution.
@@ -183,12 +185,7 @@ fn col2im1d(
             }
             if spec.stride == 1 {
                 let dst = o_min + tap - spec.padding;
-                for (gv, rv) in gxr[dst..dst + (o_max - o_min)]
-                    .iter_mut()
-                    .zip(&row[o_min..o_max])
-                {
-                    *gv += rv;
-                }
+                simd::add_assign(&mut gxr[dst..dst + (o_max - o_min)], &row[o_min..o_max]);
             } else {
                 for (o, rv) in row[o_min..o_max].iter().enumerate() {
                     gxr[(o_min + o) * spec.stride + tap - spec.padding] += rv;
@@ -297,9 +294,7 @@ fn col2im2d(
                     let src = &row[oy * wo + ox_min..oy * wo + ox_max];
                     if spec.stride == 1 {
                         let dst = ox_min + kx - spec.padding;
-                        for (gv, rv) in grow[dst..dst + src.len()].iter_mut().zip(src) {
-                            *gv += rv;
-                        }
+                        simd::add_assign(&mut grow[dst..dst + src.len()], src);
                     } else {
                         for (ox, rv) in src.iter().enumerate() {
                             grow[(ox_min + ox) * spec.stride + kx - spec.padding] += rv;
@@ -332,7 +327,7 @@ fn conv1d_forward_direct(
     spec: Conv1dSpec,
 ) -> Vec<f32> {
     let (cin, l, cout, k, lo) = (d.cin, d.l, d.cout, d.k, d.lo);
-    let mut out = vec![0f32; d.b * cout * lo];
+    let mut out = arena::zeroed(d.b * cout * lo);
     out.par_chunks_mut(cout * lo)
         .enumerate()
         .for_each(|(bi, ochunk)| {
@@ -370,7 +365,7 @@ fn conv1d_forward_im2col(
     spec: Conv1dSpec,
 ) -> Vec<f32> {
     let (cin, l, cout, k, lo) = (d.cin, d.l, d.cout, d.k, d.lo);
-    let mut out = vec![0f32; d.b * cout * lo];
+    let mut out = arena::zeroed(d.b * cout * lo);
     out.par_chunks_mut(cout * lo)
         .enumerate()
         .for_each(|(bi, ochunk)| {
@@ -381,7 +376,7 @@ fn conv1d_forward_im2col(
                         .for_each(|v| *v = bv[co]);
                 }
             }
-            let mut col = vec![0f32; cin * k * lo];
+            let mut col = arena::zeroed(cin * k * lo);
             im2col1d(
                 &x[bi * cin * l..(bi + 1) * cin * l],
                 &mut col,
@@ -393,6 +388,7 @@ fn conv1d_forward_im2col(
             );
             // W viewed as [C_out, C_in·K] is already contiguous row-major.
             mm_acc(ochunk, w, &col, cout, cin * k, lo);
+            arena::recycle(col);
         });
     out
 }
@@ -482,12 +478,13 @@ fn conv1d_backward_im2col(
         .enumerate()
         .for_each(|(bi, gxb)| {
             let gob = &gout[bi * cout * lo..(bi + 1) * cout * lo];
-            let mut gcol = vec![0f32; cin * k * lo];
+            let mut gcol = arena::zeroed(cin * k * lo);
             mm_acc(&mut gcol, &wt, gob, cin * k, cout, lo);
             col2im1d(&gcol, gxb, cin, l, k, lo, spec);
+            arena::recycle(gcol);
         });
     // grad weight: gw += gout_b [C_out, L_out] · col_b^T [L_out, C_in·K].
-    let mut col = vec![0f32; cin * k * lo];
+    let mut col = arena::zeroed(cin * k * lo);
     for bi in 0..b {
         let gob = &gout[bi * cout * lo..(bi + 1) * cout * lo];
         for co in 0..cout {
@@ -505,7 +502,10 @@ fn conv1d_backward_im2col(
         );
         let colt = transpose2d(&col, cin * k, lo);
         mm_acc(gw, gob, &colt, cout, lo, cin * k);
+        arena::recycle(colt);
     }
+    arena::recycle(col);
+    arena::recycle(wt);
 }
 
 struct Conv2dDims {
@@ -528,7 +528,7 @@ fn conv2d_forward_direct(
     spec: Conv2dSpec,
 ) -> Vec<f32> {
     let (cin, h, w_, cout, kh, kw, ho, wo) = (d.cin, d.h, d.w, d.cout, d.kh, d.kw, d.ho, d.wo);
-    let mut out = vec![0f32; d.b * cout * ho * wo];
+    let mut out = arena::zeroed(d.b * cout * ho * wo);
     out.par_chunks_mut(cout * ho * wo)
         .enumerate()
         .for_each(|(bi, ochunk)| {
@@ -576,7 +576,7 @@ fn conv2d_forward_im2col(
 ) -> Vec<f32> {
     let (cin, h, w_, cout, kh, kw, ho, wo) = (d.cin, d.h, d.w, d.cout, d.kh, d.kw, d.ho, d.wo);
     let cols = ho * wo;
-    let mut out = vec![0f32; d.b * cout * cols];
+    let mut out = arena::zeroed(d.b * cout * cols);
     out.par_chunks_mut(cout * cols)
         .enumerate()
         .for_each(|(bi, ochunk)| {
@@ -587,7 +587,7 @@ fn conv2d_forward_im2col(
                         .for_each(|v| *v = bv[co]);
                 }
             }
-            let mut col = vec![0f32; cin * kh * kw * cols];
+            let mut col = arena::zeroed(cin * kh * kw * cols);
             im2col2d(
                 &x[bi * cin * h * w_..(bi + 1) * cin * h * w_],
                 &mut col,
@@ -601,6 +601,7 @@ fn conv2d_forward_im2col(
                 spec,
             );
             mm_acc(ochunk, w, &col, cout, cin * kh * kw, cols);
+            arena::recycle(col);
         });
     out
 }
@@ -709,11 +710,12 @@ fn conv2d_backward_im2col(
         .enumerate()
         .for_each(|(bi, gxb)| {
             let gob = &gout[bi * cout * cols..(bi + 1) * cout * cols];
-            let mut gcol = vec![0f32; rows * cols];
+            let mut gcol = arena::zeroed(rows * cols);
             mm_acc(&mut gcol, &wt, gob, rows, cout, cols);
             col2im2d(&gcol, gxb, cin, h, w_, kh, kw, ho, wo, spec);
+            arena::recycle(gcol);
         });
-    let mut col = vec![0f32; rows * cols];
+    let mut col = arena::zeroed(rows * cols);
     for bi in 0..b {
         let gob = &gout[bi * cout * cols..(bi + 1) * cout * cols];
         for co in 0..cout {
@@ -734,7 +736,10 @@ fn conv2d_backward_im2col(
         );
         let colt = transpose2d(&col, rows, cols);
         mm_acc(gw, gob, &colt, cout, cols, rows);
+        arena::recycle(colt);
     }
+    arena::recycle(col);
+    arena::recycle(wt);
 }
 
 // ---------------------------------------------------------------------------
@@ -831,9 +836,9 @@ impl Tensor {
             parents,
             Box::new(move |node, gout| {
                 let (x_ref, w_ref) = read_pair(&node.op_parents()[0], &node.op_parents()[1]);
-                let mut gx = vec![0f32; b * cin * l];
-                let mut gw = vec![0f32; cout * cin * k];
-                let mut gb = vec![0f32; cout];
+                let mut gx = arena::zeroed(b * cin * l);
+                let mut gw = arena::zeroed(cout * cin * k);
+                let mut gb = arena::zeroed(cout);
                 let backward = if im2col {
                     conv1d_backward_im2col
                 } else {
@@ -953,9 +958,9 @@ impl Tensor {
             parents,
             Box::new(move |node, gout| {
                 let (x_ref, w_ref) = read_pair(&node.op_parents()[0], &node.op_parents()[1]);
-                let mut gx = vec![0f32; b * cin * h * w_];
-                let mut gw = vec![0f32; cout * cin * kh * kw];
-                let mut gb = vec![0f32; cout];
+                let mut gx = arena::zeroed(b * cin * h * w_);
+                let mut gw = arena::zeroed(cout * cin * kh * kw);
+                let mut gb = arena::zeroed(cout);
                 let backward = if im2col {
                     conv2d_backward_im2col
                 } else {

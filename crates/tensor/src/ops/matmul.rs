@@ -2,9 +2,13 @@
 
 use rayon::prelude::*;
 
+use crate::arena;
+use crate::simd;
 use crate::tensor::{read_pair, Tensor};
 
-/// `c += a (m×k) · b (k×n)` — cache-friendly ikj kernel.
+/// `c += a (m×k) · b (k×n)` — cache-friendly ikj kernel. The inner axpy
+/// runs at the dispatched SIMD level (bit-identical to scalar — see
+/// `crate::simd`).
 pub(crate) fn mm_acc(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
@@ -18,16 +22,14 @@ pub(crate) fn mm_acc(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n:
                 continue;
             }
             let brow = &b[p * n..(p + 1) * n];
-            for (cv, bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
-            }
+            simd::axpy(crow, av, brow);
         }
     }
 }
 
 /// `a (m×k) · b (k×n)` with rows parallelized when large.
 pub(crate) fn mm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    let mut c = vec![0f32; m * n];
+    let mut c = arena::zeroed(m * n);
     if m * n * k >= 1 << 16 && m > 1 {
         c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
             for p in 0..k {
@@ -37,9 +39,7 @@ pub(crate) fn mm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32>
                     continue;
                 }
                 let brow = &b[p * n..(p + 1) * n];
-                for (cv, bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
-                }
+                simd::axpy(crow, av, brow);
             }
         });
     } else {
@@ -48,9 +48,9 @@ pub(crate) fn mm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32>
     c
 }
 
-/// Transpose an `r×c` row-major matrix.
+/// Transpose an `r×c` row-major matrix (arena-backed scratch).
 pub(crate) fn transpose2d(x: &[f32], r: usize, c: usize) -> Vec<f32> {
-    let mut out = vec![0f32; r * c];
+    let mut out = arena::zeroed(r * c);
     for i in 0..r {
         for j in 0..c {
             out[j * r + i] = x[i * c + j];
@@ -98,6 +98,8 @@ impl Tensor {
                 let at = transpose2d(&a, m, k);
                 let ga = mm(gout, &bt, m, n, k);
                 let gb = mm(&at, gout, k, m, n);
+                arena::recycle(bt);
+                arena::recycle(at);
                 vec![Some(ga), Some(gb)]
             }),
         )
@@ -110,7 +112,7 @@ impl Tensor {
         assert_eq!(k, k2, "matmul inner dims differ");
         let (ad_ref, bd_ref) = read_pair(self, other);
         let (ad, bd): (&[f32], &[f32]) = (&ad_ref, &bd_ref);
-        let mut out = vec![0f32; bsz * m * n];
+        let mut out = arena::zeroed(bsz * m * n);
         out.par_chunks_mut(m * n)
             .enumerate()
             .for_each(|(bi, chunk)| {
@@ -130,8 +132,8 @@ impl Tensor {
             vec![self.clone(), other.clone()],
             Box::new(move |node, gout| {
                 let (a, b) = read_pair(&node.op_parents()[0], &node.op_parents()[1]);
-                let mut ga = vec![0f32; bsz * m * k];
-                let mut gb = vec![0f32; bsz * k * n];
+                let mut ga = arena::zeroed(bsz * m * k);
+                let mut gb = arena::zeroed(bsz * k * n);
                 for bi in 0..bsz {
                     let go = &gout[bi * m * n..(bi + 1) * m * n];
                     let ab = &a[bi * m * k..(bi + 1) * m * k];
@@ -140,6 +142,8 @@ impl Tensor {
                     let at = transpose2d(ab, m, k);
                     mm_acc(&mut ga[bi * m * k..(bi + 1) * m * k], go, &bt, m, n, k);
                     mm_acc(&mut gb[bi * k * n..(bi + 1) * k * n], &at, go, k, m, n);
+                    arena::recycle(bt);
+                    arena::recycle(at);
                 }
                 vec![Some(ga), Some(gb)]
             }),
@@ -164,6 +168,8 @@ impl Tensor {
                 let ga = mm(gout, &bt, bsz * m, n, k);
                 let at = transpose2d(&a, bsz * m, k);
                 let gb = mm(&at, gout, k, bsz * m, n);
+                arena::recycle(bt);
+                arena::recycle(at);
                 vec![Some(ga), Some(gb)]
             }),
         )

@@ -1,5 +1,6 @@
 //! Element-wise unary operations and activations.
 
+use crate::arena;
 use crate::tensor::Tensor;
 
 /// Build a unary op given forward `f` and derivative-from-input `df`.
@@ -8,19 +9,19 @@ fn unary(
     f: impl Fn(f32) -> f32,
     df: impl Fn(f32) -> f32 + Send + Sync + 'static,
 ) -> Tensor {
-    let out: Vec<f32> = t.data().iter().map(|&x| f(x)).collect();
+    let d = t.data();
+    let out = arena::map_collect(d.len(), d.iter().map(|&x| f(x)));
+    drop(d);
     Tensor::from_op(
         out,
         t.shape(),
         vec![t.clone()],
         Box::new(move |node, gout| {
             let x = node.op_parents()[0].data();
-            vec![Some(
-                gout.iter()
-                    .zip(x.iter())
-                    .map(|(g, &xi)| g * df(xi))
-                    .collect(),
-            )]
+            vec![Some(arena::map_collect(
+                gout.len(),
+                gout.iter().zip(x.iter()).map(|(g, &xi)| g * df(xi)),
+            ))]
         }),
     )
 }
@@ -33,7 +34,9 @@ impl Tensor {
 
     /// Element-wise exponential.
     pub fn exp(&self) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|x| x.exp()).collect();
+        let d = self.data();
+        let out = arena::map_collect(d.len(), d.iter().map(|x| x.exp()));
+        drop(d);
         // d/dx exp(x) = exp(x) = output, so reuse the node's own data.
         Tensor::from_op(
             out,
@@ -41,9 +44,10 @@ impl Tensor {
             vec![self.clone()],
             Box::new(|node, gout| {
                 let y = node.data();
-                vec![Some(
-                    gout.iter().zip(y.iter()).map(|(g, yi)| g * yi).collect(),
-                )]
+                vec![Some(arena::map_collect(
+                    gout.len(),
+                    gout.iter().zip(y.iter()).map(|(g, yi)| g * yi),
+                ))]
             }),
         )
     }
@@ -55,19 +59,21 @@ impl Tensor {
 
     /// Element-wise square root.
     pub fn sqrt(&self) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|x| x.sqrt()).collect();
+        let d = self.data();
+        let out = arena::map_collect(d.len(), d.iter().map(|x| x.sqrt()));
+        drop(d);
         Tensor::from_op(
             out,
             self.shape(),
             vec![self.clone()],
             Box::new(|node, gout| {
                 let y = node.data();
-                vec![Some(
+                vec![Some(arena::map_collect(
+                    gout.len(),
                     gout.iter()
                         .zip(y.iter())
-                        .map(|(g, yi)| g * 0.5 / yi.max(1e-12))
-                        .collect(),
-                )]
+                        .map(|(g, yi)| g * 0.5 / yi.max(1e-12)),
+                ))]
             }),
         )
     }
@@ -127,42 +133,38 @@ impl Tensor {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
-        let out: Vec<f32> = self
-            .data()
-            .iter()
-            .map(|x| 1.0 / (1.0 + (-x).exp()))
-            .collect();
+        let d = self.data();
+        let out = arena::map_collect(d.len(), d.iter().map(|x| 1.0 / (1.0 + (-x).exp())));
+        drop(d);
         Tensor::from_op(
             out,
             self.shape(),
             vec![self.clone()],
             Box::new(|node, gout| {
                 let y = node.data();
-                vec![Some(
-                    gout.iter()
-                        .zip(y.iter())
-                        .map(|(g, yi)| g * yi * (1.0 - yi))
-                        .collect(),
-                )]
+                vec![Some(arena::map_collect(
+                    gout.len(),
+                    gout.iter().zip(y.iter()).map(|(g, yi)| g * yi * (1.0 - yi)),
+                ))]
             }),
         )
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|x| x.tanh()).collect();
+        let d = self.data();
+        let out = arena::map_collect(d.len(), d.iter().map(|x| x.tanh()));
+        drop(d);
         Tensor::from_op(
             out,
             self.shape(),
             vec![self.clone()],
             Box::new(|node, gout| {
                 let y = node.data();
-                vec![Some(
-                    gout.iter()
-                        .zip(y.iter())
-                        .map(|(g, yi)| g * (1.0 - yi * yi))
-                        .collect(),
-                )]
+                vec![Some(arena::map_collect(
+                    gout.len(),
+                    gout.iter().zip(y.iter()).map(|(g, yi)| g * (1.0 - yi * yi)),
+                ))]
             }),
         )
     }

@@ -1,0 +1,327 @@
+//! Runtime-dispatched SIMD kernels for the hot inner loops.
+//!
+//! ## Bit-exactness contract
+//!
+//! Every vector path here is **bit-identical** to the scalar path it
+//! replaces, for every input (including non-finite values): the vector
+//! bodies use separate multiply and add instructions — never FMA — so each
+//! element sees exactly the scalar operation sequence `round(round(s*b) + c)`
+//! and the per-element order of operations is unchanged. This is what lets
+//! the serial training trajectory stay bit-identical across machines with
+//! different SIMD capabilities, and what the proptest oracle suite in
+//! `tests/simd_oracle.rs` asserts (bitwise, not within-tolerance).
+//!
+//! ## Dispatch policy
+//!
+//! The widest supported level is detected once per process
+//! (`is_x86_feature_detected!`) and cached; on non-x86_64 targets the
+//! scalar path is the only level. Tests and benches can pin a narrower
+//! level per thread with [`force_level`] to compare paths against each
+//! other on the same machine.
+
+#[cfg(target_arch = "x86_64")]
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Instruction-set level a kernel may run at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Plain Rust loops — the oracle all other paths must match bitwise.
+    Scalar,
+    /// 4-lane `__m128` paths (baseline on x86_64).
+    Sse2,
+    /// 8-lane `__m256` paths.
+    Avx2,
+}
+
+#[cfg(target_arch = "x86_64")]
+static DETECTED: AtomicU8 = AtomicU8::new(0); // 0 = not yet probed
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> Level {
+    match DETECTED.load(Ordering::Relaxed) {
+        2 => Level::Sse2,
+        3 => Level::Avx2,
+        _ => {
+            let l = if std::arch::is_x86_feature_detected!("avx2") {
+                Level::Avx2
+            } else {
+                // SSE2 is part of the x86_64 baseline.
+                Level::Sse2
+            };
+            DETECTED.store(if l == Level::Avx2 { 3 } else { 2 }, Ordering::Relaxed);
+            l
+        }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> Level {
+    Level::Scalar
+}
+
+thread_local! {
+    static FORCED: std::cell::Cell<Option<Level>> = const { std::cell::Cell::new(None) };
+}
+
+/// Pin the dispatch level for the current thread (`None` restores runtime
+/// detection). Forcing a level the CPU does not support is a programming
+/// error; [`active_level`] clamps to the detected maximum instead of
+/// executing illegal instructions.
+#[doc(hidden)]
+pub fn force_level(level: Option<Level>) {
+    FORCED.with(|f| f.set(level));
+}
+
+/// The level kernels will actually run at on this thread.
+pub fn active_level() -> Level {
+    let max = detect();
+    match FORCED.with(|f| f.get()) {
+        Some(l) if rank(l) <= rank(max) => l,
+        Some(_) => max,
+        None => max,
+    }
+}
+
+fn rank(l: Level) -> u8 {
+    match l {
+        Level::Scalar => 0,
+        Level::Sse2 => 1,
+        Level::Avx2 => 2,
+    }
+}
+
+// ----- axpy: c[j] += s * b[j] -------------------------------------------
+
+/// `c[j] += s * b[j]` — the inner loop of the ikj matmul kernel and the
+/// stride-1 col2im accumulate.
+#[inline]
+pub fn axpy(c: &mut [f32], s: f32, b: &[f32]) {
+    debug_assert_eq!(c.len(), b.len());
+    match active_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: active_level() only reports levels the CPU supports.
+        Level::Avx2 => unsafe { axpy_avx2(c, s, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        Level::Sse2 => unsafe { axpy_sse2(c, s, b) },
+        _ => axpy_scalar(c, s, b),
+    }
+}
+
+/// Scalar oracle for [`axpy`].
+pub fn axpy_scalar(c: &mut [f32], s: f32, b: &[f32]) {
+    for (cv, bv) in c.iter_mut().zip(b) {
+        *cv += s * bv;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(c: &mut [f32], s: f32, b: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = c.len().min(b.len());
+    let vs = _mm256_set1_ps(s);
+    let cp = c.as_mut_ptr();
+    let bp = b.as_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        // mul then add (no FMA) so each lane rounds exactly like the scalar
+        // `*cv += s * bv`.
+        let prod = _mm256_mul_ps(vs, _mm256_loadu_ps(bp.add(i)));
+        let sum = _mm256_add_ps(_mm256_loadu_ps(cp.add(i)), prod);
+        _mm256_storeu_ps(cp.add(i), sum);
+        i += 8;
+    }
+    axpy_scalar(&mut c[i..n], s, &b[i..n]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn axpy_sse2(c: &mut [f32], s: f32, b: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = c.len().min(b.len());
+    let vs = _mm_set1_ps(s);
+    let cp = c.as_mut_ptr();
+    let bp = b.as_ptr();
+    let mut i = 0;
+    while i + 4 <= n {
+        let prod = _mm_mul_ps(vs, _mm_loadu_ps(bp.add(i)));
+        let sum = _mm_add_ps(_mm_loadu_ps(cp.add(i)), prod);
+        _mm_storeu_ps(cp.add(i), sum);
+        i += 4;
+    }
+    axpy_scalar(&mut c[i..n], s, &b[i..n]);
+}
+
+// ----- add_assign: a[j] += b[j] -----------------------------------------
+
+/// `a[j] += b[j]` — gradient accumulation in the autograd sweep and the
+/// all-reduce fold.
+#[inline]
+pub fn add_assign(a: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    match active_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: active_level() only reports levels the CPU supports.
+        Level::Avx2 => unsafe { add_assign_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        Level::Sse2 => unsafe { add_assign_sse2(a, b) },
+        _ => add_assign_scalar(a, b),
+    }
+}
+
+/// Scalar oracle for [`add_assign`].
+pub fn add_assign_scalar(a: &mut [f32], b: &[f32]) {
+    for (av, bv) in a.iter_mut().zip(b) {
+        *av += bv;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_assign_avx2(a: &mut [f32], b: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = a.len().min(b.len());
+    let ap = a.as_mut_ptr();
+    let bp = b.as_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let sum = _mm256_add_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+        _mm256_storeu_ps(ap.add(i), sum);
+        i += 8;
+    }
+    add_assign_scalar(&mut a[i..n], &b[i..n]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn add_assign_sse2(a: &mut [f32], b: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = a.len().min(b.len());
+    let ap = a.as_mut_ptr();
+    let bp = b.as_ptr();
+    let mut i = 0;
+    while i + 4 <= n {
+        let sum = _mm_add_ps(_mm_loadu_ps(ap.add(i)), _mm_loadu_ps(bp.add(i)));
+        _mm_storeu_ps(ap.add(i), sum);
+        i += 4;
+    }
+    add_assign_scalar(&mut a[i..n], &b[i..n]);
+}
+
+// ----- scale_assign: a[j] *= s ------------------------------------------
+
+/// `a[j] *= s` — the mean step of all-reduce and loss scaling.
+#[inline]
+pub fn scale_assign(a: &mut [f32], s: f32) {
+    match active_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: active_level() only reports levels the CPU supports.
+        Level::Avx2 => unsafe { scale_assign_avx2(a, s) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        Level::Sse2 => unsafe { scale_assign_sse2(a, s) },
+        _ => scale_assign_scalar(a, s),
+    }
+}
+
+/// Scalar oracle for [`scale_assign`].
+pub fn scale_assign_scalar(a: &mut [f32], s: f32) {
+    for av in a.iter_mut() {
+        *av *= s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn scale_assign_avx2(a: &mut [f32], s: f32) {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let vs = _mm256_set1_ps(s);
+    let ap = a.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let prod = _mm256_mul_ps(_mm256_loadu_ps(ap.add(i)), vs);
+        _mm256_storeu_ps(ap.add(i), prod);
+        i += 8;
+    }
+    scale_assign_scalar(&mut a[i..n], s);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn scale_assign_sse2(a: &mut [f32], s: f32) {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let vs = _mm_set1_ps(s);
+    let ap = a.as_mut_ptr();
+    let mut i = 0;
+    while i + 4 <= n {
+        let prod = _mm_mul_ps(_mm_loadu_ps(ap.add(i)), vs);
+        _mm_storeu_ps(ap.add(i), prod);
+        i += 4;
+    }
+    scale_assign_scalar(&mut a[i..n], s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn levels() -> Vec<Level> {
+        let max = active_level();
+        [Level::Scalar, Level::Sse2, Level::Avx2]
+            .into_iter()
+            .filter(|l| rank(*l) <= rank(max))
+            .collect()
+    }
+
+    #[test]
+    fn axpy_all_levels_bitwise_equal_with_tail() {
+        for n in [0usize, 1, 3, 4, 7, 8, 9, 15, 16, 17, 31, 33, 100] {
+            let b: Vec<f32> = (0..n).map(|i| (i as f32) * 0.37 - 3.1).collect();
+            let base: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+            let mut want = base.clone();
+            axpy_scalar(&mut want, 1.7, &b);
+            for l in levels() {
+                force_level(Some(l));
+                let mut got = base.clone();
+                axpy(&mut got, 1.7, &b);
+                force_level(None);
+                let wb: Vec<u32> = want.iter().map(|x| x.to_bits()).collect();
+                let gb: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(gb, wb, "axpy level {l:?} diverged at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_level_is_clamped_to_detected_max() {
+        force_level(Some(Level::Avx2));
+        let got = active_level();
+        force_level(None);
+        assert!(rank(got) <= rank(detect()));
+    }
+
+    #[test]
+    fn scale_and_add_match_scalar() {
+        let n = 37;
+        let b: Vec<f32> = (0..n).map(|i| (i as f32) * -0.11).collect();
+        for l in levels() {
+            let mut a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let mut want = a.clone();
+            add_assign_scalar(&mut want, &b);
+            scale_assign_scalar(&mut want, 0.25);
+            force_level(Some(l));
+            add_assign(&mut a, &b);
+            scale_assign(&mut a, 0.25);
+            force_level(None);
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "level {l:?}"
+            );
+        }
+    }
+}

@@ -12,9 +12,12 @@ use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use crate::arena;
 use crate::autograd;
+use crate::hotcell::{HotCell, HotReadGuard};
 use crate::lockorder;
 use crate::shape::{self, Shape};
+use crate::simd;
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -51,9 +54,25 @@ pub(crate) struct GraphNode {
     pub(crate) backward: BackwardFn,
 }
 
+/// Where a tensor's buffer lives.
+///
+/// The split is the core of the lock-free hot path: *variables* (master
+/// and replica parameters, mutated by optimizers and `load_flat`, read
+/// concurrently at the all-reduce boundary) keep the `RwLock` and stay
+/// registered with the debug lock-order checker; everything else —
+/// constants, op outputs, activations — is produced once on one thread
+/// and read without any synchronization.
+pub(crate) enum Storage {
+    /// `RwLock`-guarded buffer; the only storage the lock-order checker
+    /// still tracks. Used for `requires_grad` variables.
+    Shared(RwLock<Vec<f32>>),
+    /// Unsynchronized buffer with a debug-build aliasing checker.
+    Hot(HotCell),
+}
+
 pub(crate) struct Inner {
     pub(crate) id: u64,
-    pub(crate) data: RwLock<Vec<f32>>,
+    pub(crate) data: Storage,
     pub(crate) shape: Shape,
     /// Accumulated gradient; only retained on leaf variables.
     pub(crate) grad: Mutex<Option<Vec<f32>>>,
@@ -63,14 +82,42 @@ pub(crate) struct Inner {
     pub(crate) graph: Option<GraphNode>,
 }
 
-/// Read guard over a tensor's data buffer, registered with the debug
-/// lock-order checker (see [`crate::lockorder`]). Derefs to `Vec<f32>`,
-/// so call sites use it exactly like the raw `RwLockReadGuard` it wraps.
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Hand hot buffers back to the thread-local arena so the next
+        // step's activations reuse them instead of hitting the allocator.
+        if let Storage::Hot(cell) = &mut self.data {
+            arena::recycle(cell.take_buf());
+        }
+        if let Some(g) = self
+            .grad
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
+            arena::recycle(g);
+        }
+    }
+}
+
+/// Read guard over a tensor's data buffer. For [`Storage::Shared`]
+/// tensors this wraps the `RwLock` read guard and is registered with the
+/// debug lock-order checker (see [`crate::lockorder`]); for
+/// [`Storage::Hot`] tensors it is a zero-cost borrow (debug builds tally
+/// readers to catch torn access). Derefs to `Vec<f32>`, so call sites use
+/// it exactly like the raw guard it wraps.
 pub struct DataGuard<'a> {
-    // Field order matters: the lock guard must drop before the checker
-    // token so the checker never reports a lock as released while held.
-    guard: RwLockReadGuard<'a, Vec<f32>>,
-    _token: lockorder::LockToken,
+    repr: GuardRepr<'a>,
+}
+
+enum GuardRepr<'a> {
+    Shared {
+        // Field order matters: the lock guard must drop before the checker
+        // token so the checker never reports a lock as released while held.
+        guard: RwLockReadGuard<'a, Vec<f32>>,
+        _token: lockorder::LockToken,
+    },
+    Hot(HotReadGuard<'a>),
 }
 
 impl Deref for DataGuard<'_> {
@@ -78,7 +125,10 @@ impl Deref for DataGuard<'_> {
 
     #[inline]
     fn deref(&self) -> &Vec<f32> {
-        &self.guard
+        match &self.repr {
+            GuardRepr::Shared { guard, .. } => guard,
+            GuardRepr::Hot(g) => g,
+        }
     }
 }
 
@@ -122,7 +172,7 @@ impl Tensor {
         Tensor {
             inner: Arc::new(Inner {
                 id: next_id(),
-                data: RwLock::new(data),
+                data: Storage::Hot(HotCell::new(data)),
                 shape: shape.to_vec(),
                 grad: Mutex::new(None),
                 is_variable: false,
@@ -166,7 +216,7 @@ impl Tensor {
         Tensor {
             inner: Arc::new(Inner {
                 id: next_id(),
-                data: RwLock::new(data),
+                data: Storage::Hot(HotCell::new(data)),
                 shape: shape.to_vec(),
                 grad: Mutex::new(None),
                 is_variable: false,
@@ -182,7 +232,7 @@ impl Tensor {
         Tensor {
             inner: Arc::new(Inner {
                 id: next_id(),
-                data: RwLock::new(self.to_vec()),
+                data: Storage::Shared(RwLock::new(self.to_vec())),
                 shape: self.inner.shape.clone(),
                 grad: Mutex::new(None),
                 is_variable: true,
@@ -248,14 +298,39 @@ impl Tensor {
 
     // ----- data access ----------------------------------------------------
 
-    /// Borrow the underlying buffer (shared read lock). In debug builds
-    /// the acquisition is registered with the lock-order checker; when two
+    /// Borrow the underlying buffer. Variables take a shared read lock
+    /// registered (in debug builds) with the lock-order checker; hot
+    /// tensors borrow with zero synchronization. When two *variable*
     /// buffers are needed at once, go through [`read_pair`].
     pub fn data(&self) -> DataGuard<'_> {
-        let token = lockorder::acquire(self.inner.id);
-        DataGuard {
-            guard: read_lock(&self.inner.data),
-            _token: token,
+        match &self.inner.data {
+            Storage::Shared(lock) => {
+                let token = lockorder::acquire(self.inner.id);
+                DataGuard {
+                    repr: GuardRepr::Shared {
+                        // aimts-lint: allow(A002, storage match arms are exclusive: one guard per call)
+                        guard: read_lock(lock),
+                        _token: token,
+                    },
+                }
+            }
+            Storage::Hot(cell) => DataGuard {
+                repr: GuardRepr::Hot(cell.read()),
+            },
+        }
+    }
+
+    /// Run `f` with exclusive access to the buffer, dispatching on the
+    /// storage kind (write lock + checker token for variables, checked
+    /// exclusive borrow for hot tensors).
+    fn with_data_mut<R>(&self, f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
+        match &self.inner.data {
+            Storage::Shared(lock) => {
+                let _token = lockorder::acquire(self.inner.id);
+                // aimts-lint: allow(A002, storage match arms are exclusive: one guard per call)
+                f(&mut write_lock(lock))
+            }
+            Storage::Hot(cell) => f(&mut cell.write()),
         }
     }
 
@@ -279,16 +354,15 @@ impl Tensor {
     /// Overwrite the buffer in place (used by optimizers). Panics if the
     /// length differs. Does not touch the graph.
     pub fn set_data(&self, data: &[f32]) {
-        let _token = lockorder::acquire(self.inner.id);
-        let mut d = write_lock(&self.inner.data);
-        assert_eq!(d.len(), data.len(), "set_data length mismatch");
-        d.copy_from_slice(data);
+        self.with_data_mut(|d| {
+            assert_eq!(d.len(), data.len(), "set_data length mismatch");
+            d.copy_from_slice(data);
+        });
     }
 
     /// Apply `f` to the buffer in place (used by optimizers).
     pub fn update_data(&self, f: impl FnOnce(&mut [f32])) {
-        let _token = lockorder::acquire(self.inner.id);
-        f(&mut write_lock(&self.inner.data));
+        self.with_data_mut(|d| f(d));
     }
 
     /// True when every element is finite (no `NaN`, no `±inf`).
@@ -311,12 +385,12 @@ impl Tensor {
     /// Overwrite the buffer from raw bit patterns (inverse of
     /// [`Tensor::data_bits`]). Panics if the length differs.
     pub fn set_data_bits(&self, bits: &[u32]) {
-        let _token = lockorder::acquire(self.inner.id);
-        let mut d = write_lock(&self.inner.data);
-        assert_eq!(d.len(), bits.len(), "set_data_bits length mismatch");
-        for (x, b) in d.iter_mut().zip(bits) {
-            *x = f32::from_bits(*b);
-        }
+        self.with_data_mut(|d| {
+            assert_eq!(d.len(), bits.len(), "set_data_bits length mismatch");
+            for (x, b) in d.iter_mut().zip(bits) {
+                *x = f32::from_bits(*b);
+            }
+        });
     }
 
     // ----- gradient -------------------------------------------------------
@@ -327,17 +401,23 @@ impl Tensor {
         mutex_lock(&self.inner.grad).clone()
     }
 
-    /// Clear the accumulated gradient.
+    /// Clear the accumulated gradient (the buffer returns to the arena).
     pub fn zero_grad(&self) {
         let _token = lockorder::acquire(self.inner.id);
-        *mutex_lock(&self.inner.grad) = None;
+        if let Some(g) = mutex_lock(&self.inner.grad).take() {
+            arena::recycle(g);
+        }
     }
 
     /// Overwrite the accumulated gradient (used by gradient clipping).
     pub fn set_grad(&self, g: &[f32]) {
         assert_eq!(g.len(), self.numel(), "set_grad length mismatch");
         let _token = lockorder::acquire(self.inner.id);
-        *mutex_lock(&self.inner.grad) = Some(g.to_vec());
+        let mut slot = mutex_lock(&self.inner.grad);
+        match slot.as_mut() {
+            Some(existing) => existing.copy_from_slice(g),
+            None => *slot = Some(arena::copy_of(g)),
+        }
     }
 
     /// Add `g` into the accumulated gradient (allocating it on first use).
@@ -353,12 +433,8 @@ impl Tensor {
         let _token = lockorder::acquire(self.inner.id);
         let mut slot = mutex_lock(&self.inner.grad);
         match slot.as_mut() {
-            Some(existing) => {
-                for (e, x) in existing.iter_mut().zip(g) {
-                    *e += x;
-                }
-            }
-            None => *slot = Some(g.to_vec()),
+            Some(existing) => simd::add_assign(existing, g),
+            None => *slot = Some(arena::copy_of(g)),
         }
     }
 

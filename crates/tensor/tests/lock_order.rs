@@ -6,14 +6,21 @@
 //! dynamic side — a deliberate out-of-order acquisition panics naming
 //! both tensor ids, and ordinary multi-threaded training math stays
 //! silent.
+//!
+//! Since the lock-free hot path landed, only *variables*
+//! (`requires_grad` leaves — master and replica parameters) carry the
+//! `RwLock` the checker tracks; constants and op outputs are
+//! unsynchronized hot storage, guarded instead by the debug aliasing
+//! tally (see `arena_alias.rs`). The deliberate-violation test therefore
+//! uses variables.
 
 use aimts_tensor::{read_pair, Tensor};
 
 #[cfg(debug_assertions)]
 #[test]
 fn out_of_order_acquisition_panics_with_both_ids() {
-    let older = Tensor::zeros(&[4]); // created first → smaller id
-    let newer = Tensor::zeros(&[4]);
+    let older = Tensor::zeros(&[4]).requires_grad(); // created first → smaller id
+    let newer = Tensor::zeros(&[4]).requires_grad();
     assert!(older.id() < newer.id(), "id counter must be monotonic");
 
     // AssertUnwindSafe: the closure only takes read guards; no state is

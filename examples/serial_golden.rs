@@ -1,0 +1,40 @@
+//! Print a digest of a small deterministic serial pre-training run:
+//! final-loss bit pattern plus an FNV-1a hash of every parameter's bits.
+//! Used to pin the serial trajectory across refactors.
+
+use aimts::{AimTs, AimTsConfig, PretrainConfig};
+use aimts_data::archives::monash_like_pool;
+use aimts_nn::Module;
+
+fn main() {
+    let pool = monash_like_pool(4, 0);
+    let mut model = AimTs::new(AimTsConfig::tiny(), 3407);
+    let report = model
+        .pretrain(
+            &pool,
+            &PretrainConfig {
+                epochs: 2,
+                batch_size: 4,
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .expect("pretrain");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in model.parameters() {
+        for b in p.data_bits() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    println!("final_loss_bits = 0x{:08x}", report.final_loss.to_bits());
+    println!("param_fnv = 0x{hash:016x}");
+    println!(
+        "epoch_loss_bits = {:?}",
+        report
+            .epoch_losses
+            .iter()
+            .map(|l| format!("0x{:08x}", l.to_bits()))
+            .collect::<Vec<_>>()
+    );
+}
