@@ -30,7 +30,6 @@ use aimts_bench::runners::bench_aimts_config;
 use aimts_data::archives::monash_like_pool;
 use aimts_data::preprocess::{resample_sample, z_normalize_sample};
 use aimts_data::MultiSeries;
-use aimts_nn::Module;
 use serde::Serialize;
 
 /// Permitted replica-vs-serial gradient disagreement (same weights).

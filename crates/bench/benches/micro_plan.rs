@@ -1,0 +1,322 @@
+//! Compiled-plan replay vs eager graph execution: the same training step
+//! (encoder forward + InfoNCE-style loss + full backward) timed both ways.
+//!
+//! Two measurements:
+//!
+//! * **Graph step** — a compact projection-head-style step (three Linear
+//!   layers → `l2_normalize` → similarity logits `/τ` → `cross_entropy_t`)
+//!   then backward into every parameter. The compiled side replays the
+//!   traced plan (`CompiledPlan::run` + `backward`), dispatching the
+//!   matmul→bias, matmul→scale, and l2_normalize chains onto fused
+//!   kernels; the eager side rebuilds the autograd graph each iteration.
+//!   Shapes are deliberately small: the plan removes *per-step fixed
+//!   costs* (graph construction, autograd bookkeeping, backward
+//!   scheduling, broadcast materialization in the fused chains), so the
+//!   micro workload keeps kernel arithmetic from drowning out the
+//!   overhead being measured. This is the gated `speedup_vs_eager`.
+//! * **End-to-end micro-batch** — `AimTs::microbatch_gradient_ex` with
+//!   `Executor::Eager` vs `Executor::Compiled`. Augmentation and image
+//!   rendering are identical on both sides, so this shows how much of a
+//!   real pre-training step the graph fraction is.
+//!
+//! Steady-state allocation discipline is asserted, not just reported: the
+//! arena miss counter must not move during the timed compiled loop — every
+//! replay buffer comes from the pool after warmup.
+//!
+//! Set `AIMTS_PLAN_GATE=<floor>` to turn the graph-step speedup into a
+//! hard failure (exit 1) below the floor.
+
+use aimts::{AimTs, Executor};
+use aimts_bench::harness::{banner, record_results, time_it, Scale};
+use aimts_bench::runners::bench_aimts_config;
+use aimts_data::archives::monash_like_pool;
+use aimts_data::preprocess::{resample_sample, z_normalize_sample};
+use aimts_data::MultiSeries;
+use aimts_nn::{Linear, Module, ParamLayout};
+use aimts_tensor::{arena, plan, Tensor};
+use serde::Serialize;
+
+/// Rows per graph-step batch.
+const ROWS: usize = 6;
+/// Feature width of the graph-step projection head.
+const DIM: usize = 16;
+/// Inverse temperature of the bench's InfoNCE-style logits.
+const SCALE: f32 = 10.0;
+
+#[derive(Serialize)]
+struct ArenaWindow {
+    hits: u64,
+    misses: u64,
+    recycled: u64,
+    dropped: u64,
+}
+
+impl ArenaWindow {
+    fn delta(before: arena::ArenaStats, after: arena::ArenaStats) -> Self {
+        ArenaWindow {
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+            recycled: after.recycled - before.recycled,
+            dropped: after.dropped - before.dropped,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct StepPoint {
+    iters: usize,
+    eager_secs: f64,
+    compiled_secs: f64,
+    speedup_vs_eager: f64,
+    /// Arena counter movement during the timed compiled loop; `misses`
+    /// must be 0 (zero steady-state allocations).
+    compiled_arena: ArenaWindow,
+    /// Same window over the timed eager loop, for contrast.
+    eager_arena: ArenaWindow,
+}
+
+#[derive(Serialize)]
+struct MicrobatchPoint {
+    iters: usize,
+    eager_secs: f64,
+    compiled_secs: f64,
+    speedup_vs_eager: f64,
+}
+
+#[derive(Serialize)]
+struct Gate {
+    floor: Option<f64>,
+    speedup_vs_eager: f64,
+    enforced: bool,
+    passed: Option<bool>,
+}
+
+#[derive(Serialize)]
+struct Payload {
+    step: StepPoint,
+    microbatch: MicrobatchPoint,
+    gate: Gate,
+    note: String,
+}
+
+/// The bench's projection head: three biased Linear layers with relu.
+struct Head {
+    l1: Linear,
+    l2: Linear,
+    l3: Linear,
+}
+
+impl Head {
+    fn new() -> Self {
+        Head {
+            l1: Linear::new(DIM, DIM, true, 1),
+            l2: Linear::new(DIM, DIM, true, 2),
+            l3: Linear::new(DIM, DIM, true, 3),
+        }
+    }
+
+    fn layout(&self) -> ParamLayout {
+        let mut named = Vec::new();
+        self.l1.named_parameters("l1", &mut named);
+        self.l2.named_parameters("l2", &mut named);
+        self.l3.named_parameters("l3", &mut named);
+        ParamLayout::from_params(named.into_iter().map(|(_, t)| t).collect())
+    }
+}
+
+/// One eager training step: project, unit-normalize, contrast the batch
+/// against itself at a fixed inverse temperature, push toward the
+/// identity assignment.
+fn step_loss(head: &Head, x: &Tensor, targets: &Tensor) -> Tensor {
+    let h = head.l1.forward(x).relu();
+    let h = head.l2.forward(&h).relu();
+    let z = head.l3.forward(&h).l2_normalize(1);
+    let logits = z.matmul(&z.transpose(0, 1)).mul_scalar(SCALE);
+    logits.cross_entropy_t(targets)
+}
+
+/// Graph-step comparison: eager rebuild-every-iteration vs compiled replay
+/// of the identical step, same weights, same inputs.
+fn bench_graph_step(iters: usize) -> StepPoint {
+    let head = Head::new();
+    let layout = head.layout();
+    let x = Tensor::randn(&[ROWS, DIM], 11);
+    let targets = Tensor::from_vec((0..ROWS).map(|i| i as f32).collect(), &[ROWS]);
+
+    let _arena = arena::enable();
+
+    // Trace once (the trace itself is an eager step), then warm both paths
+    // untimed so the arena pool reaches steady state before timing.
+    let compiled = plan::trace(&[x.clone(), targets.clone()], 1, || {
+        vec![step_loss(&head, &x, &targets)]
+    })
+    .expect("bench step must be traceable");
+    for _ in 0..5 {
+        layout.zero_grad();
+        compiled.run().expect("warm replay failed");
+        compiled.backward();
+
+        layout.zero_grad();
+        step_loss(&head, &x, &targets).backward();
+    }
+
+    let eager_before = arena::stats();
+    let (eager_loss, eager_secs) = time_it(|| {
+        let mut last = 0.0;
+        for _ in 0..iters {
+            layout.zero_grad();
+            let loss = step_loss(&head, &x, &targets);
+            loss.backward();
+            last = loss.item();
+        }
+        last
+    });
+    let eager_window = ArenaWindow::delta(eager_before, arena::stats());
+
+    let compiled_before = arena::stats();
+    let (compiled_loss, compiled_secs) = time_it(|| {
+        let mut last = 0.0;
+        for _ in 0..iters {
+            layout.zero_grad();
+            compiled.run().expect("timed replay failed");
+            compiled.backward();
+            last = compiled.output(0).item();
+        }
+        last
+    });
+    let compiled_window = ArenaWindow::delta(compiled_before, arena::stats());
+
+    assert_eq!(
+        eager_loss.to_bits(),
+        compiled_loss.to_bits(),
+        "compiled replay must be bitwise identical to eager"
+    );
+    assert_eq!(
+        compiled_window.misses, 0,
+        "compiled replay allocated outside the arena pool in steady state"
+    );
+
+    StepPoint {
+        iters,
+        eager_secs,
+        compiled_secs,
+        speedup_vs_eager: eager_secs / compiled_secs,
+        compiled_arena: compiled_window,
+        eager_arena: eager_window,
+    }
+}
+
+/// End-to-end comparison: the full pre-training micro-batch (augmentation,
+/// rendering, graph, backward, flat gradient) under each executor.
+fn bench_microbatch(iters: usize) -> MicrobatchPoint {
+    let cfg = bench_aimts_config();
+    let pretrain_len = cfg.pretrain_len;
+    let model = AimTs::new(cfg, 3407);
+    let pool = monash_like_pool(2, 0);
+    let prepared: Vec<MultiSeries> = pool
+        .iter()
+        .filter(|s| s.len() == 1)
+        .take(4)
+        .map(|s| {
+            let mut vars = resample_sample(s, pretrain_len);
+            z_normalize_sample(&mut vars);
+            vars
+        })
+        .collect();
+    assert!(prepared.len() == 4, "bench pool too small");
+    let samples: Vec<&MultiSeries> = prepared.iter().collect();
+
+    let _arena = arena::enable();
+    let time_executor = |executor: Executor| {
+        for _ in 0..2 {
+            let g = model.microbatch_gradient_ex(&samples, 7, executor, 1);
+            arena::recycle(g.gradient);
+        }
+        let ((), secs) = time_it(|| {
+            for _ in 0..iters {
+                let g = model.microbatch_gradient_ex(&samples, 7, executor, 1);
+                arena::recycle(g.gradient);
+            }
+        });
+        secs
+    };
+    let eager_secs = time_executor(Executor::Eager);
+    let compiled_secs = time_executor(Executor::Compiled);
+    MicrobatchPoint {
+        iters,
+        eager_secs,
+        compiled_secs,
+        speedup_vs_eager: eager_secs / compiled_secs,
+    }
+}
+
+fn main() {
+    banner(
+        "micro_plan",
+        "trace-and-compile executor",
+        "compiled plan replay vs eager graph execution, same step, same weights",
+    );
+    let (step_iters, micro_iters) = match Scale::from_env() {
+        Scale::Quick => (3000, 20),
+        Scale::Full => (15000, 60),
+    };
+
+    let step = bench_graph_step(step_iters);
+    println!(
+        "graph step ({} iters): eager {:.3}s, compiled {:.3}s — speedup {:.2}x",
+        step.iters, step.eager_secs, step.compiled_secs, step.speedup_vs_eager
+    );
+    println!(
+        "  compiled arena window: {} hits / {} misses / {} recycled",
+        step.compiled_arena.hits, step.compiled_arena.misses, step.compiled_arena.recycled
+    );
+
+    let microbatch = bench_microbatch(micro_iters);
+    println!(
+        "end-to-end micro-batch ({} iters): eager {:.3}s, compiled {:.3}s — speedup {:.2}x",
+        microbatch.iters,
+        microbatch.eager_secs,
+        microbatch.compiled_secs,
+        microbatch.speedup_vs_eager
+    );
+
+    let floor: Option<f64> = std::env::var("AIMTS_PLAN_GATE")
+        .ok()
+        .and_then(|v| v.trim().parse().ok());
+    let enforced = floor.is_some();
+    let passed = floor.map(|f| step.speedup_vs_eager >= f);
+    if let (Some(f), Some(ok)) = (floor, passed) {
+        println!(
+            "plan gate: graph-step speedup {:.2}x vs floor {f:.2}x — {}",
+            step.speedup_vs_eager,
+            if ok { "PASS" } else { "FAIL" }
+        );
+    }
+    let gate_failed = passed == Some(false);
+    let speedup = step.speedup_vs_eager;
+    record_results(
+        "micro_plan",
+        &Payload {
+            step,
+            microbatch,
+            gate: Gate {
+                floor,
+                speedup_vs_eager: speedup,
+                enforced,
+                passed,
+            },
+            note: "graph step = 3-layer projection head + l2_normalize + \
+                   InfoNCE-style loss + full backward on fixed small shapes \
+                   after untimed warmup (per-step overhead is what the plan \
+                   removes, so the micro workload keeps kernel arithmetic \
+                   small); compiled replay is asserted bitwise equal to eager \
+                   and to take zero arena misses in steady state. The \
+                   end-to-end micro-batch includes augmentation and image \
+                   rendering, which run identically under both executors"
+                .into(),
+        },
+    );
+    if gate_failed {
+        std::process::exit(1);
+    }
+}

@@ -180,7 +180,6 @@ pub fn prune_checkpoints(dir: &Path, keep_last: usize) -> io::Result<()> {
 mod tests {
     use super::*;
     use crate::config::AimTsConfig;
-    use aimts_nn::Module as _;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("aimts_core_ckpt_{tag}"));

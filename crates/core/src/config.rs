@@ -176,6 +176,23 @@ impl CheckpointPolicy {
     }
 }
 
+/// Which execution engine runs each training step.
+///
+/// `Eager` is the reference interpreter: every step walks the autograd
+/// graph op by op. `Compiled` traces the first step of each distinct batch
+/// shape into a flat replay plan (see `aimts_tensor::plan`) and replays it
+/// for subsequent steps — same arithmetic, bit-identical results, no graph
+/// bookkeeping. A step whose plan cannot be replayed (shape change, thread
+/// or topology mismatch, untraceable op) silently falls back to eager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Executor {
+    /// Interpret the autograd graph every step (reference path).
+    #[default]
+    Eager,
+    /// Trace once per batch shape, then replay the compiled plan.
+    Compiled,
+}
+
 /// Pre-training loop settings (paper: Adam, lr 7e-3, StepLR, 2 epochs,
 /// batch 16).
 #[derive(Debug, Clone)]
@@ -197,6 +214,8 @@ pub struct PretrainConfig {
     /// gradient clipping, skip-anomalous-step, automatic rollback. The
     /// defaults guard and skip but never perturb a clean run.
     pub health: HealthPolicy,
+    /// Step execution engine (eager interpreter or trace-and-replay).
+    pub executor: Executor,
 }
 
 impl Default for PretrainConfig {
@@ -211,6 +230,7 @@ impl Default for PretrainConfig {
             workers: 0,
             checkpoint: CheckpointPolicy::default(),
             health: HealthPolicy::default(),
+            executor: Executor::default(),
         }
     }
 }
@@ -236,6 +256,8 @@ pub struct FineTuneConfig {
     /// optimizer checkpoint, so the rollback rungs of the ladder apply to
     /// pre-training only.
     pub health: HealthPolicy,
+    /// Step execution engine (eager interpreter or trace-and-replay).
+    pub executor: Executor,
 }
 
 impl Default for FineTuneConfig {
@@ -249,6 +271,7 @@ impl Default for FineTuneConfig {
             seed: 3407,
             best_ckpt: None,
             health: HealthPolicy::default(),
+            executor: Executor::default(),
         }
     }
 }

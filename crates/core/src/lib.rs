@@ -63,7 +63,7 @@ pub use checkpoint::{
     build_pretrain_checkpoint, checkpoint_path, decode_pretrain_checkpoint, latest_checkpoint,
     list_checkpoints, prune_checkpoints, DecodedPretrain, PretrainState, CKPT_EXT,
 };
-pub use config::{AimTsConfig, CheckpointPolicy, FineTuneConfig, PretrainConfig};
+pub use config::{AimTsConfig, CheckpointPolicy, Executor, FineTuneConfig, PretrainConfig};
 pub use encoder::{copy_parameters, ImageEncoder, TsEncoder};
 pub use finetune::FineTuned;
 pub use health::{

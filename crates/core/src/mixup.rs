@@ -4,29 +4,21 @@
 //! between the two modality subspaces.
 
 use aimts_eval::sample_beta;
-use aimts_tensor::{read_pair, Tensor};
+use aimts_tensor::{arena, plan, read_pair, Tensor};
 use rand::rngs::StdRng;
 
-/// Mix rows of `u` and `v` (both `[B, P]`, unit-normalized) with
-/// per-row coefficients `lambdas[b]`.
-///
-/// The angle `θ` is computed from the current values and treated as a
-/// constant during backpropagation (gradients flow through the linear
-/// combination only); the result is re-projected onto the unit sphere,
-/// which keeps the `‖m‖ = 1` invariant exactly even in the `θ → 0` limit
-/// where slerp degenerates to lerp.
-pub fn geodesic_mixup(u: &Tensor, v: &Tensor, lambdas: &[f32]) -> Tensor {
-    assert_eq!(u.shape(), v.shape(), "mixup operand shape mismatch");
-    assert_eq!(u.ndim(), 2, "mixup expects [B, P]");
-    let b = u.shape()[0];
-    let p = u.shape()[1];
-    assert_eq!(lambdas.len(), b, "one lambda per row required");
-
-    // Per-row angle from the data (constant w.r.t. autograd). Guards are
-    // taken in tensor-id order (deadlock-freedom convention, lint A002).
-    let (ud, vd) = read_pair(u, v);
-    let mut cu = Vec::with_capacity(b);
-    let mut cv = Vec::with_capacity(b);
+/// Per-row slerp coefficients `(cu, cv)` for rows of `u`/`v` (`[B, P]`)
+/// and mixing weights `lambdas[b]` — the CPU-side constant part of the
+/// geodesic mixup, shared by the eager path and its replay thunks.
+fn slerp_coeffs(
+    ud: &[f32],
+    vd: &[f32],
+    lambdas: &[f32],
+    b: usize,
+    p: usize,
+) -> (Vec<f32>, Vec<f32>) {
+    let mut cu = arena::take(b);
+    let mut cv = arena::take(b);
     for (row, &lam) in lambdas.iter().enumerate() {
         let dot: f32 = ud[row * p..(row + 1) * p]
             .iter()
@@ -44,10 +36,64 @@ pub fn geodesic_mixup(u: &Tensor, v: &Tensor, lambdas: &[f32]) -> Tensor {
             cv.push(((1.0 - lam) * theta).sin() / sin_t);
         }
     }
+    (cu, cv)
+}
+
+/// Mix rows of `u` and `v` (both `[B, P]`, unit-normalized) with
+/// per-row coefficients `lambdas[b]`.
+///
+/// The angle `θ` is computed from the current values and treated as a
+/// constant during backpropagation (gradients flow through the linear
+/// combination only); the result is re-projected onto the unit sphere,
+/// which keeps the `‖m‖ = 1` invariant exactly even in the `θ → 0` limit
+/// where slerp degenerates to lerp.
+pub fn geodesic_mixup(u: &Tensor, v: &Tensor, lambdas: &[f32]) -> Tensor {
+    let b = u.shape()[0];
+    assert_eq!(lambdas.len(), b, "one lambda per row required");
+    geodesic_mixup_t(u, v, &Tensor::from_vec(lambdas.to_vec(), &[b]))
+}
+
+/// [`geodesic_mixup`] with the coefficients carried as a `[B]` tensor.
+///
+/// Because the lambdas are a graph input rather than a captured slice,
+/// this variant is traceable: the slerp coefficients are recorded as
+/// custom replay ops that recompute from the *current* `u`/`v`/`lambdas`
+/// values on every replay (arithmetic-identical to the eager path).
+pub fn geodesic_mixup_t(u: &Tensor, v: &Tensor, lambdas: &Tensor) -> Tensor {
+    assert_eq!(u.shape(), v.shape(), "mixup operand shape mismatch");
+    assert_eq!(u.ndim(), 2, "mixup expects [B, P]");
+    let b = u.shape()[0];
+    let p = u.shape()[1];
+    assert_eq!(lambdas.numel(), b, "one lambda per row required");
+
+    // Per-row angle from the data (constant w.r.t. autograd). Guards are
+    // taken in tensor-id order (deadlock-freedom convention, lint A002).
+    let lam = lambdas.to_vec();
+    let (ud, vd) = read_pair(u, v);
+    let (cu, cv) = slerp_coeffs(&ud, &vd, &lam, b, p);
     drop((ud, vd));
-    let cu = Tensor::from_vec(cu, &[b, 1]);
-    let cv = Tensor::from_vec(cv, &[b, 1]);
-    u.mul(&cu).add(&v.mul(&cv)).l2_normalize(1)
+    let cu_t = Tensor::from_vec(cu, &[b, 1]);
+    let cv_t = Tensor::from_vec(cv, &[b, 1]);
+    let parents = [u, v, lambdas];
+    plan::record_custom(&cu_t, "slerp_cu", &parents, move |ps| {
+        let lam = arena::copy_of(&ps[2].data());
+        let (ud, vd) = read_pair(&ps[0], &ps[1]);
+        let (cu, cv) = slerp_coeffs(&ud, &vd, &lam, b, p);
+        drop((ud, vd));
+        arena::recycle(lam);
+        arena::recycle(cv);
+        cu
+    });
+    plan::record_custom(&cv_t, "slerp_cv", &parents, move |ps| {
+        let lam = arena::copy_of(&ps[2].data());
+        let (ud, vd) = read_pair(&ps[0], &ps[1]);
+        let (cu, cv) = slerp_coeffs(&ud, &vd, &lam, b, p);
+        drop((ud, vd));
+        arena::recycle(lam);
+        arena::recycle(cu);
+        cv
+    });
+    u.mul(&cu_t).add(&v.mul(&cv_t)).l2_normalize(1)
 }
 
 /// Draw one mixup coefficient per row: `λ ~ Beta(γ, γ)` (paper Eq. 9).

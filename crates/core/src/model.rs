@@ -1,8 +1,10 @@
 //! The [`AimTs`] model: both encoders, both projection heads, and the
 //! multi-source pre-training loop of Fig. 3(a).
 
+use std::collections::HashMap;
 use std::io;
 use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use aimts_data::preprocess::{resample_sample, z_normalize_sample};
 use aimts_data::{Dataset, MultiSeries};
@@ -10,8 +12,9 @@ use aimts_eval::Summary;
 use aimts_imaging::render_sample;
 use aimts_nn::{
     load_state_dict, save_state_dict, Activation, Adam, Checkpoint, CheckpointError, Mlp, Module,
-    Optimizer, Replicate, StepLr,
+    Optimizer, ParamLayout, Replicate, StepLr,
 };
+use aimts_tensor::plan::{self, CompiledPlan};
 use aimts_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,14 +24,14 @@ use crate::checkpoint::{
     build_pretrain_checkpoint, checkpoint_path, decode_pretrain_checkpoint, prune_checkpoints,
     PretrainState,
 };
-use crate::config::{AimTsConfig, FineTuneConfig, PretrainConfig};
+use crate::config::{AimTsConfig, Executor, FineTuneConfig, PretrainConfig};
 use crate::encoder::{ImageEncoder, TsEncoder};
 use crate::finetune::FineTuned;
 use crate::health::{
     guard_and_clip, params_all_finite, HealthMonitor, HealthReport, StepVerdict, TrainError,
 };
 use crate::losses;
-use crate::mixup::{geodesic_mixup, sample_lambdas};
+use crate::mixup::{geodesic_mixup_t, sample_lambdas};
 use crate::parallel;
 
 /// Summary of a pre-training run.
@@ -65,6 +68,125 @@ pub struct MicroGrad {
     pub si_loss: f32,
 }
 
+/// Compiled-plan cache key: one plan per distinct batch shape `(B, M, T)`.
+type PlanKey = (usize, usize, usize);
+
+/// One pre-training step's freshly drawn graph inputs (see
+/// [`AimTs::step_inputs`]): stacked view sets, adaptive temperatures,
+/// rendered charts, the original series batch, and the mixup coefficients.
+/// Fields are `None` when the ablation disables the loss that needs them.
+struct StepTensors {
+    b: usize,
+    m: usize,
+    t: usize,
+    /// `[B*G, M, T]` first stacked view set (prototype losses).
+    view0: Option<Tensor>,
+    /// `[B*G, M, T]` second stacked view set.
+    view1: Option<Tensor>,
+    /// `[B, G, G]` within-set adaptive temperatures (Eq. 3).
+    tau_w: Option<Tensor>,
+    /// `[B, G, G]` cross-set adaptive temperatures.
+    tau_c: Option<Tensor>,
+    /// `[B, 3, H, W]` rendered line charts (series-image losses).
+    img: Option<Tensor>,
+    /// `[B, M, T]` un-augmented series batch.
+    orig: Option<Tensor>,
+    /// `[B]` geodesic-mixup coefficients `λ ~ Beta(γ, γ)`.
+    lam: Option<Tensor>,
+}
+
+impl StepTensors {
+    /// Present tensors in a fixed order — the compiled plan's input list.
+    fn input_tensors(&self) -> Vec<Tensor> {
+        [
+            &self.view0,
+            &self.view1,
+            &self.tau_w,
+            &self.tau_c,
+            &self.img,
+            &self.orig,
+            &self.lam,
+        ]
+        .into_iter()
+        .filter_map(|t| t.clone())
+        .collect()
+    }
+
+    /// Copy this step's values into `dst`'s same-shaped tensors (the
+    /// persistent input handles of a cached plan).
+    fn copy_into(&self, dst: &StepTensors) {
+        let pairs = [
+            (&self.view0, &dst.view0),
+            (&self.view1, &dst.view1),
+            (&self.tau_w, &dst.tau_w),
+            (&self.tau_c, &dst.tau_c),
+            (&self.img, &dst.img),
+            (&self.orig, &dst.orig),
+            (&self.lam, &dst.lam),
+        ];
+        for (src, dst) in pairs {
+            if let (Some(s), Some(d)) = (src, dst) {
+                d.set_data(&s.data());
+            }
+        }
+    }
+}
+
+/// The graph roots of one pre-training step (see [`AimTs::step_graph`]).
+struct StepOutputs {
+    /// Scalar total loss (Eq. 1) — the backward root.
+    total: Tensor,
+    /// `L_proto` (None when ablated away).
+    proto: Option<Tensor>,
+    /// `L_SI` (None when ablated away).
+    si: Option<Tensor>,
+}
+
+/// A traced pre-training step: the replay plan, its persistent input
+/// handles, and where `L_proto` / `L_SI` sit in the plan's output list
+/// (output 0 is always the total loss).
+struct StepPlan {
+    plan: CompiledPlan,
+    tensors: StepTensors,
+    proto_idx: Option<usize>,
+    si_idx: Option<usize>,
+}
+
+/// How one step's loss came to be: an eager autograd root, or a compiled
+/// plan whose flat backward schedule stands in for the graph walk.
+enum StepRun {
+    Eager(Tensor),
+    Plan(Arc<StepPlan>),
+}
+
+impl StepRun {
+    /// The step's total loss value.
+    fn loss_val(&self) -> f32 {
+        match self {
+            StepRun::Eager(t) => t.item(),
+            StepRun::Plan(p) => p.plan.output(0).item(),
+        }
+    }
+
+    /// Accumulate gradients into the model's parameters (graph walk for
+    /// eager, precomputed dense-slot schedule for compiled — bitwise the
+    /// same results).
+    fn backward(&self) {
+        match self {
+            StepRun::Eager(t) => t.backward(),
+            StepRun::Plan(p) => p.plan.backward(),
+        }
+    }
+}
+
+/// Lock the plan cache, surviving a poisoned mutex (a panicking worker may
+/// have held it; the map is always in a consistent state between calls).
+fn lock_cache(
+    cache: &Mutex<HashMap<PlanKey, Option<Arc<StepPlan>>>>,
+) -> std::sync::MutexGuard<'_, HashMap<PlanKey, Option<Arc<StepPlan>>>> {
+    cache.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// The AimTS model (paper Fig. 3).
 pub struct AimTs {
     pub cfg: AimTsConfig,
@@ -75,6 +197,16 @@ pub struct AimTs {
     /// `P^I`, the image projection head.
     pub img_proj: Mlp,
     seed: u64,
+    /// Compiled step plans keyed by batch shape; `None` poisons a shape
+    /// whose trace failed so it stays permanently eager. The mutex is not
+    /// for contention — plans only replay on the thread that traced them —
+    /// but keeps `AimTs: Sync` for the worker pool. Never cloned into
+    /// replicas: each replica warms its own cache on its pinned thread.
+    plan_cache: Mutex<HashMap<PlanKey, Option<Arc<StepPlan>>>>,
+    /// Parameter enumeration frozen on first use (`named_parameters` walks
+    /// the module tree and formats names; the flat-exchange hot path would
+    /// otherwise redo that every call).
+    layout: OnceLock<ParamLayout>,
 }
 
 impl AimTs {
@@ -99,7 +231,37 @@ impl AimTs {
             image_encoder,
             img_proj,
             seed,
+            plan_cache: Mutex::new(HashMap::new()),
+            layout: OnceLock::new(),
         }
+    }
+
+    /// The frozen parameter layout (computed once per instance). The
+    /// handles alias the live parameters, so reads and writes through the
+    /// layout are indistinguishable from re-enumerating every call.
+    fn layout(&self) -> &ParamLayout {
+        self.layout.get_or_init(|| ParamLayout::of(self))
+    }
+
+    /// [`Module::flat_parameters`] through the cached [`ParamLayout`].
+    pub fn flat_parameters(&self) -> Vec<f32> {
+        self.layout().flat_parameters()
+    }
+
+    /// [`Module::load_flat`] through the cached [`ParamLayout`].
+    pub fn load_flat(&self, flat: &[f32]) {
+        self.layout().load_flat(flat)
+    }
+
+    /// [`Module::flat_gradient`] through the cached [`ParamLayout`].
+    pub fn flat_gradient(&self) -> Vec<f32> {
+        self.layout().flat_gradient()
+    }
+
+    /// [`Module::accumulate_flat_gradient`] through the cached
+    /// [`ParamLayout`].
+    pub fn accumulate_flat_gradient(&self, flat: &[f32]) {
+        self.layout().accumulate_flat_gradient(flat)
     }
 
     /// All trainable parameters with stable hierarchical names.
@@ -328,13 +490,14 @@ impl AimTs {
                     let samples: Vec<&MultiSeries> =
                         batch.iter().map(|&k| &prepared[idxs[k]]).collect();
                     let attempt = mon.begin_attempt();
-                    let (loss, lp, lsi) = self.pretrain_step(&samples, &mut rng);
-                    let loss_val = loss.item();
+                    let (run, lp, lsi) =
+                        self.pretrain_step_ex(&samples, &mut rng, pcfg.executor, 1);
+                    let loss_val = run.loss_val();
                     let bad = if mon.loss_is_bad(loss_val, attempt) {
                         Some(format!("non-finite loss {loss_val}"))
                     } else {
                         opt.zero_grad();
-                        loss.backward();
+                        run.backward();
                         let (norm, clipped) = guard_and_clip(&params, mon.policy().clip_norm);
                         if !norm.is_finite() {
                             Some(format!("non-finite gradient norm {norm}"))
@@ -445,7 +608,6 @@ impl AimTs {
         pcfg: &PretrainConfig,
         workers: usize,
     ) -> Result<PretrainReport, TrainError> {
-        use std::sync::Arc;
         /// One dispatched micro-batch: (augmentation seed, micro index,
         /// sample indices, master weights snapshot).
         type PoolTask = (u64, u64, Vec<usize>, Arc<Vec<f32>>);
@@ -470,6 +632,7 @@ impl AimTs {
         // The fault plan is fixed at construction; capture it by value so
         // the worker closure does not borrow the monitor.
         let fault = mon.policy().fault;
+        let executor = pcfg.executor;
 
         // An epoch can never yield more micro-batches than this, so extra
         // replicas would sit idle.
@@ -522,7 +685,7 @@ impl AimTs {
                 let replica = &replicas[slot];
                 replica.load_flat(&master);
                 let samples: Vec<&MultiSeries> = batch.iter().map(|&i| &prepared[i]).collect();
-                replica.microbatch_gradient(&samples, seed)
+                replica.microbatch_gradient_ex(&samples, seed, executor, workers)
             },
             |pool| -> Result<PretrainReport, TrainError> {
                 while epoch < pcfg.epochs {
@@ -694,13 +857,26 @@ impl AimTs {
     /// the seam the determinism tests use to compare serial and threaded
     /// gradient computation.
     pub fn microbatch_gradient(&self, samples: &[&MultiSeries], rng_seed: u64) -> MicroGrad {
-        for (_, p) in self.named_parameters() {
-            p.zero_grad();
-        }
+        self.microbatch_gradient_ex(samples, rng_seed, Executor::Eager, 1)
+    }
+
+    /// [`AimTs::microbatch_gradient`] with an explicit execution engine and
+    /// worker topology. Compiled plans are tagged with the topology they
+    /// were traced under so a resumed run with a different worker count can
+    /// never replay a stale plan (it falls back to eager instead).
+    pub fn microbatch_gradient_ex(
+        &self,
+        samples: &[&MultiSeries],
+        rng_seed: u64,
+        executor: Executor,
+        topology: usize,
+    ) -> MicroGrad {
+        self.layout().zero_grad();
         let mut rng = StdRng::seed_from_u64(rng_seed);
-        let (loss, proto_loss, si_loss) = self.pretrain_step(samples, &mut rng);
-        let loss_val = loss.item();
-        loss.backward();
+        let (run, proto_loss, si_loss) =
+            self.pretrain_step_ex(samples, &mut rng, executor, topology);
+        let loss_val = run.loss_val();
+        run.backward();
         MicroGrad {
             gradient: self.flat_gradient(),
             loss: loss_val,
@@ -709,18 +885,115 @@ impl AimTs {
         }
     }
 
-    /// One pre-training step on a batch of prepared samples.
-    /// Returns (total loss, L_proto value, L_SI value).
-    fn pretrain_step(&self, samples: &[&MultiSeries], rng: &mut StdRng) -> (Tensor, f32, f32) {
+    /// One pre-training step on a batch of prepared samples, routed
+    /// through the configured executor. Returns the step run handle (loss
+    /// root or compiled plan) plus the `L_proto` / `L_SI` values.
+    ///
+    /// The eager engine builds and returns the autograd graph as always.
+    /// The compiled engine draws the step's inputs (identical RNG stream),
+    /// then replays the cached plan for this batch shape — tracing it first
+    /// if this shape has not been seen. Any replay obstacle (trace failure,
+    /// thread or topology mismatch, interior shape change) falls back to an
+    /// eager step over the *already drawn* inputs, so the executors can
+    /// never diverge on randomness.
+    fn pretrain_step_ex(
+        &self,
+        samples: &[&MultiSeries],
+        rng: &mut StdRng,
+        executor: Executor,
+        topology: usize,
+    ) -> (StepRun, f32, f32) {
+        let inp = self.step_inputs(samples, rng);
+        if executor == Executor::Eager {
+            return self.eager_step(inp);
+        }
+        let key = (inp.b, inp.m, inp.t);
+        let cached = lock_cache(&self.plan_cache).get(&key).cloned();
+        match cached {
+            // Shape traced before and judged untraceable: permanent eager.
+            Some(None) => self.eager_step(inp),
+            Some(Some(sp)) => {
+                if sp.plan.on_trace_thread() && sp.plan.check_topology(topology).is_ok() {
+                    inp.copy_into(&sp.tensors);
+                    if sp.plan.run().is_ok() {
+                        let lp = sp.proto_idx.map_or(0.0, |i| sp.plan.output(i).item());
+                        let ls = sp.si_idx.map_or(0.0, |i| sp.plan.output(i).item());
+                        return (StepRun::Plan(sp), lp, ls);
+                    }
+                }
+                // Thread/topology mismatch or an interior shape drift: run
+                // this one step eagerly; the cached plan stays for callers
+                // on the right thread.
+                self.eager_step(inp)
+            }
+            None => {
+                let trace_inputs = inp.input_tensors();
+                let (mut proto_idx, mut si_idx) = (None, None);
+                let traced = plan::trace(&trace_inputs, topology, || {
+                    let out = self.step_graph(&inp);
+                    let mut outs = vec![out.total];
+                    if let Some(p) = out.proto {
+                        proto_idx = Some(outs.len());
+                        outs.push(p);
+                    }
+                    if let Some(s) = out.si {
+                        si_idx = Some(outs.len());
+                        outs.push(s);
+                    }
+                    outs
+                });
+                match traced {
+                    Ok(plan) => {
+                        // The trace *was* this step's eager forward; its
+                        // outputs already hold the step's values.
+                        let lp = proto_idx.map_or(0.0, |i| plan.output(i).item());
+                        let ls = si_idx.map_or(0.0, |i| plan.output(i).item());
+                        let sp = Arc::new(StepPlan {
+                            plan,
+                            tensors: inp,
+                            proto_idx,
+                            si_idx,
+                        });
+                        lock_cache(&self.plan_cache).insert(key, Some(Arc::clone(&sp)));
+                        (StepRun::Plan(sp), lp, ls)
+                    }
+                    Err(_) => {
+                        // Untraceable graph (should not happen for the step
+                        // graph, but custom banks could introduce foreign
+                        // ops): poison the shape and redo the step eagerly.
+                        lock_cache(&self.plan_cache).insert(key, None);
+                        self.eager_step(inp)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Eager step over inputs that were already drawn (fallback seam of the
+    /// compiled executor, and the tail of the eager one).
+    fn eager_step(&self, inp: StepTensors) -> (StepRun, f32, f32) {
+        let out = self.step_graph(&inp);
+        let lp = out.proto.as_ref().map_or(0.0, Tensor::item);
+        let ls = out.si.as_ref().map_or(0.0, Tensor::item);
+        (StepRun::Eager(out.total), lp, ls)
+    }
+
+    /// Draw one step's inputs: every random decision (augmented views,
+    /// mixup lambdas) and all CPU-side preprocessing (distances, adaptive
+    /// temperatures, chart rasterization, batch stacking) in the exact
+    /// order of the historical monolithic step, so the RNG stream is
+    /// bit-identical. The returned tensors are pure graph inputs with no
+    /// autograd history of interest.
+    fn step_inputs(&self, samples: &[&MultiSeries], rng: &mut StdRng) -> StepTensors {
         let cfg = &self.cfg;
         let b = samples.len();
         let g = cfg.g();
+        let m = samples[0].len();
+        let t_len = samples[0][0].len();
         let ab = cfg.ablation;
-        let mut total: Option<Tensor> = None;
-        let (mut proto_val, mut si_val) = (0f32, 0f32);
-
+        let (mut view0, mut view1, mut tau_w, mut tau_c) = (None, None, None, None);
         if ab.inter || ab.intra {
-            // --- augmented views -------------------------------------------------
+            // --- augmented views ---------------------------------------------
             // Two view sets: views[set][i][k] is a MultiSeries.
             let mut views = [Vec::with_capacity(b), Vec::with_capacity(b)];
             for s in samples {
@@ -747,24 +1020,73 @@ impl AimTs {
                     }
                 }
             }
-            let tau_w = Tensor::from_vec(
+            tau_w = Some(Tensor::from_vec(
                 losses::adaptive_tau(&d_within, b, g, cfg.tau0, true),
                 &[b, g, g],
-            );
-            let tau_c = Tensor::from_vec(
+            ));
+            tau_c = Some(Tensor::from_vec(
                 losses::adaptive_tau(&d_cross, b, g, cfg.tau0, true),
                 &[b, g, g],
-            );
-
-            // --- encode both view sets ------------------------------------------
-            let encode_set = |set: &Vec<Vec<MultiSeries>>| -> Tensor {
-                // Order rows (i, k): each entry is a MultiSeries of equal M/T.
+            ));
+            // Order rows (i, k): each entry is a MultiSeries of equal M/T.
+            let stack = |set: &Vec<Vec<MultiSeries>>| -> Tensor {
                 let refs: Vec<&MultiSeries> = set.iter().flatten().collect();
-                let batch = samples_to_tensor(&refs); // [B*G, M, T]
-                encode_channel_independent(&self.ts_encoder, &batch) // [B*G, J]
+                samples_to_tensor(&refs) // [B*G, M, T]
             };
-            let r = encode_set(&views[0]);
-            let rt = encode_set(&views[1]);
+            view0 = Some(stack(&views[0]));
+            view1 = Some(stack(&views[1]));
+        }
+        let (mut img, mut orig, mut lam) = (None, None, None);
+        if ab.si_naive || ab.si_mixup {
+            let imgs: Vec<Tensor> = samples
+                .iter()
+                .map(|s| {
+                    let img = render_sample(s, &cfg.image);
+                    Tensor::from_vec(img.data, &[1, 3, img.height, img.width])
+                })
+                .collect();
+            img = Some(Tensor::concat(&imgs, 0));
+            orig = Some(samples_to_tensor(samples));
+            if ab.si_mixup {
+                lam = Some(Tensor::from_vec(sample_lambdas(b, cfg.gamma, rng), &[b]));
+            }
+        }
+        StepTensors {
+            b,
+            m,
+            t: t_len,
+            view0,
+            view1,
+            tau_w,
+            tau_c,
+            img,
+            orig,
+            lam,
+        }
+    }
+
+    /// The tensor graph of one pre-training step over already-drawn inputs:
+    /// no RNG, no CPU preprocessing — exactly the arithmetic of the
+    /// historical monolithic step, and the region the compiled executor
+    /// traces.
+    fn step_graph(&self, inp: &StepTensors) -> StepOutputs {
+        let cfg = &self.cfg;
+        let b = inp.b;
+        let g = cfg.g();
+        let ab = cfg.ablation;
+        let mut total: Option<Tensor> = None;
+        let (mut proto_out, mut si_out) = (None, None);
+
+        if ab.inter || ab.intra {
+            let take = |t: &Option<Tensor>| -> Tensor {
+                t.clone()
+                    // aimts-lint: allow(A001, step_inputs and step_graph read the same immutable ablation flags)
+                    .expect("step_inputs populates every tensor its ablation enables")
+            };
+            let (tau_w, tau_c) = (take(&inp.tau_w), take(&inp.tau_c));
+            // --- encode both view sets ---------------------------------------
+            let r = encode_channel_independent(&self.ts_encoder, &take(&inp.view0)); // [B*G, J]
+            let rt = encode_channel_independent(&self.ts_encoder, &take(&inp.view1));
 
             let mut inter_term = None;
             let mut intra_term = None;
@@ -795,32 +1117,27 @@ impl AimTs {
                 (None, Some(intra)) => intra,
                 (None, None) => unreachable!(),
             };
-            proto_val = proto.item();
+            proto_out = Some(proto.clone());
             total = Some(proto);
         }
 
         if ab.si_naive || ab.si_mixup {
-            // --- series-image contrastive ---------------------------------------
-            let imgs: Vec<Tensor> = samples
-                .iter()
-                .map(|s| {
-                    let img = render_sample(s, &cfg.image);
-                    Tensor::from_vec(img.data, &[1, 3, img.height, img.width])
-                })
-                .collect();
-            let img_batch = Tensor::concat(&imgs, 0);
+            // --- series-image contrastive ------------------------------------
+            let take = |t: &Option<Tensor>| -> Tensor {
+                t.clone()
+                    // aimts-lint: allow(A001, step_inputs and step_graph read the same immutable ablation flags)
+                    .expect("step_inputs populates every tensor its ablation enables")
+            };
             let u = self
                 .img_proj
-                .forward(&self.image_encoder.encode(&img_batch))
+                .forward(&self.image_encoder.encode(&take(&inp.img)))
                 .l2_normalize(1);
-            let orig = samples_to_tensor(samples);
-            let r_orig = encode_channel_independent(&self.ts_encoder, &orig);
+            let r_orig = encode_channel_independent(&self.ts_encoder, &take(&inp.orig));
             let v_si = self.ts_proj.forward(&r_orig).l2_normalize(1);
 
             let naive = losses::series_image_naive(&u, &v_si, cfg.tau_si);
             let si = if ab.si_mixup {
-                let lambdas = sample_lambdas(b, cfg.gamma, rng);
-                let mixed = geodesic_mixup(&u, &v_si, &lambdas);
+                let mixed = geodesic_mixup_t(&u, &v_si, &take(&inp.lam));
                 let mix = losses::series_image_mixup(&u, &v_si, &mixed, cfg.tau_si);
                 if ab.si_naive {
                     losses::series_image_loss(&naive, &mix, cfg.beta)
@@ -830,7 +1147,7 @@ impl AimTs {
             } else {
                 naive
             };
-            si_val = si.item();
+            si_out = Some(si.clone());
             total = Some(match total {
                 Some(t) => t.add(&si),
                 None => si,
@@ -838,7 +1155,11 @@ impl AimTs {
         }
 
         let total = total.expect("at least one loss component must be enabled"); // aimts-lint: allow(A001, config validation rejects all-disabled loss components before training starts)
-        (total, proto_val, si_val)
+        StepOutputs {
+            total,
+            proto: proto_out,
+            si: si_out,
+        }
     }
 
     /// Encode downstream samples (no augmentation, no images — Fig. 3b).
@@ -865,6 +1186,11 @@ impl AimTs {
             image_encoder: self.image_encoder.replicate(),
             img_proj: self.img_proj.replicate(),
             seed: self.seed,
+            // Plans replay against the tensors they were traced over; a
+            // replica has fresh parameter storage, so it warms its own
+            // cache (and layout) on its own pinned worker thread.
+            plan_cache: Mutex::new(HashMap::new()),
+            layout: OnceLock::new(),
         }
     }
 
@@ -1165,5 +1491,126 @@ mod tests {
             m.num_parameters(),
             AimTs::new(AimTsConfig::tiny(), 5).num_parameters()
         );
+    }
+
+    #[test]
+    fn compiled_serial_pretrain_is_bitwise_eager() {
+        let run = |executor: Executor| {
+            let mut model = AimTs::new(AimTsConfig::tiny(), 3407);
+            let report = model
+                .pretrain(
+                    &tiny_pool(12),
+                    &PretrainConfig {
+                        epochs: 2,
+                        batch_size: 4,
+                        workers: 1,
+                        executor,
+                        ..Default::default()
+                    },
+                )
+                .expect("clean pre-training must succeed");
+            (report, model.flat_parameters())
+        };
+        let (eager, eager_params) = run(Executor::Eager);
+        let (compiled, compiled_params) = run(Executor::Compiled);
+        assert_eq!(
+            eager
+                .epoch_losses
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            compiled
+                .epoch_losses
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            "compiled executor must replay the eager trajectory bit-for-bit"
+        );
+        assert_eq!(eager.steps, compiled.steps);
+        assert!(compiled.health.is_clean(), "{}", compiled.health);
+        assert_eq!(
+            eager_params.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            compiled_params
+                .iter()
+                .map(|p| p.to_bits())
+                .collect::<Vec<_>>(),
+            "final parameters must be bit-identical across executors"
+        );
+    }
+
+    #[test]
+    fn compiled_microbatch_gradient_is_bitwise_eager() {
+        let model = AimTs::new(AimTsConfig::tiny(), 21);
+        let pool = tiny_pool(8);
+        let prepared: Vec<MultiSeries> = pool.iter().map(|s| model.prepare(s)).collect();
+        let groups = AimTs::group_by_var_count(&prepared);
+        let idxs = groups.values().max_by_key(|g| g.len()).unwrap();
+        let refs: Vec<&MultiSeries> = idxs[..2].iter().map(|&i| &prepared[i]).collect();
+        let eager = model.microbatch_gradient_ex(&refs, 5, Executor::Eager, 1);
+        // First compiled call traces, the second replays the cached plan;
+        // both must reproduce the eager gradient exactly.
+        for round in 0..2 {
+            let compiled = model.microbatch_gradient_ex(&refs, 5, Executor::Compiled, 1);
+            assert_eq!(
+                eager.loss.to_bits(),
+                compiled.loss.to_bits(),
+                "round {round}"
+            );
+            assert_eq!(
+                eager.proto_loss.to_bits(),
+                compiled.proto_loss.to_bits(),
+                "round {round}"
+            );
+            assert_eq!(
+                eager.si_loss.to_bits(),
+                compiled.si_loss.to_bits(),
+                "round {round}"
+            );
+            let diverged = eager
+                .gradient
+                .iter()
+                .zip(&compiled.gradient)
+                .filter(|(a, b)| a.to_bits() != b.to_bits())
+                .count();
+            assert_eq!(
+                diverged, 0,
+                "round {round}: {diverged} gradient elements diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_parallel_pretrain_is_deterministic() {
+        let run = |executor: Executor| {
+            let mut model = AimTs::new(AimTsConfig::tiny(), 3407);
+            model
+                .pretrain(
+                    &tiny_pool(16),
+                    &PretrainConfig {
+                        epochs: 2,
+                        batch_size: 4,
+                        workers: 2,
+                        executor,
+                        ..Default::default()
+                    },
+                )
+                .expect("clean pre-training must succeed")
+        };
+        let eager = run(Executor::Eager);
+        let compiled = run(Executor::Compiled);
+        assert_eq!(
+            eager
+                .epoch_losses
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            compiled
+                .epoch_losses
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            "pinned-slot replicas replay their warm plans bit-for-bit"
+        );
+        assert!(compiled.health.is_clean(), "{}", compiled.health);
     }
 }

@@ -1,7 +1,10 @@
 //! The [`Module`] trait: forward pass, parameter enumeration, and the
 //! flat-buffer surface used by data-parallel training, plus the
-//! [`Replicate`]/[`AnyModule`] traits for cloning modules onto workers.
+//! [`Replicate`]/[`AnyModule`] traits for cloning modules onto workers,
+//! and the [`ParamLayout`]/[`CompiledStep`] surface used by the compiled
+//! executor (see `aimts_tensor::plan`).
 
+use aimts_tensor::plan::{self, CompiledPlan, TraceError};
 use aimts_tensor::Tensor;
 
 /// A neural-network component.
@@ -101,6 +104,142 @@ pub trait Module {
             off += n;
         }
     }
+
+    /// Trace one training step of this module into a replayable plan (see
+    /// [`aimts_tensor::plan::trace`]), pairing it with the module's frozen
+    /// [`ParamLayout`] so flat parameter/gradient exchange during replay
+    /// skips re-enumerating the tree. `build` must run exactly one eager
+    /// step and return the graph outputs with the scalar loss first.
+    fn compile_step(
+        &self,
+        inputs: &[Tensor],
+        topology: usize,
+        build: impl FnOnce() -> Vec<Tensor>,
+    ) -> Result<CompiledStep, TraceError>
+    where
+        Self: Sized,
+    {
+        let layout = ParamLayout::of(self);
+        let plan = plan::trace(inputs, topology, build)?;
+        Ok(CompiledStep { plan, layout })
+    }
+}
+
+/// Parameter enumeration frozen once: the handles, their flat-buffer
+/// offsets, and the total scalar count.
+///
+/// `Module::parameters()` rebuilds the `named_parameters` tree (string
+/// formatting included) on every call; the flat-exchange hot path calls it
+/// four times per round. A `ParamLayout` captures that enumeration once —
+/// parameter handles are `Arc`s onto the same storage, so data written
+/// through the layout is visible to the module and vice versa. All four
+/// flat methods are element-for-element identical to the [`Module`]
+/// defaults.
+pub struct ParamLayout {
+    params: Vec<Tensor>,
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl ParamLayout {
+    /// Freeze `module`'s current parameter enumeration.
+    pub fn of(module: &(impl Module + ?Sized)) -> Self {
+        Self::from_params(module.parameters())
+    }
+
+    /// Freeze an explicit parameter list (must match `parameters()` order).
+    pub fn from_params(params: Vec<Tensor>) -> Self {
+        let mut offsets = Vec::with_capacity(params.len());
+        let mut total = 0usize;
+        for p in &params {
+            offsets.push(total);
+            total += p.numel();
+        }
+        ParamLayout {
+            params,
+            offsets,
+            total,
+        }
+    }
+
+    /// The frozen parameter handles, in `parameters()` order.
+    pub fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+
+    /// Flat-buffer offset of parameter `i`.
+    pub fn offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Total number of scalar parameters.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// [`Module::flat_parameters`] without the re-enumeration.
+    pub fn flat_parameters(&self) -> Vec<f32> {
+        let mut out = aimts_tensor::arena::take(self.total);
+        for p in &self.params {
+            out.extend_from_slice(&p.data());
+        }
+        out
+    }
+
+    /// [`Module::load_flat`] without the re-enumeration.
+    pub fn load_flat(&self, flat: &[f32]) {
+        assert_eq!(
+            flat.len(),
+            self.total,
+            "load_flat length mismatch: buffer has {} values, layout has {} parameters",
+            flat.len(),
+            self.total
+        );
+        for (p, &off) in self.params.iter().zip(&self.offsets) {
+            p.set_data(&flat[off..off + p.numel()]);
+        }
+    }
+
+    /// [`Module::flat_gradient`] without the re-enumeration.
+    pub fn flat_gradient(&self) -> Vec<f32> {
+        let mut out = aimts_tensor::arena::take(self.total);
+        for p in &self.params {
+            match p.grad() {
+                Some(g) => out.extend_from_slice(&g),
+                None => out.resize(out.len() + p.numel(), 0f32),
+            }
+        }
+        out
+    }
+
+    /// [`Module::accumulate_flat_gradient`] without the re-enumeration.
+    pub fn accumulate_flat_gradient(&self, flat: &[f32]) {
+        assert_eq!(
+            flat.len(),
+            self.total,
+            "accumulate_flat_gradient length mismatch: buffer has {} values, layout has {} parameters",
+            flat.len(),
+            self.total
+        );
+        for (p, &off) in self.params.iter().zip(&self.offsets) {
+            p.accumulate_grad(&flat[off..off + p.numel()]);
+        }
+    }
+
+    /// Zero every parameter's accumulated gradient.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+}
+
+/// A traced training step plus the parameter layout it was traced against.
+pub struct CompiledStep {
+    /// The replayable instruction plan (forward + backward schedule).
+    pub plan: CompiledPlan,
+    /// Frozen parameter slots of the module the plan computes over.
+    pub layout: ParamLayout,
 }
 
 /// Deep copy with fresh parameter (and internal-state) storage.

@@ -55,13 +55,11 @@ pub fn push_no_grad() -> NoGradGuard {
     NoGradGuard { prev }
 }
 
-/// Reverse sweep. Builds a topological order over tracked ancestors of
-/// `root`, then propagates `seed` backwards, accumulating into leaf
-/// variables' `.grad`.
-pub(crate) fn run_backward(root: &Tensor, seed: &[f32]) {
-    if !root.is_tracked() {
-        return;
-    }
+/// Topological (post-)order over the tracked ancestors of `root`: leaves
+/// first, `root` last. This is the exact traversal `run_backward` sweeps in
+/// reverse; the plan compiler reuses it so a compiled backward schedule
+/// visits nodes in the identical order.
+pub(crate) fn backward_order(root: &Tensor) -> Vec<Tensor> {
     // Iterative DFS post-order: children (parents in graph terms) first.
     let mut order: Vec<Tensor> = Vec::new();
     let mut visited: HashSet<u64> = HashSet::new();
@@ -84,6 +82,17 @@ pub(crate) fn run_backward(root: &Tensor, seed: &[f32]) {
             order.push(node);
         }
     }
+    order
+}
+
+/// Reverse sweep. Builds a topological order over tracked ancestors of
+/// `root`, then propagates `seed` backwards, accumulating into leaf
+/// variables' `.grad`.
+pub(crate) fn run_backward(root: &Tensor, seed: &[f32]) {
+    if !root.is_tracked() {
+        return;
+    }
+    let order = backward_order(root);
     // `order` is post-order: leaves first, root last → walk reversed.
     // Flowing gradient buffers come from (and return to) the thread-local
     // arena, so steady-state backward sweeps allocate nothing.
@@ -100,9 +109,15 @@ pub(crate) fn run_backward(root: &Tensor, seed: &[f32]) {
             let parent_grads = (graph.backward)(node, &gout);
             debug_assert_eq!(parent_grads.len(), graph.parents.len());
             for (p, pg) in graph.parents.iter().zip(parent_grads) {
-                let (true, Some(pg)) = (p.is_tracked(), pg) else {
+                let Some(pg) = pg else {
                     continue;
                 };
+                if !p.is_tracked() {
+                    // No grad slot for this parent, but the buffer is
+                    // pool-backed — return it instead of dropping it.
+                    arena::recycle(pg);
+                    continue;
+                }
                 debug_assert_eq!(pg.len(), p.numel(), "parent grad length mismatch");
                 match grads.get_mut(&p.inner.id) {
                     Some(acc) => {

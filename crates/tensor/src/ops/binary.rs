@@ -1,6 +1,7 @@
 //! Broadcasting element-wise binary operations and scalar variants.
 
 use crate::arena;
+use crate::plan;
 use crate::shape::{broadcast_shapes, broadcast_strides, numel, reduce_grad_to_shape, strides};
 use crate::tensor::{read_pair, Tensor};
 
@@ -50,12 +51,26 @@ fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> (Vec<f3
     (out, out_shape)
 }
 
+/// Trace hook shared by the broadcasting binary ops: the replay thunk
+/// re-runs the identical `zip_broadcast` kernel over the parents.
+fn record_binary(
+    t: &Tensor,
+    op: plan::Op,
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(f32, f32) -> f32 + Copy + Send + Sync + 'static,
+) {
+    plan::record(t, op, plan::Attr::None, &[a, b], move |ps| {
+        zip_broadcast(&ps[0], &ps[1], f).0
+    });
+}
+
 impl Tensor {
     /// Element-wise addition with NumPy broadcasting.
     pub fn add(&self, other: &Tensor) -> Tensor {
         let (out, out_shape) = zip_broadcast(self, other, |x, y| x + y);
         let os = out_shape.clone();
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             &out_shape,
             vec![self.clone(), other.clone()],
@@ -67,14 +82,16 @@ impl Tensor {
                     Some(reduce_grad_to_shape(gout, &os, b.shape())),
                 ]
             }),
-        )
+        );
+        record_binary(&t, plan::Op::Add, self, other, |x, y| x + y);
+        t
     }
 
     /// Element-wise subtraction with broadcasting.
     pub fn sub(&self, other: &Tensor) -> Tensor {
         let (out, out_shape) = zip_broadcast(self, other, |x, y| x - y);
         let os = out_shape.clone();
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             &out_shape,
             vec![self.clone(), other.clone()],
@@ -86,14 +103,16 @@ impl Tensor {
                 arena::recycle(neg);
                 vec![Some(reduce_grad_to_shape(gout, &os, a.shape())), Some(gb)]
             }),
-        )
+        );
+        record_binary(&t, plan::Op::Sub, self, other, |x, y| x - y);
+        t
     }
 
     /// Element-wise multiplication with broadcasting.
     pub fn mul(&self, other: &Tensor) -> Tensor {
         let (out, out_shape) = zip_broadcast(self, other, |x, y| x * y);
         let os = out_shape.clone();
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             &out_shape,
             vec![self.clone(), other.clone()],
@@ -111,14 +130,16 @@ impl Tensor {
                 }
                 vec![Some(gra), Some(grb)]
             }),
-        )
+        );
+        record_binary(&t, plan::Op::Mul, self, other, |x, y| x * y);
+        t
     }
 
     /// Element-wise division with broadcasting.
     pub fn div(&self, other: &Tensor) -> Tensor {
         let (out, out_shape) = zip_broadcast(self, other, |x, y| x / y);
         let os = out_shape.clone();
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             &out_shape,
             vec![self.clone(), other.clone()],
@@ -141,7 +162,9 @@ impl Tensor {
                 }
                 vec![Some(gra), Some(grb)]
             }),
-        )
+        );
+        record_binary(&t, plan::Op::Div, self, other, |x, y| x / y);
+        t
     }
 
     /// Element-wise maximum with broadcasting. Gradient routes to the larger
@@ -149,7 +172,7 @@ impl Tensor {
     pub fn maximum(&self, other: &Tensor) -> Tensor {
         let (out, out_shape) = zip_broadcast(self, other, f32::max);
         let os = out_shape.clone();
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             &out_shape,
             vec![self.clone(), other.clone()],
@@ -173,14 +196,16 @@ impl Tensor {
                     Some(reduce_grad_to_shape(&gb, &os, b.shape())),
                 ]
             }),
-        )
+        );
+        record_binary(&t, plan::Op::Maximum, self, other, f32::max);
+        t
     }
 
     /// Element-wise minimum with broadcasting (ties to the first argument).
     pub fn minimum(&self, other: &Tensor) -> Tensor {
         let (out, out_shape) = zip_broadcast(self, other, f32::min);
         let os = out_shape.clone();
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             &out_shape,
             vec![self.clone(), other.clone()],
@@ -204,7 +229,9 @@ impl Tensor {
                     Some(reduce_grad_to_shape(&gb, &os, b.shape())),
                 ]
             }),
-        )
+        );
+        record_binary(&t, plan::Op::Minimum, self, other, f32::min);
+        t
     }
 
     // ----- scalar variants --------------------------------------------------
@@ -214,12 +241,23 @@ impl Tensor {
         let d = self.data();
         let out = arena::map_collect(d.len(), d.iter().map(|x| x + s));
         drop(d);
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             self.shape(),
             vec![self.clone()],
             Box::new(|_, gout| vec![Some(arena::copy_of(gout))]),
-        )
+        );
+        plan::record(
+            &t,
+            plan::Op::AddScalar,
+            plan::Attr::Scalar(s),
+            &[self],
+            move |ps| {
+                let d = ps[0].data();
+                arena::map_collect(d.len(), d.iter().map(|x| x + s))
+            },
+        );
+        t
     }
 
     /// `self * s` element-wise.
@@ -227,7 +265,7 @@ impl Tensor {
         let d = self.data();
         let out = arena::map_collect(d.len(), d.iter().map(|x| x * s));
         drop(d);
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             self.shape(),
             vec![self.clone()],
@@ -237,7 +275,18 @@ impl Tensor {
                     gout.iter().map(|g| g * s),
                 ))]
             }),
-        )
+        );
+        plan::record(
+            &t,
+            plan::Op::MulScalar,
+            plan::Attr::Scalar(s),
+            &[self],
+            move |ps| {
+                let d = ps[0].data();
+                arena::map_collect(d.len(), d.iter().map(|x| x * s))
+            },
+        );
+        t
     }
 
     /// `self / s` element-wise.
@@ -250,7 +299,7 @@ impl Tensor {
         let d = self.data();
         let out = arena::map_collect(d.len(), d.iter().map(|x| x * a + b));
         drop(d);
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             self.shape(),
             vec![self.clone()],
@@ -260,7 +309,12 @@ impl Tensor {
                     gout.iter().map(|g| g * a),
                 ))]
             }),
-        )
+        );
+        plan::record(&t, plan::Op::Affine, plan::Attr::None, &[self], move |ps| {
+            let d = ps[0].data();
+            arena::map_collect(d.len(), d.iter().map(|x| x * a + b))
+        });
+        t
     }
 }
 

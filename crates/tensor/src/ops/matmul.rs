@@ -3,6 +3,7 @@
 use rayon::prelude::*;
 
 use crate::arena;
+use crate::plan;
 use crate::simd;
 use crate::tensor::{read_pair, Tensor};
 
@@ -87,7 +88,7 @@ impl Tensor {
         let (ad, bd) = read_pair(self, other);
         let out = mm(&ad, &bd, m, k, n);
         drop((ad, bd));
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             &[m, n],
             vec![self.clone(), other.clone()],
@@ -102,7 +103,18 @@ impl Tensor {
                 arena::recycle(at);
                 vec![Some(ga), Some(gb)]
             }),
-        )
+        );
+        plan::record(
+            &t,
+            plan::Op::Matmul,
+            plan::Attr::None,
+            &[self, other],
+            move |ps| {
+                let (ad, bd) = read_pair(&ps[0], &ps[1]);
+                mm(&ad, &bd, m, k, n)
+            },
+        );
+        t
     }
 
     fn matmul_batched(&self, other: &Tensor) -> Tensor {
@@ -126,7 +138,7 @@ impl Tensor {
                 );
             });
         drop((ad_ref, bd_ref));
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             &[bsz, m, n],
             vec![self.clone(), other.clone()],
@@ -147,7 +159,32 @@ impl Tensor {
                 }
                 vec![Some(ga), Some(gb)]
             }),
-        )
+        );
+        plan::record(
+            &t,
+            plan::Op::Matmul,
+            plan::Attr::None,
+            &[self, other],
+            move |ps| {
+                let (ad_ref, bd_ref) = read_pair(&ps[0], &ps[1]);
+                let (ad, bd): (&[f32], &[f32]) = (&ad_ref, &bd_ref);
+                let mut out = arena::zeroed(bsz * m * n);
+                out.par_chunks_mut(m * n)
+                    .enumerate()
+                    .for_each(|(bi, chunk)| {
+                        mm_acc(
+                            chunk,
+                            &ad[bi * m * k..(bi + 1) * m * k],
+                            &bd[bi * k * n..(bi + 1) * k * n],
+                            m,
+                            k,
+                            n,
+                        );
+                    });
+                out
+            },
+        );
+        t
     }
 
     fn matmul_3d_2d(&self, other: &Tensor) -> Tensor {
@@ -158,7 +195,7 @@ impl Tensor {
         let (ad, bd) = read_pair(self, other);
         let out = mm(&ad, &bd, bsz * m, k, n);
         drop((ad, bd));
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             &[bsz, m, n],
             vec![self.clone(), other.clone()],
@@ -172,7 +209,18 @@ impl Tensor {
                 arena::recycle(at);
                 vec![Some(ga), Some(gb)]
             }),
-        )
+        );
+        plan::record(
+            &t,
+            plan::Op::Matmul,
+            plan::Attr::None,
+            &[self, other],
+            move |ps| {
+                let (ad, bd) = read_pair(&ps[0], &ps[1]);
+                mm(&ad, &bd, bsz * m, k, n)
+            },
+        );
+        t
     }
 }
 

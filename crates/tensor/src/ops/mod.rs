@@ -10,6 +10,6 @@ mod pool;
 mod reduce;
 mod shape_ops;
 mod softmax;
-mod unary;
+pub(crate) mod unary;
 
 pub use conv::{Conv1dSpec, Conv2dSpec};

@@ -1,5 +1,7 @@
 //! Pooling: 1-D/2-D max pooling and global pools.
 
+use crate::arena;
+use crate::plan;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -12,37 +14,54 @@ impl Tensor {
         let (b, c, l) = (self.shape()[0], self.shape()[1], self.shape()[2]);
         let lo = l / k;
         assert!(lo >= 1, "max_pool1d window {k} larger than length {l}");
-        let d = self.data();
-        let mut out = vec![f32::NEG_INFINITY; b * c * lo];
-        let mut arg = vec![0usize; b * c * lo];
-        for bc in 0..b * c {
-            let row = &d[bc * l..(bc + 1) * l];
-            for o in 0..lo {
-                let mut best = f32::NEG_INFINITY;
-                let mut bi = 0usize;
-                for (i, &v) in row.iter().enumerate().take((o + 1) * k).skip(o * k) {
-                    if v > best {
-                        best = v;
-                        bi = i;
+        // Backward re-runs the same scan over the parent (first arg-max on
+        // ties via strict `>`), so compiled replay stays consistent with
+        // the replayed values instead of a trace-time index capture.
+        let scan = move |d: &[f32]| -> (Vec<f32>, Vec<usize>) {
+            let mut out = arena::take(b * c * lo);
+            out.resize(b * c * lo, f32::NEG_INFINITY);
+            let mut arg = vec![0usize; b * c * lo];
+            for bc in 0..b * c {
+                let row = &d[bc * l..(bc + 1) * l];
+                for o in 0..lo {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut bi = 0usize;
+                    for (i, &v) in row.iter().enumerate().take((o + 1) * k).skip(o * k) {
+                        if v > best {
+                            best = v;
+                            bi = i;
+                        }
                     }
+                    out[bc * lo + o] = best;
+                    arg[bc * lo + o] = bc * l + bi;
                 }
-                out[bc * lo + o] = best;
-                arg[bc * lo + o] = bc * l + bi;
             }
-        }
-        drop(d);
-        Tensor::from_op(
+            (out, arg)
+        };
+        let (out, _) = scan(&self.data());
+        let t = Tensor::from_op(
             out,
             &[b, c, lo],
             vec![self.clone()],
             Box::new(move |node, gout| {
-                let mut g = vec![0f32; node.op_parents()[0].numel()];
+                let parent = &node.op_parents()[0];
+                let (mx, arg) = scan(&parent.data());
+                arena::recycle(mx);
+                let mut g = arena::zeroed(parent.numel());
                 for (oi, &src) in arg.iter().enumerate() {
                     g[src] += gout[oi];
                 }
                 vec![Some(g)]
             }),
-        )
+        );
+        plan::record(
+            &t,
+            plan::Op::MaxPool1d,
+            plan::Attr::None,
+            &[self],
+            move |ps| scan(&ps[0].data()).0,
+        );
+        t
     }
 
     /// Global max pooling over time: `[B, C, L] -> [B, C]`.
@@ -69,42 +88,57 @@ impl Tensor {
         );
         let (ho, wo) = (h / k, w / k);
         assert!(ho >= 1 && wo >= 1, "max_pool2d window too large");
-        let d = self.data();
-        let mut out = vec![f32::NEG_INFINITY; b * c * ho * wo];
-        let mut arg = vec![0usize; b * c * ho * wo];
-        for bc in 0..b * c {
-            let plane = &d[bc * h * w..(bc + 1) * h * w];
-            for oy in 0..ho {
-                for ox in 0..wo {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut bidx = 0usize;
-                    for iy in oy * k..(oy + 1) * k {
-                        for ix in ox * k..(ox + 1) * k {
-                            let v = plane[iy * w + ix];
-                            if v > best {
-                                best = v;
-                                bidx = bc * h * w + iy * w + ix;
+        // Same replay-safe argmax-recompute pattern as `max_pool1d`.
+        let scan = move |d: &[f32]| -> (Vec<f32>, Vec<usize>) {
+            let mut out = arena::take(b * c * ho * wo);
+            out.resize(b * c * ho * wo, f32::NEG_INFINITY);
+            let mut arg = vec![0usize; b * c * ho * wo];
+            for bc in 0..b * c {
+                let plane = &d[bc * h * w..(bc + 1) * h * w];
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut bidx = 0usize;
+                        for iy in oy * k..(oy + 1) * k {
+                            for ix in ox * k..(ox + 1) * k {
+                                let v = plane[iy * w + ix];
+                                if v > best {
+                                    best = v;
+                                    bidx = bc * h * w + iy * w + ix;
+                                }
                             }
                         }
+                        out[bc * ho * wo + oy * wo + ox] = best;
+                        arg[bc * ho * wo + oy * wo + ox] = bidx;
                     }
-                    out[bc * ho * wo + oy * wo + ox] = best;
-                    arg[bc * ho * wo + oy * wo + ox] = bidx;
                 }
             }
-        }
-        drop(d);
-        Tensor::from_op(
+            (out, arg)
+        };
+        let (out, _) = scan(&self.data());
+        let t = Tensor::from_op(
             out,
             &[b, c, ho, wo],
             vec![self.clone()],
             Box::new(move |node, gout| {
-                let mut g = vec![0f32; node.op_parents()[0].numel()];
+                let parent = &node.op_parents()[0];
+                let (mx, arg) = scan(&parent.data());
+                arena::recycle(mx);
+                let mut g = arena::zeroed(parent.numel());
                 for (oi, &src) in arg.iter().enumerate() {
                     g[src] += gout[oi];
                 }
                 vec![Some(g)]
             }),
-        )
+        );
+        plan::record(
+            &t,
+            plan::Op::MaxPool2d,
+            plan::Attr::None,
+            &[self],
+            move |ps| scan(&ps[0].data()).0,
+        );
+        t
     }
 
     /// Global average pooling over space: `[B, C, H, W] -> [B, C]`.

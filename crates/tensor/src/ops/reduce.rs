@@ -1,5 +1,7 @@
 //! Reductions: full and per-axis sums, means, max/min.
 
+use crate::arena;
+use crate::plan;
 use crate::tensor::Tensor;
 
 /// Decompose a shape around `axis` into (outer, axis_len, inner).
@@ -26,15 +28,24 @@ impl Tensor {
         let s: f32 = self.data().iter().sum();
         let n = self.numel();
         let shape = self.shape().to_vec();
-        Tensor::from_op(
+        let t = Tensor::from_op(
             vec![s],
             &[],
             vec![self.clone()],
             Box::new(move |_, gout| {
                 let _ = &shape;
-                vec![Some(vec![gout[0]; n])]
+                let mut g = arena::take(n);
+                g.resize(n, gout[0]);
+                vec![Some(g)]
             }),
-        )
+        );
+        plan::record(&t, plan::Op::SumAll, plan::Attr::None, &[self], |ps| {
+            let s: f32 = ps[0].data().iter().sum();
+            let mut out = arena::take(1);
+            out.push(s);
+            out
+        });
+        t
     }
 
     /// Mean of all elements (scalar output).
@@ -47,7 +58,7 @@ impl Tensor {
     pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Tensor {
         let (outer, ax, inner) = axis_split(self.shape(), axis);
         let d = self.data();
-        let mut out = vec![0f32; outer * inner];
+        let mut out = arena::zeroed(outer * inner);
         for o in 0..outer {
             for a in 0..ax {
                 let base = (o * ax + a) * inner;
@@ -59,13 +70,13 @@ impl Tensor {
         }
         drop(d);
         let oshape = reduced_shape(self.shape(), axis, keepdim);
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             &oshape,
             vec![self.clone()],
             Box::new(move |node, gout| {
                 let n = node.op_parents()[0].numel();
-                let mut g = vec![0f32; n];
+                let mut g = arena::zeroed(n);
                 for o in 0..outer {
                     for a in 0..ax {
                         let base = (o * ax + a) * inner;
@@ -75,7 +86,31 @@ impl Tensor {
                 }
                 vec![Some(g)]
             }),
-        )
+        );
+        plan::record(
+            &t,
+            plan::Op::SumAxis,
+            plan::Attr::Axis {
+                axis,
+                keep: keepdim,
+            },
+            &[self],
+            move |ps| {
+                let d = ps[0].data();
+                let mut out = arena::zeroed(outer * inner);
+                for o in 0..outer {
+                    for a in 0..ax {
+                        let base = (o * ax + a) * inner;
+                        let obase = o * inner;
+                        for i in 0..inner {
+                            out[obase + i] += d[base + i];
+                        }
+                    }
+                }
+                out
+            },
+        );
+        t
     }
 
     /// Mean along `axis`.
@@ -87,36 +122,57 @@ impl Tensor {
     /// Max along `axis`; gradient flows to the (first) arg-max element.
     pub fn max_axis(&self, axis: usize, keepdim: bool) -> Tensor {
         let (outer, ax, inner) = axis_split(self.shape(), axis);
-        let d = self.data();
-        let mut out = vec![f32::NEG_INFINITY; outer * inner];
-        let mut arg = vec![0usize; outer * inner];
-        for o in 0..outer {
-            for a in 0..ax {
-                let base = (o * ax + a) * inner;
-                let obase = o * inner;
-                for i in 0..inner {
-                    if d[base + i] > out[obase + i] {
-                        out[obase + i] = d[base + i];
-                        arg[obase + i] = base + i;
+        // Forward scan: strict `>` keeps the first arg-max on ties. The
+        // backward closure re-runs the same scan over the parent's data
+        // (instead of capturing the indices) so compiled replay sees
+        // argmaxes consistent with the replayed values.
+        let scan = move |d: &[f32]| -> (Vec<f32>, Vec<usize>) {
+            let mut out = arena::take(outer * inner);
+            out.resize(outer * inner, f32::NEG_INFINITY);
+            let mut arg = vec![0usize; outer * inner];
+            for o in 0..outer {
+                for a in 0..ax {
+                    let base = (o * ax + a) * inner;
+                    let obase = o * inner;
+                    for i in 0..inner {
+                        if d[base + i] > out[obase + i] {
+                            out[obase + i] = d[base + i];
+                            arg[obase + i] = base + i;
+                        }
                     }
                 }
             }
-        }
-        drop(d);
+            (out, arg)
+        };
+        let (out, _) = scan(&self.data());
         let oshape = reduced_shape(self.shape(), axis, keepdim);
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             &oshape,
             vec![self.clone()],
             Box::new(move |node, gout| {
-                let n = node.op_parents()[0].numel();
-                let mut g = vec![0f32; n];
+                let parent = &node.op_parents()[0];
+                let n = parent.numel();
+                let (mx, arg) = scan(&parent.data());
+                arena::recycle(mx);
+                let mut g = arena::zeroed(n);
                 for (oi, &src) in arg.iter().enumerate() {
                     g[src] += gout[oi];
                 }
                 vec![Some(g)]
             }),
-        )
+        );
+        plan::record(
+            &t,
+            plan::Op::MaxAxis,
+            plan::Attr::Axis {
+                axis,
+                keep: keepdim,
+            },
+            &[self],
+            move |ps| scan(&ps[0].data()).0,
+        );
+        t
     }
 
     /// Min along `axis`; gradient flows to the (first) arg-min element.

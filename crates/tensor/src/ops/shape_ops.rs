@@ -1,5 +1,7 @@
 //! Shape manipulation: reshape, permute, concat, slice, stack, select.
 
+use crate::arena;
+use crate::plan;
 use crate::shape::{numel, strides};
 use crate::tensor::Tensor;
 
@@ -13,12 +15,16 @@ impl Tensor {
             self.shape(),
             new_shape
         );
-        Tensor::from_op(
+        let t = Tensor::from_op(
             self.to_vec(),
             new_shape,
             vec![self.clone()],
-            Box::new(|_, gout| vec![Some(gout.to_vec())]),
-        )
+            Box::new(|_, gout| vec![Some(arena::copy_of(gout))]),
+        );
+        plan::record(&t, plan::Op::Reshape, plan::Attr::None, &[self], |ps| {
+            arena::copy_of(&ps[0].data())
+        });
+        t
     }
 
     /// Insert a size-1 dimension at `axis`.
@@ -51,21 +57,28 @@ impl Tensor {
         let in_str = strides(&in_shape);
         let out_str = strides(&out_shape);
         let n = self.numel();
-        let d = self.data();
-        let mut out = vec![0f32; n];
-        for (oi, slot) in out.iter_mut().enumerate() {
-            let mut rem = oi;
-            let mut src = 0usize;
-            for (dim, &os) in out_str.iter().enumerate() {
-                let coord = rem / os;
-                rem %= os;
-                src += coord * in_str[perm[dim]];
+        let gather = {
+            let in_str = in_str.clone();
+            let out_str = out_str.clone();
+            let perm = perm.to_vec();
+            move |d: &[f32]| -> Vec<f32> {
+                let mut out = arena::zeroed(n);
+                for (oi, slot) in out.iter_mut().enumerate() {
+                    let mut rem = oi;
+                    let mut src = 0usize;
+                    for (dim, &os) in out_str.iter().enumerate() {
+                        let coord = rem / os;
+                        rem %= os;
+                        src += coord * in_str[perm[dim]];
+                    }
+                    *slot = d[src];
+                }
+                out
             }
-            *slot = d[src];
-        }
-        drop(d);
+        };
+        let out = gather(&self.data());
         let perm_owned = perm.to_vec();
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             &out_shape,
             vec![self.clone()],
@@ -81,7 +94,7 @@ impl Tensor {
                 let out_shape: Vec<usize> = perm_owned.iter().map(|&p| in_shape[p]).collect();
                 let out_str = strides(&out_shape);
                 let in_str = strides(in_shape);
-                let mut g = vec![0f32; parent.numel()];
+                let mut g = arena::zeroed(parent.numel());
                 for (oi, &gv) in gout.iter().enumerate() {
                     let mut rem = oi;
                     let mut src = 0usize;
@@ -94,7 +107,15 @@ impl Tensor {
                 }
                 vec![Some(g)]
             }),
-        )
+        );
+        plan::record(
+            &t,
+            plan::Op::Permute,
+            plan::Attr::None,
+            &[self],
+            move |ps| gather(&ps[0].data()),
+        );
+        t
     }
 
     /// Swap two dimensions.
@@ -125,20 +146,24 @@ impl Tensor {
         let ax_total: usize = tensors.iter().map(|t| t.shape()[axis]).sum();
         let mut out_shape = tensors[0].shape().to_vec();
         out_shape[axis] = ax_total;
-        let mut out = vec![0f32; outer * ax_total * inner];
-        let mut offset = 0usize;
-        for t in tensors {
-            let ax = t.shape()[axis];
-            let d = t.data();
-            for o in 0..outer {
-                let src = &d[o * ax * inner..(o + 1) * ax * inner];
-                let dst_base = (o * ax_total + offset) * inner;
-                out[dst_base..dst_base + ax * inner].copy_from_slice(src);
+        let pack = move |parts: &[Tensor]| -> Vec<f32> {
+            let mut out = arena::zeroed(outer * ax_total * inner);
+            let mut offset = 0usize;
+            for t in parts {
+                let ax = t.shape()[axis];
+                let d = t.data();
+                for o in 0..outer {
+                    let src = &d[o * ax * inner..(o + 1) * ax * inner];
+                    let dst_base = (o * ax_total + offset) * inner;
+                    out[dst_base..dst_base + ax * inner].copy_from_slice(src);
+                }
+                offset += ax;
             }
-            offset += ax;
-        }
+            out
+        };
+        let out = pack(tensors);
         let sizes: Vec<usize> = tensors.iter().map(|t| t.shape()[axis]).collect();
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             &out_shape,
             tensors.to_vec(),
@@ -146,7 +171,7 @@ impl Tensor {
                 let mut grads = Vec::with_capacity(sizes.len());
                 let mut offset = 0usize;
                 for &ax in &sizes {
-                    let mut g = vec![0f32; outer * ax * inner];
+                    let mut g = arena::zeroed(outer * ax * inner);
                     for o in 0..outer {
                         let src_base = (o * ax_total + offset) * inner;
                         g[o * ax * inner..(o + 1) * ax * inner]
@@ -157,7 +182,12 @@ impl Tensor {
                 }
                 grads
             }),
-        )
+        );
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        plan::record(&t, plan::Op::Concat, plan::Attr::None, &refs, move |ps| {
+            pack(ps)
+        });
+        t
     }
 
     /// Stack tensors of identical shape along a new leading `axis`.
@@ -179,20 +209,22 @@ impl Tensor {
         let width = end - start;
         let mut out_shape = s.to_vec();
         out_shape[axis] = width;
-        let d = self.data();
-        let mut out = vec![0f32; outer * width * inner];
-        for o in 0..outer {
-            let src_base = (o * ax + start) * inner;
-            out[o * width * inner..(o + 1) * width * inner]
-                .copy_from_slice(&d[src_base..src_base + width * inner]);
-        }
-        drop(d);
-        Tensor::from_op(
+        let take = move |d: &[f32]| -> Vec<f32> {
+            let mut out = arena::zeroed(outer * width * inner);
+            for o in 0..outer {
+                let src_base = (o * ax + start) * inner;
+                out[o * width * inner..(o + 1) * width * inner]
+                    .copy_from_slice(&d[src_base..src_base + width * inner]);
+            }
+            out
+        };
+        let out = take(&self.data());
+        let t = Tensor::from_op(
             out,
             &out_shape,
             vec![self.clone()],
             Box::new(move |node, gout| {
-                let mut g = vec![0f32; node.op_parents()[0].numel()];
+                let mut g = arena::zeroed(node.op_parents()[0].numel());
                 for o in 0..outer {
                     let dst_base = (o * ax + start) * inner;
                     g[dst_base..dst_base + width * inner]
@@ -200,7 +232,15 @@ impl Tensor {
                 }
                 vec![Some(g)]
             }),
-        )
+        );
+        plan::record(
+            &t,
+            plan::Op::SliceAxis,
+            plan::Attr::None,
+            &[self],
+            move |ps| take(&ps[0].data()),
+        );
+        t
     }
 
     /// Gather rows along `axis` by index (indices may repeat).
@@ -214,24 +254,29 @@ impl Tensor {
         }
         let mut out_shape = s.to_vec();
         out_shape[axis] = indices.len();
-        let d = self.data();
         let k = indices.len();
-        let mut out = vec![0f32; outer * k * inner];
-        for o in 0..outer {
-            for (j, &i) in indices.iter().enumerate() {
-                let src = (o * ax + i) * inner;
-                let dst = (o * k + j) * inner;
-                out[dst..dst + inner].copy_from_slice(&d[src..src + inner]);
+        let gather = {
+            let idx = indices.to_vec();
+            move |d: &[f32]| -> Vec<f32> {
+                let mut out = arena::zeroed(outer * k * inner);
+                for o in 0..outer {
+                    for (j, &i) in idx.iter().enumerate() {
+                        let src = (o * ax + i) * inner;
+                        let dst = (o * k + j) * inner;
+                        out[dst..dst + inner].copy_from_slice(&d[src..src + inner]);
+                    }
+                }
+                out
             }
-        }
-        drop(d);
+        };
+        let out = gather(&self.data());
         let idx = indices.to_vec();
-        Tensor::from_op(
+        let t = Tensor::from_op(
             out,
             &out_shape,
             vec![self.clone()],
             Box::new(move |node, gout| {
-                let mut g = vec![0f32; node.op_parents()[0].numel()];
+                let mut g = arena::zeroed(node.op_parents()[0].numel());
                 for o in 0..outer {
                     for (j, &i) in idx.iter().enumerate() {
                         let dst = (o * ax + i) * inner;
@@ -243,7 +288,15 @@ impl Tensor {
                 }
                 vec![Some(g)]
             }),
-        )
+        );
+        plan::record(
+            &t,
+            plan::Op::IndexSelect,
+            plan::Attr::None,
+            &[self],
+            move |ps| gather(&ps[0].data()),
+        );
+        t
     }
 
     /// Broadcast (expand) to `target` shape, materializing the data.
@@ -251,14 +304,23 @@ impl Tensor {
         let data = super::binary::expand_to(&self.data(), self.shape(), target);
         let from = self.shape().to_vec();
         let tgt = target.to_vec();
-        Tensor::from_op(
+        let t = Tensor::from_op(
             data,
             target,
             vec![self.clone()],
             Box::new(move |_, gout| {
                 vec![Some(crate::shape::reduce_grad_to_shape(gout, &tgt, &from))]
             }),
-        )
+        );
+        let tgt = target.to_vec();
+        plan::record(
+            &t,
+            plan::Op::BroadcastTo,
+            plan::Attr::None,
+            &[self],
+            move |ps| super::binary::expand_to(&ps[0].data(), ps[0].shape(), &tgt),
+        );
+        t
     }
 }
 

@@ -1,18 +1,36 @@
 //! Element-wise unary operations and activations.
 
 use crate::arena;
+use crate::plan;
 use crate::tensor::Tensor;
 
+/// Scalar ReLU shared by the eager op and the fused conv→act plan kernel.
+#[inline]
+pub(crate) fn relu_scalar(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Scalar GELU (tanh approximation) shared by the eager op and the fused
+/// conv→act plan kernel.
+#[inline]
+pub(crate) fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
 /// Build a unary op given forward `f` and derivative-from-input `df`.
+/// `f` is `Copy` so the trace hook can capture it for replay without
+/// boxing on the eager path.
 fn unary(
     t: &Tensor,
-    f: impl Fn(f32) -> f32,
+    op: plan::Op,
+    f: impl Fn(f32) -> f32 + Copy + Send + Sync + 'static,
     df: impl Fn(f32) -> f32 + Send + Sync + 'static,
 ) -> Tensor {
     let d = t.data();
     let out = arena::map_collect(d.len(), d.iter().map(|&x| f(x)));
     drop(d);
-    Tensor::from_op(
+    let y = Tensor::from_op(
         out,
         t.shape(),
         vec![t.clone()],
@@ -23,7 +41,12 @@ fn unary(
                 gout.iter().zip(x.iter()).map(|(g, &xi)| g * df(xi)),
             ))]
         }),
-    )
+    );
+    plan::record(&y, op, plan::Attr::None, &[t], move |ps| {
+        let d = ps[0].data();
+        arena::map_collect(d.len(), d.iter().map(|&x| f(x)))
+    });
+    y
 }
 
 impl Tensor {
@@ -38,7 +61,7 @@ impl Tensor {
         let out = arena::map_collect(d.len(), d.iter().map(|x| x.exp()));
         drop(d);
         // d/dx exp(x) = exp(x) = output, so reuse the node's own data.
-        Tensor::from_op(
+        let y = Tensor::from_op(
             out,
             self.shape(),
             vec![self.clone()],
@@ -49,12 +72,17 @@ impl Tensor {
                     gout.iter().zip(y.iter()).map(|(g, yi)| g * yi),
                 ))]
             }),
-        )
+        );
+        plan::record(&y, plan::Op::Exp, plan::Attr::None, &[self], |ps| {
+            let d = ps[0].data();
+            arena::map_collect(d.len(), d.iter().map(|x| x.exp()))
+        });
+        y
     }
 
     /// Element-wise natural logarithm.
     pub fn ln(&self) -> Tensor {
-        unary(self, |x| x.ln(), |x| 1.0 / x)
+        unary(self, plan::Op::Ln, |x| x.ln(), |x| 1.0 / x)
     }
 
     /// Element-wise square root.
@@ -62,7 +90,7 @@ impl Tensor {
         let d = self.data();
         let out = arena::map_collect(d.len(), d.iter().map(|x| x.sqrt()));
         drop(d);
-        Tensor::from_op(
+        let y = Tensor::from_op(
             out,
             self.shape(),
             vec![self.clone()],
@@ -75,17 +103,22 @@ impl Tensor {
                         .map(|(g, yi)| g * 0.5 / yi.max(1e-12)),
                 ))]
             }),
-        )
+        );
+        plan::record(&y, plan::Op::Sqrt, plan::Attr::None, &[self], |ps| {
+            let d = ps[0].data();
+            arena::map_collect(d.len(), d.iter().map(|x| x.sqrt()))
+        });
+        y
     }
 
     /// Element-wise square.
     pub fn square(&self) -> Tensor {
-        unary(self, |x| x * x, |x| 2.0 * x)
+        unary(self, plan::Op::Square, |x| x * x, |x| 2.0 * x)
     }
 
     /// Element-wise absolute value (subgradient 0 at 0).
     pub fn abs(&self) -> Tensor {
-        unary(self, f32::abs, |x| {
+        unary(self, plan::Op::Abs, f32::abs, |x| {
             if x > 0.0 {
                 1.0
             } else if x < 0.0 {
@@ -98,18 +131,30 @@ impl Tensor {
 
     /// Element-wise power with a constant exponent.
     pub fn powf(&self, p: f32) -> Tensor {
-        unary(self, move |x| x.powf(p), move |x| p * x.powf(p - 1.0))
+        unary(
+            self,
+            plan::Op::Powf,
+            move |x| x.powf(p),
+            move |x| p * x.powf(p - 1.0),
+        )
     }
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Tensor {
-        unary(self, |x| x.max(0.0), |x| if x > 0.0 { 1.0 } else { 0.0 })
+        unary(self, plan::Op::Relu, relu_scalar, |x| {
+            if x > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&self, alpha: f32) -> Tensor {
         unary(
             self,
+            plan::Op::LeakyRelu,
             move |x| if x > 0.0 { x } else { alpha * x },
             move |x| if x > 0.0 { 1.0 } else { alpha },
         )
@@ -119,16 +164,12 @@ impl Tensor {
     /// models; max error vs exact GELU < 1e-3).
     pub fn gelu(&self) -> Tensor {
         const C: f32 = 0.797_884_6; // sqrt(2/pi)
-        unary(
-            self,
-            |x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()),
-            |x| {
-                let u = C * (x + 0.044715 * x * x * x);
-                let t = u.tanh();
-                let du = C * (1.0 + 3.0 * 0.044715 * x * x);
-                0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
-            },
-        )
+        unary(self, plan::Op::Gelu, gelu_scalar, |x| {
+            let u = C * (x + 0.044715 * x * x * x);
+            let t = u.tanh();
+            let du = C * (1.0 + 3.0 * 0.044715 * x * x);
+            0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+        })
     }
 
     /// Logistic sigmoid.
@@ -136,7 +177,7 @@ impl Tensor {
         let d = self.data();
         let out = arena::map_collect(d.len(), d.iter().map(|x| 1.0 / (1.0 + (-x).exp())));
         drop(d);
-        Tensor::from_op(
+        let y = Tensor::from_op(
             out,
             self.shape(),
             vec![self.clone()],
@@ -147,7 +188,12 @@ impl Tensor {
                     gout.iter().zip(y.iter()).map(|(g, yi)| g * yi * (1.0 - yi)),
                 ))]
             }),
-        )
+        );
+        plan::record(&y, plan::Op::Sigmoid, plan::Attr::None, &[self], |ps| {
+            let d = ps[0].data();
+            arena::map_collect(d.len(), d.iter().map(|x| 1.0 / (1.0 + (-x).exp())))
+        });
+        y
     }
 
     /// Hyperbolic tangent.
@@ -155,7 +201,7 @@ impl Tensor {
         let d = self.data();
         let out = arena::map_collect(d.len(), d.iter().map(|x| x.tanh()));
         drop(d);
-        Tensor::from_op(
+        let y = Tensor::from_op(
             out,
             self.shape(),
             vec![self.clone()],
@@ -166,13 +212,19 @@ impl Tensor {
                     gout.iter().zip(y.iter()).map(|(g, yi)| g * (1.0 - yi * yi)),
                 ))]
             }),
-        )
+        );
+        plan::record(&y, plan::Op::Tanh, plan::Attr::None, &[self], |ps| {
+            let d = ps[0].data();
+            arena::map_collect(d.len(), d.iter().map(|x| x.tanh()))
+        });
+        y
     }
 
     /// Clamp into `[lo, hi]` (zero gradient outside the interval).
     pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
         unary(
             self,
+            plan::Op::Clamp,
             move |x| x.clamp(lo, hi),
             move |x| if x >= lo && x <= hi { 1.0 } else { 0.0 },
         )

@@ -10,7 +10,6 @@ use aimts::{
 };
 use aimts_data::archives::monash_like_pool;
 use aimts_data::MultiSeries;
-use aimts_nn::Module as _;
 
 fn pool(n: usize) -> Vec<MultiSeries> {
     monash_like_pool(2, 0).into_iter().take(n).collect()
