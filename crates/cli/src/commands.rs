@@ -6,7 +6,8 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use aimts::{
-    AimTs, AimTsConfig, CheckpointPolicy, Executor, FineTuneConfig, HealthPolicy, PretrainConfig,
+    AimTs, AimTsConfig, CheckpointPolicy, Executor, FineTuneConfig, FineTuned, HealthPolicy,
+    PretrainConfig,
 };
 use aimts_data::archives::{monash_like_pool, ucr_like_archive, uea_like_archive};
 use aimts_data::loader::load_ucr_tsv_with;
@@ -14,6 +15,7 @@ use aimts_data::special;
 use aimts_data::{Dataset, MissingValuePolicy};
 use aimts_eval::ConfusionMatrix;
 use aimts_imaging::{render_sample, ImageConfig};
+use aimts_serve::{run_loadgen, write_report, BatchPolicy, LoadgenConfig, ModelRegistry, Server};
 
 use crate::args::Args;
 
@@ -62,6 +64,26 @@ USAGE:
   aimts-cli export-json --dataset <name as in demo> [--seed 3407] --out <ds.json>
       Export a built-in dataset (incl. multivariate) as a JSON file that
       `aimts_data::loader::load_json` reads back.
+  aimts-cli serve [--model <bundle.aimts>] [--addr 127.0.0.1:7878]
+                  [--dataset ecg200] [--epochs 5] [--max-batch 64]
+                  [--max-delay-us 2000] [--queue-cap 4096]
+                  [--executor eager|compiled]
+      Start the micro-batching inference server on a JSON-lines TCP socket.
+      --model loads a serving bundle (write one with `demo --save-bundle` or
+      `finetune --save-bundle`); without it a demo model is trained in
+      process on --dataset first. One JSON object per line:
+        {\"series\": [[...], ...]}            classify one sample
+        {\"cmd\":\"metrics\"}                   latency/throughput snapshot
+        {\"cmd\":\"swap\",\"path\":\"new.aimts\"}  hot-swap the model
+        {\"cmd\":\"shutdown\"}                  stop the server
+  aimts-cli loadgen [--model <bundle.aimts>] [--dataset ecg200]
+                    [--requests 10000] [--clients 4] [--epochs 5]
+                    [--max-batch 64] [--max-delay-us 2000]
+                    [--queue-cap 4096] [--executor eager|compiled]
+      Drive the in-process server with synthetic load and write latency
+      percentiles + throughput to bench_results/serve_load.json.
+      `demo` and `finetune` accept --save-bundle <path> to produce the
+      serving bundle both commands load with --model.
   aimts-cli help
 ";
 
@@ -224,7 +246,7 @@ fn finetune_and_report(
     epochs: usize,
     health: HealthPolicy,
     executor: Executor,
-) -> Result<(), String> {
+) -> Result<FineTuned, String> {
     println!(
         "dataset `{}`: {} train / {} test, {} classes, {} vars x {} steps",
         ds.name,
@@ -253,6 +275,19 @@ fn finetune_and_report(
         cm.macro_f1()
     );
     println!("\n{}", cm.render());
+    Ok(tuned)
+}
+
+/// Honor `--save-bundle <path>`: persist a self-describing serving bundle
+/// (`aimts-cli serve --model <path>` loads it back).
+fn maybe_save_bundle(tuned: &FineTuned, args: &Args) -> Result<(), String> {
+    if let Some(path) = args.get("save-bundle") {
+        let path = PathBuf::from(path);
+        tuned
+            .save_bundle(&path)
+            .map_err(|e| format!("saving bundle to {} failed: {e}", path.display()))?;
+        println!("serving bundle written to {}", path.display());
+    }
     Ok(())
 }
 
@@ -281,7 +316,8 @@ pub fn finetune(args: &Args) -> Result<(), String> {
         )
     })?;
     let ds = load_ucr_tsv_with(Path::new(&dir), name, missing).map_err(|e| e.to_string())?;
-    finetune_and_report(&model, &ds, epochs, health_policy(args)?, executor(args)?)
+    let tuned = finetune_and_report(&model, &ds, epochs, health_policy(args)?, executor(args)?)?;
+    maybe_save_bundle(&tuned, args)
 }
 
 /// `demo`: built-in synthetic dataset, fine-tune from random init.
@@ -291,7 +327,8 @@ pub fn demo(args: &Args) -> Result<(), String> {
     let seed = args.parse_or("seed", 3407u64)?;
     let ds = named_dataset(name, seed)?;
     let model = AimTs::new(model_config(args)?, seed);
-    finetune_and_report(&model, &ds, epochs, health_policy(args)?, executor(args)?)
+    let tuned = finetune_and_report(&model, &ds, epochs, health_policy(args)?, executor(args)?)?;
+    maybe_save_bundle(&tuned, args)
 }
 
 /// `info`: print archive summary statistics.
@@ -323,6 +360,134 @@ pub fn export_json(args: &Args) -> Result<(), String> {
         ds.n_vars(),
         out.display()
     );
+    Ok(())
+}
+
+/// Parse the micro-batching knobs shared by `serve` and `loadgen`.
+fn batch_policy(args: &Args) -> Result<BatchPolicy, String> {
+    let policy = BatchPolicy {
+        max_batch: args.parse_or("max-batch", BatchPolicy::default().max_batch)?,
+        max_delay: std::time::Duration::from_micros(args.parse_or("max-delay-us", 2_000u64)?),
+        queue_cap: args.parse_or("queue-cap", BatchPolicy::default().queue_cap)?,
+    };
+    if policy.max_batch == 0 || policy.queue_cap == 0 {
+        return Err("--max-batch and --queue-cap must be >= 1".to_string());
+    }
+    Ok(policy)
+}
+
+/// Build the model registry for `serve`/`loadgen`: load `--model <bundle>`
+/// when given, otherwise fine-tune a demo model in process on `--dataset`.
+fn serve_registry(args: &Args) -> Result<ModelRegistry, String> {
+    let executor = executor(args)?;
+    if let Some(path) = args.get("model") {
+        let path = PathBuf::from(path);
+        return ModelRegistry::from_bundle(&path, executor)
+            .map_err(|e| format!("loading bundle {} failed: {e}", path.display()));
+    }
+    let name = args.str_or("dataset", "ecg200");
+    let seed = args.parse_or("seed", 3407u64)?;
+    let epochs = args.parse_or("epochs", 5usize)?;
+    let ds = named_dataset(name, seed)?;
+    println!("no --model given; fine-tuning a demo model on `{name}` ({epochs} epochs)...");
+    let model = AimTs::new(model_config(args)?, seed);
+    let tuned = model.fine_tune(
+        &ds,
+        &FineTuneConfig {
+            epochs,
+            batch_size: 8,
+            executor,
+            ..FineTuneConfig::default()
+        },
+    );
+    Ok(ModelRegistry::from_tuned(
+        &tuned,
+        executor,
+        &format!("demo:{name}"),
+    ))
+}
+
+/// `serve`: micro-batching inference server on a JSON-lines TCP socket.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let policy = batch_policy(args)?;
+    let registry = serve_registry(args)?;
+    let addr = args.str_or("addr", "127.0.0.1:7878");
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let server = std::sync::Arc::new(Server::start(registry, policy));
+    println!(
+        "serving generation {} on {addr} (max_batch {}, max_delay {:?}, queue_cap {})",
+        server.registry().generation(),
+        policy.max_batch,
+        policy.max_delay,
+        policy.queue_cap
+    );
+    println!("send {{\"cmd\":\"shutdown\"}} on a connection to stop");
+    let connections = aimts_serve::net::serve_tcp(std::sync::Arc::clone(&server), listener)
+        .map_err(|e| format!("serve loop failed: {e}"))?;
+    server.shutdown();
+    let snap = server.metrics();
+    println!(
+        "served {} request(s) over {connections} connection(s); p50 {}us p95 {}us p99 {}us",
+        snap.completed, snap.latency.p50_us, snap.latency.p95_us, snap.latency.p99_us
+    );
+    Ok(())
+}
+
+/// `loadgen`: drive the in-process server with synthetic load and write
+/// `bench_results/serve_load.json`.
+pub fn loadgen(args: &Args) -> Result<(), String> {
+    let policy = batch_policy(args)?;
+    let cfg = LoadgenConfig {
+        requests: args.parse_or("requests", 10_000usize)?,
+        clients: args.parse_or("clients", 4usize)?,
+    };
+    if cfg.requests == 0 || cfg.clients == 0 {
+        return Err("--requests and --clients must be >= 1".to_string());
+    }
+    let name = args.str_or("dataset", "ecg200");
+    let seed = args.parse_or("seed", 3407u64)?;
+    let pool: Vec<_> = named_dataset(name, seed)?
+        .test
+        .samples
+        .iter()
+        .map(|s| s.vars.clone())
+        .collect();
+    let registry = serve_registry(args)?;
+    let server = Server::start(registry, policy);
+    println!(
+        "loadgen: {} requests from {} client(s), pool of {} samples",
+        cfg.requests,
+        cfg.clients,
+        pool.len()
+    );
+    let report = run_loadgen(&server, &pool, &cfg);
+    server.shutdown();
+    let path = write_report(&report);
+    println!(
+        "completed {}/{} ({} errors) in {:.2}s — {:.0} req/s, mean batch {:.1}",
+        report.completed,
+        report.requests,
+        report.errors,
+        report.wall_s,
+        report.throughput_rps,
+        report.mean_batch
+    );
+    println!(
+        "latency p50 {}us  p95 {}us  p99 {}us  max {}us; queue wait p50 {}us p99 {}us",
+        report.p50_us,
+        report.p95_us,
+        report.p99_us,
+        report.max_latency_us,
+        report.queue_p50_us,
+        report.queue_p99_us
+    );
+    println!("report written to {}", path.display());
+    if report.completed != report.requests {
+        return Err(format!(
+            "lost requests: {} submitted, {} completed, {} errors",
+            report.requests, report.completed, report.errors
+        ));
+    }
     Ok(())
 }
 
@@ -578,6 +743,51 @@ mod tests {
         .unwrap();
         let ds = aimts_data::loader::load_json(&out).unwrap();
         assert!(ds.n_vars() > 1);
+    }
+
+    #[test]
+    fn batch_policy_flags_parse() {
+        let p = batch_policy(&args(&[
+            ("max-batch", "8"),
+            ("max-delay-us", "500"),
+            ("queue-cap", "32"),
+        ]))
+        .unwrap();
+        assert_eq!(p.max_batch, 8);
+        assert_eq!(p.max_delay, std::time::Duration::from_micros(500));
+        assert_eq!(p.queue_cap, 32);
+        // Defaults apply when flags are absent; zero values error cleanly.
+        assert_eq!(batch_policy(&args(&[])).unwrap().max_batch, 64);
+        assert!(batch_policy(&args(&[("max-batch", "0")])).is_err());
+        assert!(batch_policy(&args(&[("queue-cap", "0")])).is_err());
+        // A missing bundle errors cleanly instead of panicking.
+        assert!(serve_registry(&args(&[("model", "/nonexistent/x.aimts")])).is_err());
+    }
+
+    #[test]
+    fn save_bundle_then_loadgen_roundtrip() {
+        let bundle = std::env::temp_dir().join("aimts_cli_demo_bundle.aimts");
+        let _ = fs::remove_file(&bundle);
+        demo(&args(&[
+            ("dataset", "ecg200"),
+            ("epochs", "1"),
+            ("hidden", "8"),
+            ("repr", "16"),
+            ("save-bundle", bundle.to_str().unwrap()),
+        ]))
+        .unwrap();
+        assert!(bundle.exists());
+
+        // Drive the served model with a small load; every request must
+        // complete (loadgen errors otherwise).
+        loadgen(&args(&[
+            ("model", bundle.to_str().unwrap()),
+            ("dataset", "ecg200"),
+            ("requests", "64"),
+            ("clients", "2"),
+            ("max-batch", "8"),
+        ]))
+        .unwrap();
     }
 
     #[test]

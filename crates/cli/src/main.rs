@@ -36,6 +36,8 @@ fn main() -> ExitCode {
         "render" => commands::render(&args),
         "info" => commands::info(&args),
         "export-json" => commands::export_json(&args),
+        "serve" => commands::serve(&args),
+        "loadgen" => commands::loadgen(&args),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -48,6 +48,16 @@ impl DilatedBlock {
             dilation: self.dilation,
         }
     }
+
+    fn freeze(&self) -> Self {
+        DilatedBlock {
+            w1: self.w1.detach(),
+            w2: self.w2.detach(),
+            b1: self.b1.detach(),
+            b2: self.b2.detach(),
+            dilation: self.dilation,
+        }
+    }
 }
 
 /// The time-series encoder `F^TS`: input projection → stacked residual
@@ -88,6 +98,18 @@ impl TsEncoder {
     /// Representation dimension `J`.
     pub fn repr_dim(&self) -> usize {
         self.repr_dim
+    }
+
+    /// Hidden channel width of the dilated blocks.
+    pub fn hidden(&self) -> usize {
+        self.input_w.shape()[0]
+    }
+
+    /// Dilation factor of each residual block, in order. Together with
+    /// [`TsEncoder::hidden`] and [`TsEncoder::repr_dim`] this fully
+    /// describes the architecture, which is what serving bundles persist.
+    pub fn dilations(&self) -> Vec<usize> {
+        self.blocks.iter().map(|b| b.dilation).collect()
     }
 
     /// Encode `[rows, 1, T]` univariate rows into `[rows, J]`.
@@ -161,6 +183,18 @@ impl Replicate for TsEncoder {
             output_w: self.output_w.requires_grad(),
             output_b: self.output_b.requires_grad(),
             pool_mix: self.pool_mix.replicate(),
+            repr_dim: self.repr_dim,
+        }
+    }
+
+    fn freeze(&self) -> Self {
+        TsEncoder {
+            input_w: self.input_w.detach(),
+            input_b: self.input_b.detach(),
+            blocks: self.blocks.iter().map(DilatedBlock::freeze).collect(),
+            output_w: self.output_w.detach(),
+            output_b: self.output_b.detach(),
+            pool_mix: self.pool_mix.freeze(),
             repr_dim: self.repr_dim,
         }
     }
@@ -241,6 +275,13 @@ impl Replicate for ImageEncoder {
         ImageEncoder {
             convs: self.convs.iter().map(Replicate::replicate).collect(),
             head: self.head.replicate(),
+        }
+    }
+
+    fn freeze(&self) -> Self {
+        ImageEncoder {
+            convs: self.convs.iter().map(Replicate::freeze).collect(),
+            head: self.head.freeze(),
         }
     }
 }

@@ -13,7 +13,7 @@ use aimts_nn::{
     Checkpoint, CheckpointError, Mlp, Module, Optimizer,
 };
 use aimts_tensor::plan::{self, CompiledPlan};
-use aimts_tensor::{no_grad, Tensor};
+use aimts_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -315,29 +315,15 @@ impl FineTuned {
     }
 
     /// Class predictions for a split (inference mode, no grad).
+    ///
+    /// Routed through a frozen [`crate::infer::InferenceModel`] copy: the
+    /// forward runs on untracked `Storage::Hot` parameters, so beyond the
+    /// one-time parameter snapshot it acquires no tensor locks and builds
+    /// no autograd state. Results are bitwise-identical to the historical
+    /// in-place forward (same values, same op order).
     pub fn predict(&self, split: &Split) -> Vec<usize> {
         assert!(!split.is_empty());
-        no_grad(|| {
-            let mut preds = Vec::with_capacity(split.len());
-            // Evaluate in chunks to bound memory.
-            for chunk in split.samples.chunks(64) {
-                let prepared: Vec<MultiSeries> = chunk
-                    .iter()
-                    .map(|s| {
-                        let mut v = s.vars.clone();
-                        z_normalize_sample(&mut v);
-                        v
-                    })
-                    .collect();
-                let refs: Vec<&MultiSeries> = prepared.iter().collect();
-                let x = samples_to_tensor(&refs);
-                let logits = self
-                    .head
-                    .forward(&encode_channel_independent(&self.encoder, &x));
-                preds.extend(logits.argmax_axis(1));
-            }
-            preds
-        })
+        self.freeze(Executor::Eager).predict_split(split)
     }
 
     /// Accuracy on a split.

@@ -53,6 +53,7 @@ pub mod config;
 pub mod encoder;
 pub mod finetune;
 pub mod health;
+pub mod infer;
 pub mod losses;
 pub mod mixup;
 pub mod model;
@@ -69,6 +70,7 @@ pub use finetune::FineTuned;
 pub use health::{
     FaultPlan, GradNormStats, HealthMonitor, HealthPolicy, HealthReport, StepVerdict, TrainError,
 };
+pub use infer::{InferenceModel, INFER_CHUNK};
 pub use model::{AimTs, MicroGrad, PretrainReport};
 pub use parallel::{
     all_reduce_mean, all_reduce_mean_guarded, parallel_map, try_parallel_map, worker_count,

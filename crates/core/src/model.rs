@@ -1273,6 +1273,19 @@ impl Replicate for AimTs {
     fn replicate(&self) -> Self {
         AimTs::replicate(self)
     }
+
+    fn freeze(&self) -> Self {
+        AimTs {
+            cfg: self.cfg.clone(),
+            ts_encoder: self.ts_encoder.freeze(),
+            ts_proj: self.ts_proj.freeze(),
+            image_encoder: self.image_encoder.freeze(),
+            img_proj: self.img_proj.freeze(),
+            seed: self.seed,
+            plan_cache: Mutex::new(HashMap::new()),
+            layout: OnceLock::new(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -68,6 +68,9 @@ pub mod sections {
     pub const SCHEDULER: &str = "scheduler";
     /// Training-loop bookkeeping (RNG stream, counters, loss history).
     pub const TRAIN: &str = "train";
+    /// Model architecture hyper-parameters (serving bundles): enough to
+    /// reconstruct the module tree before applying [`PARAMS`].
+    pub const ARCH: &str = "arch";
 }
 
 // ---------------------------------------------------------------------------

@@ -17,6 +17,12 @@ fn clone_param(p: &Tensor) -> Tensor {
     p.requires_grad()
 }
 
+/// Untracked `Storage::Hot` copy with the same values: reading it during a
+/// forward acquires no locks (see [`Replicate::freeze`]).
+fn frozen_param(p: &Tensor) -> Tensor {
+    p.detach()
+}
+
 // ---------------------------------------------------------------------------
 // Linear
 // ---------------------------------------------------------------------------
@@ -66,6 +72,13 @@ impl Replicate for Linear {
         Linear {
             weight: clone_param(&self.weight),
             bias: self.bias.as_ref().map(clone_param),
+        }
+    }
+
+    fn freeze(&self) -> Self {
+        Linear {
+            weight: frozen_param(&self.weight),
+            bias: self.bias.as_ref().map(frozen_param),
         }
     }
 }
@@ -121,6 +134,14 @@ impl Replicate for Conv1d {
             spec: self.spec,
         }
     }
+
+    fn freeze(&self) -> Self {
+        Conv1d {
+            weight: frozen_param(&self.weight),
+            bias: self.bias.as_ref().map(frozen_param),
+            spec: self.spec,
+        }
+    }
 }
 
 /// 2-D convolution layer over `[B, C_in, H, W]`.
@@ -163,6 +184,14 @@ impl Replicate for Conv2d {
         Conv2d {
             weight: clone_param(&self.weight),
             bias: self.bias.as_ref().map(clone_param),
+            spec: self.spec,
+        }
+    }
+
+    fn freeze(&self) -> Self {
+        Conv2d {
+            weight: frozen_param(&self.weight),
+            bias: self.bias.as_ref().map(frozen_param),
             spec: self.spec,
         }
     }
@@ -260,6 +289,21 @@ impl Replicate for BatchNorm1d {
             channels: self.channels,
         }
     }
+
+    fn freeze(&self) -> Self {
+        // A frozen copy always normalizes with the running estimates; there
+        // is no batch to take statistics from at serving time.
+        BatchNorm1d {
+            gamma: frozen_param(&self.gamma),
+            beta: frozen_param(&self.beta),
+            running_mean: Mutex::new(lock(&self.running_mean).clone()),
+            running_var: Mutex::new(lock(&self.running_var).clone()),
+            training: AtomicBool::new(false),
+            momentum: self.momentum,
+            eps: self.eps,
+            channels: self.channels,
+        }
+    }
 }
 
 /// Layer normalization over the last dimension.
@@ -307,6 +351,15 @@ impl Replicate for LayerNorm {
         LayerNorm {
             gamma: clone_param(&self.gamma),
             beta: clone_param(&self.beta),
+            eps: self.eps,
+            dim: self.dim,
+        }
+    }
+
+    fn freeze(&self) -> Self {
+        LayerNorm {
+            gamma: frozen_param(&self.gamma),
+            beta: frozen_param(&self.beta),
             eps: self.eps,
             dim: self.dim,
         }
@@ -376,6 +429,15 @@ impl Replicate for Dropout {
             rng: Mutex::new(lock(&self.rng).clone()),
         }
     }
+
+    fn freeze(&self) -> Self {
+        // Frozen dropout is a permanent identity.
+        Dropout {
+            p: self.p,
+            training: AtomicBool::new(false),
+            rng: Mutex::new(lock(&self.rng).clone()),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -410,6 +472,10 @@ impl Module for Activation {
 
 impl Replicate for Activation {
     fn replicate(&self) -> Self {
+        *self
+    }
+
+    fn freeze(&self) -> Self {
         *self
     }
 }
@@ -465,6 +531,12 @@ impl Replicate for Sequential {
             children: self.children.iter().map(|m| m.replicate_boxed()).collect(),
         }
     }
+
+    fn freeze(&self) -> Self {
+        Sequential {
+            children: self.children.iter().map(|m| m.freeze_boxed()).collect(),
+        }
+    }
 }
 
 /// Multi-layer perceptron: `dims[0] -> dims[1] -> ... -> dims.last()` with
@@ -512,6 +584,12 @@ impl Replicate for Mlp {
     fn replicate(&self) -> Self {
         Mlp {
             seq: self.seq.replicate(),
+        }
+    }
+
+    fn freeze(&self) -> Self {
+        Mlp {
+            seq: self.seq.freeze(),
         }
     }
 }

@@ -249,6 +249,17 @@ pub struct CompiledStep {
 /// lets each data-parallel worker own a private copy of the model.
 pub trait Replicate {
     fn replicate(&self) -> Self;
+
+    /// Deep copy with *frozen* parameter storage: every parameter is
+    /// detached into an unlocked `Storage::Hot` buffer with no autograd
+    /// tracking, and mode-dependent layers are pinned to eval behaviour.
+    ///
+    /// A frozen copy computes bitwise-identical forward outputs (same ops,
+    /// same accumulation order) but its forward acquires zero
+    /// `Storage::Shared` locks, which is what lets the serving path share
+    /// one immutable model across threads without lock traffic. Frozen
+    /// copies cannot be trained: their parameters take no gradients.
+    fn freeze(&self) -> Self;
 }
 
 /// Object-safe module-with-replication, used by containers that hold
@@ -257,11 +268,18 @@ pub trait Replicate {
 pub trait AnyModule: Module + Send + Sync {
     /// Boxed deep copy (see [`Replicate`]).
     fn replicate_boxed(&self) -> Box<dyn AnyModule>;
+
+    /// Boxed frozen copy (see [`Replicate::freeze`]).
+    fn freeze_boxed(&self) -> Box<dyn AnyModule>;
 }
 
 impl<M: Module + Replicate + Send + Sync + 'static> AnyModule for M {
     fn replicate_boxed(&self) -> Box<dyn AnyModule> {
         Box::new(self.replicate())
+    }
+
+    fn freeze_boxed(&self) -> Box<dyn AnyModule> {
+        Box::new(self.freeze())
     }
 }
 

@@ -1,0 +1,170 @@
+//! The micro-batcher: a bounded request queue drained into adaptive
+//! batches.
+//!
+//! Requests enter through a `sync_channel` whose capacity bounds memory
+//! and back-pressures producers. One batcher thread blocks on the first
+//! request, then keeps collecting until either `max_batch` requests are in
+//! hand or `max_delay` has elapsed since the batch opened — the classic
+//! latency/throughput trade: a lone request waits at most `max_delay`, a
+//! burst fills batches to `max_batch` with no added wait.
+//!
+//! Each flush grabs the registry's current model **once**, so every
+//! request in a batch is answered by one model generation, and a hot swap
+//! mid-flush only affects later batches. Responses travel over
+//! per-request channels: exactly one response per accepted request, in
+//! whatever order the client awaits them — the batcher cannot drop,
+//! duplicate, or cross-wire a response (`tests/batch_props.rs`).
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aimts_data::MultiSeries;
+
+use crate::metrics::Metrics;
+use crate::registry::ModelRegistry;
+use crate::ServeError;
+
+/// Flush policy for the micro-batcher.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Flush as soon as a batch holds this many requests.
+    pub max_batch: usize,
+    /// Flush an incomplete batch this long after it opened.
+    pub max_delay: Duration,
+    /// Bounded queue capacity; submitters block (back-pressure) when full.
+    pub queue_cap: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+            queue_cap: 4096,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Panic early on nonsensical configurations.
+    pub fn validate(&self) {
+        assert!(self.max_batch >= 1, "max_batch must be >= 1");
+        assert!(self.queue_cap >= 1, "queue_cap must be >= 1");
+    }
+}
+
+/// One queued classification request.
+pub(crate) struct Request {
+    pub id: u64,
+    pub series: MultiSeries,
+    pub enqueued: Instant,
+    pub reply: Sender<Response>,
+}
+
+/// The served answer for one request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Server-assigned request id (echoed to the submitter's [`Pending`]).
+    pub id: u64,
+    /// Predicted class index.
+    pub class: usize,
+    /// Generation of the model version that answered.
+    pub generation: u64,
+    /// How many requests shared this request's batch.
+    pub batch_size: usize,
+    /// Submit → batch-dequeue wait.
+    pub queue_us: u64,
+    /// Submit → response-ready latency.
+    pub total_us: u64,
+}
+
+/// Handle to one in-flight request.
+pub struct Pending {
+    pub(crate) id: u64,
+    pub(crate) rx: Receiver<Response>,
+}
+
+impl Pending {
+    /// The server-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the response arrives. Returns [`ServeError::Closed`]
+    /// only if the server shut down before answering.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Closed)
+    }
+}
+
+/// Batcher-thread main loop: drain `rx` into batches per `policy` until
+/// every submitter handle is dropped and the queue is empty.
+pub(crate) fn run(
+    rx: Receiver<Request>,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    policy: BatchPolicy,
+) {
+    loop {
+        // Block for the batch-opening request.
+        let first = match rx.recv() {
+            Ok(r) => r,
+            Err(_) => return, // all senders gone, queue fully drained
+        };
+        metrics.record_dequeued();
+        // aimts-lint: allow(A003, batching deadlines are wall-clock by definition; serving is not deterministic-replay code)
+        let deadline = Instant::now() + policy.max_delay;
+        let mut batch = vec![first];
+        while batch.len() < policy.max_batch {
+            // aimts-lint: allow(A003, deadline arithmetic for the max_delay flush)
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(r) => {
+                    metrics.record_dequeued();
+                    batch.push(r);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                // Senders gone: flush what we have; the outer recv ends
+                // the loop next iteration.
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        flush(batch, &registry, &metrics);
+    }
+}
+
+/// Classify one batch against the current model version and answer every
+/// request. Infallible by construction: requests are shape-validated at
+/// submit, and `classify_mixed` groups heterogeneous shapes internally.
+fn flush(batch: Vec<Request>, registry: &ModelRegistry, metrics: &Metrics) {
+    let version = registry.current();
+    // aimts-lint: allow(A003, queue-wait latency measurement)
+    let dequeued = Instant::now();
+    let refs: Vec<&MultiSeries> = batch.iter().map(|r| &r.series).collect();
+    let classes = version.model.classify_mixed(&refs);
+    // aimts-lint: allow(A003, end-to-end latency measurement)
+    let done = Instant::now();
+    let batch_size = batch.len();
+    for (req, class) in batch.into_iter().zip(classes) {
+        let queue_us = dequeued.duration_since(req.enqueued).as_micros() as u64;
+        let total_us = done.duration_since(req.enqueued).as_micros() as u64;
+        metrics.record_completion(queue_us, total_us);
+        // A submitter that dropped its Pending forfeits the answer; the
+        // request itself still counted as completed.
+        req.reply
+            .send(Response {
+                id: req.id,
+                class,
+                generation: version.generation,
+                batch_size,
+                queue_us,
+                total_us,
+            })
+            .ok();
+    }
+    metrics.record_batch();
+}

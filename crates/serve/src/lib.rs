@@ -1,0 +1,76 @@
+//! `aimts-serve` — micro-batched online inference for AimTS classifiers.
+//!
+//! The serving stack (DESIGN.md §13):
+//!
+//! - [`registry`]: versioned, immutable models loaded from `.aimts` serving
+//!   bundles, swapped atomically under load (`Arc` pointer flip; in-flight
+//!   batches finish on the model they grabbed).
+//! - [`batcher`]: a bounded request queue drained by a batcher thread that
+//!   flushes on `max_batch` or `max_delay`, whichever comes first.
+//! - [`server`]: the embeddable façade — submit/classify/swap/metrics.
+//! - [`metrics`]: p50/p95/p99 latency, throughput, and queue-depth counters.
+//! - [`loadgen`]: a synthetic multi-client load generator recording
+//!   `bench_results/serve_load.json`.
+//! - [`net`]: a minimal JSON-lines TCP frontend for `aimts-cli serve`.
+//!
+//! Served predictions are bitwise-identical to offline
+//! [`aimts::FineTuned::predict`] for any batch split and arrival order —
+//! `tests/serve_conformance.rs` (workspace root) pins that contract; the
+//! crate-local suites cover batching properties and swap fault injection.
+//!
+//! Threading is plain `std`: one batcher thread, one channel, no async
+//! runtime. That keeps the crate dependency-free (the workspace vendors
+//! API shims, not tokio) while still overlapping request arrival with
+//! model execution.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::fmt;
+
+use aimts_nn::CheckpointError;
+
+pub mod batcher;
+pub mod loadgen;
+pub mod metrics;
+pub mod net;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{BatchPolicy, Pending, Response};
+pub use loadgen::{run_loadgen, write_report, LoadReport, LoadgenConfig};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use registry::{ModelRegistry, ModelVersion};
+pub use server::Server;
+
+/// Typed serving errors. Checkpoint defects keep the full
+/// [`CheckpointError`] taxonomy so a rejected hot swap names the exact
+/// corruption (bad magic, CRC mismatch, truncation, shape mismatch, ...).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Loading or validating a serving bundle failed; the previously
+    /// registered model keeps serving.
+    Checkpoint(CheckpointError),
+    /// The request is structurally invalid (empty series, ragged
+    /// variables); it was never enqueued.
+    BadRequest(String),
+    /// The server has shut down; no response will arrive.
+    Closed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Checkpoint(e) => write!(f, "serving bundle rejected: {e}"),
+            ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
+            ServeError::Closed => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}

@@ -1,0 +1,143 @@
+//! Synthetic load generator: many client threads, 10⁴–10⁶ queued
+//! requests, a JSON report under `bench_results/`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use aimts_data::MultiSeries;
+use serde::Serialize;
+
+use crate::batcher::Pending;
+use crate::server::Server;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadgenConfig {
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            requests: 10_000,
+            clients: 4,
+        }
+    }
+}
+
+/// The recorded outcome of one load run (flat so the vendored serde shim
+/// serializes it directly).
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    pub requests: u64,
+    pub clients: u64,
+    pub completed: u64,
+    pub errors: u64,
+    pub max_batch: u64,
+    pub max_delay_us: u64,
+    pub queue_cap: u64,
+    pub wall_s: f64,
+    pub throughput_rps: f64,
+    pub batches: u64,
+    pub mean_batch: f64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_latency_us: u64,
+    pub mean_latency_us: f64,
+    pub queue_p50_us: u64,
+    pub queue_p99_us: u64,
+    pub generations_observed: u64,
+}
+
+/// Drive `cfg.requests` classification requests through `server` from
+/// `cfg.clients` threads, drawing inputs round-robin from `pool`.
+///
+/// Every request's response is awaited; the function returns only after
+/// the last response (or server shutdown). Panics if `pool` is empty.
+pub fn run_loadgen(server: &Server, pool: &[MultiSeries], cfg: &LoadgenConfig) -> LoadReport {
+    assert!(!pool.is_empty(), "loadgen needs a non-empty request pool");
+    assert!(cfg.requests >= 1 && cfg.clients >= 1);
+    let errors = AtomicU64::new(0);
+    let answered = AtomicU64::new(0);
+    let generations = AtomicU64::new(0);
+    // aimts-lint: allow(A003, load-test wall-clock measurement)
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..cfg.clients {
+            let errors = &errors;
+            let answered = &answered;
+            let generations = &generations;
+            scope.spawn(move || {
+                // Client c sends requests c, c + clients, c + 2*clients, ...
+                let mut pending: Vec<Pending> = Vec::new();
+                let mut i = client;
+                while i < cfg.requests {
+                    match server.submit(pool[i % pool.len()].clone()) {
+                        Ok(p) => pending.push(p),
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    i += cfg.clients;
+                }
+                let mut seen_gen = 0u64;
+                for p in pending {
+                    match p.wait() {
+                        Ok(resp) => {
+                            answered.fetch_add(1, Ordering::Relaxed);
+                            seen_gen = seen_gen.max(resp.generation);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                generations.fetch_max(seen_gen, Ordering::Relaxed);
+            });
+        }
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    let snap = server.metrics();
+    let policy = server.policy();
+    LoadReport {
+        requests: cfg.requests as u64,
+        clients: cfg.clients as u64,
+        completed: answered.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        max_batch: policy.max_batch as u64,
+        max_delay_us: policy.max_delay.as_micros() as u64,
+        queue_cap: policy.queue_cap as u64,
+        wall_s,
+        throughput_rps: if wall_s > 0.0 {
+            answered.load(Ordering::Relaxed) as f64 / wall_s
+        } else {
+            0.0
+        },
+        batches: snap.batches,
+        mean_batch: snap.mean_batch,
+        p50_us: snap.latency.p50_us,
+        p95_us: snap.latency.p95_us,
+        p99_us: snap.latency.p99_us,
+        max_latency_us: snap.latency.max_us,
+        mean_latency_us: snap.latency.mean_us,
+        queue_p50_us: snap.queue_wait.p50_us,
+        queue_p99_us: snap.queue_wait.p99_us,
+        generations_observed: generations.load(Ordering::Relaxed),
+    }
+}
+
+/// Write `report` to `bench_results/serve_load.json` (pretty JSON, same
+/// location convention as the bench harness) and return the path.
+pub fn write_report(report: &LoadReport) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir).expect("create bench_results dir");
+    let path = dir.join("serve_load.json");
+    let json = serde_json::to_string_pretty(report).expect("serialize load report");
+    std::fs::write(&path, json).expect("write serve_load.json");
+    path
+}

@@ -1,0 +1,212 @@
+//! Serving metrics: latency percentiles, throughput, queue depth.
+//!
+//! Counters are lock-free atomics updated from the submit and batcher
+//! paths; per-request latencies append to a mutex-guarded buffer (one push
+//! per completed request, far off the model-execution hot path). Latency
+//! accounting splits each request into *queue* time (submit → batch
+//! dequeue) and *total* time (submit → response ready); percentiles are
+//! nearest-rank over the completed population.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Live counters for one server instance.
+pub struct Metrics {
+    received: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    queue_depth: AtomicU64,
+    batches: AtomicU64,
+    swaps: AtomicU64,
+    swap_failures: AtomicU64,
+    total_us: Mutex<Vec<u64>>,
+    queue_us: Mutex<Vec<u64>>,
+    started: Instant,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            received: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            swap_failures: AtomicU64::new(0),
+            total_us: Mutex::new(Vec::new()),
+            queue_us: Mutex::new(Vec::new()),
+            // aimts-lint: allow(A003, uptime/throughput base timestamp)
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Metrics {
+    pub fn record_received(&self) {
+        self.received.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request left the queue for a batch.
+    pub fn record_dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn record_completion(&self, queue_us: u64, total_us: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        lock(&self.total_us).push(total_us);
+        lock(&self.queue_us).push(queue_us);
+    }
+
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_swap(&self, ok: bool) {
+        if ok {
+            self.swaps.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.swap_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Requests currently queued (submitted, not yet picked into a batch).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Consistent point-in-time summary.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let total = lock(&self.total_us).clone();
+        let queue = lock(&self.queue_us).clone();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            received: self.received.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            batches,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                completed as f64 / batches as f64
+            },
+            swaps: self.swaps.load(Ordering::Relaxed),
+            swap_failures: self.swap_failures.load(Ordering::Relaxed),
+            uptime_s: elapsed,
+            throughput_rps: if elapsed > 0.0 {
+                completed as f64 / elapsed
+            } else {
+                0.0
+            },
+            latency: LatencySummary::of(total),
+            queue_wait: LatencySummary::of(queue),
+        }
+    }
+}
+
+/// Nearest-rank percentile summary over a latency population (µs).
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencySummary {
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+    pub mean_us: f64,
+}
+
+impl LatencySummary {
+    fn of(mut xs: Vec<u64>) -> LatencySummary {
+        if xs.is_empty() {
+            return LatencySummary {
+                p50_us: 0,
+                p95_us: 0,
+                p99_us: 0,
+                max_us: 0,
+                mean_us: 0.0,
+            };
+        }
+        xs.sort_unstable();
+        let sum: u64 = xs.iter().sum();
+        LatencySummary {
+            p50_us: percentile(&xs, 50.0),
+            p95_us: percentile(&xs, 95.0),
+            p99_us: percentile(&xs, 99.0),
+            max_us: xs[xs.len() - 1],
+            mean_us: sum as f64 / xs.len() as f64,
+        }
+    }
+}
+
+/// Nearest-rank percentile of a sorted, non-empty slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Serializable point-in-time metrics (the `metrics` TCP command and the
+/// load-generator report both emit this).
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSnapshot {
+    pub received: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub queue_depth: u64,
+    pub batches: u64,
+    pub mean_batch: f64,
+    pub swaps: u64,
+    pub swap_failures: u64,
+    pub uptime_s: f64,
+    pub throughput_rps: f64,
+    pub latency: LatencySummary,
+    pub queue_wait: LatencySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 50.0), 50);
+        assert_eq!(percentile(&xs, 95.0), 95);
+        assert_eq!(percentile(&xs, 99.0), 99);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn snapshot_counts_and_throughput() {
+        let m = Metrics::default();
+        for i in 0..10 {
+            m.record_received();
+            m.record_dequeued();
+            m.record_completion(i, 10 * i + 1);
+        }
+        m.record_batch();
+        let s = m.snapshot();
+        assert_eq!(s.received, 10);
+        assert_eq!(s.completed, 10);
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.latency.max_us, 91);
+        assert!(s.throughput_rps > 0.0);
+        // Snapshot is serializable (the TCP frontend ships it as JSON).
+        let json = serde_json::to_string(&s).expect("serialize snapshot");
+        assert!(json.contains("\"p99_us\""));
+    }
+}

@@ -1,0 +1,159 @@
+//! Minimal JSON-lines TCP frontend.
+//!
+//! One JSON object per line, one line per reply:
+//!
+//! ```text
+//! → {"series": [[0.1, 0.2, ...], ...]}
+//! ← {"ok":true,"id":7,"class":1,"generation":1,"batch_size":3,"queue_us":412,"total_us":1903}
+//! → {"cmd":"metrics"}
+//! ← {...MetricsSnapshot...}
+//! → {"cmd":"swap","path":"/path/to/model.aimts"}
+//! ← {"ok":true,"generation":2}
+//! → {"cmd":"shutdown"}
+//! ← {"ok":true}           (then the listener stops accepting)
+//! ```
+//!
+//! Each connection gets its own thread; requests on one connection are
+//! answered in order (pipelining across connections still micro-batches,
+//! because every line lands in the shared queue). The frontend is a demo
+//! surface for `aimts-cli serve` — the conformance and load suites drive
+//! the in-process [`Server`] API directly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use aimts_data::MultiSeries;
+use serde_json::Value;
+
+use crate::server::Server;
+
+/// Accept connections on `listener` and serve until a client sends
+/// `{"cmd":"shutdown"}`. Returns the number of connections handled.
+pub fn serve_tcp(server: Arc<Server>, listener: TcpListener) -> std::io::Result<u64> {
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut connections = 0u64;
+    let mut handlers = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = stream?;
+        connections += 1;
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        handlers.push(std::thread::spawn(move || {
+            if handle_connection(&server, stream) {
+                // Shutdown requested: set the flag, then poke the
+                // listener with a throwaway connection so `incoming`
+                // observes it.
+                stop.store(true, Ordering::Release);
+                TcpStream::connect(local).ok();
+            }
+        }));
+    }
+    for h in handlers {
+        h.join().ok();
+    }
+    Ok(connections)
+}
+
+/// Serve one connection; returns true when the client asked for shutdown.
+fn handle_connection(server: &Server, stream: TcpStream) -> bool {
+    let Ok(write_half) = stream.try_clone() else {
+        return false;
+    };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply, shutdown) = dispatch(server, &line);
+        if writeln!(writer, "{reply}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if shutdown {
+            return true;
+        }
+    }
+    false
+}
+
+/// Execute one request line; returns (reply line, shutdown?).
+fn dispatch(server: &Server, line: &str) -> (String, bool) {
+    let value: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => return (error_reply(&format!("invalid JSON: {e}")), false),
+    };
+    match value.get("cmd").and_then(Value::as_str) {
+        Some("metrics") => {
+            let snap = server.metrics();
+            match serde_json::to_string(&snap) {
+                Ok(json) => (json, false),
+                Err(e) => (error_reply(&format!("metrics: {e}")), false),
+            }
+        }
+        Some("swap") => {
+            let Some(path) = value.get("path").and_then(Value::as_str) else {
+                return (error_reply("swap needs a \"path\" field"), false);
+            };
+            match server.swap_from_bundle(&PathBuf::from(path)) {
+                Ok(generation) => (format!("{{\"ok\":true,\"generation\":{generation}}}"), false),
+                Err(e) => (error_reply(&e.to_string()), false),
+            }
+        }
+        Some("shutdown") => ("{\"ok\":true}".to_string(), true),
+        Some(other) => (error_reply(&format!("unknown cmd `{other}`")), false),
+        None => match parse_series(&value) {
+            Ok(series) => match server.classify(series) {
+                Ok(r) => (
+                    format!(
+                        "{{\"ok\":true,\"id\":{},\"class\":{},\"generation\":{},\"batch_size\":{},\"queue_us\":{},\"total_us\":{}}}",
+                        r.id, r.class, r.generation, r.batch_size, r.queue_us, r.total_us
+                    ),
+                    false,
+                ),
+                Err(e) => (error_reply(&e.to_string()), false),
+            },
+            Err(why) => (error_reply(&why), false),
+        },
+    }
+}
+
+fn error_reply(why: &str) -> String {
+    // Route through the JSON writer so arbitrary error text is escaped.
+    let msg = serde_json::to_string(why).unwrap_or_else(|_| "\"error\"".to_string());
+    format!("{{\"ok\":false,\"error\":{msg}}}")
+}
+
+/// Extract `{"series": [[...], ...]}` into a [`MultiSeries`].
+fn parse_series(value: &Value) -> Result<MultiSeries, String> {
+    let vars = value
+        .get("series")
+        .and_then(Value::as_array)
+        .ok_or("request needs a \"series\" array of per-variable arrays")?;
+    let mut out: MultiSeries = Vec::with_capacity(vars.len());
+    for (m, var) in vars.iter().enumerate() {
+        let xs = var
+            .as_array()
+            .ok_or_else(|| format!("series[{m}] is not an array"))?;
+        let mut v = Vec::with_capacity(xs.len());
+        for (i, x) in xs.iter().enumerate() {
+            v.push(
+                x.as_f64()
+                    .ok_or_else(|| format!("series[{m}][{i}] is not a number"))?
+                    as f32,
+            );
+        }
+        out.push(v);
+    }
+    Ok(out)
+}

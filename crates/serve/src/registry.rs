@@ -1,0 +1,109 @@
+//! Versioned model registry with hot atomic swap.
+//!
+//! The registry holds exactly one *current* [`ModelVersion`] behind an
+//! `RwLock<Arc<_>>` (ArcSwap-style): readers take a shared lock just long
+//! enough to clone the `Arc` — a pointer copy — and then execute entirely
+//! against their own immutable handle. A swap validates the incoming
+//! bundle *completely* before taking the write lock, so the flip itself is
+//! O(1) and a defective bundle can never dislodge a healthy model:
+//! validation errors surface as typed [`ServeError::Checkpoint`] values
+//! while the old version keeps serving, and batches already holding the
+//! old `Arc` finish on it untouched.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use aimts::infer::InferenceModel;
+use aimts::{Executor, FineTuned};
+
+use crate::ServeError;
+
+/// One immutable, generation-stamped serving model.
+pub struct ModelVersion {
+    /// Monotone swap counter: 1 for the boot model, +1 per successful swap.
+    pub generation: u64,
+    /// Where the model came from (bundle path or an in-process label).
+    pub source: String,
+    /// The frozen, lock-free classifier.
+    pub model: InferenceModel,
+}
+
+/// The registry: one current version, atomically replaceable.
+pub struct ModelRegistry {
+    current: RwLock<Arc<ModelVersion>>,
+    generation: AtomicU64,
+    executor: Executor,
+}
+
+fn read_lock<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_lock<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl ModelRegistry {
+    /// Boot the registry from an in-process fine-tuned model (generation 1).
+    pub fn from_tuned(tuned: &FineTuned, executor: Executor, source: &str) -> Self {
+        let version = Arc::new(ModelVersion {
+            generation: 1,
+            source: source.to_string(),
+            model: tuned.freeze(executor),
+        });
+        ModelRegistry {
+            current: RwLock::new(version),
+            generation: AtomicU64::new(1),
+            executor,
+        }
+    }
+
+    /// Boot the registry from a serving bundle on disk (generation 1).
+    pub fn from_bundle(path: &Path, executor: Executor) -> Result<Self, ServeError> {
+        let tuned = FineTuned::load_bundle(path)?;
+        Ok(Self::from_tuned(
+            &tuned,
+            executor,
+            &path.display().to_string(),
+        ))
+    }
+
+    /// The current version: a pointer flip away from the hot path.
+    pub fn current(&self) -> Arc<ModelVersion> {
+        Arc::clone(&read_lock(&self.current))
+    }
+
+    /// Generation of the current version.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Hot-swap to the bundle at `path`.
+    ///
+    /// The bundle is loaded, checksum-verified, and frozen *before* the
+    /// write lock is taken; any defect returns a typed error and leaves
+    /// the current version untouched. On success the new generation number
+    /// is returned and subsequent [`ModelRegistry::current`] calls observe
+    /// the new model; batches that already hold the old `Arc` finish on it.
+    pub fn swap_from_bundle(&self, path: &Path) -> Result<u64, ServeError> {
+        let tuned = FineTuned::load_bundle(path)?;
+        Ok(self.install(tuned.freeze(self.executor), &path.display().to_string()))
+    }
+
+    /// Hot-swap to an in-process fine-tuned model (e.g. freshly re-trained).
+    pub fn swap_tuned(&self, tuned: &FineTuned, source: &str) -> u64 {
+        self.install(tuned.freeze(self.executor), source)
+    }
+
+    fn install(&self, model: InferenceModel, source: &str) -> u64 {
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let version = Arc::new(ModelVersion {
+            generation,
+            source: source.to_string(),
+            model,
+        });
+        *write_lock(&self.current) = version;
+        generation
+    }
+}

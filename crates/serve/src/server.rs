@@ -1,0 +1,197 @@
+//! The embeddable server façade: submit requests, await responses, swap
+//! models, read metrics.
+
+use std::path::Path;
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use aimts_data::MultiSeries;
+
+use crate::batcher::{self, BatchPolicy, Pending, Request, Response};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::registry::ModelRegistry;
+use crate::ServeError;
+
+/// A running inference server: registry + micro-batcher + metrics.
+///
+/// `Server` is `Sync`; any number of threads may submit concurrently.
+/// Dropping the server (or calling [`Server::shutdown`]) closes the queue,
+/// lets the batcher drain every accepted request, and joins the thread —
+/// accepted requests are never dropped, even across shutdown.
+pub struct Server {
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    policy: BatchPolicy,
+    tx: Mutex<Option<SyncSender<Request>>>,
+    batcher: Mutex<Option<JoinHandle<()>>>,
+    next_id: std::sync::atomic::AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Server {
+    /// Start serving `registry`'s current model under `policy`.
+    pub fn start(registry: ModelRegistry, policy: BatchPolicy) -> Server {
+        policy.validate();
+        let registry = Arc::new(registry);
+        let metrics = Arc::new(Metrics::default());
+        let (tx, rx) = mpsc::sync_channel::<Request>(policy.queue_cap);
+        let batcher = {
+            let registry = Arc::clone(&registry);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name("aimts-batcher".to_string())
+                .spawn(move || batcher::run(rx, registry, metrics, policy))
+                .expect("spawn batcher thread")
+        };
+        Server {
+            registry,
+            metrics,
+            policy,
+            tx: Mutex::new(Some(tx)),
+            batcher: Mutex::new(Some(batcher)),
+            next_id: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// Enqueue one classification request; blocks only when the bounded
+    /// queue is full (back-pressure). Returns a [`Pending`] handle whose
+    /// [`Pending::wait`] yields exactly one [`Response`].
+    pub fn submit(&self, series: MultiSeries) -> Result<Pending, ServeError> {
+        if let Err(why) = validate(&series) {
+            self.metrics.record_rejected();
+            return Err(ServeError::BadRequest(why));
+        }
+        let tx = match lock(&self.tx).as_ref() {
+            Some(tx) => tx.clone(),
+            None => return Err(ServeError::Closed),
+        };
+        let id = self
+            .next_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let (reply, rx) = mpsc::channel::<Response>();
+        self.metrics.record_received();
+        let req = Request {
+            id,
+            series,
+            // aimts-lint: allow(A003, request latency timestamps are wall-clock by definition)
+            enqueued: Instant::now(),
+            reply,
+        };
+        if tx.send(req).is_err() {
+            // Batcher gone mid-flight (shutdown race): nothing was queued.
+            self.metrics.record_dequeued();
+            return Err(ServeError::Closed);
+        }
+        Ok(Pending { id, rx })
+    }
+
+    /// Non-blocking submit: `Err(BadRequest)` on invalid input,
+    /// `Err(Closed)` when shut down, `Ok(None)` when the queue is full.
+    pub fn try_submit(&self, series: MultiSeries) -> Result<Option<Pending>, ServeError> {
+        if let Err(why) = validate(&series) {
+            self.metrics.record_rejected();
+            return Err(ServeError::BadRequest(why));
+        }
+        let tx = match lock(&self.tx).as_ref() {
+            Some(tx) => tx.clone(),
+            None => return Err(ServeError::Closed),
+        };
+        let id = self
+            .next_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let (reply, rx) = mpsc::channel::<Response>();
+        self.metrics.record_received();
+        let req = Request {
+            id,
+            series,
+            // aimts-lint: allow(A003, request latency timestamps are wall-clock by definition)
+            enqueued: Instant::now(),
+            reply,
+        };
+        match tx.try_send(req) {
+            Ok(()) => Ok(Some(Pending { id, rx })),
+            Err(TrySendError::Full(_)) => {
+                self.metrics.record_dequeued();
+                Ok(None)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.metrics.record_dequeued();
+                Err(ServeError::Closed)
+            }
+        }
+    }
+
+    /// Submit and block for the answer (the one-shot convenience path).
+    pub fn classify(&self, series: MultiSeries) -> Result<Response, ServeError> {
+        self.submit(series)?.wait()
+    }
+
+    /// Hot-swap the served model to the bundle at `path` (see
+    /// [`ModelRegistry::swap_from_bundle`]). Typed error on any bundle
+    /// defect; the old model keeps serving either way until the flip.
+    pub fn swap_from_bundle(&self, path: &Path) -> Result<u64, ServeError> {
+        let result = self.registry.swap_from_bundle(path);
+        self.metrics.record_swap(result.is_ok());
+        result
+    }
+
+    /// The model registry (for generation queries or in-process swaps).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Point-in-time metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The batch policy this server runs.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Close the queue and join the batcher after it drains every accepted
+    /// request. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        // Dropping the sender disconnects the channel once queued requests
+        // are consumed; the batcher flushes them all before exiting.
+        lock(&self.tx).take();
+        if let Some(handle) = lock(&self.batcher).take() {
+            handle.join().ok();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Structural request validation: non-empty, rectangular, finite values.
+fn validate(series: &MultiSeries) -> Result<(), String> {
+    if series.is_empty() {
+        return Err("series has no variables".to_string());
+    }
+    let t = series[0].len();
+    if t == 0 {
+        return Err("series has zero time steps".to_string());
+    }
+    for (m, var) in series.iter().enumerate() {
+        if var.len() != t {
+            return Err(format!(
+                "ragged series: variable {m} has {} steps, variable 0 has {t}",
+                var.len()
+            ));
+        }
+        if let Some(v) = var.iter().find(|v| !v.is_finite()) {
+            return Err(format!("variable {m} contains non-finite value {v}"));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,191 @@
+//! Property tests for the micro-batcher: across random request counts,
+//! shapes, batch policies, and client interleavings, the batcher never
+//! drops, duplicates, or cross-wires a response, every answer equals the
+//! offline model's answer, and every observed batch respects `max_batch`.
+//!
+//! The properties are structural (counts, ids, classes, bounds), not
+//! timing-based, so they hold on any scheduler — `max_delay` flushes are
+//! exercised but never asserted against a wall clock.
+
+use std::sync::OnceLock;
+
+use aimts::{Executor, FineTuned, HealthReport, TsEncoder};
+use aimts_data::{MultiSeries, Sample, Split};
+use aimts_nn::{Activation, Mlp};
+use aimts_serve::{BatchPolicy, ModelRegistry, Server};
+use proptest::prelude::*;
+
+const N_CLASSES: usize = 3;
+
+/// A cheap untrained-but-deterministic model: random init is a perfectly
+/// good function for testing the transport (the batcher must agree with
+/// the offline path bitwise, whatever the weights).
+fn model() -> &'static FineTuned {
+    static MODEL: OnceLock<FineTuned> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let repr = 16;
+        FineTuned {
+            encoder: TsEncoder::new(8, repr, &[1, 2], 99),
+            head: Mlp::new(&[repr, 8, N_CLASSES], Activation::Gelu, 100),
+            n_classes: N_CLASSES,
+            train_losses: Vec::new(),
+            best_train_accuracy: None,
+            health: HealthReport::default(),
+        }
+    })
+}
+
+/// Deterministic synthetic sample: `m` variables of length `t`.
+fn sample(m: usize, t: usize, seed: u64) -> MultiSeries {
+    (0..m)
+        .map(|v| {
+            (0..t)
+                .map(|i| {
+                    let x = (seed as f32 * 0.37 + v as f32) + i as f32 * 0.25;
+                    x.sin() + 0.1 * (i as f32 * 0.05 + seed as f32).cos()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Offline ground truth for a set of samples, via `FineTuned::predict`.
+fn offline_classes(samples: &[MultiSeries]) -> Vec<usize> {
+    let split = Split {
+        samples: samples
+            .iter()
+            .map(|vars| Sample {
+                vars: vars.clone(),
+                label: 0,
+            })
+            .collect(),
+    };
+    model().predict(&split)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn no_request_is_dropped_duplicated_or_cross_wired(
+        n in 1usize..40,
+        max_batch in 1usize..9,
+        queue_cap in 1usize..64,
+        m in 1usize..3,
+        t in 8usize..24,
+    ) {
+        let samples: Vec<MultiSeries> = (0..n).map(|i| sample(m, t, i as u64)).collect();
+        let expected = offline_classes(&samples);
+
+        let registry = ModelRegistry::from_tuned(model(), Executor::Eager, "prop");
+        let server = Server::start(registry, BatchPolicy {
+            max_batch,
+            queue_cap,
+            ..BatchPolicy::default()
+        });
+
+        // Submit everything up front (back-pressure may block briefly when
+        // queue_cap < n; the batcher is draining concurrently).
+        let pending: Vec<_> = samples
+            .iter()
+            .map(|s| server.submit(s.clone()).expect("submit"))
+            .collect();
+
+        // Ids are unique and each response echoes its request's id —
+        // responses cannot be cross-wired between requests.
+        let ids: Vec<u64> = pending.iter().map(|p| p.id()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), n, "duplicate request ids");
+
+        let mut answered = 0usize;
+        for (i, p) in pending.into_iter().enumerate() {
+            let resp = p.wait().expect("every accepted request gets a response");
+            prop_assert_eq!(resp.id, ids[i], "response for the wrong request");
+            prop_assert_eq!(resp.class, expected[i], "served class != offline class");
+            prop_assert!(resp.batch_size >= 1 && resp.batch_size <= max_batch,
+                "batch_size {} outside [1, {}]", resp.batch_size, max_batch);
+            prop_assert_eq!(resp.generation, 1);
+            prop_assert!(resp.total_us >= resp.queue_us);
+            answered += 1;
+        }
+        prop_assert_eq!(answered, n, "lost responses");
+
+        server.shutdown();
+        let snap = server.metrics();
+        prop_assert_eq!(snap.received, n as u64);
+        prop_assert_eq!(snap.completed, n as u64, "metrics lost completions");
+        prop_assert_eq!(snap.rejected, 0);
+        prop_assert_eq!(snap.queue_depth, 0, "queue not drained at shutdown");
+        prop_assert!(snap.batches >= n.div_ceil(max_batch) as u64,
+            "too few batches for max_batch bound");
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_without_entering_the_queue(
+        n_good in 1usize..8,
+        t in 4usize..12,
+    ) {
+        let registry = ModelRegistry::from_tuned(model(), Executor::Eager, "prop");
+        let server = Server::start(registry, BatchPolicy::default());
+
+        // Empty series, empty variable, ragged variables, non-finite cell.
+        let bad: Vec<MultiSeries> = vec![
+            vec![],
+            vec![vec![]],
+            vec![vec![0.0; t], vec![0.0; t + 1]],
+            vec![vec![f32::NAN; t]],
+        ];
+        for b in &bad {
+            prop_assert!(server.submit(b.clone()).is_err());
+        }
+        for i in 0..n_good {
+            let resp = server.classify(sample(1, t, i as u64)).expect("good request");
+            prop_assert!(resp.class < N_CLASSES);
+        }
+        server.shutdown();
+        let snap = server.metrics();
+        prop_assert_eq!(snap.rejected, bad.len() as u64);
+        prop_assert_eq!(snap.completed, n_good as u64);
+    }
+}
+
+/// A lone request must be answered by the `max_delay` flush (nothing else
+/// will ever fill its batch) — and in a batch of exactly one.
+#[test]
+fn lone_request_flushes_on_max_delay() {
+    let registry = ModelRegistry::from_tuned(model(), Executor::Eager, "lone");
+    let server = Server::start(
+        registry,
+        BatchPolicy {
+            max_batch: 1024,
+            ..BatchPolicy::default()
+        },
+    );
+    let resp = server.classify(sample(1, 16, 5)).expect("lone request");
+    assert_eq!(resp.batch_size, 1);
+    server.shutdown();
+}
+
+/// Shutdown drains: requests accepted before `shutdown()` are all
+/// answered, and submits after it fail with `Closed`.
+#[test]
+fn shutdown_answers_accepted_requests_then_closes() {
+    let registry = ModelRegistry::from_tuned(model(), Executor::Eager, "drain");
+    let server = Server::start(
+        registry,
+        BatchPolicy {
+            max_batch: 4,
+            ..BatchPolicy::default()
+        },
+    );
+    let pending: Vec<_> = (0..17)
+        .map(|i| server.submit(sample(1, 12, i)).expect("submit"))
+        .collect();
+    server.shutdown();
+    for p in pending {
+        p.wait().expect("accepted request answered across shutdown");
+    }
+    assert!(server.submit(sample(1, 12, 0)).is_err());
+}

@@ -14,10 +14,11 @@
 
 #[cfg(debug_assertions)]
 mod imp {
-    use std::cell::RefCell;
+    use std::cell::{Cell, RefCell};
 
     thread_local! {
         static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+        static ACQUIRED: Cell<u64> = const { Cell::new(0) };
     }
 
     /// RAII registration of one lock acquisition on this thread.
@@ -44,6 +45,7 @@ mod imp {
             }
             h.push(id);
         });
+        ACQUIRED.with(|c| c.set(c.get() + 1));
         LockToken { id }
     }
 
@@ -65,6 +67,14 @@ mod imp {
     pub fn held_count() -> usize {
         HELD.with(|h| h.borrow().len())
     }
+
+    /// Cumulative count of lock acquisitions on the current thread.
+    ///
+    /// Serving-path regression tests take a delta around a frozen-model
+    /// forward to prove it touches no `Storage::Shared` locks.
+    pub fn acquired_total() -> u64 {
+        ACQUIRED.with(|c| c.get())
+    }
 }
 
 #[cfg(not(debug_assertions))]
@@ -81,9 +91,15 @@ mod imp {
     pub fn held_count() -> usize {
         0
     }
+
+    /// Release builds track nothing; the counter reads as a constant zero.
+    #[inline(always)]
+    pub fn acquired_total() -> u64 {
+        0
+    }
 }
 
-pub use imp::{acquire, held_count, LockToken};
+pub use imp::{acquire, acquired_total, held_count, LockToken};
 
 #[cfg(all(test, debug_assertions))]
 mod tests {
@@ -122,6 +138,18 @@ mod tests {
         // Unwinding dropped `_hi`, and the failed acquisition itself must
         // not leave residue on the stack.
         assert_eq!(held_count(), 0, "panicked acquire leaked a token");
+    }
+
+    #[test]
+    fn acquisition_counter_is_cumulative() {
+        let before = acquired_total();
+        let t1 = acquire(100);
+        let t2 = acquire(101);
+        drop(t2);
+        drop(t1);
+        // Dropping tokens never rewinds the counter: it measures traffic,
+        // not residency.
+        assert_eq!(acquired_total() - before, 2);
     }
 
     #[test]
