@@ -15,7 +15,9 @@ use aimts_data::special;
 use aimts_data::{Dataset, MissingValuePolicy};
 use aimts_eval::ConfusionMatrix;
 use aimts_imaging::{render_sample, ImageConfig};
-use aimts_serve::{run_loadgen, write_report, BatchPolicy, LoadgenConfig, ModelRegistry, Server};
+use aimts_serve::{
+    run_loadgen, write_report, BatchPolicy, LoadgenConfig, ModelRegistry, NetPolicy, Server,
+};
 
 use crate::args::Args;
 
@@ -67,21 +69,41 @@ USAGE:
   aimts-cli serve [--model <bundle.aimts>] [--addr 127.0.0.1:7878]
                   [--dataset ecg200] [--epochs 5] [--max-batch 64]
                   [--max-delay-us 2000] [--queue-cap 4096]
-                  [--executor eager|compiled]
+                  [--admission-timeout-ms 1000] [--default-deadline-ms <ms>]
+                  [--max-inflight 2] [--inference-threads 1]
+                  [--breaker-threshold 3] [--breaker-cooldown-ms 500]
+                  [--read-timeout-ms 30000] [--write-timeout-ms 10000]
+                  [--max-frame-bytes 1048576] [--executor eager|compiled]
       Start the micro-batching inference server on a JSON-lines TCP socket.
       --model loads a serving bundle (write one with `demo --save-bundle` or
       `finetune --save-bundle`); without it a demo model is trained in
-      process on --dataset first. One JSON object per line:
-        {\"series\": [[...], ...]}            classify one sample
-        {\"cmd\":\"metrics\"}                   latency/throughput snapshot
-        {\"cmd\":\"swap\",\"path\":\"new.aimts\"}  hot-swap the model
-        {\"cmd\":\"shutdown\"}                  stop the server
+      process on --dataset first. Overload protection: a full queue sheds
+      with a typed `overloaded` reply (after --admission-timeout-ms of
+      back-pressure; low-priority requests shed early and never block),
+      requests past their deadline answer `deadline_exceeded`, and
+      --breaker-threshold consecutive inference panics trip a circuit
+      breaker that rejects with `circuit_open` until --breaker-cooldown-ms
+      elapses. The frontend drops clients that idle past the read/write
+      timeouts or send a line over --max-frame-bytes (typed
+      `frame_too_large` reply first). One JSON object per line:
+        {\"series\": [[...], ...], \"deadline_ms\": 50,
+         \"priority\": \"high|normal|low\", \"model\": \"name\"}   classify
+        {\"cmd\":\"metrics\"}                   latency/overload snapshot
+        {\"cmd\":\"models\"}                    list registry slots
+        {\"cmd\":\"swap\",\"path\":\"new.aimts\"[,\"model\":\"name\"]}  hot-swap
+        {\"cmd\":\"shutdown\"}                  drain, answer, then stop
   aimts-cli loadgen [--model <bundle.aimts>] [--dataset ecg200]
                     [--requests 10000] [--clients 4] [--epochs 5]
+                    [--deadline-ms <ms>] [--min-sheds 0]
                     [--max-batch 64] [--max-delay-us 2000]
-                    [--queue-cap 4096] [--executor eager|compiled]
+                    [--queue-cap 4096] [--admission-timeout-ms 1000]
+                    [--max-inflight 2] [--inference-threads 1]
+                    [--executor eager|compiled]
       Drive the in-process server with synthetic load and write latency
-      percentiles + throughput to bench_results/serve_load.json.
+      percentiles + throughput + overload outcomes (shed / deadline /
+      failed / lost) to bench_results/serve_load.json. Fails if any
+      accepted request was lost, or fewer than --min-sheds submissions
+      were shed (saturation smoke tests assert sheds happen).
       `demo` and `finetune` accept --save-bundle <path> to produce the
       serving bundle both commands load with --model.
   aimts-cli help
@@ -363,17 +385,54 @@ pub fn export_json(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Parse the micro-batching knobs shared by `serve` and `loadgen`.
+/// Parse the micro-batching and overload knobs shared by `serve` and
+/// `loadgen`.
 fn batch_policy(args: &Args) -> Result<BatchPolicy, String> {
+    let defaults = BatchPolicy::default();
     let policy = BatchPolicy {
-        max_batch: args.parse_or("max-batch", BatchPolicy::default().max_batch)?,
+        max_batch: args.parse_or("max-batch", defaults.max_batch)?,
         max_delay: std::time::Duration::from_micros(args.parse_or("max-delay-us", 2_000u64)?),
-        queue_cap: args.parse_or("queue-cap", BatchPolicy::default().queue_cap)?,
+        queue_cap: args.parse_or("queue-cap", defaults.queue_cap)?,
+        admission_timeout: std::time::Duration::from_millis(args.parse_or(
+            "admission-timeout-ms",
+            defaults.admission_timeout.as_millis() as u64,
+        )?),
+        default_deadline: args
+            .parse_opt::<u64>("default-deadline-ms")?
+            .map(std::time::Duration::from_millis),
+        max_inflight_batches: args.parse_or("max-inflight", defaults.max_inflight_batches)?,
+        inference_threads: args.parse_or("inference-threads", defaults.inference_threads)?,
+        breaker_threshold: args.parse_or("breaker-threshold", defaults.breaker_threshold)?,
+        breaker_cooldown: std::time::Duration::from_millis(args.parse_or(
+            "breaker-cooldown-ms",
+            defaults.breaker_cooldown.as_millis() as u64,
+        )?),
     };
     if policy.max_batch == 0 || policy.queue_cap == 0 {
         return Err("--max-batch and --queue-cap must be >= 1".to_string());
     }
+    if policy.max_inflight_batches == 0 || policy.inference_threads == 0 {
+        return Err("--max-inflight and --inference-threads must be >= 1".to_string());
+    }
+    if policy.breaker_threshold == 0 {
+        return Err("--breaker-threshold must be >= 1".to_string());
+    }
     Ok(policy)
+}
+
+/// Parse the frontend hardening knobs for `serve`.
+fn net_policy(args: &Args) -> Result<NetPolicy, String> {
+    let defaults = NetPolicy::default();
+    Ok(NetPolicy {
+        read_timeout: std::time::Duration::from_millis(
+            args.parse_or("read-timeout-ms", defaults.read_timeout.as_millis() as u64)?,
+        ),
+        write_timeout: std::time::Duration::from_millis(args.parse_or(
+            "write-timeout-ms",
+            defaults.write_timeout.as_millis() as u64,
+        )?),
+        max_frame: args.parse_or("max-frame-bytes", defaults.max_frame)?,
+    })
 }
 
 /// Build the model registry for `serve`/`loadgen`: load `--model <bundle>`
@@ -410,19 +469,24 @@ fn serve_registry(args: &Args) -> Result<ModelRegistry, String> {
 /// `serve`: micro-batching inference server on a JSON-lines TCP socket.
 pub fn serve(args: &Args) -> Result<(), String> {
     let policy = batch_policy(args)?;
+    let net = net_policy(args)?;
     let registry = serve_registry(args)?;
     let addr = args.str_or("addr", "127.0.0.1:7878");
     let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let server = std::sync::Arc::new(Server::start(registry, policy));
     println!(
-        "serving generation {} on {addr} (max_batch {}, max_delay {:?}, queue_cap {})",
+        "serving generation {} on {addr} (max_batch {}, max_delay {:?}, queue_cap {}, \
+         admission_timeout {:?}, inflight {}, workers {})",
         server.registry().generation(),
         policy.max_batch,
         policy.max_delay,
-        policy.queue_cap
+        policy.queue_cap,
+        policy.admission_timeout,
+        policy.max_inflight_batches,
+        policy.inference_threads
     );
-    println!("send {{\"cmd\":\"shutdown\"}} on a connection to stop");
-    let connections = aimts_serve::net::serve_tcp(std::sync::Arc::clone(&server), listener)
+    println!("send {{\"cmd\":\"shutdown\"}} on a connection to stop (drains, then exits)");
+    let connections = aimts_serve::net::serve_tcp(std::sync::Arc::clone(&server), listener, net)
         .map_err(|e| format!("serve loop failed: {e}"))?;
     server.shutdown();
     let snap = server.metrics();
@@ -440,7 +504,9 @@ pub fn loadgen(args: &Args) -> Result<(), String> {
     let cfg = LoadgenConfig {
         requests: args.parse_or("requests", 10_000usize)?,
         clients: args.parse_or("clients", 4usize)?,
+        deadline_ms: args.parse_opt("deadline-ms")?,
     };
+    let min_sheds = args.parse_or("min-sheds", 0u64)?;
     if cfg.requests == 0 || cfg.clients == 0 {
         return Err("--requests and --clients must be >= 1".to_string());
     }
@@ -464,10 +530,15 @@ pub fn loadgen(args: &Args) -> Result<(), String> {
     server.shutdown();
     let path = write_report(&report);
     println!(
-        "completed {}/{} ({} errors) in {:.2}s — {:.0} req/s, mean batch {:.1}",
+        "completed {}/{} (shed {}, deadline {}, failed {}, errors {}, lost {}) \
+         in {:.2}s — {:.0} req/s, mean batch {:.1}",
         report.completed,
         report.requests,
+        report.shed,
+        report.deadline_exceeded,
+        report.inference_failures,
         report.errors,
+        report.lost,
         report.wall_s,
         report.throughput_rps,
         report.mean_batch
@@ -482,10 +553,18 @@ pub fn loadgen(args: &Args) -> Result<(), String> {
         report.queue_p99_us
     );
     println!("report written to {}", path.display());
-    if report.completed != report.requests {
+    // Shed and expired requests are legitimate overload outcomes; a lost
+    // request — accepted but never answered — is a drain-contract bug.
+    if report.lost > 0 {
         return Err(format!(
-            "lost requests: {} submitted, {} completed, {} errors",
-            report.requests, report.completed, report.errors
+            "lost requests: {} accepted but never answered",
+            report.lost
+        ));
+    }
+    if report.shed < min_sheds {
+        return Err(format!(
+            "expected at least {min_sheds} shed request(s) under this load, saw {}",
+            report.shed
         ));
     }
     Ok(())
@@ -762,6 +841,71 @@ mod tests {
         assert!(batch_policy(&args(&[("queue-cap", "0")])).is_err());
         // A missing bundle errors cleanly instead of panicking.
         assert!(serve_registry(&args(&[("model", "/nonexistent/x.aimts")])).is_err());
+    }
+
+    #[test]
+    fn overload_flags_parse() {
+        let p = batch_policy(&args(&[
+            ("admission-timeout-ms", "0"),
+            ("default-deadline-ms", "25"),
+            ("max-inflight", "3"),
+            ("inference-threads", "2"),
+            ("breaker-threshold", "5"),
+            ("breaker-cooldown-ms", "100"),
+        ]))
+        .unwrap();
+        assert_eq!(p.admission_timeout, std::time::Duration::ZERO);
+        assert_eq!(
+            p.default_deadline,
+            Some(std::time::Duration::from_millis(25))
+        );
+        assert_eq!(p.max_inflight_batches, 3);
+        assert_eq!(p.inference_threads, 2);
+        assert_eq!(p.breaker_threshold, 5);
+        assert_eq!(p.breaker_cooldown, std::time::Duration::from_millis(100));
+        // No deadline unless asked for; zero thread counts error cleanly.
+        assert_eq!(batch_policy(&args(&[])).unwrap().default_deadline, None);
+        assert!(batch_policy(&args(&[("inference-threads", "0")])).is_err());
+        assert!(batch_policy(&args(&[("max-inflight", "0")])).is_err());
+        assert!(batch_policy(&args(&[("breaker-threshold", "0")])).is_err());
+
+        let n = net_policy(&args(&[
+            ("read-timeout-ms", "250"),
+            ("write-timeout-ms", "125"),
+            ("max-frame-bytes", "4096"),
+        ]))
+        .unwrap();
+        assert_eq!(n.read_timeout, std::time::Duration::from_millis(250));
+        assert_eq!(n.write_timeout, std::time::Duration::from_millis(125));
+        assert_eq!(n.max_frame, 4096);
+        assert_eq!(net_policy(&args(&[])).unwrap().max_frame, 1 << 20);
+    }
+
+    #[test]
+    fn loadgen_saturation_sheds_without_losing_accepted_requests() {
+        let bundle = std::env::temp_dir().join("aimts_cli_saturation_bundle.aimts");
+        let _ = fs::remove_file(&bundle);
+        demo(&args(&[
+            ("dataset", "ecg200"),
+            ("epochs", "1"),
+            ("hidden", "8"),
+            ("repr", "16"),
+            ("save-bundle", bundle.to_str().unwrap()),
+        ]))
+        .unwrap();
+        // Try-admit semantics (zero admission timeout) against a tiny
+        // queue: sheds must happen, accepted requests must all answer.
+        loadgen(&args(&[
+            ("model", bundle.to_str().unwrap()),
+            ("dataset", "ecg200"),
+            ("requests", "400"),
+            ("clients", "8"),
+            ("max-batch", "4"),
+            ("queue-cap", "2"),
+            ("admission-timeout-ms", "0"),
+            ("min-sheds", "1"),
+        ]))
+        .unwrap();
     }
 
     #[test]

@@ -53,6 +53,10 @@ struct InferPlan {
 /// contention.
 type InferPlans = Mutex<HashMap<(usize, usize, usize), Option<Arc<InferPlan>>>>;
 
+/// An observation hook run on every batch before the forward pass (see
+/// [`InferenceModel::with_pre_classify_hook`]).
+pub type PreClassifyHook = Arc<dyn Fn(&[&MultiSeries]) + Send + Sync>;
+
 /// An immutable, lock-free classifier: frozen encoder + frozen head.
 pub struct InferenceModel {
     encoder: TsEncoder,
@@ -60,6 +64,7 @@ pub struct InferenceModel {
     n_classes: usize,
     executor: Executor,
     plans: InferPlans,
+    pre_hook: Option<PreClassifyHook>,
 }
 
 impl InferenceModel {
@@ -72,7 +77,19 @@ impl InferenceModel {
             n_classes,
             executor,
             plans: Mutex::new(HashMap::new()),
+            pre_hook: None,
         }
+    }
+
+    /// Install an observation hook invoked with each (shape-homogeneous)
+    /// batch at the top of [`InferenceModel::classify`], before any
+    /// tensor work. The hook must not mutate the samples; it exists so
+    /// fault-injection harnesses can make specific payloads panic inside
+    /// the guarded inference path exactly as a model crash would
+    /// (`aimts-serve`'s poison-isolation tests). `None` in production.
+    pub fn with_pre_classify_hook(mut self, hook: PreClassifyHook) -> Self {
+        self.pre_hook = Some(hook);
+        self
     }
 
     /// Number of output classes.
@@ -90,6 +107,9 @@ impl InferenceModel {
     /// heterogeneous batches. Input order is preserved.
     pub fn classify(&self, samples: &[&MultiSeries]) -> Vec<usize> {
         assert!(!samples.is_empty(), "classify on an empty batch");
+        if let Some(hook) = &self.pre_hook {
+            hook(samples);
+        }
         no_grad(|| {
             let mut preds = Vec::with_capacity(samples.len());
             for chunk in samples.chunks(INFER_CHUNK) {

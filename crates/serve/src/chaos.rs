@@ -1,0 +1,169 @@
+//! Deterministic chaos injection for the serving stack.
+//!
+//! [`ChaosPlan`] plays the role [`FaultPlan`](aimts::FaultPlan) plays for
+//! training: an inert-by-default, fully deterministic schedule of faults
+//! that the `serve_chaos` suite drives through the real code paths. Three
+//! fault families:
+//!
+//! - **latency spikes** — the inference worker sleeps before the forward
+//!   pass of scheduled flush indices (saturates the queue, expires
+//!   deadlines);
+//! - **flush panics** — the guarded forward of scheduled flush indices
+//!   panics *once*, at the top level only: bisection retries run clean,
+//!   so a transient panic is survivable while the breaker still counts
+//!   the failure;
+//! - **poison payloads** — any series containing [`POISON_SENTINEL`]
+//!   panics the model's pre-classify hook ([`poison_trap`]) every time
+//!   it is seen, so bisection must isolate exactly the poisoned
+//!   requests.
+//!
+//! Schedules are either scripted (explicit flush indices) or derived
+//! from a seed via a splitmix-style generator — same seed, same faults,
+//! on any machine and any thread count.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aimts_data::MultiSeries;
+
+/// A finite magic value marking a poison request: it passes structural
+/// validation (finite, well-shaped) but [`poison_trap`] panics on it —
+/// the serving analogue of a NaN-bomb payload that crashes the model.
+pub const POISON_SENTINEL: f32 = 3.402e37;
+
+/// Deterministic fault schedule for the serving stack. Inert by default;
+/// not intended for production configs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosPlan {
+    /// Sleep this long before the forward pass of every flush whose
+    /// index is in [`ChaosPlan::spike_flushes`].
+    pub spike: Duration,
+    /// Flush indices (0-based, assigned at assembly) that incur the
+    /// latency spike.
+    pub spike_flushes: Vec<u64>,
+    /// Flush indices whose top-level guarded forward panics once.
+    pub panic_flushes: Vec<u64>,
+}
+
+impl ChaosPlan {
+    /// An inert plan (no faults).
+    pub fn none() -> ChaosPlan {
+        ChaosPlan::default()
+    }
+
+    /// A seeded schedule over the first `flushes` flush indices: each
+    /// index spikes with probability `1/spike_one_in` and panics with
+    /// probability `1/panic_one_in` (0 disables a family). Deterministic
+    /// in `seed`.
+    pub fn seeded(
+        seed: u64,
+        flushes: u64,
+        spike_one_in: u64,
+        spike: Duration,
+        panic_one_in: u64,
+    ) -> ChaosPlan {
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut roll = |one_in: u64| {
+            if one_in == 0 {
+                return false;
+            }
+            // splitmix64 step: high-quality, dependency-free determinism.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)).is_multiple_of(one_in)
+        };
+        let mut plan = ChaosPlan {
+            spike,
+            ..ChaosPlan::default()
+        };
+        for flush in 0..flushes {
+            if roll(spike_one_in) {
+                plan.spike_flushes.push(flush);
+            }
+            if roll(panic_one_in) {
+                plan.panic_flushes.push(flush);
+            }
+        }
+        plan
+    }
+
+    /// Whether flush `flush` sleeps before its forward pass.
+    pub fn spikes(&self, flush: u64) -> bool {
+        !self.spike.is_zero() && self.spike_flushes.contains(&flush)
+    }
+
+    /// Whether flush `flush`'s top-level forward panics.
+    pub fn panics(&self, flush: u64) -> bool {
+        self.panic_flushes.contains(&flush)
+    }
+
+    /// Whether the plan injects nothing at all (the production state).
+    pub fn is_inert(&self) -> bool {
+        self.spike_flushes.is_empty() && self.panic_flushes.is_empty()
+    }
+}
+
+/// A pre-classify hook (see
+/// [`InferenceModel::with_pre_classify_hook`](aimts::InferenceModel::with_pre_classify_hook))
+/// that panics whenever any sample in the batch contains
+/// [`POISON_SENTINEL`] — the deterministic stand-in for a payload that
+/// crashes the model. Bisection in the batcher must isolate exactly the
+/// poisoned requests while their batch-mates are answered normally.
+pub fn poison_trap() -> crate::registry::InferHook {
+    Arc::new(|samples: &[&MultiSeries]| {
+        let poisoned = samples.iter().any(|s| {
+            s.iter()
+                .flatten()
+                .any(|v| v.to_bits() == POISON_SENTINEL.to_bits())
+        });
+        assert!(!poisoned, "chaos: poison payload reached the model");
+    })
+}
+
+/// A poison sample: structurally valid (finite, rectangular) but carrying
+/// the sentinel that [`poison_trap`] panics on.
+pub fn poison_sample(t: usize) -> MultiSeries {
+    let mut v = vec![0.5f32; t];
+    v[t / 2] = POISON_SENTINEL;
+    vec![v]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = ChaosPlan::none();
+        assert!(p.is_inert());
+        assert!(!p.spikes(0));
+        assert!(!p.panics(0));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_seed_sensitive() {
+        let a = ChaosPlan::seeded(7, 64, 4, Duration::from_millis(1), 8);
+        let b = ChaosPlan::seeded(7, 64, 4, Duration::from_millis(1), 8);
+        let c = ChaosPlan::seeded(8, 64, 4, Duration::from_millis(1), 8);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        assert_ne!(a, c, "different seeds must diverge");
+        assert!(!a.is_inert());
+        // Disabled families inject nothing.
+        let quiet = ChaosPlan::seeded(7, 64, 0, Duration::ZERO, 0);
+        assert!(quiet.is_inert());
+    }
+
+    #[test]
+    fn poison_trap_panics_only_on_the_sentinel() {
+        let trap = poison_trap();
+        let clean: MultiSeries = vec![vec![0.0, 1.0, 2.0]];
+        trap(&[&clean]); // must not panic
+        let bad = poison_sample(8);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| trap(&[&clean, &bad])));
+        assert!(err.is_err(), "sentinel must trip the trap");
+        // The sentinel is finite, so it passes structural validation.
+        assert!(POISON_SENTINEL.is_finite());
+    }
+}

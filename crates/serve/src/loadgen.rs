@@ -1,5 +1,14 @@
 //! Synthetic load generator: many client threads, 10⁴–10⁶ queued
-//! requests, a JSON report under `bench_results/`.
+//! requests, per-outcome accounting, a JSON report under
+//! `bench_results/`.
+//!
+//! The generator distinguishes every overload outcome so saturation runs
+//! are measurable: `completed` (answered with a class), `shed`
+//! (admission rejected: overloaded or breaker open), `deadline_exceeded`,
+//! `inference_failures`, `errors` (everything else typed), and `lost` —
+//! requests that were *accepted* but never answered. `lost` must be zero
+//! under any schedule, including saturation and shutdown races; the CLI
+//! and the chaos suite both fail a run with `lost > 0`.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -9,7 +18,9 @@ use aimts_data::MultiSeries;
 use serde::Serialize;
 
 use crate::batcher::Pending;
+use crate::deadline::{Deadline, SubmitOptions};
 use crate::server::Server;
+use crate::ServeError;
 
 /// Load-generation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -18,6 +29,8 @@ pub struct LoadgenConfig {
     pub requests: usize,
     /// Concurrent client threads.
     pub clients: usize,
+    /// Per-request relative deadline, if any.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for LoadgenConfig {
@@ -25,6 +38,7 @@ impl Default for LoadgenConfig {
         LoadgenConfig {
             requests: 10_000,
             clients: 4,
+            deadline_ms: None,
         }
     }
 }
@@ -36,7 +50,19 @@ pub struct LoadReport {
     pub requests: u64,
     pub clients: u64,
     pub completed: u64,
+    /// Admission-shed submissions (overloaded / circuit open).
+    pub shed: u64,
+    /// Requests answered `DeadlineExceeded` (admitted or at admission).
+    pub deadline_exceeded: u64,
+    /// Requests answered `InferenceFailed` (poison isolation).
+    pub inference_failures: u64,
+    /// Other typed rejections (bad request, model not found, closed at
+    /// submit time).
     pub errors: u64,
+    /// Accepted requests that never got an answer — the drain contract
+    /// makes this zero always.
+    pub lost: u64,
+    pub breaker_trips: u64,
     pub max_batch: u64,
     pub max_delay_us: u64,
     pub queue_cap: u64,
@@ -57,28 +83,47 @@ pub struct LoadReport {
 /// Drive `cfg.requests` classification requests through `server` from
 /// `cfg.clients` threads, drawing inputs round-robin from `pool`.
 ///
-/// Every request's response is awaited; the function returns only after
-/// the last response (or server shutdown). Panics if `pool` is empty.
+/// Every accepted request's response is awaited; the function returns
+/// only after the last outcome (or server shutdown). Panics if `pool` is
+/// empty.
 pub fn run_loadgen(server: &Server, pool: &[MultiSeries], cfg: &LoadgenConfig) -> LoadReport {
     assert!(!pool.is_empty(), "loadgen needs a non-empty request pool");
     assert!(cfg.requests >= 1 && cfg.clients >= 1);
+    let completed = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let deadline_exceeded = AtomicU64::new(0);
+    let inference_failures = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
-    let answered = AtomicU64::new(0);
+    let lost = AtomicU64::new(0);
     let generations = AtomicU64::new(0);
     // aimts-lint: allow(A003, load-test wall-clock measurement)
     let started = Instant::now();
     std::thread::scope(|scope| {
         for client in 0..cfg.clients {
+            let completed = &completed;
+            let shed = &shed;
+            let deadline_exceeded = &deadline_exceeded;
+            let inference_failures = &inference_failures;
             let errors = &errors;
-            let answered = &answered;
+            let lost = &lost;
             let generations = &generations;
             scope.spawn(move || {
                 // Client c sends requests c, c + clients, c + 2*clients, ...
                 let mut pending: Vec<Pending> = Vec::new();
                 let mut i = client;
                 while i < cfg.requests {
-                    match server.submit(pool[i % pool.len()].clone()) {
+                    let opts = SubmitOptions {
+                        deadline: cfg.deadline_ms.map(Deadline::in_ms),
+                        ..SubmitOptions::default()
+                    };
+                    match server.submit_with(pool[i % pool.len()].clone(), opts) {
                         Ok(p) => pending.push(p),
+                        Err(ServeError::Overloaded { .. } | ServeError::CircuitOpen { .. }) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::DeadlineExceeded) => {
+                            deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                        }
                         Err(_) => {
                             errors.fetch_add(1, Ordering::Relaxed);
                         }
@@ -89,11 +134,20 @@ pub fn run_loadgen(server: &Server, pool: &[MultiSeries], cfg: &LoadgenConfig) -
                 for p in pending {
                     match p.wait() {
                         Ok(resp) => {
-                            answered.fetch_add(1, Ordering::Relaxed);
+                            completed.fetch_add(1, Ordering::Relaxed);
                             seen_gen = seen_gen.max(resp.generation);
                         }
+                        Err(ServeError::DeadlineExceeded) => {
+                            deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::InferenceFailed(_)) => {
+                            inference_failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // An accepted request answered `Closed` (or any
+                        // other post-admission error) was dropped: the
+                        // drain contract failed.
                         Err(_) => {
-                            errors.fetch_add(1, Ordering::Relaxed);
+                            lost.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
@@ -107,14 +161,19 @@ pub fn run_loadgen(server: &Server, pool: &[MultiSeries], cfg: &LoadgenConfig) -
     LoadReport {
         requests: cfg.requests as u64,
         clients: cfg.clients as u64,
-        completed: answered.load(Ordering::Relaxed),
+        completed: completed.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        deadline_exceeded: deadline_exceeded.load(Ordering::Relaxed),
+        inference_failures: inference_failures.load(Ordering::Relaxed),
         errors: errors.load(Ordering::Relaxed),
+        lost: lost.load(Ordering::Relaxed),
+        breaker_trips: snap.breaker_trips,
         max_batch: policy.max_batch as u64,
         max_delay_us: policy.max_delay.as_micros() as u64,
         queue_cap: policy.queue_cap as u64,
         wall_s,
         throughput_rps: if wall_s > 0.0 {
-            answered.load(Ordering::Relaxed) as f64 / wall_s
+            completed.load(Ordering::Relaxed) as f64 / wall_s
         } else {
             0.0
         },

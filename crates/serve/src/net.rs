@@ -1,40 +1,100 @@
-//! Minimal JSON-lines TCP frontend.
+//! Hardened JSON-lines TCP frontend.
 //!
 //! One JSON object per line, one line per reply:
 //!
 //! ```text
-//! → {"series": [[0.1, 0.2, ...], ...]}
+//! → {"series": [[0.1, 0.2, ...], ...], "deadline_ms": 50, "priority": "low", "model": "canary"}
 //! ← {"ok":true,"id":7,"class":1,"generation":1,"batch_size":3,"queue_us":412,"total_us":1903}
 //! → {"cmd":"metrics"}
 //! ← {...MetricsSnapshot...}
-//! → {"cmd":"swap","path":"/path/to/model.aimts"}
+//! → {"cmd":"models"}
+//! ← {"ok":true,"models":[{"name":"default","generation":1,"source":"..."}]}
+//! → {"cmd":"swap","path":"/path/to/model.aimts","model":"canary"}
 //! ← {"ok":true,"generation":2}
 //! → {"cmd":"shutdown"}
-//! ← {"ok":true}           (then the listener stops accepting)
+//! ← {"ok":true,"drained":true}      (after the drain completes)
 //! ```
+//!
+//! Error replies are typed: `{"ok":false,"code":"overloaded","error":"...",
+//! "retry_after_ms":12}` — `code` is [`ServeError::code`], so clients
+//! dispatch on a stable string instead of parsing prose.
+//!
+//! The frontend is hardened against hostile or broken clients
+//! ([`NetPolicy`]): per-connection read/write timeouts bound how long a
+//! slow client can pin its handler thread, and frames are read through a
+//! bounded scanner — a line longer than `max_frame` yields one typed
+//! `frame_too_large` reply and a disconnect *without ever buffering the
+//! oversized frame*. Malformed JSON, truncated frames, and binary
+//! garbage produce typed errors or a clean disconnect, never a panic or
+//! a hung thread (`tests/net_faults.rs`).
 //!
 //! Each connection gets its own thread; requests on one connection are
 //! answered in order (pipelining across connections still micro-batches,
-//! because every line lands in the shared queue). The frontend is a demo
-//! surface for `aimts-cli serve` — the conformance and load suites drive
-//! the in-process [`Server`] API directly.
+//! because every line lands in the shared queue).
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use aimts_data::MultiSeries;
 use serde_json::Value;
 
+use crate::deadline::{Deadline, Priority, SubmitOptions};
 use crate::server::Server;
+use crate::ServeError;
+
+/// Frontend hardening limits. Zero durations disable the corresponding
+/// timeout (not recommended outside tests).
+#[derive(Debug, Clone, Copy)]
+pub struct NetPolicy {
+    /// A connection idle (or trickling one frame) longer than this is
+    /// dropped.
+    pub read_timeout: Duration,
+    /// A client not draining its replies for this long is dropped.
+    pub write_timeout: Duration,
+    /// Maximum request line length in bytes; longer frames get a typed
+    /// `frame_too_large` reply and the connection is closed.
+    pub max_frame: usize,
+}
+
+impl Default for NetPolicy {
+    fn default() -> Self {
+        NetPolicy {
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_frame: 1 << 20,
+        }
+    }
+}
+
+fn timeout_opt(d: Duration) -> Option<Duration> {
+    if d.is_zero() {
+        None
+    } else {
+        Some(d)
+    }
+}
 
 /// Accept connections on `listener` and serve until a client sends
 /// `{"cmd":"shutdown"}`. Returns the number of connections handled.
-pub fn serve_tcp(server: Arc<Server>, listener: TcpListener) -> std::io::Result<u64> {
+pub fn serve_tcp(
+    server: Arc<Server>,
+    listener: TcpListener,
+    policy: NetPolicy,
+) -> std::io::Result<u64> {
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    // Clones of every live connection so drain can sever idle clients
+    // instead of waiting out their read timeouts. Handlers remove (and
+    // thereby drop) their own clone on exit, so a connection the handler
+    // closed really closes — the clone must not hold the socket open.
+    let live: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
+    fn lock(m: &Mutex<Vec<(u64, TcpStream)>>) -> std::sync::MutexGuard<'_, Vec<(u64, TcpStream)>> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
     let mut connections = 0u64;
     let mut handlers = Vec::new();
     for stream in listener.incoming() {
@@ -43,17 +103,29 @@ pub fn serve_tcp(server: Arc<Server>, listener: TcpListener) -> std::io::Result<
         }
         let stream = stream?;
         connections += 1;
+        let id = connections;
+        if let Ok(clone) = stream.try_clone() {
+            lock(&live).push((id, clone));
+        }
         let server = Arc::clone(&server);
         let stop = Arc::clone(&stop);
+        let live = Arc::clone(&live);
         handlers.push(std::thread::spawn(move || {
-            if handle_connection(&server, stream) {
-                // Shutdown requested: set the flag, then poke the
-                // listener with a throwaway connection so `incoming`
-                // observes it.
+            let shutdown_requested = handle_connection(&server, stream, policy);
+            lock(&live).retain(|(cid, _)| *cid != id);
+            if shutdown_requested {
+                // Set the flag, then poke the listener with a throwaway
+                // connection so `incoming` observes it.
                 stop.store(true, Ordering::Release);
                 TcpStream::connect(local).ok();
             }
         }));
+    }
+    // Sever the still-live connections (the shutdown requester already
+    // got its reply) so parked handler reads return immediately, then
+    // join.
+    for (_, s) in lock(&live).drain(..) {
+        s.shutdown(std::net::Shutdown::Both).ok();
     }
     for h in handlers {
         h.join().ok();
@@ -61,77 +133,229 @@ pub fn serve_tcp(server: Arc<Server>, listener: TcpListener) -> std::io::Result<
     Ok(connections)
 }
 
+/// One framing outcome from the bounded line scanner.
+enum Frame {
+    Line(String),
+    /// The line exceeded `max_frame`; its bytes were discarded, not kept.
+    TooLarge,
+    /// EOF, timeout, or I/O error — nothing further to read.
+    Disconnect,
+}
+
+/// Read one `\n`-terminated frame without ever holding more than
+/// `max_frame` bytes of it. Oversized frames are consumed (so the typed
+/// reply lands on a clean stream position) but never buffered.
+fn read_frame(reader: &mut BufReader<TcpStream>, max_frame: usize) -> Frame {
+    let mut line: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            // EOF — a truncated trailing frame is a clean disconnect.
+            Ok([]) => return Frame::Disconnect,
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // WouldBlock/TimedOut (slow client) and hard errors alike.
+            Err(_) => return Frame::Disconnect,
+        };
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !oversized {
+                    line.extend_from_slice(&chunk[..pos]);
+                    oversized = line.len() > max_frame;
+                }
+                reader.consume(pos + 1);
+                return if oversized {
+                    Frame::TooLarge
+                } else {
+                    // Binary garbage decodes lossily and then fails JSON
+                    // parsing with a typed reply — no panic on invalid UTF-8.
+                    Frame::Line(String::from_utf8_lossy(&line).into_owned())
+                };
+            }
+            None => {
+                let len = chunk.len();
+                if !oversized {
+                    line.extend_from_slice(chunk);
+                    if line.len() > max_frame {
+                        oversized = true;
+                        line = Vec::new();
+                    }
+                }
+                reader.consume(len);
+            }
+        }
+    }
+}
+
 /// Serve one connection; returns true when the client asked for shutdown.
-fn handle_connection(server: &Server, stream: TcpStream) -> bool {
+fn handle_connection(server: &Server, stream: TcpStream, policy: NetPolicy) -> bool {
+    if stream
+        .set_read_timeout(timeout_opt(policy.read_timeout))
+        .is_err()
+        || stream
+            .set_write_timeout(timeout_opt(policy.write_timeout))
+            .is_err()
+    {
+        return false;
+    }
     let Ok(write_half) = stream.try_clone() else {
         return false;
     };
     let mut writer = std::io::BufWriter::new(write_half);
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_frame(&mut reader, policy.max_frame) {
+            Frame::Line(line) => line,
+            Frame::TooLarge => {
+                // One typed reply, then drop the connection: a client
+                // that overflows the limit once will likely do it again.
+                let reply = error_reply(&ServeError::FrameTooLarge {
+                    limit: policy.max_frame,
+                });
+                writeln!(writer, "{reply}")
+                    .and_then(|()| writer.flush())
+                    .ok();
+                return false;
+            }
+            Frame::Disconnect => return false,
+        };
         if line.trim().is_empty() {
             continue;
         }
         let (reply, shutdown) = dispatch(server, &line);
+        if shutdown {
+            // Drain first so `ok` means every accepted request was
+            // answered, then confirm (idempotent under racing clients).
+            server.shutdown();
+            writeln!(writer, "{reply}")
+                .and_then(|()| writer.flush())
+                .ok();
+            return true;
+        }
         if writeln!(writer, "{reply}")
             .and_then(|()| writer.flush())
             .is_err()
         {
-            break;
-        }
-        if shutdown {
-            return true;
+            return false;
         }
     }
-    false
 }
 
 /// Execute one request line; returns (reply line, shutdown?).
 fn dispatch(server: &Server, line: &str) -> (String, bool) {
     let value: Value = match serde_json::from_str(line) {
         Ok(v) => v,
-        Err(e) => return (error_reply(&format!("invalid JSON: {e}")), false),
+        Err(e) => return (bad_request(&format!("invalid JSON: {e}")), false),
     };
     match value.get("cmd").and_then(Value::as_str) {
         Some("metrics") => {
             let snap = server.metrics();
             match serde_json::to_string(&snap) {
                 Ok(json) => (json, false),
-                Err(e) => (error_reply(&format!("metrics: {e}")), false),
+                Err(e) => (bad_request(&format!("metrics: {e}")), false),
             }
+        }
+        Some("models") => {
+            let entries: Vec<String> = server
+                .registry()
+                .models()
+                .into_iter()
+                .map(|(name, generation, source)| {
+                    format!(
+                        "{{\"name\":{},\"generation\":{generation},\"source\":{}}}",
+                        json_str(&name),
+                        json_str(&source)
+                    )
+                })
+                .collect();
+            (
+                format!("{{\"ok\":true,\"models\":[{}]}}", entries.join(",")),
+                false,
+            )
         }
         Some("swap") => {
             let Some(path) = value.get("path").and_then(Value::as_str) else {
-                return (error_reply("swap needs a \"path\" field"), false);
+                return (bad_request("swap needs a \"path\" field"), false);
             };
-            match server.swap_from_bundle(&PathBuf::from(path)) {
-                Ok(generation) => (format!("{{\"ok\":true,\"generation\":{generation}}}"), false),
-                Err(e) => (error_reply(&e.to_string()), false),
-            }
-        }
-        Some("shutdown") => ("{\"ok\":true}".to_string(), true),
-        Some(other) => (error_reply(&format!("unknown cmd `{other}`")), false),
-        None => match parse_series(&value) {
-            Ok(series) => match server.classify(series) {
-                Ok(r) => (
-                    format!(
-                        "{{\"ok\":true,\"id\":{},\"class\":{},\"generation\":{},\"batch_size\":{},\"queue_us\":{},\"total_us\":{}}}",
-                        r.id, r.class, r.generation, r.batch_size, r.queue_us, r.total_us
-                    ),
+            let result = match value.get("model").and_then(Value::as_str) {
+                Some(name) => server.swap_named_from_bundle(name, &PathBuf::from(path)),
+                None => server.swap_from_bundle(&PathBuf::from(path)),
+            };
+            match result {
+                Ok(generation) => (
+                    format!("{{\"ok\":true,\"generation\":{generation}}}"),
                     false,
                 ),
-                Err(e) => (error_reply(&e.to_string()), false),
-            },
-            Err(why) => (error_reply(&why), false),
-        },
+                Err(e) => (error_reply(&e), false),
+            }
+        }
+        Some("shutdown") => ("{\"ok\":true,\"drained\":true}".to_string(), true),
+        Some(other) => (bad_request(&format!("unknown cmd `{other}`")), false),
+        None => {
+            let opts = match parse_options(&value) {
+                Ok(opts) => opts,
+                Err(why) => return (bad_request(&why), false),
+            };
+            match parse_series(&value) {
+                Ok(series) => match server.classify_with(series, opts) {
+                    Ok(r) => (
+                        format!(
+                            "{{\"ok\":true,\"id\":{},\"class\":{},\"generation\":{},\"batch_size\":{},\"queue_us\":{},\"total_us\":{}}}",
+                            r.id, r.class, r.generation, r.batch_size, r.queue_us, r.total_us
+                        ),
+                        false,
+                    ),
+                    Err(e) => (error_reply(&e), false),
+                },
+                Err(why) => (bad_request(&why), false),
+            }
+        }
     }
 }
 
-fn error_reply(why: &str) -> String {
-    // Route through the JSON writer so arbitrary error text is escaped.
-    let msg = serde_json::to_string(why).unwrap_or_else(|_| "\"error\"".to_string());
-    format!("{{\"ok\":false,\"error\":{msg}}}")
+fn json_str(s: &str) -> String {
+    serde_json::to_string(s).unwrap_or_else(|_| "\"\"".to_string())
+}
+
+/// Typed error reply: stable `code`, human-readable `error`, and a
+/// `retry_after_ms` hint when the rejection is retryable.
+fn error_reply(e: &ServeError) -> String {
+    match e.retry_after_ms() {
+        Some(ms) => format!(
+            "{{\"ok\":false,\"code\":\"{}\",\"error\":{},\"retry_after_ms\":{ms}}}",
+            e.code(),
+            json_str(&e.to_string())
+        ),
+        None => format!(
+            "{{\"ok\":false,\"code\":\"{}\",\"error\":{}}}",
+            e.code(),
+            json_str(&e.to_string())
+        ),
+    }
+}
+
+fn bad_request(why: &str) -> String {
+    error_reply(&ServeError::BadRequest(why.to_string()))
+}
+
+/// Extract optional `deadline_ms` / `priority` / `model` request fields.
+fn parse_options(value: &Value) -> Result<SubmitOptions, String> {
+    let mut opts = SubmitOptions::default();
+    if let Some(v) = value.get("deadline_ms") {
+        let ms = v
+            .as_u64()
+            .ok_or("\"deadline_ms\" must be a non-negative integer")?;
+        opts.deadline = Some(Deadline::in_ms(ms));
+    }
+    if let Some(v) = value.get("priority") {
+        let s = v.as_str().ok_or("\"priority\" must be a string")?;
+        opts.priority = Priority::parse(s)?;
+    }
+    if let Some(v) = value.get("model") {
+        let s = v.as_str().ok_or("\"model\" must be a string")?;
+        opts.model = Some(s.to_string());
+    }
+    Ok(opts)
 }
 
 /// Extract `{"series": [[...], ...]}` into a [`MultiSeries`].

@@ -1,32 +1,59 @@
-//! The embeddable server façade: submit requests, await responses, swap
-//! models, read metrics.
+//! The embeddable server façade: admission-controlled submit, deadline
+//! and priority options, model routing, hot swap, metrics, and the
+//! graceful drain contract.
+//!
+//! Admission runs five checks, cheapest first, each with a typed
+//! rejection: structural validation (`BadRequest`), shutdown state
+//! (`Closed`), circuit breaker (`CircuitOpen`), model existence
+//! (`ModelNotFound`), and deadline-already-expired (`DeadlineExceeded`).
+//! Only then does the request contend for queue space: `Normal`/`High`
+//! priority requests may block up to `admission_timeout` for a slot,
+//! `Low` priority requests never block and are additionally shed once
+//! the queue passes its 3/4 watermark — under sustained overload,
+//! best-effort traffic degrades first, interactive traffic last.
+//! Rejections carry a `retry_after_ms` hint sized from the queue depth
+//! and flush cadence.
+//!
+//! **Drain contract**: [`Server::shutdown`] (also run by `Drop`) closes
+//! the queue, then joins the assembler and every inference worker.
+//! Requests admitted before the close are all answered — with their
+//! response or a typed error — never silently dropped. Shutdown is
+//! idempotent and concurrency-safe: every caller, including racers, only
+//! returns after the drain has fully completed.
 
 use std::path::Path;
-use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use aimts_data::MultiSeries;
 
-use crate::batcher::{self, BatchPolicy, Pending, Request, Response};
+use crate::batcher::{
+    self, AdmissionQueue, Assembled, BatchPolicy, Pending, PushReject, Request, Response,
+};
+use crate::breaker::CircuitBreaker;
+use crate::chaos::ChaosPlan;
+use crate::deadline::{Priority, SubmitOptions};
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, DEFAULT_MODEL};
 use crate::ServeError;
 
-/// A running inference server: registry + micro-batcher + metrics.
+/// A running inference server: registry + admission queue + assembler +
+/// inference worker pool + circuit breaker + metrics.
 ///
 /// `Server` is `Sync`; any number of threads may submit concurrently.
-/// Dropping the server (or calling [`Server::shutdown`]) closes the queue,
-/// lets the batcher drain every accepted request, and joins the thread —
-/// accepted requests are never dropped, even across shutdown.
 pub struct Server {
     registry: Arc<ModelRegistry>,
     metrics: Arc<Metrics>,
+    breaker: Arc<CircuitBreaker>,
     policy: BatchPolicy,
-    tx: Mutex<Option<SyncSender<Request>>>,
-    batcher: Mutex<Option<JoinHandle<()>>>,
-    next_id: std::sync::atomic::AtomicU64,
+    queue: Arc<AdmissionQueue>,
+    open: AtomicBool,
+    assembler: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    next_id: AtomicU64,
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -34,95 +61,165 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 impl Server {
-    /// Start serving `registry`'s current model under `policy`.
+    /// Start serving `registry` under `policy` with no fault injection.
     pub fn start(registry: ModelRegistry, policy: BatchPolicy) -> Server {
+        Self::start_with_chaos(registry, policy, ChaosPlan::none())
+    }
+
+    /// Start with a deterministic [`ChaosPlan`] wired into the inference
+    /// workers (the `serve_chaos` suite's entry point; production callers
+    /// use [`Server::start`], which passes an inert plan).
+    pub fn start_with_chaos(
+        registry: ModelRegistry,
+        policy: BatchPolicy,
+        chaos: ChaosPlan,
+    ) -> Server {
         policy.validate();
         let registry = Arc::new(registry);
         let metrics = Arc::new(Metrics::default());
-        let (tx, rx) = mpsc::sync_channel::<Request>(policy.queue_cap);
-        let batcher = {
+        let breaker = Arc::new(CircuitBreaker::new(
+            policy.breaker_threshold,
+            policy.breaker_cooldown,
+            Arc::clone(&metrics),
+        ));
+        let queue = Arc::new(AdmissionQueue::new(policy.queue_cap, Arc::clone(&metrics)));
+        let chaos = Arc::new(chaos);
+        let (btx, brx) = mpsc::sync_channel::<Assembled>(policy.max_inflight_batches);
+        let brx = Arc::new(Mutex::new(brx));
+        let workers = (0..policy.inference_threads)
+            .map(|i| {
+                let brx = Arc::clone(&brx);
+                let metrics = Arc::clone(&metrics);
+                let breaker = Arc::clone(&breaker);
+                let chaos = Arc::clone(&chaos);
+                std::thread::Builder::new()
+                    .name(format!("aimts-infer-{i}"))
+                    .spawn(move || batcher::run_worker(brx, metrics, breaker, chaos))
+                    .expect("spawn inference worker thread")
+            })
+            .collect();
+        let assembler = {
+            let queue = Arc::clone(&queue);
             let registry = Arc::clone(&registry);
             let metrics = Arc::clone(&metrics);
             std::thread::Builder::new()
-                .name("aimts-batcher".to_string())
-                .spawn(move || batcher::run(rx, registry, metrics, policy))
-                .expect("spawn batcher thread")
+                .name("aimts-assembler".to_string())
+                .spawn(move || batcher::run_assembler(queue, btx, registry, metrics, policy))
+                .expect("spawn assembler thread")
         };
         Server {
             registry,
             metrics,
+            breaker,
             policy,
-            tx: Mutex::new(Some(tx)),
-            batcher: Mutex::new(Some(batcher)),
-            next_id: std::sync::atomic::AtomicU64::new(1),
+            queue,
+            open: AtomicBool::new(true),
+            assembler: Mutex::new(Some(assembler)),
+            workers: Mutex::new(workers),
+            next_id: AtomicU64::new(1),
         }
     }
 
-    /// Enqueue one classification request; blocks only when the bounded
-    /// queue is full (back-pressure). Returns a [`Pending`] handle whose
-    /// [`Pending::wait`] yields exactly one [`Response`].
+    /// Submit with default options (no deadline unless the policy sets
+    /// one, `Normal` priority, default model). Blocks at most
+    /// `admission_timeout` for queue space; a full queue sheds with a
+    /// typed [`ServeError::Overloaded`].
     pub fn submit(&self, series: MultiSeries) -> Result<Pending, ServeError> {
+        self.submit_with(series, SubmitOptions::default())
+    }
+
+    /// Submit with explicit deadline / priority / model routing.
+    pub fn submit_with(
+        &self,
+        series: MultiSeries,
+        opts: SubmitOptions,
+    ) -> Result<Pending, ServeError> {
+        let timeout = match opts.priority {
+            Priority::Low => Duration::ZERO,
+            Priority::Normal | Priority::High => self.policy.admission_timeout,
+        };
+        self.admit(series, opts, timeout)
+    }
+
+    /// Non-blocking submit: `Ok(None)` when the queue is full (the shed
+    /// is still counted), typed errors otherwise.
+    pub fn try_submit(&self, series: MultiSeries) -> Result<Option<Pending>, ServeError> {
+        match self.admit(series, SubmitOptions::default(), Duration::ZERO) {
+            Ok(p) => Ok(Some(p)),
+            Err(ServeError::Overloaded { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn admit(
+        &self,
+        series: MultiSeries,
+        opts: SubmitOptions,
+        timeout: Duration,
+    ) -> Result<Pending, ServeError> {
         if let Err(why) = validate(&series) {
             self.metrics.record_rejected();
             return Err(ServeError::BadRequest(why));
         }
-        let tx = match lock(&self.tx).as_ref() {
-            Some(tx) => tx.clone(),
-            None => return Err(ServeError::Closed),
-        };
-        let id = self
-            .next_id
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let (reply, rx) = mpsc::channel::<Response>();
-        self.metrics.record_received();
-        let req = Request {
-            id,
-            series,
-            // aimts-lint: allow(A003, request latency timestamps are wall-clock by definition)
-            enqueued: Instant::now(),
-            reply,
-        };
-        if tx.send(req).is_err() {
-            // Batcher gone mid-flight (shutdown race): nothing was queued.
-            self.metrics.record_dequeued();
+        if !self.open.load(Ordering::Acquire) {
             return Err(ServeError::Closed);
         }
-        Ok(Pending { id, rx })
-    }
-
-    /// Non-blocking submit: `Err(BadRequest)` on invalid input,
-    /// `Err(Closed)` when shut down, `Ok(None)` when the queue is full.
-    pub fn try_submit(&self, series: MultiSeries) -> Result<Option<Pending>, ServeError> {
-        if let Err(why) = validate(&series) {
-            self.metrics.record_rejected();
-            return Err(ServeError::BadRequest(why));
+        // aimts-lint: allow(A003, admission timestamps are wall-clock by definition)
+        let now = Instant::now();
+        if let Err(retry_after_ms) = self.breaker.admit(now) {
+            self.metrics.record_shed();
+            return Err(ServeError::CircuitOpen { retry_after_ms });
         }
-        let tx = match lock(&self.tx).as_ref() {
-            Some(tx) => tx.clone(),
-            None => return Err(ServeError::Closed),
-        };
-        let id = self
-            .next_id
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let (reply, rx) = mpsc::channel::<Response>();
-        self.metrics.record_received();
-        let req = Request {
+        if !self.registry.contains(opts.model.as_deref()) {
+            self.metrics.record_model_not_found();
+            let name = opts.model.unwrap_or_else(|| DEFAULT_MODEL.to_string());
+            return Err(ServeError::ModelNotFound(name));
+        }
+        let deadline = opts
+            .deadline
+            .map(|d| d.instant())
+            .or_else(|| self.policy.default_deadline.map(|d| now + d));
+        if deadline.is_some_and(|d| now >= d) {
+            self.metrics.record_deadline_exceeded(0);
+            return Err(ServeError::DeadlineExceeded);
+        }
+        // Watermark shedding: best-effort traffic yields queue headroom
+        // to interactive traffic before the queue is hard-full.
+        if opts.priority == Priority::Low {
+            let depth = self.queue.depth();
+            if depth >= self.policy.low_watermark() {
+                self.metrics.record_shed();
+                return Err(self.overloaded(depth));
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply, rx) = mpsc::channel::<Result<Response, ServeError>>();
+        let req = Box::new(Request {
             id,
             series,
-            // aimts-lint: allow(A003, request latency timestamps are wall-clock by definition)
-            enqueued: Instant::now(),
+            model: opts.model,
+            deadline,
+            enqueued: now,
             reply,
-        };
-        match tx.try_send(req) {
-            Ok(()) => Ok(Some(Pending { id, rx })),
-            Err(TrySendError::Full(_)) => {
-                self.metrics.record_dequeued();
-                Ok(None)
+        });
+        match self.queue.push_within(req, timeout) {
+            Ok(()) => Ok(Pending { id, rx }),
+            Err(PushReject::Full(depth)) => {
+                self.metrics.record_shed();
+                Err(self.overloaded(depth))
             }
-            Err(TrySendError::Disconnected(_)) => {
-                self.metrics.record_dequeued();
-                Err(ServeError::Closed)
-            }
+            Err(PushReject::Closed) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Back-off hint: how long until the queue observed at `depth` has
+    /// plausibly drained, given the flush cadence.
+    fn overloaded(&self, depth: usize) -> ServeError {
+        let per_flush_ms = self.policy.max_delay.as_millis().max(1) as u64;
+        let flushes = (depth / self.policy.max_batch) as u64 + 1;
+        ServeError::Overloaded {
+            queue_depth: depth as u64,
+            retry_after_ms: (flushes * per_flush_ms).clamp(1, 10_000),
         }
     }
 
@@ -131,11 +228,24 @@ impl Server {
         self.submit(series)?.wait()
     }
 
-    /// Hot-swap the served model to the bundle at `path` (see
-    /// [`ModelRegistry::swap_from_bundle`]). Typed error on any bundle
-    /// defect; the old model keeps serving either way until the flip.
+    /// [`Server::classify`] with explicit options.
+    pub fn classify_with(
+        &self,
+        series: MultiSeries,
+        opts: SubmitOptions,
+    ) -> Result<Response, ServeError> {
+        self.submit_with(series, opts)?.wait()
+    }
+
+    /// Hot-swap the default slot to the bundle at `path`. Typed error on
+    /// any bundle defect; the old model keeps serving either way.
     pub fn swap_from_bundle(&self, path: &Path) -> Result<u64, ServeError> {
-        let result = self.registry.swap_from_bundle(path);
+        self.swap_named_from_bundle(DEFAULT_MODEL, path)
+    }
+
+    /// Hot-swap (or create) the named slot from the bundle at `path`.
+    pub fn swap_named_from_bundle(&self, name: &str, path: &Path) -> Result<u64, ServeError> {
+        let result = self.registry.register_bundle(name, path);
         self.metrics.record_swap(result.is_ok());
         result
     }
@@ -143,6 +253,11 @@ impl Server {
     /// The model registry (for generation queries or in-process swaps).
     pub fn registry(&self) -> &ModelRegistry {
         &self.registry
+    }
+
+    /// The circuit breaker (state inspection; tests drive it via chaos).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
     }
 
     /// Point-in-time metrics.
@@ -155,13 +270,22 @@ impl Server {
         self.policy
     }
 
-    /// Close the queue and join the batcher after it drains every accepted
-    /// request. Idempotent; also invoked by `Drop`.
+    /// Close admission, drain every accepted request, and join the
+    /// pipeline threads. Idempotent and concurrency-safe: every caller
+    /// returns only after the drain has completed (racing callers park on
+    /// the join locks). Also invoked by `Drop`.
     pub fn shutdown(&self) {
-        // Dropping the sender disconnects the channel once queued requests
-        // are consumed; the batcher flushes them all before exiting.
-        lock(&self.tx).take();
-        if let Some(handle) = lock(&self.batcher).take() {
+        self.open.store(false, Ordering::Release);
+        self.queue.close();
+        // Hold the assembler guard across BOTH joins so a second
+        // concurrent shutdown() blocks until the whole drain is done
+        // instead of returning while requests are still in flight.
+        let mut assembler = lock(&self.assembler);
+        if let Some(handle) = assembler.take() {
+            handle.join().ok();
+        }
+        let mut workers = lock(&self.workers);
+        for handle in workers.drain(..) {
             handle.join().ok();
         }
     }

@@ -1,0 +1,268 @@
+//! Frontend hardening tests against hostile and broken TCP clients.
+//!
+//! Each test boots a real listener on an ephemeral port and talks to it
+//! over real sockets: oversized frames get one typed `frame_too_large`
+//! reply and a disconnect (without the server ever buffering the frame),
+//! malformed JSON / truncated frames / binary garbage get typed
+//! `bad_request` replies or a clean disconnect — never a panic or a hung
+//! handler — and a slow-trickling client is dropped by the read timeout
+//! while the server keeps serving everyone else.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use aimts::{Executor, FineTuned, HealthReport, TsEncoder};
+use aimts_nn::{Activation, Mlp};
+use aimts_serve::{BatchPolicy, ModelRegistry, NetPolicy, Server};
+
+fn model() -> &'static FineTuned {
+    static MODEL: OnceLock<FineTuned> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let repr = 16;
+        FineTuned {
+            encoder: TsEncoder::new(8, repr, &[1, 2], 99),
+            head: Mlp::new(&[repr, 8, 3], Activation::Gelu, 100),
+            n_classes: 3,
+            train_losses: Vec::new(),
+            best_train_accuracy: None,
+            health: HealthReport::default(),
+        }
+    })
+}
+
+/// Boot a server + TCP frontend on an ephemeral port.
+fn boot(policy: NetPolicy) -> (std::net::SocketAddr, JoinHandle<std::io::Result<u64>>) {
+    let registry = ModelRegistry::from_tuned(model(), Executor::Eager, "net-test");
+    let server = Arc::new(Server::start(registry, BatchPolicy::default()));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || aimts_serve::net::serve_tcp(server, listener, policy));
+    (addr, handle)
+}
+
+/// A test client with a generous read timeout so a buggy server fails the
+/// test instead of hanging it.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("client read timeout");
+        let writer = stream.try_clone().expect("clone stream");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    fn send_line(&mut self, line: &str) {
+        self.send_raw(format!("{line}\n").as_bytes());
+    }
+
+    /// Read one reply line; `None` on EOF (server closed the connection).
+    fn read_reply(&mut self) -> Option<String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => Some(line.trim_end().to_string()),
+            Err(e) => panic!("client read failed: {e}"),
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.send_line(line);
+        self.read_reply()
+            .expect("server must reply, not disconnect")
+    }
+}
+
+const VALID: &str =
+    r#"{"series": [[0.1, 0.5, -0.2, 0.3, 0.9, -0.4, 0.0, 0.2, 0.7, -0.1, 0.4, 0.6]]}"#;
+
+/// Shut the frontend down via a fresh connection and join the listener.
+fn shut_down(addr: std::net::SocketAddr, handle: JoinHandle<std::io::Result<u64>>) {
+    let mut c = Client::connect(addr);
+    let reply = c.roundtrip(r#"{"cmd":"shutdown"}"#);
+    assert_eq!(reply, r#"{"ok":true,"drained":true}"#);
+    handle
+        .join()
+        .expect("listener thread must not panic")
+        .expect("listener exits cleanly");
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_and_the_connection_survives() {
+    let (addr, handle) = boot(NetPolicy::default());
+    let mut c = Client::connect(addr);
+
+    // Invalid JSON.
+    let reply = c.roundtrip("this is not json");
+    assert!(reply.contains(r#""ok":false"#), "reply: {reply}");
+    assert!(reply.contains(r#""code":"bad_request""#), "reply: {reply}");
+
+    // Truncated JSON (the newline ends the frame mid-object).
+    let reply = c.roundtrip(r#"{"series": [[0.1, 0.2"#);
+    assert!(reply.contains(r#""code":"bad_request""#), "reply: {reply}");
+
+    // Binary garbage, including invalid UTF-8.
+    c.send_raw(&[0xff, 0xfe, 0x00, 0x9f, 0x92, 0x96, b'\n']);
+    let reply = c.read_reply().expect("typed reply for binary garbage");
+    assert!(reply.contains(r#""code":"bad_request""#), "reply: {reply}");
+
+    // Structurally wrong payloads are typed, not fatal.
+    let reply = c.roundtrip(r#"{"series": "not an array"}"#);
+    assert!(reply.contains(r#""code":"bad_request""#), "reply: {reply}");
+    let reply = c.roundtrip(r#"{"series": [[1.0, "x"]]}"#);
+    assert!(reply.contains(r#""code":"bad_request""#), "reply: {reply}");
+    let reply = c.roundtrip(r#"{"cmd":"frobnicate"}"#);
+    assert!(reply.contains(r#""code":"bad_request""#), "reply: {reply}");
+
+    // The same connection still serves real work afterwards.
+    let reply = c.roundtrip(VALID);
+    assert!(reply.contains(r#""ok":true"#), "reply: {reply}");
+    assert!(reply.contains(r#""class":"#), "reply: {reply}");
+
+    shut_down(addr, handle);
+}
+
+#[test]
+fn oversized_frame_gets_one_typed_reply_then_disconnect() {
+    let (addr, handle) = boot(NetPolicy {
+        max_frame: 256,
+        ..NetPolicy::default()
+    });
+    let mut c = Client::connect(addr);
+
+    let huge = format!("{{\"series\": [[{}1.0]]}}", "0.5, ".repeat(4_000));
+    assert!(huge.len() > 256);
+    let reply = c.roundtrip(&huge);
+    assert!(
+        reply.contains(r#""code":"frame_too_large""#),
+        "reply: {reply}"
+    );
+    assert!(reply.contains("256"), "limit named in reply: {reply}");
+    assert!(
+        c.read_reply().is_none(),
+        "server must disconnect after an oversized frame"
+    );
+
+    // The listener is unaffected: a fresh connection serves normally.
+    let mut c2 = Client::connect(addr);
+    let reply = c2.roundtrip(VALID);
+    assert!(reply.contains(r#""ok":true"#), "reply: {reply}");
+
+    shut_down(addr, handle);
+}
+
+#[test]
+fn slow_client_is_dropped_by_the_read_timeout() {
+    let (addr, handle) = boot(NetPolicy {
+        read_timeout: Duration::from_millis(200),
+        ..NetPolicy::default()
+    });
+
+    // Trickle half a frame, then stall past the read timeout: the server
+    // must drop us instead of pinning its handler thread forever.
+    let mut slow = Client::connect(addr);
+    slow.send_raw(br#"{"series": [[0.1, 0.2"#);
+    let mut buf = [0u8; 64];
+    let mut reader = slow.reader.into_inner();
+    match reader.read(&mut buf) {
+        Ok(0) => {}
+        Ok(n) => panic!(
+            "server sent {n} bytes to a half-frame client: {:?}",
+            String::from_utf8_lossy(&buf[..n])
+        ),
+        Err(e) => panic!("expected clean EOF after timeout, got {e}"),
+    }
+
+    // Other clients were never blocked by the slow one.
+    let mut c = Client::connect(addr);
+    let reply = c.roundtrip(VALID);
+    assert!(reply.contains(r#""ok":true"#), "reply: {reply}");
+
+    shut_down(addr, handle);
+}
+
+#[test]
+fn request_options_roundtrip_and_admin_commands_answer() {
+    let (addr, handle) = boot(NetPolicy::default());
+    let mut c = Client::connect(addr);
+
+    // Options accepted: generous deadline + high priority.
+    let reply = c.roundtrip(
+        r#"{"series": [[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]], "deadline_ms": 10000, "priority": "high"}"#,
+    );
+    assert!(reply.contains(r#""ok":true"#), "reply: {reply}");
+
+    // Unknown model: typed at admission.
+    let reply = c.roundtrip(r#"{"series": [[0.1, 0.2, 0.3, 0.4]], "model": "nope"}"#);
+    assert!(
+        reply.contains(r#""code":"model_not_found""#),
+        "reply: {reply}"
+    );
+    assert!(reply.contains("nope"), "reply names the model: {reply}");
+
+    // Bad option values: typed, not fatal.
+    let reply = c.roundtrip(r#"{"series": [[0.1]], "priority": "urgent"}"#);
+    assert!(reply.contains(r#""code":"bad_request""#), "reply: {reply}");
+    let reply = c.roundtrip(r#"{"series": [[0.1]], "deadline_ms": -5}"#);
+    assert!(reply.contains(r#""code":"bad_request""#), "reply: {reply}");
+
+    // Expired deadline: typed deadline_exceeded, not a hang.
+    let reply = c.roundtrip(r#"{"series": [[0.1, 0.2, 0.3, 0.4]], "deadline_ms": 0}"#);
+    assert!(
+        reply.contains(r#""code":"deadline_exceeded""#),
+        "reply: {reply}"
+    );
+
+    // Admin commands.
+    let reply = c.roundtrip(r#"{"cmd":"metrics"}"#);
+    assert!(reply.contains("received"), "metrics reply: {reply}");
+    assert!(
+        reply.contains("deadline_exceeded"),
+        "metrics reply: {reply}"
+    );
+    let reply = c.roundtrip(r#"{"cmd":"models"}"#);
+    assert!(
+        reply.contains(r#""name":"default""#),
+        "models reply: {reply}"
+    );
+    assert!(reply.contains(r#""generation":1"#), "models reply: {reply}");
+
+    shut_down(addr, handle);
+}
+
+/// Shutdown over TCP drains in-flight work before confirming, and the
+/// listener exits; a second shutdown attempt just fails to connect (or is
+/// refused) — no panic, no zombie thread.
+#[test]
+fn tcp_shutdown_drains_then_exits() {
+    let (addr, handle) = boot(NetPolicy::default());
+    let mut c = Client::connect(addr);
+    for _ in 0..5 {
+        let reply = c.roundtrip(VALID);
+        assert!(reply.contains(r#""ok":true"#), "reply: {reply}");
+    }
+    let reply = c.roundtrip(r#"{"cmd":"shutdown"}"#);
+    assert_eq!(reply, r#"{"ok":true,"drained":true}"#);
+    let connections = handle
+        .join()
+        .expect("listener thread must not panic")
+        .expect("listener exits cleanly");
+    // At least our client plus the internal wake-up poke were accepted.
+    assert!(connections >= 1, "connections: {connections}");
+}

@@ -1,0 +1,497 @@
+//! Deterministic chaos suite for the overload-safe serving stack.
+//!
+//! Every scenario drives the real pipeline (admission → assembly →
+//! inference workers) with a scripted [`ChaosPlan`] and asserts
+//! *structural* outcomes — counts, typed errors, state machines — never
+//! wall-clock latencies, so the suite is deterministic under any
+//! scheduler and `AIMTS_THREADS` setting:
+//!
+//! - saturation sheds with typed `Overloaded` while zero accepted
+//!   requests are lost;
+//! - latency spikes expire deadlines into typed `DeadlineExceeded`;
+//! - consecutive flush panics trip the circuit breaker (typed
+//!   `CircuitOpen`), and a clean half-open probe closes it again;
+//! - a poison payload is isolated by bisection: batch-mates answer
+//!   normally, only the poison request fails;
+//! - hot swaps land mid-chaos without dropping a request;
+//! - concurrent shutdown racing live submitters answers every accepted
+//!   request (the drain contract under contention).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use aimts::{Executor, FineTuned, HealthReport, TsEncoder};
+use aimts_data::{MultiSeries, Sample, Split};
+use aimts_nn::{Activation, Mlp};
+use aimts_serve::{
+    poison_trap, BatchPolicy, BreakerState, ChaosPlan, Deadline, ModelRegistry, Priority,
+    ServeError, Server, SubmitOptions,
+};
+
+const N_CLASSES: usize = 3;
+
+/// A cheap untrained-but-deterministic model (random init is a perfectly
+/// good function for transport-layer tests).
+fn model() -> &'static FineTuned {
+    static MODEL: OnceLock<FineTuned> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let repr = 16;
+        FineTuned {
+            encoder: TsEncoder::new(8, repr, &[1, 2], 99),
+            head: Mlp::new(&[repr, 8, N_CLASSES], Activation::Gelu, 100),
+            n_classes: N_CLASSES,
+            train_losses: Vec::new(),
+            best_train_accuracy: None,
+            health: HealthReport::default(),
+        }
+    })
+}
+
+fn sample(m: usize, t: usize, seed: u64) -> MultiSeries {
+    (0..m)
+        .map(|v| {
+            (0..t)
+                .map(|i| {
+                    let x = (seed as f32 * 0.37 + v as f32) + i as f32 * 0.25;
+                    x.sin() + 0.1 * (i as f32 * 0.05 + seed as f32).cos()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn offline_classes(samples: &[MultiSeries]) -> Vec<usize> {
+    let split = Split {
+        samples: samples
+            .iter()
+            .map(|vars| Sample {
+                vars: vars.clone(),
+                label: 0,
+            })
+            .collect(),
+    };
+    model().predict(&split)
+}
+
+/// A plan that spikes every flush by `ms` (saturates the pipeline).
+fn spike_every_flush(ms: u64) -> ChaosPlan {
+    ChaosPlan {
+        spike: Duration::from_millis(ms),
+        spike_flushes: (0..100_000).collect(),
+        panic_flushes: Vec::new(),
+    }
+}
+
+/// Saturation: try-admit against a tiny queue while every flush is
+/// slowed. Sheds MUST happen and MUST be typed `Overloaded` with a
+/// usable retry hint; every accepted request MUST still be answered —
+/// zero lost. (p99 stays bounded *because* the queue is bounded: no
+/// accepted request ever waits behind more than `queue_cap` others.)
+#[test]
+fn saturation_sheds_typed_and_loses_no_accepted_request() {
+    let registry = ModelRegistry::from_tuned(model(), Executor::Eager, "chaos");
+    let server = Server::start_with_chaos(
+        registry,
+        BatchPolicy {
+            max_batch: 2,
+            queue_cap: 4,
+            admission_timeout: Duration::ZERO,
+            ..BatchPolicy::default()
+        },
+        spike_every_flush(2),
+    );
+
+    let n = 100u64;
+    let shed = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for client in 0..4u64 {
+            let server = &server;
+            let shed = &shed;
+            let completed = &completed;
+            scope.spawn(move || {
+                let mut pending = Vec::new();
+                for i in (client..n).step_by(4) {
+                    match server.submit(sample(1, 12, i)) {
+                        Ok(p) => pending.push(p),
+                        Err(ServeError::Overloaded {
+                            queue_depth,
+                            retry_after_ms,
+                        }) => {
+                            assert!(queue_depth >= 1, "shed with empty queue");
+                            assert!(retry_after_ms >= 1, "useless retry hint");
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected admission error: {e}"),
+                    }
+                }
+                for p in pending {
+                    p.wait().expect("accepted request must be answered");
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    server.shutdown();
+
+    let shed = shed.load(Ordering::Relaxed);
+    let completed = completed.load(Ordering::Relaxed);
+    assert!(shed > 0, "saturation run must shed");
+    assert_eq!(
+        completed + shed,
+        n,
+        "every submission has exactly one outcome"
+    );
+    let snap = server.metrics();
+    assert_eq!(snap.shed, shed);
+    assert_eq!(snap.completed, completed);
+    assert_eq!(snap.queue_depth, 0, "queue drained at shutdown");
+    assert!(snap.accounted_for(0), "metrics must balance: {snap:?}");
+}
+
+/// Low-priority work sheds at the watermark and never blocks; the same
+/// queue still admits normal-priority work. The pipeline is stalled
+/// (one-request batches, one in-flight slot, long spikes) so the queue
+/// provably sits above the 3/4 watermark when the low request arrives:
+/// at most three requests can leave the queue while the worker sleeps
+/// (one in the worker, one buffered, one in the assembler's hand).
+#[test]
+fn low_priority_sheds_at_the_watermark() {
+    let registry = ModelRegistry::from_tuned(model(), Executor::Eager, "chaos");
+    let server = Server::start_with_chaos(
+        registry,
+        BatchPolicy {
+            max_batch: 1,
+            max_inflight_batches: 1,
+            queue_cap: 8, // low watermark = 6
+            admission_timeout: Duration::from_secs(10),
+            ..BatchPolicy::default()
+        },
+        spike_every_flush(150),
+    );
+
+    // 11 normal-priority fills: <= 3 absorbed by the stalled pipeline,
+    // so the queue holds >= 8 - one-per-spike — comfortably above 6.
+    let pending: Vec<_> = (0..11)
+        .map(|i| server.submit(sample(1, 12, i)).expect("fill queue"))
+        .collect();
+    let low = SubmitOptions {
+        priority: Priority::Low,
+        ..SubmitOptions::default()
+    };
+    match server.submit_with(sample(1, 12, 99), low) {
+        Err(ServeError::Overloaded { queue_depth, .. }) => {
+            assert!(queue_depth >= 6, "watermark shed below watermark");
+        }
+        other => panic!("low priority must shed at the watermark, got {other:?}"),
+    }
+    for p in pending {
+        p.wait().expect("admitted work still answered");
+    }
+    server.shutdown();
+    assert!(server.metrics().shed >= 1);
+}
+
+/// Every flush spiked far past a short deadline: every request is
+/// answered with typed `DeadlineExceeded` — shed before the forward pass
+/// whenever possible, never silently dropped.
+#[test]
+fn spikes_expire_deadlines_into_typed_rejections() {
+    let registry = ModelRegistry::from_tuned(model(), Executor::Eager, "chaos");
+    let server = Server::start_with_chaos(
+        registry,
+        BatchPolicy {
+            max_batch: 4,
+            ..BatchPolicy::default()
+        },
+        spike_every_flush(50),
+    );
+
+    let n = 16u64;
+    let mut admission_rejects = 0u64;
+    let mut pending = Vec::new();
+    for i in 0..n {
+        let opts = SubmitOptions {
+            deadline: Some(Deadline::in_ms(5)),
+            ..SubmitOptions::default()
+        };
+        match server.submit_with(sample(1, 12, i), opts) {
+            Ok(p) => pending.push(p),
+            // Only possible if the scheduler paused us >5ms mid-submit.
+            Err(ServeError::DeadlineExceeded) => admission_rejects += 1,
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+    }
+    let mut expired = 0u64;
+    for p in pending {
+        match p.wait() {
+            Err(ServeError::DeadlineExceeded) => expired += 1,
+            other => panic!("50ms spike vs 5ms deadline must expire, got {other:?}"),
+        }
+    }
+    server.shutdown();
+    assert_eq!(expired + admission_rejects, n);
+    let snap = server.metrics();
+    assert_eq!(snap.completed, 0);
+    assert_eq!(snap.deadline_exceeded, n);
+    assert!(snap.accounted_for(admission_rejects), "{snap:?}");
+}
+
+/// Server-side default deadline: a policy deadline of zero expires every
+/// request at admission with a typed error.
+#[test]
+fn default_deadline_applies_when_requests_carry_none() {
+    let registry = ModelRegistry::from_tuned(model(), Executor::Eager, "chaos");
+    let server = Server::start(
+        registry,
+        BatchPolicy {
+            default_deadline: Some(Duration::ZERO),
+            ..BatchPolicy::default()
+        },
+    );
+    match server.submit(sample(1, 12, 0)) {
+        Err(ServeError::DeadlineExceeded) => {}
+        other => panic!("zero default deadline must reject at admission, got {other:?}"),
+    }
+    server.shutdown();
+    assert_eq!(server.metrics().deadline_exceeded, 1);
+}
+
+/// Two consecutive panicking flushes trip the breaker: admission rejects
+/// with typed `CircuitOpen` and a positive retry hint, the state is
+/// mirrored into metrics, and the panicking requests themselves were
+/// answered with `InferenceFailed` (isolated, batch of one).
+#[test]
+fn breaker_trips_after_consecutive_flush_panics() {
+    let registry = ModelRegistry::from_tuned(model(), Executor::Eager, "chaos");
+    let server = Server::start_with_chaos(
+        registry,
+        BatchPolicy {
+            max_batch: 1, // one flush per request: deterministic indices
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_secs(600), // stays open
+            ..BatchPolicy::default()
+        },
+        ChaosPlan {
+            panic_flushes: vec![0, 1],
+            ..ChaosPlan::default()
+        },
+    );
+
+    for i in 0..2 {
+        match server.classify(sample(1, 12, i)) {
+            Err(ServeError::InferenceFailed(_)) => {}
+            other => panic!("injected flush panic must fail typed, got {other:?}"),
+        }
+    }
+    assert_eq!(server.breaker().state(), BreakerState::Open);
+    match server.submit(sample(1, 12, 9)) {
+        Err(ServeError::CircuitOpen { retry_after_ms }) => {
+            assert!(retry_after_ms >= 1, "useless retry hint");
+        }
+        other => panic!("open breaker must reject typed, got {other:?}"),
+    }
+    server.shutdown();
+    let snap = server.metrics();
+    assert_eq!(snap.breaker_trips, 1);
+    assert_eq!(snap.breaker_state, BreakerState::Open.as_u8());
+    assert_eq!(snap.inference_failures, 2);
+    assert!(snap.shed >= 1, "breaker rejection counts as shed");
+    assert!(snap.accounted_for(0), "{snap:?}");
+}
+
+/// After the cooldown the breaker half-opens: the probe request flows,
+/// its clean flush closes the breaker, and serving resumes.
+#[test]
+fn breaker_recovers_through_a_half_open_probe() {
+    let registry = ModelRegistry::from_tuned(model(), Executor::Eager, "chaos");
+    let server = Server::start_with_chaos(
+        registry,
+        BatchPolicy {
+            max_batch: 1,
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_millis(20),
+            ..BatchPolicy::default()
+        },
+        ChaosPlan {
+            panic_flushes: vec![0],
+            ..ChaosPlan::default()
+        },
+    );
+
+    assert!(matches!(
+        server.classify(sample(1, 12, 0)),
+        Err(ServeError::InferenceFailed(_))
+    ));
+    assert_eq!(server.breaker().state(), BreakerState::Open);
+    // Give the cooldown ample slack (no assertion rides on how long this
+    // actually sleeps).
+    std::thread::sleep(Duration::from_millis(200));
+    let resp = server
+        .classify(sample(1, 12, 1))
+        .expect("half-open probe must be admitted and answered");
+    assert_eq!(resp.generation, 1);
+    assert_eq!(server.breaker().state(), BreakerState::Closed);
+    server.shutdown();
+    let snap = server.metrics();
+    assert_eq!(snap.breaker_trips, 1);
+    assert_eq!(snap.breaker_state, BreakerState::Closed.as_u8());
+    assert_eq!(snap.completed, 1);
+}
+
+/// One poison payload among clean batch-mates: bisection isolates it —
+/// the seven clean requests answer bitwise-identically to offline, only
+/// the poison request fails, and one flush failure stays below the
+/// breaker threshold.
+#[test]
+fn poison_request_is_isolated_by_bisection() {
+    let t = 12usize;
+    let clean: Vec<MultiSeries> = (0..7).map(|i| sample(1, t, i)).collect();
+    let expected = offline_classes(&clean);
+
+    let registry =
+        ModelRegistry::from_tuned(model(), Executor::Eager, "chaos").with_infer_hook(poison_trap());
+    // Re-register so the hook applies to the served model.
+    registry.swap_tuned(model(), "chaos-hooked");
+    let server = Server::start(
+        registry,
+        BatchPolicy {
+            max_batch: 8,
+            max_delay: Duration::from_millis(50), // gather one big batch
+            breaker_threshold: 3,
+            ..BatchPolicy::default()
+        },
+    );
+
+    let mut pending = Vec::new();
+    for s in &clean {
+        pending.push(server.submit(s.clone()).expect("clean submit"));
+    }
+    let poisoned = server
+        .submit(aimts_serve::chaos::poison_sample(t))
+        .expect("poison passes structural validation");
+
+    for (p, want) in pending.into_iter().zip(expected) {
+        let resp = p.wait().expect("batch-mates of poison answer normally");
+        assert_eq!(resp.class, want, "isolation must not change answers");
+    }
+    match poisoned.wait() {
+        Err(ServeError::InferenceFailed(_)) => {}
+        other => panic!("poison request must fail typed, got {other:?}"),
+    }
+    assert_eq!(server.breaker().state(), BreakerState::Closed);
+    server.shutdown();
+    let snap = server.metrics();
+    assert_eq!(snap.completed, 7);
+    assert_eq!(snap.inference_failures, 1);
+    assert_eq!(snap.breaker_trips, 0, "one failure is below threshold 3");
+    assert!(snap.accounted_for(0), "{snap:?}");
+}
+
+/// Hot swap lands mid-chaos: requests before and after observe their
+/// respective generations, and none are lost.
+#[test]
+fn swap_under_chaos_loses_nothing() {
+    let registry = ModelRegistry::from_tuned(model(), Executor::Eager, "chaos");
+    let server = Server::start_with_chaos(
+        registry,
+        BatchPolicy {
+            max_batch: 4,
+            ..BatchPolicy::default()
+        },
+        spike_every_flush(1),
+    );
+
+    let first: Vec<_> = (0..40)
+        .map(|i| server.submit(sample(1, 12, i)).expect("submit"))
+        .collect();
+    let generation = server.registry().swap_tuned(model(), "chaos-v2");
+    assert_eq!(generation, 2);
+    let second: Vec<_> = (0..40)
+        .map(|i| server.submit(sample(1, 12, 100 + i)).expect("submit"))
+        .collect();
+
+    let mut seen = [0u64; 2];
+    for p in first.into_iter().chain(second) {
+        let resp = p.wait().expect("no request lost across the swap");
+        assert!(
+            resp.generation == 1 || resp.generation == 2,
+            "impossible generation {}",
+            resp.generation
+        );
+        seen[(resp.generation - 1) as usize] += 1;
+    }
+    // Requests submitted after the swap can only be answered by gen 2.
+    assert!(seen[1] >= 40, "post-swap requests served by the old model");
+    server.shutdown();
+    assert_eq!(server.metrics().completed, 80);
+}
+
+/// The drain-race regression (satellite fix): shutdown racing live
+/// submitters and a second shutdown caller. Every ACCEPTED request must
+/// resolve to a real outcome — `Closed` on an accepted request would
+/// mean the old drop-on-teardown bug is back — and both shutdown calls
+/// must return only after the drain.
+#[test]
+fn concurrent_shutdown_answers_every_accepted_request() {
+    for round in 0..8u64 {
+        let registry = ModelRegistry::from_tuned(model(), Executor::Eager, "drain-race");
+        let server = Server::start(
+            registry,
+            BatchPolicy {
+                max_batch: 4,
+                queue_cap: 64,
+                ..BatchPolicy::default()
+            },
+        );
+        let accepted = AtomicU64::new(0);
+        let answered = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for client in 0..3u64 {
+                let server = &server;
+                let accepted = &accepted;
+                let answered = &answered;
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        match server.submit(sample(1, 10, round * 1_000 + client * 300 + i)) {
+                            Ok(p) => {
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                                match p.wait() {
+                                    Ok(_) => {
+                                        answered.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Err(e) => panic!("accepted request dropped during drain: {e}"),
+                                }
+                            }
+                            // The race we are provoking: submission after
+                            // (or during) close is typed, not queued.
+                            Err(ServeError::Closed) => break,
+                            Err(e) => panic!("unexpected submit error: {e}"),
+                        }
+                    }
+                });
+            }
+            // Two racing shutdowns, both mid-load.
+            for _ in 0..2 {
+                let server = &server;
+                scope.spawn(move || {
+                    std::thread::yield_now();
+                    server.shutdown();
+                });
+            }
+        });
+        assert_eq!(
+            accepted.load(Ordering::Relaxed),
+            answered.load(Ordering::Relaxed),
+            "round {round}: accepted != answered across concurrent shutdown"
+        );
+        // Idempotent after the fact; admission stays typed-closed.
+        server.shutdown();
+        assert!(matches!(
+            server.submit(sample(1, 10, 0)),
+            Err(ServeError::Closed)
+        ));
+        assert_eq!(server.metrics().queue_depth, 0);
+    }
+}
