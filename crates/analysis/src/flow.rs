@@ -1,0 +1,923 @@
+//! Intraprocedural dataflow on top of the [`crate::ast`] statement tree.
+//!
+//! Two analyses live here:
+//!
+//! * **A008** — guard liveness across blocking boundaries: a lock /
+//!   `DataGuard` held across a channel `send`/`recv` or a `catch_unwind`
+//!   is a deadlock or poison-escape hazard. This is a linear walk with
+//!   block-scoped guard tracking (the same model as A002's checker).
+//!
+//! * **A010** — the serve responder protocol: every admitted request
+//!   handle must flow to exactly one respond-like sink (`.reply.send(…)`
+//!   / `.respond(…)`) or be moved onward exactly once, on every path.
+//!   This is a branch-sensitive abstract interpretation over the
+//!   statement tree with a three-state lattice (owned / consumed /
+//!   maybe-consumed); `if`/`match` arms are analyzed independently and
+//!   merged, diverging arms (return/continue/break/panic) are excluded
+//!   from the merge, and loop back-edges reject consumption that could
+//!   repeat.
+//!
+//! Both analyses are heuristic: they track names and shapes, not types.
+//! The handle set is "function parameters whose type mentions `Request`
+//! (not behind `&` or a collection)" plus bindings named `req`,
+//! `request`, `req_*`, or `*_req` — a convention the serve crate follows
+//! so the analysis covers its real request paths.
+
+use crate::ast;
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{acquisitions_with, hint_for, Diagnostic};
+use crate::scan::{FnExtent, SourceFile};
+
+fn diag(sf: &SourceFile, line: u32, col: u32, rule: &str, message: String) -> Diagnostic {
+    Diagnostic {
+        file: sf.name.clone(),
+        line,
+        col,
+        rule: rule.to_string(),
+        message,
+        hint: hint_for(rule).to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// A008 — guards across channel / unwind boundaries
+// ---------------------------------------------------------------------
+
+/// Channel methods that block or hand control to another thread.
+const CHANNEL_OPS: &[&str] = &["send", "recv", "try_recv", "recv_timeout", "recv_deadline"];
+/// Guard-acquiring methods with no arguments.
+const GUARD_METHODS: &[&str] = &["lock", "read", "write", "data", "grad"];
+/// Guard-acquiring helper functions.
+const GUARD_HELPERS: &[&str] = &["lock", "read_lock", "write_lock", "mutex_lock"];
+
+struct A008Guard {
+    binding: String,
+    receiver: String,
+    depth: i32,
+}
+
+pub(crate) fn check_guard_boundaries(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for f in &sf.fns {
+        if sf.in_test(f.line) {
+            continue;
+        }
+        let body = &sf.tokens[f.body.0..=f.body.1];
+        let mut live: Vec<A008Guard> = Vec::new();
+        let mut depth = 0i32;
+        let mut stmt_start = 0usize;
+        for j in 0..body.len() {
+            let t = &body[j];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                live.retain(|g| g.depth <= depth);
+            }
+
+            // A blocking boundary? Check the guards live *at this token*:
+            // ones bound by earlier statements, or acquired earlier in
+            // this same statement.
+            let boundary = if t.kind == TokenKind::Ident
+                && CHANNEL_OPS.contains(&t.text.as_str())
+                && j > 0
+                && body[j - 1].is_punct(".")
+                && body.get(j + 1).is_some_and(|n| n.is_punct("("))
+            {
+                Some(format!("`.{}()`", t.text))
+            } else if t.is_ident("catch_unwind") {
+                Some("`catch_unwind`".to_string())
+            } else {
+                None
+            };
+            if let Some(op) = boundary {
+                let holder = live.last().map(|g| g.receiver.clone()).or_else(|| {
+                    acquisitions_with(&body[stmt_start..j], GUARD_METHODS, GUARD_HELPERS)
+                        .last()
+                        .map(|a| a.receiver.clone())
+                });
+                if let Some(receiver) = holder {
+                    out.push(diag(
+                        sf,
+                        t.line,
+                        t.col,
+                        "A008",
+                        format!("`{}` holds a guard on `{}` across {}", f.name, receiver, op),
+                    ));
+                }
+            }
+
+            // Braces begin a fresh statement too: `loop { let g = …`
+            // must see `let` as its statement head.
+            if t.is_punct("{") || t.is_punct("}") {
+                stmt_start = j + 1;
+                continue;
+            }
+            if !t.is_punct(";") && j + 1 != body.len() {
+                continue;
+            }
+            let stmt = &body[stmt_start..=j];
+            stmt_start = j + 1;
+            // `drop(name)` releases a tracked guard early.
+            for k in 0..stmt.len().saturating_sub(3) {
+                if stmt[k].is_ident("drop")
+                    && stmt[k + 1].is_punct("(")
+                    && stmt[k + 2].kind == TokenKind::Ident
+                    && stmt[k + 3].is_punct(")")
+                {
+                    live.retain(|g| g.binding != stmt[k + 2].text);
+                }
+            }
+            // `let g = x.lock();` keeps its guard live until scope end.
+            let acqs = acquisitions_with(stmt, GUARD_METHODS, GUARD_HELPERS);
+            if stmt.first().is_some_and(|t| t.is_ident("let")) && acqs.len() == 1 {
+                let a = &acqs[0];
+                if a.end == stmt.len().saturating_sub(2) {
+                    let mut name_idx = 1;
+                    if stmt.get(1).is_some_and(|t| t.is_ident("mut")) {
+                        name_idx = 2;
+                    }
+                    if let Some(name) = stmt.get(name_idx) {
+                        if name.kind == TokenKind::Ident {
+                            live.push(A008Guard {
+                                binding: name.text.clone(),
+                                receiver: a.receiver.clone(),
+                                depth,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A010 — responder protocol (answered exactly once)
+// ---------------------------------------------------------------------
+
+/// Abstract ownership state of a request handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum St {
+    /// Still owned; an answer is owed.
+    Owned,
+    /// Responded or moved onward exactly once.
+    Consumed,
+    /// Consumed on some paths but not others.
+    Maybe,
+}
+
+#[derive(Debug, Clone)]
+struct Handle {
+    name: String,
+    state: St,
+    line: u32,
+    col: u32,
+}
+
+/// Does `name` follow the request-handle naming convention?
+fn is_handle_name(name: &str) -> bool {
+    name == "req"
+        || name == "request"
+        || (name.len() > 4 && (name.starts_with("req_") || name.ends_with("_req")))
+}
+
+/// Keywords that open a control-flow statement.
+fn ctrl_keyword(t: &Token) -> bool {
+    matches!(t.text.as_str(), "if" | "match" | "for" | "while" | "loop")
+        && t.kind == TokenKind::Ident
+}
+
+pub(crate) fn check_responder_protocol(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for f in &sf.fns {
+        if sf.in_test(f.line) {
+            continue;
+        }
+        let mut env = param_handles(sf, f);
+        let has_body_handles = sf.tokens[f.body.0..=f.body.1]
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && is_handle_name(&t.text));
+        if env.is_empty() && !has_body_handles {
+            continue;
+        }
+        let block = ast::parse_block(&sf.tokens, f.body.0);
+        let mut cx = Cx {
+            sf,
+            fname: &f.name,
+            out,
+        };
+        let diverged = cx.walk_block(&block, &mut env);
+        if !diverged {
+            for h in &env {
+                if h.state != St::Consumed {
+                    cx.leak(h);
+                }
+            }
+        }
+    }
+}
+
+/// Handles among a function's parameters: owned (not `&`, not a
+/// collection) values whose type mentions `Request`.
+fn param_handles(sf: &SourceFile, f: &FnExtent) -> Vec<Handle> {
+    let t = &sf.tokens;
+    let mut j = f.sig + 2;
+    if t.get(j).is_some_and(|x| x.is_punct("<")) {
+        j = ast::skip_generics(t, j);
+    }
+    if !t.get(j).is_some_and(|x| x.is_punct("(")) {
+        return Vec::new();
+    }
+    let open = j;
+    let mut depth = 0i32;
+    let mut close = open;
+    for (k, tok) in t.iter().enumerate().skip(open) {
+        if tok.is_punct("(") {
+            depth += 1;
+        } else if tok.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                close = k;
+                break;
+            }
+        }
+    }
+    let mut handles = Vec::new();
+    let mut seg_start = open + 1;
+    let mut k = open + 1;
+    while k <= close {
+        let at_end = k == close;
+        let split = at_end
+            || (t[k].is_punct(",") && {
+                // Depth-0 within the param list only.
+                let mut d = 0i32;
+                for tok in &t[open + 1..k] {
+                    if tok.is_punct("(") || tok.is_punct("[") || tok.is_punct("<") {
+                        d += 1;
+                    } else if tok.is_punct(")") || tok.is_punct("]") || tok.is_punct(">") {
+                        d -= 1;
+                    }
+                }
+                d == 0
+            });
+        if split {
+            let seg = &t[seg_start..k];
+            if let Some(h) = param_handle(seg) {
+                handles.push(h);
+            }
+            seg_start = k + 1;
+        }
+        if at_end {
+            break;
+        }
+        k += 1;
+    }
+    handles
+}
+
+fn param_handle(seg: &[Token]) -> Option<Handle> {
+    let colon = seg.iter().position(|t| t.is_punct(":"))?;
+    let (pat, ty) = seg.split_at(colon);
+    let owns_request = ty.iter().any(|t| t.is_ident("Request"))
+        && !ty.iter().any(|t| {
+            t.is_punct("&") || t.is_ident("Vec") || t.is_ident("VecDeque") || t.is_punct("[")
+        });
+    if !owns_request {
+        return None;
+    }
+    let names: Vec<&Token> = pat
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && !t.is_ident("mut") && !t.is_ident("self"))
+        .collect();
+    match names.as_slice() {
+        [name] => Some(Handle {
+            name: name.text.clone(),
+            state: St::Owned,
+            line: name.line,
+            col: name.col,
+        }),
+        _ => None,
+    }
+}
+
+struct Cx<'a> {
+    sf: &'a SourceFile,
+    fname: &'a str,
+    out: &'a mut Vec<Diagnostic>,
+}
+
+impl Cx<'_> {
+    fn leak(&mut self, h: &Handle) {
+        self.out.push(diag(
+            self.sf,
+            h.line,
+            h.col,
+            "A010",
+            format!(
+                "request handle `{}` is not answered on every path through `{}`",
+                h.name, self.fname
+            ),
+        ));
+    }
+
+    fn consume(&mut self, env: &mut [Handle], idx: usize, at: &Token) {
+        match env[idx].state {
+            St::Owned => env[idx].state = St::Consumed,
+            St::Consumed | St::Maybe => {
+                self.out.push(diag(
+                    self.sf,
+                    at.line,
+                    at.col,
+                    "A010",
+                    format!(
+                        "request handle `{}` may be answered more than once in `{}`",
+                        env[idx].name, self.fname
+                    ),
+                ));
+                env[idx].state = St::Consumed;
+            }
+        }
+    }
+
+    /// Walk a block's statements; returns whether the block diverges.
+    /// Handles introduced inside the block are checked at its end.
+    fn walk_block(&mut self, block: &ast::Block, env: &mut Vec<Handle>) -> bool {
+        let base = env.len();
+        let mut diverged = false;
+        for stmt in &block.stmts {
+            if diverged {
+                break;
+            }
+            diverged = self.walk_stmt(stmt, env);
+        }
+        let introduced: Vec<Handle> = env.drain(base..).collect();
+        if !diverged {
+            for h in &introduced {
+                if h.state != St::Consumed {
+                    self.leak(h);
+                }
+            }
+        }
+        diverged
+    }
+
+    /// Scan a flat token range for handle uses: respond chains and bare
+    /// moves consume; everything else reads.
+    fn scan_uses(&mut self, lo: usize, hi: usize, env: &mut [Handle]) {
+        let t = &self.sf.tokens;
+        let mut i = lo;
+        while i <= hi && i < t.len() {
+            let tok = &t[i];
+            if tok.kind != TokenKind::Ident {
+                i += 1;
+                continue;
+            }
+            let Some(idx) = env.iter().rposition(|h| h.name == tok.text) else {
+                i += 1;
+                continue;
+            };
+            let prev = (i > 0).then(|| &t[i - 1]);
+            let next = t.get(i + 1);
+            // Member access / path segment named like a handle.
+            if prev.is_some_and(|p| p.is_punct(".") || p.is_punct("::")) {
+                i += 1;
+                continue;
+            }
+            // A fresh `let` binding shadows; reset to owned.
+            let is_let_binding = prev.is_some_and(|p| p.is_ident("let"))
+                || (prev.is_some_and(|p| p.is_ident("mut")) && i >= 2 && t[i - 2].is_ident("let"));
+            if is_let_binding {
+                env[idx].state = St::Owned;
+                env[idx].line = tok.line;
+                env[idx].col = tok.col;
+                i += 1;
+                continue;
+            }
+            // Borrows are reads.
+            if prev.is_some_and(|p| p.is_punct("&") || p.is_ident("mut") || p.is_punct("*")) {
+                i += 1;
+                continue;
+            }
+            // Reassignment re-arms the handle.
+            if next.is_some_and(|n| n.is_punct("=")) {
+                env[idx].state = St::Owned;
+                i += 1;
+                continue;
+            }
+            if next.is_some_and(|n| n.is_punct(".")) {
+                // `h.reply…send(…)` / `h.respond(…)` answer the request.
+                let responds = (t.get(i + 2).is_some_and(|x| x.is_ident("reply"))
+                    && t.get(i + 3).is_some_and(|x| x.is_punct("."))
+                    && t.get(i + 4).is_some_and(|x| x.is_ident("send"))
+                    && t.get(i + 5).is_some_and(|x| x.is_punct("(")))
+                    || (t.get(i + 2).is_some_and(|x| x.is_ident("respond"))
+                        && t.get(i + 3).is_some_and(|x| x.is_punct("(")));
+                if responds {
+                    self.consume(env, idx, tok);
+                }
+                i += 1;
+                continue;
+            }
+            // A bare mention in argument / aggregate / return position
+            // moves the handle onward — a consuming delegation.
+            let move_prev = prev.is_none_or(|p| {
+                p.is_punct("(")
+                    || p.is_punct(",")
+                    || p.is_punct("[")
+                    || p.is_punct("{")
+                    || p.is_punct("=")
+                    || p.is_punct("=>")
+                    || p.is_punct(";")
+                    || p.is_ident("return")
+                    || p.is_ident("in")
+            });
+            let move_next = next.is_none_or(|n| {
+                n.is_punct(")")
+                    || n.is_punct(",")
+                    || n.is_punct("]")
+                    || n.is_punct("}")
+                    || n.is_punct(";")
+                    || n.is_punct("?")
+            });
+            if move_prev && move_next {
+                self.consume(env, idx, tok);
+            }
+            i += 1;
+        }
+    }
+
+    /// Handle-named pattern bindings in a token range (match/`for`/`let`
+    /// patterns). Path segments (`Pop::Got`) are skipped.
+    fn pattern_handles(&self, lo: usize, hi: usize) -> Vec<Handle> {
+        let t = &self.sf.tokens;
+        let mut out = Vec::new();
+        for i in lo..=hi.min(t.len().saturating_sub(1)) {
+            let tok = &t[i];
+            if tok.kind != TokenKind::Ident || !is_handle_name(&tok.text) {
+                continue;
+            }
+            if (i > 0 && t[i - 1].is_punct("::")) || t.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            {
+                continue;
+            }
+            out.push(Handle {
+                name: tok.text.clone(),
+                state: St::Owned,
+                line: tok.line,
+                col: tok.col,
+            });
+        }
+        out
+    }
+
+    /// Walk one statement; returns whether it diverges.
+    fn walk_stmt(&mut self, stmt: &ast::Stmt, env: &mut Vec<Handle>) -> bool {
+        let t = &self.sf.tokens;
+        let first = &t[stmt.first];
+
+        if first.is_ident("return") {
+            if stmt.last > stmt.first {
+                self.scan_uses(stmt.first + 1, stmt.last, env);
+            }
+            for h in env.iter_mut() {
+                if h.state != St::Consumed {
+                    self.out.push(diag(
+                        self.sf,
+                        h.line,
+                        h.col,
+                        "A010",
+                        format!(
+                            "`{}` returns while request handle `{}` is unanswered",
+                            self.fname, h.name
+                        ),
+                    ));
+                    h.state = St::Consumed; // one report per handle
+                }
+            }
+            return true;
+        }
+        if first.is_ident("continue") || first.is_ident("break") {
+            return true;
+        }
+        if (first.is_ident("panic") || first.is_ident("unreachable") || first.is_ident("todo"))
+            && t.get(stmt.first + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            return true;
+        }
+
+        // Locate the first top-level control keyword before any child
+        // block (if/match/for/while/loop); method names don't count.
+        let ctrl = if stmt.blocks.is_empty() {
+            None
+        } else {
+            let first_open = stmt.blocks[0].open;
+            (stmt.first..first_open).find(|&k| {
+                ctrl_keyword(&t[k])
+                    && !(k > 0 && (t[k - 1].is_punct(".") || t[k - 1].is_punct("::")))
+            })
+        };
+
+        let Some(k) = ctrl else {
+            return self.walk_plain(stmt, env);
+        };
+        match t[k].text.as_str() {
+            "if" => self.walk_if(stmt, k, env),
+            "match" => self.walk_match(stmt, k, env),
+            "for" => self.walk_for(stmt, k, env),
+            "while" => self.walk_while(stmt, k, env),
+            _ => self.walk_loop(stmt, env),
+        }
+    }
+
+    /// Non-control statement: sequential scan. A `let … else { … }`
+    /// walks its diverging else-block and then introduces its bindings.
+    fn walk_plain(&mut self, stmt: &ast::Stmt, env: &mut Vec<Handle>) -> bool {
+        let t = &self.sf.tokens;
+        let let_else = t[stmt.first].is_ident("let")
+            && stmt.blocks.len() == 1
+            && stmt.blocks[0].open > stmt.first + 1
+            && t[stmt.blocks[0].open - 1].is_ident("else");
+        if let_else {
+            let block = &stmt.blocks[0];
+            // Scrutinee side: everything between `=` and `else`.
+            if let Some(eq) = (stmt.first..block.open).find(|&k| t[k].is_punct("=")) {
+                self.scan_uses(eq + 1, block.open.saturating_sub(2), env);
+                // The else-block diverges (the compiler enforces it);
+                // nothing it does affects the fall-through state.
+                self.walk_block(block, env);
+                for h in self.pattern_handles(stmt.first + 1, eq.saturating_sub(1)) {
+                    env.push(h);
+                }
+            }
+            return false;
+        }
+        // Bare block statement: sequential inner statements.
+        if t[stmt.first].is_punct("{") && stmt.blocks.len() == 1 {
+            return self.walk_block(&stmt.blocks[0], env);
+        }
+        self.scan_uses(stmt.first, stmt.last, env);
+        false
+    }
+
+    /// Restore the outer prefix of `env` to `snapshot`'s states.
+    fn restore(env: &mut [Handle], snapshot: &[St]) {
+        for (h, s) in env.iter_mut().zip(snapshot) {
+            h.state = *s;
+        }
+    }
+
+    /// Merge arm outcomes into `env`; returns true when every arm
+    /// diverges (so the whole statement does).
+    fn merge(env: &mut [Handle], snapshot: &[St], results: &[(Vec<St>, bool)]) -> bool {
+        let live: Vec<&Vec<St>> = results.iter().filter(|r| !r.1).map(|r| &r.0).collect();
+        if live.is_empty() {
+            return true;
+        }
+        for (idx, h) in env.iter_mut().enumerate().take(snapshot.len()) {
+            let first = live[0][idx];
+            h.state = if live.iter().all(|s| s[idx] == first) {
+                first
+            } else {
+                St::Maybe
+            };
+        }
+        false
+    }
+
+    /// Walk an arm body (with `intro` pattern bindings), recording the
+    /// resulting outer states and divergence.
+    fn walk_arm_block(
+        &mut self,
+        block: &ast::Block,
+        env: &mut Vec<Handle>,
+        intro: Vec<Handle>,
+    ) -> bool {
+        let base = env.len();
+        env.extend(intro);
+        let diverged = self.walk_block(block, env);
+        let introduced: Vec<Handle> = env.drain(base..).collect();
+        if !diverged {
+            for h in &introduced {
+                if h.state != St::Consumed {
+                    self.leak(h);
+                }
+            }
+        }
+        diverged
+    }
+
+    fn walk_if(&mut self, stmt: &ast::Stmt, k: usize, env: &mut Vec<Handle>) -> bool {
+        let t = &self.sf.tokens;
+        let arms = &stmt.blocks;
+        // Condition(s): tokens before the first block, and between arms
+        // (`else if cond`). Evaluated before the arms they guard — a
+        // sequential scan approximates that.
+        self.scan_uses(k + 1, arms[0].open.saturating_sub(1), env);
+        for w in arms.windows(2) {
+            if w[1].open > w[0].close + 1 {
+                self.scan_uses(w[0].close + 1, w[1].open - 1, env);
+            }
+        }
+        // `if let PAT = …` binds pattern handles in the then-arm.
+        let intro_then = (k + 1 < arms[0].open && t[k + 1].is_ident("let"))
+            .then(|| {
+                (k + 2..arms[0].open)
+                    .find(|&e| t[e].is_punct("="))
+                    .map(|eq| self.pattern_handles(k + 2, eq.saturating_sub(1)))
+            })
+            .flatten()
+            .unwrap_or_default();
+
+        let exhaustive = arms.len() >= 2 && t[arms[arms.len() - 1].open - 1].is_ident("else");
+        let snapshot: Vec<St> = env.iter().map(|h| h.state).collect();
+        let mut results = Vec::new();
+        for (ai, arm) in arms.iter().enumerate() {
+            Self::restore(env, &snapshot);
+            let intro = if ai == 0 {
+                intro_then.clone()
+            } else {
+                Vec::new()
+            };
+            let d = self.walk_arm_block(arm, env, intro);
+            results.push((env.iter().map(|h| h.state).collect::<Vec<St>>(), d));
+        }
+        if !exhaustive {
+            results.push((snapshot.clone(), false));
+        }
+        Self::restore(env, &snapshot);
+        Self::merge(env, &snapshot, &results) && exhaustive
+    }
+
+    fn walk_match(&mut self, stmt: &ast::Stmt, k: usize, env: &mut Vec<Handle>) -> bool {
+        // The match body is the first child block after the keyword.
+        let Some(body) = stmt.blocks.iter().find(|b| b.open > k) else {
+            return false;
+        };
+        self.scan_uses(k + 1, body.open.saturating_sub(1), env);
+        let arms = ast::match_arms(&self.sf.tokens, body.open, body.close);
+        let snapshot: Vec<St> = env.iter().map(|h| h.state).collect();
+        let mut results = Vec::new();
+        for arm in &arms {
+            Self::restore(env, &snapshot);
+            // A guard (`PAT if cond`) reads outer bindings; only the
+            // tokens before the `if` are the arm's own bindings.
+            let guard_at = (arm.pat.0..=arm.pat.1).find(|&g| self.sf.tokens[g].is_ident("if"));
+            if let Some(g) = guard_at {
+                self.scan_uses(g + 1, arm.pat.1, env);
+            }
+            let pat_end = guard_at.map_or(arm.pat.1, |g| g.saturating_sub(1));
+            let intro = self.pattern_handles(arm.pat.0, pat_end);
+            let d = if arm.block_body {
+                let block = ast::parse_block(&self.sf.tokens, arm.body.0);
+                self.walk_arm_block(&block, env, intro)
+            } else {
+                let base = env.len();
+                env.extend(intro);
+                self.scan_uses(arm.body.0, arm.body.1, env);
+                let d = self.expr_diverges(arm.body.0, arm.body.1);
+                let introduced: Vec<Handle> = env.drain(base..).collect();
+                if !d {
+                    for h in &introduced {
+                        if h.state != St::Consumed {
+                            self.leak(h);
+                        }
+                    }
+                }
+                d
+            };
+            results.push((env.iter().map(|h| h.state).collect::<Vec<St>>(), d));
+        }
+        if arms.is_empty() {
+            return false;
+        }
+        Self::restore(env, &snapshot);
+        Self::merge(env, &snapshot, &results)
+    }
+
+    /// Does a flat expression range contain an obvious diverging form?
+    fn expr_diverges(&self, lo: usize, hi: usize) -> bool {
+        let t = &self.sf.tokens;
+        (lo..=hi.min(t.len().saturating_sub(1))).any(|k| {
+            (t[k].is_ident("return") || t[k].is_ident("continue") || t[k].is_ident("break"))
+                || ((t[k].is_ident("panic") || t[k].is_ident("unreachable"))
+                    && t.get(k + 1).is_some_and(|n| n.is_punct("!")))
+        })
+    }
+
+    fn walk_for(&mut self, stmt: &ast::Stmt, k: usize, env: &mut Vec<Handle>) -> bool {
+        let t = &self.sf.tokens;
+        let Some(body) = stmt.blocks.iter().find(|b| b.open > k) else {
+            return false;
+        };
+        let Some(in_kw) = (k + 1..body.open).find(|&j| t[j].is_ident("in")) else {
+            return self.walk_plain(stmt, env);
+        };
+        // Iterator expression reads; pattern bindings are fresh per
+        // iteration and must be consumed by the body's end.
+        self.scan_uses(in_kw + 1, body.open.saturating_sub(1), env);
+        let intro = self.pattern_handles(k + 1, in_kw.saturating_sub(1));
+        self.walk_loop_body(body, env, intro);
+        false
+    }
+
+    fn walk_while(&mut self, stmt: &ast::Stmt, k: usize, env: &mut Vec<Handle>) -> bool {
+        let t = &self.sf.tokens;
+        let Some(body) = stmt.blocks.iter().find(|b| b.open > k) else {
+            return false;
+        };
+        self.scan_uses(k + 1, body.open.saturating_sub(1), env);
+        // `while let PAT = …` bindings are fresh per iteration.
+        let intro = (t.get(k + 1).is_some_and(|x| x.is_ident("let")))
+            .then(|| {
+                (k + 2..body.open)
+                    .find(|&e| t[e].is_punct("="))
+                    .map(|eq| self.pattern_handles(k + 2, eq.saturating_sub(1)))
+            })
+            .flatten()
+            .unwrap_or_default();
+        self.walk_loop_body(body, env, intro);
+        false
+    }
+
+    fn walk_loop(&mut self, stmt: &ast::Stmt, env: &mut Vec<Handle>) -> bool {
+        let Some(body) = stmt.blocks.first() else {
+            return false;
+        };
+        let body_diverges = self.walk_loop_body(body, env, Vec::new());
+        let t = &self.sf.tokens;
+        let has_break = (body.open..=body.close).any(|k| t[k].is_ident("break"));
+        // `loop` without a break never falls through.
+        !has_break || body_diverges
+    }
+
+    /// Shared loop-body logic: per-iteration bindings plus the back-edge
+    /// check — an *outer* handle consumed on a path that reaches the
+    /// back edge would be consumed again next iteration.
+    fn walk_loop_body(
+        &mut self,
+        body: &ast::Block,
+        env: &mut Vec<Handle>,
+        intro: Vec<Handle>,
+    ) -> bool {
+        let snapshot: Vec<St> = env.iter().map(|h| h.state).collect();
+        let diverged = self.walk_arm_block(body, env, intro);
+        if !diverged {
+            for (idx, before) in snapshot.iter().enumerate() {
+                if *before == St::Owned && env[idx].state != St::Owned {
+                    let (line, col, name) = (env[idx].line, env[idx].col, env[idx].name.clone());
+                    self.out.push(diag(
+                        self.sf,
+                        line,
+                        col,
+                        "A010",
+                        format!(
+                            "request handle `{}` may be answered on repeated loop iterations in `{}`",
+                            name, self.fname
+                        ),
+                    ));
+                    env[idx].state = St::Consumed;
+                }
+            }
+        }
+        diverged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<String> {
+        let sf = SourceFile::parse("t.rs", src);
+        let mut out = Vec::new();
+        check_responder_protocol(&sf, &mut out);
+        check_guard_boundaries(&sf, &mut out);
+        out.into_iter()
+            .map(|d| format!("{}: {}", d.rule, d.message))
+            .collect()
+    }
+
+    #[test]
+    fn a010_clean_linear_respond() {
+        assert!(check("fn f(req: Box<Request>) { req.reply.send(Ok(1)).ok(); }").is_empty());
+    }
+
+    #[test]
+    fn a010_leak_on_fallthrough() {
+        let d = check(
+            "fn f(req: Box<Request>, ready: bool) { if ready { req.reply.send(Ok(1)).ok(); } }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("not answered on every path"));
+    }
+
+    #[test]
+    fn a010_double_answer() {
+        let d = check(
+            "fn f(req: Box<Request>) { req.reply.send(Ok(1)).ok(); req.reply.send(Ok(2)).ok(); }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("more than once"));
+    }
+
+    #[test]
+    fn a010_return_without_answer() {
+        let d = check(
+            "fn f(req: Box<Request>, bad: bool) { if bad { return; } req.reply.send(Ok(1)).ok(); }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("returns while"));
+    }
+
+    #[test]
+    fn a010_diverging_error_arm_is_fine() {
+        let src = "fn f(req: Box<Request>, bad: bool) {\n\
+                   if bad { req.reply.send(Err(e)).ok(); return; }\n\
+                   req.reply.send(Ok(1)).ok();\n}";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn a010_match_arms_must_all_answer() {
+        let clean = "fn f(req: Box<Request>, v: R) {\n\
+                     match v { Ok(c) => req.reply.send(Ok(c)).ok(), Err(e) => req.reply.send(Err(e)).ok(), };\n}";
+        assert!(check(clean).is_empty(), "{:?}", check(clean));
+        let leaky = "fn f(req: Box<Request>, v: R) {\n\
+                     match v { Ok(c) => req.reply.send(Ok(c)).ok(), Err(_) => log(), };\n}";
+        let d = check(leaky);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn a010_delegation_is_consumption() {
+        assert!(
+            check("fn f(req: Box<Request>, q: &mut Vec<Box<Request>>) { q.push(req); }").is_empty()
+        );
+        assert!(check("fn f(req: Box<Request>) -> Box<Request> { helper(req) }").is_empty());
+    }
+
+    #[test]
+    fn a010_for_pattern_fresh_per_iteration() {
+        let src = "fn f(v: Vec<Box<Request>>) { for req in v { req.reply.send(Ok(1)).ok(); } }";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+        let leaky = "fn f(v: Vec<Box<Request>>) { for req in v { log(&req); } }";
+        assert_eq!(check(leaky).len(), 1);
+    }
+
+    #[test]
+    fn a010_loop_reconsume_flagged() {
+        let src =
+            "fn f(req: Box<Request>, n: u32) { for i in 0..n { req.reply.send(Ok(i)).ok(); } }";
+        let d = check(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("repeated loop iterations"));
+    }
+
+    #[test]
+    fn a010_let_else_divergence() {
+        let src = "fn f(q: &Q) { loop { let Some(first_req) = q.pop() else { return; };\n\
+                   first_req.reply.send(Ok(1)).ok(); } }";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn a010_consume_then_return_in_loop_is_fine() {
+        let src = "fn f(req: Box<Request>, q: &Q) -> Result<(), E> {\n\
+                   loop { if q.closed() { return Err(E::Closed(req)); }\n\
+                   if q.ready() { q.admit(req); return Ok(()); }\n\
+                   q.wait(); } }";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn a008_guard_across_recv() {
+        let d = check("fn f(m: &Mutex<R>) { let g = m.lock(); g.recv().ok(); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("A008"));
+    }
+
+    #[test]
+    fn a008_same_statement_acquisition() {
+        let d =
+            check("fn f(b: &Mutex<R>) { let x = { let rx = lock(&b); rx.recv() }; use_it(x); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn a008_dropped_guard_is_fine() {
+        assert!(check(
+            "fn f(m: &Mutex<R>, tx: &Tx) { let g = m.lock(); drop(g); tx.send(1).ok(); }"
+        )
+        .is_empty());
+        assert!(check(
+            "fn f(m: &Mutex<R>, tx: &Tx) { { let g = m.lock(); use_it(&g); } tx.send(1).ok(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn a008_guard_across_catch_unwind() {
+        let d = check("fn f(m: &Mutex<R>) { let g = m.lock(); catch_unwind(|| boom()).ok(); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("catch_unwind"));
+    }
+}

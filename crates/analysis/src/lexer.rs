@@ -502,4 +502,81 @@ mod tests {
         assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
         assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
     }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still comment */ b");
+        assert_eq!(l.tokens.len(), 2, "only `a` and `b` are code");
+        assert_eq!(l.comments.len(), 1, "nesting folds into one comment");
+        assert!(l.comments[0].text.contains("inner"));
+        assert!(l.comments[0].text.contains("still comment"));
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let l = lex("a /* one\ntwo\nthree */ b");
+        assert_eq!(l.comments[0].line, 1, "comment anchors at its opener");
+        assert_eq!(l.comments[0].text.matches('\n').count(), 2);
+        assert_eq!(l.tokens[1].line, 3, "`b` sits on the closing line");
+    }
+
+    #[test]
+    fn macro_bodies_are_lexed_not_skipped() {
+        // Rules scan macro bodies like any other code: a `panic!` or
+        // `.unwrap()` inside `macro_rules!` is still a finding.
+        let l = lex("macro_rules! m { ($x:expr) => { $x.unwrap() } } m!(q);");
+        assert!(l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("macro_rules")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("q")));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_raw_strings() {
+        // `r#match` must not be mistaken for a raw-string opener `r#"`.
+        let l = lex("let r#match = r#fn; tail");
+        assert!(l.tokens.iter().any(|t| t.is_ident("tail")));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_hide_contents() {
+        let l = lex(r###"let a = b"panic!()"; let c = br#"x.unwrap()"#; tail"###);
+        assert!(l.tokens.iter().any(|t| t.is_ident("tail")));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            2
+        );
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_open_strings() {
+        let l = lex(r"let q = '\''; let s = '\\'; tail");
+        assert!(l.tokens.iter().any(|t| t.is_ident("tail")));
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lifetimes_in_turbofish_and_loop_labels() {
+        let l = lex("f::<'a, u8>(); 'outer: loop { break 'outer; }");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            3,
+            "one turbofish lifetime plus the label at both sites"
+        );
+        assert!(!l.tokens.iter().any(|t| t.kind == TokenKind::Char));
+    }
 }

@@ -6,6 +6,8 @@
 //! the workspace root with path-derived rule scopes; [`check_paths`] lints
 //! explicitly named files with the full rule pack (used for fixtures).
 
+pub mod ast;
+pub mod flow;
 pub mod lexer;
 pub mod rules;
 pub mod scan;
@@ -62,34 +64,50 @@ fn lint_one(path: &Path, display: &str, scope: Scope) -> Result<Vec<Diagnostic>,
     Ok(rules::check_file(&sf, scope))
 }
 
-/// Lint the whole workspace rooted at `root`. Returns diagnostics plus
-/// the number of files inspected.
+/// Lint the whole workspace rooted at `root`. Files are linted in
+/// parallel (`AIMTS_THREADS` controls the worker count); diagnostics come
+/// back globally sorted by (file, line, col, rule) so output is
+/// byte-stable regardless of scheduling.
 pub fn check_workspace(root: &Path) -> Result<(Vec<Diagnostic>, usize), String> {
     let mut files = Vec::new();
     walk(root, &mut files);
+    let scoped: Vec<(PathBuf, String, Scope)> = files
+        .into_iter()
+        .filter_map(|path| {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            Scope::for_rel_path(&rel).map(|scope| (path.clone(), rel, scope))
+        })
+        .collect();
+    let inspected = scoped.len();
+    let workers = aimts::parallel::worker_count(0).min(inspected.max(1));
+    let per_file = aimts::parallel::parallel_map(&scoped, workers, |_, (path, rel, scope)| {
+        lint_one(path, rel, *scope)
+    });
     let mut diags = Vec::new();
-    let mut inspected = 0usize;
-    for path in &files {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let Some(scope) = Scope::for_rel_path(&rel) else {
-            continue;
-        };
-        inspected += 1;
-        diags.extend(lint_one(path, &rel, scope)?);
+    for r in per_file {
+        diags.extend(r?);
     }
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
     Ok((diags, inspected))
 }
 
 /// Lint explicitly listed files with every rule enabled.
 pub fn check_paths(paths: &[PathBuf]) -> Result<Vec<Diagnostic>, String> {
+    check_paths_scoped(paths, Scope::all())
+}
+
+/// Lint explicitly listed files under a caller-chosen [`Scope`]. The
+/// fixture self-check uses this to prove each rule is load-bearing
+/// (fires enabled, silent with only that rule disabled).
+pub fn check_paths_scoped(paths: &[PathBuf], scope: Scope) -> Result<Vec<Diagnostic>, String> {
     let mut diags = Vec::new();
     for path in paths {
         let display = path.to_string_lossy().replace('\\', "/");
-        diags.extend(lint_one(path, &display, Scope::all())?);
+        diags.extend(lint_one(path, &display, scope)?);
     }
     Ok(diags)
 }

@@ -9,6 +9,17 @@
 //! | A003 | no wall-clock / entropy sources outside `bench`/`cli`            |
 //! | A004 | no `==`/`!=` between float expressions outside tests             |
 //! | A005 | no `let _ =` discards (silently dropped `Result`s)               |
+//! | A006 | every `unsafe` block/fn/impl carries a `// SAFETY:` comment      |
+//! | A007 | no raw Hot-storage (`UnsafeCell` buffer) access outside guards   |
+//! | A008 | no guard held across channel `send`/`recv` or `catch_unwind`     |
+//! | A009 | `catch_unwind` capturing `&mut` must re-assert state after       |
+//! | A010 | request handles answered exactly once on every path              |
+//! | A011 | typed error values must not be constructed and dropped           |
+//! | A012 | no gradient-capable storage APIs on frozen inference paths       |
+//!
+//! A001–A005 are token-pattern rules; A006/A007/A011 use the structural
+//! layer in [`crate::ast`]; A008/A010 are intraprocedural dataflow in
+//! [`crate::flow`].
 //!
 //! Every rule can be suppressed per line with
 //! `// aimts-lint: allow(RULE, reason)`; see [`crate::scan`].
@@ -54,13 +65,48 @@ pub const CATALOG: &[RuleInfo] = &[
         summary: "no `let _ =` discards in non-test code",
         hint: "handle the value, call .ok() to discard a Result explicitly, or allow with a reason",
     },
+    RuleInfo {
+        id: "A006",
+        summary: "every unsafe block/fn/impl must carry a `// SAFETY:` comment naming the invariant",
+        hint: "write `// SAFETY: <why this cannot alias or trigger UB>` directly above the unsafe keyword (attributes may sit between)",
+    },
+    RuleInfo {
+        id: "A007",
+        summary: "no raw Hot-storage buffer access (`.buf.get()`) outside HotCell or its guard impls",
+        hint: "go through HotCell::read()/write() so the debug aliasing tally observes the access",
+    },
+    RuleInfo {
+        id: "A008",
+        summary: "no lock/DataGuard guard held across a channel send/recv or catch_unwind boundary",
+        hint: "drop or scope the guard before the blocking call, or allow with the reason the wait cannot deadlock",
+    },
+    RuleInfo {
+        id: "A009",
+        summary: "catch_unwind closures capturing `&mut` must re-assert state after the unwind",
+        hint: "assert/debug_assert the mutated invariant (or abort/resume_unwind) after catch_unwind returns",
+    },
+    RuleInfo {
+        id: "A010",
+        summary: "every admitted request handle must be answered exactly once on all paths",
+        hint: "send exactly one reply (`req.reply.send(..)`) or move the request onward; early returns must answer first",
+    },
+    RuleInfo {
+        id: "A011",
+        summary: "typed error values must not be constructed and silently dropped",
+        hint: "return or propagate the constructed error; a bare `SomeError::X;` statement does nothing",
+    },
+    RuleInfo {
+        id: "A012",
+        summary: "no gradient-capable storage APIs (Storage::Shared, .backward()) on frozen inference paths",
+        hint: "inference clones are frozen Hot storage; keep training-only APIs out of serve and infer",
+    },
 ];
 
 pub fn is_known_rule(id: &str) -> bool {
     CATALOG.iter().any(|r| r.id == id)
 }
 
-fn hint_for(id: &str) -> &'static str {
+pub(crate) fn hint_for(id: &str) -> &'static str {
     CATALOG.iter().find(|r| r.id == id).map_or("", |r| r.hint)
 }
 
@@ -72,6 +118,13 @@ pub struct Scope {
     pub a003: bool,
     pub a004: bool,
     pub a005: bool,
+    pub a006: bool,
+    pub a007: bool,
+    pub a008: bool,
+    pub a009: bool,
+    pub a010: bool,
+    pub a011: bool,
+    pub a012: bool,
 }
 
 impl Scope {
@@ -83,7 +136,36 @@ impl Scope {
             a003: true,
             a004: true,
             a005: true,
+            a006: true,
+            a007: true,
+            a008: true,
+            a009: true,
+            a010: true,
+            a011: true,
+            a012: true,
         }
+    }
+
+    /// This scope with one rule switched off. The fixture self-check
+    /// uses it to prove every rule is load-bearing: each fixture must
+    /// fire with the rule on and go silent with only that rule off.
+    pub fn without(mut self, rule: &str) -> Scope {
+        match rule {
+            "A001" => self.a001 = false,
+            "A002" => self.a002 = false,
+            "A003" => self.a003 = false,
+            "A004" => self.a004 = false,
+            "A005" => self.a005 = false,
+            "A006" => self.a006 = false,
+            "A007" => self.a007 = false,
+            "A008" => self.a008 = false,
+            "A009" => self.a009 = false,
+            "A010" => self.a010 = false,
+            "A011" => self.a011 = false,
+            "A012" => self.a012 = false,
+            _ => {}
+        }
+        self
     }
 
     /// Scope for a workspace-relative path, or `None` when the file is
@@ -113,6 +195,13 @@ impl Scope {
             a003: !matches!(krate, "bench" | "cli"),
             a004: true,
             a005: true,
+            a006: true,
+            a007: krate == "tensor",
+            a008: true,
+            a009: true,
+            a010: krate == "serve",
+            a011: true,
+            a012: krate == "serve" || (krate == "core" && rel.ends_with("infer.rs")),
         })
     }
 }
@@ -167,6 +256,27 @@ pub fn check_file(sf: &SourceFile, scope: Scope) -> Vec<Diagnostic> {
     }
     if scope.a005 {
         a005_discard(sf, &mut raw);
+    }
+    if scope.a006 {
+        a006_safety_comments(sf, &mut raw);
+    }
+    if scope.a007 {
+        a007_hot_access(sf, &mut raw);
+    }
+    if scope.a008 {
+        crate::flow::check_guard_boundaries(sf, &mut raw);
+    }
+    if scope.a009 {
+        a009_unwind_mut(sf, &mut raw);
+    }
+    if scope.a010 {
+        crate::flow::check_responder_protocol(sf, &mut raw);
+    }
+    if scope.a011 {
+        a011_dropped_error(sf, &mut raw);
+    }
+    if scope.a012 {
+        a012_storage_misuse(sf, &mut raw);
     }
 
     let mut used = vec![false; sf.suppressions.len()];
@@ -269,10 +379,10 @@ const ORDER_EVIDENCE: &[&str] = &[
     "sort_unstable_by_key",
 ];
 
-struct Acquisition {
-    receiver: String,
+pub(crate) struct Acquisition {
+    pub(crate) receiver: String,
     /// Index (within the statement slice) of the closing `)` of the call.
-    end: usize,
+    pub(crate) end: usize,
     line: u32,
     col: u32,
 }
@@ -329,12 +439,22 @@ fn receiver_before(stmt: &[Token], dot: usize) -> String {
 
 /// All guard acquisitions inside one statement.
 fn acquisitions(stmt: &[Token]) -> Vec<Acquisition> {
+    acquisitions_with(stmt, ACQ_METHODS, ACQ_HELPERS)
+}
+
+/// Guard acquisitions matching a caller-supplied method/helper list
+/// (A002 and A008 track different primitive sets).
+pub(crate) fn acquisitions_with(
+    stmt: &[Token],
+    methods: &[&str],
+    helpers: &[&str],
+) -> Vec<Acquisition> {
     let mut out = Vec::new();
     for j in 0..stmt.len() {
         if stmt[j].is_punct(".")
             && j + 3 < stmt.len()
             && stmt[j + 1].kind == TokenKind::Ident
-            && ACQ_METHODS.contains(&stmt[j + 1].text.as_str())
+            && methods.contains(&stmt[j + 1].text.as_str())
             && stmt[j + 2].is_punct("(")
             && stmt[j + 3].is_punct(")")
         {
@@ -346,9 +466,12 @@ fn acquisitions(stmt: &[Token]) -> Vec<Acquisition> {
             });
         }
         if stmt[j].kind == TokenKind::Ident
-            && ACQ_HELPERS.contains(&stmt[j].text.as_str())
+            && helpers.contains(&stmt[j].text.as_str())
             && j + 1 < stmt.len()
             && stmt[j + 1].is_punct("(")
+            // A helper is a free function; `.lock(` / `Mutex::lock(`
+            // would otherwise double-match when a name is in both lists.
+            && !(j > 0 && (stmt[j - 1].is_punct(".") || stmt[j - 1].is_punct("::")))
         {
             // Receiver is the argument list, leading `&` stripped.
             let mut depth = 0usize;
@@ -606,6 +729,237 @@ fn a005_discard(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// A006 — SAFETY comments on unsafe code
+// ---------------------------------------------------------------------
+
+fn a006_safety_comments(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let t = &sf.tokens;
+    let sites = crate::ast::unsafe_sites(t);
+    if sites.is_empty() {
+        return;
+    }
+    // Lines whose first token is `#` — attribute lines bridge the upward
+    // walk from an `unsafe fn` to the comment above its attributes.
+    let mut attr_lines = Vec::new();
+    let mut prev_line = 0u32;
+    for tok in t.iter() {
+        if tok.line != prev_line {
+            if tok.is_punct("#") {
+                attr_lines.push(tok.line);
+            }
+            prev_line = tok.line;
+        }
+    }
+    let comment_on = |line: u32| sf.comment_lines.iter().find(|(l, _)| *l == line).copied();
+    for site in sites {
+        let tok = &t[site.index];
+        if sf.in_test(tok.line) {
+            continue;
+        }
+        let mut justified = comment_on(tok.line).is_some_and(|(_, s)| s);
+        let mut cur = tok.line.saturating_sub(1);
+        while !justified && cur > 0 {
+            match comment_on(cur) {
+                Some((_, true)) => justified = true,
+                Some((_, false)) => cur -= 1,
+                None if attr_lines.contains(&cur) => cur -= 1,
+                None => break,
+            }
+        }
+        if !justified {
+            let what = match site.kind {
+                crate::ast::UnsafeKind::Block => "unsafe block",
+                crate::ast::UnsafeKind::Fn => "unsafe fn",
+                crate::ast::UnsafeKind::Impl => "unsafe impl",
+            };
+            out.push(diag(
+                sf,
+                tok,
+                "A006",
+                format!("{what} without a `// SAFETY:` comment"),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A007 — Hot-storage buffer access stays inside guard scopes
+// ---------------------------------------------------------------------
+
+fn a007_hot_access(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let t = &sf.tokens;
+    let impls = crate::ast::impls(t);
+    for i in 0..t.len() {
+        if !(t[i].is_punct(".")
+            && i + 3 < t.len()
+            && t[i + 1].is_ident("get")
+            && t[i + 2].is_punct("(")
+            && t[i + 3].is_punct(")"))
+            || sf.in_test(t[i].line)
+        {
+            continue;
+        }
+        let recv = receiver_before(t, i);
+        if !(recv == "buf" || recv.ends_with(".buf")) {
+            continue;
+        }
+        // The cell's own impl and its guards are where the aliasing
+        // tally lives; everyone else must go through them.
+        let sanctioned = impls.iter().any(|im| {
+            im.contains(i) && (im.type_name == "HotCell" || im.type_name.contains("Guard"))
+        });
+        if !sanctioned {
+            out.push(diag(
+                sf,
+                &t[i + 1],
+                "A007",
+                format!("raw Hot-storage access `{recv}.get()` outside an aliasing-guard scope"),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A009 — post-unwind state re-assertion
+// ---------------------------------------------------------------------
+
+fn a009_unwind_mut(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let t = &sf.tokens;
+    for f in &sf.fns {
+        if sf.in_test(f.line) {
+            continue;
+        }
+        let (b0, b1) = f.body;
+        let mut i = b0;
+        while i <= b1 {
+            if !(t[i].is_ident("catch_unwind") && t.get(i + 1).is_some_and(|x| x.is_punct("("))) {
+                i += 1;
+                continue;
+            }
+            let mut depth = 0i32;
+            let mut close = i + 1;
+            for (k, tok) in t.iter().enumerate().take(b1 + 1).skip(i + 1) {
+                if tok.is_punct("(") {
+                    depth += 1;
+                } else if tok.is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = k;
+                        break;
+                    }
+                }
+            }
+            let captures_mut = (i..close)
+                .any(|k| t[k].is_punct("&") && t.get(k + 1).is_some_and(|x| x.is_ident("mut")));
+            if captures_mut {
+                // After the unwind is observed, the mutated state must be
+                // re-asserted (or the process must not continue).
+                let reasserts = (close..=b1).any(|k| {
+                    t[k].kind == TokenKind::Ident
+                        && (t[k].text.contains("assert")
+                            || t[k].text.contains("poison")
+                            || t[k].text == "abort"
+                            || t[k].text == "resume_unwind")
+                });
+                if !reasserts {
+                    out.push(diag(
+                        sf,
+                        &t[i],
+                        "A009",
+                        format!(
+                            "`catch_unwind` in `{}` captures `&mut` state with no post-unwind re-assertion",
+                            f.name
+                        ),
+                    ));
+                }
+            }
+            i = close + 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A011 — typed error values constructed and dropped
+// ---------------------------------------------------------------------
+
+fn a011_dropped_error(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for f in &sf.fns {
+        if sf.in_test(f.line) {
+            continue;
+        }
+        let block = crate::ast::parse_block(&sf.tokens, f.body.0);
+        a011_visit(sf, &block, out);
+    }
+}
+
+fn a011_visit(sf: &SourceFile, block: &crate::ast::Block, out: &mut Vec<Diagnostic>) {
+    let t = &sf.tokens;
+    for s in &block.stmts {
+        for b in &s.blocks {
+            a011_visit(sf, b, out);
+        }
+        let first = &t[s.first];
+        if first.kind != TokenKind::Ident || !t[s.last].is_punct(";") {
+            continue;
+        }
+        let is_ctor = (first.text == "Err" && t.get(s.first + 1).is_some_and(|x| x.is_punct("(")))
+            || (first.text.ends_with("Error")
+                && t.get(s.first + 1).is_some_and(|x| x.is_punct("::")));
+        if !is_ctor {
+            continue;
+        }
+        // Used values flow somewhere: assignment, `?`, or a return.
+        let used = (s.first..=s.last)
+            .any(|k| t[k].is_punct("=") || t[k].is_punct("?") || t[k].is_ident("return"));
+        if !used {
+            out.push(diag(
+                sf,
+                first,
+                "A011",
+                format!("error value `{}…` constructed and dropped", first.text),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A012 — frozen inference paths stay gradient-free
+// ---------------------------------------------------------------------
+
+fn a012_storage_misuse(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let t = &sf.tokens;
+    for i in 0..t.len() {
+        if sf.in_test(t[i].line) {
+            continue;
+        }
+        if t[i].is_ident("Storage")
+            && i + 2 < t.len()
+            && t[i + 1].is_punct("::")
+            && t[i + 2].is_ident("Shared")
+        {
+            out.push(diag(
+                sf,
+                &t[i],
+                "A012",
+                "gradient-capable `Storage::Shared` on a frozen-inference path".to_string(),
+            ));
+        }
+        if t[i].is_punct(".")
+            && i + 2 < t.len()
+            && t[i + 1].is_ident("backward")
+            && t[i + 2].is_punct("(")
+        {
+            out.push(diag(
+                sf,
+                &t[i + 1],
+                "A012",
+                "`.backward()` on a frozen-inference path".to_string(),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -699,6 +1053,54 @@ mod tests {
     }
 
     #[test]
+    fn a006_unsafe_requires_safety_comment() {
+        let d = check("fn f(p: *const u8) -> u8 { unsafe { *p } }");
+        assert_eq!(rules_of(&d), vec!["A006"]);
+        let ok = "fn f(p: *const u8) -> u8 {\n// SAFETY: p is valid for reads by contract\nunsafe { *p } }";
+        assert!(check(ok).is_empty());
+        // Attribute lines bridge the upward walk for unsafe fns.
+        let attr = "// SAFETY: caller verified the avx2 feature\n#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}";
+        assert!(check(attr).is_empty());
+        // A blank line between comment and unsafe breaks the association.
+        let stale = "// SAFETY: stale, detached\n\nfn f() { unsafe { g() } }";
+        assert_eq!(rules_of(&check(stale)), vec!["A006"]);
+    }
+
+    #[test]
+    fn a007_buf_get_outside_guard_impls() {
+        let bad = "impl Sneaky { fn peek(&self) -> f32 {\n// SAFETY: bypasses the tally\nunsafe { (*self.cell.buf.get())[0] } } }";
+        assert_eq!(rules_of(&check(bad)), vec!["A007"]);
+        let cell = "impl HotCell { fn peek(&self) -> f32 {\n// SAFETY: tally checked by caller\nunsafe { (*self.buf.get())[0] } } }";
+        assert!(check(cell).is_empty());
+        let guard = "impl Deref for HotReadGuard<'_> { fn deref(&self) -> &V {\n// SAFETY: read tally held\nunsafe { &*self.cell.buf.get() } } }";
+        assert!(check(guard).is_empty());
+    }
+
+    #[test]
+    fn a009_unwind_mut_needs_reassertion() {
+        let bad = "fn f(state: &mut Vec<u32>) { let r = catch_unwind(AssertUnwindSafe(|| mutate(&mut *state))); r.ok(); }";
+        assert_eq!(rules_of(&check(bad)), vec!["A009"]);
+        let good = "fn f(state: &mut Vec<u32>) { let r = catch_unwind(AssertUnwindSafe(|| mutate(&mut *state))); r.ok(); debug_assert!(state.len() < 4); }";
+        assert!(check(good).is_empty());
+        assert!(check("fn f() { catch_unwind(|| boom()).ok(); }").is_empty());
+    }
+
+    #[test]
+    fn a011_flags_dropped_error_ctors() {
+        let d = check("fn f(flag: bool) { if flag { ServeError::Closed; } g(); }");
+        assert_eq!(rules_of(&d), vec!["A011"]);
+        assert!(check("fn f() -> Result<(), E> { Err(TrainError::Bad)?; Ok(()) }").is_empty());
+        assert!(check("fn f() { let e = ServeError::Closed; log(e); }").is_empty());
+    }
+
+    #[test]
+    fn a012_flags_grad_apis() {
+        let d = check("fn f(x: &T, v: V) { let s = Storage::Shared(v); x.backward(); }");
+        assert_eq!(rules_of(&d), vec!["A012", "A012"]);
+        assert!(check("fn f(x: &T) { let s = Storage::Hot(x.clone_frozen()); }").is_empty());
+    }
+
+    #[test]
     fn scope_paths() {
         assert!(Scope::for_rel_path("crates/tensor/src/tensor.rs").is_some_and(|s| s.a001));
         assert!(Scope::for_rel_path("crates/eval/src/stats.rs").is_some_and(|s| !s.a001 && s.a004));
@@ -706,5 +1108,11 @@ mod tests {
         assert!(Scope::for_rel_path("crates/tensor/tests/lock_order.rs").is_none());
         assert!(Scope::for_rel_path("vendor/rand/src/lib.rs").is_none());
         assert!(Scope::for_rel_path("src/lib.rs").is_some());
+        assert!(Scope::for_rel_path("crates/serve/src/batcher.rs")
+            .is_some_and(|s| s.a010 && s.a012 && !s.a007));
+        assert!(Scope::for_rel_path("crates/tensor/src/hotcell.rs")
+            .is_some_and(|s| s.a006 && s.a007 && !s.a010));
+        assert!(Scope::for_rel_path("crates/core/src/infer.rs").is_some_and(|s| s.a012));
+        assert!(Scope::for_rel_path("crates/core/src/train.rs").is_some_and(|s| !s.a012));
     }
 }

@@ -30,6 +30,8 @@ pub struct Suppression {
 pub struct FnExtent {
     pub name: String,
     pub line: u32,
+    /// Token index of the `fn` keyword (the signature starts here).
+    pub sig: usize,
     /// Token-index range of the body, inclusive of both braces.
     pub body: (usize, usize),
 }
@@ -45,6 +47,10 @@ pub struct SourceFile {
     /// Line ranges (inclusive) of `#[cfg(test)]` / `#[test]` items.
     test_spans: Vec<(u32, u32)>,
     pub fns: Vec<FnExtent>,
+    /// Every source line covered by a comment, with whether the comment
+    /// mentions a safety invariant (`SAFETY` / `# Safety`). Multi-line
+    /// block comments contribute one entry per covered line.
+    pub comment_lines: Vec<(u32, bool)>,
 }
 
 impl SourceFile {
@@ -81,6 +87,14 @@ impl SourceFile {
                 Err(msg) => pragma_errors.push((c.line, msg)),
             }
         }
+        let mut comment_lines = Vec::new();
+        for c in &lexed.comments {
+            let has_safety = c.text.contains("SAFETY") || c.text.contains("# Safety");
+            let span = c.text.matches('\n').count() as u32;
+            for l in c.line..=c.line + span {
+                comment_lines.push((l, has_safety));
+            }
+        }
         let test_spans = find_test_spans(&lexed.tokens);
         let fns = find_fns(&lexed.tokens);
         SourceFile {
@@ -90,6 +104,7 @@ impl SourceFile {
             pragma_errors,
             test_spans,
             fns,
+            comment_lines,
         }
     }
 
@@ -274,6 +289,7 @@ fn find_fns(tokens: &[Token]) -> Vec<FnExtent> {
             fns.push(FnExtent {
                 name: tokens[i + 1].text.clone(),
                 line: tokens[i].line,
+                sig: i,
                 body,
             });
         }

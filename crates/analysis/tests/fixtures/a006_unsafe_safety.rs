@@ -1,0 +1,35 @@
+// Fixture: `unsafe` without a `// SAFETY:` comment (A006) in all three
+// site kinds, next to documented sites (including a comment bridged over
+// an attribute line) and one suppressed legacy site.
+
+pub struct Wrapper(*mut f32);
+
+unsafe impl Send for Wrapper {}
+
+pub unsafe fn bad_fn(p: *const f32) -> f32 {
+    *p
+}
+
+pub fn bad_block(p: *const f32) -> f32 {
+    unsafe { *p }
+}
+
+// SAFETY: the caller's borrow keeps the allocation alive and the pointer
+// non-null and aligned for the duration of the read.
+pub unsafe fn ok_documented_fn(p: *const f32) -> f32 {
+    *p
+}
+
+pub fn ok_documented_block(p: *const f32) -> f32 {
+    // SAFETY: `p` comes from a live slice held by the caller.
+    unsafe { *p }
+}
+
+// SAFETY: the wrapped pointer is only dereferenced on the owning thread;
+// the attribute line below must not break this justification.
+#[allow(dead_code)]
+unsafe impl Sync for Wrapper {}
+
+pub fn suppressed(p: *const f32) -> f32 {
+    unsafe { *p } // aimts-lint: allow(A006, fixture: legacy site pending the pointer-provenance audit)
+}

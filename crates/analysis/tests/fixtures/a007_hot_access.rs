@@ -1,0 +1,43 @@
+// Fixture: raw access to a hot buffer outside the aliasing-tally guard
+// scope (A007), next to sanctioned access from the cell's own impl and
+// its guards, and one suppressed migration shim.
+
+pub struct Sneaky {
+    buf: UnsafeCell<Vec<f32>>,
+}
+
+impl Sneaky {
+    pub fn bad_peek(&self) -> *mut Vec<f32> {
+        self.buf.get()
+    }
+}
+
+pub struct HotCell {
+    buf: UnsafeCell<Vec<f32>>,
+}
+
+impl HotCell {
+    pub fn ok_inside_cell(&self) -> *mut Vec<f32> {
+        self.buf.get()
+    }
+}
+
+pub struct HotReadGuard<'a> {
+    cell: &'a HotCell,
+}
+
+impl HotReadGuard<'_> {
+    pub fn ok_inside_guard(&self) -> *const Vec<f32> {
+        self.cell.buf.get()
+    }
+}
+
+pub struct Audited {
+    buf: UnsafeCell<Vec<f32>>,
+}
+
+impl Audited {
+    pub fn suppressed(&self) -> *mut Vec<f32> {
+        self.buf.get() // aimts-lint: allow(A007, fixture: audited shim kept until the guard migration lands)
+    }
+}

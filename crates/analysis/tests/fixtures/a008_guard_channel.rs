@@ -1,0 +1,42 @@
+// Fixture: lock guards held across channel boundaries or catch_unwind
+// (A008), next to drop-before-send and scope-confined patterns, and one
+// suppressed single-consumer queue.
+
+pub fn bad_send_while_locked(m: &Mutex<Vec<u8>>, tx: &Sender<u8>) {
+    let g = m.lock();
+    tx.send(g[0]).ok();
+}
+
+pub fn bad_recv_while_locked(m: &Mutex<Vec<u8>>, rx: &Receiver<u8>) {
+    let g = m.lock();
+    rx.recv().ok();
+    drop(g);
+}
+
+pub fn bad_unwind_while_locked(m: &Mutex<Vec<u8>>) -> bool {
+    let g = m.lock();
+    let r = catch_unwind(|| compute());
+    drop(g);
+    r.is_ok()
+}
+
+pub fn ok_drop_first(m: &Mutex<Vec<u8>>, tx: &Sender<u8>) {
+    let g = m.lock();
+    let v = g[0];
+    drop(g);
+    tx.send(v).ok();
+}
+
+pub fn ok_scope_confined(m: &Mutex<Vec<u8>>, tx: &Sender<u8>) {
+    let v = {
+        let g = m.lock();
+        g[0]
+    };
+    tx.send(v).ok();
+}
+
+pub fn suppressed(m: &Mutex<Vec<u8>>, rx: &Receiver<u8>) {
+    let g = m.lock();
+    rx.recv().ok(); // aimts-lint: allow(A008, fixture: no other thread ever takes this mutex, so blocking while holding it cannot deadlock)
+    drop(g);
+}

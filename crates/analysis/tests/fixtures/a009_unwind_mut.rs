@@ -1,0 +1,26 @@
+// Fixture: catch_unwind over a closure capturing `&mut` with no
+// post-unwind re-assertion (A009), next to a re-asserting caller, a
+// shared-capture closure that needs none, and one suppressed site.
+
+pub fn bad_no_reassert(acc: &mut Vec<f32>) -> bool {
+    let r = catch_unwind(AssertUnwindSafe(|| step(&mut *acc)));
+    r.is_ok()
+}
+
+pub fn ok_reasserts(acc: &mut Vec<f32>) -> bool {
+    let r = catch_unwind(AssertUnwindSafe(|| step(&mut *acc)));
+    if r.is_err() {
+        assert_invariants(acc);
+    }
+    r.is_ok()
+}
+
+pub fn ok_shared_capture(acc: &Vec<f32>) -> usize {
+    let r = catch_unwind(AssertUnwindSafe(|| acc.len()));
+    r.unwrap_or(0)
+}
+
+pub fn suppressed(acc: &mut Vec<f32>) -> bool {
+    let r = catch_unwind(AssertUnwindSafe(|| step(&mut *acc))); // aimts-lint: allow(A009, fixture: the caller discards acc and rebuilds it from the checkpoint on error)
+    r.is_ok()
+}

@@ -1,0 +1,37 @@
+// Fixture: every admitted request must flow to exactly one respond-like
+// sink on every path (A010): a leak on the fallthrough path, a double
+// answer, clean linear / branching / delegating handlers, and one
+// suppressed legacy fire-and-forget path.
+
+pub fn bad_leak_on_error(req: Request, ok: bool) {
+    if ok {
+        req.reply.send(Ok(1)).ok();
+    }
+}
+
+pub fn bad_double_answer(req: Request) {
+    req.reply.send(Ok(1)).ok();
+    req.reply.send(Ok(2)).ok();
+}
+
+pub fn ok_linear(req: Request) {
+    req.reply.send(Ok(1)).ok();
+}
+
+pub fn ok_both_arms(req: Request, ok: bool) {
+    if ok {
+        req.reply.send(Ok(1)).ok();
+    } else {
+        req.reply.send(Err(2)).ok();
+    }
+}
+
+pub fn ok_delegated(req: Request, tx: &Sender<Request>) {
+    tx.send(req).ok();
+}
+
+pub fn suppressed(req: Request, ok: bool) { // aimts-lint: allow(A010, fixture: legacy fire-and-forget path, scheduled for removal with the v1 client)
+    if ok {
+        req.reply.send(Ok(1)).ok();
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture: typed error values constructed and silently dropped (A011),
+// next to returned / bound / propagated constructions and one suppressed
+// layout probe.
+
+pub fn bad_dropped_variant(flag: bool) {
+    if flag {
+        TrainError::Diverged;
+    }
+}
+
+pub fn bad_dropped_err() {
+    Err(3);
+}
+
+pub fn ok_returned() -> Result<(), TrainError> {
+    return Err(TrainError::Diverged);
+}
+
+pub fn ok_bound(flag: bool) -> Result<(), TrainError> {
+    let e = TrainError::Diverged;
+    if flag {
+        return Err(e);
+    }
+    Ok(())
+}
+
+pub fn suppressed() {
+    CheckpointError::Corrupt; // aimts-lint: allow(A011, fixture: constructor probe exercising the enum layout)
+}

@@ -1,0 +1,23 @@
+// Fixture: gradient-flow APIs on a frozen-inference path (A012):
+// `Storage::Shared` construction and `.backward()` calls, next to the
+// inference-safe alternatives and one suppressed parity-test reference.
+
+pub fn bad_shared_storage(data: Vec<f32>) -> Tensor {
+    Tensor::with_storage(data, Storage::Shared)
+}
+
+pub fn bad_backward(loss: &Tensor) {
+    loss.backward();
+}
+
+pub fn ok_hot_storage(data: Vec<f32>) -> Tensor {
+    Tensor::with_storage(data, Storage::Hot)
+}
+
+pub fn ok_forward(model: &Model, x: &Tensor) -> Tensor {
+    model.forward(x)
+}
+
+pub fn suppressed(loss: &Tensor) {
+    loss.backward(); // aimts-lint: allow(A012, fixture: reference gradient path used only by the train-parity test, never served)
+}

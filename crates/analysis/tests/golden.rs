@@ -41,6 +41,46 @@ fn a005_fixture_fires_once() {
 }
 
 #[test]
+fn a006_fixture_fires_per_unjustified_site() {
+    // One bare `unsafe impl`, one bare `unsafe fn`, one bare block; the
+    // documented, attribute-bridged, and suppressed sites stay silent.
+    assert_eq!(rules_for("a006_unsafe_safety.rs"), vec!["A006"; 3]);
+}
+
+#[test]
+fn a007_fixture_fires_outside_guard_impls() {
+    // Only `Sneaky::bad_peek`; HotCell and *Guard impls are sanctioned.
+    assert_eq!(rules_for("a007_hot_access.rs"), vec!["A007"; 1]);
+}
+
+#[test]
+fn a008_fixture_fires_per_held_boundary() {
+    // send, recv, and catch_unwind each crossed with a live guard; the
+    // drop-first and scope-confined variants stay silent.
+    assert_eq!(rules_for("a008_guard_channel.rs"), vec!["A008"; 3]);
+}
+
+#[test]
+fn a009_fixture_fires_without_reassertion() {
+    assert_eq!(rules_for("a009_unwind_mut.rs"), vec!["A009"; 1]);
+}
+
+#[test]
+fn a010_fixture_fires_on_leak_and_double_answer() {
+    assert_eq!(rules_for("a010_responder.rs"), vec!["A010"; 2]);
+}
+
+#[test]
+fn a011_fixture_fires_per_dropped_ctor() {
+    assert_eq!(rules_for("a011_dropped_error.rs"), vec!["A011"; 2]);
+}
+
+#[test]
+fn a012_fixture_fires_per_grad_api() {
+    assert_eq!(rules_for("a012_storage_misuse.rs"), vec!["A012"; 2]);
+}
+
+#[test]
 fn pragma_fixture_fires_meta_and_unsuppressed() {
     // Two valid suppressions absorb their targets. The reasonless and
     // unknown-rule pragmas each surface as A000 *and* leave their line's
@@ -59,6 +99,13 @@ fn rendered_diagnostics_match_golden() {
         "a003_time.rs",
         "a004_float_eq.rs",
         "a005_discard.rs",
+        "a006_unsafe_safety.rs",
+        "a007_hot_access.rs",
+        "a008_guard_channel.rs",
+        "a009_unwind_mut.rs",
+        "a010_responder.rs",
+        "a011_dropped_error.rs",
+        "a012_storage_misuse.rs",
         "pragmas.rs",
     ];
     let mut rendered = String::new();

@@ -12,8 +12,15 @@ static PEAK: AtomicUsize = AtomicUsize::new(0);
 /// Counting wrapper around the system allocator.
 pub struct CountingAllocator;
 
+// SAFETY: every method delegates verbatim to the `System` allocator and
+// only adds lock-free atomic bookkeeping on the side, so the GlobalAlloc
+// contract (layout fidelity, no unwinding, thread safety) is exactly
+// `System`'s.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: the caller upholds GlobalAlloc's `alloc` contract
+    // (non-zero-sized layout); we forward it untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: same layout, same contract — pure delegation.
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
@@ -22,12 +29,18 @@ unsafe impl GlobalAlloc for CountingAllocator {
         p
     }
 
+    // SAFETY: the caller guarantees `ptr` came from this allocator with
+    // this `layout`; `System` gets the same pair.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: pure delegation of the caller's (ptr, layout) pair.
         unsafe { System.dealloc(ptr, layout) };
         CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
+    // SAFETY: the caller guarantees `ptr`/`layout` validity and a
+    // non-zero `new_size`, which is exactly what `System` requires.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: pure delegation of the caller's arguments.
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             let old = layout.size();

@@ -178,12 +178,15 @@ impl Pending {
 // Admission queue
 // ---------------------------------------------------------------------
 
-/// Why a push was refused.
+/// Why a push was refused. Both variants hand the rejected request back
+/// to the caller, so ownership of the responder handle is explicit: the
+/// queue either admitted the request or never touched it (the caller
+/// answers synchronously). A010 checks this protocol statically.
 pub(crate) enum PushReject {
     /// Queue at capacity for the whole timeout; depth at rejection.
-    Full(usize),
+    Full(usize, Box<Request>),
     /// The queue is closed (server draining/shut down).
-    Closed,
+    Closed(Box<Request>),
 }
 
 /// Result of a timed pop.
@@ -256,7 +259,7 @@ impl AdmissionQueue {
         let deadline = Instant::now() + timeout;
         loop {
             if g.closed {
-                return Err(PushReject::Closed);
+                return Err(PushReject::Closed(req));
             }
             if g.q.len() < self.cap {
                 g.q.push_back(req);
@@ -264,10 +267,10 @@ impl AdmissionQueue {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            // aimts-lint: allow(A003, admission timeout arithmetic)
+            // aimts-lint: allow(A003, the admission timeout is a real-time SLA, not replayed state; wall clock is the spec)
             let now = Instant::now();
             if now >= deadline {
-                return Err(PushReject::Full(g.q.len()));
+                return Err(PushReject::Full(g.q.len(), req));
             }
             let (g2, _) = wait_timeout(&self.not_full, g, deadline - now);
             g = g2;
@@ -302,7 +305,7 @@ impl AdmissionQueue {
             if g.closed {
                 return Pop::Closed;
             }
-            // aimts-lint: allow(A003, flush-deadline arithmetic)
+            // aimts-lint: allow(A003, the flush deadline is a real-time SLA, not replayed state; wall clock is the spec)
             let now = Instant::now();
             if now >= until {
                 return Pop::TimedOut;
@@ -346,21 +349,21 @@ pub(crate) fn run_assembler(
     let mut flush_counter = 0u64;
     loop {
         // Block for the batch-opening request.
-        let Some(first) = queue.pop_wait() else {
+        let Some(first_req) = queue.pop_wait() else {
             return; // closed and fully drained
         };
         // aimts-lint: allow(A003, batching deadlines are wall-clock by definition; serving is not deterministic-replay code)
         let flush_deadline = Instant::now() + policy.max_delay;
         let mut batch = Vec::with_capacity(policy.max_batch);
-        admit_to_batch(first, &mut batch, &metrics);
+        admit_to_batch(first_req, &mut batch, &metrics);
         while batch.len() < policy.max_batch {
-            // aimts-lint: allow(A003, deadline arithmetic for the max_delay flush)
+            // aimts-lint: allow(A003, max_delay bounds real queueing latency; wall clock is the spec, nothing is replayed)
             let now = Instant::now();
             if now >= flush_deadline {
                 break;
             }
             match queue.pop_until(flush_deadline) {
-                Pop::Got(r) => admit_to_batch(r, &mut batch, &metrics),
+                Pop::Got(req) => admit_to_batch(req, &mut batch, &metrics),
                 Pop::TimedOut | Pop::Closed => break,
             }
         }
@@ -387,9 +390,9 @@ pub(crate) fn run_assembler(
                     // The slot vanished (or never existed) between
                     // admission and assembly: answer typed, never panic.
                     let slot = name.clone().unwrap_or_default();
-                    for r in requests {
+                    for req in requests {
                         metrics.record_model_not_found();
-                        r.reply
+                        req.reply
                             .send(Err(ServeError::ModelNotFound(slot.clone())))
                             .ok();
                     }
@@ -402,7 +405,7 @@ pub(crate) fn run_assembler(
 /// Assembly-time deadline check: expired requests are answered
 /// immediately and never reach a batch.
 fn admit_to_batch(req: Box<Request>, batch: &mut Vec<Box<Request>>, metrics: &Metrics) {
-    // aimts-lint: allow(A003, assembly-time deadline check)
+    // aimts-lint: allow(A003, shedding expired work needs the real clock; inference results never feed training replay)
     let now = Instant::now();
     if req.deadline.is_some_and(|d| now >= d) {
         let total_us = now.duration_since(req.enqueued).as_micros() as u64;
@@ -443,6 +446,7 @@ pub(crate) fn run_worker(
         // unlocked so workers overlap on distinct batches.
         let assembled = {
             let rx = lock(&batches);
+            // aimts-lint: allow(A008, the receiver mutex only serializes idle workers parked on recv; no other thread ever takes it, so holding it across the wait cannot deadlock)
             rx.recv()
         };
         match assembled {
@@ -460,7 +464,7 @@ fn execute(b: Assembled, metrics: &Metrics, breaker: &CircuitBreaker, chaos: &Ch
     }
     // Pre-forward deadline check: the batch may have waited in the
     // in-flight channel; expired work is shed before the forward pass.
-    // aimts-lint: allow(A003, pre-forward deadline check)
+    // aimts-lint: allow(A003, shedding expired work needs the real clock; inference results never feed training replay)
     let now = Instant::now();
     let mut live = Vec::with_capacity(b.requests.len());
     for req in b.requests {
@@ -477,11 +481,11 @@ fn execute(b: Assembled, metrics: &Metrics, breaker: &CircuitBreaker, chaos: &Ch
         return;
     }
 
-    // aimts-lint: allow(A003, queue-wait latency measurement)
+    // aimts-lint: allow(A003, latency metrics measure real elapsed time by definition and affect no model state)
     let dequeued = Instant::now();
     let refs: Vec<&MultiSeries> = live.iter().map(|r| &r.series).collect();
     let outcome = classify_isolated(&b.version.model, &refs, chaos.panics(b.flush));
-    // aimts-lint: allow(A003, end-to-end latency measurement)
+    // aimts-lint: allow(A003, latency metrics measure real elapsed time by definition and affect no model state)
     let done = Instant::now();
     if outcome.panicked {
         breaker.record_failure(done);
@@ -632,7 +636,12 @@ mod tests {
         assert!(q.push_within(req(2), Duration::ZERO).is_ok());
         assert_eq!(q.depth(), 2);
         match q.push_within(req(3), Duration::ZERO) {
-            Err(PushReject::Full(depth)) => assert_eq!(depth, 2),
+            Err(PushReject::Full(depth, rejected)) => {
+                assert_eq!(depth, 2);
+                // The rejected request comes back so the caller still
+                // owns the responder handle.
+                assert_eq!(rejected.id, 3);
+            }
             _ => panic!("full queue must reject"),
         }
         // Draining frees capacity; close-then-drain yields the rest.
@@ -641,7 +650,7 @@ mod tests {
         q.close();
         assert!(matches!(
             q.push_within(req(4), Duration::ZERO),
-            Err(PushReject::Closed)
+            Err(PushReject::Closed(_))
         ));
         assert_eq!(q.pop_wait().map(|r| r.id), Some(2));
         assert_eq!(q.pop_wait().map(|r| r.id), Some(3));

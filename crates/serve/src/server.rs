@@ -204,11 +204,18 @@ impl Server {
         });
         match self.queue.push_within(req, timeout) {
             Ok(()) => Ok(Pending { id, rx }),
-            Err(PushReject::Full(depth)) => {
+            // The rejected request comes back with its reply channel;
+            // dropping it here is the synchronous answer — the caller
+            // gets the typed error below instead of a Pending.
+            Err(PushReject::Full(depth, rejected)) => {
                 self.metrics.record_shed();
+                drop(rejected);
                 Err(self.overloaded(depth))
             }
-            Err(PushReject::Closed) => Err(ServeError::Closed),
+            Err(PushReject::Closed(rejected)) => {
+                drop(rejected);
+                Err(ServeError::Closed)
+            }
         }
     }
 

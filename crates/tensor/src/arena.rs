@@ -24,6 +24,12 @@
 //! * Recycled buffers are size-capped ([`MAX_POOL_BYTES`] per thread,
 //!   [`MAX_BUFS_PER_CLASS`] per size class); overflow is dropped to the
 //!   allocator as usual.
+//!
+//! The arena is intentionally **unsafe-free**: it moves whole `Vec<f32>`
+//! values through a thread-local `RefCell`, never raw pointers, so the
+//! aliasing argument above is enforced by ownership rather than asserted.
+//! Keep it that way — a recycling pool is exactly the kind of code where
+//! a "harmless" pointer cache becomes a use-after-free.
 
 use std::cell::RefCell;
 use std::collections::HashMap;

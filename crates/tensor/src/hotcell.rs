@@ -15,22 +15,58 @@
 //! the training loop and *checked* in debug builds by an atomic
 //! reader/writer tally that panics on any torn access, in the spirit of
 //! the `lockorder` checker that still guards the surviving locks.
+//!
+//! Every debug-build guard acquisition additionally draws an epoch stamp
+//! — a process-global op id packed with a per-thread debug id (from
+//! [`crate::lockorder::debug_thread_id`]) — and records it in the cell.
+//! A violation report therefore names **both** conflicting sites as
+//! `(thread, op)` pairs, turning "something raced" into "op 17 on thread
+//! 3 collided with op 16 on thread 2", which is usually enough to find
+//! the two call sites in a deterministic test run.
 
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
 
 #[cfg(debug_assertions)]
-use std::sync::atomic::{AtomicI32, Ordering};
+use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
 
 /// Number of readers currently holding a guard, or `-1` while a write
 /// guard is live. Debug builds only.
 #[cfg(debug_assertions)]
 type AccessTally = AtomicI32;
 
+/// Process-global access epoch. Every guard acquisition draws one op id,
+/// so a violation report can name *which* access it collided with, not
+/// just that something was live.
+#[cfg(debug_assertions)]
+static NEXT_OP: AtomicU64 = AtomicU64::new(1);
+
+/// Draw a fresh epoch stamp: `(packed, thread, op)` where `packed` is
+/// `thread << 32 | op` (op truncated to 32 bits — debug runs never come
+/// close, and the stamp is diagnostic, not a correctness input).
+#[cfg(debug_assertions)]
+fn stamp() -> (u64, u32, u64) {
+    let op = NEXT_OP.fetch_add(1, Ordering::Relaxed);
+    let thread = crate::lockorder::debug_thread_id();
+    ((u64::from(thread) << 32) | (op & 0xFFFF_FFFF), thread, op)
+}
+
+/// Unpack a stamp back into `(thread, op)` for a violation report.
+#[cfg(debug_assertions)]
+fn unpack(packed: u64) -> (u32, u64) {
+    ((packed >> 32) as u32, packed & 0xFFFF_FFFF)
+}
+
 pub(crate) struct HotCell {
     buf: UnsafeCell<Vec<f32>>,
     #[cfg(debug_assertions)]
     tally: AccessTally,
+    /// Stamp of the most recent read acquisition (0 = never read).
+    #[cfg(debug_assertions)]
+    last_read: AtomicU64,
+    /// Stamp of the most recent write acquisition (0 = never written).
+    #[cfg(debug_assertions)]
+    last_write: AtomicU64,
 }
 
 // SAFETY: `HotCell` hands out shared and exclusive references to the inner
@@ -49,37 +85,59 @@ impl HotCell {
             buf: UnsafeCell::new(buf),
             #[cfg(debug_assertions)]
             tally: AccessTally::new(0),
+            #[cfg(debug_assertions)]
+            last_read: AtomicU64::new(0),
+            #[cfg(debug_assertions)]
+            last_write: AtomicU64::new(0),
         }
     }
 
-    /// Shared read access. Panics in debug builds if a writer is live.
+    /// Shared read access. Panics in debug builds if a writer is live,
+    /// naming both conflicting sites by `(thread, op)` stamp.
     pub(crate) fn read(&self) -> HotReadGuard<'_> {
         #[cfg(debug_assertions)]
         {
+            let (packed, thread, op) = stamp();
             let prev = self.tally.fetch_add(1, Ordering::Acquire);
-            assert!(
-                prev >= 0,
-                "hot-buffer aliasing violation: read while a write guard is live \
-                 (an op or optimizer is mutating a tensor another path is reading)"
-            );
+            if prev < 0 {
+                let (wt, wo) = unpack(self.last_write.load(Ordering::Acquire));
+                // aimts-lint: allow(A001, the debug race validator reports by panicking — the access path has no error channel and the violation is a caller bug)
+                panic!(
+                    "hot-buffer aliasing violation: read (thread {thread}, op {op}) \
+                     while a write guard is live (thread {wt}, op {wo}) — an op or \
+                     optimizer is mutating a tensor another path is reading"
+                );
+            }
+            self.last_read.store(packed, Ordering::Release);
         }
         HotReadGuard { cell: self }
     }
 
     /// Exclusive write access. Panics in debug builds if any reader or
-    /// another writer is live.
+    /// another writer is live, naming both conflicting sites by
+    /// `(thread, op)` stamp.
     pub(crate) fn write(&self) -> HotWriteGuard<'_> {
         #[cfg(debug_assertions)]
         {
-            let raced = self
-                .tally
-                .compare_exchange(0, -1, Ordering::Acquire, Ordering::Relaxed)
-                .is_err();
-            assert!(
-                !raced,
-                "hot-buffer aliasing violation: write while another guard is live \
-                 (hot tensors must not be mutated concurrently with any access)"
-            );
+            let (packed, thread, op) = stamp();
+            if let Err(live) =
+                self.tally
+                    .compare_exchange(0, -1, Ordering::Acquire, Ordering::Acquire)
+            {
+                let (kind, site) = if live < 0 {
+                    ("write", self.last_write.load(Ordering::Acquire))
+                } else {
+                    ("read", self.last_read.load(Ordering::Acquire))
+                };
+                let (ct, co) = unpack(site);
+                // aimts-lint: allow(A001, the debug race validator reports by panicking — the access path has no error channel and the violation is a caller bug)
+                panic!(
+                    "hot-buffer aliasing violation: write (thread {thread}, op {op}) \
+                     while a {kind} guard is live (thread {ct}, op {co}) — hot tensors \
+                     must not be mutated concurrently with any access"
+                );
+            }
+            self.last_write.store(packed, Ordering::Release);
         }
         HotWriteGuard { cell: self }
     }
@@ -184,5 +242,82 @@ mod tests {
         let cell = HotCell::new(vec![0.0]);
         let _w = cell.write();
         let _r = cell.read();
+    }
+
+    #[cfg(debug_assertions)]
+    fn panic_message(err: &(dyn std::any::Any + Send)) -> String {
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    /// The thread ids named in a violation report, in order of mention.
+    #[cfg(debug_assertions)]
+    fn thread_ids(msg: &str) -> Vec<u32> {
+        msg.match_indices("thread ")
+            .map(|(i, pat)| {
+                msg[i + pat.len()..]
+                    .chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse()
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn violation_report_names_both_sites() {
+        let cell = HotCell::new(vec![0.0]);
+        let _w = cell.write();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cell.read();
+        }))
+        .expect_err("read during write must panic");
+        let msg = panic_message(&*err);
+        assert!(
+            msg.starts_with("hot-buffer aliasing violation"),
+            "prefix must be stable for downstream matchers: {msg}"
+        );
+        // Both the offending access and the live guard carry (thread, op)
+        // stamps; on one thread the thread ids match and the op ids don't.
+        let threads = thread_ids(&msg);
+        assert_eq!(threads.len(), 2, "two sites expected: {msg}");
+        assert_eq!(threads[0], threads[1], "same-thread conflict: {msg}");
+        assert_eq!(msg.matches(", op ").count(), 2, "two op stamps: {msg}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn cross_thread_violation_names_both_threads() {
+        use std::sync::{mpsc, Arc};
+
+        let cell = Arc::new(HotCell::new(vec![0.0]));
+        let (ready_tx, ready_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let peer = Arc::clone(&cell);
+        let reader = std::thread::spawn(move || {
+            // Park with a live read guard so the main thread's write
+            // collides with an access stamped by *this* thread.
+            let _r = peer.read();
+            ready_tx.send(()).ok();
+            release_rx.recv().ok();
+        });
+        ready_rx.recv().expect("reader thread started");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cell.write();
+        }))
+        .expect_err("write during cross-thread read must panic");
+        release_tx.send(()).ok();
+        reader.join().expect("reader thread exits cleanly");
+        let msg = panic_message(&*err);
+        let threads = thread_ids(&msg);
+        assert_eq!(threads.len(), 2, "two sites expected: {msg}");
+        assert_ne!(
+            threads[0], threads[1],
+            "conflicting sites must name distinct threads: {msg}"
+        );
     }
 }

@@ -15,10 +15,31 @@
 #[cfg(debug_assertions)]
 mod imp {
     use std::cell::{Cell, RefCell};
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     thread_local! {
         static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
         static ACQUIRED: Cell<u64> = const { Cell::new(0) };
+        static THREAD_ID: Cell<u32> = const { Cell::new(0) };
+    }
+
+    /// Next debug thread id; 0 is reserved for "not yet assigned".
+    static NEXT_THREAD: AtomicU32 = AtomicU32::new(1);
+
+    /// A small, stable, per-thread id for debug diagnostics.
+    ///
+    /// Assigned lazily on first use, dense from 1, and never reused within
+    /// a process run — unlike `std::thread::ThreadId` it fits in a `u32`
+    /// and packs into the hot-buffer race validator's epoch stamps.
+    pub fn debug_thread_id() -> u32 {
+        THREAD_ID.with(|c| {
+            let mut id = c.get();
+            if id == 0 {
+                id = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+                c.set(id);
+            }
+            id
+        })
     }
 
     /// RAII registration of one lock acquisition on this thread.
@@ -97,9 +118,15 @@ mod imp {
     pub fn acquired_total() -> u64 {
         0
     }
+
+    /// Release builds assign no ids; every thread reads as 0.
+    #[inline(always)]
+    pub fn debug_thread_id() -> u32 {
+        0
+    }
 }
 
-pub use imp::{acquire, acquired_total, held_count, LockToken};
+pub use imp::{acquire, acquired_total, debug_thread_id, held_count, LockToken};
 
 #[cfg(all(test, debug_assertions))]
 mod tests {
@@ -150,6 +177,17 @@ mod tests {
         // Dropping tokens never rewinds the counter: it measures traffic,
         // not residency.
         assert_eq!(acquired_total() - before, 2);
+    }
+
+    #[test]
+    fn debug_thread_ids_are_stable_and_distinct() {
+        let mine = debug_thread_id();
+        assert!(mine > 0, "debug ids start at 1");
+        assert_eq!(mine, debug_thread_id(), "id must be stable per thread");
+        let theirs = std::thread::spawn(debug_thread_id)
+            .join()
+            .expect("spawned thread");
+        assert_ne!(mine, theirs, "distinct threads get distinct ids");
     }
 
     #[test]

@@ -115,6 +115,11 @@ pub fn axpy_scalar(c: &mut [f32], s: f32, b: &[f32]) {
     }
 }
 
+// SAFETY: caller must guarantee AVX2 is available (the dispatcher checks
+// active_level()). All loads/stores are unaligned (`loadu`/`storeu`) and
+// bounded by `n = min(c.len(), b.len())`, so every `ptr.add(i)` with
+// `i + 8 <= n` stays inside the borrowed slices; `c`/`b` cannot alias
+// because `c` is `&mut`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn axpy_avx2(c: &mut [f32], s: f32, b: &[f32]) {
@@ -135,6 +140,9 @@ unsafe fn axpy_avx2(c: &mut [f32], s: f32, b: &[f32]) {
     axpy_scalar(&mut c[i..n], s, &b[i..n]);
 }
 
+// SAFETY: SSE2 is baseline on x86_64; unaligned 4-lane loads/stores are
+// bounded by `n = min(c.len(), b.len())`, so `ptr.add(i)` with
+// `i + 4 <= n` stays in bounds, and `&mut c` rules out aliasing with `b`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse2")]
 unsafe fn axpy_sse2(c: &mut [f32], s: f32, b: &[f32]) {
@@ -178,6 +186,9 @@ pub fn add_assign_scalar(a: &mut [f32], b: &[f32]) {
     }
 }
 
+// SAFETY: caller must guarantee AVX2 (dispatcher-checked); unaligned
+// 8-lane accesses are bounded by `n = min(a.len(), b.len())` and `&mut a`
+// rules out aliasing with `b`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn add_assign_avx2(a: &mut [f32], b: &[f32]) {
@@ -194,6 +205,8 @@ unsafe fn add_assign_avx2(a: &mut [f32], b: &[f32]) {
     add_assign_scalar(&mut a[i..n], &b[i..n]);
 }
 
+// SAFETY: SSE2 is baseline on x86_64; unaligned 4-lane accesses are
+// bounded by `n = min(a.len(), b.len())` and `&mut a` rules out aliasing.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse2")]
 unsafe fn add_assign_sse2(a: &mut [f32], b: &[f32]) {
@@ -233,6 +246,9 @@ pub fn scale_assign_scalar(a: &mut [f32], s: f32) {
     }
 }
 
+// SAFETY: caller must guarantee AVX2 (dispatcher-checked); the single
+// `&mut` slice cannot alias anything, and unaligned 8-lane accesses stay
+// below `n = a.len()`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn scale_assign_avx2(a: &mut [f32], s: f32) {
@@ -249,6 +265,8 @@ unsafe fn scale_assign_avx2(a: &mut [f32], s: f32) {
     scale_assign_scalar(&mut a[i..n], s);
 }
 
+// SAFETY: SSE2 is baseline on x86_64; the single `&mut` slice cannot
+// alias anything, and unaligned 4-lane accesses stay below `n = a.len()`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse2")]
 unsafe fn scale_assign_sse2(a: &mut [f32], s: f32) {
